@@ -1,0 +1,68 @@
+// Ablation bench for Section 4.3.1 ("Calibration Issues"): the paper
+// alleviated the antenna disparity "through crude calibration: in Arbitrate
+// processing, ESP attributed a reading to the weaker antenna if the counts
+// of the readings were equal". This bench quantifies that choice by running
+// the full Smooth+Arbitrate pipeline with the plain Query 3 (ties keep the
+// tag on both shelves — the declarative >= ALL semantics) against the
+// calibrated arbitration (ties go to the weak antenna only).
+
+#include <cstdio>
+
+#include "bench/shelf_experiment.h"
+#include "common/string_util.h"
+
+namespace esp::bench {
+namespace {
+
+Status Run() {
+  sim::ShelfWorld::Config world;
+  const Duration granule = Duration::Seconds(5);
+
+  ShelfOptions plain;
+  plain.calibrated_arbitration = false;
+  ShelfOptions calibrated;
+  calibrated.calibrated_arbitration = true;
+
+  ESP_ASSIGN_OR_RETURN(
+      ShelfSeries plain_series,
+      RunShelfExperiment(world, ShelfPipeline::kSmoothThenArbitrate, granule,
+                         plain));
+  ESP_ASSIGN_OR_RETURN(
+      ShelfSeries calibrated_series,
+      RunShelfExperiment(world, ShelfPipeline::kSmoothThenArbitrate, granule,
+                         calibrated));
+
+  std::printf(
+      "=== Ablation: arbitration tie-breaking / crude calibration "
+      "(Sec 4.3.1) ===\n\n");
+  std::printf("%-44s %s\n", "arbitration", "avg relative error");
+  std::printf("%-44s %.3f\n", "Query 3 verbatim (ties kept on both shelves)",
+              plain_series.average_relative_error);
+  std::printf("%-44s %.3f\n",
+              "Calibrated (ties -> weaker antenna, Sec 4.3.1)",
+              calibrated_series.average_relative_error);
+  std::printf(
+      "\nTies happen exactly where the strong antenna cross-reads the weak\n"
+      "antenna's shelf; keeping both attributions double-counts those tags\n"
+      "on shelf 0. The crude calibration converts that systematic bias into\n"
+      "correct attributions, reproducing the improvement the paper reports\n"
+      "from its antenna calibration.\n");
+  if (calibrated_series.average_relative_error >
+      plain_series.average_relative_error) {
+    return Status::Internal("calibration failed to improve arbitration");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() {
+  const esp::Status status = esp::bench::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "abl_calibration failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation bench: mean vs median smoothing under transient glitches.
+//
+// Footnote 3 of the paper notes that Smooth "could be used to correct for
+// single outlier readings in one mote using the same mechanism" as Merge's
+// outlier detection. This bench quantifies the simplest such mechanism:
+// replace the Smooth stage's windowed average with a windowed median.
+// Workload: one mote whose readings occasionally glitch (single errant
+// spikes — a common real-world failure distinct from fail-dirty drift).
+// The average leaks every spike into the cleaned stream at 1/window_size
+// strength; the median is unaffected until glitches dominate the window.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "sim/reading.h"
+
+namespace esp::bench {
+namespace {
+
+using core::DeviceTypePipeline;
+using core::EspProcessor;
+using core::SpatialGranule;
+using core::TemporalGranule;
+using stream::Tuple;
+using stream::Value;
+
+struct Outcome {
+  double mean_abs_error = 0;
+  double worst_abs_error = 0;
+};
+
+StatusOr<Outcome> RunSmoother(bool use_median, double glitch_prob,
+                              uint64_t seed) {
+  EspProcessor processor;
+  ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+      {"pg", "mote", SpatialGranule{"room"}, {"m1"}}));
+  DeviceTypePipeline motes;
+  motes.device_type = "mote";
+  motes.reading_schema = sim::TempReadingSchema();
+  motes.receptor_id_column = "mote_id";
+  const TemporalGranule granule(Duration::Seconds(10));
+  motes.smooth = use_median
+                     ? core::SmoothWindowedMedian(granule, "mote_id", "temp")
+                     : core::SmoothWindowedAverage(granule, "mote_id", "temp");
+  ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(motes)));
+  ESP_RETURN_IF_ERROR(processor.Start());
+
+  Rng rng(seed);
+  Outcome outcome;
+  int64_t samples = 0;
+  for (int t = 0; t < 2000; ++t) {
+    const Timestamp now = Timestamp::Seconds(t);
+    const double truth = 20.0 + 3.0 * std::sin(t / 120.0);
+    double reading = truth + rng.Gaussian(0, 0.1);
+    if (rng.Bernoulli(glitch_prob)) {
+      reading = 110.0;  // Single errant spike.
+    }
+    ESP_RETURN_IF_ERROR(
+        processor.Push("mote", sim::ToTempTuple({"m1", reading, now})));
+    ESP_ASSIGN_OR_RETURN(auto result, processor.Tick(now));
+    const auto& cleaned = result.per_type[0].second;
+    if (cleaned.empty()) continue;
+    ESP_ASSIGN_OR_RETURN(const Value v, cleaned.tuple(0).Get("temp"));
+    if (v.is_null()) continue;
+    const double error = std::abs(v.double_value() - truth);
+    outcome.mean_abs_error += error;
+    outcome.worst_abs_error = std::max(outcome.worst_abs_error, error);
+    ++samples;
+  }
+  if (samples > 0) outcome.mean_abs_error /= static_cast<double>(samples);
+  return outcome;
+}
+
+Status Run() {
+  std::printf(
+      "=== Ablation: mean vs median Smooth under transient glitches ===\n\n");
+  std::printf("%-14s %-24s %-24s\n", "glitch rate", "avg-smooth (mean/worst)",
+              "median-smooth (mean/worst)");
+  for (double glitch_prob : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+    ESP_ASSIGN_OR_RETURN(Outcome mean_based,
+                         RunSmoother(false, glitch_prob, 42));
+    ESP_ASSIGN_OR_RETURN(Outcome median_based,
+                         RunSmoother(true, glitch_prob, 42));
+    std::printf("%-14.2f %7.2f / %-12.2f %9.2f / %-12.2f\n", glitch_prob,
+                mean_based.mean_abs_error, mean_based.worst_abs_error,
+                median_based.mean_abs_error, median_based.worst_abs_error);
+  }
+  std::printf(
+      "\nThe median smoother holds the cleaned stream near truth until\n"
+      "glitches approach half the window; the mean smoother leaks every\n"
+      "spike at ~spike/window_size strength (footnote 3 of the paper).\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() {
+  const esp::Status status = esp::bench::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "abl_robust_smoothing failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

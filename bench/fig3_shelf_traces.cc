@@ -1,0 +1,109 @@
+// Reproduces Figure 3 of the paper: Query 1 shelf-count traces over (a)
+// ground truth, (b) raw RFID data, (c) after Smooth, (d) after Smooth +
+// Arbitrate — plus the headline numbers of Section 4 (average relative
+// errors 0.41 / 0.24 / 0.04 and the 2.3 restock-alerts-per-second rate on
+// raw data). Writes fig3_<config>.csv trace files next to the binary.
+
+#include <cstdio>
+
+#include "bench/shelf_experiment.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace esp::bench {
+namespace {
+
+Status WriteTraceCsv(const std::string& path, const ShelfSeries& series) {
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  ESP_RETURN_IF_ERROR(writer.WriteRow(
+      {"time_s", "truth_shelf0", "reported_shelf0", "truth_shelf1",
+       "reported_shelf1"}));
+  for (size_t i = 0; i < series.time_s.size(); ++i) {
+    ESP_RETURN_IF_ERROR(writer.WriteRow(
+        {StrFormat("%.1f", series.time_s[i]),
+         StrFormat("%.0f", series.truth[0][i]),
+         StrFormat("%.0f", series.reported[0][i]),
+         StrFormat("%.0f", series.truth[1][i]),
+         StrFormat("%.0f", series.reported[1][i])}));
+  }
+  return writer.Close();
+}
+
+void PrintSparkline(const char* label, const std::vector<double>& series) {
+  // Compact 70-column rendering of a 0..20 item-count trace.
+  std::printf("  %-18s", label);
+  const size_t buckets = 70;
+  for (size_t b = 0; b < buckets; ++b) {
+    const size_t begin = b * series.size() / buckets;
+    const size_t end = (b + 1) * series.size() / buckets;
+    double sum = 0;
+    for (size_t i = begin; i < end && i < series.size(); ++i) sum += series[i];
+    const double mean = sum / static_cast<double>(end - begin);
+    const char* glyphs = " .:-=+*#%@";
+    const int level =
+        std::min(9, std::max(0, static_cast<int>(mean / 20.0 * 10.0)));
+    std::printf("%c", glyphs[level]);
+  }
+  std::printf("\n");
+}
+
+Status Run() {
+  sim::ShelfWorld::Config world;
+  const Duration granule = Duration::Seconds(5);
+
+  struct Row {
+    ShelfPipeline pipeline;
+    const char* figure;
+    const char* csv;
+  };
+  const Row rows[] = {
+      {ShelfPipeline::kRaw, "Fig 3(b) raw", "fig3_raw.csv"},
+      {ShelfPipeline::kSmoothOnly, "Fig 3(c) after Smooth",
+       "fig3_smooth.csv"},
+      {ShelfPipeline::kSmoothThenArbitrate, "Fig 3(d) after Arbitrate",
+       "fig3_arbitrate.csv"},
+  };
+
+  std::printf("=== Figure 3: RFID shelf scenario (Section 4) ===\n");
+  std::printf(
+      "Setup: 2 shelves x 10 static tags + 5 mobile tags relocated every "
+      "%.0f s;\n5 Hz polls for %.0f s; temporal granule %.0f s; spatial "
+      "granule = shelf.\n\n",
+      world.relocation_period.seconds(), world.duration.seconds(),
+      granule.seconds());
+
+  for (const Row& row : rows) {
+    ESP_ASSIGN_OR_RETURN(ShelfSeries series,
+                         RunShelfExperiment(world, row.pipeline, granule));
+    ESP_RETURN_IF_ERROR(WriteTraceCsv(row.csv, series));
+    std::printf("%-28s avg relative error = %.3f   restock alerts/s = %.2f\n",
+                row.figure, series.average_relative_error,
+                series.restock_alerts_per_second);
+    PrintSparkline("shelf 0", series.reported[0]);
+    PrintSparkline("shelf 1", series.reported[1]);
+    if (row.pipeline == ShelfPipeline::kRaw) {
+      PrintSparkline("truth shelf 0", series.truth[0]);
+      PrintSparkline("truth shelf 1", series.truth[1]);
+    }
+    std::printf("  trace written to %s\n\n", row.csv);
+  }
+
+  std::printf(
+      "Paper reference: raw error 0.41 (restock alerts 2.3/s), Smooth 0.24,\n"
+      "Smooth+Arbitrate 0.04 (off by less than one item on average).\n");
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() {
+  const esp::Status status = esp::bench::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "fig3_shelf_traces failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Reproduces Figure 7 of the paper: online outlier detection over the
+// Intel Lab trace. Three temperature motes share one proximity group; one
+// "fails dirty", ramping past 100 C while still reporting. The deployed
+// pipeline is Point (Query 4: temp < 50) + Merge (Query 5: reject readings
+// more than one stdev from the window mean, then average). The paper's
+// finding: the naive average is dragged away by the failing mote, while the
+// ESP output keeps tracking the two functioning motes; notably Merge starts
+// eliminating the outlier long before the Point filter's 50 C threshold.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/metrics.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "sim/intel_lab_world.h"
+#include "sim/reading.h"
+
+namespace esp::bench {
+namespace {
+
+using core::DeviceTypePipeline;
+using core::EspProcessor;
+using core::SpatialGranule;
+using core::TemporalGranule;
+using stream::Tuple;
+
+Status Run() {
+  sim::IntelLabWorld world({});
+  const auto trace = world.Generate();
+
+  EspProcessor processor;
+  ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+      {"pg_room", "mote", SpatialGranule{"room"},
+       {sim::IntelLabWorld::MoteId(0), sim::IntelLabWorld::MoteId(1),
+        sim::IntelLabWorld::MoteId(2)}}));
+  DeviceTypePipeline motes;
+  motes.device_type = "mote";
+  motes.reading_schema = sim::TempReadingSchema();
+  motes.receptor_id_column = "mote_id";
+  motes.point.push_back(core::PointFilter("temp < 50"));  // Query 4.
+  motes.merge = core::MergeOutlierRejectingAverage(       // Query 5.
+      TemporalGranule(Duration::Minutes(5)), "temp");
+  ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(motes)));
+  ESP_RETURN_IF_ERROR(processor.Start());
+
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("fig7.csv"));
+  ESP_RETURN_IF_ERROR(writer.WriteRow({"time_days", "mote1", "mote2", "mote3",
+                                       "naive_average", "esp", "truth"}));
+
+  double esp_worst = 0;           // |esp - healthy mean|, post-failure.
+  double naive_worst = 0;         // |naive avg - healthy mean|.
+  double first_elimination = -1;  // When ESP first rejects the outlier.
+  double outlier_peak = 0;
+  const std::string failing = sim::IntelLabWorld::MoteId(2);
+
+  for (const auto& tick : trace) {
+    std::map<std::string, double> by_mote;
+    for (const auto& reading : tick.readings) {
+      ESP_RETURN_IF_ERROR(processor.Push(
+          "mote", sim::ToTempTuple(reading)));
+      by_mote[reading.mote_id] = reading.value;
+    }
+    ESP_ASSIGN_OR_RETURN(auto result, processor.Tick(tick.time));
+
+    // The naive application-level average (no cleaning).
+    double naive = 0;
+    int naive_n = 0;
+    double healthy = 0;
+    int healthy_n = 0;
+    for (const auto& [mote, value] : by_mote) {
+      naive += value;
+      ++naive_n;
+      if (mote != failing) {
+        healthy += value;
+        ++healthy_n;
+      }
+      if (mote == failing) outlier_peak = std::max(outlier_peak, value);
+    }
+    const double naive_avg = naive_n > 0 ? naive / naive_n : 0;
+    const double healthy_avg = healthy_n > 0 ? healthy / healthy_n : 0;
+
+    double esp_value = std::nan("");
+    const auto& cleaned = result.per_type[0].second;
+    if (!cleaned.empty()) {
+      ESP_ASSIGN_OR_RETURN(const stream::Value v,
+                           cleaned.tuple(0).Get("temp"));
+      if (!v.is_null()) esp_value = v.double_value();
+    }
+
+    const double days = tick.time.seconds() / 86400.0;
+    if (tick.time >= world.config().fail_start && healthy_n > 0 &&
+        naive_n == 3) {
+      naive_worst = std::max(naive_worst, std::abs(naive_avg - healthy_avg));
+      if (!std::isnan(esp_value)) {
+        esp_worst = std::max(esp_worst, std::abs(esp_value - healthy_avg));
+        if (first_elimination < 0 &&
+            std::abs(naive_avg - esp_value) > 0.75) {
+          first_elimination = days;
+        }
+      }
+    }
+
+    ESP_RETURN_IF_ERROR(writer.WriteRow(
+        {StrFormat("%.4f", days),
+         by_mote.count(sim::IntelLabWorld::MoteId(0))
+             ? StrFormat("%.2f", by_mote[sim::IntelLabWorld::MoteId(0)])
+             : "",
+         by_mote.count(sim::IntelLabWorld::MoteId(1))
+             ? StrFormat("%.2f", by_mote[sim::IntelLabWorld::MoteId(1)])
+             : "",
+         by_mote.count(failing) ? StrFormat("%.2f", by_mote[failing]) : "",
+         naive_n == 3 ? StrFormat("%.2f", naive_avg) : "",
+         std::isnan(esp_value) ? "" : StrFormat("%.2f", esp_value),
+         StrFormat("%.2f", tick.true_temp)}));
+  }
+  ESP_RETURN_IF_ERROR(writer.Close());
+
+  std::printf("=== Figure 7: fail-dirty outlier detection (Section 5.1) ===\n\n");
+  std::printf("Failing mote peak reading:              %.1f C (paper: >100 C)\n",
+              outlier_peak);
+  std::printf("Failure begins at:                      day %.2f\n",
+              world.config().fail_start.seconds() / 86400.0);
+  std::printf("ESP first diverges from naive average:  day %.2f\n",
+              first_elimination);
+  std::printf(
+      "Max |naive avg - functioning motes|:    %.1f C (the polluted line)\n",
+      naive_worst);
+  std::printf(
+      "Max |ESP out  - functioning motes|:     %.2f C (tracks the healthy "
+      "motes)\n",
+      esp_worst);
+  std::printf("\nTrace written to fig7.csv\n");
+  std::printf(
+      "Paper reference: ESP detects when the outlier mote begins to deviate\n"
+      "and omits it from the average; the 'ESP' line tracks the two\n"
+      "functioning motes while the plain average rises with the failure.\n");
+  if (esp_worst > 2.0) {
+    return Status::Internal("ESP output failed to track functioning motes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() {
+  const esp::Status status = esp::bench::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "fig7_outlier_detection failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

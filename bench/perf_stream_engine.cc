@@ -1,0 +1,201 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the value
+// model, window buffers, relational operators, the CQL layer (parse,
+// analyze, continuous evaluation of the paper's queries), and a full
+// ESP processor tick. These quantify the cost of the snapshot-semantics
+// design that DESIGN.md calls out.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "cql/continuous_query.h"
+#include "cql/parser.h"
+#include "sim/reading.h"
+#include "stream/ops.h"
+#include "stream/window.h"
+
+namespace esp {
+namespace {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+SchemaRef BenchSchema() {
+  return stream::MakeSchema(
+      {{"tag_id", DataType::kString}, {"reads", DataType::kInt64}});
+}
+
+void BM_TupleConstruct(benchmark::State& state) {
+  SchemaRef schema = BenchSchema();
+  int64_t i = 0;
+  for (auto _ : state) {
+    Tuple tuple(schema, {Value::String("tag_1"), Value::Int64(i++)},
+                Timestamp::Micros(i));
+    benchmark::DoNotOptimize(tuple);
+  }
+}
+BENCHMARK(BM_TupleConstruct);
+
+void BM_ValueCompareNumeric(benchmark::State& state) {
+  const Value a = Value::Int64(7);
+  const Value b = Value::Double(7.5);
+  for (auto _ : state) {
+    auto cmp = a.Compare(b);
+    benchmark::DoNotOptimize(cmp);
+  }
+}
+BENCHMARK(BM_ValueCompareNumeric);
+
+void BM_WindowInsertSnapshot(benchmark::State& state) {
+  const int64_t window_tuples = state.range(0);
+  SchemaRef schema = BenchSchema();
+  stream::WindowBuffer buffer(
+      stream::WindowSpec::Range(Duration::Seconds(window_tuples)), schema);
+  int64_t t = 0;
+  for (auto _ : state) {
+    Status status = buffer.Insert(Tuple(
+        schema, {Value::String("tag"), Value::Int64(t)}, Timestamp::Seconds(t)));
+    benchmark::DoNotOptimize(status);
+    Relation snapshot = buffer.Snapshot(Timestamp::Seconds(t));
+    benchmark::DoNotOptimize(snapshot);
+    buffer.EvictBefore(Timestamp::Seconds(t));
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowInsertSnapshot)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  SchemaRef schema = BenchSchema();
+  Relation input(schema);
+  Rng rng(7);
+  for (int64_t i = 0; i < rows; ++i) {
+    input.Add(Tuple(schema,
+                    {Value::String("tag_" + std::to_string(rng.UniformInt(0, 19))),
+                     Value::Int64(i)},
+                    Timestamp::Seconds(i)));
+  }
+  SchemaRef out = stream::MakeSchema(
+      {{"tag_id", DataType::kString}, {"n", DataType::kInt64}});
+  for (auto _ : state) {
+    auto result = stream::GroupBy(
+        input, {"tag_id"}, out,
+        [&](const std::vector<Value>& key,
+            const std::vector<const Tuple*>& group)
+            -> StatusOr<Tuple> {
+          return Tuple(out,
+                       {key[0], Value::Int64(static_cast<int64_t>(group.size()))},
+                       Timestamp::Epoch());
+        });
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GroupByAggregate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CqlParseQuery3(benchmark::State& state) {
+  const std::string query =
+      "SELECT spatial_granule, tag_id FROM arbitrate_input ai1 "
+      "[Range By 'NOW'] GROUP BY spatial_granule, tag_id "
+      "HAVING count(*) >= ALL(SELECT count(*) FROM arbitrate_input ai2 "
+      "[Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id "
+      "GROUP BY spatial_granule)";
+  for (auto _ : state) {
+    auto ast = cql::ParseQuery(query);
+    benchmark::DoNotOptimize(ast);
+  }
+}
+BENCHMARK(BM_CqlParseQuery3);
+
+void BM_ContinuousQuery2PerTick(benchmark::State& state) {
+  // The paper's Query 2 evaluated per tick over a 25-poll window of ~10
+  // tags — the Smooth stage's steady-state work in the shelf experiment.
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("smooth_input", sim::RfidReadingSchema());
+  auto query = cql::ContinuousQuery::Create(
+      "SELECT tag_id, count(*) AS reads FROM smooth_input "
+      "[Range By '5 sec'] GROUP BY tag_id",
+      catalog);
+  if (!query.ok()) {
+    state.SkipWithError(query.status().ToString().c_str());
+    return;
+  }
+  Rng rng(11);
+  int64_t tick = 0;
+  SchemaRef schema = sim::RfidReadingSchema();
+  for (auto _ : state) {
+    const Timestamp now = Timestamp::Micros(200000 * tick);
+    for (int i = 0; i < 10; ++i) {
+      if (rng.Bernoulli(0.6)) {
+        (void)(*query)->Push(
+            "smooth_input",
+            Tuple(schema,
+                  {Value::String("r0"),
+                   Value::String("tag_" + std::to_string(i))},
+                  now));
+      }
+    }
+    auto result = (*query)->Evaluate(now);
+    benchmark::DoNotOptimize(result);
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContinuousQuery2PerTick);
+
+void BM_ProcessorShelfTick(benchmark::State& state) {
+  // Full Smooth+Arbitrate cascade, one 5 Hz tick of the shelf workload.
+  core::EspProcessor processor;
+  (void)processor.AddProximityGroup({"pg0", "rfid",
+                                     core::SpatialGranule{"shelf_0"},
+                                     {"reader_0"}});
+  (void)processor.AddProximityGroup({"pg1", "rfid",
+                                     core::SpatialGranule{"shelf_1"},
+                                     {"reader_1"}});
+  core::DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth = core::SmoothPresenceCount(
+      core::TemporalGranule(Duration::Seconds(5)), "tag_id");
+  pipeline.arbitrate = core::ArbitrateMaxCount("tag_id", "reads");
+  (void)processor.AddPipeline(std::move(pipeline));
+  Status started = processor.Start();
+  if (!started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+  Rng rng(13);
+  SchemaRef schema = sim::RfidReadingSchema();
+  int64_t tick = 0;
+  for (auto _ : state) {
+    const Timestamp now = Timestamp::Micros(200000 * tick);
+    for (int reader = 0; reader < 2; ++reader) {
+      for (int tag = 0; tag < 10; ++tag) {
+        if (rng.Bernoulli(0.5)) {
+          (void)processor.Push(
+              "rfid",
+              Tuple(schema,
+                    {Value::String("reader_" + std::to_string(reader)),
+                     Value::String("tag_" + std::to_string(tag))},
+                    now));
+        }
+      }
+    }
+    auto result = processor.Tick(now);
+    benchmark::DoNotOptimize(result);
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProcessorShelfTick);
+
+}  // namespace
+}  // namespace esp
+
+BENCHMARK_MAIN();

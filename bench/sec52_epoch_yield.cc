@@ -1,0 +1,186 @@
+// Reproduces the Section 5.2 numbers: epoch yield and accuracy on the
+// redwood micro-climate deployment. Raw epoch yield is 40%; the Smooth
+// stage (30-minute windowed average per mote, reported at the 5-minute
+// temporal granule) lifts it to 77% with 99% of readings within 1 C of the
+// lossless local log; the Merge stage (spatial average within 2-node
+// proximity groups) lifts it to 92% at a slight accuracy cost (94%).
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/metrics.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "sim/redwood_world.h"
+#include "sim/reading.h"
+
+namespace esp::bench {
+namespace {
+
+using core::DeviceTypePipeline;
+using core::EspProcessor;
+using core::SpatialGranule;
+using core::TemporalGranule;
+using stream::Tuple;
+using stream::Value;
+
+struct StageOutcome {
+  double yield = 0;
+  double within_1c = 0;
+};
+
+/// Runs the redwood trace through Smooth (and optionally Merge) and
+/// measures epoch yield plus the fraction of reported readings within 1 C
+/// of the lossless log.
+StatusOr<StageOutcome> RunPipeline(const sim::RedwoodWorld& world,
+                                   const std::vector<sim::RedwoodWorld::Tick>& trace,
+                                   bool with_merge) {
+  EspProcessor processor;
+  const int num_motes = world.config().num_motes;
+  for (int g = 0; g < world.num_groups(); ++g) {
+    std::vector<std::string> members;
+    for (int m = 2 * g; m < std::min(2 * g + 2, num_motes); ++m) {
+      members.push_back(sim::RedwoodWorld::MoteId(m));
+    }
+    ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+        {"pg_" + sim::RedwoodWorld::GroupId(g), "mote",
+         SpatialGranule{sim::RedwoodWorld::GroupId(g)}, members}));
+  }
+  DeviceTypePipeline motes;
+  motes.device_type = "mote";
+  motes.reading_schema = sim::TempReadingSchema();
+  motes.receptor_id_column = "mote_id";
+  // The Smooth window had to expand to 30 minutes to accumulate enough
+  // readings (Section 5.2.1); output is still produced at the 5-minute
+  // temporal granule.
+  motes.smooth = core::SmoothWindowedAverage(
+      TemporalGranule(Duration::Minutes(30)), "mote_id", "temp");
+  if (with_merge) {
+    motes.merge = core::MergeWindowedAverage(
+        TemporalGranule(Duration::Minutes(5)), "temp");
+  }
+  ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(motes)));
+  ESP_RETURN_IF_ERROR(processor.Start());
+
+  int64_t requested = 0;
+  int64_t reported = 0;
+  int64_t within = 0;
+  int64_t compared = 0;
+  for (const auto& tick : trace) {
+    for (const auto& reading : tick.delivered) {
+      ESP_RETURN_IF_ERROR(processor.Push("mote", sim::ToTempTuple(reading)));
+    }
+    ESP_ASSIGN_OR_RETURN(auto result, processor.Tick(tick.time));
+    const auto& cleaned = result.per_type[0].second;
+
+    // Reference: the lossless log, per mote (Smooth) or averaged per group
+    // (Merge), exactly as the paper compares against the storage buffers.
+    std::map<std::string, double> log_by_mote;
+    for (const auto& log : tick.logged) log_by_mote[log.mote_id] = log.value;
+
+    if (!with_merge) {
+      requested += num_motes;
+      for (const Tuple& row : cleaned.tuples()) {
+        ESP_ASSIGN_OR_RETURN(const Value mote, row.Get("mote_id"));
+        ESP_ASSIGN_OR_RETURN(const Value temp, row.Get("temp"));
+        if (temp.is_null()) continue;
+        ++reported;
+        auto it = log_by_mote.find(mote.string_value());
+        if (it != log_by_mote.end()) {
+          ++compared;
+          if (std::abs(temp.double_value() - it->second) <= 1.0) ++within;
+        }
+      }
+    } else {
+      requested += world.num_groups();
+      // Group reference: mean of the members' logged readings.
+      std::map<std::string, std::pair<double, int>> log_by_group;
+      for (int m = 0; m < num_motes; ++m) {
+        auto it = log_by_mote.find(sim::RedwoodWorld::MoteId(m));
+        if (it == log_by_mote.end()) continue;
+        auto& entry = log_by_group[sim::RedwoodWorld::GroupId(m / 2)];
+        entry.first += it->second;
+        entry.second += 1;
+      }
+      for (const Tuple& row : cleaned.tuples()) {
+        ESP_ASSIGN_OR_RETURN(const Value granule, row.Get("spatial_granule"));
+        ESP_ASSIGN_OR_RETURN(const Value temp, row.Get("temp"));
+        if (temp.is_null()) continue;
+        ++reported;
+        auto it = log_by_group.find(granule.string_value());
+        if (it != log_by_group.end() && it->second.second > 0) {
+          ++compared;
+          const double reference = it->second.first / it->second.second;
+          if (std::abs(temp.double_value() - reference) <= 1.0) ++within;
+        }
+      }
+    }
+  }
+  StageOutcome outcome;
+  outcome.yield = core::EpochYield(reported, requested);
+  outcome.within_1c =
+      compared > 0 ? static_cast<double>(within) / compared : 0.0;
+  return outcome;
+}
+
+Status Run() {
+  sim::RedwoodWorld world({});
+  const auto trace = world.Generate();
+
+  // Raw yield straight off the network.
+  int64_t delivered = 0;
+  int64_t requested = 0;
+  for (const auto& tick : trace) {
+    delivered += static_cast<int64_t>(tick.delivered.size());
+    requested += world.config().num_motes;
+  }
+  const double raw_yield = core::EpochYield(delivered, requested);
+
+  ESP_ASSIGN_OR_RETURN(StageOutcome smooth, RunPipeline(world, trace, false));
+  ESP_ASSIGN_OR_RETURN(StageOutcome merge, RunPipeline(world, trace, true));
+
+  std::printf("=== Section 5.2: redwood epoch yield and accuracy ===\n\n");
+  std::printf("%-22s %-14s %-18s %-10s %-14s\n", "stage", "epoch yield",
+              "within 1 C of log", "paper yield", "paper accuracy");
+  std::printf("%-22s %5.0f%%        %-18s %-10s %-14s\n", "Raw",
+              raw_yield * 100, "-", "40%", "-");
+  std::printf("%-22s %5.0f%%        %5.0f%%             %-10s %-14s\n",
+              "After Smooth", smooth.yield * 100, smooth.within_1c * 100,
+              "77%", "99%");
+  std::printf("%-22s %5.0f%%        %5.0f%%             %-10s %-14s\n",
+              "After Merge", merge.yield * 100, merge.within_1c * 100, "92%",
+              "94%");
+
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("sec52.csv"));
+  ESP_RETURN_IF_ERROR(writer.WriteRow({"stage", "yield", "within_1c"}));
+  ESP_RETURN_IF_ERROR(writer.WriteRow({"raw", StrFormat("%.4f", raw_yield), ""}));
+  ESP_RETURN_IF_ERROR(writer.WriteRow({"smooth", StrFormat("%.4f", smooth.yield),
+                                       StrFormat("%.4f", smooth.within_1c)}));
+  ESP_RETURN_IF_ERROR(writer.WriteRow({"merge", StrFormat("%.4f", merge.yield),
+                                       StrFormat("%.4f", merge.within_1c)}));
+  ESP_RETURN_IF_ERROR(writer.Close());
+  std::printf("\nSeries written to sec52.csv\n");
+
+  // Shape checks: each stage must strictly improve yield; accuracy may dip
+  // slightly at Merge.
+  if (!(raw_yield < smooth.yield && smooth.yield < merge.yield)) {
+    return Status::Internal("yield ordering raw < smooth < merge violated");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() {
+  const esp::Status status = esp::bench::Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "sec52_epoch_yield failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef ESP_BENCH_SHELF_EXPERIMENT_H_
+#define ESP_BENCH_SHELF_EXPERIMENT_H_
+
+#include <array>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "sim/shelf_world.h"
+
+namespace esp::bench {
+
+/// Pipeline configurations studied in Section 4.2.1 / Figure 5.
+enum class ShelfPipeline {
+  kRaw,
+  kSmoothOnly,
+  kArbitrateOnly,
+  kArbitrateThenSmooth,
+  kSmoothThenArbitrate,
+};
+
+const char* ShelfPipelineName(ShelfPipeline pipeline);
+
+/// Time series and summary metrics of one shelf-scenario run: the answer to
+/// Query 1 at every 5 Hz tick, per shelf, against ground truth.
+struct ShelfSeries {
+  std::vector<double> time_s;
+  std::array<std::vector<double>, 2> truth;
+  std::array<std::vector<double>, 2> reported;
+  /// Equation (1), averaged over both shelves' series.
+  double average_relative_error = 0.0;
+  /// Restock alerts (count < 5) per second, across both shelves.
+  double restock_alerts_per_second = 0.0;
+};
+
+struct ShelfOptions {
+  /// Use the Section 4.3.1 crude calibration (ties attributed to the weak
+  /// antenna) instead of the plain Query 3 (ties kept on both shelves).
+  bool calibrated_arbitration = true;
+};
+
+/// Runs the full shelf experiment: generates the deterministic world trace,
+/// deploys the requested ESP pipeline configuration with the given temporal
+/// granule, evaluates the paper's Query 1 on the cleaned stream at every
+/// tick, and computes the error metrics.
+StatusOr<ShelfSeries> RunShelfExperiment(
+    const sim::ShelfWorld::Config& world_config, ShelfPipeline pipeline,
+    Duration granule, const ShelfOptions& options = {});
+
+}  // namespace esp::bench
+
+#endif  // ESP_BENCH_SHELF_EXPERIMENT_H_

@@ -1,0 +1,98 @@
+// A whole cleaning deployment as one declarative text file.
+//
+// The paper's pitch is that ESP pipelines are "easy to setup and configure
+// for each receptor deployment", with most stages programmed as declarative
+// queries. This example takes that literally: the complete Section 4 RFID
+// deployment — proximity groups, Smooth (Query 2), Arbitrate (Query 3) —
+// is a single spec string handed to LoadDeployment(), then driven against
+// the simulated shelf world.
+//
+// Build & run:  ./build/examples/declarative_deployment
+
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "sim/reading.h"
+#include "sim/shelf_world.h"
+
+using esp::Duration;
+using esp::Status;
+
+namespace {
+
+constexpr const char* kDeployment = R"(
+# ---- Section 4: RFID shelves --------------------------------------------
+[group pg_shelf0]
+type = rfid
+granule = shelf_0
+receptors = reader_0
+
+[group pg_shelf1]
+type = rfid
+granule = shelf_1
+receptors = reader_1
+
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+# Query 2: interpolate lost readings within the 5 s temporal granule.
+smooth = SELECT tag_id, count(*) AS reads FROM smooth_input
+         [Range By '5 sec'] GROUP BY tag_id
+# Query 3: attribute each tag to the granule that read it the most.
+arbitrate = SELECT spatial_granule, tag_id, max(reads) AS reads
+            FROM arbitrate_input ai1 [Range By 'NOW']
+            GROUP BY spatial_granule, tag_id
+            HAVING max(reads) >= ALL(SELECT max(reads)
+              FROM arbitrate_input ai2 [Range By 'NOW']
+              WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)
+)";
+
+Status Run() {
+  std::printf("Loading deployment spec (%zu bytes of config, zero C++)...\n\n",
+              std::string(kDeployment).size());
+  ESP_ASSIGN_OR_RETURN(auto processor, esp::core::LoadDeployment(kDeployment));
+
+  esp::sim::ShelfWorld::Config world_config;
+  world_config.duration = Duration::Seconds(60);
+  esp::sim::ShelfWorld world(world_config);
+
+  std::printf("%8s %26s %26s\n", "time", "shelf_0 (true -> cleaned)",
+              "shelf_1 (true -> cleaned)");
+  for (const esp::sim::ShelfWorld::Tick& tick : world.Generate()) {
+    for (const esp::sim::RfidReading& reading : tick.readings) {
+      ESP_RETURN_IF_ERROR(processor->Push("rfid", esp::sim::ToTuple(reading)));
+    }
+    ESP_ASSIGN_OR_RETURN(auto result, processor->Tick(tick.time));
+    if (tick.time.micros() % Duration::Seconds(10).micros() != 0) continue;
+
+    // Count distinct tags per granule in the cleaned relation.
+    int64_t counts[2] = {0, 0};
+    for (const esp::stream::Tuple& row : result.per_type[0].second.tuples()) {
+      ESP_ASSIGN_OR_RETURN(const esp::stream::Value granule,
+                           row.Get("spatial_granule"));
+      ++counts[granule.string_value() == "shelf_0" ? 0 : 1];
+    }
+    std::printf("%7.0fs %15lld -> %-8lld %15lld -> %-8lld\n",
+                tick.time.seconds(),
+                static_cast<long long>(tick.true_counts[0]),
+                static_cast<long long>(counts[0]),
+                static_cast<long long>(tick.true_counts[1]),
+                static_cast<long long>(counts[1]));
+  }
+  std::printf(
+      "\nRetargeting this to a new deployment means editing the spec, not\n"
+      "the program — the paper's reconfigurability claim, demonstrated.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "declarative_deployment failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

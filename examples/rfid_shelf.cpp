@@ -1,0 +1,115 @@
+// RFID shelf monitoring (the paper's Section 4 deployment, end to end).
+//
+// Two shelves each carry an RFID reader and tagged items; five items hop
+// between shelves every 40 seconds. Raw reader output is unusable — items
+// are missed and cross-read — so we deploy the paper's pipeline:
+//
+//   Smooth    (Query 2: count readings per tag in the 5 s temporal granule)
+//   Arbitrate (Query 3: attribute each tag to the shelf that read it most)
+//
+// and answer the application's Query 1 (count of items per shelf) on the
+// cleaned stream, printing reported-vs-true counts as the run progresses.
+//
+// Build & run:  ./build/examples/rfid_shelf
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "cql/continuous_query.h"
+#include "sim/reading.h"
+#include "sim/shelf_world.h"
+
+using esp::Duration;
+using esp::Status;
+using esp::core::DeviceTypePipeline;
+using esp::core::EspProcessor;
+using esp::core::SpatialGranule;
+using esp::core::TemporalGranule;
+
+namespace {
+
+Status Run() {
+  // Simulated world standing in for the physical testbed (Figure 2).
+  esp::sim::ShelfWorld::Config world_config;
+  world_config.duration = Duration::Seconds(120);
+  esp::sim::ShelfWorld world(world_config);
+
+  EspProcessor processor;
+  ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+      {"pg_shelf0", "rfid", SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+      {"pg_shelf1", "rfid", SpatialGranule{"shelf_1"}, {"reader_1"}}));
+
+  DeviceTypePipeline rfid;
+  rfid.device_type = "rfid";
+  rfid.reading_schema = esp::sim::RfidReadingSchema();
+  rfid.receptor_id_column = "reader_id";
+  rfid.smooth = esp::core::SmoothPresenceCount(
+      TemporalGranule(Duration::Seconds(5)), "tag_id");
+  rfid.arbitrate = esp::core::ArbitrateMaxCountCalibrated(
+      "tag_id", "reads", /*weak_granule=*/"shelf_1");
+  ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(rfid)));
+  ESP_RETURN_IF_ERROR(processor.Start());
+
+  // The application's standing Query 1 over the cleaned stream.
+  esp::cql::SchemaCatalog catalog;
+  ESP_ASSIGN_OR_RETURN(esp::stream::SchemaRef cleaned_schema,
+                       processor.TypeOutputSchema("rfid"));
+  catalog.AddStream("esp_output", cleaned_schema);
+  ESP_ASSIGN_OR_RETURN(
+      std::unique_ptr<esp::cql::ContinuousQuery> query1,
+      esp::cql::ContinuousQuery::Create(
+          "SELECT spatial_granule, count(distinct tag_id) AS items "
+          "FROM esp_output [Range By 'NOW'] GROUP BY spatial_granule",
+          catalog));
+
+  std::printf("%8s | %22s | %22s\n", "time", "shelf 0 (true/reported)",
+              "shelf 1 (true/reported)");
+  for (const esp::sim::ShelfWorld::Tick& tick : world.Generate()) {
+    for (const esp::sim::RfidReading& reading : tick.readings) {
+      ESP_RETURN_IF_ERROR(processor.Push("rfid", esp::sim::ToTuple(reading)));
+    }
+    ESP_ASSIGN_OR_RETURN(EspProcessor::TickResult result,
+                         processor.Tick(tick.time));
+    for (const esp::stream::Tuple& tuple :
+         result.per_type[0].second.tuples()) {
+      ESP_RETURN_IF_ERROR(query1->Push("esp_output", tuple));
+    }
+    ESP_ASSIGN_OR_RETURN(esp::stream::Relation answer,
+                         query1->Evaluate(tick.time));
+
+    // Report once per 5 seconds of virtual time.
+    if (tick.time.micros() % Duration::Seconds(5).micros() != 0) continue;
+    int64_t counts[2] = {0, 0};
+    for (const esp::stream::Tuple& row : answer.tuples()) {
+      ESP_ASSIGN_OR_RETURN(const esp::stream::Value granule,
+                           row.Get("spatial_granule"));
+      ESP_ASSIGN_OR_RETURN(const esp::stream::Value items, row.Get("items"));
+      counts[granule.string_value() == "shelf_0" ? 0 : 1] =
+          items.int64_value();
+    }
+    std::printf("%7.0fs | %11lld / %-8lld | %11lld / %-8lld\n",
+                tick.time.seconds(),
+                static_cast<long long>(tick.true_counts[0]),
+                static_cast<long long>(counts[0]),
+                static_cast<long long>(tick.true_counts[1]),
+                static_cast<long long>(counts[1]));
+  }
+  std::printf(
+      "\nNote the relocation at t=40s and t=80s: the cleaned counts follow\n"
+      "the 5 items hopping between shelves within one temporal granule.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "rfid_shelf failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+namespace esp {
+
+StatusOr<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  return CsvWriter(std::move(out));
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("flush failed");
+  out_.close();
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::vector<std::string>>> CsvReader::ReadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseString(buffer.str());
+}
+
+StatusOr<std::vector<std::vector<std::string>>> CsvReader::ParseString(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // Tolerate CRLF line endings.
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        }
+        row_has_content = false;
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (row_has_content || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace esp

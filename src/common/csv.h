@@ -1,0 +1,51 @@
+#ifndef ESP_COMMON_CSV_H_
+#define ESP_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace esp {
+
+/// \brief Streams rows of comma-separated values to a file.
+///
+/// Fields containing commas, quotes, or newlines are quoted per RFC 4180.
+/// Used by the benchmark harness to dump figure traces for plotting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any existing file.
+  static StatusOr<CsvWriter> Open(const std::string& path);
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Writes one row. Returns IoError if the underlying stream failed.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+  static std::string EscapeField(const std::string& field);
+
+  std::ofstream out_;
+};
+
+/// \brief Parses CSV content into rows of string fields (RFC 4180 quoting).
+class CsvReader {
+ public:
+  /// Reads and parses an entire file.
+  static StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path);
+
+  /// Parses CSV text already in memory.
+  static StatusOr<std::vector<std::vector<std::string>>> ParseString(
+      const std::string& content);
+};
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_CSV_H_

@@ -1,0 +1,93 @@
+#ifndef ESP_COMMON_LOGGING_H_
+#define ESP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace esp {
+
+/// \brief Severity levels for the ESP logger.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// \brief Returns the process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+
+/// \brief Sets the process-wide minimum level that is actually emitted.
+/// Messages below this level are discarded. Default: kInfo.
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// \brief One log statement; accumulates the message and emits it to stderr
+/// on destruction. Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Swallows a log statement that is below the active level.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// \brief Turns a streamed LogMessage chain into void so it can appear on
+/// the false branch of a ternary (the classic glog trick). operator& binds
+/// more loosely than operator<<, so the whole chain evaluates first.
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+
+// Stream-style logging: ESP_LOG(INFO) << "message " << value;
+#define ESP_LOG(severity) ESP_LOG_##severity()
+#define ESP_LOG_DEBUG()                                             \
+  ::esp::internal::LogMessage(::esp::LogLevel::kDebug, __FILE__, __LINE__)
+#define ESP_LOG_INFO()                                              \
+  ::esp::internal::LogMessage(::esp::LogLevel::kInfo, __FILE__, __LINE__)
+#define ESP_LOG_WARNING()                                           \
+  ::esp::internal::LogMessage(::esp::LogLevel::kWarning, __FILE__, __LINE__)
+#define ESP_LOG_ERROR()                                             \
+  ::esp::internal::LogMessage(::esp::LogLevel::kError, __FILE__, __LINE__)
+#define ESP_LOG_FATAL()                                             \
+  ::esp::internal::LogMessage(::esp::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds;
+/// used for programmer errors (API misuse), not data errors.
+#define ESP_CHECK(condition)                                          \
+  (condition) ? (void)0                                               \
+              : ::esp::internal::LogMessageVoidify() &                \
+                    (::esp::internal::LogMessage(                     \
+                         ::esp::LogLevel::kFatal, __FILE__, __LINE__) \
+                     << "Check failed: " #condition " ")
+
+#define ESP_CHECK_OK(expr)                                           \
+  do {                                                               \
+    ::esp::Status _esp_check_status = (expr);                        \
+    ESP_CHECK(_esp_check_status.ok()) << _esp_check_status.ToString(); \
+  } while (0)
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_LOGGING_H_

@@ -1,0 +1,163 @@
+#ifndef ESP_COMMON_STATUS_H_
+#define ESP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace esp {
+
+/// \brief Canonical error codes used throughout the ESP library.
+///
+/// The library does not throw exceptions; every fallible operation returns a
+/// Status (or StatusOr<T> when it also produces a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kTypeError,
+  kIoError,
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error result, modeled after absl::Status.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors for each error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessing the value of a non-OK StatusOr aborts in debug builds; callers
+/// must check ok() first (or use value_or()).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from an expression to the caller.
+#define ESP_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::esp::Status _esp_status = (expr);          \
+    if (!_esp_status.ok()) return _esp_status;   \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define ESP_ASSIGN_OR_RETURN(lhs, expr)                     \
+  ESP_ASSIGN_OR_RETURN_IMPL(                                \
+      ESP_STATUS_CONCAT(_esp_statusor, __LINE__), lhs, expr)
+
+#define ESP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define ESP_STATUS_CONCAT(a, b) ESP_STATUS_CONCAT_IMPL(a, b)
+#define ESP_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_STATUS_H_

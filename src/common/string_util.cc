@@ -1,0 +1,115 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace esp {
+
+std::string StrTrim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string StrToLower(const std::string& s) {
+  std::string result = s;
+  for (char& c : result) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return result;
+}
+
+std::string StrToUpper(const std::string& s) {
+  std::string result = s;
+  for (char& c : result) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return result;
+}
+
+std::vector<std::string> StrSplit(const std::string& s, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delimiter, start);
+    if (pos == std::string::npos) {
+      pieces.push_back(s.substr(start));
+      break;
+    }
+    pieces.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += separator;
+    result += pieces[i];
+  }
+  return result;
+}
+
+bool StrEqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StrStartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         std::memcmp(s.data(), prefix.data(), prefix.size()) == 0;
+}
+
+bool StrToDouble(const std::string& s, double* out) {
+  const std::string trimmed = StrTrim(s);
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool StrToInt64(const std::string& s, int64_t* out) {
+  const std::string trimmed = StrTrim(s);
+  if (trimmed.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (size < 0) {
+    va_end(args_copy);
+    return "";
+  }
+  std::string result(static_cast<size_t>(size), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace esp

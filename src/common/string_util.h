@@ -1,0 +1,46 @@
+#ifndef ESP_COMMON_STRING_UTIL_H_
+#define ESP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace esp {
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string StrTrim(const std::string& s);
+
+/// \brief Returns a lower-cased copy (ASCII only).
+std::string StrToLower(const std::string& s);
+
+/// \brief Returns an upper-cased copy (ASCII only).
+std::string StrToUpper(const std::string& s);
+
+/// \brief Splits `s` on `delimiter`; does not trim pieces. An empty input
+/// yields a single empty piece, mirroring common CSV semantics.
+std::vector<std::string> StrSplit(const std::string& s, char delimiter);
+
+/// \brief Joins pieces with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& separator);
+
+/// \brief Case-insensitive ASCII equality.
+bool StrEqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// \brief True if `s` starts with `prefix`.
+bool StrStartsWith(const std::string& s, const std::string& prefix);
+
+/// \brief Parses a double; returns false (leaving *out untouched) on any
+/// trailing garbage or empty input.
+bool StrToDouble(const std::string& s, double* out);
+
+/// \brief Parses a signed 64-bit integer; returns false on any trailing
+/// garbage or empty input.
+bool StrToInt64(const std::string& s, int64_t* out);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,94 @@
+#include "common/time.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace esp {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  const int64_t us = micros_;
+  if (us % (86400LL * 1000000LL) == 0 && us != 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd",
+                  static_cast<long long>(us / (86400LL * 1000000LL)));
+  } else if (us % (3600LL * 1000000LL) == 0 && us != 0) {
+    std::snprintf(buf, sizeof(buf), "%lldh",
+                  static_cast<long long>(us / (3600LL * 1000000LL)));
+  } else if (us % (60LL * 1000000LL) == 0 && us != 0) {
+    std::snprintf(buf, sizeof(buf), "%lldmin",
+                  static_cast<long long>(us / (60LL * 1000000LL)));
+  } else if (us % 1000000LL == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds",
+                  static_cast<long long>(us / 1000000LL));
+  } else if (us % 1000LL == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(us / 1000LL));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+std::string Timestamp::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", seconds());
+  return buf;
+}
+
+StatusOr<Duration> ParseDuration(const std::string& text) {
+  const std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty duration specification");
+  }
+  if (StrToLower(trimmed) == "now") return Duration::Zero();
+
+  // Split into a numeric prefix and a unit suffix.
+  size_t pos = 0;
+  while (pos < trimmed.size() &&
+         (std::isdigit(static_cast<unsigned char>(trimmed[pos])) ||
+          trimmed[pos] == '.' || trimmed[pos] == '-' || trimmed[pos] == '+')) {
+    ++pos;
+  }
+  if (pos == 0) {
+    return Status::ParseError("duration must start with a number: '" + text +
+                              "'");
+  }
+  double magnitude = 0.0;
+  if (!StrToDouble(trimmed.substr(0, pos), &magnitude)) {
+    return Status::ParseError("bad duration magnitude: '" + text + "'");
+  }
+  if (magnitude < 0) {
+    return Status::ParseError("duration must be non-negative: '" + text + "'");
+  }
+  const std::string unit = StrToLower(StrTrim(trimmed.substr(pos)));
+
+  if (unit == "us" || unit == "usec" || unit == "microsecond" ||
+      unit == "microseconds") {
+    return Duration::Micros(static_cast<int64_t>(std::llround(magnitude)));
+  }
+  if (unit == "ms" || unit == "msec" || unit == "millisecond" ||
+      unit == "milliseconds") {
+    return Duration::Micros(static_cast<int64_t>(std::llround(magnitude * 1e3)));
+  }
+  if (unit == "s" || unit == "sec" || unit == "secs" || unit == "second" ||
+      unit == "seconds") {
+    return Duration::Seconds(magnitude);
+  }
+  if (unit == "min" || unit == "mins" || unit == "minute" ||
+      unit == "minutes") {
+    return Duration::Minutes(magnitude);
+  }
+  if (unit == "h" || unit == "hour" || unit == "hours") {
+    return Duration::Hours(magnitude);
+  }
+  if (unit == "d" || unit == "day" || unit == "days") {
+    return Duration::Days(magnitude);
+  }
+  return Status::ParseError("unknown duration unit '" + unit + "' in '" +
+                            text + "'");
+}
+
+}  // namespace esp

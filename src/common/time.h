@@ -1,0 +1,101 @@
+#ifndef ESP_COMMON_TIME_H_
+#define ESP_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace esp {
+
+/// \brief A span of (virtual) time with microsecond resolution.
+///
+/// ESP runs experiments on a virtual clock so traces are deterministic; all
+/// window sizes, sample periods, and granules are Durations.
+class Duration {
+ public:
+  constexpr Duration() : micros_(0) {}
+
+  static constexpr Duration Micros(int64_t n) { return Duration(n); }
+  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr Duration Hours(double h) { return Minutes(h * 60.0); }
+  static constexpr Duration Days(double d) { return Hours(d * 24.0); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr bool IsZero() const { return micros_ == 0; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(micros_ + other.micros_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(micros_ - other.micros_);
+  }
+  constexpr Duration operator*(double factor) const {
+    return Duration(static_cast<int64_t>(micros_ * factor));
+  }
+  constexpr Duration operator/(double divisor) const {
+    return Duration(static_cast<int64_t>(micros_ / divisor));
+  }
+  constexpr double operator/(Duration other) const {
+    return static_cast<double>(micros_) / static_cast<double>(other.micros_);
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Renders as e.g. "5s", "250ms", "5min".
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(int64_t micros) : micros_(micros) {}
+  int64_t micros_;
+};
+
+/// \brief A point on the virtual timeline (microseconds since experiment
+/// start).
+class Timestamp {
+ public:
+  constexpr Timestamp() : micros_(0) {}
+
+  static constexpr Timestamp Micros(int64_t n) { return Timestamp(n); }
+  static constexpr Timestamp Seconds(double s) {
+    return Timestamp(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Timestamp Epoch() { return Timestamp(0); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr Timestamp operator+(Duration d) const {
+    return Timestamp(micros_ + d.micros());
+  }
+  constexpr Timestamp operator-(Duration d) const {
+    return Timestamp(micros_ - d.micros());
+  }
+  constexpr Duration operator-(Timestamp other) const {
+    return Duration::Micros(micros_ - other.micros_);
+  }
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Timestamp(int64_t micros) : micros_(micros) {}
+  int64_t micros_;
+};
+
+/// \brief Parses a CQL-style window specification such as "5 sec", "30 min",
+/// "250 msec", "2 hours", or "1 day" into a Duration.
+///
+/// Accepted units: usec/us, msec/ms, sec/s/second(s), min/minute(s),
+/// hour(s)/h, day(s)/d. The special token "NOW" parses to Duration::Zero().
+StatusOr<Duration> ParseDuration(const std::string& text);
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_TIME_H_

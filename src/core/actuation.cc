@@ -1,0 +1,135 @@
+#include "core/actuation.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace esp::core {
+
+namespace {
+
+int64_t GranuleIndexOf(Timestamp time, Duration granule) {
+  // Granule g covers (g*granule, (g+1)*granule].
+  const int64_t micros = time.micros();
+  const int64_t width = granule.micros();
+  int64_t index = micros / width;
+  if (micros % width == 0) index -= 1;
+  return index;
+}
+
+}  // namespace
+
+SamplingController::SamplingController(Config config)
+    : config_(std::move(config)) {}
+
+Status SamplingController::AddReceptor(const std::string& receptor_id,
+                                       Duration period) {
+  if (config_.granule.micros() <= 0) {
+    return Status::InvalidArgument("granule must be positive");
+  }
+  for (const ReceptorState& state : receptors_) {
+    if (StrEqualsIgnoreCase(state.id, receptor_id)) {
+      return Status::AlreadyExists("receptor '" + receptor_id +
+                                   "' already registered");
+    }
+  }
+  ReceptorState state;
+  state.id = receptor_id;
+  state.period = period;
+  state.granule_index = -1;  // Nothing observed yet.
+  receptors_.push_back(std::move(state));
+  return Status::OK();
+}
+
+StatusOr<SamplingController::ReceptorState*> SamplingController::Find(
+    const std::string& receptor_id) {
+  for (ReceptorState& state : receptors_) {
+    if (StrEqualsIgnoreCase(state.id, receptor_id)) return &state;
+  }
+  return Status::NotFound("unknown receptor '" + receptor_id + "'");
+}
+
+Status SamplingController::RecordReading(const std::string& receptor_id,
+                                         Timestamp time) {
+  ESP_ASSIGN_OR_RETURN(ReceptorState * state, Find(receptor_id));
+  const int64_t index = GranuleIndexOf(time, config_.granule);
+  if (index < state->granule_index) {
+    return Status::InvalidArgument("reading timestamps must be non-decreasing");
+  }
+  if (index == state->granule_index) {
+    ++state->readings_in_granule;
+  } else {
+    // Entering a new granule: archive the finished one's count (granules
+    // skipped entirely implicitly count zero).
+    if (state->readings_in_granule > 0) {
+      state->prev_index = state->granule_index;
+      state->prev_count = state->readings_in_granule;
+    }
+    state->granule_index = index;
+    state->readings_in_granule = 1;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<SamplingController::Recommendation>>
+SamplingController::Advise(Timestamp now) {
+  // Granule g is completed once now >= (g+1)*granule. On an exact boundary
+  // GranuleIndexOf(now) already names the granule that just closed.
+  const int64_t last_completed =
+      (now.micros() % config_.granule.micros() == 0)
+          ? GranuleIndexOf(now, config_.granule)
+          : GranuleIndexOf(now, config_.granule) - 1;
+  std::vector<Recommendation> recommendations;
+  for (ReceptorState& state : receptors_) {
+    if (last_completed < 0) continue;
+    if (state.last_advised >= last_completed) continue;
+    state.last_advised = last_completed;
+    // Count for the most recent completed granule: still "current" (it
+    // ended exactly at `now`), already archived, or silent (zero).
+    int64_t observed = 0;
+    if (state.granule_index == last_completed) {
+      observed = state.readings_in_granule;
+      state.prev_index = state.granule_index;
+      state.prev_count = state.readings_in_granule;
+      state.granule_index = last_completed + 1;
+      state.readings_in_granule = 0;
+    } else if (state.prev_index == last_completed) {
+      observed = state.prev_count;
+    }
+    Duration recommended = state.period;
+    if (observed < config_.min_readings_per_granule) {
+      recommended = state.period / config_.adjust_factor;
+    } else if (observed > config_.max_readings_per_granule) {
+      recommended = state.period * config_.adjust_factor;
+    } else {
+      continue;  // Healthy band: no actuation.
+    }
+    recommended = Duration::Micros(
+        std::clamp(recommended.micros(), config_.min_period.micros(),
+                   config_.max_period.micros()));
+    if (recommended == state.period) continue;  // Clamped to no-op.
+    recommendations.push_back(
+        {state.id, state.period, recommended, observed});
+  }
+  return recommendations;
+}
+
+Status SamplingController::SetPeriod(const std::string& receptor_id,
+                                     Duration period) {
+  ESP_ASSIGN_OR_RETURN(ReceptorState * state, Find(receptor_id));
+  if (period.micros() <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  state->period = period;
+  return Status::OK();
+}
+
+StatusOr<Duration> SamplingController::PeriodOf(
+    const std::string& receptor_id) const {
+  for (const ReceptorState& state : receptors_) {
+    if (StrEqualsIgnoreCase(state.id, receptor_id)) return state.period;
+  }
+  return Status::NotFound("unknown receptor '" + receptor_id + "'");
+}
+
+}  // namespace esp::core

@@ -1,0 +1,91 @@
+#ifndef ESP_CORE_ACTUATION_H_
+#define ESP_CORE_ACTUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace esp::core {
+
+/// \brief Receptor actuation advisor (Section 5.3.1).
+///
+/// In the redwood deployment, ESP's effectiveness was limited by the
+/// collection parameters: samples arrived as sparsely as the temporal
+/// granule itself, forcing the Smooth window to expand to 30 minutes.
+/// "Ideally, ESP should be able to actuate the sensors to increase the
+/// number of readings within a temporal granule such that it can
+/// effectively smooth with a window the same size as the granule."
+///
+/// SamplingController implements that feedback loop: it watches how many
+/// readings each receptor actually lands inside each temporal granule and
+/// recommends sample-period changes — faster when granules are starved
+/// (lossy receptors), slower when they are saturated (wasted energy and
+/// radio traffic). The deployment applies a recommendation to the physical
+/// device (or simulator) and acknowledges it with SetPeriod().
+class SamplingController {
+ public:
+  struct Config {
+    /// The application's temporal granule.
+    Duration granule;
+    /// Readings per granule the Smooth stage wants (lower bound of the
+    /// healthy band).
+    int64_t min_readings_per_granule = 2;
+    /// Upper bound of the healthy band; above it the controller backs off.
+    int64_t max_readings_per_granule = 8;
+    /// Multiplicative step for period adjustments.
+    double adjust_factor = 2.0;
+    /// Hard limits on the recommended period.
+    Duration min_period = Duration::Millis(100);
+    Duration max_period = Duration::Hours(1);
+  };
+
+  struct Recommendation {
+    std::string receptor_id;
+    Duration current_period;
+    Duration recommended_period;
+    int64_t observed_readings = 0;  // In the last full granule.
+  };
+
+  explicit SamplingController(Config config);
+
+  /// Registers a receptor with its current sample period.
+  Status AddReceptor(const std::string& receptor_id, Duration period);
+
+  /// Records that a reading from `receptor_id` arrived at `time` (call for
+  /// every delivered reading; times non-decreasing per receptor).
+  Status RecordReading(const std::string& receptor_id, Timestamp time);
+
+  /// Closes every granule that ended at or before `now` and returns one
+  /// recommendation per receptor whose observed reading count left the
+  /// healthy band. Recommendations are advisory; the controller assumes
+  /// the old period until SetPeriod() acknowledges a change.
+  StatusOr<std::vector<Recommendation>> Advise(Timestamp now);
+
+  /// Acknowledges an applied actuation.
+  Status SetPeriod(const std::string& receptor_id, Duration period);
+
+  /// Current (acknowledged) period of a receptor.
+  StatusOr<Duration> PeriodOf(const std::string& receptor_id) const;
+
+ private:
+  struct ReceptorState {
+    std::string id;
+    Duration period;
+    int64_t granule_index = 0;  // The granule currently being filled.
+    int64_t readings_in_granule = 0;
+    int64_t prev_index = -1;  // Most recently *finished* granule with data.
+    int64_t prev_count = 0;
+    int64_t last_advised = -1;  // Last completed granule already advised on.
+  };
+
+  StatusOr<ReceptorState*> Find(const std::string& receptor_id);
+
+  Config config_;
+  std::vector<ReceptorState> receptors_;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_ACTUATION_H_

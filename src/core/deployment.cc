@@ -1,0 +1,251 @@
+#include "core/deployment.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace esp::core {
+
+using stream::DataType;
+using stream::Field;
+
+StatusOr<stream::SchemaRef> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Field> fields;
+  for (const std::string& piece : StrSplit(spec, ',')) {
+    const std::string trimmed = StrTrim(piece);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> parts = StrSplit(trimmed, ':');
+    if (parts.size() != 2) {
+      return Status::ParseError("schema field must be 'name:type', got '" +
+                                trimmed + "'");
+    }
+    Field field;
+    field.name = StrTrim(parts[0]);
+    const std::string type = StrToLower(StrTrim(parts[1]));
+    if (field.name.empty()) {
+      return Status::ParseError("empty column name in schema spec");
+    }
+    if (type == "bool") {
+      field.type = DataType::kBool;
+    } else if (type == "int64" || type == "int") {
+      field.type = DataType::kInt64;
+    } else if (type == "double" || type == "float") {
+      field.type = DataType::kDouble;
+    } else if (type == "string") {
+      field.type = DataType::kString;
+    } else if (type == "timestamp") {
+      field.type = DataType::kTimestamp;
+    } else {
+      return Status::ParseError("unknown schema type '" + type + "'");
+    }
+    fields.push_back(std::move(field));
+  }
+  if (fields.empty()) {
+    return Status::ParseError("schema spec declares no columns");
+  }
+  return stream::MakeSchema(std::move(fields));
+}
+
+namespace {
+
+struct Section {
+  std::string kind;  // "group", "pipeline", "virtualize".
+  std::string name;  // Section argument (group id / device type).
+  // Ordered key/value pairs; keys may repeat (point chains).
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// The single value for `key`; NotFound when absent, InvalidArgument when
+  /// repeated.
+  StatusOr<std::string> Single(const std::string& key) const {
+    const std::string* found = nullptr;
+    for (const auto& [k, v] : entries) {
+      if (StrEqualsIgnoreCase(k, key)) {
+        if (found != nullptr) {
+          return Status::InvalidArgument("key '" + key + "' repeated in [" +
+                                         kind + " " + name + "]");
+        }
+        found = &v;
+      }
+    }
+    if (found == nullptr) {
+      return Status::NotFound("missing key '" + key + "' in [" + kind + " " +
+                              name + "]");
+    }
+    return *found;
+  }
+
+  std::vector<std::string> All(const std::string& key) const {
+    std::vector<std::string> values;
+    for (const auto& [k, v] : entries) {
+      if (StrEqualsIgnoreCase(k, key)) values.push_back(v);
+    }
+    return values;
+  }
+};
+
+StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
+  std::vector<Section> sections;
+  size_t line_number = 0;
+  std::string pending_key;  // For continuation lines.
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    // Strip comments (a # not inside quotes; deployment values are CQL
+    // which uses single quotes, so a plain find is safe enough for '#').
+    std::string line = raw_line;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const bool continuation =
+        !line.empty() && (line[0] == ' ' || line[0] == '\t');
+    line = StrTrim(line);
+    if (line.empty()) continue;
+
+    // An indented line continues the previous value (multi-line CQL) —
+    // checked first, since CQL text may itself start with '[' (windows).
+    if (continuation && !pending_key.empty() && !sections.empty() &&
+        !sections.back().entries.empty()) {
+      sections.back().entries.back().second += " " + line;
+      continue;
+    }
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::ParseError("unterminated section header at line " +
+                                  std::to_string(line_number));
+      }
+      const std::string header = StrTrim(line.substr(1, line.size() - 2));
+      const size_t space = header.find(' ');
+      Section section;
+      section.kind = StrToLower(
+          space == std::string::npos ? header : header.substr(0, space));
+      section.name =
+          space == std::string::npos ? "" : StrTrim(header.substr(space + 1));
+      if (section.kind != "group" && section.kind != "pipeline" &&
+          section.kind != "virtualize") {
+        return Status::ParseError("unknown section kind '" + section.kind +
+                                  "' at line " + std::to_string(line_number));
+      }
+      sections.push_back(std::move(section));
+      pending_key.clear();
+      continue;
+    }
+    if (sections.empty()) {
+      return Status::ParseError("content before first section at line " +
+                                std::to_string(line_number));
+    }
+    const size_t equals = line.find('=');
+    if (equals == std::string::npos) {
+      return Status::ParseError("expected 'key = value' at line " +
+                                std::to_string(line_number));
+    }
+    pending_key = StrTrim(line.substr(0, equals));
+    sections.back().entries.emplace_back(pending_key,
+                                         StrTrim(line.substr(equals + 1)));
+  }
+  return sections;
+}
+
+/// Builds a CQL stage factory from query text, validated lazily at Bind.
+StageFactory DeclarativeStage(StageKind kind, std::string name,
+                              std::string query) {
+  return [kind, name = std::move(name),
+          query = std::move(query)]() -> StatusOr<std::unique_ptr<Stage>> {
+    ESP_ASSIGN_OR_RETURN(std::unique_ptr<CqlStage> stage,
+                         CqlStage::Create(kind, name, query));
+    return std::unique_ptr<Stage>(std::move(stage));
+  };
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
+    const std::string& spec_text) {
+  ESP_ASSIGN_OR_RETURN(std::vector<Section> sections,
+                       ParseSections(spec_text));
+  auto processor = std::make_unique<EspProcessor>();
+
+  bool saw_pipeline = false;
+  bool saw_virtualize = false;
+  for (const Section& section : sections) {
+    if (section.kind == "group") {
+      if (section.name.empty()) {
+        return Status::ParseError("[group] requires a name");
+      }
+      ProximityGroup group;
+      group.id = section.name;
+      ESP_ASSIGN_OR_RETURN(group.device_type, section.Single("type"));
+      ESP_ASSIGN_OR_RETURN(group.granule.id, section.Single("granule"));
+      ESP_ASSIGN_OR_RETURN(const std::string receptors,
+                           section.Single("receptors"));
+      for (const std::string& receptor : StrSplit(receptors, ',')) {
+        const std::string id = StrTrim(receptor);
+        if (!id.empty()) group.receptor_ids.push_back(id);
+      }
+      if (group.receptor_ids.empty()) {
+        return Status::ParseError("[group " + section.name +
+                                  "] lists no receptors");
+      }
+      ESP_RETURN_IF_ERROR(processor->AddProximityGroup(std::move(group)));
+    } else if (section.kind == "pipeline") {
+      if (section.name.empty()) {
+        return Status::ParseError("[pipeline] requires a device type");
+      }
+      saw_pipeline = true;
+      DeviceTypePipeline pipeline;
+      pipeline.device_type = section.name;
+      ESP_ASSIGN_OR_RETURN(const std::string schema_spec,
+                           section.Single("schema"));
+      ESP_ASSIGN_OR_RETURN(pipeline.reading_schema,
+                           ParseSchemaSpec(schema_spec));
+      ESP_ASSIGN_OR_RETURN(pipeline.receptor_id_column,
+                           section.Single("receptor_id_column"));
+      for (const std::string& query : section.All("point")) {
+        pipeline.point.push_back(DeclarativeStage(
+            StageKind::kPoint, section.name + "_point", query));
+      }
+      for (const auto& [key, stage_kind] :
+           std::vector<std::pair<const char*, StageKind>>{
+               {"smooth", StageKind::kSmooth},
+               {"merge", StageKind::kMerge},
+               {"arbitrate", StageKind::kArbitrate}}) {
+        auto query = section.Single(key);
+        if (!query.ok()) {
+          if (query.status().code() == StatusCode::kNotFound) continue;
+          return query.status();
+        }
+        StageFactory factory = DeclarativeStage(
+            stage_kind, section.name + "_" + key, *query);
+        if (stage_kind == StageKind::kSmooth) {
+          pipeline.smooth = std::move(factory);
+        } else if (stage_kind == StageKind::kMerge) {
+          pipeline.merge = std::move(factory);
+        } else {
+          pipeline.arbitrate = std::move(factory);
+        }
+      }
+      auto virtualize_input = section.Single("virtualize_input");
+      if (virtualize_input.ok()) {
+        pipeline.virtualize_input = *virtualize_input;
+      } else if (virtualize_input.status().code() != StatusCode::kNotFound) {
+        return virtualize_input.status();
+      }
+      ESP_RETURN_IF_ERROR(processor->AddPipeline(std::move(pipeline)));
+    } else {  // virtualize
+      if (saw_virtualize) {
+        return Status::ParseError("multiple [virtualize] sections");
+      }
+      saw_virtualize = true;
+      ESP_ASSIGN_OR_RETURN(const std::string query, section.Single("query"));
+      ESP_ASSIGN_OR_RETURN(
+          std::unique_ptr<CqlStage> stage,
+          CqlStage::Create(StageKind::kVirtualize, "virtualize", query));
+      processor->SetVirtualize(std::move(stage));
+    }
+  }
+  if (!saw_pipeline) {
+    return Status::ParseError("deployment declares no [pipeline] sections");
+  }
+  ESP_RETURN_IF_ERROR(processor->Start());
+  return processor;
+}
+
+}  // namespace esp::core

@@ -1,0 +1,51 @@
+#ifndef ESP_CORE_DEPLOYMENT_H_
+#define ESP_CORE_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/processor.h"
+
+namespace esp::core {
+
+/// \brief Builds a fully-configured EspProcessor from a textual deployment
+/// specification — the paper's vision of cleaning pipelines that are "easy
+/// to deploy and configure", taken literally: an entire deployment is a
+/// small declarative file whose stages are CQL.
+///
+/// Format (INI-style; `#` comments; keys are case-insensitive):
+///
+/// ```
+/// # One section per proximity group.
+/// [group pg_shelf0]
+/// type = rfid                    # device type
+/// granule = shelf_0              # spatial granule the group observes
+/// receptors = reader_0           # comma-separated receptor ids
+///
+/// # One section per device type's pipeline. Stage values are CQL; the
+/// # point key may repeat to build a chain. Omitted stages are omitted.
+/// [pipeline rfid]
+/// schema = reader_id:string, tag_id:string
+/// receptor_id_column = reader_id
+/// smooth = SELECT tag_id, count(*) AS reads FROM smooth_input
+///          [Range By '5 sec'] GROUP BY tag_id
+/// arbitrate = SELECT ... FROM arbitrate_input ...
+/// virtualize_input = rfid_input  # optional; default "<type>_input"
+///
+/// # At most one cross-device-type Virtualize stage.
+/// [virtualize]
+/// query = SELECT 'event' AS event WHERE ...
+/// ```
+///
+/// The returned processor is already Start()ed: push readings and Tick().
+StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
+    const std::string& spec_text);
+
+/// \brief Parses a "name:type, name:type" schema description (types: bool,
+/// int64, double, string, timestamp). Exposed for reuse and tests.
+StatusOr<stream::SchemaRef> ParseSchemaSpec(const std::string& spec);
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_DEPLOYMENT_H_

@@ -1,0 +1,101 @@
+#include "core/granule.h"
+
+#include "common/string_util.h"
+
+namespace esp::core {
+
+bool ProximityGroup::Contains(const std::string& receptor_id) const {
+  for (const std::string& id : receptor_ids) {
+    if (StrEqualsIgnoreCase(id, receptor_id)) return true;
+  }
+  return false;
+}
+
+Status GranuleMap::AddGroup(ProximityGroup group) {
+  for (const ProximityGroup& existing : groups_) {
+    if (StrEqualsIgnoreCase(existing.id, group.id)) {
+      return Status::AlreadyExists("proximity group '" + group.id +
+                                   "' already registered");
+    }
+    if (StrEqualsIgnoreCase(existing.device_type, group.device_type)) {
+      for (const std::string& receptor : group.receptor_ids) {
+        if (existing.Contains(receptor)) {
+          return Status::AlreadyExists(
+              "receptor '" + receptor + "' already belongs to group '" +
+              existing.id + "'");
+        }
+      }
+    }
+  }
+  groups_.push_back(std::move(group));
+  return Status::OK();
+}
+
+Status GranuleMap::MoveReceptor(const std::string& device_type,
+                                const std::string& receptor_id,
+                                const std::string& new_group_id) {
+  ProximityGroup* source = nullptr;
+  ProximityGroup* target = nullptr;
+  for (ProximityGroup& group : groups_) {
+    if (!StrEqualsIgnoreCase(group.device_type, device_type)) continue;
+    if (group.Contains(receptor_id)) source = &group;
+    if (StrEqualsIgnoreCase(group.id, new_group_id)) target = &group;
+  }
+  if (source == nullptr) {
+    return Status::NotFound("receptor '" + receptor_id +
+                            "' is not mapped for type '" + device_type + "'");
+  }
+  if (target == nullptr) {
+    return Status::NotFound("no group '" + new_group_id + "' of type '" +
+                            device_type + "'");
+  }
+  if (source == target) return Status::OK();
+  auto& ids = source->receptor_ids;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {
+    if (StrEqualsIgnoreCase(*it, receptor_id)) {
+      ids.erase(it);
+      break;
+    }
+  }
+  target->receptor_ids.push_back(receptor_id);
+  return Status::OK();
+}
+
+StatusOr<const ProximityGroup*> GranuleMap::GroupOf(
+    const std::string& device_type, const std::string& receptor_id) const {
+  for (const ProximityGroup& group : groups_) {
+    if (StrEqualsIgnoreCase(group.device_type, device_type) &&
+        group.Contains(receptor_id)) {
+      return &group;
+    }
+  }
+  return Status::NotFound("receptor '" + receptor_id +
+                          "' has no proximity group for type '" +
+                          device_type + "'");
+}
+
+std::vector<const ProximityGroup*> GranuleMap::GroupsOfType(
+    const std::string& device_type) const {
+  std::vector<const ProximityGroup*> result;
+  for (const ProximityGroup& group : groups_) {
+    if (StrEqualsIgnoreCase(group.device_type, device_type)) {
+      result.push_back(&group);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> GranuleMap::ReceptorsOfType(
+    const std::string& device_type) const {
+  std::vector<std::string> result;
+  for (const ProximityGroup& group : groups_) {
+    if (StrEqualsIgnoreCase(group.device_type, device_type)) {
+      for (const std::string& receptor : group.receptor_ids) {
+        result.push_back(receptor);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace esp::core

@@ -1,0 +1,80 @@
+#ifndef ESP_CORE_GRANULE_H_
+#define ESP_CORE_GRANULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace esp::core {
+
+/// \brief The application's atomic unit of time (Section 3.1.1): readings
+/// within one temporal granule are expected to be highly correlated, so ESP
+/// may aggregate, sample, or detect outliers within it. Realized as the
+/// sliding-window size of the Smooth stage.
+struct TemporalGranule {
+  Duration size;
+
+  explicit TemporalGranule(Duration size) : size(size) {}
+  std::string ToString() const { return size.ToString(); }
+};
+
+/// \brief The application's atomic unit of space (Section 3.1.2) — a shelf,
+/// a room, a height band of a redwood. Identified by name; ESP stamps every
+/// reading with the spatial granule it was observed in.
+struct SpatialGranule {
+  std::string id;
+
+  bool operator==(const SpatialGranule&) const = default;
+};
+
+/// \brief A set of receptors of the same type monitoring the same spatial
+/// granule (Section 3.1.2). Readings from devices in one proximity group are
+/// processed together by the Merge stage.
+struct ProximityGroup {
+  std::string id;
+  std::string device_type;  // e.g. "rfid", "mote", "x10".
+  SpatialGranule granule;
+  std::vector<std::string> receptor_ids;
+
+  bool Contains(const std::string& receptor_id) const;
+};
+
+/// \brief Registry mapping receptors to proximity groups and spatial
+/// granules. Relationships may be one-to-many, many-to-one, or many-to-many
+/// across granules and may change dynamically (Section 3.1.2); within one
+/// device type, a receptor belongs to exactly one group at a time.
+class GranuleMap {
+ public:
+  /// Adds a group; rejects duplicate group ids and receptors already mapped
+  /// to another group of the same device type.
+  Status AddGroup(ProximityGroup group);
+
+  /// Re-points a receptor at a different (existing) group of the same type —
+  /// the dynamic remapping hook.
+  Status MoveReceptor(const std::string& device_type,
+                      const std::string& receptor_id,
+                      const std::string& new_group_id);
+
+  /// The group a receptor (of `device_type`) belongs to.
+  StatusOr<const ProximityGroup*> GroupOf(const std::string& device_type,
+                                          const std::string& receptor_id) const;
+
+  /// All groups of one device type, in registration order.
+  std::vector<const ProximityGroup*> GroupsOfType(
+      const std::string& device_type) const;
+
+  /// All receptor ids of one device type, in registration order.
+  std::vector<std::string> ReceptorsOfType(
+      const std::string& device_type) const;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  std::vector<ProximityGroup> groups_;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_GRANULE_H_

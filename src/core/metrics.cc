@@ -1,0 +1,77 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+namespace esp::core {
+
+StatusOr<double> AverageRelativeError(const std::vector<double>& reported,
+                                      const std::vector<double>& truth) {
+  if (reported.size() != truth.size()) {
+    return Status::InvalidArgument("series lengths differ");
+  }
+  if (reported.empty()) {
+    return Status::InvalidArgument("empty series");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < reported.size(); ++i) {
+    const double denominator = truth[i] != 0.0 ? std::abs(truth[i]) : 1.0;
+    total += std::abs(reported[i] - truth[i]) / denominator;
+  }
+  return total / static_cast<double>(reported.size());
+}
+
+double EpochYield(int64_t delivered, int64_t requested) {
+  if (requested <= 0) return 0.0;
+  return static_cast<double>(delivered) / static_cast<double>(requested);
+}
+
+StatusOr<double> FractionWithinTolerance(
+    const std::vector<std::optional<double>>& reported,
+    const std::vector<double>& reference, double tolerance) {
+  if (reported.size() != reference.size()) {
+    return Status::InvalidArgument("series lengths differ");
+  }
+  int64_t considered = 0;
+  int64_t within = 0;
+  for (size_t i = 0; i < reported.size(); ++i) {
+    if (!reported[i].has_value()) continue;
+    ++considered;
+    if (std::abs(*reported[i] - reference[i]) <= tolerance) ++within;
+  }
+  if (considered == 0) {
+    return Status::InvalidArgument("no reported readings");
+  }
+  return static_cast<double>(within) / static_cast<double>(considered);
+}
+
+StatusOr<double> BinaryAccuracy(const std::vector<bool>& predicted,
+                                const std::vector<bool>& truth) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("series lengths differ");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("empty series");
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+StatusOr<double> AlertRate(const std::vector<double>& counts,
+                           double threshold, Duration sample_period) {
+  if (counts.empty()) return Status::InvalidArgument("empty series");
+  if (sample_period.micros() <= 0) {
+    return Status::InvalidArgument("sample period must be positive");
+  }
+  int64_t alerts = 0;
+  for (double count : counts) {
+    if (count < threshold) ++alerts;
+  }
+  const double duration_s =
+      sample_period.seconds() * static_cast<double>(counts.size());
+  return static_cast<double>(alerts) / duration_s;
+}
+
+}  // namespace esp::core

@@ -1,0 +1,46 @@
+#ifndef ESP_CORE_METRICS_H_
+#define ESP_CORE_METRICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace esp::core {
+
+/// \brief Equation (1) of the paper: the mean of |reported - truth| / truth
+/// over aligned time steps. Truth values of zero are handled as in the
+/// experimental setup (shelves are never truly empty there); here a zero
+/// truth with a zero report contributes 0 error, and a zero truth with a
+/// non-zero report contributes |reported| (relative to 1) to stay finite.
+StatusOr<double> AverageRelativeError(const std::vector<double>& reported,
+                                      const std::vector<double>& truth);
+
+/// \brief Epoch yield (Section 5.2): delivered readings as a fraction of
+/// the readings the application requested.
+double EpochYield(int64_t delivered, int64_t requested);
+
+/// \brief Fraction of reported readings within `tolerance` of the reference
+/// (the "within 1 °C" metric). Entries where `reported` is nullopt (no
+/// reading delivered for that epoch) are skipped — the metric conditions on
+/// reported data, matching the paper's definition.
+StatusOr<double> FractionWithinTolerance(
+    const std::vector<std::optional<double>>& reported,
+    const std::vector<double>& reference, double tolerance);
+
+/// \brief Accuracy of a binary detector against ground truth: fraction of
+/// time steps classified correctly (the digital home's "92% of the time").
+StatusOr<double> BinaryAccuracy(const std::vector<bool>& predicted,
+                                const std::vector<bool>& truth);
+
+/// \brief Rate (events per second) at which `counts` dips below
+/// `threshold`, each dip counting once per sample — the paper's restock
+/// alert metric ("2.3 times per second"). `sample_period` is the spacing of
+/// consecutive entries.
+StatusOr<double> AlertRate(const std::vector<double>& counts,
+                           double threshold, Duration sample_period);
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_METRICS_H_

@@ -1,0 +1,147 @@
+#include "core/model_stage.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace esp::core {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+CrossAttributeModel::CrossAttributeModel(double forgetting)
+    : forgetting_(forgetting) {
+  ESP_CHECK(forgetting > 0.0 && forgetting <= 1.0)
+      << "forgetting factor must be in (0, 1]";
+}
+
+void CrossAttributeModel::Observe(double x, double y) {
+  // Score the residual against the *previous* fit before updating, so the
+  // spread estimate is honest (one-step-ahead).
+  if (Usable()) {
+    const double residual = y - (slope_ * x + intercept_);
+    residual_weight_ = forgetting_ * residual_weight_ + 1.0;
+    residual_m2_ = forgetting_ * residual_m2_ + residual * residual;
+  }
+  weight_ = forgetting_ * weight_ + 1.0;
+  sx_ = forgetting_ * sx_ + x;
+  sy_ = forgetting_ * sy_ + y;
+  sxx_ = forgetting_ * sxx_ + x * x;
+  sxy_ = forgetting_ * sxy_ + x * y;
+  ++observations_;
+  Refit();
+}
+
+bool CrossAttributeModel::Usable() const {
+  if (observations_ < 2) return false;
+  const double det = weight_ * sxx_ - sx_ * sx_;
+  return std::abs(det) > 1e-9;
+}
+
+void CrossAttributeModel::Refit() {
+  const double det = weight_ * sxx_ - sx_ * sx_;
+  if (observations_ < 2 || std::abs(det) <= 1e-9) return;
+  slope_ = (weight_ * sxy_ - sx_ * sy_) / det;
+  intercept_ = (sy_ - slope_ * sx_) / weight_;
+}
+
+double CrossAttributeModel::residual_stddev() const {
+  if (residual_weight_ <= 0) return 0.0;
+  return std::sqrt(residual_m2_ / residual_weight_);
+}
+
+StatusOr<double> CrossAttributeModel::Predict(double x) const {
+  if (!Usable()) {
+    return Status::InvalidArgument(
+        "model needs at least two observations with distinct x");
+  }
+  return slope_ * x + intercept_;
+}
+
+StatusOr<double> CrossAttributeModel::ResidualSigmas(double x,
+                                                     double y) const {
+  ESP_ASSIGN_OR_RETURN(const double predicted, Predict(x));
+  const double spread = residual_stddev();
+  if (spread <= 1e-12) {
+    return Status::InvalidArgument("residual spread is degenerate");
+  }
+  return (y - predicted) / spread;
+}
+
+ModelOutlierStage::ModelOutlierStage(StageKind kind, std::string name,
+                                     Config config)
+    : Stage(kind, std::move(name)),
+      config_(std::move(config)),
+      model_(config_.forgetting) {
+  if (config_.input_stream.empty()) {
+    config_.input_stream = StageInputName(kind);
+  }
+}
+
+Status ModelOutlierStage::Bind(const cql::SchemaCatalog& inputs) {
+  if (buffer_.has_value()) return Status::Internal("stage already bound");
+  ESP_ASSIGN_OR_RETURN(SchemaRef in, inputs.Find(config_.input_stream));
+  ESP_ASSIGN_OR_RETURN(x_index_, in->ResolveIndex(config_.x_column));
+  ESP_ASSIGN_OR_RETURN(y_index_, in->ResolveIndex(config_.y_column));
+  std::vector<stream::Field> fields = in->fields();
+  fields.push_back({"predicted", DataType::kDouble});
+  fields.push_back({"residual_sigmas", DataType::kDouble});
+  fields.push_back({"outlier", DataType::kBool});
+  output_schema_ = stream::MakeSchema(std::move(fields));
+  buffer_.emplace(stream::WindowSpec::Now(), in);
+  return Status::OK();
+}
+
+Status ModelOutlierStage::Push(const std::string& input, Tuple tuple) {
+  if (!buffer_.has_value()) return Status::Internal("stage not bound");
+  if (!StrEqualsIgnoreCase(input, config_.input_stream)) {
+    return Status::NotFound("stage '" + name() + "' has no input '" + input +
+                            "'");
+  }
+  return buffer_->Insert(std::move(tuple));
+}
+
+StatusOr<Relation> ModelOutlierStage::Evaluate(Timestamp now) {
+  if (!buffer_.has_value()) return Status::Internal("stage not bound");
+  Relation window = buffer_->Snapshot(now);
+  buffer_->EvictBefore(now);
+
+  Relation out(output_schema_);
+  for (const Tuple& tuple : window.tuples()) {
+    const Value& x_value = tuple.value(x_index_);
+    const Value& y_value = tuple.value(y_index_);
+    if (x_value.is_null() || y_value.is_null()) continue;
+    ESP_ASSIGN_OR_RETURN(const double x, x_value.AsDouble());
+    ESP_ASSIGN_OR_RETURN(const double y, y_value.AsDouble());
+
+    Value predicted = Value::Null();
+    Value sigmas = Value::Null();
+    bool outlier = false;
+    const bool warmed_up =
+        model_.observations() >= config_.warmup_observations;
+    if (warmed_up) {
+      auto prediction = model_.Predict(x);
+      auto score = model_.ResidualSigmas(x, y);
+      if (prediction.ok()) predicted = Value::Double(*prediction);
+      if (score.ok()) {
+        sigmas = Value::Double(*score);
+        outlier = std::abs(*score) > config_.threshold_sigmas;
+      }
+    }
+    // Outliers are reported but never trained on.
+    if (!outlier) model_.Observe(x, y);
+
+    std::vector<Value> values = tuple.values();
+    values.push_back(predicted);
+    values.push_back(sigmas);
+    values.push_back(Value::Bool(outlier));
+    out.Add(Tuple(output_schema_, std::move(values), tuple.timestamp()));
+  }
+  return out;
+}
+
+}  // namespace esp::core

@@ -1,0 +1,99 @@
+#ifndef ESP_CORE_MODEL_STAGE_H_
+#define ESP_CORE_MODEL_STAGE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/stage.h"
+#include "stream/window.h"
+
+namespace esp::core {
+
+/// \brief Online linear model between two correlated attributes, with
+/// exponential forgetting — the minimal core of the BBQ-style model-driven
+/// cleaning the paper proposes for the Virtualize stage (Sections 2.2 and
+/// 6.3.1): "a BBQ-like system ... may exploit correlations between
+/// different sensors (e.g., voltage and temperature) to provide outlier
+/// detection".
+///
+/// The model is y ≈ slope·x + intercept, fitted by exponentially-weighted
+/// least squares; it also tracks the residual's standard deviation so
+/// callers can score new readings in sigma units.
+class CrossAttributeModel {
+ public:
+  /// `forgetting` in (0, 1]: 1.0 = ordinary least squares over all history;
+  /// smaller values track drifting relationships.
+  explicit CrossAttributeModel(double forgetting = 0.99);
+
+  /// Folds one (x, y) observation into the model.
+  void Observe(double x, double y);
+
+  /// Predicted y for a given x. Requires at least two observations with
+  /// distinct x values.
+  StatusOr<double> Predict(double x) const;
+
+  /// Residual z-score of an observation against the current model; requires
+  /// a usable model and non-degenerate residual spread.
+  StatusOr<double> ResidualSigmas(double x, double y) const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+  double residual_stddev() const;
+  int64_t observations() const { return observations_; }
+
+ private:
+  bool Usable() const;
+  void Refit();
+
+  double forgetting_;
+  int64_t observations_ = 0;
+  // Exponentially-weighted sufficient statistics.
+  double weight_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0;
+  double slope_ = 0, intercept_ = 0;
+  // Exponentially-weighted second moment of residuals.
+  double residual_weight_ = 0;
+  double residual_m2_ = 0;
+};
+
+/// \brief A cleaning stage that learns the cross-attribute model online and
+/// annotates each tuple with the model's verdict.
+///
+/// Input: one stream carrying numeric columns `x_column` and `y_column`
+/// (e.g. voltage and temperature). Output: the input columns plus
+/// `predicted` (double), `residual_sigmas` (double), and `outlier` (bool).
+/// Tuples flagged as outliers are NOT used to update the model, so a
+/// fail-dirty sensor cannot drag the model along with its drift. During
+/// warm-up (< `warmup_observations`) everything trains and nothing is
+/// flagged.
+class ModelOutlierStage : public Stage {
+ public:
+  struct Config {
+    std::string input_stream;  // Defaults to the stage kind's input name.
+    std::string x_column;
+    std::string y_column;
+    double forgetting = 0.99;
+    double threshold_sigmas = 5.0;
+    int64_t warmup_observations = 32;
+  };
+
+  ModelOutlierStage(StageKind kind, std::string name, Config config);
+
+  Status Bind(const cql::SchemaCatalog& inputs) override;
+  Status Push(const std::string& input, stream::Tuple tuple) override;
+  StatusOr<stream::Relation> Evaluate(Timestamp now) override;
+
+  const CrossAttributeModel& model() const { return model_; }
+
+ private:
+  Config config_;
+  CrossAttributeModel model_;
+  size_t x_index_ = 0;
+  size_t y_index_ = 0;
+  std::optional<stream::WindowBuffer> buffer_;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_MODEL_STAGE_H_

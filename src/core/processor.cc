@@ -1,0 +1,341 @@
+#include "core/processor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "stream/ops.h"
+
+namespace esp::core {
+
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+Status EspProcessor::AddProximityGroup(ProximityGroup group) {
+  if (started_) return Status::Internal("processor already started");
+  return granules_.AddGroup(std::move(group));
+}
+
+Status EspProcessor::AddPipeline(DeviceTypePipeline pipeline) {
+  if (started_) return Status::Internal("processor already started");
+  if (pipeline.reading_schema == nullptr) {
+    return Status::InvalidArgument("pipeline for '" + pipeline.device_type +
+                                   "' has no reading schema");
+  }
+  if (!pipeline.reading_schema->Contains(pipeline.receptor_id_column)) {
+    return Status::InvalidArgument(
+        "receptor id column '" + pipeline.receptor_id_column +
+        "' not in reading schema for '" + pipeline.device_type + "'");
+  }
+  for (const TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, pipeline.device_type)) {
+      return Status::AlreadyExists("pipeline for '" + pipeline.device_type +
+                                   "' already registered");
+    }
+  }
+  if (pipeline.virtualize_input.empty()) {
+    pipeline.virtualize_input = pipeline.device_type + "_input";
+  }
+  TypeRuntime runtime;
+  runtime.config = std::move(pipeline);
+  types_.push_back(std::move(runtime));
+  return Status::OK();
+}
+
+void EspProcessor::SetVirtualize(std::unique_ptr<Stage> stage) {
+  virtualize_ = std::move(stage);
+}
+
+StatusOr<SchemaRef> EspProcessor::AugmentSchema(const SchemaRef& schema) {
+  if (schema->Contains(kSpatialGranuleColumn)) return schema;
+  std::vector<stream::Field> fields = schema->fields();
+  fields.push_back({kSpatialGranuleColumn, stream::DataType::kString});
+  return stream::MakeSchema(std::move(fields));
+}
+
+Status EspProcessor::Start() {
+  if (started_) return Status::Internal("processor already started");
+
+  cql::SchemaCatalog virtualize_inputs;
+  for (TypeRuntime& type : types_) {
+    const DeviceTypePipeline& config = type.config;
+    const auto groups = granules_.GroupsOfType(config.device_type);
+    if (groups.empty()) {
+      return Status::InvalidArgument("no proximity groups for device type '" +
+                                     config.device_type + "'");
+    }
+
+    // Per-receptor chains: Point* -> Smooth.
+    SchemaRef receptor_out;
+    for (const ProximityGroup* group : groups) {
+      for (const std::string& receptor_id : group->receptor_ids) {
+        ReceptorChain chain;
+        chain.receptor_id = receptor_id;
+        chain.granule_id = group->granule.id;
+        SchemaRef current = config.reading_schema;
+        for (const StageFactory& factory : config.point) {
+          ESP_ASSIGN_OR_RETURN(std::unique_ptr<Stage> stage, factory());
+          cql::SchemaCatalog catalog;
+          catalog.AddStream(StageInputName(StageKind::kPoint), current);
+          ESP_RETURN_IF_ERROR(stage->Bind(catalog));
+          current = stage->output_schema();
+          chain.point.push_back(std::move(stage));
+        }
+        if (config.smooth != nullptr) {
+          ESP_ASSIGN_OR_RETURN(chain.smooth, config.smooth());
+          cql::SchemaCatalog catalog;
+          catalog.AddStream(StageInputName(StageKind::kSmooth), current);
+          ESP_RETURN_IF_ERROR(chain.smooth->Bind(catalog));
+          current = chain.smooth->output_schema();
+        }
+        if (receptor_out == nullptr) {
+          receptor_out = current;
+        } else if (!receptor_out->Equals(*current)) {
+          return Status::Internal(
+              "receptor chains of type '" + config.device_type +
+              "' produced differing schemas");
+        }
+        type.receptors.push_back(std::move(chain));
+      }
+    }
+
+    ESP_ASSIGN_OR_RETURN(type.augmented_schema, AugmentSchema(receptor_out));
+
+    // Per-group Merge.
+    SchemaRef group_out = type.augmented_schema;
+    for (const ProximityGroup* group : groups) {
+      GroupChain chain;
+      chain.group_id = group->id;
+      if (config.merge != nullptr) {
+        ESP_ASSIGN_OR_RETURN(chain.merge, config.merge());
+        cql::SchemaCatalog catalog;
+        catalog.AddStream(StageInputName(StageKind::kMerge),
+                          type.augmented_schema);
+        ESP_RETURN_IF_ERROR(chain.merge->Bind(catalog));
+        group_out = chain.merge->output_schema();
+      }
+      type.groups.push_back(std::move(chain));
+    }
+
+    // Arbitrate across groups.
+    SchemaRef type_out = group_out;
+    if (config.arbitrate != nullptr) {
+      ESP_ASSIGN_OR_RETURN(type.arbitrate, config.arbitrate());
+      cql::SchemaCatalog catalog;
+      catalog.AddStream(StageInputName(StageKind::kArbitrate), group_out);
+      ESP_RETURN_IF_ERROR(type.arbitrate->Bind(catalog));
+      type_out = type.arbitrate->output_schema();
+    }
+    type.output_schema = type_out;
+    virtualize_inputs.AddStream(config.virtualize_input, type_out);
+  }
+
+  if (virtualize_ != nullptr) {
+    ESP_RETURN_IF_ERROR(virtualize_->Bind(virtualize_inputs));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+StatusOr<EspProcessor::TypeRuntime*> EspProcessor::FindType(
+    const std::string& device_type) {
+  for (TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, device_type)) {
+      return &type;
+    }
+  }
+  return Status::NotFound("no pipeline for device type '" + device_type +
+                          "'");
+}
+
+Status EspProcessor::Push(const std::string& device_type, Tuple raw) {
+  if (!started_) return Status::Internal("processor not started");
+  ESP_ASSIGN_OR_RETURN(TypeRuntime * type, FindType(device_type));
+  if (raw.schema() == nullptr ||
+      !raw.schema()->Equals(*type->config.reading_schema)) {
+    return Status::TypeError("raw reading schema mismatch for type '" +
+                             device_type + "'");
+  }
+  ESP_ASSIGN_OR_RETURN(const Value receptor,
+                       raw.Get(type->config.receptor_id_column));
+  if (receptor.type() != stream::DataType::kString) {
+    return Status::TypeError("receptor id column must be a string");
+  }
+  for (ReceptorChain& chain : type->receptors) {
+    if (StrEqualsIgnoreCase(chain.receptor_id, receptor.string_value())) {
+      chain.pending.push_back(std::move(raw));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("receptor '" + receptor.string_value() +
+                          "' of type '" + device_type +
+                          "' is in no proximity group");
+}
+
+StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
+  if (!started_) return Status::Internal("processor not started");
+  if (has_ticked_ && now < last_tick_) {
+    return Status::InvalidArgument("tick times must be non-decreasing");
+  }
+  last_tick_ = now;
+  has_ticked_ = true;
+
+  TickResult result;
+  for (TypeRuntime& type : types_) {
+    // --- Per-receptor: Point chain, then Smooth. ---
+    // Collected per group id for the Merge step.
+    std::vector<Relation> group_streams(type.groups.size(),
+                                        Relation(type.augmented_schema));
+    for (ReceptorChain& chain : type.receptors) {
+      std::sort(chain.pending.begin(), chain.pending.end(),
+                [](const Tuple& a, const Tuple& b) {
+                  return a.timestamp() < b.timestamp();
+                });
+      Relation current(type.config.reading_schema);
+      for (Tuple& tuple : chain.pending) current.Add(std::move(tuple));
+      chain.pending.clear();
+
+      for (std::unique_ptr<Stage>& stage : chain.point) {
+        for (const Tuple& tuple : current.tuples()) {
+          ESP_RETURN_IF_ERROR(
+              stage->Push(StageInputName(StageKind::kPoint), tuple));
+        }
+        ESP_ASSIGN_OR_RETURN(current, stage->Evaluate(now));
+      }
+      if (chain.smooth != nullptr) {
+        for (const Tuple& tuple : current.tuples()) {
+          ESP_RETURN_IF_ERROR(
+              chain.smooth->Push(StageInputName(StageKind::kSmooth), tuple));
+        }
+        ESP_ASSIGN_OR_RETURN(current, chain.smooth->Evaluate(now));
+      }
+
+      // Stamp the spatial granule (footnote 2) and route to the receptor's
+      // group. The lookup goes through the GranuleMap so dynamic
+      // MoveReceptor() remappings take effect between ticks.
+      ESP_ASSIGN_OR_RETURN(
+          const ProximityGroup* group_of,
+          granules_.GroupOf(type.config.device_type, chain.receptor_id));
+      size_t group_index = type.groups.size();
+      for (size_t g = 0; g < type.groups.size(); ++g) {
+        if (StrEqualsIgnoreCase(type.groups[g].group_id, group_of->id)) {
+          group_index = g;
+          break;
+        }
+      }
+      if (group_index == type.groups.size()) {
+        return Status::Internal("receptor '" + chain.receptor_id +
+                                "' mapped to unknown group");
+      }
+      const bool already_has_granule =
+          current.schema() != nullptr &&
+          current.schema()->Contains(kSpatialGranuleColumn);
+      for (const Tuple& tuple : current.tuples()) {
+        if (already_has_granule) {
+          group_streams[group_index].Add(tuple);
+          continue;
+        }
+        std::vector<Value> values = tuple.values();
+        values.push_back(Value::String(group_of->granule.id));
+        group_streams[group_index].Add(Tuple(
+            type.augmented_schema, std::move(values), tuple.timestamp()));
+      }
+    }
+
+    // --- Per-group Merge. ---
+    std::vector<Relation> merged;
+    merged.reserve(type.groups.size());
+    for (size_t g = 0; g < type.groups.size(); ++g) {
+      Relation& input = group_streams[g];
+      std::stable_sort(input.mutable_tuples().begin(),
+                       input.mutable_tuples().end(),
+                       [](const Tuple& a, const Tuple& b) {
+                         return a.timestamp() < b.timestamp();
+                       });
+      if (type.groups[g].merge == nullptr) {
+        merged.push_back(std::move(input));
+        continue;
+      }
+      for (const Tuple& tuple : input.tuples()) {
+        ESP_RETURN_IF_ERROR(type.groups[g].merge->Push(
+            StageInputName(StageKind::kMerge), tuple));
+      }
+      ESP_ASSIGN_OR_RETURN(Relation out, type.groups[g].merge->Evaluate(now));
+      merged.push_back(std::move(out));
+    }
+
+    // --- Arbitrate across groups. ---
+    Relation type_out;
+    if (type.arbitrate != nullptr) {
+      ESP_ASSIGN_OR_RETURN(Relation united, stream::Union(merged));
+      for (const Tuple& tuple : united.tuples()) {
+        ESP_RETURN_IF_ERROR(type.arbitrate->Push(
+            StageInputName(StageKind::kArbitrate), tuple));
+      }
+      ESP_ASSIGN_OR_RETURN(type_out, type.arbitrate->Evaluate(now));
+    } else {
+      ESP_ASSIGN_OR_RETURN(type_out, stream::Union(merged));
+    }
+
+    // --- Feed Virtualize. ---
+    if (virtualize_ != nullptr) {
+      for (const Tuple& tuple : type_out.tuples()) {
+        ESP_RETURN_IF_ERROR(
+            virtualize_->Push(type.config.virtualize_input, tuple));
+      }
+    }
+    result.per_type.emplace_back(type.config.device_type,
+                                 std::move(type_out));
+  }
+
+  if (virtualize_ != nullptr) {
+    ESP_ASSIGN_OR_RETURN(Relation out, virtualize_->Evaluate(now));
+    result.virtualized = std::move(out);
+  }
+  return result;
+}
+
+StatusOr<SchemaRef> EspProcessor::TypeReadingSchema(
+    const std::string& device_type) const {
+  for (const TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, device_type)) {
+      return type.config.reading_schema;
+    }
+  }
+  return Status::NotFound("no pipeline for device type '" + device_type +
+                          "'");
+}
+
+size_t EspProcessor::BufferedTuples() const {
+  size_t total = 0;
+  for (const TypeRuntime& type : types_) {
+    for (const ReceptorChain& chain : type.receptors) {
+      total += chain.pending.size();
+      for (const std::unique_ptr<Stage>& stage : chain.point) {
+        total += stage->buffered();
+      }
+      if (chain.smooth != nullptr) total += chain.smooth->buffered();
+    }
+    for (const GroupChain& group : type.groups) {
+      if (group.merge != nullptr) total += group.merge->buffered();
+    }
+    if (type.arbitrate != nullptr) total += type.arbitrate->buffered();
+  }
+  if (virtualize_ != nullptr) total += virtualize_->buffered();
+  return total;
+}
+
+StatusOr<SchemaRef> EspProcessor::TypeOutputSchema(
+    const std::string& device_type) const {
+  for (const TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, device_type)) {
+      if (!started_) return Status::Internal("processor not started");
+      return type.output_schema;
+    }
+  }
+  return Status::NotFound("no pipeline for device type '" + device_type +
+                          "'");
+}
+
+}  // namespace esp::core

@@ -1,0 +1,152 @@
+#ifndef ESP_CORE_PROCESSOR_H_
+#define ESP_CORE_PROCESSOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/granule.h"
+#include "core/stage.h"
+#include "stream/tuple.h"
+
+namespace esp::core {
+
+/// \brief Configuration of one device type's cleaning pipeline — which of
+/// the five stages are deployed and how (Figure 4). Stages may be omitted
+/// (not all stages need be implemented, Section 3.3); omitted stages become
+/// pass-throughs.
+struct DeviceTypePipeline {
+  /// Device type key, matching the proximity groups' device_type.
+  std::string device_type;
+
+  /// Schema of the raw readings pushed for this type.
+  stream::SchemaRef reading_schema;
+
+  /// Column of `reading_schema` holding the receptor id, used to route raw
+  /// readings to per-receptor stage instances.
+  std::string receptor_id_column;
+
+  /// Point stages, applied per receptor in order (tuple-level filters and
+  /// transforms). May be empty.
+  std::vector<StageFactory> point;
+
+  /// Smooth stage, instantiated per receptor (temporal-granule
+  /// aggregation). Optional.
+  StageFactory smooth;
+
+  /// Merge stage, instantiated per proximity group over the union of its
+  /// members' streams (spatial-granule aggregation). Optional — when
+  /// omitted, members' streams are unioned unchanged. Either way ESP has
+  /// already stamped each tuple with its spatial_granule attribute
+  /// (footnote 2 of the paper).
+  StageFactory merge;
+
+  /// Arbitrate stage, one instance across all of this type's proximity
+  /// groups (conflict resolution between spatial granules). Optional.
+  StageFactory arbitrate;
+
+  /// Stream name under which this type's cleaned output feeds the
+  /// Virtualize stage; defaults to "<device_type>_input".
+  std::string virtualize_input;
+};
+
+/// \brief The ESP Processor: initiates data flow from the receptors and
+/// applies each stage in a Fjord-style manner as readings stream through
+/// the pipeline (Section 3.3).
+///
+/// Usage: AddProximityGroup() the deployment's groups, AddPipeline() one
+/// config per device type, optionally SetVirtualize(), then Start(). Per
+/// tick: Push() raw readings (timestamps within (previous tick, now]), then
+/// Tick(now) to run the cascade and obtain each type's cleaned relation
+/// plus the virtualized output.
+class EspProcessor {
+ public:
+  /// Name of the spatial-granule attribute ESP adds to every stream after
+  /// the per-receptor stages.
+  static constexpr const char* kSpatialGranuleColumn = "spatial_granule";
+
+  EspProcessor() = default;
+  EspProcessor(const EspProcessor&) = delete;
+  EspProcessor& operator=(const EspProcessor&) = delete;
+
+  Status AddProximityGroup(ProximityGroup group);
+  Status AddPipeline(DeviceTypePipeline pipeline);
+
+  /// Installs the cross-device-type Virtualize stage. Its inputs must be
+  /// the pipelines' virtualize_input names.
+  void SetVirtualize(std::unique_ptr<Stage> stage);
+
+  /// Instantiates and binds every stage. No further configuration after
+  /// this.
+  Status Start();
+
+  /// Routes one raw reading to its receptor's chain.
+  Status Push(const std::string& device_type, stream::Tuple raw);
+
+  struct TickResult {
+    /// Final cleaned relation per device type (after Arbitrate), in
+    /// pipeline registration order.
+    std::vector<std::pair<std::string, stream::Relation>> per_type;
+    /// Output of the Virtualize stage, when installed.
+    std::optional<stream::Relation> virtualized;
+  };
+
+  /// Runs the full cascade at time `now`. Tick times must be
+  /// non-decreasing.
+  StatusOr<TickResult> Tick(Timestamp now);
+
+  /// Cleaned-output schema of one device type; valid after Start().
+  StatusOr<stream::SchemaRef> TypeOutputSchema(
+      const std::string& device_type) const;
+
+  /// Raw-reading schema of one device type (as configured in its pipeline).
+  StatusOr<stream::SchemaRef> TypeReadingSchema(
+      const std::string& device_type) const;
+
+  /// Total tuples buffered across every stage's windows plus un-ticked raw
+  /// readings — bounded in steady state by window sizes, not stream length.
+  size_t BufferedTuples() const;
+
+  const GranuleMap& granules() const { return granules_; }
+
+ private:
+  struct ReceptorChain {
+    std::string receptor_id;
+    std::string granule_id;  // Spatial granule this receptor observes.
+    std::vector<std::unique_ptr<Stage>> point;
+    std::unique_ptr<Stage> smooth;  // May be null.
+    std::vector<stream::Tuple> pending;
+  };
+  struct GroupChain {
+    std::string group_id;
+    std::unique_ptr<Stage> merge;  // May be null.
+  };
+  struct TypeRuntime {
+    DeviceTypePipeline config;
+    std::vector<ReceptorChain> receptors;
+    std::vector<GroupChain> groups;
+    std::unique_ptr<Stage> arbitrate;  // May be null.
+    stream::SchemaRef augmented_schema;  // Smooth output + spatial_granule.
+    stream::SchemaRef output_schema;
+  };
+
+  StatusOr<TypeRuntime*> FindType(const std::string& device_type);
+
+  /// Appends the spatial_granule attribute (unless already present).
+  static StatusOr<stream::SchemaRef> AugmentSchema(
+      const stream::SchemaRef& schema);
+
+  GranuleMap granules_;
+  std::vector<TypeRuntime> types_;
+  std::unique_ptr<Stage> virtualize_;
+  bool started_ = false;
+  bool has_ticked_ = false;
+  Timestamp last_tick_;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_PROCESSOR_H_

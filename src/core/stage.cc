@@ -1,0 +1,160 @@
+#include "core/stage.h"
+
+#include "common/string_util.h"
+#include "cql/parser.h"
+
+namespace esp::core {
+
+using stream::Relation;
+using stream::Tuple;
+using stream::WindowKind;
+using stream::WindowSpec;
+
+const char* StageKindToString(StageKind kind) {
+  switch (kind) {
+    case StageKind::kPoint:
+      return "Point";
+    case StageKind::kSmooth:
+      return "Smooth";
+    case StageKind::kMerge:
+      return "Merge";
+    case StageKind::kArbitrate:
+      return "Arbitrate";
+    case StageKind::kVirtualize:
+      return "Virtualize";
+  }
+  return "?";
+}
+
+std::string StageInputName(StageKind kind) {
+  switch (kind) {
+    case StageKind::kPoint:
+      return "point_input";
+    case StageKind::kSmooth:
+      return "smooth_input";
+    case StageKind::kMerge:
+      return "merge_input";
+    case StageKind::kArbitrate:
+      return "arbitrate_input";
+    case StageKind::kVirtualize:
+      return "virtualize_input";
+  }
+  return "input";
+}
+
+namespace {
+
+/// Point stages operate tuple-at-a-time; rewrite bare references to the
+/// stage input as instantaneous windows so the paper's unwindowed Query 4
+/// has streaming semantics.
+void RewritePointWindows(cql::SelectQuery* query,
+                         const std::string& input_name) {
+  for (cql::TableRef& ref : query->from) {
+    if (ref.kind == cql::TableRef::Kind::kStream &&
+        StrEqualsIgnoreCase(ref.stream_name, input_name) &&
+        ref.window.kind == WindowKind::kUnbounded) {
+      ref.window = WindowSpec::Now();
+    }
+    if (ref.kind == cql::TableRef::Kind::kSubquery) {
+      RewritePointWindows(ref.subquery.get(), input_name);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<CqlStage>> CqlStage::Create(StageKind kind,
+                                                     std::string name,
+                                                     const std::string& query) {
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<cql::SelectQuery> ast,
+                       cql::ParseQuery(query));
+  if (kind == StageKind::kPoint) {
+    RewritePointWindows(ast.get(), StageInputName(kind));
+  }
+  std::string text = ast->ToString();
+  return std::unique_ptr<CqlStage>(
+      new CqlStage(kind, std::move(name), std::move(ast), std::move(text)));
+}
+
+Status CqlStage::Bind(const cql::SchemaCatalog& inputs) {
+  if (cq_ != nullptr) return Status::Internal("stage already bound");
+  if (ast_ == nullptr) return Status::Internal("stage AST consumed");
+  ESP_ASSIGN_OR_RETURN(cq_, cql::ContinuousQuery::CreateFromAst(
+                                std::move(ast_), inputs));
+  output_schema_ = cq_->output_schema();
+  return Status::OK();
+}
+
+Status CqlStage::Push(const std::string& input, Tuple tuple) {
+  if (cq_ == nullptr) return Status::Internal("stage not bound");
+  return cq_->Push(input, std::move(tuple));
+}
+
+StatusOr<Relation> CqlStage::Evaluate(Timestamp now) {
+  if (cq_ == nullptr) return Status::Internal("stage not bound");
+  return cq_->Evaluate(now);
+}
+
+FunctionStage::FunctionStage(StageKind kind, std::string name,
+                             std::vector<Input> inputs,
+                             stream::SchemaRef output_schema, Fn fn)
+    : Stage(kind, std::move(name)),
+      declared_inputs_(std::move(inputs)),
+      declared_output_(std::move(output_schema)),
+      fn_(std::move(fn)) {}
+
+Status FunctionStage::Bind(const cql::SchemaCatalog& inputs) {
+  if (bound_called_) return Status::Internal("stage already bound");
+  bound_called_ = true;
+  for (const Input& input : declared_inputs_) {
+    ESP_ASSIGN_OR_RETURN(stream::SchemaRef schema, inputs.Find(input.stream));
+    bound_.push_back(
+        BoundInput{input, stream::WindowBuffer(input.window, schema)});
+  }
+  output_schema_ = declared_output_;
+  if (output_schema_ == nullptr) {
+    return Status::InvalidArgument("FunctionStage '" + name() +
+                                   "' declared no output schema");
+  }
+  return Status::OK();
+}
+
+Status FunctionStage::Push(const std::string& input, Tuple tuple) {
+  if (!bound_called_) return Status::Internal("stage not bound");
+  for (BoundInput& bound : bound_) {
+    if (StrEqualsIgnoreCase(bound.declared.stream, input)) {
+      return bound.buffer.Insert(std::move(tuple));
+    }
+  }
+  return Status::NotFound("stage '" + name() + "' has no input '" + input +
+                          "'");
+}
+
+StatusOr<Relation> FunctionStage::Evaluate(Timestamp now) {
+  if (!bound_called_) return Status::Internal("stage not bound");
+  std::vector<Relation> windows;
+  windows.reserve(bound_.size());
+  for (BoundInput& bound : bound_) {
+    windows.push_back(bound.buffer.Snapshot(now));
+  }
+  ESP_ASSIGN_OR_RETURN(Relation result, fn_(windows, now));
+  // Evict after evaluation; the window at `now` itself was just served.
+  for (BoundInput& bound : bound_) {
+    bound.buffer.EvictBefore(now);
+  }
+  if (result.schema() == nullptr ||
+      !result.schema()->Equals(*output_schema_)) {
+    return Status::TypeError("FunctionStage '" + name() +
+                             "' produced a relation not matching its "
+                             "declared output schema");
+  }
+  return result;
+}
+
+size_t FunctionStage::buffered() const {
+  size_t total = 0;
+  for (const BoundInput& bound : bound_) total += bound.buffer.buffered();
+  return total;
+}
+
+}  // namespace esp::core

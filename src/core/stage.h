@@ -1,0 +1,148 @@
+#ifndef ESP_CORE_STAGE_H_
+#define ESP_CORE_STAGE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/continuous_query.h"
+#include "stream/tuple.h"
+#include "stream/window.h"
+
+namespace esp::core {
+
+/// \brief The five logical cleaning stages of the ESP pipeline (Figure 1).
+enum class StageKind { kPoint, kSmooth, kMerge, kArbitrate, kVirtualize };
+
+const char* StageKindToString(StageKind kind);
+
+/// \brief The conventional input stream name a stage of each kind reads —
+/// exactly the names the paper's queries use (smooth_input, merge_input,
+/// arbitrate_input, point_input). Virtualize stages read one stream per
+/// device type, named by the deployment (e.g. rfid_input, sensors_input).
+std::string StageInputName(StageKind kind);
+
+/// \brief One programmable processing stage.
+///
+/// A stage consumes one or more named input streams and, at each tick,
+/// produces the relation its logic defines at that instant. Stages may be
+/// implemented three ways (Section 3.3), in decreasing declarativeness:
+/// declarative continuous queries (CqlStage), user-defined functions over
+/// window snapshots (FunctionStage), or arbitrary code (subclass Stage).
+class Stage {
+ public:
+  explicit Stage(StageKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+  virtual ~Stage() = default;
+
+  Stage(const Stage&) = delete;
+  Stage& operator=(const Stage&) = delete;
+
+  StageKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  /// Resolves the stage against its input schemas and computes the output
+  /// schema. Must be called exactly once before Push/Evaluate.
+  virtual Status Bind(const cql::SchemaCatalog& inputs) = 0;
+
+  /// Output schema; valid after Bind.
+  const stream::SchemaRef& output_schema() const { return output_schema_; }
+
+  /// Feeds one tuple into the named input stream (timestamps must be
+  /// non-decreasing per stream).
+  virtual Status Push(const std::string& input, stream::Tuple tuple) = 0;
+
+  /// Produces the stage's output relation at time `now`.
+  virtual StatusOr<stream::Relation> Evaluate(Timestamp now) = 0;
+
+  /// Tuples currently buffered in the stage's windows (observability; used
+  /// by the memory-boundedness soak tests).
+  virtual size_t buffered() const { return 0; }
+
+ protected:
+  stream::SchemaRef output_schema_;
+
+ private:
+  StageKind kind_;
+  std::string name_;
+};
+
+/// Factory used by the processor to instantiate per-receptor / per-group
+/// stage instances from one configuration.
+using StageFactory = std::function<StatusOr<std::unique_ptr<Stage>>()>;
+
+/// \brief A stage programmed with a declarative CQL query — the paper's
+/// preferred programming model.
+///
+/// For Point stages, unwindowed references to point_input are rewritten to
+/// `[Range By 'NOW']`: the paper's Query 4 is written without a window
+/// because Point conceptually operates "over a single value in a receptor
+/// stream", which in snapshot semantics is the instantaneous window.
+class CqlStage : public Stage {
+ public:
+  static StatusOr<std::unique_ptr<CqlStage>> Create(StageKind kind,
+                                                    std::string name,
+                                                    const std::string& query);
+
+  Status Bind(const cql::SchemaCatalog& inputs) override;
+  Status Push(const std::string& input, stream::Tuple tuple) override;
+  StatusOr<stream::Relation> Evaluate(Timestamp now) override;
+  size_t buffered() const override {
+    return cq_ == nullptr ? 0 : cq_->buffered();
+  }
+
+  /// The (possibly rewritten) query text this stage runs.
+  const std::string& query_text() const { return query_text_; }
+
+ private:
+  CqlStage(StageKind kind, std::string name,
+           std::unique_ptr<cql::SelectQuery> ast, std::string query_text)
+      : Stage(kind, std::move(name)),
+        ast_(std::move(ast)),
+        query_text_(std::move(query_text)) {}
+
+  std::unique_ptr<cql::SelectQuery> ast_;
+  std::string query_text_;
+  std::unique_ptr<cql::ContinuousQuery> cq_;
+};
+
+/// \brief A stage programmed with arbitrary code over window snapshots: the
+/// UDF path. The function receives the materialized window of every
+/// declared input (in declaration order) and the evaluation instant.
+class FunctionStage : public Stage {
+ public:
+  struct Input {
+    std::string stream;
+    stream::WindowSpec window;
+  };
+  using Fn = std::function<StatusOr<stream::Relation>(
+      const std::vector<stream::Relation>& windows, Timestamp now)>;
+
+  /// `output_schema` is declared up front (code stages cannot be inferred).
+  FunctionStage(StageKind kind, std::string name, std::vector<Input> inputs,
+                stream::SchemaRef output_schema, Fn fn);
+
+  Status Bind(const cql::SchemaCatalog& inputs) override;
+  Status Push(const std::string& input, stream::Tuple tuple) override;
+  StatusOr<stream::Relation> Evaluate(Timestamp now) override;
+  size_t buffered() const override;
+
+ private:
+  struct BoundInput {
+    Input declared;
+    stream::WindowBuffer buffer;
+  };
+
+  std::vector<Input> declared_inputs_;
+  std::vector<BoundInput> bound_;
+  stream::SchemaRef declared_output_;
+  Fn fn_;
+  bool bound_called_ = false;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_STAGE_H_

@@ -1,0 +1,421 @@
+#include "core/toolkit.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "stream/ops.h"
+
+namespace esp::core {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+using stream::WindowSpec;
+
+namespace {
+
+/// Builds a factory producing CqlStage instances of `kind` from query text.
+StageFactory CqlFactory(StageKind kind, std::string name, std::string query) {
+  return [kind, name = std::move(name), query = std::move(query)]()
+             -> StatusOr<std::unique_ptr<Stage>> {
+    ESP_ASSIGN_OR_RETURN(std::unique_ptr<CqlStage> stage,
+                         CqlStage::Create(kind, name, query));
+    return std::unique_ptr<Stage>(std::move(stage));
+  };
+}
+
+std::string QuoteLiteral(const std::string& value) {
+  std::string quoted = "'";
+  for (char c : value) {
+    if (c == '\'') quoted += '\'';
+    quoted += c;
+  }
+  quoted += "'";
+  return quoted;
+}
+
+std::string RangeClause(const TemporalGranule& granule) {
+  return "[Range By '" + std::to_string(granule.size.seconds()) + " sec']";
+}
+
+}  // namespace
+
+// --- Point ------------------------------------------------------------------
+
+StageFactory PointFilter(std::string predicate) {
+  return CqlFactory(StageKind::kPoint, "point_filter",
+                    "SELECT * FROM point_input WHERE " + predicate);
+}
+
+StageFactory PointValueFilter(std::string column,
+                              std::vector<std::string> allowed) {
+  std::string list;
+  for (size_t i = 0; i < allowed.size(); ++i) {
+    if (i > 0) list += ", ";
+    list += QuoteLiteral(allowed[i]);
+  }
+  return CqlFactory(
+      StageKind::kPoint, "point_value_filter",
+      "SELECT * FROM point_input WHERE " + column + " IN (" + list + ")");
+}
+
+StageFactory PointQuery(std::string query) {
+  return CqlFactory(StageKind::kPoint, "point_query", std::move(query));
+}
+
+// --- Smooth -----------------------------------------------------------------
+
+StageFactory SmoothPresenceCount(TemporalGranule granule,
+                                 std::string key_column) {
+  return CqlFactory(StageKind::kSmooth, "smooth_presence_count",
+                    "SELECT " + key_column + ", count(*) AS reads " +
+                        "FROM smooth_input " + RangeClause(granule) +
+                        " GROUP BY " + key_column);
+}
+
+StageFactory SmoothWindowedAverage(TemporalGranule granule,
+                                   std::string key_column,
+                                   std::string value_column) {
+  return CqlFactory(StageKind::kSmooth, "smooth_windowed_average",
+                    "SELECT " + key_column + ", avg(" + value_column +
+                        ") AS " + value_column + " FROM smooth_input " +
+                        RangeClause(granule) + " GROUP BY " + key_column);
+}
+
+StageFactory SmoothWindowedMedian(TemporalGranule granule,
+                                  std::string key_column,
+                                  std::string value_column) {
+  return CqlFactory(StageKind::kSmooth, "smooth_windowed_median",
+                    "SELECT " + key_column + ", median(" + value_column +
+                        ") AS " + value_column + " FROM smooth_input " +
+                        RangeClause(granule) + " GROUP BY " + key_column);
+}
+
+StageFactory NativeSmoothPresenceCount(TemporalGranule granule,
+                                       std::string key_column) {
+  return [granule, key_column]() -> StatusOr<std::unique_ptr<Stage>> {
+    // The key column's type is unknown until Bind; a custom stage defers
+    // schema construction so the output mirrors the declarative operator.
+    class NativePresence : public Stage {
+     public:
+      NativePresence(TemporalGranule granule, std::string key)
+          : Stage(StageKind::kSmooth, "native_smooth_presence_count"),
+            granule_(granule),
+            key_(std::move(key)) {}
+
+      Status Bind(const cql::SchemaCatalog& inputs) override {
+        ESP_ASSIGN_OR_RETURN(SchemaRef in,
+                             inputs.Find(StageInputName(StageKind::kSmooth)));
+        ESP_ASSIGN_OR_RETURN(const size_t key_index, in->ResolveIndex(key_));
+        output_schema_ = stream::MakeSchema(
+            {{key_, in->field(key_index).type}, {"reads", DataType::kInt64}});
+        buffer_.emplace(WindowSpec::Range(granule_.size), in);
+        return Status::OK();
+      }
+
+      Status Push(const std::string& input, Tuple tuple) override {
+        if (!StrEqualsIgnoreCase(input, StageInputName(StageKind::kSmooth))) {
+          return Status::NotFound("no input '" + input + "'");
+        }
+        return buffer_->Insert(std::move(tuple));
+      }
+
+      StatusOr<Relation> Evaluate(Timestamp now) override {
+        Relation window = buffer_->Snapshot(now);
+        buffer_->EvictBefore(now);
+        const SchemaRef out = output_schema_;
+        return stream::GroupBy(
+            window, {key_}, out,
+            [&](const std::vector<Value>& key,
+                const std::vector<const Tuple*>& rows) -> StatusOr<Tuple> {
+              return Tuple(
+                  out,
+                  {key[0], Value::Int64(static_cast<int64_t>(rows.size()))},
+                  now);
+            });
+      }
+
+     private:
+      TemporalGranule granule_;
+      std::string key_;
+      std::optional<stream::WindowBuffer> buffer_;
+    };
+    return std::unique_ptr<Stage>(
+        new NativePresence(granule, key_column));
+  };
+}
+
+StageFactory NativeSmoothWindowedAverage(TemporalGranule granule,
+                                         std::string key_column,
+                                         std::string value_column) {
+  return [granule, key_column,
+          value_column]() -> StatusOr<std::unique_ptr<Stage>> {
+    class NativeAverage : public Stage {
+     public:
+      NativeAverage(TemporalGranule granule, std::string key,
+                    std::string value)
+          : Stage(StageKind::kSmooth, "native_smooth_windowed_average"),
+            granule_(granule),
+            key_(std::move(key)),
+            value_(std::move(value)) {}
+
+      Status Bind(const cql::SchemaCatalog& inputs) override {
+        ESP_ASSIGN_OR_RETURN(SchemaRef in,
+                             inputs.Find(StageInputName(StageKind::kSmooth)));
+        ESP_ASSIGN_OR_RETURN(const size_t key_index, in->ResolveIndex(key_));
+        ESP_RETURN_IF_ERROR(in->ResolveIndex(value_).status());
+        output_schema_ = stream::MakeSchema(
+            {{key_, in->field(key_index).type},
+             {value_, DataType::kDouble}});
+        buffer_.emplace(WindowSpec::Range(granule_.size), in);
+        return Status::OK();
+      }
+
+      Status Push(const std::string& input, Tuple tuple) override {
+        if (!StrEqualsIgnoreCase(input, StageInputName(StageKind::kSmooth))) {
+          return Status::NotFound("no input '" + input + "'");
+        }
+        return buffer_->Insert(std::move(tuple));
+      }
+
+      StatusOr<Relation> Evaluate(Timestamp now) override {
+        Relation window = buffer_->Snapshot(now);
+        buffer_->EvictBefore(now);
+        const SchemaRef out = output_schema_;
+        const std::string value_column = value_;
+        return stream::GroupBy(
+            window, {key_}, out,
+            [&, value_column](const std::vector<Value>& key,
+                              const std::vector<const Tuple*>& rows)
+                -> StatusOr<Tuple> {
+              double sum = 0;
+              int64_t n = 0;
+              for (const Tuple* row : rows) {
+                ESP_ASSIGN_OR_RETURN(const Value v, row->Get(value_column));
+                if (v.is_null()) continue;
+                ESP_ASSIGN_OR_RETURN(const double d, v.AsDouble());
+                sum += d;
+                ++n;
+              }
+              return Tuple(out,
+                           {key[0], n == 0 ? Value::Null()
+                                           : Value::Double(sum / n)},
+                           now);
+            });
+      }
+
+     private:
+      TemporalGranule granule_;
+      std::string key_;
+      std::string value_;
+      std::optional<stream::WindowBuffer> buffer_;
+    };
+    return std::unique_ptr<Stage>(
+        new NativeAverage(granule, key_column, value_column));
+  };
+}
+
+// --- Merge ------------------------------------------------------------------
+
+StageFactory MergeUnion() {
+  return CqlFactory(StageKind::kMerge, "merge_union",
+                    "SELECT * FROM merge_input [Range By 'NOW']");
+}
+
+StageFactory MergeWindowedAverage(TemporalGranule granule,
+                                  std::string value_column) {
+  return CqlFactory(
+      StageKind::kMerge, "merge_windowed_average",
+      "SELECT spatial_granule, avg(" + value_column + ") AS " + value_column +
+          " FROM merge_input " + RangeClause(granule) +
+          " GROUP BY spatial_granule");
+}
+
+StageFactory MergeOutlierRejectingAverage(TemporalGranule granule,
+                                          std::string value_column) {
+  const std::string range = RangeClause(granule);
+  // The corrected Query 5: readings outside mean ± stdev of the window are
+  // discarded before averaging.
+  return CqlFactory(
+      StageKind::kMerge, "merge_outlier_rejecting_average",
+      "SELECT s.spatial_granule, avg(s." + value_column + ") AS " +
+          value_column + " FROM merge_input s " + range +
+          ", (SELECT spatial_granule, avg(" + value_column +
+          ") AS mean, stdev(" + value_column + ") AS sd FROM merge_input " +
+          range + " GROUP BY spatial_granule) a " +
+          "WHERE a.spatial_granule = s.spatial_granule AND s." +
+          value_column + " <= a.mean + a.sd AND s." + value_column +
+          " >= a.mean - a.sd GROUP BY s.spatial_granule");
+}
+
+StageFactory MergeVoteThreshold(TemporalGranule granule,
+                                std::string receptor_column,
+                                int64_t min_receptors) {
+  return CqlFactory(
+      StageKind::kMerge, "merge_vote_threshold",
+      "SELECT spatial_granule, count(distinct " + receptor_column +
+          ") AS votes FROM merge_input " + RangeClause(granule) +
+          " GROUP BY spatial_granule HAVING count(distinct " +
+          receptor_column + ") >= " + std::to_string(min_receptors));
+}
+
+// --- Arbitrate --------------------------------------------------------------
+
+StageFactory ArbitrateMaxCount(std::string key_column,
+                               std::string count_column) {
+  // Query 3, adapted: the comparison is on the smoothed read counts carried
+  // in `count_column` (the paper's count(*) counts raw readings; after
+  // Smooth, each (granule, key) pair has one row per instant whose
+  // `count_column` holds that number).
+  return CqlFactory(
+      StageKind::kArbitrate, "arbitrate_max_count",
+      "SELECT spatial_granule, " + key_column + ", max(" + count_column +
+          ") AS " + count_column +
+          " FROM arbitrate_input ai1 [Range By 'NOW'] GROUP BY "
+          "spatial_granule, " +
+          key_column + " HAVING max(" + count_column +
+          ") >= ALL(SELECT max(" + count_column +
+          ") FROM arbitrate_input ai2 [Range By 'NOW'] WHERE ai1." +
+          key_column + " = ai2." + key_column + " GROUP BY spatial_granule)");
+}
+
+StageFactory ArbitrateMaxCountCalibrated(std::string key_column,
+                                         std::string count_column,
+                                         std::string weak_granule) {
+  return [key_column, count_column,
+          weak_granule]() -> StatusOr<std::unique_ptr<Stage>> {
+    /// Arbitrary-code Arbitrate implementing the crude calibration of
+    /// Section 4.3.1: ties are attributed to the weaker antenna.
+    class CalibratedArbitrate : public Stage {
+     public:
+      CalibratedArbitrate(std::string key, std::string count,
+                          std::string weak)
+          : Stage(StageKind::kArbitrate, "arbitrate_max_count_calibrated"),
+            key_(std::move(key)),
+            count_(std::move(count)),
+            weak_(std::move(weak)) {}
+
+      Status Bind(const cql::SchemaCatalog& inputs) override {
+        ESP_ASSIGN_OR_RETURN(
+            SchemaRef in, inputs.Find(StageInputName(StageKind::kArbitrate)));
+        ESP_ASSIGN_OR_RETURN(const size_t key_index, in->ResolveIndex(key_));
+        ESP_RETURN_IF_ERROR(in->ResolveIndex(count_).status());
+        ESP_RETURN_IF_ERROR(
+            in->ResolveIndex(EspProcessorGranuleColumn()).status());
+        output_schema_ = stream::MakeSchema(
+            {{EspProcessorGranuleColumn(), DataType::kString},
+             {key_, in->field(key_index).type},
+             {count_, DataType::kInt64}});
+        buffer_.emplace(WindowSpec::Now(), in);
+        return Status::OK();
+      }
+
+      Status Push(const std::string& input, Tuple tuple) override {
+        if (!StrEqualsIgnoreCase(input,
+                                 StageInputName(StageKind::kArbitrate))) {
+          return Status::NotFound("no input '" + input + "'");
+        }
+        return buffer_->Insert(std::move(tuple));
+      }
+
+      StatusOr<Relation> Evaluate(Timestamp now) override {
+        Relation window = buffer_->Snapshot(now);
+        buffer_->EvictBefore(now);
+        // Per key: pick the granule with the highest count; ties go to the
+        // weak granule if it participates, else keep all tying granules.
+        struct Claim {
+          std::string granule;
+          int64_t count;
+        };
+        std::vector<std::pair<Value, std::vector<Claim>>> keys;
+        for (const Tuple& row : window.tuples()) {
+          ESP_ASSIGN_OR_RETURN(const Value key, row.Get(key_));
+          ESP_ASSIGN_OR_RETURN(const Value granule,
+                               row.Get(EspProcessorGranuleColumn()));
+          ESP_ASSIGN_OR_RETURN(const Value count_value, row.Get(count_));
+          ESP_ASSIGN_OR_RETURN(const int64_t count, count_value.AsInt64());
+          bool found = false;
+          for (auto& [existing, claims] : keys) {
+            if (existing.Equals(key)) {
+              claims.push_back({granule.string_value(), count});
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            keys.push_back({key, {{granule.string_value(), count}}});
+          }
+        }
+        Relation out(output_schema_);
+        for (const auto& [key, claims] : keys) {
+          int64_t best = 0;
+          for (const Claim& claim : claims) {
+            best = std::max(best, claim.count);
+          }
+          // Does the weak granule tie for the max?
+          bool weak_ties = false;
+          for (const Claim& claim : claims) {
+            if (claim.count == best &&
+                StrEqualsIgnoreCase(claim.granule, weak_)) {
+              weak_ties = true;
+            }
+          }
+          for (const Claim& claim : claims) {
+            if (claim.count != best) continue;
+            if (weak_ties && !StrEqualsIgnoreCase(claim.granule, weak_)) {
+              continue;  // Calibration: the weak antenna wins ties.
+            }
+            out.Add(Tuple(output_schema_,
+                          {Value::String(claim.granule), key,
+                           Value::Int64(claim.count)},
+                          now));
+          }
+        }
+        return out;
+      }
+
+     private:
+      static const char* EspProcessorGranuleColumn() {
+        return "spatial_granule";
+      }
+
+      std::string key_;
+      std::string count_;
+      std::string weak_;
+      std::optional<stream::WindowBuffer> buffer_;
+    };
+    return std::unique_ptr<Stage>(new CalibratedArbitrate(
+        key_column, count_column, weak_granule));
+  };
+}
+
+// --- Virtualize -------------------------------------------------------------
+
+StatusOr<std::unique_ptr<Stage>> VirtualizeVote(std::vector<VoteInput> inputs,
+                                                int64_t threshold,
+                                                std::string event_label) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("VirtualizeVote requires inputs");
+  }
+  // The Query 6 pattern, made robust to empty windows: each modality's vote
+  // is a scalar subquery evaluating to 0/1, and the event row is emitted
+  // when the votes sum to the threshold.
+  std::string votes;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i > 0) votes += " + ";
+    votes += "(SELECT CASE WHEN count(*) > 0 THEN 1 ELSE 0 END FROM " +
+             inputs[i].stream + " [Range By 'NOW'] WHERE " +
+             inputs[i].condition + ")";
+  }
+  const std::string query = "SELECT " + QuoteLiteral(event_label) +
+                            " AS event WHERE " + votes +
+                            " >= " + std::to_string(threshold);
+  ESP_ASSIGN_OR_RETURN(
+      std::unique_ptr<CqlStage> stage,
+      CqlStage::Create(StageKind::kVirtualize, "virtualize_vote", query));
+  return std::unique_ptr<Stage>(std::move(stage));
+}
+
+}  // namespace esp::core

@@ -1,0 +1,125 @@
+#ifndef ESP_CORE_TOOLKIT_H_
+#define ESP_CORE_TOOLKIT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/granule.h"
+#include "core/stage.h"
+
+namespace esp::core {
+
+/// \file
+/// The ESP operator toolkit: pre-built, parameterised implementations of
+/// the five stages, realizing the paper's envisioned "suite of ESP
+/// Operators ... that can be used to configure and deploy cleaning
+/// pipelines" (Section 7). Most operators are declarative (CQL) — the
+/// `Native*` variants implement the same semantics in arbitrary code, both
+/// as examples of the UDF path and to cross-check the declarative engine.
+
+// --- Point operators (tuple-level filters and transforms) -----------------
+
+/// Keeps tuples satisfying `predicate` (a CQL boolean expression over the
+/// reading schema), e.g. "temp < 50" — the paper's Query 4.
+StageFactory PointFilter(std::string predicate);
+
+/// Keeps tuples whose `column` equals one of `allowed` — the digital-home
+/// Point stage that joins against a static relation of expected tag ids.
+StageFactory PointValueFilter(std::string column,
+                              std::vector<std::string> allowed);
+
+/// Runs an arbitrary CQL query over point_input (instantaneous window).
+StageFactory PointQuery(std::string query);
+
+// --- Smooth operators (temporal-granule aggregation) ----------------------
+
+/// The paper's Query 2: within the temporal granule, count the readings of
+/// each `key_column` value; a key present anywhere in the window is
+/// reported, interpolating dropped readings. Output: (key, reads).
+StageFactory SmoothPresenceCount(TemporalGranule granule,
+                                 std::string key_column);
+
+/// Sliding-window average of `value_column` per `key_column` — the sensor
+/// networks' Smooth stage (Section 5.2.1). Output: (key, value_column).
+StageFactory SmoothWindowedAverage(TemporalGranule granule,
+                                   std::string key_column,
+                                   std::string value_column);
+
+/// Robust variant of SmoothWindowedAverage using the window median, which
+/// shrugs off single errant readings within a mote's own stream — the
+/// technique footnote 3 of the paper alludes to ("[Smooth] could be used to
+/// correct for single outlier readings in one mote"). Output:
+/// (key, value_column).
+StageFactory SmoothWindowedMedian(TemporalGranule granule,
+                                  std::string key_column,
+                                  std::string value_column);
+
+/// Native (arbitrary-code) equivalent of SmoothPresenceCount.
+StageFactory NativeSmoothPresenceCount(TemporalGranule granule,
+                                       std::string key_column);
+
+/// Native (arbitrary-code) equivalent of SmoothWindowedAverage.
+StageFactory NativeSmoothWindowedAverage(TemporalGranule granule,
+                                         std::string key_column,
+                                         std::string value_column);
+
+// --- Merge operators (spatial-granule aggregation) -------------------------
+
+/// Union of the proximity group's member streams, unchanged (instantaneous
+/// window) — the digital-home RFID Merge.
+StageFactory MergeUnion();
+
+/// Windowed average of `value_column` across the group — Section 5.2.2.
+/// Output: (spatial_granule, value_column).
+StageFactory MergeWindowedAverage(TemporalGranule granule,
+                                  std::string value_column);
+
+/// The corrected Query 5: average of `value_column` across the group,
+/// excluding readings more than one standard deviation from the window
+/// mean. Output: (spatial_granule, value_column).
+StageFactory MergeOutlierRejectingAverage(TemporalGranule granule,
+                                          std::string value_column);
+
+/// Reports one row per granule when at least `min_receptors` distinct
+/// devices reported within the granule — the X10 Merge (Section 6.1).
+/// Output: (spatial_granule, votes).
+StageFactory MergeVoteThreshold(TemporalGranule granule,
+                                std::string receptor_column,
+                                int64_t min_receptors);
+
+// --- Arbitrate operators (conflicts between spatial granules) --------------
+
+/// The paper's Query 3 adapted to the pipeline's dataflow: each key (tag)
+/// is attributed to the spatial granule whose smoothed stream reports the
+/// highest read count; ties keep the tag in every tying granule.
+/// Output: (spatial_granule, key, reads).
+StageFactory ArbitrateMaxCount(std::string key_column,
+                               std::string count_column);
+
+/// The calibrated variant of Section 4.3.1, implemented natively: equal
+/// counts are attributed to `weak_granule` only (compensating for the known
+/// antenna disparity). Output: (spatial_granule, key, reads).
+StageFactory ArbitrateMaxCountCalibrated(std::string key_column,
+                                         std::string count_column,
+                                         std::string weak_granule);
+
+// --- Virtualize operators (cross-device-type cleaning) ---------------------
+
+/// One modality's contribution to a voting Virtualize stage: the modality
+/// votes 1 when any row of `stream`'s instantaneous window satisfies
+/// `condition` (a CQL boolean expression over that stream's schema).
+struct VoteInput {
+  std::string stream;
+  std::string condition;
+};
+
+/// The Query 6 pattern: normalize every receptor input stream to a vote and
+/// report `event_label` when at least `threshold` modalities vote yes
+/// (Section 6.2). Output: (event).
+StatusOr<std::unique_ptr<Stage>> VirtualizeVote(std::vector<VoteInput> inputs,
+                                                int64_t threshold,
+                                                std::string event_label);
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_TOOLKIT_H_

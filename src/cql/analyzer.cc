@@ -1,0 +1,384 @@
+#include "cql/analyzer.h"
+
+#include "common/string_util.h"
+#include "cql/scalar_function.h"
+#include "stream/aggregate.h"
+
+namespace esp::cql {
+
+using stream::DataType;
+using stream::Field;
+using stream::Schema;
+using stream::SchemaRef;
+
+void SchemaCatalog::AddStream(const std::string& name,
+                              stream::SchemaRef schema) {
+  for (auto& [existing, existing_schema] : streams_) {
+    if (esp::StrEqualsIgnoreCase(existing, name)) {
+      existing_schema = std::move(schema);
+      return;
+    }
+  }
+  streams_.emplace_back(name, std::move(schema));
+}
+
+StatusOr<stream::SchemaRef> SchemaCatalog::Find(const std::string& name) const {
+  for (const auto& [existing, schema] : streams_) {
+    if (esp::StrEqualsIgnoreCase(existing, name)) return schema;
+  }
+  return Status::NotFound("unknown stream '" + name + "'");
+}
+
+bool SchemaCatalog::Contains(const std::string& name) const {
+  return Find(name).ok();
+}
+
+namespace {
+
+/// Resolves a (possibly qualified) column against the scope chain.
+StatusOr<DataType> ResolveColumnType(const ColumnRefExpr& ref,
+                                     const AnalysisScope& scope) {
+  for (const AnalysisScope* s = &scope; s != nullptr; s = s->outer) {
+    if (!ref.qualifier.empty()) {
+      for (const AnalysisScope::Frame& frame : s->frames) {
+        if (esp::StrEqualsIgnoreCase(frame.alias, ref.qualifier)) {
+          auto index = frame.schema->IndexOf(ref.name);
+          if (!index.has_value()) {
+            return Status::NotFound("no column '" + ref.name + "' in '" +
+                                    ref.qualifier + "'");
+          }
+          return frame.schema->field(*index).type;
+        }
+      }
+      continue;  // Qualifier may name an outer frame.
+    }
+    // Unqualified: search all frames at this level; ambiguity is an error.
+    const Field* found = nullptr;
+    for (const AnalysisScope::Frame& frame : s->frames) {
+      auto index = frame.schema->IndexOf(ref.name);
+      if (index.has_value()) {
+        if (found != nullptr) {
+          return Status::InvalidArgument("ambiguous column '" + ref.name +
+                                         "'");
+        }
+        found = &frame.schema->field(*index);
+      }
+    }
+    if (found != nullptr) return found->type;
+  }
+  return Status::NotFound("unknown column '" + ref.ToString() + "'");
+}
+
+StatusOr<DataType> InferAggregateType(const FunctionCallExpr& call,
+                                      const SchemaCatalog& catalog,
+                                      const AnalysisScope& scope) {
+  const std::string lower = esp::StrToLower(call.name);
+  if (lower == "count") return DataType::kInt64;
+  if (lower == "avg" || lower == "stdev" || lower == "stddev" ||
+      lower == "var" || lower == "median" || lower == "p90" ||
+      lower == "p95") {
+    return DataType::kDouble;
+  }
+  if (lower == "sum" || lower == "min" || lower == "max") {
+    if (call.args.size() == 1 && !call.IsStarArg()) {
+      ESP_ASSIGN_OR_RETURN(const DataType arg,
+                           InferExprType(*call.args[0], catalog, scope));
+      return arg;
+    }
+    return DataType::kDouble;
+  }
+  return DataType::kNull;  // UDA: dynamic.
+}
+
+}  // namespace
+
+bool ContainsAggregate(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+    case ExprKind::kScalarSubquery:      // Belongs to the subquery.
+    case ExprKind::kQuantifiedComparison:  // lhs handled below.
+    case ExprKind::kIn:
+    case ExprKind::kExists:
+      break;
+    case ExprKind::kUnary:
+      return ContainsAggregate(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      return ContainsAggregate(*binary.lhs) || ContainsAggregate(*binary.rhs);
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (stream::AggregateRegistry::Global().Contains(call.name)) return true;
+      for (const ExprPtr& arg : call.args) {
+        if (ContainsAggregate(*arg)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggregate(*static_cast<const IsNullExpr&>(expr).operand);
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      return ContainsAggregate(*between.value) ||
+             ContainsAggregate(*between.low) ||
+             ContainsAggregate(*between.high);
+    }
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::WhenClause& when : case_expr.whens) {
+        if (ContainsAggregate(*when.condition) ||
+            ContainsAggregate(*when.result)) {
+          return true;
+        }
+      }
+      return case_expr.else_result != nullptr &&
+             ContainsAggregate(*case_expr.else_result);
+    }
+  }
+  // Quantified comparison / IN: the left-hand side lives at this level.
+  if (expr.kind() == ExprKind::kQuantifiedComparison) {
+    return ContainsAggregate(
+        *static_cast<const QuantifiedComparisonExpr&>(expr).lhs);
+  }
+  if (expr.kind() == ExprKind::kIn) {
+    const auto& in = static_cast<const InExpr&>(expr);
+    if (ContainsAggregate(*in.lhs)) return true;
+    for (const ExprPtr& item : in.list) {
+      if (ContainsAggregate(*item)) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+StatusOr<DataType> InferExprType(const Expr& expr, const SchemaCatalog& catalog,
+                                 const AnalysisScope& scope) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value.type();
+    case ExprKind::kColumnRef:
+      return ResolveColumnType(static_cast<const ColumnRefExpr&>(expr), scope);
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is not a scalar expression");
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      if (unary.op == UnaryOp::kNot) return DataType::kBool;
+      return InferExprType(*unary.operand, catalog, scope);
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      switch (binary.op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSubtract:
+        case BinaryOp::kMultiply:
+        case BinaryOp::kDivide:
+        case BinaryOp::kModulo: {
+          ESP_ASSIGN_OR_RETURN(const DataType lhs,
+                               InferExprType(*binary.lhs, catalog, scope));
+          ESP_ASSIGN_OR_RETURN(const DataType rhs,
+                               InferExprType(*binary.rhs, catalog, scope));
+          if (lhs == DataType::kInt64 && rhs == DataType::kInt64) {
+            return DataType::kInt64;
+          }
+          return DataType::kDouble;
+        }
+        default:
+          // Comparisons and AND/OR: validate both operands.
+          ESP_RETURN_IF_ERROR(
+              InferExprType(*binary.lhs, catalog, scope).status());
+          ESP_RETURN_IF_ERROR(
+              InferExprType(*binary.rhs, catalog, scope).status());
+          return DataType::kBool;
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (stream::AggregateRegistry::Global().Contains(call.name)) {
+        return InferAggregateType(call, catalog, scope);
+      }
+      ESP_ASSIGN_OR_RETURN(const ScalarFunction* function,
+                           ScalarFunctionRegistry::Global().Find(call.name));
+      if (call.args.size() < function->min_args ||
+          call.args.size() > function->max_args) {
+        return Status::InvalidArgument("wrong argument count for " +
+                                       call.name + "()");
+      }
+      // Validate argument expressions even when the result type is declared.
+      for (const ExprPtr& arg : call.args) {
+        ESP_RETURN_IF_ERROR(InferExprType(*arg, catalog, scope).status());
+      }
+      if (function->result_type != DataType::kNull) {
+        return function->result_type;
+      }
+      // Dynamic result: iif() follows its THEN branch; the rest follow the
+      // first argument.
+      const size_t type_arg = esp::StrEqualsIgnoreCase(call.name, "iif") ? 1 : 0;
+      return InferExprType(*call.args[type_arg], catalog, scope);
+    }
+    case ExprKind::kScalarSubquery: {
+      const auto& subquery = static_cast<const ScalarSubqueryExpr&>(expr);
+      AnalysisScope nested_outer = scope;
+      ESP_ASSIGN_OR_RETURN(
+          SchemaRef schema,
+          InferOutputSchema(*subquery.query, catalog, &nested_outer));
+      if (schema->num_fields() != 1) {
+        return Status::InvalidArgument(
+            "scalar subquery must produce exactly one column");
+      }
+      return schema->field(0).type;
+    }
+    case ExprKind::kQuantifiedComparison: {
+      const auto& quantified =
+          static_cast<const QuantifiedComparisonExpr&>(expr);
+      AnalysisScope nested_outer = scope;
+      ESP_ASSIGN_OR_RETURN(
+          SchemaRef schema,
+          InferOutputSchema(*quantified.subquery, catalog, &nested_outer));
+      if (schema->num_fields() != 1) {
+        return Status::InvalidArgument(
+            "ALL/ANY subquery must produce exactly one column");
+      }
+      ESP_RETURN_IF_ERROR(
+          InferExprType(*quantified.lhs, catalog, scope).status());
+      return DataType::kBool;
+    }
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(expr);
+      ESP_RETURN_IF_ERROR(InferExprType(*in.lhs, catalog, scope).status());
+      if (in.subquery != nullptr) {
+        AnalysisScope nested_outer = scope;
+        ESP_ASSIGN_OR_RETURN(
+            SchemaRef schema,
+            InferOutputSchema(*in.subquery, catalog, &nested_outer));
+        if (schema->num_fields() != 1) {
+          return Status::InvalidArgument(
+              "IN subquery must produce exactly one column");
+        }
+      } else {
+        for (const ExprPtr& item : in.list) {
+          ESP_RETURN_IF_ERROR(InferExprType(*item, catalog, scope).status());
+        }
+      }
+      return DataType::kBool;
+    }
+    case ExprKind::kExists: {
+      const auto& exists = static_cast<const ExistsExpr&>(expr);
+      AnalysisScope nested_outer = scope;
+      ESP_RETURN_IF_ERROR(
+          InferOutputSchema(*exists.subquery, catalog, &nested_outer)
+              .status());
+      return DataType::kBool;
+    }
+    case ExprKind::kIsNull:
+      ESP_RETURN_IF_ERROR(
+          InferExprType(*static_cast<const IsNullExpr&>(expr).operand, catalog,
+                        scope)
+              .status());
+      return DataType::kBool;
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      ESP_RETURN_IF_ERROR(
+          InferExprType(*between.value, catalog, scope).status());
+      ESP_RETURN_IF_ERROR(InferExprType(*between.low, catalog, scope).status());
+      ESP_RETURN_IF_ERROR(
+          InferExprType(*between.high, catalog, scope).status());
+      return DataType::kBool;
+    }
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      DataType result = DataType::kNull;
+      for (const CaseExpr::WhenClause& when : case_expr.whens) {
+        ESP_RETURN_IF_ERROR(
+            InferExprType(*when.condition, catalog, scope).status());
+        ESP_ASSIGN_OR_RETURN(const DataType branch,
+                             InferExprType(*when.result, catalog, scope));
+        if (result == DataType::kNull) result = branch;
+      }
+      if (case_expr.else_result != nullptr) {
+        ESP_ASSIGN_OR_RETURN(
+            const DataType branch,
+            InferExprType(*case_expr.else_result, catalog, scope));
+        if (result == DataType::kNull) result = branch;
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+std::string OutputFieldName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind() == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(*item.expr).name;
+  }
+  if (item.expr->kind() == ExprKind::kFunctionCall) {
+    return esp::StrToLower(
+        static_cast<const FunctionCallExpr&>(*item.expr).name);
+  }
+  return "expr_" + std::to_string(index);
+}
+
+StatusOr<stream::SchemaRef> InferOutputSchema(const SelectQuery& query,
+                                              const SchemaCatalog& catalog,
+                                              const AnalysisScope* outer) {
+  // Build this query's scope from its FROM clause.
+  AnalysisScope scope;
+  scope.outer = outer;
+  for (const TableRef& ref : query.from) {
+    AnalysisScope::Frame frame;
+    if (ref.kind == TableRef::Kind::kStream) {
+      ESP_ASSIGN_OR_RETURN(frame.schema, catalog.Find(ref.stream_name));
+      frame.alias = ref.alias.empty() ? ref.stream_name : ref.alias;
+    } else {
+      ESP_ASSIGN_OR_RETURN(frame.schema,
+                           InferOutputSchema(*ref.subquery, catalog, outer));
+      frame.alias = ref.alias;
+    }
+    scope.frames.push_back(std::move(frame));
+  }
+
+  // Validate WHERE / GROUP BY / HAVING even though they do not contribute
+  // output columns.
+  if (query.where != nullptr) {
+    ESP_RETURN_IF_ERROR(
+        InferExprType(*query.where, catalog, scope).status());
+  }
+  for (const ExprPtr& key : query.group_by) {
+    ESP_RETURN_IF_ERROR(InferExprType(*key, catalog, scope).status());
+  }
+  if (query.having != nullptr) {
+    ESP_RETURN_IF_ERROR(
+        InferExprType(*query.having, catalog, scope).status());
+  }
+
+  std::vector<Field> fields;
+  for (size_t i = 0; i < query.items.size(); ++i) {
+    const SelectItem& item = query.items[i];
+    if (item.expr->kind() == ExprKind::kStar) {
+      if (!query.group_by.empty()) {
+        return Status::InvalidArgument("SELECT * with GROUP BY is not allowed");
+      }
+      if (scope.frames.empty()) {
+        return Status::InvalidArgument("SELECT * requires a FROM clause");
+      }
+      for (const AnalysisScope::Frame& frame : scope.frames) {
+        for (const Field& field : frame.schema->fields()) {
+          fields.push_back(field);
+        }
+      }
+      continue;
+    }
+    Field field;
+    field.name = OutputFieldName(item, i);
+    ESP_ASSIGN_OR_RETURN(field.type,
+                         InferExprType(*item.expr, catalog, scope));
+    fields.push_back(std::move(field));
+  }
+  if (fields.empty()) {
+    return Status::InvalidArgument("query selects no columns");
+  }
+  return stream::MakeSchema(std::move(fields));
+}
+
+}  // namespace esp::cql

@@ -1,0 +1,64 @@
+#ifndef ESP_CQL_ANALYZER_H_
+#define ESP_CQL_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/ast.h"
+#include "stream/schema.h"
+
+namespace esp::cql {
+
+/// \brief Maps stream names to their schemas for analysis; the runtime
+/// Catalog (evaluator.h) provides the matching data at execution time.
+class SchemaCatalog {
+ public:
+  /// Registers a stream schema; replaces any previous entry with that name.
+  void AddStream(const std::string& name, stream::SchemaRef schema);
+
+  StatusOr<stream::SchemaRef> Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, stream::SchemaRef>> streams_;
+};
+
+/// \brief One visible FROM-clause entry during analysis; chains via `outer`
+/// for correlated subqueries.
+struct AnalysisScope {
+  struct Frame {
+    std::string alias;
+    stream::SchemaRef schema;
+  };
+  std::vector<Frame> frames;
+  const AnalysisScope* outer = nullptr;
+};
+
+/// \brief Infers the output schema of a query: column names (alias, else
+/// source column name, else function name, else "expr_<i>") and best-effort
+/// types. Validates stream names, column references, function names, and
+/// basic shape rules (e.g. `SELECT *` with GROUP BY is rejected; scalar
+/// subqueries must produce exactly one column).
+StatusOr<stream::SchemaRef> InferOutputSchema(
+    const SelectQuery& query, const SchemaCatalog& catalog,
+    const AnalysisScope* outer = nullptr);
+
+/// \brief Infers the type of an expression against a scope. Returns kNull
+/// for dynamically-typed expressions (e.g. coalesce of mixed inputs).
+StatusOr<stream::DataType> InferExprType(const Expr& expr,
+                                         const SchemaCatalog& catalog,
+                                         const AnalysisScope& scope);
+
+/// \brief True if the expression contains an aggregate function call at this
+/// query's level (does not descend into subqueries, whose aggregates belong
+/// to them).
+bool ContainsAggregate(const Expr& expr);
+
+/// \brief The output column name the analyzer/evaluator assign to a select
+/// item (shared so both agree).
+std::string OutputFieldName(const SelectItem& item, size_t index);
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_ANALYZER_H_

@@ -1,0 +1,246 @@
+#include "cql/continuous_query.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "cql/parser.h"
+
+namespace esp::cql {
+
+using stream::Relation;
+using stream::Tuple;
+using stream::WindowKind;
+using stream::WindowSpec;
+
+namespace {
+
+/// Aggregated window requirements for one stream.
+struct WindowUnion {
+  Duration max_range;
+  int64_t max_rows = 0;
+  bool unbounded = false;
+
+  void Absorb(const WindowSpec& spec) {
+    switch (spec.kind) {
+      case WindowKind::kRange: {
+        // A sliding window's effective time lags `now` by up to one slide
+        // width, so retention must cover range + slide.
+        const Duration needed = spec.range + spec.slide;
+        if (needed > max_range) max_range = needed;
+        break;
+      }
+      case WindowKind::kNow:
+        break;  // Zero range.
+      case WindowKind::kRows:
+        if (spec.rows > max_rows) max_rows = spec.rows;
+        break;
+      case WindowKind::kUnbounded:
+        unbounded = true;
+        break;
+    }
+  }
+};
+
+void CollectFromExpr(const Expr& expr,
+                     const std::function<void(const SelectQuery&)>& visit);
+
+void CollectFromQuery(const SelectQuery& query,
+                      const std::function<void(const SelectQuery&)>& visit) {
+  visit(query);
+  for (const TableRef& ref : query.from) {
+    if (ref.kind == TableRef::Kind::kSubquery) {
+      CollectFromQuery(*ref.subquery, visit);
+    }
+  }
+  for (const SelectItem& item : query.items) CollectFromExpr(*item.expr, visit);
+  if (query.where != nullptr) CollectFromExpr(*query.where, visit);
+  for (const ExprPtr& key : query.group_by) CollectFromExpr(*key, visit);
+  if (query.having != nullptr) CollectFromExpr(*query.having, visit);
+  for (const OrderByItem& item : query.order_by) {
+    CollectFromExpr(*item.expr, visit);
+  }
+}
+
+void CollectFromExpr(const Expr& expr,
+                     const std::function<void(const SelectQuery&)>& visit) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+      break;
+    case ExprKind::kUnary:
+      CollectFromExpr(*static_cast<const UnaryExpr&>(expr).operand, visit);
+      break;
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      CollectFromExpr(*binary.lhs, visit);
+      CollectFromExpr(*binary.rhs, visit);
+      break;
+    }
+    case ExprKind::kFunctionCall:
+      for (const ExprPtr& arg :
+           static_cast<const FunctionCallExpr&>(expr).args) {
+        CollectFromExpr(*arg, visit);
+      }
+      break;
+    case ExprKind::kScalarSubquery:
+      CollectFromQuery(*static_cast<const ScalarSubqueryExpr&>(expr).query,
+                       visit);
+      break;
+    case ExprKind::kQuantifiedComparison: {
+      const auto& quantified =
+          static_cast<const QuantifiedComparisonExpr&>(expr);
+      CollectFromExpr(*quantified.lhs, visit);
+      CollectFromQuery(*quantified.subquery, visit);
+      break;
+    }
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(expr);
+      CollectFromExpr(*in.lhs, visit);
+      if (in.subquery != nullptr) CollectFromQuery(*in.subquery, visit);
+      for (const ExprPtr& item : in.list) CollectFromExpr(*item, visit);
+      break;
+    }
+    case ExprKind::kExists:
+      CollectFromQuery(*static_cast<const ExistsExpr&>(expr).subquery, visit);
+      break;
+    case ExprKind::kIsNull:
+      CollectFromExpr(*static_cast<const IsNullExpr&>(expr).operand, visit);
+      break;
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      CollectFromExpr(*between.value, visit);
+      CollectFromExpr(*between.low, visit);
+      CollectFromExpr(*between.high, visit);
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::WhenClause& when : case_expr.whens) {
+        CollectFromExpr(*when.condition, visit);
+        CollectFromExpr(*when.result, visit);
+      }
+      if (case_expr.else_result != nullptr) {
+        CollectFromExpr(*case_expr.else_result, visit);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Create(
+    const std::string& query_text, const SchemaCatalog& input_schemas) {
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> query,
+                       ParseQuery(query_text));
+  return CreateFromAst(std::move(query), input_schemas);
+}
+
+StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
+    std::unique_ptr<SelectQuery> query, const SchemaCatalog& input_schemas) {
+  auto cq = std::unique_ptr<ContinuousQuery>(new ContinuousQuery());
+
+  // Gather every stream reference and union its window requirements.
+  std::unordered_map<std::string, WindowUnion> requirements;
+  CollectFromQuery(*query, [&](const SelectQuery& q) {
+    for (const TableRef& ref : q.from) {
+      if (ref.kind == TableRef::Kind::kStream) {
+        requirements[esp::StrToLower(ref.stream_name)].Absorb(ref.window);
+      }
+    }
+  });
+  for (const auto& [name, window_union] : requirements) {
+    StreamState state;
+    state.name = name;
+    ESP_ASSIGN_OR_RETURN(state.schema, input_schemas.Find(name));
+    state.max_range = window_union.max_range;
+    state.max_rows = window_union.max_rows;
+    state.unbounded = window_union.unbounded;
+    cq->streams_.push_back(std::move(state));
+  }
+
+  // Analyze (validates the query and computes the output schema).
+  ESP_ASSIGN_OR_RETURN(cq->output_schema_,
+                       InferOutputSchema(*query, input_schemas));
+  cq->query_ = std::move(query);
+  return cq;
+}
+
+Status ContinuousQuery::Push(const std::string& stream_name,
+                             stream::Tuple tuple) {
+  for (StreamState& state : streams_) {
+    if (esp::StrEqualsIgnoreCase(state.name, stream_name)) {
+      if (state.has_inserted && tuple.timestamp() < state.last_insert) {
+        return Status::InvalidArgument(
+            "out-of-order tuple on stream '" + stream_name + "': " +
+            tuple.timestamp().ToString() + " after " +
+            state.last_insert.ToString());
+      }
+      if (tuple.schema() == nullptr ||
+          !tuple.schema()->Equals(*state.schema)) {
+        return Status::TypeError("tuple schema mismatch on stream '" +
+                                 stream_name + "'");
+      }
+      state.last_insert = tuple.timestamp();
+      state.has_inserted = true;
+      state.history.push_back(std::move(tuple));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("query does not read stream '" + stream_name + "'");
+}
+
+void ContinuousQuery::Evict(Timestamp now) {
+  for (StreamState& state : streams_) {
+    if (state.unbounded) continue;
+    // A tuple is dead once it can appear in no window at any t' >= now: for
+    // RANGE windows that is ts <= now - max_range; NOW windows (range zero)
+    // keep ts == now alive, hence the strict ts < now condition; ROWS
+    // windows additionally protect the most recent max_rows tuples.
+    const Timestamp horizon = now - state.max_range;
+    size_t first_alive = 0;
+    const size_t rows_protected_from =
+        state.history.size() > static_cast<size_t>(state.max_rows)
+            ? state.history.size() - static_cast<size_t>(state.max_rows)
+            : 0;
+    while (first_alive < state.history.size() &&
+           state.history[first_alive].timestamp() <= horizon &&
+           state.history[first_alive].timestamp() < now &&
+           first_alive < rows_protected_from) {
+      ++first_alive;
+    }
+    if (first_alive > 0) {
+      state.history.erase(state.history.begin(),
+                          state.history.begin() +
+                              static_cast<std::ptrdiff_t>(first_alive));
+    }
+  }
+}
+
+StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
+  if (has_evaluated_ && now < last_eval_) {
+    return Status::InvalidArgument("evaluation times must be non-decreasing");
+  }
+  last_eval_ = now;
+  has_evaluated_ = true;
+
+  Evict(now);
+
+  Catalog catalog;
+  for (const StreamState& state : streams_) {
+    Relation history(state.schema);
+    for (const Tuple& tuple : state.history) history.Add(tuple);
+    catalog.AddStream(state.name, std::move(history));
+  }
+  return ExecuteQuery(*query_, catalog, now);
+}
+
+size_t ContinuousQuery::buffered() const {
+  size_t total = 0;
+  for (const StreamState& state : streams_) total += state.history.size();
+  return total;
+}
+
+}  // namespace esp::cql

@@ -1,0 +1,79 @@
+#ifndef ESP_CQL_CONTINUOUS_QUERY_H_
+#define ESP_CQL_CONTINUOUS_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/analyzer.h"
+#include "cql/ast.h"
+#include "cql/evaluator.h"
+#include "stream/tuple.h"
+
+namespace esp::cql {
+
+/// \brief A standing CQL query over one or more input streams.
+///
+/// This is the unit an ESP stage deploys: parse once, then per tick push the
+/// newly-arrived tuples and Evaluate(now) to get the result relation at that
+/// instant (CQL snapshot semantics). The query manages history retention
+/// itself: it keeps exactly enough buffered input to cover the largest
+/// window that references each stream and evicts the rest.
+class ContinuousQuery {
+ public:
+  /// Parses and analyzes `query_text`. Every stream referenced by the query
+  /// (including inside subqueries) must have a schema in `input_schemas`.
+  static StatusOr<std::unique_ptr<ContinuousQuery>> Create(
+      const std::string& query_text, const SchemaCatalog& input_schemas);
+
+  /// Like Create but takes an already-parsed AST.
+  static StatusOr<std::unique_ptr<ContinuousQuery>> CreateFromAst(
+      std::unique_ptr<SelectQuery> query, const SchemaCatalog& input_schemas);
+
+  /// Appends one tuple to the named input stream. Tuples must arrive in
+  /// non-decreasing timestamp order per stream.
+  Status Push(const std::string& stream_name, stream::Tuple tuple);
+
+  /// Evaluates the query at time `now` and returns its result relation
+  /// (every output tuple stamped with `now`). Evaluation times must be
+  /// non-decreasing. Eviction happens before evaluation, so re-evaluating at
+  /// the same instant is allowed.
+  StatusOr<stream::Relation> Evaluate(Timestamp now);
+
+  const stream::SchemaRef& output_schema() const { return output_schema_; }
+  const SelectQuery& query() const { return *query_; }
+
+  /// Total tuples currently buffered across all input streams (observability
+  /// and tests).
+  size_t buffered() const;
+
+ private:
+  /// Retention policy for one referenced input stream, the union of every
+  /// window that mentions it anywhere in the query.
+  struct StreamState {
+    std::string name;
+    stream::SchemaRef schema;
+    std::vector<stream::Tuple> history;
+    Duration max_range;  // Largest RANGE window (NOW counts as zero).
+    int64_t max_rows = 0;       // Largest ROWS window.
+    bool unbounded = false;     // Any unbounded reference disables eviction.
+    bool has_inserted = false;
+    Timestamp last_insert;
+  };
+
+  ContinuousQuery() = default;
+
+  void Evict(Timestamp now);
+
+  std::unique_ptr<SelectQuery> query_;
+  stream::SchemaRef output_schema_;
+  std::vector<StreamState> streams_;
+  Timestamp last_eval_;
+  bool has_evaluated_ = false;
+};
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_CONTINUOUS_QUERY_H_

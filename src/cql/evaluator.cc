@@ -1,0 +1,715 @@
+#include "cql/evaluator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "cql/scalar_function.h"
+#include "stream/aggregate.h"
+#include "stream/ops.h"
+
+namespace esp::cql {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+using stream::WindowKind;
+using stream::WindowSpec;
+
+void Catalog::AddStream(const std::string& name, Relation history) {
+  for (auto& [existing, relation] : streams_) {
+    if (esp::StrEqualsIgnoreCase(existing, name)) {
+      relation = std::move(history);
+      return;
+    }
+  }
+  streams_.emplace_back(name, std::move(history));
+}
+
+StatusOr<const Relation*> Catalog::Find(const std::string& name) const {
+  for (const auto& [existing, relation] : streams_) {
+    if (esp::StrEqualsIgnoreCase(existing, name)) return &relation;
+  }
+  return Status::NotFound("unknown stream '" + name + "'");
+}
+
+SchemaCatalog Catalog::ToSchemaCatalog() const {
+  SchemaCatalog catalog;
+  for (const auto& [name, relation] : streams_) {
+    catalog.AddStream(name, relation.schema());
+  }
+  return catalog;
+}
+
+Relation ApplyWindow(const Relation& history, const WindowSpec& spec,
+                     Timestamp now) {
+  Relation result(history.schema());
+  switch (spec.kind) {
+    case WindowKind::kRange: {
+      const Timestamp effective = spec.EffectiveTime(now);
+      const Timestamp low = effective - spec.range;  // Exclusive.
+      for (const Tuple& tuple : history.tuples()) {
+        if (tuple.timestamp() > low && tuple.timestamp() <= effective) {
+          result.Add(tuple);
+        }
+      }
+      break;
+    }
+    case WindowKind::kNow:
+      for (const Tuple& tuple : history.tuples()) {
+        if (tuple.timestamp() == now) result.Add(tuple);
+      }
+      break;
+    case WindowKind::kRows: {
+      std::vector<const Tuple*> eligible;
+      for (const Tuple& tuple : history.tuples()) {
+        if (tuple.timestamp() <= now) eligible.push_back(&tuple);
+      }
+      const size_t n = static_cast<size_t>(spec.rows);
+      const size_t start = eligible.size() > n ? eligible.size() - n : 0;
+      for (size_t i = start; i < eligible.size(); ++i) {
+        result.Add(*eligible[i]);
+      }
+      break;
+    }
+    case WindowKind::kUnbounded:
+      for (const Tuple& tuple : history.tuples()) {
+        if (tuple.timestamp() <= now) result.Add(tuple);
+      }
+      break;
+  }
+  return result;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Evaluation machinery
+// ---------------------------------------------------------------------------
+
+/// The FROM clause of one query evaluation: per-frame alias/schema plus each
+/// frame's column offset into the flattened joined row.
+struct FromContext {
+  struct Frame {
+    std::string alias;
+    SchemaRef schema;
+    size_t offset = 0;
+  };
+  std::vector<Frame> frames;
+  size_t total_columns = 0;
+};
+
+using Row = std::vector<Value>;
+
+/// Everything an expression needs to evaluate: the current row (or the
+/// representative row of the current group), the group's rows when in
+/// grouped evaluation, and the enclosing query's context for correlated
+/// references.
+struct EvalContext {
+  const Catalog* catalog = nullptr;
+  Timestamp now;
+  const FromContext* from = nullptr;
+  const Row* row = nullptr;
+  const std::vector<const Row*>* group_rows = nullptr;  // Grouped mode only.
+  const EvalContext* outer = nullptr;
+};
+
+StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec);
+StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
+                                   const Catalog& catalog, Timestamp now,
+                                   const EvalContext* outer);
+
+/// Resolves a column against the context chain, returning its value in the
+/// current row. Mirrors analyzer resolution exactly.
+StatusOr<Value> ResolveColumn(const ColumnRefExpr& ref, const EvalContext& ec) {
+  for (const EvalContext* scope = &ec; scope != nullptr;
+       scope = scope->outer) {
+    if (scope->from == nullptr || scope->row == nullptr) continue;
+    if (!ref.qualifier.empty()) {
+      for (const FromContext::Frame& frame : scope->from->frames) {
+        if (esp::StrEqualsIgnoreCase(frame.alias, ref.qualifier)) {
+          auto index = frame.schema->IndexOf(ref.name);
+          if (!index.has_value()) {
+            return Status::NotFound("no column '" + ref.name + "' in '" +
+                                    ref.qualifier + "'");
+          }
+          return (*scope->row)[frame.offset + *index];
+        }
+      }
+      continue;  // Qualifier may name an outer frame.
+    }
+    const FromContext::Frame* found_frame = nullptr;
+    size_t found_index = 0;
+    for (const FromContext::Frame& frame : scope->from->frames) {
+      auto index = frame.schema->IndexOf(ref.name);
+      if (index.has_value()) {
+        if (found_frame != nullptr) {
+          return Status::InvalidArgument("ambiguous column '" + ref.name +
+                                         "'");
+        }
+        found_frame = &frame;
+        found_index = *index;
+      }
+    }
+    if (found_frame != nullptr) {
+      return (*scope->row)[found_frame->offset + found_index];
+    }
+  }
+  return Status::NotFound("unknown column '" + ref.ToString() + "'");
+}
+
+/// SQL truthiness for predicate positions: NULL decides as false.
+StatusOr<bool> ToDecision(const Value& value, const char* where) {
+  if (value.is_null()) return false;
+  if (value.type() != DataType::kBool) {
+    return Status::TypeError(std::string(where) +
+                             " must be boolean, got " +
+                             stream::DataTypeToString(value.type()));
+  }
+  return value.bool_value();
+}
+
+/// Three-valued comparison: NULL operand -> NULL result.
+StatusOr<Value> EvalComparison(BinaryOp op, const Value& lhs,
+                               const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  if (op == BinaryOp::kEquals) return Value::Bool(lhs.Equals(rhs));
+  if (op == BinaryOp::kNotEquals) return Value::Bool(!lhs.Equals(rhs));
+  ESP_ASSIGN_OR_RETURN(const int cmp, lhs.Compare(rhs));
+  switch (op) {
+    case BinaryOp::kLess:
+      return Value::Bool(cmp < 0);
+    case BinaryOp::kLessEquals:
+      return Value::Bool(cmp <= 0);
+    case BinaryOp::kGreater:
+      return Value::Bool(cmp > 0);
+    case BinaryOp::kGreaterEquals:
+      return Value::Bool(cmp >= 0);
+    default:
+      return Status::Internal("not a comparison op");
+  }
+}
+
+/// Three-valued AND/OR.
+StatusOr<Value> EvalLogical(BinaryOp op, const Expr& lhs_expr,
+                            const Expr& rhs_expr, const EvalContext& ec) {
+  ESP_ASSIGN_OR_RETURN(const Value lhs, EvalExpr(lhs_expr, ec));
+  // Short-circuit where the result is already decided.
+  if (!lhs.is_null() && lhs.type() == DataType::kBool) {
+    if (op == BinaryOp::kAnd && !lhs.bool_value()) return Value::Bool(false);
+    if (op == BinaryOp::kOr && lhs.bool_value()) return Value::Bool(true);
+  } else if (!lhs.is_null()) {
+    return Status::TypeError("AND/OR operand must be boolean");
+  }
+  ESP_ASSIGN_OR_RETURN(const Value rhs, EvalExpr(rhs_expr, ec));
+  if (!rhs.is_null() && rhs.type() != DataType::kBool) {
+    return Status::TypeError("AND/OR operand must be boolean");
+  }
+  if (op == BinaryOp::kAnd) {
+    if (!rhs.is_null() && !rhs.bool_value()) return Value::Bool(false);
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Bool(true);
+  }
+  // OR.
+  if (!rhs.is_null() && rhs.bool_value()) return Value::Bool(true);
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  return Value::Bool(false);
+}
+
+/// Runs an aggregate call over the current group.
+StatusOr<Value> EvalAggregate(const FunctionCallExpr& call,
+                              const EvalContext& ec) {
+  if (ec.group_rows == nullptr) {
+    return Status::InvalidArgument("aggregate " + call.name +
+                                   "() used outside grouped evaluation");
+  }
+  ESP_ASSIGN_OR_RETURN(
+      std::unique_ptr<stream::Aggregator> aggregator,
+      stream::AggregateRegistry::Global().Create(call.name, call.distinct));
+  const bool star = call.IsStarArg();
+  if (!star && call.args.size() != 1) {
+    return Status::InvalidArgument("aggregate " + call.name +
+                                   "() takes exactly one argument");
+  }
+  for (const Row* row : *ec.group_rows) {
+    Value input = Value::Int64(1);  // count(*) marker.
+    if (!star) {
+      EvalContext row_ec = ec;
+      row_ec.row = row;
+      row_ec.group_rows = nullptr;  // Argument is a per-row expression.
+      ESP_ASSIGN_OR_RETURN(input, EvalExpr(*call.args[0], row_ec));
+    }
+    ESP_RETURN_IF_ERROR(aggregator->Update(input));
+  }
+  return aggregator->Final();
+}
+
+/// Evaluates a subquery and returns the values of its single output column.
+StatusOr<std::vector<Value>> EvalSubqueryColumn(const SelectQuery& subquery,
+                                                const EvalContext& ec,
+                                                const char* what) {
+  ESP_ASSIGN_OR_RETURN(Relation result,
+                       ExecuteInternal(subquery, *ec.catalog, ec.now, &ec));
+  if (result.schema()->num_fields() != 1) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " subquery must produce exactly one column");
+  }
+  std::vector<Value> values;
+  values.reserve(result.size());
+  for (const Tuple& tuple : result.tuples()) {
+    values.push_back(tuple.value(0));
+  }
+  return values;
+}
+
+StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value;
+    case ExprKind::kColumnRef:
+      return ResolveColumn(static_cast<const ColumnRefExpr&>(expr), ec);
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is not a scalar expression");
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(const Value operand, EvalExpr(*unary.operand, ec));
+      if (unary.op == UnaryOp::kNegate) return stream::Negate(operand);
+      // NOT with three-valued logic.
+      if (operand.is_null()) return Value::Null();
+      if (operand.type() != DataType::kBool) {
+        return Status::TypeError("NOT requires a boolean");
+      }
+      return Value::Bool(!operand.bool_value());
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      switch (binary.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          return EvalLogical(binary.op, *binary.lhs, *binary.rhs, ec);
+        case BinaryOp::kAdd:
+        case BinaryOp::kSubtract:
+        case BinaryOp::kMultiply:
+        case BinaryOp::kDivide:
+        case BinaryOp::kModulo: {
+          ESP_ASSIGN_OR_RETURN(const Value lhs, EvalExpr(*binary.lhs, ec));
+          ESP_ASSIGN_OR_RETURN(const Value rhs, EvalExpr(*binary.rhs, ec));
+          switch (binary.op) {
+            case BinaryOp::kAdd:
+              return stream::Add(lhs, rhs);
+            case BinaryOp::kSubtract:
+              return stream::Subtract(lhs, rhs);
+            case BinaryOp::kMultiply:
+              return stream::Multiply(lhs, rhs);
+            case BinaryOp::kDivide:
+              return stream::Divide(lhs, rhs);
+            default:
+              return stream::Modulo(lhs, rhs);
+          }
+        }
+        default: {
+          ESP_ASSIGN_OR_RETURN(const Value lhs, EvalExpr(*binary.lhs, ec));
+          ESP_ASSIGN_OR_RETURN(const Value rhs, EvalExpr(*binary.rhs, ec));
+          return EvalComparison(binary.op, lhs, rhs);
+        }
+      }
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (stream::AggregateRegistry::Global().Contains(call.name)) {
+        return EvalAggregate(call, ec);
+      }
+      ESP_ASSIGN_OR_RETURN(const ScalarFunction* function,
+                           ScalarFunctionRegistry::Global().Find(call.name));
+      if (call.args.size() < function->min_args ||
+          call.args.size() > function->max_args) {
+        return Status::InvalidArgument("wrong argument count for " +
+                                       call.name + "()");
+      }
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const ExprPtr& arg : call.args) {
+        ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*arg, ec));
+        args.push_back(std::move(value));
+      }
+      return function->fn(args);
+    }
+    case ExprKind::kScalarSubquery: {
+      const auto& subquery = static_cast<const ScalarSubqueryExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(std::vector<Value> values,
+                           EvalSubqueryColumn(*subquery.query, ec, "scalar"));
+      if (values.empty()) return Value::Null();
+      if (values.size() > 1) {
+        return Status::InvalidArgument(
+            "scalar subquery produced more than one row");
+      }
+      return values[0];
+    }
+    case ExprKind::kQuantifiedComparison: {
+      const auto& quantified =
+          static_cast<const QuantifiedComparisonExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(const Value lhs, EvalExpr(*quantified.lhs, ec));
+      ESP_ASSIGN_OR_RETURN(
+          std::vector<Value> values,
+          EvalSubqueryColumn(*quantified.subquery, ec, "ALL/ANY"));
+      // ALL over empty set is true; ANY over empty set is false.
+      bool saw_null = false;
+      for (const Value& rhs : values) {
+        ESP_ASSIGN_OR_RETURN(const Value cmp,
+                             EvalComparison(quantified.op, lhs, rhs));
+        if (cmp.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (quantified.quantifier == Quantifier::kAll && !cmp.bool_value()) {
+          return Value::Bool(false);
+        }
+        if (quantified.quantifier == Quantifier::kAny && cmp.bool_value()) {
+          return Value::Bool(true);
+        }
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(quantified.quantifier == Quantifier::kAll);
+    }
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(const Value lhs, EvalExpr(*in.lhs, ec));
+      if (lhs.is_null()) return Value::Null();
+      std::vector<Value> values;
+      if (in.subquery != nullptr) {
+        ESP_ASSIGN_OR_RETURN(values, EvalSubqueryColumn(*in.subquery, ec, "IN"));
+      } else {
+        for (const ExprPtr& item : in.list) {
+          ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*item, ec));
+          values.push_back(std::move(value));
+        }
+      }
+      bool saw_null = false;
+      for (const Value& candidate : values) {
+        if (candidate.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (lhs.Equals(candidate)) {
+          return Value::Bool(!in.negated);
+        }
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(in.negated);
+    }
+    case ExprKind::kExists: {
+      const auto& exists = static_cast<const ExistsExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(
+          Relation result,
+          ExecuteInternal(*exists.subquery, *ec.catalog, ec.now, &ec));
+      const bool has_rows = !result.empty();
+      return Value::Bool(exists.negated ? !has_rows : has_rows);
+    }
+    case ExprKind::kIsNull: {
+      const auto& is_null = static_cast<const IsNullExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(const Value operand, EvalExpr(*is_null.operand, ec));
+      return Value::Bool(is_null.negated ? !operand.is_null()
+                                         : operand.is_null());
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      ESP_ASSIGN_OR_RETURN(const Value value, EvalExpr(*between.value, ec));
+      ESP_ASSIGN_OR_RETURN(const Value low, EvalExpr(*between.low, ec));
+      ESP_ASSIGN_OR_RETURN(const Value high, EvalExpr(*between.high, ec));
+      ESP_ASSIGN_OR_RETURN(const Value ge_low,
+                           EvalComparison(BinaryOp::kGreaterEquals, value, low));
+      ESP_ASSIGN_OR_RETURN(const Value le_high,
+                           EvalComparison(BinaryOp::kLessEquals, value, high));
+      if (ge_low.is_null() || le_high.is_null()) return Value::Null();
+      const bool inside = ge_low.bool_value() && le_high.bool_value();
+      return Value::Bool(between.negated ? !inside : inside);
+    }
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      for (const CaseExpr::WhenClause& when : case_expr.whens) {
+        ESP_ASSIGN_OR_RETURN(const Value condition,
+                             EvalExpr(*when.condition, ec));
+        ESP_ASSIGN_OR_RETURN(const bool matched,
+                             ToDecision(condition, "CASE WHEN condition"));
+        if (matched) return EvalExpr(*when.result, ec);
+      }
+      if (case_expr.else_result != nullptr) {
+        return EvalExpr(*case_expr.else_result, ec);
+      }
+      return Value::Null();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Query execution
+// ---------------------------------------------------------------------------
+
+bool QueryUsesAggregation(const SelectQuery& query) {
+  if (!query.group_by.empty()) return true;
+  if (query.having != nullptr) return true;  // HAVING implies one group.
+  for (const SelectItem& item : query.items) {
+    if (item.expr->kind() != ExprKind::kStar && ContainsAggregate(*item.expr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Applies DISTINCT / ORDER BY / LIMIT to the projected output.
+StatusOr<Relation> FinalizeOutput(const SelectQuery& query, Relation output) {
+  if (query.distinct) {
+    ESP_ASSIGN_OR_RETURN(output, stream::Distinct(output));
+  }
+  if (!query.order_by.empty()) {
+    // ORDER BY keys must name output columns (by name or 1-based position).
+    std::vector<std::pair<size_t, bool>> keys;  // (column index, descending)
+    for (const OrderByItem& item : query.order_by) {
+      size_t index = 0;
+      if (item.expr->kind() == ExprKind::kColumnRef) {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*item.expr);
+        ESP_ASSIGN_OR_RETURN(index, output.schema()->ResolveIndex(ref.name));
+      } else if (item.expr->kind() == ExprKind::kLiteral &&
+                 static_cast<const LiteralExpr&>(*item.expr).value.type() ==
+                     DataType::kInt64) {
+        const int64_t position =
+            static_cast<const LiteralExpr&>(*item.expr).value.int64_value();
+        if (position < 1 ||
+            position > static_cast<int64_t>(output.schema()->num_fields())) {
+          return Status::OutOfRange("ORDER BY position out of range");
+        }
+        index = static_cast<size_t>(position - 1);
+      } else {
+        return Status::Unimplemented(
+            "ORDER BY supports output column names and positions only");
+      }
+      keys.emplace_back(index, item.descending);
+    }
+    Status failure;
+    std::stable_sort(
+        output.mutable_tuples().begin(), output.mutable_tuples().end(),
+        [&](const Tuple& a, const Tuple& b) {
+          for (const auto& [index, descending] : keys) {
+            const Value& lhs = a.value(index);
+            const Value& rhs = b.value(index);
+            if (lhs.is_null() && rhs.is_null()) continue;
+            if (lhs.is_null()) return !descending;  // Nulls first (ASC).
+            if (rhs.is_null()) return descending;
+            auto cmp = lhs.Compare(rhs);
+            if (!cmp.ok()) {
+              if (failure.ok()) failure = cmp.status();
+              return false;
+            }
+            if (*cmp != 0) return descending ? *cmp > 0 : *cmp < 0;
+          }
+          return false;
+        });
+    if (!failure.ok()) return failure;
+  }
+  if (query.limit.has_value() &&
+      output.size() > static_cast<size_t>(*query.limit)) {
+    output.mutable_tuples().resize(static_cast<size_t>(*query.limit));
+  }
+  return output;
+}
+
+StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
+                                   const Catalog& catalog, Timestamp now,
+                                   const EvalContext* outer) {
+  // Infer the output schema up front (also validates the query shape).
+  // Build the analysis scope chain mirroring the outer EvalContext chain.
+  std::vector<AnalysisScope> outer_scopes;
+  for (const EvalContext* scope = outer; scope != nullptr;
+       scope = scope->outer) {
+    if (scope->from == nullptr) continue;
+    AnalysisScope analysis_scope;
+    for (const FromContext::Frame& frame : scope->from->frames) {
+      analysis_scope.frames.push_back({frame.alias, frame.schema});
+    }
+    outer_scopes.push_back(std::move(analysis_scope));
+  }
+  for (size_t i = 0; i + 1 < outer_scopes.size(); ++i) {
+    outer_scopes[i].outer = &outer_scopes[i + 1];
+  }
+  const SchemaCatalog schema_catalog = catalog.ToSchemaCatalog();
+  ESP_ASSIGN_OR_RETURN(
+      SchemaRef output_schema,
+      InferOutputSchema(query, schema_catalog,
+                        outer_scopes.empty() ? nullptr : &outer_scopes[0]));
+
+  // Materialize FROM inputs.
+  FromContext from;
+  std::vector<Relation> inputs;
+  for (const TableRef& ref : query.from) {
+    Relation input;
+    FromContext::Frame frame;
+    if (ref.kind == TableRef::Kind::kStream) {
+      ESP_ASSIGN_OR_RETURN(const Relation* history,
+                           catalog.Find(ref.stream_name));
+      input = ApplyWindow(*history, ref.window, now);
+      frame.alias = ref.alias.empty() ? ref.stream_name : ref.alias;
+      frame.schema = input.schema();
+      if (frame.schema == nullptr) {
+        ESP_ASSIGN_OR_RETURN(frame.schema,
+                             schema_catalog.Find(ref.stream_name));
+      }
+    } else {
+      // Derived tables see the enclosing query's outer scope, not their
+      // siblings (no LATERAL).
+      ESP_ASSIGN_OR_RETURN(input,
+                           ExecuteInternal(*ref.subquery, catalog, now, outer));
+      frame.alias = ref.alias;
+      frame.schema = input.schema();
+    }
+    frame.offset = from.total_columns;
+    from.total_columns += frame.schema->num_fields();
+    from.frames.push_back(std::move(frame));
+    inputs.push_back(std::move(input));
+  }
+
+  // Enumerate joined rows (cartesian product; FROM-less yields one empty
+  // row).
+  std::vector<Row> rows;
+  {
+    Row current(from.total_columns, Value::Null());
+    // Iterative odometer over input relations.
+    std::vector<size_t> cursor(inputs.size(), 0);
+    bool exhausted = false;
+    for (const Relation& input : inputs) {
+      if (input.empty()) exhausted = true;
+    }
+    if (inputs.empty()) {
+      rows.push_back(current);  // FROM-less: a single all-null (empty) row.
+    } else if (!exhausted) {
+      while (true) {
+        for (size_t i = 0; i < inputs.size(); ++i) {
+          const Tuple& tuple = inputs[i].tuple(cursor[i]);
+          const size_t offset = from.frames[i].offset;
+          for (size_t c = 0; c < tuple.num_fields(); ++c) {
+            current[offset + c] = tuple.value(c);
+          }
+        }
+        rows.push_back(current);
+        // Advance odometer.
+        size_t position = inputs.size();
+        while (position > 0) {
+          --position;
+          if (++cursor[position] < inputs[position].size()) break;
+          cursor[position] = 0;
+          if (position == 0) {
+            position = SIZE_MAX;
+            break;
+          }
+        }
+        if (position == SIZE_MAX) break;
+      }
+    }
+  }
+
+  EvalContext base;
+  base.catalog = &catalog;
+  base.now = now;
+  base.from = &from;
+  base.outer = outer;
+
+  // WHERE.
+  std::vector<Row> filtered;
+  if (query.where != nullptr) {
+    for (Row& row : rows) {
+      EvalContext ec = base;
+      ec.row = &row;
+      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalExpr(*query.where, ec));
+      ESP_ASSIGN_OR_RETURN(const bool keep, ToDecision(verdict, "WHERE"));
+      if (keep) filtered.push_back(std::move(row));
+    }
+  } else {
+    filtered = std::move(rows);
+  }
+
+  Relation output(output_schema);
+
+  if (!QueryUsesAggregation(query)) {
+    // Plain projection.
+    for (const Row& row : filtered) {
+      EvalContext ec = base;
+      ec.row = &row;
+      std::vector<Value> values;
+      values.reserve(output_schema->num_fields());
+      for (const SelectItem& item : query.items) {
+        if (item.expr->kind() == ExprKind::kStar) {
+          for (const Value& value : row) values.push_back(value);
+          continue;
+        }
+        ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*item.expr, ec));
+        values.push_back(std::move(value));
+      }
+      output.Add(Tuple(output_schema, std::move(values), now));
+    }
+    return FinalizeOutput(query, std::move(output));
+  }
+
+  // Grouped evaluation.
+  struct Group {
+    std::vector<const Row*> rows;
+  };
+  std::vector<Group> groups;
+  if (query.group_by.empty()) {
+    // A single group over all rows — exists even when empty (SQL scalar
+    // aggregate semantics: `SELECT count(*) FROM empty` returns one row).
+    groups.emplace_back();
+    for (const Row& row : filtered) groups.back().rows.push_back(&row);
+  } else {
+    std::unordered_map<std::vector<Value>, size_t, stream::ValueVectorHash,
+                       stream::ValueVectorEq>
+        index;
+    for (const Row& row : filtered) {
+      EvalContext ec = base;
+      ec.row = &row;
+      std::vector<Value> key;
+      key.reserve(query.group_by.size());
+      for (const ExprPtr& expr : query.group_by) {
+        ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*expr, ec));
+        key.push_back(std::move(value));
+      }
+      auto [it, inserted] = index.emplace(std::move(key), groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].rows.push_back(&row);
+    }
+  }
+
+  const Row empty_row(from.total_columns, Value::Null());
+  for (const Group& group : groups) {
+    EvalContext ec = base;
+    ec.group_rows = &group.rows;
+    // The representative row backs non-aggregated column references (which,
+    // per SQL, should be functionally dependent on the group key).
+    ec.row = group.rows.empty() ? &empty_row : group.rows.front();
+
+    if (query.having != nullptr) {
+      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalExpr(*query.having, ec));
+      ESP_ASSIGN_OR_RETURN(const bool keep, ToDecision(verdict, "HAVING"));
+      if (!keep) continue;
+    }
+    std::vector<Value> values;
+    values.reserve(output_schema->num_fields());
+    for (const SelectItem& item : query.items) {
+      ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*item.expr, ec));
+      values.push_back(std::move(value));
+    }
+    output.Add(Tuple(output_schema, std::move(values), now));
+  }
+  return FinalizeOutput(query, std::move(output));
+}
+
+}  // namespace
+
+StatusOr<Relation> ExecuteQuery(const SelectQuery& query,
+                                const Catalog& catalog, Timestamp now) {
+  return ExecuteInternal(query, catalog, now, nullptr);
+}
+
+}  // namespace esp::cql

@@ -1,0 +1,55 @@
+#ifndef ESP_CQL_EVALUATOR_H_
+#define ESP_CQL_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/analyzer.h"
+#include "cql/ast.h"
+#include "stream/tuple.h"
+#include "stream/window.h"
+
+namespace esp::cql {
+
+/// \brief Maps stream names to their retained, time-ordered histories.
+///
+/// The evaluator applies each reference's window clause to the history at
+/// evaluation time, which gives CQL's snapshot semantics: a query's result
+/// at time t is an ordinary relational evaluation over the windows' contents
+/// at t. The caller (ContinuousQuery / EspProcessor) is responsible for
+/// keeping enough history to cover the largest window and evicting the rest.
+class Catalog {
+ public:
+  /// Registers or replaces a stream's history. Tuples must be time-ordered.
+  void AddStream(const std::string& name, stream::Relation history);
+
+  StatusOr<const stream::Relation*> Find(const std::string& name) const;
+
+  /// Derives the analysis-time view (names -> schemas).
+  SchemaCatalog ToSchemaCatalog() const;
+
+ private:
+  std::vector<std::pair<std::string, stream::Relation>> streams_;
+};
+
+/// \brief Materializes the window contents of `history` at time `now`.
+/// History must be in non-decreasing timestamp order (required for kRows).
+stream::Relation ApplyWindow(const stream::Relation& history,
+                             const stream::WindowSpec& spec, Timestamp now);
+
+/// \brief Evaluates `query` against `catalog` at time `now` and returns the
+/// result relation. Every output tuple is stamped with `now`.
+///
+/// Supports the full dialect of parser.h including grouped aggregation,
+/// HAVING with correlated ALL/ANY subqueries (paper Query 3), derived
+/// tables, cross joins, scalar subqueries, CASE, and DISTINCT / ORDER BY /
+/// LIMIT. Three-valued logic: comparisons against NULL yield NULL, and a
+/// NULL predicate is treated as false where a decision is forced.
+StatusOr<stream::Relation> ExecuteQuery(const SelectQuery& query,
+                                        const Catalog& catalog, Timestamp now);
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_EVALUATOR_H_

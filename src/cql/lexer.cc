@@ -1,0 +1,226 @@
+#include "cql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace esp::cql {
+
+namespace {
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Status LexError(const std::string& message, size_t offset) {
+  return Status::ParseError(message + " at offset " + std::to_string(offset));
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+
+  auto push = [&](TokenKind kind, size_t offset) {
+    Token token;
+    token.kind = kind;
+    token.offset = offset;
+    tokens.push_back(std::move(token));
+  };
+
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && i + 1 < n && query[i + 1] == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentifierStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentifierChar(query[i])) ++i;
+      const std::string word = query.substr(start, i - start);
+      const std::string upper = StrToUpper(word);
+      Token token;
+      token.offset = start;
+      if (IsReservedKeyword(upper)) {
+        token.kind = TokenKind::kKeyword;
+        token.text = upper;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = word;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      const size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) ++i;
+      if (i < n && query[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (query[i] == 'e' || query[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (query[i] == '+' || query[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(query[i]))) {
+          return LexError("malformed exponent", start);
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+          ++i;
+        }
+      }
+      const std::string number = query.substr(start, i - start);
+      Token token;
+      token.offset = start;
+      if (is_double) {
+        token.kind = TokenKind::kDoubleLiteral;
+        if (!StrToDouble(number, &token.double_value)) {
+          return LexError("malformed number '" + number + "'", start);
+        }
+      } else {
+        token.kind = TokenKind::kIntLiteral;
+        if (!StrToInt64(number, &token.int_value)) {
+          return LexError("malformed integer '" + number + "'", start);
+        }
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      const size_t start = i;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '\'') {
+          if (i + 1 < n && query[i + 1] == '\'') {
+            value += '\'';  // Escaped quote.
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          value += query[i];
+          ++i;
+        }
+      }
+      if (!closed) return LexError("unterminated string literal", start);
+      Token token;
+      token.kind = TokenKind::kStringLiteral;
+      token.text = std::move(value);
+      token.offset = start;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    const size_t offset = i;
+    switch (c) {
+      case ',':
+        push(TokenKind::kComma, offset);
+        ++i;
+        break;
+      case '(':
+        push(TokenKind::kLeftParen, offset);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRightParen, offset);
+        ++i;
+        break;
+      case '[':
+        push(TokenKind::kLeftBracket, offset);
+        ++i;
+        break;
+      case ']':
+        push(TokenKind::kRightBracket, offset);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot, offset);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar, offset);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus, offset);
+        ++i;
+        break;
+      case '-':
+        push(TokenKind::kMinus, offset);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash, offset);
+        ++i;
+        break;
+      case '%':
+        push(TokenKind::kPercent, offset);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, offset);
+        ++i;
+        break;
+      case '=':
+        push(TokenKind::kEquals, offset);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kNotEquals, offset);
+          i += 2;
+        } else {
+          return LexError("unexpected '!'", offset);
+        }
+        break;
+      case '<':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kLessEquals, offset);
+          i += 2;
+        } else if (i + 1 < n && query[i + 1] == '>') {
+          push(TokenKind::kNotEquals, offset);
+          i += 2;
+        } else {
+          push(TokenKind::kLess, offset);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && query[i + 1] == '=') {
+          push(TokenKind::kGreaterEquals, offset);
+          i += 2;
+        } else {
+          push(TokenKind::kGreater, offset);
+          ++i;
+        }
+        break;
+      default:
+        return LexError(std::string("unexpected character '") + c + "'",
+                        offset);
+    }
+  }
+  push(TokenKind::kEof, n);
+  return tokens;
+}
+
+}  // namespace esp::cql

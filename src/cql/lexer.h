@@ -1,0 +1,22 @@
+#ifndef ESP_CQL_LEXER_H_
+#define ESP_CQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cql/token.h"
+
+namespace esp::cql {
+
+/// \brief Tokenizes CQL query text.
+///
+/// Accepts the dialect used in the paper: SQL keywords (case-insensitive),
+/// identifiers, single-quoted string literals (with '' escaping), integer and
+/// decimal numbers, bracketed window clauses, `--` line comments, and the
+/// operator set of Queries 1-6.
+StatusOr<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_LEXER_H_

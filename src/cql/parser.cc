@@ -1,0 +1,533 @@
+#include "cql/parser.h"
+
+#include "common/string_util.h"
+#include "common/time.h"
+#include "cql/lexer.h"
+
+namespace esp::cql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::unique_ptr<SelectQuery>> ParseStatement() {
+    ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> query, ParseSelect());
+    Accept(TokenKind::kSemicolon);
+    ESP_RETURN_IF_ERROR(ExpectEof());
+    return query;
+  }
+
+  StatusOr<ExprPtr> ParseStandaloneExpression() {
+    ESP_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    ESP_RETURN_IF_ERROR(ExpectEof());
+    return expr;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = position_ + ahead;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+
+  const Token& Advance() {
+    const Token& token = Peek();
+    if (position_ + 1 < tokens_.size()) ++position_;
+    return token;
+  }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptKeyword(const char* word) {
+    if (Peek().IsKeyword(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Accept(kind)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* word) {
+    if (!AcceptKeyword(word)) {
+      return Error(std::string("expected ") + word);
+    }
+    return Status::OK();
+  }
+
+  Status ExpectEof() {
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " near '" + Peek().ToString() +
+                              "' (offset " + std::to_string(Peek().offset) +
+                              ")");
+  }
+
+  // --- statement structure -------------------------------------------------
+
+  StatusOr<std::unique_ptr<SelectQuery>> ParseSelect() {
+    ESP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto query = std::make_unique<SelectQuery>();
+    query->distinct = AcceptKeyword("DISTINCT");
+
+    // Select list.
+    do {
+      SelectItem item;
+      if (Peek().kind == TokenKind::kStar) {
+        Advance();
+        item.expr = std::make_unique<StarExpr>();
+      } else {
+        ESP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          ESP_ASSIGN_OR_RETURN(item.alias, ParseIdentifier("alias"));
+        } else if (Peek().kind == TokenKind::kIdentifier) {
+          item.alias = Advance().text;  // Bare alias without AS.
+        }
+      }
+      query->items.push_back(std::move(item));
+    } while (Accept(TokenKind::kComma));
+
+    if (AcceptKeyword("FROM")) {
+      do {
+        ESP_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        query->from.push_back(std::move(ref));
+      } while (Accept(TokenKind::kComma));
+    }
+
+    if (AcceptKeyword("WHERE")) {
+      ESP_ASSIGN_OR_RETURN(query->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      ESP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        ESP_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        query->group_by.push_back(std::move(expr));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("HAVING")) {
+      ESP_ASSIGN_OR_RETURN(query->having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      ESP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderByItem item;
+        ESP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        query->order_by.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected integer LIMIT");
+      }
+      query->limit = Advance().int_value;
+    }
+    return query;
+  }
+
+  StatusOr<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Peek().kind == TokenKind::kLeftParen) {
+      Advance();
+      ref.kind = TableRef::Kind::kSubquery;
+      ESP_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+      ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+      if (AcceptKeyword("AS")) {
+        ESP_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier("derived-table alias"));
+      } else if (Peek().kind == TokenKind::kIdentifier) {
+        ref.alias = Advance().text;
+      }
+      return ref;
+    }
+    ref.kind = TableRef::Kind::kStream;
+    ESP_ASSIGN_OR_RETURN(ref.stream_name, ParseIdentifier("stream name"));
+    ref.alias = ref.stream_name;
+    if (Peek().kind == TokenKind::kIdentifier) {
+      ref.alias = Advance().text;  // Optional alias, e.g. `merge_input s`.
+    } else if (AcceptKeyword("AS")) {
+      ESP_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier("stream alias"));
+    }
+    if (Peek().kind == TokenKind::kLeftBracket) {
+      ESP_ASSIGN_OR_RETURN(ref.window, ParseWindow());
+    }
+    return ref;
+  }
+
+  StatusOr<stream::WindowSpec> ParseWindow() {
+    ESP_RETURN_IF_ERROR(Expect(TokenKind::kLeftBracket, "'['"));
+    stream::WindowSpec spec;
+    if (AcceptKeyword("RANGE")) {
+      ESP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      if (Peek().kind != TokenKind::kStringLiteral) {
+        return Error("expected quoted range, e.g. '5 sec' or 'NOW'");
+      }
+      const std::string range_text = Advance().text;
+      ESP_ASSIGN_OR_RETURN(Duration range, ParseDuration(range_text));
+      spec = stream::WindowSpec::Range(range);
+      if (AcceptKeyword("SLIDE")) {
+        ESP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+        if (Peek().kind != TokenKind::kStringLiteral) {
+          return Error("expected quoted slide, e.g. '1 sec'");
+        }
+        ESP_ASSIGN_OR_RETURN(Duration slide, ParseDuration(Advance().text));
+        if (slide.micros() <= 0) return Error("slide must be positive");
+        spec = stream::WindowSpec::RangeSlide(range, slide);
+      }
+    } else if (AcceptKeyword("ROWS")) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected row count");
+      }
+      const int64_t rows = Advance().int_value;
+      if (rows <= 0) return Error("row count must be positive");
+      spec = stream::WindowSpec::Rows(rows);
+    } else if (AcceptKeyword("UNBOUNDED")) {
+      spec = stream::WindowSpec::Unbounded();
+    } else {
+      return Error("expected RANGE, ROWS, or UNBOUNDED window");
+    }
+    ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightBracket, "']'"));
+    return spec;
+  }
+
+  StatusOr<std::string> ParseIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // --- expressions, by descending precedence -------------------------------
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  StatusOr<ExprPtr> ParseOr() {
+    ESP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ESP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    ESP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      ESP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  StatusOr<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      ESP_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+    }
+    return ParsePredicate();
+  }
+
+  /// Comparison and SQL predicate suffixes (IS NULL, BETWEEN, IN).
+  StatusOr<ExprPtr> ParsePredicate() {
+    ESP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+    // IS [NOT] NULL.
+    if (AcceptKeyword("IS")) {
+      const bool negated = AcceptKeyword("NOT");
+      ESP_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return ExprPtr(std::make_unique<IsNullExpr>(negated, std::move(lhs)));
+    }
+
+    // [NOT] BETWEEN a AND b / [NOT] IN (...).
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN"))) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      ESP_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+      ESP_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      ESP_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+      return ExprPtr(std::make_unique<BetweenExpr>(
+          negated, std::move(lhs), std::move(low), std::move(high)));
+    }
+    if (AcceptKeyword("IN")) {
+      ESP_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+      if (Peek().IsKeyword("SELECT")) {
+        ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> subquery,
+                             ParseSelect());
+        ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+        return ExprPtr(std::make_unique<InExpr>(std::move(lhs), negated,
+                                                std::move(subquery),
+                                                std::vector<ExprPtr>()));
+      }
+      std::vector<ExprPtr> list;
+      do {
+        ESP_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        list.push_back(std::move(item));
+      } while (Accept(TokenKind::kComma));
+      ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+      return ExprPtr(std::make_unique<InExpr>(std::move(lhs), negated, nullptr,
+                                              std::move(list)));
+    }
+
+    // Plain or quantified comparison.
+    BinaryOp op;
+    if (!PeekComparisonOp(&op)) return lhs;
+    Advance();
+    if (Peek().IsKeyword("ALL") || Peek().IsKeyword("ANY")) {
+      const Quantifier quantifier =
+          Advance().text == "ALL" ? Quantifier::kAll : Quantifier::kAny;
+      ESP_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+      ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> subquery,
+                           ParseSelect());
+      ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+      return ExprPtr(std::make_unique<QuantifiedComparisonExpr>(
+          op, std::move(lhs), quantifier, std::move(subquery)));
+    }
+    ESP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return ExprPtr(
+        std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs)));
+  }
+
+  bool PeekComparisonOp(BinaryOp* op) const {
+    switch (Peek().kind) {
+      case TokenKind::kEquals:
+        *op = BinaryOp::kEquals;
+        return true;
+      case TokenKind::kNotEquals:
+        *op = BinaryOp::kNotEquals;
+        return true;
+      case TokenKind::kLess:
+        *op = BinaryOp::kLess;
+        return true;
+      case TokenKind::kLessEquals:
+        *op = BinaryOp::kLessEquals;
+        return true;
+      case TokenKind::kGreater:
+        *op = BinaryOp::kGreater;
+        return true;
+      case TokenKind::kGreaterEquals:
+        *op = BinaryOp::kGreaterEquals;
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    ESP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kPlus) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().kind == TokenKind::kMinus) {
+        op = BinaryOp::kSubtract;
+      } else {
+        return lhs;
+      }
+      Advance();
+      ESP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    ESP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().kind == TokenKind::kStar) {
+        op = BinaryOp::kMultiply;
+      } else if (Peek().kind == TokenKind::kSlash) {
+        op = BinaryOp::kDivide;
+      } else if (Peek().kind == TokenKind::kPercent) {
+        op = BinaryOp::kModulo;
+      } else {
+        return lhs;
+      }
+      Advance();
+      ESP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      ESP_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNegate, std::move(operand)));
+    }
+    Accept(TokenKind::kPlus);  // Unary plus is a no-op.
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIntLiteral: {
+        const int64_t v = Advance().int_value;
+        return ExprPtr(std::make_unique<LiteralExpr>(stream::Value::Int64(v)));
+      }
+      case TokenKind::kDoubleLiteral: {
+        const double v = Advance().double_value;
+        return ExprPtr(std::make_unique<LiteralExpr>(stream::Value::Double(v)));
+      }
+      case TokenKind::kStringLiteral: {
+        std::string v = Advance().text;
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(stream::Value::String(std::move(v))));
+      }
+      case TokenKind::kKeyword: {
+        if (token.IsKeyword("TRUE")) {
+          Advance();
+          return ExprPtr(
+              std::make_unique<LiteralExpr>(stream::Value::Bool(true)));
+        }
+        if (token.IsKeyword("FALSE")) {
+          Advance();
+          return ExprPtr(
+              std::make_unique<LiteralExpr>(stream::Value::Bool(false)));
+        }
+        if (token.IsKeyword("NULL")) {
+          Advance();
+          return ExprPtr(std::make_unique<LiteralExpr>(stream::Value::Null()));
+        }
+        if (token.IsKeyword("CASE")) return ParseCase();
+        if (token.IsKeyword("EXISTS") || token.IsKeyword("NOT")) {
+          const bool negated = AcceptKeyword("NOT");
+          ESP_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+          ESP_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+          ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> subquery,
+                               ParseSelect());
+          ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+          return ExprPtr(
+              std::make_unique<ExistsExpr>(negated, std::move(subquery)));
+        }
+        return Error("unexpected keyword in expression");
+      }
+      case TokenKind::kLeftParen: {
+        Advance();
+        if (Peek().IsKeyword("SELECT")) {
+          ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> subquery,
+                               ParseSelect());
+          ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+          return ExprPtr(
+              std::make_unique<ScalarSubqueryExpr>(std::move(subquery)));
+        }
+        ESP_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        // Function call, qualified column, or bare column.
+        if (Peek(1).kind == TokenKind::kLeftParen) {
+          return ParseFunctionCall();
+        }
+        std::string first = Advance().text;
+        if (Accept(TokenKind::kDot)) {
+          if (Peek().kind == TokenKind::kStar) {
+            Advance();
+            // alias.* is only meaningful in select lists; we model it as a
+            // bare star for simplicity (qualified stars are rare in CQL).
+            return ExprPtr(std::make_unique<StarExpr>());
+          }
+          ESP_ASSIGN_OR_RETURN(std::string column,
+                               ParseIdentifier("column name"));
+          return ExprPtr(std::make_unique<ColumnRefExpr>(std::move(first),
+                                                         std::move(column)));
+        }
+        return ExprPtr(
+            std::make_unique<ColumnRefExpr>("", std::move(first)));
+      }
+      default:
+        return Error("unexpected token in expression");
+    }
+  }
+
+  StatusOr<ExprPtr> ParseFunctionCall() {
+    ESP_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("function name"));
+    ESP_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen, "'('"));
+    const bool distinct = AcceptKeyword("DISTINCT");
+    std::vector<ExprPtr> args;
+    if (Peek().kind != TokenKind::kRightParen) {
+      do {
+        if (Peek().kind == TokenKind::kStar) {
+          Advance();
+          args.push_back(std::make_unique<StarExpr>());
+        } else {
+          ESP_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        }
+      } while (Accept(TokenKind::kComma));
+    }
+    ESP_RETURN_IF_ERROR(Expect(TokenKind::kRightParen, "')'"));
+    return ExprPtr(std::make_unique<FunctionCallExpr>(
+        std::move(name), distinct, std::move(args)));
+  }
+
+  StatusOr<ExprPtr> ParseCase() {
+    ESP_RETURN_IF_ERROR(ExpectKeyword("CASE"));
+    std::vector<CaseExpr::WhenClause> whens;
+    while (AcceptKeyword("WHEN")) {
+      CaseExpr::WhenClause clause;
+      ESP_ASSIGN_OR_RETURN(clause.condition, ParseExpr());
+      ESP_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      ESP_ASSIGN_OR_RETURN(clause.result, ParseExpr());
+      whens.push_back(std::move(clause));
+    }
+    if (whens.empty()) return Error("CASE requires at least one WHEN");
+    ExprPtr else_result;
+    if (AcceptKeyword("ELSE")) {
+      ESP_ASSIGN_OR_RETURN(else_result, ParseExpr());
+    }
+    ESP_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return ExprPtr(
+        std::make_unique<CaseExpr>(std::move(whens), std::move(else_result)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SelectQuery>> ParseQuery(const std::string& text) {
+  ESP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+StatusOr<ExprPtr> ParseExpression(const std::string& text) {
+  ESP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace esp::cql

@@ -1,0 +1,27 @@
+#ifndef ESP_CQL_PARSER_H_
+#define ESP_CQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "cql/ast.h"
+
+namespace esp::cql {
+
+/// \brief Parses one CQL SELECT statement into an AST.
+///
+/// The dialect covers the paper's Queries 1-6 and more:
+///   SELECT [DISTINCT] items FROM stream [alias] [Range By '5 sec'] , ...
+///   derived tables, WHERE / GROUP BY / HAVING, ORDER BY / LIMIT,
+///   scalar + quantified (ALL/ANY) subqueries, IN / EXISTS / BETWEEN /
+///   IS NULL, CASE WHEN, arithmetic, aggregates with DISTINCT.
+StatusOr<std::unique_ptr<SelectQuery>> ParseQuery(const std::string& text);
+
+/// \brief Parses a standalone scalar/boolean expression (used to program
+/// Point-stage filters directly from predicate strings).
+StatusOr<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_PARSER_H_

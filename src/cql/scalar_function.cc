@@ -1,0 +1,168 @@
+#include "cql/scalar_function.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stream/aggregate.h"
+
+namespace esp::cql {
+
+using stream::DataType;
+using stream::Value;
+
+namespace {
+
+/// Wraps a double -> double function with null propagation.
+ScalarFn NumericUnary(double (*fn)(double)) {
+  return [fn](const std::vector<Value>& args) -> StatusOr<Value> {
+    if (args[0].is_null()) return Value::Null();
+    ESP_ASSIGN_OR_RETURN(const double v, args[0].AsDouble());
+    return Value::Double(fn(v));
+  };
+}
+
+StatusOr<Value> AbsFn(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() == DataType::kInt64) {
+    return Value::Int64(std::abs(args[0].int64_value()));
+  }
+  ESP_ASSIGN_OR_RETURN(const double v, args[0].AsDouble());
+  return Value::Double(std::fabs(v));
+}
+
+StatusOr<Value> RoundFn(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  ESP_ASSIGN_OR_RETURN(const double v, args[0].AsDouble());
+  if (args.size() == 2) {
+    ESP_ASSIGN_OR_RETURN(const int64_t digits, args[1].AsInt64());
+    const double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Double(std::round(v * scale) / scale);
+  }
+  return Value::Double(std::round(v));
+}
+
+StatusOr<Value> PowFn(const std::vector<Value>& args) {
+  if (args[0].is_null() || args[1].is_null()) return Value::Null();
+  ESP_ASSIGN_OR_RETURN(const double base, args[0].AsDouble());
+  ESP_ASSIGN_OR_RETURN(const double exponent, args[1].AsDouble());
+  return Value::Double(std::pow(base, exponent));
+}
+
+StatusOr<Value> LeastGreatestFn(const std::vector<Value>& args, bool least) {
+  Value best;
+  for (const Value& arg : args) {
+    if (arg.is_null()) continue;
+    if (best.is_null()) {
+      best = arg;
+      continue;
+    }
+    ESP_ASSIGN_OR_RETURN(const int cmp, arg.Compare(best));
+    if ((least && cmp < 0) || (!least && cmp > 0)) best = arg;
+  }
+  return best;
+}
+
+StatusOr<Value> CoalesceFn(const std::vector<Value>& args) {
+  for (const Value& arg : args) {
+    if (!arg.is_null()) return arg;
+  }
+  return Value::Null();
+}
+
+StatusOr<Value> IifFn(const std::vector<Value>& args) {
+  if (args[0].is_null()) return args[2];
+  if (args[0].type() != DataType::kBool) {
+    return Status::TypeError("iif() condition must be boolean");
+  }
+  return args[0].bool_value() ? args[1] : args[2];
+}
+
+StatusOr<Value> LengthFn(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != DataType::kString) {
+    return Status::TypeError("length() requires a string");
+  }
+  return Value::Int64(static_cast<int64_t>(args[0].string_value().size()));
+}
+
+StatusOr<Value> CaseChangeFn(const std::vector<Value>& args, bool lower) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != DataType::kString) {
+    return Status::TypeError("lower()/upper() require a string");
+  }
+  return Value::String(lower ? esp::StrToLower(args[0].string_value())
+                             : esp::StrToUpper(args[0].string_value()));
+}
+
+StatusOr<Value> ConcatFn(const std::vector<Value>& args) {
+  std::string result;
+  for (const Value& arg : args) {
+    if (arg.is_null()) continue;
+    result += arg.ToString();
+  }
+  return Value::String(std::move(result));
+}
+
+}  // namespace
+
+ScalarFunctionRegistry::ScalarFunctionRegistry() {
+  auto add = [this](const char* name, size_t min_args, size_t max_args,
+                    DataType result_type, ScalarFn fn) {
+    functions_.push_back(
+        {name, min_args, max_args, result_type, std::move(fn)});
+  };
+  add("abs", 1, 1, DataType::kNull, AbsFn);
+  add("sqrt", 1, 1, DataType::kDouble, NumericUnary(std::sqrt));
+  add("floor", 1, 1, DataType::kDouble, NumericUnary(std::floor));
+  add("ceil", 1, 1, DataType::kDouble, NumericUnary(std::ceil));
+  add("exp", 1, 1, DataType::kDouble, NumericUnary(std::exp));
+  add("ln", 1, 1, DataType::kDouble, NumericUnary(std::log));
+  add("round", 1, 2, DataType::kDouble, RoundFn);
+  add("pow", 2, 2, DataType::kDouble, PowFn);
+  add("least", 1, SIZE_MAX, DataType::kNull, [](const auto& args) {
+    return LeastGreatestFn(args, /*least=*/true);
+  });
+  add("greatest", 1, SIZE_MAX, DataType::kNull, [](const auto& args) {
+    return LeastGreatestFn(args, /*least=*/false);
+  });
+  add("coalesce", 1, SIZE_MAX, DataType::kNull, CoalesceFn);
+  add("iif", 3, 3, DataType::kNull, IifFn);
+  add("length", 1, 1, DataType::kInt64, LengthFn);
+  add("lower", 1, 1, DataType::kString,
+      [](const auto& args) { return CaseChangeFn(args, /*lower=*/true); });
+  add("upper", 1, 1, DataType::kString,
+      [](const auto& args) { return CaseChangeFn(args, /*lower=*/false); });
+  add("concat", 1, SIZE_MAX, DataType::kString, ConcatFn);
+}
+
+ScalarFunctionRegistry& ScalarFunctionRegistry::Global() {
+  static ScalarFunctionRegistry* registry = new ScalarFunctionRegistry();
+  return *registry;
+}
+
+Status ScalarFunctionRegistry::Register(ScalarFunction function) {
+  if (Contains(function.name)) {
+    return Status::AlreadyExists("scalar function '" + function.name +
+                                 "' already registered");
+  }
+  if (stream::AggregateRegistry::Global().Contains(function.name)) {
+    return Status::AlreadyExists("'" + function.name +
+                                 "' is already an aggregate function");
+  }
+  functions_.push_back(std::move(function));
+  return Status::OK();
+}
+
+StatusOr<const ScalarFunction*> ScalarFunctionRegistry::Find(
+    const std::string& name) const {
+  for (const ScalarFunction& function : functions_) {
+    if (esp::StrEqualsIgnoreCase(function.name, name)) return &function;
+  }
+  return Status::NotFound("unknown function '" + name + "'");
+}
+
+bool ScalarFunctionRegistry::Contains(const std::string& name) const {
+  return Find(name).ok();
+}
+
+}  // namespace esp::cql

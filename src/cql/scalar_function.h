@@ -1,0 +1,54 @@
+#ifndef ESP_CQL_SCALAR_FUNCTION_H_
+#define ESP_CQL_SCALAR_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/value.h"
+
+namespace esp::cql {
+
+/// \brief Implementation of a scalar (per-row) function.
+using ScalarFn =
+    std::function<StatusOr<stream::Value>(const std::vector<stream::Value>&)>;
+
+/// \brief A registered scalar function: implementation plus arity bounds and
+/// a (possibly approximate) result type for schema inference.
+struct ScalarFunction {
+  std::string name;
+  size_t min_args = 0;
+  size_t max_args = 0;  // SIZE_MAX for variadic.
+  stream::DataType result_type = stream::DataType::kNull;  // kNull = dynamic.
+  ScalarFn fn;
+};
+
+/// \brief Registry of scalar functions by case-insensitive name.
+///
+/// Built-ins: abs, sqrt, floor, ceil, round, pow, exp, ln, least, greatest,
+/// coalesce, iif(cond, a, b), length, lower, upper, concat. Deployments may
+/// register UDFs (paper Section 3.3) — e.g. unit conversions or calibration
+/// functions (Section 4.3.1).
+class ScalarFunctionRegistry {
+ public:
+  /// Returns the process-wide registry pre-loaded with built-ins.
+  static ScalarFunctionRegistry& Global();
+
+  /// Registers a UDF. Fails with AlreadyExists on collision (including with
+  /// aggregate names, which would make call sites ambiguous).
+  Status Register(ScalarFunction function);
+
+  /// Looks up by name; NotFound if absent.
+  StatusOr<const ScalarFunction*> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+ private:
+  ScalarFunctionRegistry();
+  std::vector<ScalarFunction> functions_;
+};
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_SCALAR_FUNCTION_H_

@@ -1,0 +1,83 @@
+#include "cql/token.h"
+
+#include "common/string_util.h"
+
+namespace esp::cql {
+
+namespace {
+// Keep sorted for readability; lookup is linear (the set is tiny).
+const char* const kKeywords[] = {
+    "ALL",    "AND",      "ANY",  "AS",    "ASC",     "BETWEEN", "BY",
+    "CASE",   "DESC",     "DISTINCT", "ELSE", "END",  "EXISTS",  "FALSE",
+    "FROM",   "GROUP",    "HAVING", "IN",  "IS",      "LIMIT",   "NOT",
+    "NULL",   "OR",       "ORDER", "RANGE", "ROWS",   "SELECT",  "SLIDE",
+    "THEN",
+    "TRUE",   "UNBOUNDED", "WHEN", "WHERE",
+};
+}  // namespace
+
+bool IsReservedKeyword(const std::string& upper_word) {
+  for (const char* keyword : kKeywords) {
+    if (upper_word == keyword) return true;
+  }
+  return false;
+}
+
+bool Token::IsKeyword(const char* word) const {
+  return kind == TokenKind::kKeyword && text == word;
+}
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "<eof>";
+    case TokenKind::kIdentifier:
+    case TokenKind::kKeyword:
+      return text;
+    case TokenKind::kStringLiteral:
+      return "'" + text + "'";
+    case TokenKind::kIntLiteral:
+      return std::to_string(int_value);
+    case TokenKind::kDoubleLiteral:
+      return StrFormat("%g", double_value);
+    case TokenKind::kComma:
+      return ",";
+    case TokenKind::kLeftParen:
+      return "(";
+    case TokenKind::kRightParen:
+      return ")";
+    case TokenKind::kLeftBracket:
+      return "[";
+    case TokenKind::kRightBracket:
+      return "]";
+    case TokenKind::kDot:
+      return ".";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kPercent:
+      return "%";
+    case TokenKind::kEquals:
+      return "=";
+    case TokenKind::kNotEquals:
+      return "!=";
+    case TokenKind::kLess:
+      return "<";
+    case TokenKind::kLessEquals:
+      return "<=";
+    case TokenKind::kGreater:
+      return ">";
+    case TokenKind::kGreaterEquals:
+      return ">=";
+    case TokenKind::kSemicolon:
+      return ";";
+  }
+  return "?";
+}
+
+}  // namespace esp::cql

@@ -1,0 +1,59 @@
+#ifndef ESP_CQL_TOKEN_H_
+#define ESP_CQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace esp::cql {
+
+/// \brief Lexical token kinds for the CQL dialect used by the paper's
+/// queries (CQL is the continuous query language of STREAM [6]).
+enum class TokenKind {
+  kEof = 0,
+  kIdentifier,     // shelf, tag_id, rfid_data
+  kKeyword,        // SELECT, FROM, ... (text() holds the upper-cased word)
+  kStringLiteral,  // '5 sec'
+  kIntLiteral,     // 42
+  kDoubleLiteral,  // 3.5
+  // Punctuation and operators:
+  kComma,
+  kLeftParen,
+  kRightParen,
+  kLeftBracket,
+  kRightBracket,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEquals,
+  kNotEquals,  // != or <>
+  kLess,
+  kLessEquals,
+  kGreater,
+  kGreaterEquals,
+  kSemicolon,
+};
+
+/// \brief One lexical token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // Identifier/keyword/literal text.
+  int64_t int_value = 0;     // Valid for kIntLiteral.
+  double double_value = 0;   // Valid for kDoubleLiteral.
+  size_t offset = 0;     // Byte offset in the query string.
+
+  /// True if this token is the given keyword (case-insensitive match was
+  /// already done by the lexer; keywords are stored upper-case).
+  bool IsKeyword(const char* word) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Returns true if `word` (upper-cased) is a reserved CQL keyword.
+bool IsReservedKeyword(const std::string& upper_word);
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_TOKEN_H_

@@ -1,0 +1,117 @@
+#include "sim/home_world.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/mote.h"
+#include "sim/rfid_reader.h"
+#include "sim/x10_motion.h"
+
+namespace esp::sim {
+
+std::string HomeWorld::ReaderId(int index) {
+  return "office_reader_" + std::to_string(index);
+}
+std::string HomeWorld::MoteId(int index) {
+  return "office_mote_" + std::to_string(index + 1);
+}
+std::string HomeWorld::DetectorId(int index) {
+  return "x10_" + std::to_string(index + 1);
+}
+
+bool HomeWorld::PersonPresent(Timestamp time) const {
+  const double periods = time.seconds() / config_.presence_period.seconds();
+  return static_cast<int64_t>(periods) % 2 == 0;
+}
+
+std::vector<HomeWorld::Tick> HomeWorld::Generate() {
+  Rng rng(config_.seed);
+
+  std::array<RfidReaderModel, 2> readers = {
+      RfidReaderModel({ReaderId(0), config_.antenna_efficiency[0],
+                       /*ghost_read_prob=*/0.0,
+                       /*ghost_tags=*/{}}),
+      RfidReaderModel({ReaderId(1), config_.antenna_efficiency[1],
+                       config_.ghost_read_prob,
+                       /*ghost_tags=*/{kErrantTag}}),
+  };
+  std::array<Rng, 2> reader_rngs = {rng.Fork(), rng.Fork()};
+
+  std::vector<MoteModel> motes;
+  for (int i = 0; i < 3; ++i) {
+    MoteModel::Config mote_config;
+    mote_config.mote_id = MoteId(i);
+    mote_config.noise_stddev = 0.0;  // Noise is modelled in the sound field.
+    mote_config.good_delivery_prob = 0.92;  // Single-hop office network.
+    motes.emplace_back(mote_config, rng.Fork());
+  }
+  Rng sound_rng = rng.Fork();
+
+  std::vector<X10MotionModel> detectors;
+  for (int i = 0; i < 3; ++i) {
+    detectors.emplace_back(
+        X10MotionModel::Config{DetectorId(i), config_.x10_detection_prob,
+                               config_.x10_false_alarm_prob,
+                               Duration::Seconds(2)},
+        rng.Fork());
+  }
+
+  const Duration step = Duration::Seconds(1.0 / config_.rfid_sample_hz);
+  const int64_t ticks = config_.duration.micros() / step.micros();
+  const int64_t mote_every = config_.mote_epoch.micros() / step.micros();
+  const int64_t x10_every = config_.x10_poll.micros() / step.micros();
+
+  std::vector<Tick> trace;
+  trace.reserve(static_cast<size_t>(ticks));
+  for (int64_t k = 0; k < ticks; ++k) {
+    const Timestamp t = Timestamp::Epoch() + step * static_cast<double>(k);
+    Tick tick;
+    tick.time = t;
+    tick.person_present = PersonPresent(t);
+
+    // RFID: the person's tag is readable only while they are in the room.
+    for (int r = 0; r < 2; ++r) {
+      std::vector<std::pair<std::string, double>> view;
+      if (tick.person_present) {
+        view.emplace_back(kPersonTag, config_.person_tag_distance_ft);
+      }
+      std::vector<RfidReading> readings =
+          readers[static_cast<size_t>(r)].Poll(
+              view, t, &reader_rngs[static_cast<size_t>(r)]);
+      for (RfidReading& reading : readings) {
+        tick.rfid.push_back(std::move(reading));
+      }
+    }
+
+    // Sound motes at their own epoch.
+    if (k % mote_every == 0) {
+      for (int i = 0; i < 3; ++i) {
+        double level =
+            sound_rng.Gaussian(config_.ambient_noise_mean,
+                               config_.ambient_noise_stddev);
+        if (tick.person_present) {
+          // Talking raises the level, with high variance (speech is bursty).
+          level += std::max(
+              0.0, sound_rng.Gaussian(config_.talking_noise_boost,
+                                      config_.talking_noise_stddev));
+        }
+        auto value = motes[static_cast<size_t>(i)].Sample(level, t);
+        if (value.has_value()) {
+          tick.sound.push_back({MoteId(i), *value, t});
+        }
+      }
+    }
+
+    // X10 detectors at their own poll period.
+    if (k % x10_every == 0) {
+      for (X10MotionModel& detector : detectors) {
+        auto reading = detector.Poll(tick.person_present, t);
+        if (reading.has_value()) tick.motion.push_back(*reading);
+      }
+    }
+    trace.push_back(std::move(tick));
+  }
+  return trace;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,63 @@
+#include "sim/intel_lab_world.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/mote.h"
+
+namespace esp::sim {
+
+std::string IntelLabWorld::MoteId(int index) {
+  return "mote_" + std::to_string(index + 1);
+}
+
+double IntelLabWorld::TrueTemperature(Timestamp time) const {
+  // Office diurnal cycle: coolest ~5am, warmest ~3pm, HVAC-dampened.
+  const double day_fraction = std::fmod(time.seconds(), 86400.0) / 86400.0;
+  return config_.mean_temp_c +
+         config_.diurnal_amplitude_c *
+             std::sin(2.0 * M_PI * (day_fraction - 0.3));
+}
+
+std::vector<IntelLabWorld::Tick> IntelLabWorld::Generate() {
+  Rng rng(config_.seed);
+
+  std::vector<MoteModel> motes;
+  std::vector<double> offsets;
+  for (int i = 0; i < config_.num_motes; ++i) {
+    MoteModel::Config mote_config;
+    mote_config.mote_id = MoteId(i);
+    mote_config.noise_stddev = config_.noise_stddev;
+    mote_config.good_delivery_prob = config_.delivery_prob;
+    if (i == config_.failing_mote) {
+      mote_config.fail_dirty = true;
+      mote_config.fail_start = config_.fail_start;
+      mote_config.fail_ramp_per_hour = config_.fail_ramp_per_hour;
+    }
+    motes.emplace_back(mote_config, rng.Fork());
+    // Small per-mote calibration offset, as in real deployments.
+    offsets.push_back(rng.Gaussian(0.0, 0.2));
+  }
+
+  const int64_t ticks = config_.duration.micros() / config_.epoch.micros();
+  std::vector<Tick> trace;
+  trace.reserve(static_cast<size_t>(ticks));
+  for (int64_t k = 0; k < ticks; ++k) {
+    const Timestamp t =
+        Timestamp::Epoch() + config_.epoch * static_cast<double>(k);
+    Tick tick;
+    tick.time = t;
+    tick.true_temp = TrueTemperature(t);
+    for (int i = 0; i < config_.num_motes; ++i) {
+      auto value = motes[static_cast<size_t>(i)].Sample(
+          tick.true_temp + offsets[static_cast<size_t>(i)], t);
+      if (value.has_value()) {
+        tick.readings.push_back({MoteId(i), *value, t});
+      }
+    }
+    trace.push_back(std::move(tick));
+  }
+  return trace;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,70 @@
+#include "sim/mote.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esp::sim {
+
+MoteModel::MoteModel(Config config, Rng rng)
+    : config_(std::move(config)), rng_(rng) {}
+
+double MoteModel::Sense(double true_value, Timestamp time) {
+  const double noise = rng_.Gaussian(0.0, config_.noise_stddev);
+  if (config_.fail_dirty && time >= config_.fail_start) {
+    if (!fail_base_.has_value()) fail_base_ = true_value;
+    const double hours = (time - config_.fail_start).seconds() / 3600.0;
+    const double faulty =
+        *fail_base_ + config_.fail_ramp_per_hour * hours + noise;
+    return std::min(faulty, config_.fail_ceiling);
+  }
+  return true_value + noise;
+}
+
+Duration MoteModel::NextDwell() {
+  const Duration mean = channel_good_ ? config_.mean_good_duration
+                                      : config_.mean_bad_duration;
+  double u = 0.0;
+  do {
+    u = rng_.NextDouble();
+  } while (u == 0.0);
+  const double seconds = std::max(1e-6, -mean.seconds() * std::log(u));
+  return Duration::Seconds(seconds);
+}
+
+void MoteModel::AdvanceChannel(Timestamp time) {
+  if (!channel_initialized_) {
+    channel_initialized_ = true;
+    // Start in the stationary distribution so traces have no warm-up bias.
+    const double good_s = config_.mean_good_duration.seconds();
+    const double bad_s = config_.mean_bad_duration.seconds();
+    const double p_good =
+        good_s + bad_s > 0 ? good_s / (good_s + bad_s) : 1.0;
+    channel_good_ = rng_.Bernoulli(p_good);
+    state_until_ = time + NextDwell();
+    return;
+  }
+  while (time >= state_until_) {
+    channel_good_ = !channel_good_;
+    state_until_ = state_until_ + NextDwell();
+  }
+}
+
+bool MoteModel::Delivered(Timestamp time) {
+  if (config_.mean_bad_duration.IsZero()) {
+    return rng_.Bernoulli(config_.good_delivery_prob);
+  }
+  AdvanceChannel(time);
+  const double p = channel_good_ ? config_.good_delivery_prob
+                                 : config_.bad_delivery_prob;
+  return rng_.Bernoulli(p);
+}
+
+std::optional<double> MoteModel::Sample(double true_value, Timestamp time) {
+  // Sense unconditionally so the sensor state (fail latch, noise stream)
+  // does not depend on the network.
+  const double value = Sense(true_value, time);
+  if (!Delivered(time)) return std::nullopt;
+  return value;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,83 @@
+#ifndef ESP_SIM_MOTE_H_
+#define ESP_SIM_MOTE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace esp::sim {
+
+/// \brief Statistical model of a wireless sensor mote: sensing noise, lossy
+/// multi-hop delivery, and the "fail dirty" failure mode.
+///
+/// Delivery loss uses a two-state Gilbert-Elliott channel: links alternate
+/// between a good state (most messages arrive) and a bad state (route
+/// outage, nearly nothing arrives). Real multi-hop deployments lose data in
+/// bursts — the Intel Lab and redwood traces' 40-42% epoch yields are not
+/// i.i.d. drops — and burstiness is exactly what limits how much a smoothing
+/// window can recover, so the channel shape matters for Section 5.2.
+///
+/// Fail-dirty (Section 5.1): after `fail_start` the sensor reports a value
+/// ramping away from truth (the observed failure mode: temperatures rising
+/// slowly past 100 °C), while the radio keeps working.
+class MoteModel {
+ public:
+  struct Config {
+    std::string mote_id;
+    /// Gaussian sensing noise (1 sigma) added to the true value.
+    double noise_stddev = 0.1;
+
+    /// Gilbert-Elliott delivery model. Stationary yield =
+    /// good_mean / (good_mean + bad_mean) * good_delivery_prob (approx).
+    double good_delivery_prob = 1.0;
+    double bad_delivery_prob = 0.0;
+    Duration mean_good_duration = Duration::Hours(1e6);  // Default: no loss.
+    Duration mean_bad_duration = Duration::Zero();
+
+    /// Fail-dirty configuration.
+    bool fail_dirty = false;
+    Timestamp fail_start;
+    /// Reported value drifts by this many units per hour after fail_start.
+    double fail_ramp_per_hour = 4.0;
+    /// The faulty value saturates here (sensor rail).
+    double fail_ceiling = 130.0;
+  };
+
+  /// `rng` must outlive the model; each mote should own a forked stream.
+  MoteModel(Config config, Rng rng);
+
+  const std::string& mote_id() const { return config_.mote_id; }
+
+  /// Produces the value the mote senses at `time` given the true physical
+  /// value — including noise and fail-dirty corruption. This is what the
+  /// local log records (the redwood deployment's storage buffer).
+  double Sense(double true_value, Timestamp time);
+
+  /// True if a message sent at `time` survives the multi-hop network.
+  /// Call with non-decreasing times; the channel state machine advances
+  /// with the clock.
+  bool Delivered(Timestamp time);
+
+  /// Sense + Delivered in one step: nullopt when the reading is lost.
+  std::optional<double> Sample(double true_value, Timestamp time);
+
+ private:
+  void AdvanceChannel(Timestamp time);
+
+  /// Draws an exponential dwell time for the current channel state.
+  Duration NextDwell();
+
+  Config config_;
+  Rng rng_;
+  bool channel_good_ = true;
+  Timestamp state_until_;
+  bool channel_initialized_ = false;
+  // Value held at the moment the sensor failed (latched on first use).
+  std::optional<double> fail_base_;
+};
+
+}  // namespace esp::sim
+
+#endif  // ESP_SIM_MOTE_H_

@@ -1,0 +1,63 @@
+#include "sim/reading.h"
+
+namespace esp::sim {
+
+using stream::DataType;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+namespace {
+// Shared schema instances: tuples from one stream share one schema object.
+const SchemaRef& SharedRfidSchema() {
+  static const SchemaRef schema = stream::MakeSchema(
+      {{"reader_id", DataType::kString}, {"tag_id", DataType::kString}});
+  return schema;
+}
+const SchemaRef& SharedTempSchema() {
+  static const SchemaRef schema = stream::MakeSchema(
+      {{"mote_id", DataType::kString}, {"temp", DataType::kDouble}});
+  return schema;
+}
+const SchemaRef& SharedSoundSchema() {
+  static const SchemaRef schema = stream::MakeSchema(
+      {{"mote_id", DataType::kString}, {"noise", DataType::kDouble}});
+  return schema;
+}
+const SchemaRef& SharedMotionSchema() {
+  static const SchemaRef schema = stream::MakeSchema(
+      {{"detector_id", DataType::kString}, {"value", DataType::kString}});
+  return schema;
+}
+}  // namespace
+
+SchemaRef RfidReadingSchema() { return SharedRfidSchema(); }
+SchemaRef TempReadingSchema() { return SharedTempSchema(); }
+SchemaRef SoundReadingSchema() { return SharedSoundSchema(); }
+SchemaRef MotionReadingSchema() { return SharedMotionSchema(); }
+
+Tuple ToTuple(const RfidReading& reading) {
+  return Tuple(SharedRfidSchema(),
+               {Value::String(reading.reader_id), Value::String(reading.tag_id)},
+               reading.time);
+}
+
+Tuple ToTempTuple(const MoteReading& reading) {
+  return Tuple(SharedTempSchema(),
+               {Value::String(reading.mote_id), Value::Double(reading.value)},
+               reading.time);
+}
+
+Tuple ToSoundTuple(const MoteReading& reading) {
+  return Tuple(SharedSoundSchema(),
+               {Value::String(reading.mote_id), Value::Double(reading.value)},
+               reading.time);
+}
+
+Tuple ToTuple(const MotionReading& reading) {
+  return Tuple(SharedMotionSchema(),
+               {Value::String(reading.detector_id), Value::String("ON")},
+               reading.time);
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,56 @@
+#ifndef ESP_SIM_READING_H_
+#define ESP_SIM_READING_H_
+
+#include <string>
+
+#include "common/time.h"
+#include "stream/tuple.h"
+
+namespace esp::sim {
+
+/// \brief One raw RFID detection event: reader `reader_id` saw tag `tag_id`.
+///
+/// Matches the paper's raw reader output after the built-in checksum filter
+/// (its out-of-the-box Point functionality).
+struct RfidReading {
+  std::string reader_id;
+  std::string tag_id;
+  Timestamp time;
+};
+
+/// \brief One wireless sensor mote sample (temperature or sound, depending
+/// on the deployment).
+struct MoteReading {
+  std::string mote_id;
+  double value = 0.0;
+  Timestamp time;
+};
+
+/// \brief One X10 motion detector event. These devices only emit "ON".
+struct MotionReading {
+  std::string detector_id;
+  Timestamp time;
+};
+
+/// Schema of RFID reading streams: (reader_id:string, tag_id:string).
+stream::SchemaRef RfidReadingSchema();
+
+/// Schema of temperature mote streams: (mote_id:string, temp:double).
+stream::SchemaRef TempReadingSchema();
+
+/// Schema of sound mote streams: (mote_id:string, noise:double).
+stream::SchemaRef SoundReadingSchema();
+
+/// Schema of X10 streams: (detector_id:string, value:string) — value is
+/// always "ON", mirroring the hardware.
+stream::SchemaRef MotionReadingSchema();
+
+/// Tuple conversions against the schemas above.
+stream::Tuple ToTuple(const RfidReading& reading);
+stream::Tuple ToTempTuple(const MoteReading& reading);
+stream::Tuple ToSoundTuple(const MoteReading& reading);
+stream::Tuple ToTuple(const MotionReading& reading);
+
+}  // namespace esp::sim
+
+#endif  // ESP_SIM_READING_H_

@@ -1,0 +1,99 @@
+#include "sim/redwood_world.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/mote.h"
+
+namespace esp::sim {
+
+std::string RedwoodWorld::MoteId(int index) {
+  return "rw_mote_" + std::to_string(index);
+}
+
+std::string RedwoodWorld::GroupId(int group) {
+  return "height_band_" + std::to_string(group);
+}
+
+double RedwoodWorld::HeightOf(int mote_index) const {
+  if (config_.num_motes <= 1) return config_.base_height_m;
+  const double fraction = static_cast<double>(mote_index) /
+                          static_cast<double>(config_.num_motes - 1);
+  return config_.base_height_m +
+         fraction * (config_.top_height_m - config_.base_height_m);
+}
+
+double RedwoodWorld::TrueTemperature(int mote_index, Timestamp time) const {
+  const double height = HeightOf(mote_index);
+  const double height_fraction =
+      (height - config_.base_height_m) /
+      (config_.top_height_m - config_.base_height_m);
+  const double amplitude =
+      config_.base_amplitude_c +
+      height_fraction * (config_.top_amplitude_c - config_.base_amplitude_c);
+  const double day_fraction = std::fmod(time.seconds(), 86400.0) / 86400.0;
+  // Short-period weather fluctuation, phase-shifted along the trunk.
+  const double weather_amplitude =
+      config_.weather_amplitude_base_c +
+      height_fraction *
+          (config_.weather_amplitude_top_c - config_.weather_amplitude_base_c);
+  const double weather =
+      weather_amplitude *
+      std::sin(2.0 * M_PI * time.seconds() / config_.weather_period.seconds() +
+               0.8 * height_fraction);
+  // Coolest just before dawn (~5am), warmest mid-afternoon (~2pm); the
+  // canopy also runs slightly warmer on average.
+  return config_.mean_temp_c + 1.5 * height_fraction + weather +
+         amplitude * std::sin(2.0 * M_PI * (day_fraction - 0.29));
+}
+
+std::vector<RedwoodWorld::Tick> RedwoodWorld::Generate() {
+  Rng rng(config_.seed);
+
+  std::vector<MoteModel> motes;
+  std::vector<double> offsets;        // Calibration error per mote.
+  std::vector<double> micro_offsets;  // Intra-group physical difference.
+  for (int i = 0; i < config_.num_motes; ++i) {
+    MoteModel::Config mote_config;
+    mote_config.mote_id = MoteId(i);
+    mote_config.noise_stddev = config_.noise_stddev;
+    mote_config.good_delivery_prob = config_.good_delivery_prob;
+    mote_config.bad_delivery_prob = config_.bad_delivery_prob;
+    mote_config.mean_good_duration = config_.mean_good_duration;
+    mote_config.mean_bad_duration = config_.mean_bad_duration;
+    motes.emplace_back(mote_config, rng.Fork());
+    offsets.push_back(rng.Gaussian(0.0, config_.calibration_stddev));
+    // Only the second member of each pair is physically offset from the
+    // group's nominal spot.
+    micro_offsets.push_back(
+        i % 2 == 1 ? rng.Gaussian(0.0, config_.intra_group_stddev) : 0.0);
+  }
+
+  const int64_t ticks = config_.duration.micros() / config_.epoch.micros();
+  std::vector<Tick> trace;
+  trace.reserve(static_cast<size_t>(ticks));
+  for (int64_t k = 0; k < ticks; ++k) {
+    const Timestamp t =
+        Timestamp::Epoch() + config_.epoch * static_cast<double>(k);
+    Tick tick;
+    tick.time = t;
+    tick.true_temps.reserve(static_cast<size_t>(config_.num_motes));
+    for (int i = 0; i < config_.num_motes; ++i) {
+      const size_t index = static_cast<size_t>(i);
+      const double truth =
+          TrueTemperature(i, t) + micro_offsets[index];
+      tick.true_temps.push_back(truth);
+      // The local log records every (noisy, calibrated) sample.
+      const double sensed =
+          motes[index].Sense(truth + offsets[index], t);
+      tick.logged.push_back({MoteId(i), sensed, t});
+      if (motes[index].Delivered(t)) {
+        tick.delivered.push_back({MoteId(i), sensed, t});
+      }
+    }
+    trace.push_back(std::move(tick));
+  }
+  return trace;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,107 @@
+#include "sim/shelf_world.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace esp::sim {
+
+ShelfWorld::ShelfWorld(Config config) : config_(config) {
+  ESP_CHECK(config_.sample_hz > 0) << "sample rate must be positive";
+}
+
+std::string ShelfWorld::ReaderId(int shelf) {
+  return "reader_" + std::to_string(shelf);
+}
+
+int ShelfWorld::MobileShelfAt(Timestamp time) const {
+  const double periods =
+      time.seconds() / config_.relocation_period.seconds();
+  return static_cast<int64_t>(periods) % 2 == 0 ? 0 : 1;
+}
+
+int64_t ShelfWorld::TrueCount(int shelf, Timestamp time) const {
+  const int64_t static_count =
+      config_.static_tags_near + config_.static_tags_far;
+  return static_count +
+         (MobileShelfAt(time) == shelf ? config_.mobile_tags : 0);
+}
+
+std::vector<ShelfWorld::Tick> ShelfWorld::Generate() {
+  Rng rng(config_.seed);
+  std::array<Rng, 2> reader_rngs = {rng.Fork(), rng.Fork()};
+
+  std::array<RfidReaderModel, 2> readers = {
+      RfidReaderModel({ReaderId(0), config_.antenna_efficiency[0],
+                       /*ghost_read_prob=*/0.0,
+                       /*ghost_tags=*/{}}),
+      RfidReaderModel({ReaderId(1), config_.antenna_efficiency[1],
+                       /*ghost_read_prob=*/0.0,
+                       /*ghost_tags=*/{}}),
+  };
+
+  // Static tag ids and distances, fixed for the run.
+  struct StaticTag {
+    std::string id;
+    int shelf;
+    double distance_ft;
+  };
+  std::vector<StaticTag> static_tags;
+  for (int shelf = 0; shelf < 2; ++shelf) {
+    for (int i = 0; i < config_.static_tags_near; ++i) {
+      static_tags.push_back({StrFormat("tag_s%d_%d", shelf, i), shelf,
+                             config_.near_distance_ft});
+    }
+    for (int i = 0; i < config_.static_tags_far; ++i) {
+      static_tags.push_back(
+          {StrFormat("tag_s%d_%d", shelf, config_.static_tags_near + i),
+           shelf, config_.far_distance_ft});
+    }
+  }
+  std::vector<std::string> mobile_tags;
+  for (int i = 0; i < config_.mobile_tags; ++i) {
+    mobile_tags.push_back(StrFormat("tag_m%d", i));
+  }
+
+  const Duration step = Duration::Seconds(1.0 / config_.sample_hz);
+  const int64_t ticks =
+      static_cast<int64_t>(config_.duration.micros() / step.micros());
+
+  std::vector<Tick> trace;
+  trace.reserve(static_cast<size_t>(ticks));
+  for (int64_t k = 0; k < ticks; ++k) {
+    const Timestamp t = Timestamp::Epoch() + step * static_cast<double>(k);
+    Tick tick;
+    tick.time = t;
+    tick.true_counts = {TrueCount(0, t), TrueCount(1, t)};
+
+    const int mobile_shelf = MobileShelfAt(t);
+    for (int shelf = 0; shelf < 2; ++shelf) {
+      // Build this reader's view: (tag, effective distance).
+      std::vector<std::pair<std::string, double>> view;
+      view.reserve(static_tags.size() + mobile_tags.size());
+      const size_t reader = static_cast<size_t>(shelf);
+      for (const StaticTag& tag : static_tags) {
+        const double distance =
+            tag.shelf == shelf ? tag.distance_ft
+                               : config_.cross_static_distance_ft[reader];
+        view.emplace_back(tag.id, distance);
+      }
+      for (const std::string& tag : mobile_tags) {
+        const double distance =
+            mobile_shelf == shelf ? config_.mobile_distance_ft
+                                  : config_.cross_mobile_distance_ft[reader];
+        view.emplace_back(tag, distance);
+      }
+      std::vector<RfidReading> readings =
+          readers[static_cast<size_t>(shelf)].Poll(
+              view, t, &reader_rngs[static_cast<size_t>(shelf)]);
+      for (RfidReading& reading : readings) {
+        tick.readings.push_back(std::move(reading));
+      }
+    }
+    trace.push_back(std::move(tick));
+  }
+  return trace;
+}
+
+}  // namespace esp::sim

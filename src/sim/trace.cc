@@ -1,0 +1,111 @@
+#include "sim/trace.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace esp::sim {
+
+using stream::DataType;
+using stream::Relation;
+using stream::Tuple;
+using stream::Value;
+
+Status WriteRelationCsv(const std::string& path, const Relation& relation) {
+  if (relation.schema() == nullptr) {
+    return Status::InvalidArgument("relation has no schema");
+  }
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(path));
+  std::vector<std::string> header = {"time_us"};
+  for (const stream::Field& field : relation.schema()->fields()) {
+    header.push_back(field.name);
+  }
+  ESP_RETURN_IF_ERROR(writer.WriteRow(header));
+  for (const Tuple& tuple : relation.tuples()) {
+    std::vector<std::string> row = {
+        std::to_string(tuple.timestamp().micros())};
+    for (const Value& value : tuple.values()) {
+      row.push_back(value.is_null() ? "" : value.ToString());
+    }
+    ESP_RETURN_IF_ERROR(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+StatusOr<Relation> ReadRelationCsv(const std::string& path,
+                                   stream::SchemaRef schema) {
+  ESP_ASSIGN_OR_RETURN(auto rows, CsvReader::ReadFile(path));
+  if (rows.empty()) {
+    return Status::ParseError("trace file '" + path + "' has no header");
+  }
+  const size_t expected_columns = schema->num_fields() + 1;
+  if (rows[0].size() != expected_columns) {
+    return Status::ParseError(
+        "trace header has " + std::to_string(rows[0].size()) +
+        " columns, schema expects " + std::to_string(expected_columns));
+  }
+  Relation relation(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != expected_columns) {
+      return Status::ParseError("trace row " + std::to_string(r) +
+                                " has wrong column count");
+    }
+    int64_t micros = 0;
+    if (!StrToInt64(row[0], &micros)) {
+      return Status::ParseError("bad time_us in trace row " +
+                                std::to_string(r));
+    }
+    std::vector<Value> values;
+    values.reserve(schema->num_fields());
+    for (size_t c = 0; c < schema->num_fields(); ++c) {
+      const std::string& cell = row[c + 1];
+      if (cell.empty()) {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (schema->field(c).type) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          if (!StrToInt64(cell, &v)) {
+            return Status::ParseError("bad int64 '" + cell + "' in row " +
+                                      std::to_string(r));
+          }
+          values.push_back(Value::Int64(v));
+          break;
+        }
+        case DataType::kDouble: {
+          double v = 0;
+          if (!StrToDouble(cell, &v)) {
+            return Status::ParseError("bad double '" + cell + "' in row " +
+                                      std::to_string(r));
+          }
+          values.push_back(Value::Double(v));
+          break;
+        }
+        case DataType::kBool:
+          values.push_back(Value::Bool(cell == "true"));
+          break;
+        case DataType::kString:
+          values.push_back(Value::String(cell));
+          break;
+        case DataType::kTimestamp: {
+          // Timestamps round-trip via "t=<seconds>s" or raw micros.
+          int64_t v = 0;
+          if (StrToInt64(cell, &v)) {
+            values.push_back(Value::Time(Timestamp::Micros(v)));
+          } else {
+            return Status::ParseError("bad timestamp '" + cell + "'");
+          }
+          break;
+        }
+        case DataType::kNull:
+          values.push_back(Value::Null());
+          break;
+      }
+    }
+    relation.Add(Tuple(schema, std::move(values), Timestamp::Micros(micros)));
+  }
+  return relation;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,24 @@
+#ifndef ESP_SIM_TRACE_H_
+#define ESP_SIM_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/tuple.h"
+
+namespace esp::sim {
+
+/// \brief Writes a relation to CSV: header row `time_us,<field names...>`,
+/// one row per tuple. Used to archive simulator traces for replay and to
+/// dump figure data for plotting.
+Status WriteRelationCsv(const std::string& path,
+                        const stream::Relation& relation);
+
+/// \brief Reads a relation back from CSV produced by WriteRelationCsv.
+/// Values are parsed according to `schema`; empty cells become nulls.
+StatusOr<stream::Relation> ReadRelationCsv(const std::string& path,
+                                           stream::SchemaRef schema);
+
+}  // namespace esp::sim
+
+#endif  // ESP_SIM_TRACE_H_

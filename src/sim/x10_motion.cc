@@ -1,0 +1,18 @@
+#include "sim/x10_motion.h"
+
+namespace esp::sim {
+
+std::optional<MotionReading> X10MotionModel::Poll(bool motion_present,
+                                                  Timestamp time) {
+  const double p =
+      motion_present ? config_.detection_prob : config_.false_alarm_prob;
+  if (!rng_.Bernoulli(p)) return std::nullopt;
+  if (last_report_.has_value() &&
+      time - *last_report_ < config_.refractory) {
+    return std::nullopt;
+  }
+  last_report_ = time;
+  return MotionReading{config_.detector_id, time};
+}
+
+}  // namespace esp::sim

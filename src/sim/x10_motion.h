@@ -1,0 +1,49 @@
+#ifndef ESP_SIM_X10_MOTION_H_
+#define ESP_SIM_X10_MOTION_H_
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/reading.h"
+
+namespace esp::sim {
+
+/// \brief Statistical model of an X10 motion detector (Section 6).
+///
+/// These devices emit only "ON" events and, per the paper, "have limited
+/// sensing capabilities and frequently fail to report or report when there
+/// is no motion in the room". The model is a per-poll Bernoulli detector
+/// with separate hit and false-alarm probabilities, plus a refractory period
+/// after each report (real X10 units rate-limit their transmissions).
+class X10MotionModel {
+ public:
+  struct Config {
+    std::string detector_id;
+    /// Probability of reporting when there is motion in a poll interval.
+    double detection_prob = 0.5;
+    /// Probability of a spurious report when there is no motion.
+    double false_alarm_prob = 0.02;
+    /// Minimum spacing between two reports from this unit.
+    Duration refractory = Duration::Seconds(2);
+  };
+
+  X10MotionModel(Config config, Rng rng)
+      : config_(std::move(config)), rng_(rng) {}
+
+  const std::string& detector_id() const { return config_.detector_id; }
+
+  /// One poll: returns a reading if the unit fires. Call with
+  /// non-decreasing times.
+  std::optional<MotionReading> Poll(bool motion_present, Timestamp time);
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::optional<Timestamp> last_report_;
+};
+
+}  // namespace esp::sim
+
+#endif  // ESP_SIM_X10_MOTION_H_

@@ -1,0 +1,219 @@
+#include "stream/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace esp::stream {
+
+namespace {
+
+/// count(x): number of non-null inputs. Also used for count(*) — the caller
+/// feeds a non-null marker per row.
+class CountAggregator : public Aggregator {
+ public:
+  Status Update(const Value& value) override {
+    if (!value.is_null()) ++count_;
+    return Status::OK();
+  }
+  Value Final() const override { return Value::Int64(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class SumAggregator : public Aggregator {
+ public:
+  Status Update(const Value& value) override {
+    if (value.is_null()) return Status::OK();
+    ESP_ASSIGN_OR_RETURN(const double v, value.AsDouble());
+    sum_ += v;
+    saw_value_ = true;
+    // Preserve int64 typing when every input is integral.
+    all_integers_ = all_integers_ && value.type() == DataType::kInt64;
+    return Status::OK();
+  }
+  Value Final() const override {
+    if (!saw_value_) return Value::Null();
+    if (all_integers_) return Value::Int64(static_cast<int64_t>(sum_));
+    return Value::Double(sum_);
+  }
+
+ private:
+  double sum_ = 0.0;
+  bool saw_value_ = false;
+  bool all_integers_ = true;
+};
+
+class AvgAggregator : public Aggregator {
+ public:
+  Status Update(const Value& value) override {
+    if (value.is_null()) return Status::OK();
+    ESP_ASSIGN_OR_RETURN(const double v, value.AsDouble());
+    sum_ += v;
+    ++count_;
+    return Status::OK();
+  }
+  Value Final() const override {
+    if (count_ == 0) return Value::Null();
+    return Value::Double(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+class MinMaxAggregator : public Aggregator {
+ public:
+  explicit MinMaxAggregator(bool is_min) : is_min_(is_min) {}
+
+  Status Update(const Value& value) override {
+    if (value.is_null()) return Status::OK();
+    if (best_.is_null()) {
+      best_ = value;
+      return Status::OK();
+    }
+    ESP_ASSIGN_OR_RETURN(const int cmp, value.Compare(best_));
+    if ((is_min_ && cmp < 0) || (!is_min_ && cmp > 0)) best_ = value;
+    return Status::OK();
+  }
+  Value Final() const override { return best_; }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+/// Order statistics: median / arbitrary percentile. Buffers the window's
+/// values (windows are bounded, so this is acceptable); interpolates
+/// between ranks like most SQL engines' percentile_cont.
+class PercentileAggregator : public Aggregator {
+ public:
+  explicit PercentileAggregator(double fraction) : fraction_(fraction) {}
+
+  Status Update(const Value& value) override {
+    if (value.is_null()) return Status::OK();
+    ESP_ASSIGN_OR_RETURN(const double v, value.AsDouble());
+    values_.push_back(v);
+    return Status::OK();
+  }
+  Value Final() const override {
+    if (values_.empty()) return Value::Null();
+    std::vector<double> sorted = values_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        fraction_ * static_cast<double>(sorted.size() - 1);
+    const size_t lower = static_cast<size_t>(rank);
+    const size_t upper = std::min(lower + 1, sorted.size() - 1);
+    const double weight = rank - static_cast<double>(lower);
+    return Value::Double(sorted[lower] * (1.0 - weight) +
+                         sorted[upper] * weight);
+  }
+
+ private:
+  double fraction_;
+  std::vector<double> values_;
+};
+
+/// Population standard deviation / variance via Welford's algorithm.
+class StdDevAggregator : public Aggregator {
+ public:
+  explicit StdDevAggregator(bool variance) : variance_(variance) {}
+
+  Status Update(const Value& value) override {
+    if (value.is_null()) return Status::OK();
+    ESP_ASSIGN_OR_RETURN(const double v, value.AsDouble());
+    ++count_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+    return Status::OK();
+  }
+  Value Final() const override {
+    if (count_ == 0) return Value::Null();
+    const double var = m2_ / static_cast<double>(count_);
+    return Value::Double(variance_ ? var : std::sqrt(var));
+  }
+
+ private:
+  bool variance_;
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace
+
+Status DistinctAggregator::Update(const Value& value) {
+  if (value.is_null()) return Status::OK();
+  if (!seen_.insert(value).second) return Status::OK();
+  return inner_->Update(value);
+}
+
+AggregateRegistry::AggregateRegistry() {
+  factories_.emplace_back(
+      "count", [] { return std::make_unique<CountAggregator>(); });
+  factories_.emplace_back("sum",
+                          [] { return std::make_unique<SumAggregator>(); });
+  factories_.emplace_back("avg",
+                          [] { return std::make_unique<AvgAggregator>(); });
+  factories_.emplace_back(
+      "min", [] { return std::make_unique<MinMaxAggregator>(true); });
+  factories_.emplace_back(
+      "max", [] { return std::make_unique<MinMaxAggregator>(false); });
+  factories_.emplace_back(
+      "stdev", [] { return std::make_unique<StdDevAggregator>(false); });
+  factories_.emplace_back(
+      "stddev", [] { return std::make_unique<StdDevAggregator>(false); });
+  factories_.emplace_back(
+      "var", [] { return std::make_unique<StdDevAggregator>(true); });
+  factories_.emplace_back(
+      "median", [] { return std::make_unique<PercentileAggregator>(0.5); });
+  factories_.emplace_back("p90", [] {
+    return std::make_unique<PercentileAggregator>(0.9);
+  });
+  factories_.emplace_back("p95", [] {
+    return std::make_unique<PercentileAggregator>(0.95);
+  });
+}
+
+AggregateRegistry& AggregateRegistry::Global() {
+  static AggregateRegistry* registry = new AggregateRegistry();
+  return *registry;
+}
+
+Status AggregateRegistry::Register(const std::string& name,
+                                   AggregatorFactory factory) {
+  if (Contains(name)) {
+    return Status::AlreadyExists("aggregate '" + name + "' already registered");
+  }
+  factories_.emplace_back(StrToLower(name), std::move(factory));
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Aggregator>> AggregateRegistry::Create(
+    const std::string& name, bool distinct) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (StrEqualsIgnoreCase(registered, name)) {
+      std::unique_ptr<Aggregator> agg = factory();
+      if (distinct) {
+        agg = std::make_unique<DistinctAggregator>(std::move(agg));
+      }
+      return agg;
+    }
+  }
+  return Status::NotFound("unknown aggregate function '" + name + "'");
+}
+
+bool AggregateRegistry::Contains(const std::string& name) const {
+  for (const auto& [registered, factory] : factories_) {
+    if (StrEqualsIgnoreCase(registered, name)) return true;
+  }
+  return false;
+}
+
+}  // namespace esp::stream

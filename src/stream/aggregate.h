@@ -1,0 +1,80 @@
+#ifndef ESP_STREAM_AGGREGATE_H_
+#define ESP_STREAM_AGGREGATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/value.h"
+
+namespace esp::stream {
+
+/// \brief One running aggregate computation (the "accumulator").
+///
+/// Instances are single-use: create via AggregateRegistry, feed Update() for
+/// every input row, then call Final(). SQL null semantics: null inputs are
+/// skipped (except count(*), which never sees values at all — the caller
+/// invokes UpdateRow() for it).
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Feeds one input value. Null values are ignored by all built-ins.
+  virtual Status Update(const Value& value) = 0;
+
+  /// Produces the aggregate result. Empty-input behaviour follows SQL:
+  /// count -> 0, everything else -> null.
+  virtual Value Final() const = 0;
+};
+
+using AggregatorFactory = std::function<std::unique_ptr<Aggregator>()>;
+
+/// \brief Registry of aggregate functions by (case-insensitive) name.
+///
+/// Built-ins: count, sum, avg, min, max, stdev (population standard
+/// deviation, matching the paper's Query 5 usage), var. `count(distinct x)`
+/// is requested via the `distinct` flag. Deployments may register
+/// user-defined aggregates (UDAs) per Section 3.3 of the paper.
+class AggregateRegistry {
+ public:
+  /// Returns the process-wide registry pre-loaded with the built-ins.
+  static AggregateRegistry& Global();
+
+  /// Registers a UDA. Fails with AlreadyExists on name collision.
+  Status Register(const std::string& name, AggregatorFactory factory);
+
+  /// Instantiates an aggregator. `distinct` wraps the aggregator so each
+  /// distinct input value is fed exactly once.
+  StatusOr<std::unique_ptr<Aggregator>> Create(const std::string& name,
+                                               bool distinct) const;
+
+  /// True if `name` names a registered aggregate (used by the analyzer to
+  /// distinguish aggregate calls from scalar function calls).
+  bool Contains(const std::string& name) const;
+
+ private:
+  AggregateRegistry();
+  std::vector<std::pair<std::string, AggregatorFactory>> factories_;
+};
+
+/// \brief Wraps any aggregator so duplicate input values are fed only once —
+/// implements the DISTINCT modifier.
+class DistinctAggregator : public Aggregator {
+ public:
+  explicit DistinctAggregator(std::unique_ptr<Aggregator> inner)
+      : inner_(std::move(inner)) {}
+
+  Status Update(const Value& value) override;
+  Value Final() const override { return inner_->Final(); }
+
+ private:
+  std::unique_ptr<Aggregator> inner_;
+  std::unordered_set<Value, ValueHash> seen_;
+};
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_AGGREGATE_H_

@@ -1,0 +1,130 @@
+#include "stream/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esp::stream {
+
+void AggregatePartial::Update(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+void AggregatePartial::Merge(const AggregatePartial& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel update of (mean, M2).
+  const double total = static_cast<double>(count + other.count);
+  const double delta = other.mean - mean;
+  m2 += other.m2 +
+        delta * delta * static_cast<double>(count) *
+            static_cast<double>(other.count) / total;
+  mean = (mean * static_cast<double>(count) +
+          other.mean * static_cast<double>(other.count)) /
+         total;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+}
+
+Value AggregatePartial::Final(IncAggKind kind) const {
+  if (kind == IncAggKind::kCount) return Value::Int64(count);
+  if (count == 0) return Value::Null();
+  switch (kind) {
+    case IncAggKind::kSum:
+      return Value::Double(sum);
+    case IncAggKind::kAvg:
+      return Value::Double(mean);
+    case IncAggKind::kMin:
+      return Value::Double(min);
+    case IncAggKind::kMax:
+      return Value::Double(max);
+    case IncAggKind::kStdDev:
+      return Value::Double(std::sqrt(m2 / static_cast<double>(count)));
+    case IncAggKind::kVar:
+      return Value::Double(m2 / static_cast<double>(count));
+    case IncAggKind::kCount:
+      break;  // Handled above.
+  }
+  return Value::Null();
+}
+
+StatusOr<PaneWindowAggregate> PaneWindowAggregate::Create(Duration range,
+                                                          Duration pane,
+                                                          IncAggKind kind) {
+  if (pane.micros() <= 0) {
+    return Status::InvalidArgument("pane width must be positive");
+  }
+  if (range.micros() <= 0 || range.micros() % pane.micros() != 0) {
+    return Status::InvalidArgument(
+        "window range must be a positive multiple of the pane width");
+  }
+  return PaneWindowAggregate(range, pane, kind);
+}
+
+int64_t PaneWindowAggregate::PaneIndex(Timestamp ts) const {
+  // Pane k covers (k*pane, (k+1)*pane]; align so that a timestamp exactly
+  // on a pane boundary belongs to the earlier pane, matching the RANGE
+  // window's exclusive lower bound.
+  const int64_t micros = ts.micros();
+  const int64_t width = pane_.micros();
+  // Ceil division shifted by one: index of the pane whose upper edge is the
+  // smallest boundary >= ts.
+  int64_t index = micros / width;
+  if (micros % width == 0) index -= 1;
+  return index;
+}
+
+Status PaneWindowAggregate::Insert(Timestamp ts, const Value& value) {
+  if (has_inserted_ && ts < last_insert_) {
+    return Status::InvalidArgument("out-of-order insert into pane window");
+  }
+  last_insert_ = ts;
+  has_inserted_ = true;
+  if (value.is_null()) return Status::OK();
+  ESP_ASSIGN_OR_RETURN(const double v, value.AsDouble());
+
+  const int64_t index = PaneIndex(ts);
+  if (panes_.empty() || panes_.back().index < index) {
+    panes_.push_back({index, AggregatePartial{}});
+  }
+  panes_.back().partial.Update(v);
+  return Status::OK();
+}
+
+StatusOr<Value> PaneWindowAggregate::Evaluate(Timestamp now) {
+  // The window (now - range, now] covers the panes_per_window panes ending
+  // with the pane that contains `now`.
+  const int64_t last = PaneIndex(now);
+  const int64_t panes_per_window = range_.micros() / pane_.micros();
+  const int64_t first = last - panes_per_window + 1;
+
+  // Evict panes that ended at or before the window's lower edge.
+  while (!panes_.empty() && panes_.front().index < first) {
+    panes_.pop_front();
+  }
+
+  AggregatePartial combined;
+  for (const Pane& pane : panes_) {
+    if (pane.index >= first && pane.index <= last) {
+      combined.Merge(pane.partial);
+    }
+  }
+  return combined.Final(kind_);
+}
+
+}  // namespace esp::stream

@@ -1,0 +1,266 @@
+#include "stream/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "stream/aggregate.h"
+
+namespace esp::stream {
+
+size_t ValueVectorHash::operator()(const std::vector<Value>& values) const {
+  size_t hash = 0x9e3779b97f4a7c15ULL;
+  for (const Value& v : values) {
+    hash ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+  }
+  return hash;
+}
+
+bool ValueVectorEq::operator()(const std::vector<Value>& a,
+                               const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].Equals(b[i])) return false;
+  }
+  return true;
+}
+
+StatusOr<Relation> Filter(const Relation& input,
+                          const TuplePredicate& predicate) {
+  Relation result(input.schema());
+  for (const Tuple& tuple : input.tuples()) {
+    ESP_ASSIGN_OR_RETURN(const bool keep, predicate(tuple));
+    if (keep) result.Add(tuple);
+  }
+  return result;
+}
+
+StatusOr<Relation> Map(const Relation& input, SchemaRef output_schema,
+                       const TupleTransform& transform) {
+  Relation result(std::move(output_schema));
+  for (const Tuple& tuple : input.tuples()) {
+    ESP_ASSIGN_OR_RETURN(Tuple mapped, transform(tuple));
+    result.Add(std::move(mapped));
+  }
+  return result;
+}
+
+StatusOr<Relation> ProjectColumns(const Relation& input,
+                                  const std::vector<std::string>& columns) {
+  if (input.schema() == nullptr) {
+    return Status::Internal("projection over schema-less relation");
+  }
+  std::vector<size_t> indices;
+  std::vector<Field> fields;
+  for (const std::string& name : columns) {
+    ESP_ASSIGN_OR_RETURN(const size_t index,
+                         input.schema()->ResolveIndex(name));
+    indices.push_back(index);
+    fields.push_back(input.schema()->field(index));
+  }
+  SchemaRef schema = MakeSchema(std::move(fields));
+  Relation result(schema);
+  for (const Tuple& tuple : input.tuples()) {
+    std::vector<Value> values;
+    values.reserve(indices.size());
+    for (size_t index : indices) values.push_back(tuple.value(index));
+    result.Add(Tuple(schema, std::move(values), tuple.timestamp()));
+  }
+  return result;
+}
+
+StatusOr<Relation> Union(const std::vector<Relation>& inputs) {
+  if (inputs.empty()) return Relation();
+  const SchemaRef& schema = inputs.front().schema();
+  Relation result(schema);
+  for (const Relation& input : inputs) {
+    if (input.schema() != nullptr && schema != nullptr &&
+        !input.schema()->Equals(*schema)) {
+      return Status::TypeError("union over mismatched schemas: [" +
+                               schema->ToString() + "] vs [" +
+                               input.schema()->ToString() + "]");
+    }
+    for (const Tuple& tuple : input.tuples()) result.Add(tuple);
+  }
+  // Union of streams preserves global timestamp order for downstream
+  // window processing.
+  std::stable_sort(result.mutable_tuples().begin(),
+                   result.mutable_tuples().end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a.timestamp() < b.timestamp();
+                   });
+  return result;
+}
+
+StatusOr<Relation> GroupBy(const Relation& input,
+                           const std::vector<std::string>& key_columns,
+                           SchemaRef output_schema,
+                           const GroupReducer& reduce) {
+  std::vector<size_t> key_indices;
+  if (!key_columns.empty()) {
+    if (input.schema() == nullptr) {
+      return Status::Internal("group-by over schema-less relation");
+    }
+    for (const std::string& name : key_columns) {
+      ESP_ASSIGN_OR_RETURN(const size_t index,
+                           input.schema()->ResolveIndex(name));
+      key_indices.push_back(index);
+    }
+  }
+
+  // Preserve first-seen group order for deterministic output.
+  std::unordered_map<std::vector<Value>, size_t, ValueVectorHash, ValueVectorEq>
+      group_index;
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<const Tuple*>> groups;
+  for (const Tuple& tuple : input.tuples()) {
+    std::vector<Value> key;
+    key.reserve(key_indices.size());
+    for (size_t index : key_indices) key.push_back(tuple.value(index));
+    auto [it, inserted] = group_index.emplace(key, groups.size());
+    if (inserted) {
+      keys.push_back(std::move(key));
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(&tuple);
+  }
+
+  Relation result(std::move(output_schema));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    ESP_ASSIGN_OR_RETURN(Tuple out, reduce(keys[g], groups[g]));
+    result.Add(std::move(out));
+  }
+  return result;
+}
+
+StatusOr<Relation> HashJoin(const Relation& left, const std::string& left_key,
+                            const Relation& right,
+                            const std::string& right_key) {
+  if (left.schema() == nullptr || right.schema() == nullptr) {
+    return Status::Internal("join over schema-less relation");
+  }
+  ESP_ASSIGN_OR_RETURN(const size_t left_index,
+                       left.schema()->ResolveIndex(left_key));
+  ESP_ASSIGN_OR_RETURN(const size_t right_index,
+                       right.schema()->ResolveIndex(right_key));
+
+  // Combined schema; disambiguate collisions with a right_ prefix.
+  std::vector<Field> fields = left.schema()->fields();
+  for (const Field& field : right.schema()->fields()) {
+    Field out = field;
+    if (left.schema()->Contains(field.name)) {
+      out.name = "right_" + field.name;
+    }
+    fields.push_back(std::move(out));
+  }
+  SchemaRef schema = MakeSchema(std::move(fields));
+
+  // Build on the smaller side conceptually; for clarity build on the right.
+  std::unordered_map<Value, std::vector<const Tuple*>, ValueHash> table;
+  for (const Tuple& tuple : right.tuples()) {
+    const Value& key = tuple.value(right_index);
+    if (key.is_null()) continue;
+    table[key].push_back(&tuple);
+  }
+
+  Relation result(schema);
+  for (const Tuple& left_tuple : left.tuples()) {
+    const Value& key = left_tuple.value(left_index);
+    if (key.is_null()) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (const Tuple* right_tuple : it->second) {
+      std::vector<Value> values = left_tuple.values();
+      values.insert(values.end(), right_tuple->values().begin(),
+                    right_tuple->values().end());
+      result.Add(Tuple(schema, std::move(values),
+                       std::max(left_tuple.timestamp(),
+                                right_tuple->timestamp())));
+    }
+  }
+  return result;
+}
+
+StatusOr<Relation> Distinct(const Relation& input) {
+  Relation result(input.schema());
+  std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq> seen;
+  for (const Tuple& tuple : input.tuples()) {
+    if (seen.insert(tuple.values()).second) result.Add(tuple);
+  }
+  return result;
+}
+
+StatusOr<Relation> SortBy(const Relation& input, const std::string& column) {
+  if (input.schema() == nullptr) {
+    return Status::Internal("sort over schema-less relation");
+  }
+  ESP_ASSIGN_OR_RETURN(const size_t index,
+                       input.schema()->ResolveIndex(column));
+  Relation result = input;
+  Status failure;
+  std::stable_sort(
+      result.mutable_tuples().begin(), result.mutable_tuples().end(),
+      [&](const Tuple& a, const Tuple& b) {
+        const Value& lhs = a.value(index);
+        const Value& rhs = b.value(index);
+        if (lhs.is_null()) return !rhs.is_null();  // Nulls first.
+        if (rhs.is_null()) return false;
+        auto cmp = lhs.Compare(rhs);
+        if (!cmp.ok()) {
+          if (failure.ok()) failure = cmp.status();
+          return false;
+        }
+        return *cmp < 0;
+      });
+  if (!failure.ok()) return failure;
+  return result;
+}
+
+namespace {
+
+StatusOr<Value> RunColumnAggregate(const Relation& input,
+                                   const std::string& column,
+                                   const std::string& aggregate,
+                                   bool distinct) {
+  if (input.schema() == nullptr) {
+    return Status::Internal("aggregate over schema-less relation");
+  }
+  ESP_ASSIGN_OR_RETURN(const size_t index,
+                       input.schema()->ResolveIndex(column));
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                       AggregateRegistry::Global().Create(aggregate, distinct));
+  for (const Tuple& tuple : input.tuples()) {
+    ESP_RETURN_IF_ERROR(agg->Update(tuple.value(index)));
+  }
+  return agg->Final();
+}
+
+}  // namespace
+
+StatusOr<double> ColumnMean(const Relation& input, const std::string& column) {
+  ESP_ASSIGN_OR_RETURN(const Value v,
+                       RunColumnAggregate(input, column, "avg", false));
+  if (v.is_null()) {
+    return Status::InvalidArgument("mean of empty/all-null column");
+  }
+  return v.AsDouble();
+}
+
+StatusOr<double> ColumnStdDev(const Relation& input,
+                              const std::string& column) {
+  ESP_ASSIGN_OR_RETURN(const Value v,
+                       RunColumnAggregate(input, column, "stdev", false));
+  if (v.is_null()) {
+    return Status::InvalidArgument("stdev of empty/all-null column");
+  }
+  return v.AsDouble();
+}
+
+StatusOr<int64_t> ColumnCountDistinct(const Relation& input,
+                                      const std::string& column) {
+  ESP_ASSIGN_OR_RETURN(const Value v,
+                       RunColumnAggregate(input, column, "count", true));
+  return v.AsInt64();
+}
+
+}  // namespace esp::stream

@@ -1,0 +1,80 @@
+#ifndef ESP_STREAM_OPS_H_
+#define ESP_STREAM_OPS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/tuple.h"
+
+namespace esp::stream {
+
+/// \brief Hash/equality for composite group-by keys.
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& values) const;
+};
+struct ValueVectorEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+};
+
+/// Predicate and transform signatures used by the functional operators; the
+/// ESP operator toolkit programs stages with these when declarative CQL is
+/// not expressive enough (Section 3.3: "user-defined functions or arbitrary
+/// code").
+using TuplePredicate = std::function<StatusOr<bool>(const Tuple&)>;
+using TupleTransform = std::function<StatusOr<Tuple>(const Tuple&)>;
+
+/// \brief Keeps the tuples for which `predicate` returns true.
+StatusOr<Relation> Filter(const Relation& input, const TuplePredicate& predicate);
+
+/// \brief Applies `transform` to every tuple. The output schema is taken
+/// from the first produced tuple (inputs may be empty, in which case
+/// `output_schema` is used).
+StatusOr<Relation> Map(const Relation& input, SchemaRef output_schema,
+                       const TupleTransform& transform);
+
+/// \brief Keeps only the named columns, in the given order.
+StatusOr<Relation> ProjectColumns(const Relation& input,
+                                  const std::vector<std::string>& columns);
+
+/// \brief Concatenates relations; all inputs must share the first input's
+/// schema (column names and types).
+StatusOr<Relation> Union(const std::vector<Relation>& inputs);
+
+/// \brief Groups by the named key columns and reduces every group with
+/// `reduce`, which receives the key values and the group's rows and emits
+/// one output tuple.
+using GroupReducer = std::function<StatusOr<Tuple>(
+    const std::vector<Value>& key, const std::vector<const Tuple*>& rows)>;
+StatusOr<Relation> GroupBy(const Relation& input,
+                           const std::vector<std::string>& key_columns,
+                           SchemaRef output_schema, const GroupReducer& reduce);
+
+/// \brief Hash equi-join: pairs every left row with the right rows whose
+/// `right_key` equals the left row's `left_key` (inner join; null keys
+/// never match). Output schema is the concatenation of both inputs'
+/// columns; name collisions get a "right_" prefix on the right side.
+/// Output tuples carry the later of the two source timestamps.
+StatusOr<Relation> HashJoin(const Relation& left, const std::string& left_key,
+                            const Relation& right,
+                            const std::string& right_key);
+
+/// \brief Removes duplicate rows (all fields compared; first occurrence
+/// wins).
+StatusOr<Relation> Distinct(const Relation& input);
+
+/// \brief Stable-sorts rows by the named column ascending (nulls first).
+StatusOr<Relation> SortBy(const Relation& input, const std::string& column);
+
+/// \brief Convenience reductions over one column of a relation.
+StatusOr<double> ColumnMean(const Relation& input, const std::string& column);
+StatusOr<double> ColumnStdDev(const Relation& input, const std::string& column);
+StatusOr<int64_t> ColumnCountDistinct(const Relation& input,
+                                      const std::string& column);
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_OPS_H_

@@ -1,0 +1,49 @@
+#include "stream/schema.h"
+
+#include "common/string_util.h"
+
+namespace esp::stream {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (StrEqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+StatusOr<size_t> Schema::ResolveIndex(const std::string& name) const {
+  auto index = IndexOf(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no column named '" + name + "' in schema [" +
+                            ToString() + "]");
+  }
+  return *index;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!StrEqualsIgnoreCase(fields_[i].name, other.fields_[i].name) ||
+        fields_[i].type != other.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string result;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += fields_[i].name;
+    result += ':';
+    result += DataTypeToString(fields_[i].type);
+  }
+  return result;
+}
+
+SchemaRef MakeSchema(std::vector<Field> fields) {
+  return std::make_shared<const Schema>(std::move(fields));
+}
+
+}  // namespace esp::stream

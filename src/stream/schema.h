@@ -1,0 +1,66 @@
+#ifndef ESP_STREAM_SCHEMA_H_
+#define ESP_STREAM_SCHEMA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/type.h"
+
+namespace esp::stream {
+
+/// \brief One named, typed column of a schema.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Field&) const = default;
+};
+
+/// \brief An ordered list of fields describing the layout of tuples in a
+/// stream or relation.
+///
+/// Schemas are immutable once constructed and shared between tuples via
+/// std::shared_ptr (see SchemaRef). Field names are matched
+/// case-insensitively, mirroring SQL identifier semantics.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Returns the index of the field with the given (case-insensitive) name,
+  /// or nullopt if absent.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Like IndexOf but returns NotFound with a helpful message.
+  StatusOr<size_t> ResolveIndex(const std::string& name) const;
+
+  /// True if a field with this name exists.
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// Structural equality (names compared case-insensitively).
+  bool Equals(const Schema& other) const;
+
+  /// Renders "name:type, name:type, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaRef = std::shared_ptr<const Schema>;
+
+/// \brief Convenience: builds a shared schema from a field list.
+SchemaRef MakeSchema(std::vector<Field> fields);
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_SCHEMA_H_

@@ -1,0 +1,70 @@
+#include "stream/tuple.h"
+
+namespace esp::stream {
+
+StatusOr<Value> Tuple::Get(const std::string& name) const {
+  if (schema_ == nullptr) return Status::Internal("tuple has no schema");
+  ESP_ASSIGN_OR_RETURN(const size_t index, schema_->ResolveIndex(name));
+  return values_[index];
+}
+
+StatusOr<Tuple> Tuple::With(const std::string& name, Value value) const {
+  if (schema_ == nullptr) return Status::Internal("tuple has no schema");
+  ESP_ASSIGN_OR_RETURN(const size_t index, schema_->ResolveIndex(name));
+  std::vector<Value> values = values_;
+  values[index] = std::move(value);
+  return Tuple(schema_, std::move(values), timestamp_);
+}
+
+std::string Tuple::ToString() const {
+  std::string result = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) result += ", ";
+    if (schema_ != nullptr && i < schema_->num_fields()) {
+      result += schema_->field(i).name;
+      result += '=';
+    }
+    result += values_[i].ToString();
+  }
+  result += ") @";
+  result += timestamp_.ToString();
+  return result;
+}
+
+bool Tuple::Equals(const Tuple& other) const {
+  if (timestamp_ != other.timestamp_) return false;
+  if (values_.size() != other.values_.size()) return false;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (!values_[i].Equals(other.values_[i])) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::string result;
+  if (schema_ != nullptr) {
+    result += "[" + schema_->ToString() + "]\n";
+  }
+  for (const Tuple& t : tuples_) {
+    result += "  " + t.ToString() + "\n";
+  }
+  return result;
+}
+
+TupleBuilder& TupleBuilder::Set(const std::string& name, Value value) {
+  pending_.emplace_back(name, std::move(value));
+  return *this;
+}
+
+StatusOr<Tuple> TupleBuilder::Build() {
+  if (schema_ == nullptr) return Status::Internal("builder has no schema");
+  std::vector<Value> values(schema_->num_fields(), Value::Null());
+  for (auto& [name, value] : pending_) {
+    ESP_ASSIGN_OR_RETURN(const size_t index, schema_->ResolveIndex(name));
+    values[index] = std::move(value);
+  }
+  pending_.clear();
+  return Tuple(schema_, std::move(values), timestamp_);
+}
+
+}  // namespace esp::stream

@@ -1,0 +1,104 @@
+#ifndef ESP_STREAM_TUPLE_H_
+#define ESP_STREAM_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "stream/schema.h"
+#include "stream/value.h"
+
+namespace esp::stream {
+
+/// \brief One record flowing through the system: a shared schema plus a
+/// value per field and the (virtual) time at which the reading occurred.
+///
+/// The timestamp is carried out-of-band rather than as a column so that
+/// window management never depends on query text; queries that need the time
+/// as data can still project it via the ts() scalar function.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(SchemaRef schema, std::vector<Value> values, Timestamp timestamp)
+      : schema_(std::move(schema)),
+        values_(std::move(values)),
+        timestamp_(timestamp) {}
+
+  const SchemaRef& schema() const { return schema_; }
+  const std::vector<Value>& values() const { return values_; }
+  Timestamp timestamp() const { return timestamp_; }
+
+  size_t num_fields() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+
+  /// Returns the value of the named field, or NotFound.
+  StatusOr<Value> Get(const std::string& name) const;
+
+  /// Returns a copy with one field replaced (used by stage transforms).
+  StatusOr<Tuple> With(const std::string& name, Value value) const;
+
+  /// Renders "(a=1, b=x) @t=2.0s" for debugging.
+  std::string ToString() const;
+
+  /// Field-wise equality (timestamps must also match).
+  bool Equals(const Tuple& other) const;
+
+ private:
+  SchemaRef schema_;
+  std::vector<Value> values_;
+  Timestamp timestamp_;
+};
+
+/// \brief A materialized bag of tuples sharing one schema — the result of
+/// evaluating a windowed continuous query at one instant.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(SchemaRef schema) : schema_(std::move(schema)) {}
+  Relation(SchemaRef schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  const SchemaRef& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+
+  void Add(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  /// Multi-line debug rendering.
+  std::string ToString() const;
+
+ private:
+  SchemaRef schema_;
+  std::vector<Tuple> tuples_;
+};
+
+/// \brief Incrementally assembles tuples against a fixed schema, verifying
+/// arity; the main construction path for simulators and tests.
+class TupleBuilder {
+ public:
+  explicit TupleBuilder(SchemaRef schema) : schema_(std::move(schema)) {}
+
+  TupleBuilder& Set(const std::string& name, Value value);
+  TupleBuilder& At(Timestamp t) {
+    timestamp_ = t;
+    return *this;
+  }
+
+  /// Produces the tuple; unset fields are null. Returns InvalidArgument if a
+  /// Set() referenced an unknown column.
+  StatusOr<Tuple> Build();
+
+ private:
+  SchemaRef schema_;
+  std::vector<std::pair<std::string, Value>> pending_;
+  Timestamp timestamp_;
+};
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_TUPLE_H_

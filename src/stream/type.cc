@@ -1,0 +1,34 @@
+#include "stream/type.h"
+
+namespace esp::stream {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+DataType PromoteNumeric(DataType a, DataType b) {
+  if (a == DataType::kDouble || b == DataType::kDouble) {
+    return DataType::kDouble;
+  }
+  return DataType::kInt64;
+}
+
+}  // namespace esp::stream

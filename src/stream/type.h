@@ -1,0 +1,34 @@
+#ifndef ESP_STREAM_TYPE_H_
+#define ESP_STREAM_TYPE_H_
+
+#include <string>
+
+namespace esp::stream {
+
+/// \brief The ESP tuple field types.
+///
+/// Receptor readings are narrow records (ids, measurements, timestamps), so a
+/// compact scalar type system suffices. kNull is the type of an absent value;
+/// analyzers treat it as coercible to any other type.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+/// \brief Returns a lower-case name for the type ("int64", "string", ...).
+const char* DataTypeToString(DataType type);
+
+/// \brief True for kInt64 and kDouble.
+bool IsNumericType(DataType type);
+
+/// \brief The result type of an arithmetic operation over two inputs
+/// (int64 op int64 -> int64, anything with a double -> double).
+DataType PromoteNumeric(DataType a, DataType b);
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_TYPE_H_

@@ -1,0 +1,107 @@
+#include "stream/window.h"
+
+namespace esp::stream {
+
+std::string WindowSpec::ToString() const {
+  switch (kind) {
+    case WindowKind::kRange:
+      if (slide.micros() > 0) {
+        return "[Range By '" + range.ToString() + "' Slide By '" +
+               slide.ToString() + "']";
+      }
+      return "[Range By '" + range.ToString() + "']";
+    case WindowKind::kNow:
+      return "[Range By 'NOW']";
+    case WindowKind::kRows:
+      return "[Rows " + std::to_string(rows) + "]";
+    case WindowKind::kUnbounded:
+      return "[Unbounded]";
+  }
+  return "[?]";
+}
+
+Status WindowBuffer::Insert(Tuple tuple) {
+  if (has_inserted_ && tuple.timestamp() < last_insert_time_) {
+    return Status::InvalidArgument(
+        "out-of-order insert into window buffer: " +
+        tuple.timestamp().ToString() + " after " +
+        last_insert_time_.ToString());
+  }
+  last_insert_time_ = tuple.timestamp();
+  has_inserted_ = true;
+  buffer_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+void WindowBuffer::EvictBefore(Timestamp t) {
+  switch (spec_.kind) {
+    case WindowKind::kRange: {
+      // A tuple with timestamp s is in the window at time u >= t iff
+      // s > u - range; it is dead once s <= t - range. With a slide the
+      // effective evaluation time lags t by up to one slide width.
+      const Timestamp horizon = spec_.EffectiveTime(t) - spec_.range;
+      while (!buffer_.empty() && buffer_.front().timestamp() <= horizon) {
+        buffer_.pop_front();
+      }
+      break;
+    }
+    case WindowKind::kNow: {
+      while (!buffer_.empty() && buffer_.front().timestamp() < t) {
+        buffer_.pop_front();
+      }
+      break;
+    }
+    case WindowKind::kRows: {
+      while (buffer_.size() > static_cast<size_t>(spec_.rows)) {
+        buffer_.pop_front();
+      }
+      break;
+    }
+    case WindowKind::kUnbounded:
+      break;  // Nothing ever dies.
+  }
+}
+
+Relation WindowBuffer::Snapshot(Timestamp t) const {
+  Relation result(schema_);
+  switch (spec_.kind) {
+    case WindowKind::kRange: {
+      const Timestamp effective = spec_.EffectiveTime(t);
+      const Timestamp low = effective - spec_.range;  // Exclusive bound.
+      for (const Tuple& tuple : buffer_) {
+        if (tuple.timestamp() > low && tuple.timestamp() <= effective) {
+          result.Add(tuple);
+        }
+      }
+      break;
+    }
+    case WindowKind::kNow: {
+      for (const Tuple& tuple : buffer_) {
+        if (tuple.timestamp() == t) result.Add(tuple);
+      }
+      break;
+    }
+    case WindowKind::kRows: {
+      // Collect tuples at or before t, then keep the most recent n.
+      std::vector<const Tuple*> eligible;
+      for (const Tuple& tuple : buffer_) {
+        if (tuple.timestamp() <= t) eligible.push_back(&tuple);
+      }
+      const size_t n = static_cast<size_t>(spec_.rows);
+      const size_t start = eligible.size() > n ? eligible.size() - n : 0;
+      for (size_t i = start; i < eligible.size(); ++i) {
+        result.Add(*eligible[i]);
+      }
+      break;
+    }
+    case WindowKind::kUnbounded: {
+      for (const Tuple& tuple : buffer_) {
+        if (tuple.timestamp() <= t) result.Add(tuple);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace esp::stream

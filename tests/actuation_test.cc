@@ -1,0 +1,134 @@
+#include "core/actuation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace esp::core {
+namespace {
+
+SamplingController::Config TestConfig() {
+  SamplingController::Config config;
+  config.granule = Duration::Minutes(5);
+  config.min_readings_per_granule = 2;
+  config.max_readings_per_granule = 8;
+  config.adjust_factor = 2.0;
+  config.min_period = Duration::Seconds(10);
+  config.max_period = Duration::Minutes(20);
+  return config;
+}
+
+TEST(SamplingControllerTest, Registration) {
+  SamplingController controller(TestConfig());
+  EXPECT_TRUE(controller.AddReceptor("m1", Duration::Minutes(5)).ok());
+  EXPECT_EQ(controller.AddReceptor("m1", Duration::Minutes(5)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(controller.PeriodOf("m1").ok());
+  EXPECT_FALSE(controller.PeriodOf("unknown").ok());
+  EXPECT_FALSE(controller.RecordReading("unknown", Timestamp::Epoch()).ok());
+}
+
+TEST(SamplingControllerTest, StarvedGranuleTriggersSpeedUp) {
+  SamplingController controller(TestConfig());
+  ASSERT_TRUE(controller.AddReceptor("m1", Duration::Minutes(5)).ok());
+  // One reading in the first granule (below the minimum of 2).
+  ASSERT_TRUE(
+      controller.RecordReading("m1", Timestamp::Seconds(60)).ok());
+  auto advice = controller.Advise(Timestamp::Seconds(301));
+  ASSERT_TRUE(advice.ok());
+  ASSERT_EQ(advice->size(), 1u);
+  EXPECT_EQ((*advice)[0].receptor_id, "m1");
+  EXPECT_EQ((*advice)[0].observed_readings, 1);
+  EXPECT_EQ((*advice)[0].recommended_period, Duration::Minutes(2.5));
+}
+
+TEST(SamplingControllerTest, SilentGranuleAlsoTriggersSpeedUp) {
+  SamplingController controller(TestConfig());
+  ASSERT_TRUE(controller.AddReceptor("m1", Duration::Minutes(5)).ok());
+  auto advice = controller.Advise(Timestamp::Seconds(600));
+  ASSERT_TRUE(advice.ok());
+  ASSERT_EQ(advice->size(), 1u);
+  EXPECT_EQ((*advice)[0].observed_readings, 0);
+  EXPECT_LT((*advice)[0].recommended_period, (*advice)[0].current_period);
+}
+
+TEST(SamplingControllerTest, SaturatedGranuleBacksOff) {
+  SamplingController controller(TestConfig());
+  ASSERT_TRUE(controller.AddReceptor("m1", Duration::Seconds(30)).ok());
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(
+        controller.RecordReading("m1", Timestamp::Seconds(i * 28)).ok());
+  }
+  auto advice = controller.Advise(Timestamp::Seconds(300));
+  ASSERT_TRUE(advice.ok());
+  ASSERT_EQ(advice->size(), 1u);
+  EXPECT_GT((*advice)[0].recommended_period, Duration::Seconds(30));
+}
+
+TEST(SamplingControllerTest, HealthyBandIsQuietAndAdviceNotRepeated) {
+  SamplingController controller(TestConfig());
+  ASSERT_TRUE(controller.AddReceptor("m1", Duration::Minutes(1)).ok());
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(
+        controller.RecordReading("m1", Timestamp::Seconds(i * 60)).ok());
+  }
+  auto advice = controller.Advise(Timestamp::Seconds(300));
+  ASSERT_TRUE(advice.ok());
+  EXPECT_TRUE(advice->empty());  // 4 readings: inside [2, 8].
+  // Re-advising at the same instant must not re-emit for the same granule.
+  advice = controller.Advise(Timestamp::Seconds(300));
+  ASSERT_TRUE(advice.ok());
+  EXPECT_TRUE(advice->empty());
+}
+
+TEST(SamplingControllerTest, RecommendationsClampToLimits) {
+  SamplingController::Config config = TestConfig();
+  config.min_period = Duration::Minutes(4);
+  SamplingController controller(config);
+  ASSERT_TRUE(controller.AddReceptor("m1", Duration::Minutes(4)).ok());
+  // Starved, but the period is already at the minimum: no recommendation.
+  auto advice = controller.Advise(Timestamp::Seconds(301));
+  ASSERT_TRUE(advice.ok());
+  EXPECT_TRUE(advice->empty());
+}
+
+TEST(SamplingControllerTest, ClosedLoopConvergesToHealthyBand) {
+  // The Section 5.3.1 scenario end to end: a mote sampling exactly at the
+  // granule rate delivers ~1 reading per granule through a lossy link; the
+  // controller actuates it until every granule holds enough readings for
+  // the Smooth stage to work at granule size.
+  SamplingController controller(TestConfig());
+  ASSERT_TRUE(controller.AddReceptor("m1", Duration::Minutes(5)).ok());
+  Rng rng(77);
+  Duration period = Duration::Minutes(5);
+  int64_t healthy_granules = 0;
+  int64_t granules = 0;
+  Timestamp next_sample = Timestamp::Epoch() + period;
+  for (int minute = 1; minute <= 120; ++minute) {
+    const Timestamp now = Timestamp::Seconds(minute * 60);
+    while (next_sample <= now) {
+      if (rng.Bernoulli(0.6)) {  // 40% loss.
+        ASSERT_TRUE(controller.RecordReading("m1", next_sample).ok());
+      }
+      next_sample = next_sample + period;
+    }
+    if (minute % 5 == 0) {
+      ++granules;
+      auto advice = controller.Advise(now);
+      ASSERT_TRUE(advice.ok());
+      if (advice->empty()) {
+        ++healthy_granules;
+      } else {
+        period = (*advice)[0].recommended_period;
+        ASSERT_TRUE(controller.SetPeriod("m1", period).ok());
+      }
+    }
+  }
+  // After actuation kicks in, most granules are healthy and the period has
+  // been driven well below the granule size.
+  EXPECT_LT(period, Duration::Minutes(5));
+  EXPECT_GT(healthy_granules, granules / 2);
+}
+
+}  // namespace
+}  // namespace esp::core

@@ -1,0 +1,228 @@
+#include "stream/aggregate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace esp::stream {
+namespace {
+
+Value RunAggregate(const std::string& name, bool distinct,
+                   const std::vector<Value>& inputs) {
+  auto agg = AggregateRegistry::Global().Create(name, distinct);
+  EXPECT_TRUE(agg.ok()) << agg.status();
+  for (const Value& v : inputs) {
+    EXPECT_TRUE((*agg)->Update(v).ok());
+  }
+  return (*agg)->Final();
+}
+
+TEST(AggregateTest, Count) {
+  EXPECT_EQ(RunAggregate("count", false,
+                         {Value::Int64(1), Value::Int64(2), Value::Null()})
+                .int64_value(),
+            2);
+  EXPECT_EQ(RunAggregate("count", false, {}).int64_value(), 0);
+}
+
+TEST(AggregateTest, CountDistinct) {
+  EXPECT_EQ(RunAggregate("count", true,
+                         {Value::String("a"), Value::String("b"),
+                          Value::String("a"), Value::Null()})
+                .int64_value(),
+            2);
+}
+
+TEST(AggregateTest, CountDistinctNumericCoercion) {
+  // 1 and 1.0 are equal, so they count once.
+  EXPECT_EQ(
+      RunAggregate("count", true, {Value::Int64(1), Value::Double(1.0)})
+          .int64_value(),
+      1);
+}
+
+TEST(AggregateTest, SumPreservesIntegerType) {
+  const Value int_sum =
+      RunAggregate("sum", false, {Value::Int64(1), Value::Int64(2)});
+  EXPECT_EQ(int_sum.type(), DataType::kInt64);
+  EXPECT_EQ(int_sum.int64_value(), 3);
+
+  const Value mixed_sum =
+      RunAggregate("sum", false, {Value::Int64(1), Value::Double(0.5)});
+  EXPECT_EQ(mixed_sum.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(mixed_sum.double_value(), 1.5);
+}
+
+TEST(AggregateTest, SumOfEmptyIsNull) {
+  EXPECT_TRUE(RunAggregate("sum", false, {}).is_null());
+  EXPECT_TRUE(RunAggregate("sum", false, {Value::Null()}).is_null());
+}
+
+TEST(AggregateTest, Avg) {
+  EXPECT_DOUBLE_EQ(
+      RunAggregate("avg", false,
+                   {Value::Int64(1), Value::Int64(2), Value::Int64(6)})
+          .double_value(),
+      3.0);
+  EXPECT_TRUE(RunAggregate("avg", false, {}).is_null());
+  // Nulls are skipped, not treated as zero.
+  EXPECT_DOUBLE_EQ(
+      RunAggregate("avg", false, {Value::Int64(4), Value::Null()})
+          .double_value(),
+      4.0);
+}
+
+TEST(AggregateTest, MinMax) {
+  const std::vector<Value> vals = {Value::Int64(3), Value::Int64(-1),
+                                   Value::Int64(7), Value::Null()};
+  EXPECT_EQ(RunAggregate("min", false, vals).int64_value(), -1);
+  EXPECT_EQ(RunAggregate("max", false, vals).int64_value(), 7);
+  EXPECT_TRUE(RunAggregate("min", false, {}).is_null());
+  // Strings order lexicographically.
+  EXPECT_EQ(RunAggregate("max", false,
+                         {Value::String("apple"), Value::String("pear")})
+                .string_value(),
+            "pear");
+}
+
+TEST(AggregateTest, StdevPopulation) {
+  // Population stdev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+  std::vector<Value> vals;
+  for (int v : {2, 4, 4, 4, 5, 5, 7, 9}) vals.push_back(Value::Int64(v));
+  EXPECT_NEAR(RunAggregate("stdev", false, vals).double_value(), 2.0, 1e-12);
+  EXPECT_NEAR(RunAggregate("var", false, vals).double_value(), 4.0, 1e-12);
+  // "stddev" is an accepted alias.
+  EXPECT_NEAR(RunAggregate("stddev", false, vals).double_value(), 2.0, 1e-12);
+}
+
+TEST(AggregateTest, StdevOfSingleValueIsZero) {
+  EXPECT_DOUBLE_EQ(
+      RunAggregate("stdev", false, {Value::Double(5.5)}).double_value(), 0.0);
+}
+
+TEST(AggregateTest, UnknownAggregateFails) {
+  auto agg = AggregateRegistry::Global().Create("mode", false);
+  EXPECT_FALSE(agg.ok());
+  EXPECT_EQ(agg.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AggregateTest, MedianAndPercentiles) {
+  std::vector<Value> odd;
+  for (int v : {5, 1, 9, 3, 7}) odd.push_back(Value::Int64(v));
+  EXPECT_DOUBLE_EQ(RunAggregate("median", false, odd).double_value(), 5.0);
+
+  std::vector<Value> even;
+  for (int v : {1, 2, 3, 10}) even.push_back(Value::Int64(v));
+  EXPECT_DOUBLE_EQ(RunAggregate("median", false, even).double_value(), 2.5);
+
+  // p90 of 0..10 interpolates to 9.
+  std::vector<Value> deciles;
+  for (int v = 0; v <= 10; ++v) deciles.push_back(Value::Int64(v));
+  EXPECT_DOUBLE_EQ(RunAggregate("p90", false, deciles).double_value(), 9.0);
+  EXPECT_DOUBLE_EQ(RunAggregate("p95", false, deciles).double_value(), 9.5);
+
+  // Robustness: the median shrugs off a fail-dirty outlier.
+  std::vector<Value> with_outlier;
+  for (double v : {20.0, 20.5, 21.0, 120.0}) {
+    with_outlier.push_back(Value::Double(v));
+  }
+  EXPECT_DOUBLE_EQ(
+      RunAggregate("median", false, with_outlier).double_value(), 20.75);
+
+  EXPECT_TRUE(RunAggregate("median", false, {}).is_null());
+  EXPECT_TRUE(RunAggregate("median", false, {Value::Null()}).is_null());
+  EXPECT_DOUBLE_EQ(
+      RunAggregate("median", false, {Value::Double(7.5)}).double_value(), 7.5);
+}
+
+TEST(AggregateTest, ContainsIsCaseInsensitive) {
+  EXPECT_TRUE(AggregateRegistry::Global().Contains("COUNT"));
+  EXPECT_TRUE(AggregateRegistry::Global().Contains("StDev"));
+  EXPECT_FALSE(AggregateRegistry::Global().Contains("percentile"));
+}
+
+TEST(AggregateTest, NonNumericSumFails) {
+  auto agg = AggregateRegistry::Global().Create("sum", false);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_FALSE((*agg)->Update(Value::String("x")).ok());
+}
+
+// A user-defined aggregate per Section 3.3 of the paper: register, use,
+// and verify collision handling.
+class FirstAggregator : public Aggregator {
+ public:
+  Status Update(const Value& value) override {
+    if (!value.is_null() && first_.is_null()) first_ = value;
+    return Status::OK();
+  }
+  Value Final() const override { return first_; }
+
+ private:
+  Value first_;
+};
+
+TEST(AggregateTest, UserDefinedAggregate) {
+  AggregateRegistry& registry = AggregateRegistry::Global();
+  if (!registry.Contains("first")) {
+    ASSERT_TRUE(
+        registry
+            .Register("first", [] { return std::make_unique<FirstAggregator>(); })
+            .ok());
+  }
+  auto agg = registry.Create("first", false);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE((*agg)->Update(Value::Null()).ok());
+  ASSERT_TRUE((*agg)->Update(Value::Int64(42)).ok());
+  ASSERT_TRUE((*agg)->Update(Value::Int64(7)).ok());
+  EXPECT_EQ((*agg)->Final().int64_value(), 42);
+
+  // Re-registration collides.
+  EXPECT_EQ(registry
+                .Register("first",
+                          [] { return std::make_unique<FirstAggregator>(); })
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+// Property-style sweep: Welford stdev matches the naive two-pass formula,
+// and aggregate identities hold on random data.
+class AggregatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatePropertyTest, StdevMatchesTwoPassAndIdentitiesHold) {
+  esp::Rng rng(GetParam());
+  const int n = 1 + static_cast<int>(rng.UniformInt(0, 99));
+  std::vector<Value> vals;
+  std::vector<double> raw;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Uniform(-100.0, 100.0);
+    raw.push_back(v);
+    vals.push_back(Value::Double(v));
+  }
+  double mean = 0;
+  for (double v : raw) mean += v;
+  mean /= n;
+  double var = 0;
+  for (double v : raw) var += (v - mean) * (v - mean);
+  var /= n;
+
+  EXPECT_NEAR(RunAggregate("avg", false, vals).double_value(), mean, 1e-9);
+  EXPECT_NEAR(RunAggregate("stdev", false, vals).double_value(),
+              std::sqrt(var), 1e-9);
+  EXPECT_NEAR(RunAggregate("var", false, vals).double_value(), var, 1e-9);
+
+  // Identities: min <= avg <= max; count(distinct) <= count.
+  const double lo = RunAggregate("min", false, vals).double_value();
+  const double hi = RunAggregate("max", false, vals).double_value();
+  EXPECT_LE(lo, mean + 1e-9);
+  EXPECT_LE(mean, hi + 1e-9);
+  EXPECT_LE(RunAggregate("count", true, vals).int64_value(),
+            RunAggregate("count", false, vals).int64_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AggregatePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace esp::stream

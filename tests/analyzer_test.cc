@@ -1,0 +1,197 @@
+#include "cql/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "cql/parser.h"
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+
+SchemaCatalog TestCatalog() {
+  SchemaCatalog catalog;
+  catalog.AddStream("rfid_data",
+                    stream::MakeSchema({{"shelf", DataType::kInt64},
+                                        {"tag_id", DataType::kString}}));
+  catalog.AddStream("point_input",
+                    stream::MakeSchema({{"mote", DataType::kString},
+                                        {"temp", DataType::kDouble}}));
+  return catalog;
+}
+
+StatusOr<stream::SchemaRef> Infer(const std::string& text) {
+  auto query = ParseQuery(text);
+  if (!query.ok()) return query.status();
+  return InferOutputSchema(**query, TestCatalog());
+}
+
+TEST(AnalyzerTest, Query1Schema) {
+  auto schema = Infer(
+      "SELECT shelf, count(distinct tag_id) FROM rfid_data "
+      "[Range By '5 sec'] GROUP BY shelf");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ((*schema)->num_fields(), 2u);
+  EXPECT_EQ((*schema)->field(0).name, "shelf");
+  EXPECT_EQ((*schema)->field(0).type, DataType::kInt64);
+  EXPECT_EQ((*schema)->field(1).name, "count");
+  EXPECT_EQ((*schema)->field(1).type, DataType::kInt64);
+}
+
+TEST(AnalyzerTest, AliasesWin) {
+  auto schema =
+      Infer("SELECT count(*) AS n, temp AS celsius FROM point_input");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).name, "n");
+  EXPECT_EQ((*schema)->field(1).name, "celsius");
+}
+
+TEST(AnalyzerTest, StarExpansion) {
+  auto schema = Infer("SELECT * FROM point_input WHERE temp < 50");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ((*schema)->num_fields(), 2u);
+  EXPECT_EQ((*schema)->field(0).name, "mote");
+  EXPECT_EQ((*schema)->field(1).name, "temp");
+}
+
+TEST(AnalyzerTest, StarWithGroupByRejected) {
+  EXPECT_FALSE(Infer("SELECT * FROM point_input GROUP BY mote").ok());
+}
+
+TEST(AnalyzerTest, AggregateTypes) {
+  auto schema = Infer(
+      "SELECT count(*), sum(temp), avg(temp), min(temp), max(temp), "
+      "stdev(temp), var(temp) FROM point_input");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).type, DataType::kInt64);
+  EXPECT_EQ((*schema)->field(1).type, DataType::kDouble);
+  EXPECT_EQ((*schema)->field(2).type, DataType::kDouble);
+  EXPECT_EQ((*schema)->field(3).type, DataType::kDouble);
+  EXPECT_EQ((*schema)->field(4).type, DataType::kDouble);
+  EXPECT_EQ((*schema)->field(5).type, DataType::kDouble);
+  EXPECT_EQ((*schema)->field(6).type, DataType::kDouble);
+}
+
+TEST(AnalyzerTest, ArithmeticTypePromotion) {
+  auto schema = Infer("SELECT shelf + 1 AS a, shelf + 0.5 AS b FROM rfid_data");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).type, DataType::kInt64);
+  EXPECT_EQ((*schema)->field(1).type, DataType::kDouble);
+}
+
+TEST(AnalyzerTest, ComparisonIsBool) {
+  auto schema = Infer("SELECT temp < 50 AS cool FROM point_input");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).type, DataType::kBool);
+}
+
+TEST(AnalyzerTest, UnknownStreamRejected) {
+  auto schema = Infer("SELECT * FROM nonexistent");
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnalyzerTest, UnknownColumnRejected) {
+  EXPECT_FALSE(Infer("SELECT bogus FROM point_input").ok());
+  EXPECT_FALSE(Infer("SELECT temp FROM point_input WHERE bogus > 1").ok());
+  EXPECT_FALSE(Infer("SELECT temp FROM point_input GROUP BY bogus").ok());
+}
+
+TEST(AnalyzerTest, QualifiedColumns) {
+  auto schema = Infer("SELECT p.temp FROM point_input p WHERE p.temp < 50");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).name, "temp");
+  EXPECT_FALSE(Infer("SELECT q.temp FROM point_input p").ok());
+  EXPECT_FALSE(Infer("SELECT p.bogus FROM point_input p").ok());
+}
+
+TEST(AnalyzerTest, AmbiguousColumnRejected) {
+  EXPECT_FALSE(
+      Infer("SELECT temp FROM point_input a, point_input b").ok());
+  // Qualification resolves the ambiguity.
+  EXPECT_TRUE(
+      Infer("SELECT a.temp FROM point_input a, point_input b").ok());
+}
+
+TEST(AnalyzerTest, DerivedTableColumns) {
+  auto schema = Infer(
+      "SELECT a.mean + 1 AS shifted FROM "
+      "(SELECT avg(temp) AS mean FROM point_input) AS a");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).name, "shifted");
+  EXPECT_EQ((*schema)->field(0).type, DataType::kDouble);
+}
+
+TEST(AnalyzerTest, CorrelatedSubqueryResolvesOuterAlias) {
+  auto schema = Infer(
+      "SELECT shelf, tag_id FROM rfid_data ai1 [Range By 'NOW'] "
+      "GROUP BY shelf, tag_id "
+      "HAVING count(*) >= ALL(SELECT count(*) FROM rfid_data ai2 "
+      "[Range By 'NOW'] WHERE ai1.tag_id = ai2.tag_id GROUP BY shelf)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+}
+
+TEST(AnalyzerTest, ScalarSubqueryMustBeSingleColumn) {
+  EXPECT_FALSE(
+      Infer("SELECT (SELECT mote, temp FROM point_input) FROM rfid_data")
+          .ok());
+  EXPECT_TRUE(
+      Infer("SELECT (SELECT count(*) FROM point_input) AS n FROM rfid_data")
+          .ok());
+}
+
+TEST(AnalyzerTest, ScalarFunctionArity) {
+  EXPECT_FALSE(Infer("SELECT sqrt(temp, 2) FROM point_input").ok());
+  EXPECT_FALSE(Infer("SELECT sqrt() FROM point_input").ok());
+  EXPECT_TRUE(Infer("SELECT sqrt(temp) FROM point_input").ok());
+}
+
+TEST(AnalyzerTest, UnknownFunctionRejected) {
+  EXPECT_FALSE(Infer("SELECT frobnicate(temp) FROM point_input").ok());
+}
+
+TEST(AnalyzerTest, CaseTypeFromFirstBranch) {
+  auto schema = Infer(
+      "SELECT CASE WHEN temp > 50 THEN 1 ELSE 0 END AS flag "
+      "FROM point_input");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).type, DataType::kInt64);
+}
+
+TEST(AnalyzerTest, FromlessSelect) {
+  auto schema = Infer("SELECT 1 AS one, 'x' AS label");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).type, DataType::kInt64);
+  EXPECT_EQ((*schema)->field(1).type, DataType::kString);
+  // SELECT * without FROM is invalid.
+  EXPECT_FALSE(Infer("SELECT *").ok());
+}
+
+TEST(AnalyzerTest, ExprFieldNamesSynthesized) {
+  auto schema = Infer("SELECT temp + 1, temp - 1 FROM point_input");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->field(0).name, "expr_0");
+  EXPECT_EQ((*schema)->field(1).name, "expr_1");
+}
+
+TEST(AnalyzerTest, ContainsAggregateDetection) {
+  auto expr = ParseExpression("count(*) > 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(ContainsAggregate(**expr));
+
+  expr = ParseExpression("temp + 1 < 50");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(ContainsAggregate(**expr));
+
+  // Aggregates inside subqueries belong to the subquery.
+  expr = ParseExpression("x > (SELECT avg(temp) FROM point_input)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE(ContainsAggregate(**expr));
+
+  expr = ParseExpression("abs(avg(temp)) > 1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE(ContainsAggregate(**expr));
+}
+
+}  // namespace
+}  // namespace esp::cql

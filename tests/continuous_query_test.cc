@@ -1,0 +1,192 @@
+#include "cql/continuous_query.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+SchemaRef ReadingSchema() {
+  return stream::MakeSchema(
+      {{"tag_id", DataType::kString}, {"shelf", DataType::kInt64}});
+}
+
+SchemaCatalog MakeCatalog() {
+  SchemaCatalog catalog;
+  catalog.AddStream("smooth_input", ReadingSchema());
+  return catalog;
+}
+
+Tuple Reading(const SchemaRef& schema, const std::string& tag, int64_t shelf,
+              double t) {
+  return Tuple(schema, {Value::String(tag), Value::Int64(shelf)},
+               Timestamp::Seconds(t));
+}
+
+TEST(ContinuousQueryTest, CreateValidatesQuery) {
+  auto cq = ContinuousQuery::Create(
+      "SELECT tag_id, count(*) FROM smooth_input [Range By '5 sec'] "
+      "GROUP BY tag_id",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_EQ((*cq)->output_schema()->num_fields(), 2u);
+
+  EXPECT_FALSE(
+      ContinuousQuery::Create("SELECT * FROM unknown_stream", MakeCatalog())
+          .ok());
+  EXPECT_FALSE(
+      ContinuousQuery::Create("SELECT bogus FROM smooth_input", MakeCatalog())
+          .ok());
+  EXPECT_FALSE(ContinuousQuery::Create("not sql at all", MakeCatalog()).ok());
+}
+
+TEST(ContinuousQueryTest, SlidingWindowEvaluation) {
+  auto cq = ContinuousQuery::Create(
+      "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '5 sec'] "
+      "GROUP BY tag_id",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  SchemaRef schema = ReadingSchema();
+
+  // Tag "a" read at t=1 and t=2; the window at t=3 sees both.
+  ASSERT_TRUE((*cq)->Push("smooth_input", Reading(schema, "a", 0, 1)).ok());
+  ASSERT_TRUE((*cq)->Push("smooth_input", Reading(schema, "a", 0, 2)).ok());
+  auto at3 = (*cq)->Evaluate(Timestamp::Seconds(3));
+  ASSERT_TRUE(at3.ok()) << at3.status();
+  ASSERT_EQ(at3->size(), 1u);
+  EXPECT_EQ(at3->tuple(0).Get("n")->int64_value(), 2);
+
+  // At t=6, the reading from t=1 has left the (1,6] window but t=2 remains.
+  auto at6 = (*cq)->Evaluate(Timestamp::Seconds(6));
+  ASSERT_TRUE(at6.ok());
+  ASSERT_EQ(at6->size(), 1u);
+  EXPECT_EQ(at6->tuple(0).Get("n")->int64_value(), 1);
+
+  // At t=8, the window is empty: the tag disappears entirely.
+  auto at8 = (*cq)->Evaluate(Timestamp::Seconds(8));
+  ASSERT_TRUE(at8.ok());
+  EXPECT_TRUE(at8->empty());
+}
+
+TEST(ContinuousQueryTest, EvictionBoundsBuffering) {
+  auto cq = ContinuousQuery::Create(
+      "SELECT count(*) AS n FROM smooth_input [Range By '5 sec']",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  SchemaRef schema = ReadingSchema();
+
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_TRUE(
+        (*cq)->Push("smooth_input", Reading(schema, "a", 0, t)).ok());
+    auto result = (*cq)->Evaluate(Timestamp::Seconds(t));
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  // Only ~5 seconds of history may remain buffered.
+  EXPECT_LE((*cq)->buffered(), 7u);
+}
+
+TEST(ContinuousQueryTest, EvictionPreservesSnapshotSemantics) {
+  // The same pushes evaluated with and without intermediate evaluations
+  // (which trigger eviction) must agree.
+  const std::string text =
+      "SELECT tag_id, count(*) AS n FROM smooth_input [Range By '3 sec'] "
+      "GROUP BY tag_id ORDER BY tag_id";
+  auto eager = ContinuousQuery::Create(text, MakeCatalog());
+  auto lazy = ContinuousQuery::Create(text, MakeCatalog());
+  ASSERT_TRUE(eager.ok() && lazy.ok());
+  SchemaRef schema = ReadingSchema();
+
+  for (int t = 0; t < 30; ++t) {
+    const std::string tag = (t % 2 == 0) ? "a" : "b";
+    ASSERT_TRUE((*eager)->Push("smooth_input", Reading(schema, tag, 0, t)).ok());
+    ASSERT_TRUE((*lazy)->Push("smooth_input", Reading(schema, tag, 0, t)).ok());
+    // Eager evaluates (and evicts) every tick.
+    ASSERT_TRUE((*eager)->Evaluate(Timestamp::Seconds(t)).ok());
+  }
+  auto from_eager = (*eager)->Evaluate(Timestamp::Seconds(29));
+  auto from_lazy = (*lazy)->Evaluate(Timestamp::Seconds(29));
+  ASSERT_TRUE(from_eager.ok() && from_lazy.ok());
+  ASSERT_EQ(from_eager->size(), from_lazy->size());
+  for (size_t i = 0; i < from_eager->size(); ++i) {
+    EXPECT_TRUE(from_eager->tuple(i).Equals(from_lazy->tuple(i)));
+  }
+}
+
+TEST(ContinuousQueryTest, RetentionCoversAllReferencesOfAStream) {
+  // The stream is referenced twice with different windows; retention must
+  // satisfy the larger one.
+  auto cq = ContinuousQuery::Create(
+      "SELECT (SELECT count(*) FROM smooth_input [Range By '10 sec']) AS big, "
+      "(SELECT count(*) FROM smooth_input [Range By '2 sec']) AS small",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  SchemaRef schema = ReadingSchema();
+  for (int t = 0; t <= 9; ++t) {
+    ASSERT_TRUE((*cq)->Push("smooth_input", Reading(schema, "a", 0, t)).ok());
+    ASSERT_TRUE((*cq)->Evaluate(Timestamp::Seconds(t)).ok());
+  }
+  auto result = (*cq)->Evaluate(Timestamp::Seconds(9));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).Get("big")->int64_value(), 10);
+  EXPECT_EQ(result->tuple(0).Get("small")->int64_value(), 2);
+}
+
+TEST(ContinuousQueryTest, PushValidation) {
+  auto cq = ContinuousQuery::Create(
+      "SELECT count(*) AS n FROM smooth_input [Range By '5 sec']",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok());
+  SchemaRef schema = ReadingSchema();
+
+  // Unknown stream.
+  EXPECT_EQ((*cq)->Push("other", Reading(schema, "a", 0, 1)).code(),
+            StatusCode::kNotFound);
+  // Schema mismatch.
+  SchemaRef wrong = stream::MakeSchema({{"x", DataType::kInt64}});
+  EXPECT_EQ((*cq)
+                ->Push("smooth_input",
+                       Tuple(wrong, {Value::Int64(1)}, Timestamp::Seconds(1)))
+                .code(),
+            StatusCode::kTypeError);
+  // Out-of-order push.
+  ASSERT_TRUE((*cq)->Push("smooth_input", Reading(schema, "a", 0, 5)).ok());
+  EXPECT_EQ((*cq)->Push("smooth_input", Reading(schema, "a", 0, 4)).code(),
+            StatusCode::kInvalidArgument);
+  // Equal timestamps are fine.
+  EXPECT_TRUE((*cq)->Push("smooth_input", Reading(schema, "a", 0, 5)).ok());
+}
+
+TEST(ContinuousQueryTest, EvaluationTimesMustBeMonotone) {
+  auto cq = ContinuousQuery::Create(
+      "SELECT count(*) AS n FROM smooth_input [Range By '5 sec']",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok());
+  ASSERT_TRUE((*cq)->Evaluate(Timestamp::Seconds(5)).ok());
+  EXPECT_FALSE((*cq)->Evaluate(Timestamp::Seconds(4)).ok());
+  // Same instant re-evaluation is allowed.
+  EXPECT_TRUE((*cq)->Evaluate(Timestamp::Seconds(5)).ok());
+}
+
+TEST(ContinuousQueryTest, NowWindowReevaluationAtSameInstant) {
+  auto cq = ContinuousQuery::Create(
+      "SELECT count(*) AS n FROM smooth_input [Range By 'NOW']",
+      MakeCatalog());
+  ASSERT_TRUE(cq.ok());
+  SchemaRef schema = ReadingSchema();
+  ASSERT_TRUE((*cq)->Push("smooth_input", Reading(schema, "a", 0, 2)).ok());
+  auto first = (*cq)->Evaluate(Timestamp::Seconds(2));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->tuple(0).Get("n")->int64_value(), 1);
+  // Evaluating again at the same instant still sees the tuple.
+  auto second = (*cq)->Evaluate(Timestamp::Seconds(2));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->tuple(0).Get("n")->int64_value(), 1);
+}
+
+}  // namespace
+}  // namespace esp::cql

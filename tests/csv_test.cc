@@ -1,0 +1,92 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace esp {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  auto rows = CsvReader::ParseString("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParseTest, QuotedFieldsWithCommasAndNewlines) {
+  auto rows = CsvReader::ParseString("\"a,b\",\"line1\nline2\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "line1\nline2");
+  EXPECT_EQ((*rows)[0][2], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, MissingTrailingNewline) {
+  auto rows = CsvReader::ParseString("x,y");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto rows = CsvReader::ParseString("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto rows = CsvReader::ParseString(",\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"", ""}));
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto rows = CsvReader::ParseString("\"abc");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvParseTest, EmptyInputYieldsNoRows) {
+  auto rows = CsvReader::ParseString("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "esp_csv_test.csv").string();
+  {
+    auto writer = CsvWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->WriteRow({"time", "shelf", "count"}).ok());
+    ASSERT_TRUE(writer->WriteRow({"0.2", "shelf,0", "10"}).ok());
+    ASSERT_TRUE(writer->WriteRow({"0.4", "with \"quote\"", ""}).ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  auto rows = CsvReader::ReadFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"0.2", "shelf,0", "10"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"0.4", "with \"quote\"", ""}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvRoundTripTest, OpenFailsForBadPath) {
+  auto writer = CsvWriter::Open("/nonexistent_dir_esp/file.csv");
+  EXPECT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvRoundTripTest, ReadFileFailsForMissingFile) {
+  auto rows = CsvReader::ReadFile("/nonexistent_esp_file.csv");
+  EXPECT_FALSE(rows.ok());
+}
+
+}  // namespace
+}  // namespace esp

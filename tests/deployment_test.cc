@@ -1,0 +1,213 @@
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/reading.h"
+
+namespace esp::core {
+namespace {
+
+using stream::DataType;
+using stream::Tuple;
+using stream::Value;
+
+constexpr const char* kShelfDeployment = R"(
+# The Section 4 RFID deployment, fully declarative.
+[group pg_shelf0]
+type = rfid
+granule = shelf_0
+receptors = reader_0
+
+[group pg_shelf1]
+type = rfid
+granule = shelf_1
+receptors = reader_1
+
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+smooth = SELECT tag_id, count(*) AS reads FROM smooth_input
+         [Range By '5 sec'] GROUP BY tag_id
+arbitrate = SELECT spatial_granule, tag_id, max(reads) AS reads
+            FROM arbitrate_input ai1 [Range By 'NOW']
+            GROUP BY spatial_granule, tag_id
+            HAVING max(reads) >= ALL(SELECT max(reads)
+              FROM arbitrate_input ai2 [Range By 'NOW']
+              WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)
+)";
+
+TEST(ParseSchemaSpecTest, ParsesTypes) {
+  auto schema = ParseSchemaSpec(
+      "a:string, b:int64, c:double, d:bool, e:timestamp, f:int, g:float");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ((*schema)->num_fields(), 7u);
+  EXPECT_EQ((*schema)->field(0).type, DataType::kString);
+  EXPECT_EQ((*schema)->field(1).type, DataType::kInt64);
+  EXPECT_EQ((*schema)->field(2).type, DataType::kDouble);
+  EXPECT_EQ((*schema)->field(3).type, DataType::kBool);
+  EXPECT_EQ((*schema)->field(4).type, DataType::kTimestamp);
+  EXPECT_EQ((*schema)->field(5).type, DataType::kInt64);
+  EXPECT_EQ((*schema)->field(6).type, DataType::kDouble);
+}
+
+TEST(ParseSchemaSpecTest, Rejections) {
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:goblin").ok());
+  EXPECT_FALSE(ParseSchemaSpec(":int64").ok());
+}
+
+TEST(LoadDeploymentTest, ShelfDeploymentRuns) {
+  auto processor = LoadDeployment(kShelfDeployment);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  // Smoke: the loaded pipeline arbitrates tags like the hand-built one.
+  auto push = [&](const char* reader, const char* tag) {
+    return (*processor)
+        ->Push("rfid", Tuple(sim::RfidReadingSchema(),
+                             {Value::String(reader), Value::String(tag)},
+                             Timestamp::Seconds(1)));
+  };
+  ASSERT_TRUE(push("reader_0", "x").ok());
+  ASSERT_TRUE(push("reader_0", "x").ok());
+  ASSERT_TRUE(push("reader_1", "x").ok());
+  ASSERT_TRUE(push("reader_1", "y").ok());
+  auto result = (*processor)->Tick(Timestamp::Seconds(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& cleaned = result->per_type[0].second;
+  ASSERT_EQ(cleaned.size(), 2u);
+  EXPECT_EQ(cleaned.tuple(0).Get("spatial_granule")->string_value(),
+            "shelf_0");
+  EXPECT_EQ(cleaned.tuple(1).Get("tag_id")->string_value(), "y");
+}
+
+TEST(LoadDeploymentTest, PointChainAndVirtualize) {
+  constexpr const char* kSpec = R"(
+[group pg]
+type = mote
+granule = room
+receptors = m1
+
+[pipeline mote]
+schema = mote_id:string, temp:double
+receptor_id_column = mote_id
+point = SELECT * FROM point_input WHERE temp < 50
+point = SELECT * FROM point_input WHERE temp > -10
+smooth = SELECT mote_id, avg(temp) AS temp FROM smooth_input
+         [Range By '10 sec'] GROUP BY mote_id
+virtualize_input = sensors_input
+
+[virtualize]
+query = SELECT 'warm' AS event
+        WHERE (SELECT CASE WHEN count(*) > 0 THEN 1 ELSE 0 END
+               FROM sensors_input [Range By 'NOW'] WHERE temp > 30) >= 1
+)";
+  auto processor = LoadDeployment(kSpec);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  auto push = [&](double temp, double t) {
+    return (*processor)
+        ->Push("mote", sim::ToTempTuple({"m1", temp, Timestamp::Seconds(t)}));
+  };
+  // A 100-degree glitch is dropped by the Point chain; a warm-but-valid
+  // reading flows through and trips the Virtualize event.
+  ASSERT_TRUE(push(100.0, 1).ok());
+  auto result = (*processor)->Tick(Timestamp::Seconds(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->per_type[0].second.empty());
+  EXPECT_TRUE(result->virtualized->empty());
+
+  ASSERT_TRUE(push(35.0, 2).ok());
+  result = (*processor)->Tick(Timestamp::Seconds(2));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->per_type[0].second.size(), 1u);
+  ASSERT_EQ(result->virtualized->size(), 1u);
+  EXPECT_EQ(result->virtualized->tuple(0).Get("event")->string_value(),
+            "warm");
+}
+
+TEST(LoadDeploymentTest, ParseErrors) {
+  EXPECT_FALSE(LoadDeployment("").ok());
+  EXPECT_FALSE(LoadDeployment("key = value\n").ok());  // Before any section.
+  EXPECT_FALSE(LoadDeployment("[group g]\ntype = rfid\n").ok());  // No pipe.
+  EXPECT_FALSE(LoadDeployment("[mystery s]\n").ok());
+  EXPECT_FALSE(LoadDeployment("[group g\n").ok());
+
+  // Pipeline without groups of its type fails at Start().
+  EXPECT_FALSE(LoadDeployment(R"(
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+)")
+                   .ok());
+
+  // Bad CQL in a stage fails at stage creation/bind.
+  EXPECT_FALSE(LoadDeployment(R"(
+[group pg]
+type = rfid
+granule = g
+receptors = r
+
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+smooth = NOT VALID CQL
+)")
+                   .ok());
+
+  // Repeated singleton key.
+  EXPECT_FALSE(LoadDeployment(R"(
+[group pg]
+type = rfid
+type = rfid
+granule = g
+receptors = r
+
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+)")
+                   .ok());
+
+  // Two virtualize sections.
+  EXPECT_FALSE(LoadDeployment(R"(
+[group pg]
+type = rfid
+granule = g
+receptors = r
+
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+
+[virtualize]
+query = SELECT 1 AS one
+
+[virtualize]
+query = SELECT 1 AS one
+)")
+                   .ok());
+}
+
+TEST(LoadDeploymentTest, CommentsAndContinuationsHandled) {
+  constexpr const char* kSpec = R"(
+# leading comment
+[group pg]   # trailing comment
+type = rfid
+granule = g
+receptors = r1, r2
+
+[pipeline rfid]
+schema = reader_id:string, tag_id:string
+receptor_id_column = reader_id
+smooth = SELECT tag_id, count(*) AS reads FROM smooth_input
+         [Range By '2 sec']
+         GROUP BY tag_id
+)";
+  auto processor = LoadDeployment(kSpec);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  EXPECT_EQ((*processor)->granules().num_groups(), 1u);
+}
+
+}  // namespace
+}  // namespace esp::core

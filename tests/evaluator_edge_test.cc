@@ -1,0 +1,393 @@
+// Edge-case and paper-fidelity tests for the CQL evaluator, complementing
+// evaluator_test.cc: deeply nested/correlated subqueries, three-valued
+// logic corners, multi-way joins (the paper's literal Query 6 shape),
+// CASE/DISTINCT/ORDER BY interactions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cql/evaluator.h"
+#include "cql/parser.h"
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+StatusOr<Relation> RunQuery(const std::string& text, const Catalog& catalog,
+                            double now_seconds) {
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> query, ParseQuery(text));
+  return ExecuteQuery(*query, catalog, Timestamp::Seconds(now_seconds));
+}
+
+Catalog HomeCatalog(bool person_heard, bool tag_read, bool motion_seen) {
+  Catalog catalog;
+  SchemaRef sensors = stream::MakeSchema(
+      {{"mote_id", DataType::kString}, {"noise", DataType::kDouble}});
+  Relation sensors_rel(sensors);
+  sensors_rel.Add(Tuple(sensors,
+                        {Value::String("m1"),
+                         Value::Double(person_heard ? 600.0 : 490.0)},
+                        Timestamp::Seconds(1)));
+  catalog.AddStream("sensors_input", sensors_rel);
+
+  SchemaRef rfid = stream::MakeSchema(
+      {{"reader_id", DataType::kString}, {"tag_id", DataType::kString}});
+  Relation rfid_rel(rfid);
+  if (tag_read) {
+    rfid_rel.Add(Tuple(rfid, {Value::String("r0"), Value::String("t1")},
+                       Timestamp::Seconds(1)));
+    rfid_rel.Add(Tuple(rfid, {Value::String("r1"), Value::String("t2")},
+                       Timestamp::Seconds(1)));
+  }
+  catalog.AddStream("rfid_input", rfid_rel);
+
+  SchemaRef motion = stream::MakeSchema(
+      {{"detector_id", DataType::kString}, {"value", DataType::kString}});
+  Relation motion_rel(motion);
+  if (motion_seen) {
+    motion_rel.Add(Tuple(motion, {Value::String("x1"), Value::String("ON")},
+                         Timestamp::Seconds(1)));
+  }
+  catalog.AddStream("motion_input", motion_rel);
+  return catalog;
+}
+
+// The paper's Query 6, essentially verbatim: derived tables per modality
+// cross-joined, event emitted when the votes clear the threshold. (The
+// paper's own formulation needs every modality to produce a row — an
+// all-or-nothing join — which is why the toolkit's VirtualizeVote uses
+// scalar subqueries instead; this test documents the original behaviour.)
+constexpr const char* kQuery6 =
+    "SELECT 'Person-in-room' AS event "
+    "FROM (SELECT 1 AS cnt FROM sensors_input [Range By 'NOW'] "
+    "      WHERE noise > 525) AS sensor_count, "
+    "     (SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] "
+    "      HAVING count(distinct tag_id) > 1) AS rfid_count, "
+    "     (SELECT 1 AS cnt FROM motion_input [Range By 'NOW'] "
+    "      WHERE value = 'ON') AS motion_count "
+    "WHERE sensor_count.cnt + rfid_count.cnt + motion_count.cnt >= 3";
+
+TEST(PaperQuery6Test, EmitsEventWhenAllModalitiesAgree) {
+  Catalog catalog = HomeCatalog(true, true, true);
+  auto result = RunQuery(kQuery6, catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).Get("event")->string_value(), "Person-in-room");
+}
+
+TEST(PaperQuery6Test, MissingModalityKillsTheJoin) {
+  // The all-or-nothing weakness of the verbatim formulation: with the
+  // motion subquery empty the cross join is empty even though two
+  // modalities agree.
+  Catalog catalog = HomeCatalog(true, true, false);
+  auto result = RunQuery(kQuery6, catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorEdgeTest, TwoLevelCorrelatedSubquery) {
+  // A subquery inside a subquery, both correlated to the outermost row.
+  SchemaRef schema = stream::MakeSchema(
+      {{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  Relation rel(schema);
+  for (int64_t k = 0; k < 3; ++k) {
+    for (int64_t v = 0; v <= k; ++v) {
+      rel.Add(
+          Tuple(schema, {Value::Int64(k), Value::Int64(v)}, Timestamp::Seconds(1)));
+    }
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  // Keep rows whose v equals the count of rows in their own k-group whose
+  // v is below the outer row's v... contrived, but exercises two scopes.
+  auto result = RunQuery(
+      "SELECT o.k, o.v FROM t o WHERE o.v = "
+      "(SELECT count(*) FROM t i WHERE i.k = o.k AND i.v < o.v) "
+      "ORDER BY k, v",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // For every group, v = #(values below v) holds exactly when v equals its
+  // rank, which is true for every row here (v enumerates 0..k).
+  EXPECT_EQ(result->size(), 6u);
+}
+
+TEST(EvaluatorEdgeTest, CorrelatedExists) {
+  SchemaRef people = stream::MakeSchema({{"name", DataType::kString}});
+  Relation people_rel(people);
+  people_rel.Add(Tuple(people, {Value::String("a")}, Timestamp::Seconds(1)));
+  people_rel.Add(Tuple(people, {Value::String("b")}, Timestamp::Seconds(1)));
+  SchemaRef badges = stream::MakeSchema({{"owner", DataType::kString}});
+  Relation badges_rel(badges);
+  badges_rel.Add(Tuple(badges, {Value::String("a")}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("people", people_rel);
+  catalog.AddStream("badges", badges_rel);
+
+  auto result = RunQuery(
+      "SELECT name FROM people p WHERE EXISTS "
+      "(SELECT * FROM badges WHERE owner = p.name)",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).string_value(), "a");
+
+  result = RunQuery(
+      "SELECT name FROM people p WHERE NOT EXISTS "
+      "(SELECT * FROM badges WHERE owner = p.name)",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).string_value(), "b");
+}
+
+TEST(EvaluatorEdgeTest, InWithNullsThreeValued) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Int64(1)}, Timestamp::Seconds(1)));
+  rel.Add(Tuple(schema, {Value::Int64(9)}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+
+  // 9 NOT IN (1, NULL) is NULL (not true), so the row is filtered.
+  auto result =
+      RunQuery("SELECT x FROM t WHERE x NOT IN (1, NULL)", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->empty());
+
+  // 1 IN (1, NULL) is true.
+  result = RunQuery("SELECT x FROM t WHERE x IN (1, NULL)", catalog, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).int64_value(), 1);
+}
+
+TEST(EvaluatorEdgeTest, AllOverEmptySetIsTrueAnyIsFalse) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Int64(5)}, Timestamp::Seconds(1)));
+  Relation empty(schema);
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  catalog.AddStream("nothing", empty);
+
+  auto result = RunQuery(
+      "SELECT x FROM t WHERE x > ALL(SELECT x FROM nothing)", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+
+  result = RunQuery(
+      "SELECT x FROM t WHERE x > ANY(SELECT x FROM nothing)", catalog, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorEdgeTest, AnyFindsAMatch) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  for (int64_t v : {3, 7}) {
+    rel.Add(Tuple(schema, {Value::Int64(v)}, Timestamp::Seconds(1)));
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery(
+      "SELECT x FROM t WHERE x >= ANY(SELECT x + 4 FROM t)", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // x=7 >= 3+4; x=3 matches neither 7 nor 11.
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).int64_value(), 7);
+}
+
+TEST(EvaluatorEdgeTest, CaseWithoutElseYieldsNull) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Int64(1)}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery(
+      "SELECT CASE WHEN x > 5 THEN 'big' END AS label FROM t", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->tuple(0).value(0).is_null());
+}
+
+TEST(EvaluatorEdgeTest, DistinctTreatsNullsAsEqual) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Null()}, Timestamp::Seconds(1)));
+  rel.Add(Tuple(schema, {Value::Null()}, Timestamp::Seconds(1)));
+  rel.Add(Tuple(schema, {Value::Int64(1)}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery("SELECT DISTINCT x FROM t", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(EvaluatorEdgeTest, GroupByNullKeyFormsOneGroup) {
+  SchemaRef schema = stream::MakeSchema(
+      {{"k", DataType::kString}, {"v", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Null(), Value::Int64(1)}, Timestamp::Seconds(1)));
+  rel.Add(Tuple(schema, {Value::Null(), Value::Int64(2)}, Timestamp::Seconds(1)));
+  rel.Add(
+      Tuple(schema, {Value::String("a"), Value::Int64(3)}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery(
+      "SELECT k, count(*) AS n FROM t GROUP BY k ORDER BY n DESC", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_TRUE(result->tuple(0).Get("k")->is_null());
+  EXPECT_EQ(result->tuple(0).Get("n")->int64_value(), 2);
+}
+
+TEST(EvaluatorEdgeTest, MultiKeyOrderByWithDesc) {
+  SchemaRef schema = stream::MakeSchema(
+      {{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Relation rel(schema);
+  for (const auto& [a, b] :
+       std::vector<std::pair<int, int>>{{1, 2}, {2, 1}, {1, 1}, {2, 2}}) {
+    rel.Add(Tuple(schema, {Value::Int64(a), Value::Int64(b)},
+                  Timestamp::Seconds(1)));
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result =
+      RunQuery("SELECT a, b FROM t ORDER BY a, b DESC", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 4u);
+  EXPECT_EQ(result->tuple(0).Get("a")->int64_value(), 1);
+  EXPECT_EQ(result->tuple(0).Get("b")->int64_value(), 2);
+  EXPECT_EQ(result->tuple(3).Get("a")->int64_value(), 2);
+  EXPECT_EQ(result->tuple(3).Get("b")->int64_value(), 1);
+}
+
+TEST(EvaluatorEdgeTest, LimitZeroAndLimitBeyondSize) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Int64(1)}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery("SELECT x FROM t LIMIT 0", catalog, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  result = RunQuery("SELECT x FROM t LIMIT 99", catalog, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(EvaluatorEdgeTest, AggregateOfExpression) {
+  SchemaRef schema = stream::MakeSchema(
+      {{"a", DataType::kDouble}, {"b", DataType::kDouble}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Double(1), Value::Double(10)},
+                Timestamp::Seconds(1)));
+  rel.Add(Tuple(schema, {Value::Double(2), Value::Double(20)},
+                Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result =
+      RunQuery("SELECT avg(a + b) AS m, sum(a * 2) AS s FROM t", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("m")->double_value(), 16.5);
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("s")->double_value(), 6.0);
+}
+
+TEST(EvaluatorEdgeTest, ExpressionOfAggregates) {
+  SchemaRef schema = stream::MakeSchema({{"a", DataType::kDouble}});
+  Relation rel(schema);
+  for (double v : {1.0, 2.0, 3.0}) {
+    rel.Add(Tuple(schema, {Value::Double(v)}, Timestamp::Seconds(1)));
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery(
+      "SELECT max(a) - min(a) AS spread, avg(a) + stdev(a) AS hi FROM t",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("spread")->double_value(), 2.0);
+  EXPECT_NEAR(result->tuple(0).Get("hi")->double_value(),
+              2.0 + std::sqrt(2.0 / 3.0), 1e-9);
+}
+
+TEST(EvaluatorEdgeTest, HavingCanUseDifferentAggregateThanSelect) {
+  SchemaRef schema = stream::MakeSchema(
+      {{"k", DataType::kString}, {"v", DataType::kDouble}});
+  Relation rel(schema);
+  for (const auto& [k, v] : std::vector<std::pair<const char*, double>>{
+           {"a", 1}, {"a", 100}, {"b", 2}, {"b", 3}}) {
+    rel.Add(Tuple(schema, {Value::String(k), Value::Double(v)},
+                  Timestamp::Seconds(1)));
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery(
+      "SELECT k, avg(v) AS m FROM t GROUP BY k HAVING max(v) < 50", catalog,
+      1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).Get("k")->string_value(), "b");
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("m")->double_value(), 2.5);
+}
+
+TEST(EvaluatorEdgeTest, GroupByExpression) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  for (int64_t v : {1, 2, 3, 4, 5, 6}) {
+    rel.Add(Tuple(schema, {Value::Int64(v)}, Timestamp::Seconds(1)));
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result = RunQuery(
+      "SELECT x % 2 AS parity, count(*) AS n FROM t GROUP BY x % 2 "
+      "ORDER BY parity",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->tuple(0).Get("parity")->int64_value(), 0);
+  EXPECT_EQ(result->tuple(0).Get("n")->int64_value(), 3);
+}
+
+TEST(EvaluatorEdgeTest, MedianInQuery) {
+  SchemaRef schema = stream::MakeSchema({{"x", DataType::kDouble}});
+  Relation rel(schema);
+  for (double v : {20.0, 21.0, 120.0}) {
+    rel.Add(Tuple(schema, {Value::Double(v)}, Timestamp::Seconds(1)));
+  }
+  Catalog catalog;
+  catalog.AddStream("t", rel);
+  auto result =
+      RunQuery("SELECT median(x) AS med, avg(x) AS mean FROM t", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("med")->double_value(), 21.0);
+  EXPECT_NEAR(result->tuple(0).Get("mean")->double_value(), 53.67, 0.01);
+}
+
+TEST(EvaluatorEdgeTest, ThreeWayJoinWithPredicates) {
+  SchemaRef ab = stream::MakeSchema({{"id", DataType::kInt64}});
+  auto make = [&](std::vector<int64_t> ids) {
+    Relation rel(ab);
+    for (int64_t id : ids) {
+      rel.Add(Tuple(ab, {Value::Int64(id)}, Timestamp::Seconds(1)));
+    }
+    return rel;
+  };
+  Catalog catalog;
+  catalog.AddStream("a", make({1, 2}));
+  catalog.AddStream("b", make({2, 3}));
+  catalog.AddStream("c", make({2, 4}));
+  auto result = RunQuery(
+      "SELECT a.id FROM a, b, c WHERE a.id = b.id AND b.id = c.id", catalog,
+      1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).int64_value(), 2);
+}
+
+}  // namespace
+}  // namespace esp::cql

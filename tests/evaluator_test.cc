@@ -1,0 +1,426 @@
+#include "cql/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "cql/parser.h"
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+SchemaRef RfidSchema() {
+  return stream::MakeSchema({{"spatial_granule", DataType::kInt64},
+                             {"tag_id", DataType::kString}});
+}
+
+SchemaRef TempSchema() {
+  return stream::MakeSchema(
+      {{"mote", DataType::kString}, {"temp", DataType::kDouble}});
+}
+
+void AddRfid(Relation* rel, int64_t shelf, const std::string& tag, double t) {
+  rel->Add(Tuple(rel->schema(), {Value::Int64(shelf), Value::String(tag)},
+                 Timestamp::Seconds(t)));
+}
+
+void AddTemp(Relation* rel, const std::string& mote, double temp, double t) {
+  rel->Add(Tuple(rel->schema(), {Value::String(mote), Value::Double(temp)},
+                 Timestamp::Seconds(t)));
+}
+
+StatusOr<Relation> RunQuery(const std::string& text, const Catalog& catalog,
+                       double now_seconds) {
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> query, ParseQuery(text));
+  return ExecuteQuery(*query, catalog, Timestamp::Seconds(now_seconds));
+}
+
+TEST(EvaluatorTest, SimpleProjectionAndFilter) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  AddTemp(&temps, "m2", 60.0, 1);
+  AddTemp(&temps, "m3", 45.0, 1);
+  Catalog catalog;
+  catalog.AddStream("point_input", temps);
+
+  auto result = RunQuery("SELECT * FROM point_input WHERE temp < 50", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->tuple(0).Get("mote")->string_value(), "m1");
+  EXPECT_EQ(result->tuple(1).Get("mote")->string_value(), "m3");
+}
+
+TEST(EvaluatorTest, WindowRestrictsRows) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 1.0, 0);
+  AddTemp(&temps, "m1", 2.0, 4);
+  AddTemp(&temps, "m1", 3.0, 9);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+
+  // Range (4, 9]: rows at t=9 only... plus t=4 is excluded (exclusive bound).
+  auto result = RunQuery("SELECT temp FROM s [Range By '5 sec']", catalog, 9);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ(result->tuple(0).value(0).double_value(), 3.0);
+
+  // NOW window at t=4.
+  result = RunQuery("SELECT temp FROM s [Range By 'NOW']", catalog, 4);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ(result->tuple(0).value(0).double_value(), 2.0);
+
+  // Unbounded window sees everything at or before now.
+  result = RunQuery("SELECT temp FROM s", catalog, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(EvaluatorTest, Query1CountDistinctPerShelf) {
+  Relation rfid(RfidSchema());
+  // Shelf 0 saw tags a,a,b within window; shelf 1 saw c.
+  AddRfid(&rfid, 0, "a", 1);
+  AddRfid(&rfid, 0, "a", 2);
+  AddRfid(&rfid, 0, "b", 2);
+  AddRfid(&rfid, 1, "c", 3);
+  Catalog catalog;
+  catalog.AddStream("rfid_data", rfid);
+
+  auto result = RunQuery(
+      "SELECT spatial_granule AS shelf, count(distinct tag_id) AS n "
+      "FROM rfid_data [Range By '5 sec'] GROUP BY spatial_granule",
+      catalog, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->tuple(0).Get("shelf")->int64_value(), 0);
+  EXPECT_EQ(result->tuple(0).Get("n")->int64_value(), 2);
+  EXPECT_EQ(result->tuple(1).Get("shelf")->int64_value(), 1);
+  EXPECT_EQ(result->tuple(1).Get("n")->int64_value(), 1);
+}
+
+TEST(EvaluatorTest, AggregateWithoutGroupByOnEmptyInputYieldsOneRow) {
+  Relation rfid(RfidSchema());
+  Catalog catalog;
+  catalog.AddStream("rfid_data", rfid);
+
+  auto result =
+      RunQuery("SELECT count(*) AS n FROM rfid_data [Range By '5 sec']", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).Get("n")->int64_value(), 0);
+}
+
+TEST(EvaluatorTest, GroupByOnEmptyInputYieldsNoRows) {
+  Relation rfid(RfidSchema());
+  Catalog catalog;
+  catalog.AddStream("rfid_data", rfid);
+
+  auto result = RunQuery(
+      "SELECT tag_id, count(*) FROM rfid_data [Range By '5 sec'] "
+      "GROUP BY tag_id",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorTest, HavingWithoutGroupByActsOnSingleGroup) {
+  Relation rfid(RfidSchema());
+  AddRfid(&rfid, 0, "a", 1);
+  AddRfid(&rfid, 0, "b", 1);
+  Catalog catalog;
+  catalog.AddStream("rfid_input", rfid);
+
+  // Mirrors the Query 6 building block.
+  auto result = RunQuery(
+      "SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] "
+      "HAVING count(distinct tag_id) > 1",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+
+  result = RunQuery(
+      "SELECT 1 AS cnt FROM rfid_input [Range By 'NOW'] "
+      "HAVING count(distinct tag_id) > 2",
+      catalog, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+// The paper's Query 3: attribute each tag to the spatial granule that read
+// it the most within the instantaneous window.
+TEST(EvaluatorTest, Query3ArbitrationAttributesTagToMaxReader) {
+  Relation rfid(RfidSchema());
+  // At t=1: shelf 0 read tag x 3 times, shelf 1 read tag x once;
+  // tag y was read once by shelf 1 only.
+  AddRfid(&rfid, 0, "x", 1);
+  AddRfid(&rfid, 0, "x", 1);
+  AddRfid(&rfid, 0, "x", 1);
+  AddRfid(&rfid, 1, "x", 1);
+  AddRfid(&rfid, 1, "y", 1);
+  Catalog catalog;
+  catalog.AddStream("arbitrate_input", rfid);
+
+  auto result = RunQuery(
+      "SELECT spatial_granule, tag_id "
+      "FROM arbitrate_input ai1 [Range By 'NOW'] "
+      "GROUP BY spatial_granule, tag_id "
+      "HAVING count(*) >= ALL(SELECT count(*) "
+      "FROM arbitrate_input ai2 [Range By 'NOW'] "
+      "WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  // Tag x belongs to shelf 0; tag y to shelf 1.
+  EXPECT_EQ(result->tuple(0).Get("spatial_granule")->int64_value(), 0);
+  EXPECT_EQ(result->tuple(0).Get("tag_id")->string_value(), "x");
+  EXPECT_EQ(result->tuple(1).Get("spatial_granule")->int64_value(), 1);
+  EXPECT_EQ(result->tuple(1).Get("tag_id")->string_value(), "y");
+}
+
+TEST(EvaluatorTest, Query3TieKeepsBothGranules) {
+  Relation rfid(RfidSchema());
+  AddRfid(&rfid, 0, "x", 1);
+  AddRfid(&rfid, 1, "x", 1);
+  Catalog catalog;
+  catalog.AddStream("arbitrate_input", rfid);
+
+  auto result = RunQuery(
+      "SELECT spatial_granule, tag_id "
+      "FROM arbitrate_input ai1 [Range By 'NOW'] "
+      "GROUP BY spatial_granule, tag_id "
+      "HAVING count(*) >= ALL(SELECT count(*) "
+      "FROM arbitrate_input ai2 [Range By 'NOW'] "
+      "WHERE ai1.tag_id = ai2.tag_id GROUP BY spatial_granule)",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);  // >= ALL keeps ties on both shelves.
+}
+
+// The corrected Query 5: windowed average excluding readings outside one
+// standard deviation of the window mean.
+TEST(EvaluatorTest, Query5OutlierRejectingMerge) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 10);
+  AddTemp(&temps, "m2", 21.0, 10);
+  AddTemp(&temps, "m3", 100.0, 10);  // Fail-dirty outlier.
+  Catalog catalog;
+  catalog.AddStream("merge_input", temps);
+
+  auto result = RunQuery(
+      "SELECT avg(s.temp) AS cleaned "
+      "FROM merge_input s [Range By '5 min'], "
+      "(SELECT avg(temp) AS mean, stdev(temp) AS sd "
+      " FROM merge_input [Range By '5 min']) a "
+      "WHERE s.temp <= a.mean + a.sd AND s.temp >= a.mean - a.sd",
+      catalog, 10);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  // Mean = 47, sd ≈ 37.5 → m3 (100) is outside 47±37.5, m1/m2 inside.
+  EXPECT_NEAR(result->tuple(0).Get("cleaned")->double_value(), 20.5, 1e-9);
+}
+
+TEST(EvaluatorTest, CrossJoinProducesCartesianProduct) {
+  Relation a(stream::MakeSchema({{"x", DataType::kInt64}}));
+  a.Add(Tuple(a.schema(), {Value::Int64(1)}, Timestamp::Seconds(1)));
+  a.Add(Tuple(a.schema(), {Value::Int64(2)}, Timestamp::Seconds(1)));
+  Relation b(stream::MakeSchema({{"y", DataType::kInt64}}));
+  b.Add(Tuple(b.schema(), {Value::Int64(10)}, Timestamp::Seconds(1)));
+  b.Add(Tuple(b.schema(), {Value::Int64(20)}, Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("a", a);
+  catalog.AddStream("b", b);
+
+  auto result = RunQuery("SELECT x, y FROM a, b ORDER BY x, y", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 4u);
+  EXPECT_EQ(result->tuple(0).Get("x")->int64_value(), 1);
+  EXPECT_EQ(result->tuple(0).Get("y")->int64_value(), 10);
+  EXPECT_EQ(result->tuple(3).Get("x")->int64_value(), 2);
+  EXPECT_EQ(result->tuple(3).Get("y")->int64_value(), 20);
+}
+
+TEST(EvaluatorTest, JoinWithEmptySideIsEmpty) {
+  Relation a(stream::MakeSchema({{"x", DataType::kInt64}}));
+  a.Add(Tuple(a.schema(), {Value::Int64(1)}, Timestamp::Seconds(1)));
+  Relation b(stream::MakeSchema({{"y", DataType::kInt64}}));
+  Catalog catalog;
+  catalog.AddStream("a", a);
+  catalog.AddStream("b", b);
+  auto result = RunQuery("SELECT x, y FROM a, b", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorTest, ScalarSubqueryAndFromlessSelect) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  AddTemp(&temps, "m2", 30.0, 1);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+
+  auto result = RunQuery(
+      "SELECT (SELECT count(*) FROM s [Range By 'NOW']) AS n, 7 AS seven",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).Get("n")->int64_value(), 2);
+  EXPECT_EQ(result->tuple(0).Get("seven")->int64_value(), 7);
+}
+
+TEST(EvaluatorTest, EmptyScalarSubqueryIsNull) {
+  Relation temps(TempSchema());
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+  auto result =
+      RunQuery("SELECT (SELECT temp FROM s [Range By 'NOW']) AS v", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->tuple(0).value(0).is_null());
+}
+
+TEST(EvaluatorTest, MultiRowScalarSubqueryFails) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  AddTemp(&temps, "m2", 30.0, 1);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+  auto result =
+      RunQuery("SELECT (SELECT temp FROM s [Range By 'NOW']) AS v", catalog, 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EvaluatorTest, InAndExistsAndBetween) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  AddTemp(&temps, "m2", 30.0, 1);
+  AddTemp(&temps, "m3", 40.0, 1);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+
+  auto result = RunQuery(
+      "SELECT mote FROM s WHERE mote IN ('m1', 'm3') ORDER BY mote", catalog,
+      1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+
+  result = RunQuery("SELECT mote FROM s WHERE temp BETWEEN 25 AND 35", catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).string_value(), "m2");
+
+  result = RunQuery(
+      "SELECT 1 AS yes WHERE EXISTS (SELECT * FROM s WHERE temp > 35)",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+
+  result = RunQuery(
+      "SELECT 1 AS yes WHERE EXISTS (SELECT * FROM s WHERE temp > 99)",
+      catalog, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(EvaluatorTest, CaseExpression) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  AddTemp(&temps, "m2", 60.0, 1);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+
+  auto result = RunQuery(
+      "SELECT mote, CASE WHEN temp > 50 THEN 'hot' ELSE 'ok' END AS label "
+      "FROM s ORDER BY mote",
+      catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->tuple(0).Get("label")->string_value(), "ok");
+  EXPECT_EQ(result->tuple(1).Get("label")->string_value(), "hot");
+}
+
+TEST(EvaluatorTest, DistinctOrderByLimit) {
+  Relation rfid(RfidSchema());
+  AddRfid(&rfid, 0, "b", 1);
+  AddRfid(&rfid, 0, "a", 1);
+  AddRfid(&rfid, 0, "b", 1);
+  AddRfid(&rfid, 0, "c", 1);
+  Catalog catalog;
+  catalog.AddStream("s", rfid);
+
+  auto result = RunQuery(
+      "SELECT DISTINCT tag_id FROM s ORDER BY tag_id DESC LIMIT 2", catalog,
+      1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->tuple(0).value(0).string_value(), "c");
+  EXPECT_EQ(result->tuple(1).value(0).string_value(), "b");
+}
+
+TEST(EvaluatorTest, OrderByPosition) {
+  Relation rfid(RfidSchema());
+  AddRfid(&rfid, 2, "a", 1);
+  AddRfid(&rfid, 1, "b", 1);
+  Catalog catalog;
+  catalog.AddStream("s", rfid);
+  auto result = RunQuery("SELECT spatial_granule, tag_id FROM s ORDER BY 1",
+                    catalog, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->tuple(0).value(0).int64_value(), 1);
+}
+
+TEST(EvaluatorTest, NullComparisonsAreNotTrue) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  temps.Add(Tuple(temps.schema(), {Value::String("m2"), Value::Null()},
+                  Timestamp::Seconds(1)));
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+
+  // The null temp row matches neither temp < 50 nor temp >= 50.
+  auto below = RunQuery("SELECT mote FROM s WHERE temp < 50", catalog, 1);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(below->size(), 1u);
+  auto above = RunQuery("SELECT mote FROM s WHERE temp >= 50", catalog, 1);
+  ASSERT_TRUE(above.ok());
+  EXPECT_TRUE(above->empty());
+  // ...but IS NULL finds it.
+  auto null_rows = RunQuery("SELECT mote FROM s WHERE temp IS NULL", catalog, 1);
+  ASSERT_TRUE(null_rows.ok());
+  EXPECT_EQ(null_rows->size(), 1u);
+}
+
+TEST(EvaluatorTest, AggregateInWhereRejected) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+  auto result = RunQuery("SELECT mote FROM s WHERE count(*) > 1", catalog, 1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EvaluatorTest, DivisionByZeroSurfacesError) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 1);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+  auto result = RunQuery("SELECT temp / 0 FROM s", catalog, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvaluatorTest, OutputTuplesStampedWithNow) {
+  Relation temps(TempSchema());
+  AddTemp(&temps, "m1", 20.0, 3);
+  Catalog catalog;
+  catalog.AddStream("s", temps);
+  auto result = RunQuery("SELECT temp FROM s", catalog, 7);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).timestamp(), Timestamp::Seconds(7));
+}
+
+}  // namespace
+}  // namespace esp::cql

@@ -1,0 +1,99 @@
+#include "core/granule.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::core {
+namespace {
+
+ProximityGroup ShelfGroup(int shelf) {
+  return ProximityGroup{"group_shelf" + std::to_string(shelf), "rfid",
+                        SpatialGranule{"shelf_" + std::to_string(shelf)},
+                        {"reader_" + std::to_string(shelf)}};
+}
+
+TEST(ProximityGroupTest, ContainsIsCaseInsensitive) {
+  ProximityGroup group = ShelfGroup(0);
+  EXPECT_TRUE(group.Contains("reader_0"));
+  EXPECT_TRUE(group.Contains("READER_0"));
+  EXPECT_FALSE(group.Contains("reader_1"));
+}
+
+TEST(GranuleMapTest, AddAndLookup) {
+  GranuleMap map;
+  ASSERT_TRUE(map.AddGroup(ShelfGroup(0)).ok());
+  ASSERT_TRUE(map.AddGroup(ShelfGroup(1)).ok());
+  EXPECT_EQ(map.num_groups(), 2u);
+
+  auto group = map.GroupOf("rfid", "reader_1");
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ((*group)->granule.id, "shelf_1");
+
+  EXPECT_FALSE(map.GroupOf("rfid", "reader_9").ok());
+  EXPECT_FALSE(map.GroupOf("mote", "reader_0").ok());
+}
+
+TEST(GranuleMapTest, RejectsDuplicateGroupIds) {
+  GranuleMap map;
+  ASSERT_TRUE(map.AddGroup(ShelfGroup(0)).ok());
+  EXPECT_EQ(map.AddGroup(ShelfGroup(0)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GranuleMapTest, RejectsReceptorInTwoGroupsOfSameType) {
+  GranuleMap map;
+  ASSERT_TRUE(map.AddGroup(ShelfGroup(0)).ok());
+  ProximityGroup overlapping{"other", "rfid", SpatialGranule{"elsewhere"},
+                             {"reader_0"}};
+  EXPECT_EQ(map.AddGroup(overlapping).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GranuleMapTest, SameReceptorIdAllowedAcrossTypes) {
+  GranuleMap map;
+  ASSERT_TRUE(map.AddGroup({"g1", "rfid", SpatialGranule{"room"}, {"dev"}})
+                  .ok());
+  EXPECT_TRUE(map.AddGroup({"g2", "mote", SpatialGranule{"room"}, {"dev"}})
+                  .ok());
+}
+
+TEST(GranuleMapTest, ManyToManyGranules) {
+  // Two groups of different types can observe the same spatial granule, and
+  // one type can observe several granules.
+  GranuleMap map;
+  ASSERT_TRUE(
+      map.AddGroup({"rfid_room", "rfid", SpatialGranule{"room"}, {"r0", "r1"}})
+          .ok());
+  ASSERT_TRUE(
+      map.AddGroup({"motes_room", "mote", SpatialGranule{"room"}, {"m1"}})
+          .ok());
+  ASSERT_TRUE(
+      map.AddGroup({"motes_hall", "mote", SpatialGranule{"hall"}, {"m2"}})
+          .ok());
+  EXPECT_EQ(map.GroupsOfType("mote").size(), 2u);
+  EXPECT_EQ(map.GroupsOfType("rfid").size(), 1u);
+  EXPECT_EQ(map.ReceptorsOfType("rfid"),
+            (std::vector<std::string>{"r0", "r1"}));
+}
+
+TEST(GranuleMapTest, MoveReceptorRemaps) {
+  GranuleMap map;
+  ASSERT_TRUE(map.AddGroup(ShelfGroup(0)).ok());
+  ASSERT_TRUE(map.AddGroup(ShelfGroup(1)).ok());
+
+  ASSERT_TRUE(map.MoveReceptor("rfid", "reader_0", "group_shelf1").ok());
+  auto group = map.GroupOf("rfid", "reader_0");
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ((*group)->id, "group_shelf1");
+  EXPECT_EQ((*group)->receptor_ids.size(), 2u);
+
+  // Moving to the same group is a no-op.
+  EXPECT_TRUE(map.MoveReceptor("rfid", "reader_0", "group_shelf1").ok());
+  // Unknown receptor / group fail.
+  EXPECT_FALSE(map.MoveReceptor("rfid", "nope", "group_shelf1").ok());
+  EXPECT_FALSE(map.MoveReceptor("rfid", "reader_0", "nope").ok());
+}
+
+TEST(TemporalGranuleTest, ToString) {
+  EXPECT_EQ(TemporalGranule(Duration::Seconds(5)).ToString(), "5s");
+}
+
+}  // namespace
+}  // namespace esp::core

@@ -1,0 +1,195 @@
+#include "stream/incremental.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/aggregate.h"
+#include "stream/window.h"
+
+namespace esp::stream {
+namespace {
+
+TEST(AggregatePartialTest, UpdateComputesMoments) {
+  AggregatePartial p;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) p.Update(v);
+  EXPECT_EQ(p.count, 8);
+  EXPECT_DOUBLE_EQ(p.sum, 40.0);
+  EXPECT_DOUBLE_EQ(p.min, 2.0);
+  EXPECT_DOUBLE_EQ(p.max, 9.0);
+  EXPECT_NEAR(p.Final(IncAggKind::kStdDev).double_value(), 2.0, 1e-12);
+  EXPECT_NEAR(p.Final(IncAggKind::kAvg).double_value(), 5.0, 1e-12);
+}
+
+TEST(AggregatePartialTest, MergeEqualsSequentialUpdate) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    AggregatePartial left;
+    AggregatePartial right;
+    AggregatePartial whole;
+    const int n_left = static_cast<int>(rng.UniformInt(0, 30));
+    const int n_right = static_cast<int>(rng.UniformInt(0, 30));
+    for (int i = 0; i < n_left; ++i) {
+      const double v = rng.Uniform(-10, 10);
+      left.Update(v);
+      whole.Update(v);
+    }
+    for (int i = 0; i < n_right; ++i) {
+      const double v = rng.Uniform(-10, 10);
+      right.Update(v);
+      whole.Update(v);
+    }
+    left.Merge(right);
+    EXPECT_EQ(left.count, whole.count);
+    EXPECT_NEAR(left.sum, whole.sum, 1e-9);
+    EXPECT_NEAR(left.mean, whole.mean, 1e-9);
+    EXPECT_NEAR(left.m2, whole.m2, 1e-6);
+    if (whole.count > 0) {
+      EXPECT_DOUBLE_EQ(left.min, whole.min);
+      EXPECT_DOUBLE_EQ(left.max, whole.max);
+    }
+  }
+}
+
+TEST(AggregatePartialTest, EmptyFinals) {
+  AggregatePartial p;
+  EXPECT_EQ(p.Final(IncAggKind::kCount).int64_value(), 0);
+  EXPECT_TRUE(p.Final(IncAggKind::kSum).is_null());
+  EXPECT_TRUE(p.Final(IncAggKind::kAvg).is_null());
+  EXPECT_TRUE(p.Final(IncAggKind::kMin).is_null());
+}
+
+TEST(PaneWindowAggregateTest, CreateValidation) {
+  EXPECT_TRUE(PaneWindowAggregate::Create(Duration::Seconds(5),
+                                          Duration::Seconds(1),
+                                          IncAggKind::kAvg)
+                  .ok());
+  EXPECT_FALSE(PaneWindowAggregate::Create(Duration::Seconds(5),
+                                           Duration::Seconds(2),
+                                           IncAggKind::kAvg)
+                   .ok());
+  EXPECT_FALSE(PaneWindowAggregate::Create(Duration::Zero(),
+                                           Duration::Seconds(1),
+                                           IncAggKind::kAvg)
+                   .ok());
+  EXPECT_FALSE(PaneWindowAggregate::Create(Duration::Seconds(5),
+                                           Duration::Zero(), IncAggKind::kAvg)
+                   .ok());
+}
+
+TEST(PaneWindowAggregateTest, BasicSlidingAverage) {
+  auto window = PaneWindowAggregate::Create(
+      Duration::Seconds(5), Duration::Seconds(1), IncAggKind::kAvg);
+  ASSERT_TRUE(window.ok());
+  for (int t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(
+        window->Insert(Timestamp::Seconds(t), Value::Double(t)).ok());
+  }
+  // Window (5, 10]: values 6..10, mean 8.
+  auto result = window->Evaluate(Timestamp::Seconds(10));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->double_value(), 8.0);
+  // Window (7, 12]: values 8..10, mean 9.
+  result = window->Evaluate(Timestamp::Seconds(12));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->double_value(), 9.0);
+  // Everything aged out.
+  result = window->Evaluate(Timestamp::Seconds(30));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->is_null());
+}
+
+TEST(PaneWindowAggregateTest, EvictionBoundsPaneCount) {
+  auto window = PaneWindowAggregate::Create(
+      Duration::Seconds(5), Duration::Seconds(1), IncAggKind::kSum);
+  ASSERT_TRUE(window.ok());
+  for (int t = 1; t <= 1000; ++t) {
+    ASSERT_TRUE(window->Insert(Timestamp::Seconds(t), Value::Double(1)).ok());
+    ASSERT_TRUE(window->Evaluate(Timestamp::Seconds(t)).ok());
+  }
+  EXPECT_LE(window->live_panes(), 6u);
+}
+
+TEST(PaneWindowAggregateTest, RejectsOutOfOrderAndNonNumeric) {
+  auto window = PaneWindowAggregate::Create(
+      Duration::Seconds(5), Duration::Seconds(1), IncAggKind::kSum);
+  ASSERT_TRUE(window.ok());
+  ASSERT_TRUE(window->Insert(Timestamp::Seconds(5), Value::Double(1)).ok());
+  EXPECT_FALSE(window->Insert(Timestamp::Seconds(4), Value::Double(1)).ok());
+  EXPECT_FALSE(
+      window->Insert(Timestamp::Seconds(6), Value::String("x")).ok());
+  // Nulls are skipped, not errors.
+  EXPECT_TRUE(window->Insert(Timestamp::Seconds(6), Value::Null()).ok());
+}
+
+/// Property: pane-based evaluation matches snapshot-recompute over the
+/// existing WindowBuffer + Aggregator machinery, for every aggregate kind
+/// and random pane-aligned streams.
+struct EquivalenceCase {
+  uint64_t seed;
+  IncAggKind kind;
+  const char* agg_name;
+};
+
+class IncrementalEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(IncrementalEquivalenceTest, MatchesSnapshotRecompute) {
+  const EquivalenceCase param = GetParam();
+  Rng rng(param.seed);
+
+  auto pane_window = PaneWindowAggregate::Create(
+      Duration::Seconds(5), Duration::Seconds(1), param.kind);
+  ASSERT_TRUE(pane_window.ok());
+
+  SchemaRef schema = MakeSchema({{"v", DataType::kDouble}});
+  WindowBuffer buffer(WindowSpec::Range(Duration::Seconds(5)), schema);
+
+  for (int t = 1; t <= 120; ++t) {
+    const int count = static_cast<int>(rng.UniformInt(0, 3));
+    for (int i = 0; i < count; ++i) {
+      const Value v = Value::Double(rng.Uniform(-50, 50));
+      ASSERT_TRUE(pane_window->Insert(Timestamp::Seconds(t), v).ok());
+      ASSERT_TRUE(
+          buffer.Insert(Tuple(schema, {v}, Timestamp::Seconds(t))).ok());
+    }
+    auto incremental = pane_window->Evaluate(Timestamp::Seconds(t));
+    ASSERT_TRUE(incremental.ok());
+
+    // Snapshot recompute via the standard Aggregator.
+    Relation snapshot = buffer.Snapshot(Timestamp::Seconds(t));
+    buffer.EvictBefore(Timestamp::Seconds(t));
+    auto agg = AggregateRegistry::Global().Create(param.agg_name, false);
+    ASSERT_TRUE(agg.ok());
+    for (const Tuple& tuple : snapshot.tuples()) {
+      ASSERT_TRUE((*agg)->Update(tuple.value(0)).ok());
+    }
+    const Value expected = (*agg)->Final();
+
+    if (expected.is_null()) {
+      EXPECT_TRUE(incremental->is_null()) << "t=" << t;
+    } else if (param.kind == IncAggKind::kCount) {
+      EXPECT_EQ(incremental->int64_value(), expected.int64_value());
+    } else {
+      EXPECT_NEAR(incremental->double_value(),
+                  expected.AsDouble().value(), 1e-7)
+          << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, IncrementalEquivalenceTest,
+    ::testing::Values(EquivalenceCase{1, IncAggKind::kCount, "count"},
+                      EquivalenceCase{2, IncAggKind::kSum, "sum"},
+                      EquivalenceCase{3, IncAggKind::kAvg, "avg"},
+                      EquivalenceCase{4, IncAggKind::kMin, "min"},
+                      EquivalenceCase{5, IncAggKind::kMax, "max"},
+                      EquivalenceCase{6, IncAggKind::kStdDev, "stdev"},
+                      EquivalenceCase{7, IncAggKind::kVar, "var"},
+                      EquivalenceCase{8, IncAggKind::kAvg, "avg"},
+                      EquivalenceCase{9, IncAggKind::kStdDev, "stdev"}));
+
+}  // namespace
+}  // namespace esp::stream

@@ -1,0 +1,286 @@
+// End-to-end integration tests: reduced-scale versions of the paper's
+// experiments asserting each one's *qualitative* result. The full-scale
+// numbers live in bench/ and EXPERIMENTS.md; these tests guard the
+// conclusions against regressions at ctest speed.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bench/shelf_experiment.h"
+#include "core/metrics.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "sim/home_world.h"
+#include "sim/intel_lab_world.h"
+#include "sim/redwood_world.h"
+
+namespace esp::bench {
+namespace {
+
+using core::DeviceTypePipeline;
+using core::EspProcessor;
+using core::SpatialGranule;
+using core::TemporalGranule;
+
+sim::ShelfWorld::Config SmallShelfWorld() {
+  sim::ShelfWorld::Config config;
+  config.duration = Duration::Seconds(120);
+  return config;
+}
+
+TEST(ShelfIntegrationTest, CleaningOrderingHolds) {
+  auto raw = RunShelfExperiment(SmallShelfWorld(), ShelfPipeline::kRaw,
+                                Duration::Seconds(5));
+  auto smooth = RunShelfExperiment(SmallShelfWorld(),
+                                   ShelfPipeline::kSmoothOnly,
+                                   Duration::Seconds(5));
+  auto full = RunShelfExperiment(SmallShelfWorld(),
+                                 ShelfPipeline::kSmoothThenArbitrate,
+                                 Duration::Seconds(5));
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  ASSERT_TRUE(smooth.ok()) << smooth.status();
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  // The paper's central claim: each stage strictly improves, and the full
+  // pipeline is better by a large factor.
+  EXPECT_GT(raw->average_relative_error, 0.3);
+  EXPECT_LT(smooth->average_relative_error, raw->average_relative_error);
+  EXPECT_LT(full->average_relative_error,
+            0.5 * smooth->average_relative_error);
+  EXPECT_LT(full->average_relative_error, 0.1);
+
+  // Restock alerts: constant on raw data, none after cleaning.
+  EXPECT_GT(raw->restock_alerts_per_second, 0.3);
+  EXPECT_EQ(full->restock_alerts_per_second, 0.0);
+}
+
+TEST(ShelfIntegrationTest, ArbitrateAloneDoesNotHelp) {
+  auto raw = RunShelfExperiment(SmallShelfWorld(), ShelfPipeline::kRaw,
+                                Duration::Seconds(5));
+  auto arbitrate_only = RunShelfExperiment(
+      SmallShelfWorld(), ShelfPipeline::kArbitrateOnly, Duration::Seconds(5));
+  ASSERT_TRUE(raw.ok() && arbitrate_only.ok());
+  // Section 4.2.1: "Arbitrate individually provides little benefit beyond
+  // the raw data".
+  EXPECT_NEAR(arbitrate_only->average_relative_error,
+              raw->average_relative_error, 0.1);
+}
+
+TEST(ShelfIntegrationTest, GranuleSweepIsUShaped) {
+  auto tiny = RunShelfExperiment(SmallShelfWorld(),
+                                 ShelfPipeline::kSmoothThenArbitrate,
+                                 Duration::Seconds(0.2));
+  auto sweet = RunShelfExperiment(SmallShelfWorld(),
+                                  ShelfPipeline::kSmoothThenArbitrate,
+                                  Duration::Seconds(5));
+  auto huge = RunShelfExperiment(SmallShelfWorld(),
+                                 ShelfPipeline::kSmoothThenArbitrate,
+                                 Duration::Seconds(30));
+  ASSERT_TRUE(tiny.ok() && sweet.ok() && huge.ok());
+  EXPECT_LT(sweet->average_relative_error, tiny->average_relative_error);
+  EXPECT_LT(sweet->average_relative_error, huge->average_relative_error);
+}
+
+TEST(OutlierIntegrationTest, MergeRejectsFailDirtyMote) {
+  sim::IntelLabWorld::Config config;
+  config.duration = Duration::Days(1);
+  config.fail_start = Timestamp::Seconds(0.25 * 86400);
+  config.fail_ramp_per_hour = 6.0;  // Faster ramp for a shorter test.
+  sim::IntelLabWorld world(config);
+
+  EspProcessor processor;
+  ASSERT_TRUE(processor
+                  .AddProximityGroup({"pg_room", "mote",
+                                      SpatialGranule{"room"},
+                                      {sim::IntelLabWorld::MoteId(0),
+                                       sim::IntelLabWorld::MoteId(1),
+                                       sim::IntelLabWorld::MoteId(2)}})
+                  .ok());
+  DeviceTypePipeline motes;
+  motes.device_type = "mote";
+  motes.reading_schema = sim::TempReadingSchema();
+  motes.receptor_id_column = "mote_id";
+  motes.point.push_back(core::PointFilter("temp < 50"));
+  motes.merge = core::MergeOutlierRejectingAverage(
+      TemporalGranule(Duration::Minutes(5)), "temp");
+  ASSERT_TRUE(processor.AddPipeline(std::move(motes)).ok());
+  ASSERT_TRUE(processor.Start().ok());
+
+  double esp_worst = 0;
+  for (const auto& tick : world.Generate()) {
+    double healthy = 0;
+    int healthy_n = 0;
+    for (const auto& reading : tick.readings) {
+      ASSERT_TRUE(processor.Push("mote", sim::ToTempTuple(reading)).ok());
+      if (reading.mote_id != sim::IntelLabWorld::MoteId(2)) {
+        healthy += reading.value;
+        ++healthy_n;
+      }
+    }
+    auto result = processor.Tick(tick.time);
+    ASSERT_TRUE(result.ok()) << result.status();
+    const auto& cleaned = result->per_type[0].second;
+    if (!cleaned.empty() && healthy_n > 0) {
+      auto temp = cleaned.tuple(0).Get("temp");
+      ASSERT_TRUE(temp.ok());
+      if (!temp->is_null()) {
+        esp_worst = std::max(
+            esp_worst, std::abs(temp->double_value() - healthy / healthy_n));
+      }
+    }
+  }
+  // ESP's output tracks the functioning motes throughout the failure.
+  EXPECT_LT(esp_worst, 2.0);
+}
+
+TEST(RedwoodIntegrationTest, YieldRecoversThroughStages) {
+  sim::RedwoodWorld::Config config;
+  config.duration = Duration::Days(1);
+  config.num_motes = 8;
+  sim::RedwoodWorld world(config);
+  const auto trace = world.Generate();
+
+  EspProcessor processor;
+  for (int g = 0; g < world.num_groups(); ++g) {
+    ASSERT_TRUE(processor
+                    .AddProximityGroup(
+                        {"pg_" + sim::RedwoodWorld::GroupId(g), "mote",
+                         SpatialGranule{sim::RedwoodWorld::GroupId(g)},
+                         {sim::RedwoodWorld::MoteId(2 * g),
+                          sim::RedwoodWorld::MoteId(2 * g + 1)}})
+                    .ok());
+  }
+  DeviceTypePipeline motes;
+  motes.device_type = "mote";
+  motes.reading_schema = sim::TempReadingSchema();
+  motes.receptor_id_column = "mote_id";
+  motes.smooth = core::SmoothWindowedAverage(
+      TemporalGranule(Duration::Minutes(30)), "mote_id", "temp");
+  motes.merge = core::MergeWindowedAverage(
+      TemporalGranule(Duration::Minutes(5)), "temp");
+  ASSERT_TRUE(processor.AddPipeline(std::move(motes)).ok());
+  ASSERT_TRUE(processor.Start().ok());
+
+  int64_t raw_delivered = 0;
+  int64_t merged_reported = 0;
+  int64_t ticks = 0;
+  for (const auto& tick : trace) {
+    ++ticks;
+    raw_delivered += static_cast<int64_t>(tick.delivered.size());
+    for (const auto& reading : tick.delivered) {
+      ASSERT_TRUE(processor.Push("mote", sim::ToTempTuple(reading)).ok());
+    }
+    auto result = processor.Tick(tick.time);
+    ASSERT_TRUE(result.ok()) << result.status();
+    merged_reported +=
+        static_cast<int64_t>(result->per_type[0].second.size());
+  }
+  const double raw_yield =
+      core::EpochYield(raw_delivered, ticks * config.num_motes);
+  const double merged_yield =
+      core::EpochYield(merged_reported, ticks * world.num_groups());
+  EXPECT_GT(raw_yield, 0.25);
+  EXPECT_LT(raw_yield, 0.55);
+  EXPECT_GT(merged_yield, raw_yield + 0.25);  // Substantial recovery.
+}
+
+TEST(HomeIntegrationTest, PersonDetectorBeatsSingleModalities) {
+  sim::HomeWorld::Config config;
+  config.duration = Duration::Seconds(240);
+  sim::HomeWorld world(config);
+
+  EspProcessor processor;
+  ASSERT_TRUE(processor
+                  .AddProximityGroup({"pg_rfid", "rfid",
+                                      SpatialGranule{"office"},
+                                      {sim::HomeWorld::ReaderId(0),
+                                       sim::HomeWorld::ReaderId(1)}})
+                  .ok());
+  ASSERT_TRUE(processor
+                  .AddProximityGroup({"pg_motes", "mote",
+                                      SpatialGranule{"office"},
+                                      {sim::HomeWorld::MoteId(0),
+                                       sim::HomeWorld::MoteId(1),
+                                       sim::HomeWorld::MoteId(2)}})
+                  .ok());
+  ASSERT_TRUE(processor
+                  .AddProximityGroup({"pg_x10", "x10",
+                                      SpatialGranule{"office"},
+                                      {sim::HomeWorld::DetectorId(0),
+                                       sim::HomeWorld::DetectorId(1),
+                                       sim::HomeWorld::DetectorId(2)}})
+                  .ok());
+
+  DeviceTypePipeline rfid;
+  rfid.device_type = "rfid";
+  rfid.reading_schema = sim::RfidReadingSchema();
+  rfid.receptor_id_column = "reader_id";
+  rfid.point.push_back(
+      core::PointValueFilter("tag_id", {sim::HomeWorld::kPersonTag}));
+  rfid.smooth = core::SmoothPresenceCount(
+      TemporalGranule(Duration::Seconds(5)), "tag_id");
+  rfid.merge = core::MergeUnion();
+  rfid.virtualize_input = "rfid_input";
+  ASSERT_TRUE(processor.AddPipeline(std::move(rfid)).ok());
+
+  DeviceTypePipeline motes;
+  motes.device_type = "mote";
+  motes.reading_schema = sim::SoundReadingSchema();
+  motes.receptor_id_column = "mote_id";
+  motes.smooth = core::SmoothWindowedAverage(
+      TemporalGranule(Duration::Seconds(5)), "mote_id", "noise");
+  motes.merge = core::MergeWindowedAverage(
+      TemporalGranule(Duration::Seconds(5)), "noise");
+  motes.virtualize_input = "sensors_input";
+  ASSERT_TRUE(processor.AddPipeline(std::move(motes)).ok());
+
+  DeviceTypePipeline x10;
+  x10.device_type = "x10";
+  x10.reading_schema = sim::MotionReadingSchema();
+  x10.receptor_id_column = "detector_id";
+  x10.smooth = core::SmoothPresenceCount(
+      TemporalGranule(Duration::Seconds(8)), "detector_id");
+  x10.merge = core::MergeVoteThreshold(TemporalGranule(Duration::Seconds(8)),
+                                       "detector_id", 2);
+  x10.virtualize_input = "motion_input";
+  ASSERT_TRUE(processor.AddPipeline(std::move(x10)).ok());
+
+  auto virtualize =
+      core::VirtualizeVote({{"sensors_input", "noise > 525"},
+                            {"rfid_input", "reads >= 1"},
+                            {"motion_input", "votes >= 2"}},
+                           2, "Person-in-room");
+  ASSERT_TRUE(virtualize.ok()) << virtualize.status();
+  processor.SetVirtualize(std::move(*virtualize));
+  ASSERT_TRUE(processor.Start().ok());
+
+  std::vector<bool> truth;
+  std::vector<bool> fused;
+  std::vector<bool> x10_alone;  // Raw single-modality baseline.
+  for (const auto& tick : world.Generate()) {
+    for (const auto& r : tick.rfid) {
+      ASSERT_TRUE(processor.Push("rfid", sim::ToTuple(r)).ok());
+    }
+    for (const auto& r : tick.sound) {
+      ASSERT_TRUE(processor.Push("mote", sim::ToSoundTuple(r)).ok());
+    }
+    for (const auto& r : tick.motion) {
+      ASSERT_TRUE(processor.Push("x10", sim::ToTuple(r)).ok());
+    }
+    auto result = processor.Tick(tick.time);
+    ASSERT_TRUE(result.ok()) << result.status();
+    truth.push_back(tick.person_present);
+    fused.push_back(result->virtualized.has_value() &&
+                    !result->virtualized->empty());
+    x10_alone.push_back(!tick.motion.empty());
+  }
+  auto fused_accuracy = core::BinaryAccuracy(fused, truth);
+  auto x10_accuracy = core::BinaryAccuracy(x10_alone, truth);
+  ASSERT_TRUE(fused_accuracy.ok() && x10_accuracy.ok());
+  EXPECT_GT(*fused_accuracy, 0.85);
+  EXPECT_GT(*fused_accuracy, *x10_accuracy);
+}
+
+}  // namespace
+}  // namespace esp::bench

@@ -1,0 +1,117 @@
+#include "cql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::cql {
+namespace {
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto tokens = Tokenize("SELECT shelf FROM rfid_data");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // 4 tokens + EOF.
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "shelf");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_EQ((*tokens)[3].text, "rfid_data");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select Select SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*tokens)[static_cast<size_t>(i)].IsKeyword("SELECT"));
+  }
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  auto tokens = Tokenize("Tag_ID");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "Tag_ID");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("42 3.5 .25 1e3 2.5e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 0.25);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Tokenize("'5 sec' 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "5 sec");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Tokenize(", ( ) [ ] . * + - / % = != <> < <= > >= ;");
+  ASSERT_TRUE(tokens.ok());
+  const TokenKind expected[] = {
+      TokenKind::kComma,      TokenKind::kLeftParen,
+      TokenKind::kRightParen, TokenKind::kLeftBracket,
+      TokenKind::kRightBracket, TokenKind::kDot,
+      TokenKind::kStar,       TokenKind::kPlus,
+      TokenKind::kMinus,      TokenKind::kSlash,
+      TokenKind::kPercent,    TokenKind::kEquals,
+      TokenKind::kNotEquals,  TokenKind::kNotEquals,
+      TokenKind::kLess,       TokenKind::kLessEquals,
+      TokenKind::kGreater,    TokenKind::kGreaterEquals,
+      TokenKind::kSemicolon,  TokenKind::kEof,
+  };
+  ASSERT_EQ(tokens->size(), std::size(expected));
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- the select list\n x");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(LexerTest, MinusVsComment) {
+  auto tokens = Tokenize("a - b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kMinus);
+}
+
+TEST(LexerTest, WindowClauseTokens) {
+  auto tokens = Tokenize("[Range By '5 sec']");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLeftBracket);
+  EXPECT_TRUE((*tokens)[1].IsKeyword("RANGE"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("BY"));
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kRightBracket);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace esp::cql

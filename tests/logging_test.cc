@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace esp {
+namespace {
+
+/// RAII guard so tests leave the global level as they found it.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+std::string CaptureStderr(const std::function<void()>& fn) {
+  testing::internal::CaptureStderr();
+  fn();
+  return testing::internal::GetCapturedStderr();
+}
+
+TEST(LoggingTest, LevelGatesOutput) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  const std::string quiet = CaptureStderr([] {
+    ESP_LOG(INFO) << "should be swallowed";
+    ESP_LOG(DEBUG) << "also swallowed";
+  });
+  EXPECT_TRUE(quiet.empty()) << quiet;
+
+  const std::string loud = CaptureStderr([] {
+    ESP_LOG(WARNING) << "antenna disparity detected";
+  });
+  EXPECT_NE(loud.find("WARN"), std::string::npos);
+  EXPECT_NE(loud.find("antenna disparity detected"), std::string::npos);
+  // Message includes a stripped file name, not the full path.
+  EXPECT_NE(loud.find("logging_test.cc"), std::string::npos);
+  EXPECT_EQ(loud.find("/root/"), std::string::npos);
+}
+
+TEST(LoggingTest, ErrorAlwaysPassesInfoLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  const std::string out =
+      CaptureStderr([] { ESP_LOG(ERROR) << "boom " << 42; });
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("boom 42"), std::string::npos);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ ESP_CHECK(1 == 2) << "impossible arithmetic"; },
+               "Check failed: 1 == 2.*impossible arithmetic");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnErrorStatus) {
+  EXPECT_DEATH({ ESP_CHECK_OK(Status::Internal("window underflow")); },
+               "window underflow");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  const std::string out = CaptureStderr([] {
+    ESP_CHECK(2 + 2 == 4) << "never shown";
+    ESP_CHECK_OK(Status::OK());
+  });
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace esp

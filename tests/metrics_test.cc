@@ -1,0 +1,76 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::core {
+namespace {
+
+TEST(AverageRelativeErrorTest, MatchesEquationOne) {
+  // |8-10|/10 = 0.2, |12-10|/10 = 0.2 -> mean 0.2.
+  auto result = AverageRelativeError({8, 12}, {10, 10});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 0.2);
+}
+
+TEST(AverageRelativeErrorTest, PerfectReportIsZero) {
+  auto result = AverageRelativeError({5, 10, 15}, {5, 10, 15});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 0.0);
+}
+
+TEST(AverageRelativeErrorTest, ZeroTruthHandledFinitely) {
+  auto result = AverageRelativeError({0, 3}, {0, 0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 1.5);  // (0 + 3/1) / 2.
+}
+
+TEST(AverageRelativeErrorTest, Validation) {
+  EXPECT_FALSE(AverageRelativeError({1}, {1, 2}).ok());
+  EXPECT_FALSE(AverageRelativeError({}, {}).ok());
+}
+
+TEST(EpochYieldTest, Basics) {
+  EXPECT_DOUBLE_EQ(EpochYield(40, 100), 0.4);
+  EXPECT_DOUBLE_EQ(EpochYield(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(EpochYield(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(EpochYield(5, 0), 0.0);
+}
+
+TEST(FractionWithinToleranceTest, SkipsMissingReadings) {
+  std::vector<std::optional<double>> reported = {20.1, std::nullopt, 25.0};
+  std::vector<double> reference = {20.0, 21.0, 21.0};
+  auto result = FractionWithinTolerance(reported, reference, 1.0);
+  ASSERT_TRUE(result.ok());
+  // Of the two reported readings, one is within 1 degree.
+  EXPECT_DOUBLE_EQ(*result, 0.5);
+}
+
+TEST(FractionWithinToleranceTest, AllMissingIsError) {
+  std::vector<std::optional<double>> reported = {std::nullopt};
+  EXPECT_FALSE(FractionWithinTolerance(reported, {1.0}, 1.0).ok());
+}
+
+TEST(BinaryAccuracyTest, CountsMatches) {
+  auto result = BinaryAccuracy({true, false, true, true},
+                               {true, true, true, false});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 0.5);
+  EXPECT_FALSE(BinaryAccuracy({}, {}).ok());
+  EXPECT_FALSE(BinaryAccuracy({true}, {true, false}).ok());
+}
+
+TEST(AlertRateTest, CountsDipsPerSecond) {
+  // 10 samples at 5 Hz = 2 seconds; 4 dips below 5 -> 2 alerts/second.
+  std::vector<double> counts = {6, 4, 4, 6, 6, 3, 6, 6, 2, 6};
+  auto result = AlertRate(counts, 5.0, Duration::Millis(200));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 2.0);
+}
+
+TEST(AlertRateTest, Validation) {
+  EXPECT_FALSE(AlertRate({}, 5.0, Duration::Seconds(1)).ok());
+  EXPECT_FALSE(AlertRate({1.0}, 5.0, Duration::Zero()).ok());
+}
+
+}  // namespace
+}  // namespace esp::core

@@ -1,0 +1,209 @@
+#include "core/model_stage.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace esp::core {
+namespace {
+
+using stream::DataType;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+TEST(CrossAttributeModelTest, FitsExactLine) {
+  CrossAttributeModel model(1.0);
+  for (int i = 0; i < 10; ++i) {
+    model.Observe(i, 3.0 * i + 2.0);
+  }
+  EXPECT_NEAR(model.slope(), 3.0, 1e-9);
+  EXPECT_NEAR(model.intercept(), 2.0, 1e-9);
+  EXPECT_NEAR(model.Predict(100).value(), 302.0, 1e-6);
+  EXPECT_NEAR(model.residual_stddev(), 0.0, 1e-9);
+}
+
+TEST(CrossAttributeModelTest, NotUsableBeforeTwoDistinctX) {
+  CrossAttributeModel model;
+  EXPECT_FALSE(model.Predict(1.0).ok());
+  model.Observe(5.0, 1.0);
+  EXPECT_FALSE(model.Predict(1.0).ok());
+  model.Observe(5.0, 1.1);  // Same x: still degenerate.
+  EXPECT_FALSE(model.Predict(1.0).ok());
+  model.Observe(6.0, 2.0);
+  EXPECT_TRUE(model.Predict(1.0).ok());
+}
+
+TEST(CrossAttributeModelTest, FitsNoisyLine) {
+  Rng rng(3);
+  CrossAttributeModel model(1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Uniform(0, 10);
+    model.Observe(x, -2.0 * x + 7.0 + rng.Gaussian(0, 0.5));
+  }
+  EXPECT_NEAR(model.slope(), -2.0, 0.05);
+  EXPECT_NEAR(model.intercept(), 7.0, 0.2);
+  EXPECT_NEAR(model.residual_stddev(), 0.5, 0.05);
+  // A point 5 sigma off scores about 5.
+  const double prediction = model.Predict(5.0).value();
+  EXPECT_NEAR(model.ResidualSigmas(5.0, prediction + 2.5).value(), 5.0, 0.6);
+}
+
+TEST(CrossAttributeModelTest, ForgettingTracksDrift) {
+  Rng rng(4);
+  CrossAttributeModel forgetful(0.95);
+  CrossAttributeModel rigid(1.0);
+  // First regime: y = x; second regime: y = x + 5.
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 10);
+    forgetful.Observe(x, x);
+    rigid.Observe(x, x);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 10);
+    forgetful.Observe(x, x + 5.0);
+    rigid.Observe(x, x + 5.0);
+  }
+  const double forgetful_error =
+      std::abs(forgetful.Predict(5.0).value() - 10.0);
+  const double rigid_error = std::abs(rigid.Predict(5.0).value() - 10.0);
+  EXPECT_LT(forgetful_error, 0.2);
+  EXPECT_GT(rigid_error, 1.0);  // OLS averages the two regimes.
+}
+
+SchemaRef VoltTempSchema() {
+  return stream::MakeSchema({{"mote_id", DataType::kString},
+                             {"voltage", DataType::kDouble},
+                             {"temp", DataType::kDouble}});
+}
+
+StatusOr<std::unique_ptr<ModelOutlierStage>> MakeBoundStage(
+    double threshold_sigmas = 5.0) {
+  ModelOutlierStage::Config config;
+  config.x_column = "voltage";
+  config.y_column = "temp";
+  config.threshold_sigmas = threshold_sigmas;
+  config.warmup_observations = 32;
+  auto stage = std::make_unique<ModelOutlierStage>(
+      StageKind::kVirtualize, "model_outlier", config);
+  cql::SchemaCatalog catalog;
+  catalog.AddStream(StageInputName(StageKind::kVirtualize), VoltTempSchema());
+  ESP_RETURN_IF_ERROR(stage->Bind(catalog));
+  return stage;
+}
+
+TEST(ModelOutlierStageTest, OutputSchemaExtendsInput) {
+  auto stage = MakeBoundStage();
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  const SchemaRef& schema = (*stage)->output_schema();
+  EXPECT_TRUE(schema->Contains("mote_id"));
+  EXPECT_TRUE(schema->Contains("predicted"));
+  EXPECT_TRUE(schema->Contains("residual_sigmas"));
+  EXPECT_TRUE(schema->Contains("outlier"));
+}
+
+TEST(ModelOutlierStageTest, FlagsSensorBreakingTheCorrelation) {
+  auto stage = MakeBoundStage();
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  SchemaRef schema = VoltTempSchema();
+  Rng rng(9);
+
+  // Physics: battery voltage sags linearly with ambient temperature:
+  // v = 3.0 - 0.02 * temp (+ noise). A fail-dirty mote reports drifting
+  // temperatures while its voltage keeps following the *true* ambient.
+  int flagged_healthy = 0;
+  int flagged_faulty_late = 0;
+  int faulty_late = 0;
+  for (int t = 0; t < 400; ++t) {
+    const double ambient = 20.0 + 2.0 * std::sin(t / 30.0);
+    const double healthy_v = 3.0 - 0.02 * ambient + rng.Gaussian(0, 0.003);
+    const double faulty_reported =
+        t < 200 ? ambient : ambient + 0.15 * (t - 200);  // The drift.
+    const double faulty_v = 3.0 - 0.02 * ambient + rng.Gaussian(0, 0.003);
+
+    ASSERT_TRUE((*stage)
+                    ->Push(StageInputName(StageKind::kVirtualize),
+                           Tuple(schema,
+                                 {Value::String("healthy"),
+                                  Value::Double(healthy_v),
+                                  Value::Double(ambient + rng.Gaussian(0, 0.1))},
+                                 Timestamp::Seconds(t)))
+                    .ok());
+    ASSERT_TRUE((*stage)
+                    ->Push(StageInputName(StageKind::kVirtualize),
+                           Tuple(schema,
+                                 {Value::String("faulty"),
+                                  Value::Double(faulty_v),
+                                  Value::Double(faulty_reported)},
+                                 Timestamp::Seconds(t)))
+                    .ok());
+    auto out = (*stage)->Evaluate(Timestamp::Seconds(t));
+    ASSERT_TRUE(out.ok()) << out.status();
+    for (const Tuple& row : out->tuples()) {
+      const bool outlier = row.Get("outlier")->bool_value();
+      const std::string mote = row.Get("mote_id")->string_value();
+      if (mote == "healthy" && outlier) ++flagged_healthy;
+      if (mote == "faulty" && t >= 260) {
+        ++faulty_late;
+        if (outlier) ++flagged_faulty_late;
+      }
+    }
+  }
+  // Healthy readings essentially never flagged; the drifting sensor is
+  // flagged consistently once its residual exceeds the threshold.
+  EXPECT_LE(flagged_healthy, 4);
+  EXPECT_GT(faulty_late, 0);
+  EXPECT_GT(static_cast<double>(flagged_faulty_late) / faulty_late, 0.9);
+}
+
+TEST(ModelOutlierStageTest, WarmupNeverFlags) {
+  auto stage = MakeBoundStage(/*threshold_sigmas=*/0.1);
+  ASSERT_TRUE(stage.ok());
+  SchemaRef schema = VoltTempSchema();
+  Rng rng(10);
+  for (int t = 0; t < 16; ++t) {  // Below the 32-observation warmup.
+    ASSERT_TRUE((*stage)
+                    ->Push(StageInputName(StageKind::kVirtualize),
+                           Tuple(schema,
+                                 {Value::String("m"), Value::Double(rng.Uniform(2, 3)),
+                                  Value::Double(rng.Uniform(0, 100))},
+                                 Timestamp::Seconds(t)))
+                    .ok());
+    auto out = (*stage)->Evaluate(Timestamp::Seconds(t));
+    ASSERT_TRUE(out.ok());
+    for (const Tuple& row : out->tuples()) {
+      EXPECT_FALSE(row.Get("outlier")->bool_value());
+    }
+  }
+}
+
+TEST(ModelOutlierStageTest, BindValidatesColumns) {
+  ModelOutlierStage::Config config;
+  config.x_column = "nonexistent";
+  config.y_column = "temp";
+  ModelOutlierStage stage(StageKind::kVirtualize, "m", config);
+  cql::SchemaCatalog catalog;
+  catalog.AddStream(StageInputName(StageKind::kVirtualize), VoltTempSchema());
+  EXPECT_FALSE(stage.Bind(catalog).ok());
+}
+
+TEST(ModelOutlierStageTest, NullValuesAreSkipped) {
+  auto stage = MakeBoundStage();
+  ASSERT_TRUE(stage.ok());
+  SchemaRef schema = VoltTempSchema();
+  ASSERT_TRUE((*stage)
+                  ->Push(StageInputName(StageKind::kVirtualize),
+                         Tuple(schema,
+                               {Value::String("m"), Value::Null(),
+                                Value::Double(20.0)},
+                               Timestamp::Seconds(1)))
+                  .ok());
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+}  // namespace
+}  // namespace esp::core

@@ -1,0 +1,251 @@
+#include "stream/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/aggregate.h"
+
+namespace esp::stream {
+namespace {
+
+SchemaRef ReadingSchema() {
+  return MakeSchema({{"device", DataType::kString},
+                     {"temp", DataType::kDouble}});
+}
+
+Relation SampleReadings() {
+  SchemaRef schema = ReadingSchema();
+  Relation rel(schema);
+  const struct {
+    const char* device;
+    double temp;
+    double t;
+  } rows[] = {
+      {"m1", 20.0, 0}, {"m2", 21.0, 0}, {"m3", 100.0, 0},
+      {"m1", 20.5, 1}, {"m2", 21.5, 1}, {"m3", 105.0, 1},
+  };
+  for (const auto& r : rows) {
+    rel.Add(Tuple(schema, {Value::String(r.device), Value::Double(r.temp)},
+                  Timestamp::Seconds(r.t)));
+  }
+  return rel;
+}
+
+TEST(FilterTest, KeepsMatchingTuples) {
+  auto result = Filter(SampleReadings(), [](const Tuple& t) -> StatusOr<bool> {
+    return t.Get("temp")->double_value() < 50.0;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 4u);
+}
+
+TEST(FilterTest, PropagatesPredicateError) {
+  auto result = Filter(SampleReadings(), [](const Tuple&) -> StatusOr<bool> {
+    return Status::Internal("boom");
+  });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(MapTest, TransformsTuples) {
+  SchemaRef out_schema = MakeSchema({{"device", DataType::kString},
+                                     {"fahrenheit", DataType::kDouble}});
+  auto result =
+      Map(SampleReadings(), out_schema, [&](const Tuple& t) -> StatusOr<Tuple> {
+        const double c = t.Get("temp")->double_value();
+        return Tuple(out_schema,
+                     {t.Get("device").value(), Value::Double(c * 9 / 5 + 32)},
+                     t.timestamp());
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 6u);
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("fahrenheit")->double_value(), 68.0);
+}
+
+TEST(ProjectTest, SelectsAndReordersColumns) {
+  auto result = ProjectColumns(SampleReadings(), {"temp", "device"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema()->field(0).name, "temp");
+  EXPECT_EQ(result->schema()->field(1).name, "device");
+  EXPECT_DOUBLE_EQ(result->tuple(0).value(0).double_value(), 20.0);
+}
+
+TEST(ProjectTest, UnknownColumnFails) {
+  EXPECT_FALSE(ProjectColumns(SampleReadings(), {"bogus"}).ok());
+}
+
+TEST(UnionTest, MergesAndSortsByTime) {
+  SchemaRef schema = ReadingSchema();
+  Relation a(schema);
+  a.Add(Tuple(schema, {Value::String("m1"), Value::Double(1.0)},
+              Timestamp::Seconds(2)));
+  Relation b(schema);
+  b.Add(Tuple(schema, {Value::String("m2"), Value::Double(2.0)},
+              Timestamp::Seconds(1)));
+  auto result = Union({a, b});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->tuple(0).Get("device")->string_value(), "m2");
+  EXPECT_EQ(result->tuple(1).Get("device")->string_value(), "m1");
+}
+
+TEST(UnionTest, RejectsMismatchedSchemas) {
+  Relation a(ReadingSchema());
+  Relation b(MakeSchema({{"x", DataType::kInt64}}));
+  b.Add(Tuple(b.schema(), {Value::Int64(1)}, Timestamp::Epoch()));
+  auto result = Union({a, b});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(UnionTest, EmptyInputListOk) {
+  auto result = Union({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(GroupByTest, GroupsAndReduces) {
+  SchemaRef out_schema =
+      MakeSchema({{"device", DataType::kString}, {"avg_temp", DataType::kDouble}});
+  auto result = GroupBy(
+      SampleReadings(), {"device"}, out_schema,
+      [&](const std::vector<Value>& key,
+          const std::vector<const Tuple*>& rows) -> StatusOr<Tuple> {
+        double sum = 0;
+        for (const Tuple* t : rows) sum += t->Get("temp")->double_value();
+        return Tuple(out_schema,
+                     {key[0], Value::Double(sum / rows.size())},
+                     rows.back()->timestamp());
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  // First-seen group order is preserved.
+  EXPECT_EQ(result->tuple(0).Get("device")->string_value(), "m1");
+  EXPECT_DOUBLE_EQ(result->tuple(0).Get("avg_temp")->double_value(), 20.25);
+  EXPECT_DOUBLE_EQ(result->tuple(2).Get("avg_temp")->double_value(), 102.5);
+}
+
+TEST(GroupByTest, EmptyKeyMakesSingleGroup) {
+  SchemaRef out_schema = MakeSchema({{"n", DataType::kInt64}});
+  auto result = GroupBy(
+      SampleReadings(), {}, out_schema,
+      [&](const std::vector<Value>&, const std::vector<const Tuple*>& rows)
+          -> StatusOr<Tuple> {
+        return Tuple(out_schema, {Value::Int64(static_cast<int64_t>(rows.size()))},
+                     Timestamp::Epoch());
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->tuple(0).value(0).int64_value(), 6);
+}
+
+TEST(GroupByTest, EmptyInputYieldsNoGroups) {
+  SchemaRef out_schema = MakeSchema({{"n", DataType::kInt64}});
+  Relation empty(ReadingSchema());
+  auto result = GroupBy(
+      empty, {}, out_schema,
+      [&](const std::vector<Value>&, const std::vector<const Tuple*>&)
+          -> StatusOr<Tuple> { return Status::Internal("never called"); });
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(DistinctTest, RemovesDuplicateRows) {
+  SchemaRef schema = MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  for (int64_t v : {1, 2, 1, 3, 2, 1}) {
+    rel.Add(Tuple(schema, {Value::Int64(v)}, Timestamp::Epoch()));
+  }
+  auto result = Distinct(rel);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ(result->tuple(0).value(0).int64_value(), 1);
+  EXPECT_EQ(result->tuple(1).value(0).int64_value(), 2);
+  EXPECT_EQ(result->tuple(2).value(0).int64_value(), 3);
+}
+
+TEST(SortByTest, SortsAscendingNullsFirst) {
+  SchemaRef schema = MakeSchema({{"x", DataType::kInt64}});
+  Relation rel(schema);
+  for (int v : {3, 1, 2}) {
+    rel.Add(Tuple(schema, {Value::Int64(v)}, Timestamp::Epoch()));
+  }
+  rel.Add(Tuple(schema, {Value::Null()}, Timestamp::Epoch()));
+  auto result = SortBy(rel, "x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tuple(0).value(0).is_null());
+  EXPECT_EQ(result->tuple(1).value(0).int64_value(), 1);
+  EXPECT_EQ(result->tuple(3).value(0).int64_value(), 3);
+}
+
+TEST(HashJoinTest, InnerJoinOnEqualKeys) {
+  SchemaRef left_schema = MakeSchema(
+      {{"tag", DataType::kString}, {"reads", DataType::kInt64}});
+  Relation left(left_schema);
+  left.Add(Tuple(left_schema, {Value::String("a"), Value::Int64(3)},
+                 Timestamp::Seconds(1)));
+  left.Add(Tuple(left_schema, {Value::String("b"), Value::Int64(5)},
+                 Timestamp::Seconds(2)));
+
+  SchemaRef right_schema = MakeSchema(
+      {{"tag", DataType::kString}, {"shelf", DataType::kString}});
+  Relation right(right_schema);
+  right.Add(Tuple(right_schema, {Value::String("a"), Value::String("s0")},
+                  Timestamp::Seconds(3)));
+  right.Add(Tuple(right_schema, {Value::String("a"), Value::String("s1")},
+                  Timestamp::Seconds(3)));
+  right.Add(Tuple(right_schema, {Value::String("c"), Value::String("s2")},
+                  Timestamp::Seconds(3)));
+
+  auto result = HashJoin(left, "tag", right, "tag");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 'a' matches twice, 'b' and 'c' not at all.
+  ASSERT_EQ(result->size(), 2u);
+  // Collided column gets the right_ prefix.
+  EXPECT_TRUE(result->schema()->Contains("right_tag"));
+  EXPECT_EQ(result->tuple(0).Get("tag")->string_value(), "a");
+  EXPECT_EQ(result->tuple(0).Get("shelf")->string_value(), "s0");
+  EXPECT_EQ(result->tuple(1).Get("shelf")->string_value(), "s1");
+  // Output timestamp is the later of the two sides.
+  EXPECT_EQ(result->tuple(0).timestamp(), Timestamp::Seconds(3));
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  SchemaRef schema = MakeSchema({{"k", DataType::kString}});
+  Relation left(schema);
+  left.Add(Tuple(schema, {Value::Null()}, Timestamp::Seconds(1)));
+  Relation right(schema);
+  right.Add(Tuple(schema, {Value::Null()}, Timestamp::Seconds(1)));
+  auto result = HashJoin(left, "k", right, "k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(HashJoinTest, NumericKeyCoercion) {
+  SchemaRef left_schema = MakeSchema({{"k", DataType::kInt64}});
+  Relation left(left_schema);
+  left.Add(Tuple(left_schema, {Value::Int64(1)}, Timestamp::Seconds(1)));
+  SchemaRef right_schema = MakeSchema({{"k2", DataType::kDouble}});
+  Relation right(right_schema);
+  right.Add(Tuple(right_schema, {Value::Double(1.0)}, Timestamp::Seconds(1)));
+  auto result = HashJoin(left, "k", right, "k2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);  // 1 == 1.0 with matching hashes.
+}
+
+TEST(HashJoinTest, UnknownKeyColumnFails) {
+  Relation rel(ReadingSchema());
+  EXPECT_FALSE(HashJoin(rel, "bogus", rel, "device").ok());
+  EXPECT_FALSE(HashJoin(rel, "device", rel, "bogus").ok());
+}
+
+TEST(ColumnReductionsTest, MeanStdevCountDistinct) {
+  Relation readings = SampleReadings();
+  EXPECT_NEAR(ColumnMean(readings, "temp").value(), 48.0, 1e-9);
+  EXPECT_GT(ColumnStdDev(readings, "temp").value(), 0.0);
+  EXPECT_EQ(ColumnCountDistinct(readings, "device").value(), 3);
+  Relation empty(ReadingSchema());
+  EXPECT_FALSE(ColumnMean(empty, "temp").ok());
+  EXPECT_EQ(ColumnCountDistinct(empty, "device").value(), 0);
+}
+
+}  // namespace
+}  // namespace esp::stream

@@ -1,0 +1,226 @@
+#include "cql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::cql {
+namespace {
+
+// The paper's queries, verbatim or minimally normalised (Query 5 as printed
+// in the paper is syntactically malformed; see evaluator tests for the
+// corrected form).
+constexpr const char* kQuery1 =
+    "SELECT shelf, count(distinct tag_id) "
+    "FROM rfid_data [Range By '5 sec'] "
+    "GROUP BY shelf";
+
+constexpr const char* kQuery2 =
+    "SELECT tag_id, count(*) "
+    "FROM smooth_input [Range By '5 sec'] "
+    "GROUP BY tag_id";
+
+constexpr const char* kQuery3 =
+    "SELECT spatial_granule, tag_id "
+    "FROM arbitrate_input ai1 [Range By 'NOW'] "
+    "GROUP BY spatial_granule, tag_id "
+    "HAVING count(*) >= ALL(SELECT count(*) "
+    "                       FROM arbitrate_input ai2 [Range By 'NOW'] "
+    "                       WHERE ai1.tag_id = ai2.tag_id "
+    "                       GROUP BY spatial_granule)";
+
+constexpr const char* kQuery4 =
+    "SELECT * FROM point_input WHERE temp < 50";
+
+TEST(ParserTest, Query1ShelfMonitoring) {
+  auto query = ParseQuery(kQuery1);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->items.size(), 2u);
+  EXPECT_EQ((*query)->items[1].expr->kind(), ExprKind::kFunctionCall);
+  const auto& count =
+      static_cast<const FunctionCallExpr&>(*(*query)->items[1].expr);
+  EXPECT_EQ(count.name, "count");
+  EXPECT_TRUE(count.distinct);
+  ASSERT_EQ((*query)->from.size(), 1u);
+  EXPECT_EQ((*query)->from[0].stream_name, "rfid_data");
+  EXPECT_EQ((*query)->from[0].window.kind, stream::WindowKind::kRange);
+  EXPECT_EQ((*query)->from[0].window.range, Duration::Seconds(5));
+  EXPECT_EQ((*query)->group_by.size(), 1u);
+}
+
+TEST(ParserTest, Query2SmoothInterpolation) {
+  auto query = ParseQuery(kQuery2);
+  ASSERT_TRUE(query.ok()) << query.status();
+  const auto& count =
+      static_cast<const FunctionCallExpr&>(*(*query)->items[1].expr);
+  EXPECT_TRUE(count.IsStarArg());
+  EXPECT_FALSE(count.distinct);
+}
+
+TEST(ParserTest, Query3ArbitrateWithAllSubquery) {
+  auto query = ParseQuery(kQuery3);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->from[0].alias, "ai1");
+  EXPECT_EQ((*query)->from[0].window.kind, stream::WindowKind::kNow);
+  ASSERT_NE((*query)->having, nullptr);
+  ASSERT_EQ((*query)->having->kind(), ExprKind::kQuantifiedComparison);
+  const auto& having =
+      static_cast<const QuantifiedComparisonExpr&>(*(*query)->having);
+  EXPECT_EQ(having.op, BinaryOp::kGreaterEquals);
+  EXPECT_EQ(having.quantifier, Quantifier::kAll);
+  ASSERT_NE(having.subquery, nullptr);
+  EXPECT_EQ(having.subquery->from[0].alias, "ai2");
+  ASSERT_NE(having.subquery->where, nullptr);
+}
+
+TEST(ParserTest, Query4PointFilter) {
+  auto query = ParseQuery(kQuery4);
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->items[0].expr->kind(), ExprKind::kStar);
+  ASSERT_NE((*query)->where, nullptr);
+  EXPECT_EQ((*query)->where->kind(), ExprKind::kBinary);
+}
+
+TEST(ParserTest, DerivedTableWithAlias) {
+  auto query = ParseQuery(
+      "SELECT a.mean FROM (SELECT avg(temp) AS mean FROM merge_input "
+      "[Range By '5 min']) AS a");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ((*query)->from.size(), 1u);
+  EXPECT_EQ((*query)->from[0].kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ((*query)->from[0].alias, "a");
+  ASSERT_NE((*query)->from[0].subquery, nullptr);
+}
+
+TEST(ParserTest, CommaJoinOfStreamAndSubquery) {
+  auto query = ParseQuery(
+      "SELECT s.temp FROM merge_input s [Range By '5 min'], "
+      "(SELECT avg(temp) AS mean FROM merge_input [Range By '5 min']) a "
+      "WHERE s.temp <= a.mean");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ((*query)->from.size(), 2u);
+  EXPECT_EQ((*query)->from[0].alias, "s");
+  EXPECT_EQ((*query)->from[1].alias, "a");
+}
+
+TEST(ParserTest, BareAliasWithoutAs) {
+  auto query = ParseQuery("SELECT 1 cnt FROM x");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->items[0].alias, "cnt");
+}
+
+TEST(ParserTest, ScalarSubqueryInSelectAndWhere) {
+  auto query = ParseQuery(
+      "SELECT (SELECT count(*) FROM a [Range By 'NOW']) AS votes "
+      "WHERE (SELECT count(*) FROM b [Range By 'NOW']) > 0");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->items[0].expr->kind(), ExprKind::kScalarSubquery);
+  EXPECT_TRUE((*query)->from.empty());
+}
+
+TEST(ParserTest, RowsAndUnboundedWindows) {
+  auto query = ParseQuery("SELECT * FROM s [Rows 100]");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->from[0].window.kind, stream::WindowKind::kRows);
+  EXPECT_EQ((*query)->from[0].window.rows, 100);
+
+  query = ParseQuery("SELECT * FROM s [Unbounded]");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ((*query)->from[0].window.kind, stream::WindowKind::kUnbounded);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto expr = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->ToString(), "(1 + (2 * 3))");
+
+  expr = ParseExpression("a OR b AND NOT c = d");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->ToString(), "(a OR (b AND (NOT (c = d))))");
+
+  expr = ParseExpression("-x * y");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->ToString(), "(-(x) * y)");
+}
+
+TEST(ParserTest, InBetweenIsNullExistsCase) {
+  EXPECT_TRUE(ParseExpression("x IN (1, 2, 3)").ok());
+  EXPECT_TRUE(ParseExpression("x NOT IN (SELECT id FROM t)").ok());
+  EXPECT_TRUE(ParseExpression("x BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("x NOT BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("x IS NULL").ok());
+  EXPECT_TRUE(ParseExpression("x IS NOT NULL").ok());
+  EXPECT_TRUE(ParseExpression("EXISTS (SELECT * FROM t)").ok());
+  EXPECT_TRUE(
+      ParseExpression("CASE WHEN x > 0 THEN 1 ELSE 0 END").ok());
+}
+
+TEST(ParserTest, OrderByAndLimit) {
+  auto query =
+      ParseQuery("SELECT a, b FROM t ORDER BY a DESC, b LIMIT 10");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ((*query)->order_by.size(), 2u);
+  EXPECT_TRUE((*query)->order_by[0].descending);
+  EXPECT_FALSE((*query)->order_by[1].descending);
+  EXPECT_EQ((*query)->limit, 10);
+}
+
+TEST(ParserTest, DistinctSelect) {
+  auto query = ParseQuery("SELECT DISTINCT tag_id FROM t");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_TRUE((*query)->distinct);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseQuery("SELECT 1 AS one;").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t [Range '5 sec']").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t [Range By 5]").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t [Rows 0]").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t GROUP shelf").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t extra garbage !").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a, FROM t").ok());
+  EXPECT_FALSE(ParseExpression("CASE END").ok());
+  EXPECT_FALSE(ParseExpression("(1 + 2").ok());
+}
+
+TEST(ParserTest, WindowDurationErrors) {
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t [Range By 'five sec']").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t [Range By '5 parsecs']").ok());
+}
+
+// Round-trip property: ToString() output re-parses to the same rendering.
+class ParserRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTripTest, ToStringReparses) {
+  auto first = ParseQuery(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string rendered = (*first)->ToString();
+  auto second = ParseQuery(rendered);
+  ASSERT_TRUE(second.ok()) << "re-parse of: " << rendered << "\n"
+                           << second.status();
+  EXPECT_EQ((*second)->ToString(), rendered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, ParserRoundTripTest,
+    ::testing::Values(
+        kQuery1, kQuery2, kQuery3, kQuery4,
+        "SELECT s.temp FROM merge_input s [Range By '5 min'], "
+        "(SELECT avg(temp) AS mean, stdev(temp) AS sd FROM merge_input "
+        "[Range By '5 min']) a WHERE s.temp <= a.mean + a.sd AND "
+        "s.temp >= a.mean - a.sd",
+        "SELECT CASE WHEN noise > 525 THEN 1 ELSE 0 END AS vote FROM "
+        "sensors_input [Range By 'NOW']",
+        "SELECT DISTINCT tag_id FROM t [Rows 50] ORDER BY tag_id LIMIT 5",
+        "SELECT x FROM t WHERE x BETWEEN 1 AND 10 AND y IS NOT NULL",
+        "SELECT x FROM t WHERE x IN (SELECT y FROM u [Range By '1 sec'])",
+        "SELECT x FROM t WHERE EXISTS (SELECT * FROM u) AND x != 3"));
+
+}  // namespace
+}  // namespace esp::cql

@@ -1,0 +1,116 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace esp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntStaysInBoundsAndCoversRange) {
+  Rng rng(7);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const int64_t v = rng.UniformInt(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    // Each bucket should receive roughly 10000 draws.
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  // Child is deterministic given the parent seed...
+  Rng parent2(5);
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(child.NextUint64(), child2.NextUint64());
+  }
+  // ...and does not replay the parent's sequence.
+  Rng parent3(5);
+  Rng child3 = parent3.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child3.NextUint64() == parent3.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace esp

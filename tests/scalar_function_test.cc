@@ -1,0 +1,158 @@
+#include "cql/scalar_function.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cql/evaluator.h"
+#include "cql/parser.h"
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+using stream::Value;
+
+StatusOr<Value> Call(const std::string& name,
+                     const std::vector<Value>& args) {
+  ESP_ASSIGN_OR_RETURN(const ScalarFunction* function,
+                       ScalarFunctionRegistry::Global().Find(name));
+  if (args.size() < function->min_args || args.size() > function->max_args) {
+    return Status::InvalidArgument("arity");
+  }
+  return function->fn(args);
+}
+
+TEST(ScalarFunctionTest, NumericUnaries) {
+  EXPECT_DOUBLE_EQ(Call("sqrt", {Value::Double(9)})->double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(Call("floor", {Value::Double(2.7)})->double_value(), 2.0);
+  EXPECT_DOUBLE_EQ(Call("ceil", {Value::Double(2.1)})->double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(Call("exp", {Value::Double(0)})->double_value(), 1.0);
+  EXPECT_DOUBLE_EQ(Call("ln", {Value::Double(std::exp(2.0))})->double_value(),
+                   2.0);
+  // Null propagation.
+  EXPECT_TRUE(Call("sqrt", {Value::Null()})->is_null());
+  // Type errors.
+  EXPECT_FALSE(Call("sqrt", {Value::String("x")}).ok());
+}
+
+TEST(ScalarFunctionTest, AbsPreservesIntegerType) {
+  const Value int_abs = Call("abs", {Value::Int64(-5)}).value();
+  EXPECT_EQ(int_abs.type(), DataType::kInt64);
+  EXPECT_EQ(int_abs.int64_value(), 5);
+  const Value dbl_abs = Call("abs", {Value::Double(-2.5)}).value();
+  EXPECT_DOUBLE_EQ(dbl_abs.double_value(), 2.5);
+}
+
+TEST(ScalarFunctionTest, RoundWithDigits) {
+  EXPECT_DOUBLE_EQ(Call("round", {Value::Double(2.567)})->double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      Call("round", {Value::Double(2.567), Value::Int64(2)})->double_value(),
+      2.57);
+}
+
+TEST(ScalarFunctionTest, PowLeastGreatest) {
+  EXPECT_DOUBLE_EQ(
+      Call("pow", {Value::Double(2), Value::Int64(10)})->double_value(),
+      1024.0);
+  EXPECT_EQ(Call("least", {Value::Int64(3), Value::Int64(1), Value::Int64(2)})
+                ->int64_value(),
+            1);
+  EXPECT_EQ(
+      Call("greatest", {Value::Int64(3), Value::Null(), Value::Int64(7)})
+          ->int64_value(),
+      7);
+  // All-null: null.
+  EXPECT_TRUE(Call("least", {Value::Null()})->is_null());
+}
+
+TEST(ScalarFunctionTest, CoalesceAndIif) {
+  EXPECT_EQ(Call("coalesce", {Value::Null(), Value::Int64(4)})->int64_value(),
+            4);
+  EXPECT_TRUE(Call("coalesce", {Value::Null(), Value::Null()})->is_null());
+  EXPECT_EQ(Call("iif", {Value::Bool(true), Value::Int64(1), Value::Int64(0)})
+                ->int64_value(),
+            1);
+  EXPECT_EQ(Call("iif", {Value::Bool(false), Value::Int64(1), Value::Int64(0)})
+                ->int64_value(),
+            0);
+  // Null condition picks the else branch.
+  EXPECT_EQ(Call("iif", {Value::Null(), Value::Int64(1), Value::Int64(0)})
+                ->int64_value(),
+            0);
+  EXPECT_FALSE(
+      Call("iif", {Value::Int64(1), Value::Int64(1), Value::Int64(0)}).ok());
+}
+
+TEST(ScalarFunctionTest, StringFunctions) {
+  EXPECT_EQ(Call("length", {Value::String("tag_1")})->int64_value(), 5);
+  EXPECT_EQ(Call("lower", {Value::String("Tag")})->string_value(), "tag");
+  EXPECT_EQ(Call("upper", {Value::String("Tag")})->string_value(), "TAG");
+  EXPECT_EQ(
+      Call("concat", {Value::String("shelf_"), Value::Int64(0)})->string_value(),
+      "shelf_0");
+  EXPECT_FALSE(Call("length", {Value::Int64(1)}).ok());
+}
+
+TEST(ScalarFunctionTest, LookupIsCaseInsensitiveAndArityChecked) {
+  EXPECT_TRUE(ScalarFunctionRegistry::Global().Contains("SQRT"));
+  EXPECT_FALSE(ScalarFunctionRegistry::Global().Contains("nope"));
+  EXPECT_FALSE(Call("sqrt", {}).ok());
+  EXPECT_FALSE(Call("pow", {Value::Double(1)}).ok());
+}
+
+// --- The calibration-UDF scenario of Section 4.3.1: register a deployment-
+// specific function and use it from a declarative stage. ----------------
+
+TEST(ScalarFunctionTest, UserDefinedCalibrationFunction) {
+  ScalarFunctionRegistry& registry = ScalarFunctionRegistry::Global();
+  if (!registry.Contains("calibrate")) {
+    ScalarFunction calibrate;
+    calibrate.name = "calibrate";
+    calibrate.min_args = 2;
+    calibrate.max_args = 2;
+    calibrate.result_type = DataType::kDouble;
+    calibrate.fn = [](const std::vector<Value>& args) -> StatusOr<Value> {
+      if (args[0].is_null()) return Value::Null();
+      ESP_ASSIGN_OR_RETURN(const double raw, args[0].AsDouble());
+      ESP_ASSIGN_OR_RETURN(const double gain, args[1].AsDouble());
+      return Value::Double(raw * gain);
+    };
+    ASSERT_TRUE(registry.Register(std::move(calibrate)).ok());
+  }
+
+  // Use the UDF from a query.
+  Catalog catalog;
+  stream::Relation readings(stream::MakeSchema({{"temp", DataType::kDouble}}));
+  readings.Add(stream::Tuple(readings.schema(), {Value::Double(20.0)},
+                             Timestamp::Seconds(1)));
+  catalog.AddStream("s", readings);
+  auto query = ParseQuery("SELECT calibrate(temp, 1.1) AS corrected FROM s");
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto result = ExecuteQuery(**query, catalog, Timestamp::Seconds(1));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NEAR(result->tuple(0).Get("corrected")->double_value(), 22.0, 1e-9);
+
+  // Collides with itself and with aggregates.
+  ScalarFunction duplicate;
+  duplicate.name = "calibrate";
+  duplicate.min_args = 0;
+  duplicate.max_args = 0;
+  duplicate.fn = [](const std::vector<Value>&) -> StatusOr<Value> {
+    return Value::Null();
+  };
+  EXPECT_EQ(registry.Register(std::move(duplicate)).code(),
+            StatusCode::kAlreadyExists);
+  ScalarFunction clash;
+  clash.name = "count";
+  clash.min_args = 0;
+  clash.max_args = 0;
+  clash.fn = [](const std::vector<Value>&) -> StatusOr<Value> {
+    return Value::Null();
+  };
+  EXPECT_EQ(registry.Register(std::move(clash)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace esp::cql

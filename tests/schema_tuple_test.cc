@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "stream/schema.h"
+#include "stream/tuple.h"
+
+namespace esp::stream {
+namespace {
+
+SchemaRef TestSchema() {
+  return MakeSchema({{"tag_id", DataType::kString},
+                     {"shelf", DataType::kInt64},
+                     {"rssi", DataType::kDouble}});
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  SchemaRef schema = TestSchema();
+  EXPECT_EQ(schema->IndexOf("tag_id"), 0u);
+  EXPECT_EQ(schema->IndexOf("TAG_ID"), 0u);
+  EXPECT_EQ(schema->IndexOf("Shelf"), 1u);
+  EXPECT_FALSE(schema->IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, ResolveIndexErrorsHelpfully) {
+  SchemaRef schema = TestSchema();
+  auto result = schema->ResolveIndex("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("nope"), std::string::npos);
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_TRUE(TestSchema()->Equals(*TestSchema()));
+  SchemaRef other = MakeSchema({{"tag_id", DataType::kString}});
+  EXPECT_FALSE(TestSchema()->Equals(*other));
+  SchemaRef case_diff = MakeSchema({{"TAG_ID", DataType::kString},
+                                    {"shelf", DataType::kInt64},
+                                    {"rssi", DataType::kDouble}});
+  EXPECT_TRUE(TestSchema()->Equals(*case_diff));
+  SchemaRef type_diff = MakeSchema({{"tag_id", DataType::kInt64},
+                                    {"shelf", DataType::kInt64},
+                                    {"rssi", DataType::kDouble}});
+  EXPECT_FALSE(TestSchema()->Equals(*type_diff));
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TestSchema()->ToString(), "tag_id:string, shelf:int64, rssi:double");
+}
+
+TEST(TupleTest, GetByName) {
+  SchemaRef schema = TestSchema();
+  Tuple t(schema, {Value::String("t1"), Value::Int64(0), Value::Double(-40.5)},
+          Timestamp::Seconds(1));
+  EXPECT_EQ(t.Get("tag_id")->string_value(), "t1");
+  EXPECT_EQ(t.Get("shelf")->int64_value(), 0);
+  EXPECT_FALSE(t.Get("missing").ok());
+  EXPECT_EQ(t.timestamp(), Timestamp::Seconds(1));
+}
+
+TEST(TupleTest, WithReplacesOneField) {
+  SchemaRef schema = TestSchema();
+  Tuple t(schema, {Value::String("t1"), Value::Int64(0), Value::Double(1.0)},
+          Timestamp::Seconds(1));
+  auto updated = t.With("shelf", Value::Int64(1));
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->Get("shelf")->int64_value(), 1);
+  EXPECT_EQ(updated->Get("tag_id")->string_value(), "t1");
+  // Original untouched.
+  EXPECT_EQ(t.Get("shelf")->int64_value(), 0);
+}
+
+TEST(TupleTest, Equals) {
+  SchemaRef schema = TestSchema();
+  Tuple a(schema, {Value::String("t"), Value::Int64(1), Value::Double(2.0)},
+          Timestamp::Seconds(1));
+  Tuple b(schema, {Value::String("t"), Value::Int64(1), Value::Double(2.0)},
+          Timestamp::Seconds(1));
+  Tuple c(schema, {Value::String("t"), Value::Int64(2), Value::Double(2.0)},
+          Timestamp::Seconds(1));
+  Tuple d(schema, {Value::String("t"), Value::Int64(1), Value::Double(2.0)},
+          Timestamp::Seconds(9));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(d));
+}
+
+TEST(TupleBuilderTest, BuildsWithDefaults) {
+  auto tuple = TupleBuilder(TestSchema())
+                   .Set("tag_id", Value::String("x"))
+                   .At(Timestamp::Seconds(3))
+                   .Build();
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->Get("tag_id")->string_value(), "x");
+  EXPECT_TRUE(tuple->Get("shelf")->is_null());
+  EXPECT_EQ(tuple->timestamp(), Timestamp::Seconds(3));
+}
+
+TEST(TupleBuilderTest, UnknownFieldFails) {
+  auto tuple = TupleBuilder(TestSchema()).Set("bogus", Value::Int64(1)).Build();
+  EXPECT_FALSE(tuple.ok());
+}
+
+TEST(TupleBuilderTest, ReusableAfterBuild) {
+  TupleBuilder builder(TestSchema());
+  auto first =
+      builder.Set("shelf", Value::Int64(1)).At(Timestamp::Seconds(1)).Build();
+  ASSERT_TRUE(first.ok());
+  // Second build starts from a clean slate (fields reset to null).
+  auto second = builder.At(Timestamp::Seconds(2)).Build();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->Get("shelf")->is_null());
+}
+
+TEST(RelationTest, AddAndInspect) {
+  SchemaRef schema = TestSchema();
+  Relation rel(schema);
+  EXPECT_TRUE(rel.empty());
+  rel.Add(Tuple(schema, {Value::String("a"), Value::Int64(0), Value::Null()},
+                Timestamp::Seconds(1)));
+  rel.Add(Tuple(schema, {Value::String("b"), Value::Int64(1), Value::Null()},
+                Timestamp::Seconds(2)));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.tuple(1).Get("tag_id")->string_value(), "b");
+}
+
+}  // namespace
+}  // namespace esp::stream

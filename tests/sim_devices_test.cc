@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/mote.h"
+#include "sim/rfid_reader.h"
+#include "sim/x10_motion.h"
+
+namespace esp::sim {
+namespace {
+
+TEST(RfidReaderModelTest, DetectionProbabilityDecaysWithDistance) {
+  const double near = RfidReaderModel::DetectionProbability(3.0, 1.0);
+  const double mid = RfidReaderModel::DetectionProbability(6.0, 1.0);
+  const double far = RfidReaderModel::DetectionProbability(9.0, 1.0);
+  const double out = RfidReaderModel::DetectionProbability(14.0, 1.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+  EXPECT_GT(far, out);
+  // Calibration anchors: readers capture 60-70% of tags in their vicinity;
+  // near tags are read most polls, far ones rarely.
+  EXPECT_GT(near, 0.7);
+  EXPECT_GT(mid, 0.3);
+  EXPECT_LT(mid, 0.6);
+  EXPECT_LT(out, 0.05);
+}
+
+TEST(RfidReaderModelTest, EfficiencyScalesProbability) {
+  const double nominal = RfidReaderModel::DetectionProbability(6.0, 1.0);
+  const double weak = RfidReaderModel::DetectionProbability(6.0, 0.7);
+  EXPECT_NEAR(weak, nominal * 0.7, 1e-12);
+  // Clamped to [0, 1].
+  EXPECT_LE(RfidReaderModel::DetectionProbability(0.0, 5.0), 1.0);
+}
+
+TEST(RfidReaderModelTest, PollObservedRateMatchesProbability) {
+  RfidReaderModel reader({"r0", 1.0, 0.0, {}});
+  Rng rng(1);
+  const int polls = 20000;
+  int hits = 0;
+  for (int i = 0; i < polls; ++i) {
+    auto readings = reader.Poll({{"tag", 6.0}}, Timestamp::Seconds(i), &rng);
+    hits += static_cast<int>(readings.size());
+  }
+  const double expected = RfidReaderModel::DetectionProbability(6.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(hits) / polls, expected, 0.015);
+}
+
+TEST(RfidReaderModelTest, GhostReadsComeFromPool) {
+  RfidReaderModel reader({"r0", 1.0, 0.5, {"ghost_a", "ghost_b"}});
+  Rng rng(2);
+  int ghosts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto readings = reader.Poll({}, Timestamp::Seconds(i), &rng);
+    for (const RfidReading& r : readings) {
+      EXPECT_TRUE(r.tag_id == "ghost_a" || r.tag_id == "ghost_b");
+      ++ghosts;
+    }
+  }
+  EXPECT_NEAR(ghosts / 2000.0, 0.5, 0.05);
+}
+
+TEST(MoteModelTest, SensingNoiseIsUnbiased) {
+  MoteModel::Config unbiased_config;
+  unbiased_config.mote_id = "m";
+  unbiased_config.noise_stddev = 0.5;
+  MoteModel mote(unbiased_config, Rng(3));
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += mote.Sense(20.0, Timestamp::Seconds(i));
+  }
+  EXPECT_NEAR(sum / n, 20.0, 0.02);
+}
+
+TEST(MoteModelTest, FailDirtyRampsAndSaturates) {
+  MoteModel::Config config;
+  config.mote_id = "m";
+  config.noise_stddev = 0.0;
+  config.fail_dirty = true;
+  config.fail_start = Timestamp::Seconds(3600);
+  config.fail_ramp_per_hour = 10.0;
+  config.fail_ceiling = 120.0;
+  MoteModel mote(config, Rng(4));
+
+  // Healthy before the failure.
+  EXPECT_NEAR(mote.Sense(20.0, Timestamp::Seconds(0)), 20.0, 1e-9);
+  // Latches the value at failure time and ramps from there.
+  EXPECT_NEAR(mote.Sense(20.0, Timestamp::Seconds(3600)), 20.0, 1e-9);
+  EXPECT_NEAR(mote.Sense(21.0, Timestamp::Seconds(2 * 3600)), 30.0, 1e-9);
+  EXPECT_NEAR(mote.Sense(21.0, Timestamp::Seconds(3 * 3600)), 40.0, 1e-9);
+  // Saturates at the rail.
+  EXPECT_NEAR(mote.Sense(21.0, Timestamp::Seconds(100 * 3600)), 120.0, 1e-9);
+}
+
+TEST(MoteModelTest, BernoulliDeliveryYield) {
+  MoteModel::Config config;
+  config.mote_id = "m";
+  config.good_delivery_prob = 0.4;
+  MoteModel mote(config, Rng(5));
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (mote.Delivered(Timestamp::Seconds(i))) ++delivered;
+  }
+  EXPECT_NEAR(delivered / static_cast<double>(n), 0.4, 0.02);
+}
+
+TEST(MoteModelTest, GilbertElliottYieldMatchesStationaryDistribution) {
+  MoteModel::Config config;
+  config.mote_id = "m";
+  config.good_delivery_prob = 1.0;
+  config.bad_delivery_prob = 0.0;
+  config.mean_good_duration = Duration::Minutes(40);
+  config.mean_bad_duration = Duration::Minutes(60);
+  MoteModel mote(config, Rng(6));
+  int delivered = 0;
+  const int n = 50000;  // 5-minute epochs over ~170 days.
+  for (int i = 0; i < n; ++i) {
+    if (mote.Delivered(Timestamp::Seconds(i * 300))) ++delivered;
+  }
+  // Stationary yield = 40 / (40 + 60) = 0.4.
+  EXPECT_NEAR(delivered / static_cast<double>(n), 0.4, 0.03);
+}
+
+TEST(MoteModelTest, GilbertElliottLossIsBursty) {
+  MoteModel::Config config;
+  config.mote_id = "m";
+  config.good_delivery_prob = 1.0;
+  config.bad_delivery_prob = 0.0;
+  config.mean_good_duration = Duration::Minutes(40);
+  config.mean_bad_duration = Duration::Minutes(60);
+  MoteModel mote(config, Rng(7));
+  // Count state transitions in the delivery sequence; a bursty channel has
+  // far fewer transitions than an i.i.d. one at the same yield.
+  int transitions = 0;
+  bool last = true;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const bool now = mote.Delivered(Timestamp::Seconds(i * 300));
+    if (i > 0 && now != last) ++transitions;
+    last = now;
+  }
+  // i.i.d. at yield 0.4 would transition ~48% of steps (2 * .4 * .6).
+  EXPECT_LT(transitions, n / 4);
+}
+
+TEST(X10MotionModelTest, DetectionAndFalseAlarmRates) {
+  X10MotionModel detector(
+      {"x1", 0.5, 0.02, Duration::Zero()}, Rng(8));
+  int hits = 0;
+  int false_alarms = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (detector.Poll(true, Timestamp::Seconds(i)).has_value()) ++hits;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (detector.Poll(false, Timestamp::Seconds(n + i)).has_value()) {
+      ++false_alarms;
+    }
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(false_alarms / static_cast<double>(n), 0.02, 0.005);
+}
+
+TEST(X10MotionModelTest, RefractoryPeriodRateLimits) {
+  X10MotionModel detector({"x1", 1.0, 0.0, Duration::Seconds(5)}, Rng(9));
+  int reports = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (detector.Poll(true, Timestamp::Seconds(i)).has_value()) ++reports;
+  }
+  // With certain detection but a 5 s refractory, at most one report per 5 s.
+  EXPECT_LE(reports, 21);
+  EXPECT_GE(reports, 19);
+}
+
+}  // namespace
+}  // namespace esp::sim

@@ -1,0 +1,245 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/home_world.h"
+#include "sim/intel_lab_world.h"
+#include "sim/redwood_world.h"
+#include "sim/shelf_world.h"
+
+namespace esp::sim {
+namespace {
+
+TEST(ShelfWorldTest, GroundTruthFollowsRelocations) {
+  ShelfWorld world({});
+  // Mobile items start on shelf 0 and move every 40 s.
+  EXPECT_EQ(world.TrueCount(0, Timestamp::Seconds(0)), 15);
+  EXPECT_EQ(world.TrueCount(1, Timestamp::Seconds(0)), 10);
+  EXPECT_EQ(world.TrueCount(0, Timestamp::Seconds(45)), 10);
+  EXPECT_EQ(world.TrueCount(1, Timestamp::Seconds(45)), 15);
+  EXPECT_EQ(world.TrueCount(0, Timestamp::Seconds(85)), 15);
+  // Total inventory is conserved.
+  for (double t : {0.0, 39.9, 40.0, 123.4, 699.9}) {
+    EXPECT_EQ(world.TrueCount(0, Timestamp::Seconds(t)) +
+                  world.TrueCount(1, Timestamp::Seconds(t)),
+              25);
+  }
+}
+
+TEST(ShelfWorldTest, TraceShapeAndDeterminism) {
+  ShelfWorld::Config config;
+  config.duration = Duration::Seconds(10);
+  ShelfWorld world(config);
+  auto trace = world.Generate();
+  ASSERT_EQ(trace.size(), 50u);  // 10 s at 5 Hz.
+  EXPECT_EQ(trace[0].time, Timestamp::Seconds(0));
+  EXPECT_EQ(trace[1].time - trace[0].time, Duration::Millis(200));
+
+  // Determinism: same seed, same trace.
+  auto again = ShelfWorld(config).Generate();
+  ASSERT_EQ(again.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(trace[i].readings.size(), again[i].readings.size());
+    for (size_t r = 0; r < trace[i].readings.size(); ++r) {
+      EXPECT_EQ(trace[i].readings[r].tag_id, again[i].readings[r].tag_id);
+      EXPECT_EQ(trace[i].readings[r].reader_id,
+                again[i].readings[r].reader_id);
+    }
+  }
+  // Different seed diverges.
+  config.seed = 777;
+  auto other = ShelfWorld(config).Generate();
+  size_t differing = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (other[i].readings.size() != trace[i].readings.size()) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(ShelfWorldTest, RawReadRatesShowAntennaDisparity) {
+  ShelfWorld world({});
+  auto trace = world.Generate();
+  // Average per-poll detections per reader.
+  std::array<double, 2> reads = {0, 0};
+  for (const auto& tick : trace) {
+    for (const auto& reading : tick.readings) {
+      ++reads[reading.reader_id == ShelfWorld::ReaderId(0) ? 0 : 1];
+    }
+  }
+  const double polls = static_cast<double>(trace.size());
+  // The strong antenna (shelf 0) reads clearly more than the weak one.
+  EXPECT_GT(reads[0] / polls, reads[1] / polls * 1.3);
+  // Neither reader captures everything: raw reads per poll are well below
+  // the true tag population (the 60-70% capture characteristic).
+  EXPECT_LT(reads[0] / polls, 13.0);
+  EXPECT_GT(reads[1] / polls, 2.0);
+}
+
+TEST(IntelLabWorldTest, FailDirtyMoteRisesPast100) {
+  IntelLabWorld world({});
+  auto trace = world.Generate();
+  ASSERT_FALSE(trace.empty());
+  const std::string failing = IntelLabWorld::MoteId(2);
+  double max_failing = -1e9;
+  double max_healthy = -1e9;
+  for (const auto& tick : trace) {
+    for (const auto& reading : tick.readings) {
+      if (reading.mote_id == failing) {
+        max_failing = std::max(max_failing, reading.value);
+      } else {
+        max_healthy = std::max(max_healthy, reading.value);
+      }
+    }
+  }
+  EXPECT_GT(max_failing, 100.0);  // "rose to above 100 C".
+  EXPECT_LT(max_healthy, 30.0);   // Healthy motes track the room.
+}
+
+TEST(IntelLabWorldTest, HealthyMotesTrackTruth) {
+  IntelLabWorld world({});
+  auto trace = world.Generate();
+  double worst = 0;
+  for (const auto& tick : trace) {
+    for (const auto& reading : tick.readings) {
+      if (reading.mote_id == IntelLabWorld::MoteId(2)) continue;
+      worst = std::max(worst, std::abs(reading.value - tick.true_temp));
+    }
+  }
+  // Noise + calibration offset stays within ~1.5 C.
+  EXPECT_LT(worst, 1.5);
+}
+
+TEST(RedwoodWorldTest, EpochYieldNearForty) {
+  RedwoodWorld world({});
+  auto trace = world.Generate();
+  int64_t delivered = 0;
+  int64_t requested = 0;
+  for (const auto& tick : trace) {
+    delivered += static_cast<int64_t>(tick.delivered.size());
+    requested += static_cast<int64_t>(tick.true_temps.size());
+  }
+  const double yield =
+      static_cast<double>(delivered) / static_cast<double>(requested);
+  // Paper: raw epoch yield was 40%.
+  EXPECT_NEAR(yield, 0.40, 0.06);
+}
+
+TEST(RedwoodWorldTest, LogIsLosslessAndTracksTruthUpToCalibration) {
+  RedwoodWorld world({});
+  auto trace = world.Generate();
+  // The log records every sample (lossless); each mote's log differs from
+  // truth by its fixed calibration offset (sigma = calibration_stddev) plus
+  // small sensing noise. Verify the per-mote offset is constant over time.
+  ASSERT_GT(trace.size(), 200u);
+  const auto& early = trace[10];
+  const auto& late = trace[trace.size() - 10];
+  ASSERT_EQ(early.logged.size(), early.true_temps.size());
+  for (size_t i = 0; i < early.logged.size(); ++i) {
+    const double early_offset = early.logged[i].value - early.true_temps[i];
+    const double late_offset = late.logged[i].value - late.true_temps[i];
+    EXPECT_LT(std::abs(early_offset),
+              4.0 * world.config().calibration_stddev + 0.5);
+    // Offset is a fixed miscalibration, not drift: stable over the run.
+    EXPECT_NEAR(early_offset, late_offset,
+                6.0 * world.config().noise_stddev);
+  }
+}
+
+TEST(RedwoodWorldTest, ProximityGroupMembersAgree) {
+  RedwoodWorld world({});
+  auto trace = world.Generate();
+  // Members of one group (<1 ft apart) read nearly identical temperatures;
+  // distant height bands differ much more at mid-day.
+  double intra = 0;
+  double inter = 0;
+  int samples = 0;
+  for (size_t k = 0; k < trace.size(); k += 13) {
+    const auto& temps = trace[k].true_temps;
+    intra += std::abs(temps[0] - temps[1]);
+    inter += std::abs(temps[0] - temps[temps.size() - 1]);
+    ++samples;
+  }
+  EXPECT_LT(intra / samples, 0.4);
+  EXPECT_GT(inter / samples, 1.0);
+}
+
+TEST(RedwoodWorldTest, DiurnalCycleHasHeightGradient) {
+  RedwoodWorld world({});
+  // Top of the tree swings more than the base over one day.
+  double base_min = 1e9, base_max = -1e9, top_min = 1e9, top_max = -1e9;
+  for (int minute = 0; minute < 1440; minute += 5) {
+    const Timestamp t = Timestamp::Seconds(minute * 60);
+    const double base = world.TrueTemperature(0, t);
+    const double top =
+        world.TrueTemperature(world.config().num_motes - 1, t);
+    base_min = std::min(base_min, base);
+    base_max = std::max(base_max, base);
+    top_min = std::min(top_min, top);
+    top_max = std::max(top_max, top);
+  }
+  EXPECT_GT(top_max - top_min, base_max - base_min);
+}
+
+TEST(HomeWorldTest, OccupancyAlternatesEveryMinute) {
+  HomeWorld world({});
+  EXPECT_TRUE(world.PersonPresent(Timestamp::Seconds(10)));
+  EXPECT_FALSE(world.PersonPresent(Timestamp::Seconds(70)));
+  EXPECT_TRUE(world.PersonPresent(Timestamp::Seconds(130)));
+}
+
+TEST(HomeWorldTest, ModalitiesCarrySignalAndArtefacts) {
+  HomeWorld world({});
+  auto trace = world.Generate();
+  ASSERT_EQ(trace.size(), 3000u);  // 600 s at 5 Hz.
+
+  int64_t person_reads_present = 0;
+  int64_t person_reads_absent = 0;
+  int64_t errant_reads = 0;
+  double sound_present = 0, sound_absent = 0;
+  int64_t sound_present_n = 0, sound_absent_n = 0;
+  int64_t motion_present = 0, motion_absent = 0;
+  for (const auto& tick : trace) {
+    for (const auto& r : tick.rfid) {
+      if (r.tag_id == HomeWorld::kErrantTag) {
+        ++errant_reads;
+        EXPECT_EQ(r.reader_id, HomeWorld::ReaderId(1));
+      } else if (tick.person_present) {
+        ++person_reads_present;
+      } else {
+        ++person_reads_absent;
+      }
+    }
+    for (const auto& s : tick.sound) {
+      if (tick.person_present) {
+        sound_present += s.value;
+        ++sound_present_n;
+      } else {
+        sound_absent += s.value;
+        ++sound_absent_n;
+      }
+    }
+    for (const auto& m : tick.motion) {
+      (void)m;
+      if (tick.person_present) {
+        ++motion_present;
+      } else {
+        ++motion_absent;
+      }
+    }
+  }
+  // The person's tag is read only while present.
+  EXPECT_GT(person_reads_present, 100);
+  EXPECT_EQ(person_reads_absent, 0);
+  // Antenna 1's errant tag shows up occasionally.
+  EXPECT_GT(errant_reads, 5);
+  // Talking raises the sound floor.
+  EXPECT_GT(sound_present / sound_present_n,
+            sound_absent / sound_absent_n + 30.0);
+  // X10 fires mostly (not exclusively) when someone is there.
+  EXPECT_GT(motion_present, motion_absent * 3);
+  EXPECT_GT(motion_absent, 0);
+}
+
+}  // namespace
+}  // namespace esp::sim

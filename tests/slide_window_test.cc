@@ -1,0 +1,140 @@
+// Tests for the CQL `[Range ... Slide ...]` window clause: quantized
+// evaluation instants, retention, parsing, and continuous-query behaviour.
+
+#include <gtest/gtest.h>
+
+#include "cql/continuous_query.h"
+#include "cql/parser.h"
+#include "stream/window.h"
+
+namespace esp::stream {
+namespace {
+
+SchemaRef OneColumn() { return MakeSchema({{"v", DataType::kInt64}}); }
+
+Tuple At(const SchemaRef& schema, int64_t v, double seconds) {
+  return Tuple(schema, {Value::Int64(v)}, Timestamp::Seconds(seconds));
+}
+
+TEST(SlideWindowSpecTest, EffectiveTimeQuantizes) {
+  const WindowSpec spec =
+      WindowSpec::RangeSlide(Duration::Seconds(10), Duration::Seconds(4));
+  EXPECT_EQ(spec.EffectiveTime(Timestamp::Seconds(0)), Timestamp::Seconds(0));
+  EXPECT_EQ(spec.EffectiveTime(Timestamp::Seconds(3.9)),
+            Timestamp::Seconds(0));
+  EXPECT_EQ(spec.EffectiveTime(Timestamp::Seconds(4)), Timestamp::Seconds(4));
+  EXPECT_EQ(spec.EffectiveTime(Timestamp::Seconds(11)),
+            Timestamp::Seconds(8));
+  // Non-sliding windows pass through.
+  EXPECT_EQ(WindowSpec::Range(Duration::Seconds(5))
+                .EffectiveTime(Timestamp::Seconds(7)),
+            Timestamp::Seconds(7));
+}
+
+TEST(SlideWindowSpecTest, ToStringIncludesSlide) {
+  const WindowSpec spec =
+      WindowSpec::RangeSlide(Duration::Seconds(5), Duration::Seconds(1));
+  EXPECT_EQ(spec.ToString(), "[Range By '5s' Slide By '1s']");
+}
+
+TEST(SlideWindowBufferTest, SnapshotHoldsStillBetweenSlides) {
+  SchemaRef schema = OneColumn();
+  WindowBuffer buffer(
+      WindowSpec::RangeSlide(Duration::Seconds(10), Duration::Seconds(5)),
+      schema);
+  ASSERT_TRUE(buffer.Insert(At(schema, 1, 2)).ok());
+  ASSERT_TRUE(buffer.Insert(At(schema, 2, 6)).ok());
+
+  // At t=7 the effective time is 5: only the t=2 tuple is visible.
+  Relation at7 = buffer.Snapshot(Timestamp::Seconds(7));
+  ASSERT_EQ(at7.size(), 1u);
+  EXPECT_EQ(at7.tuple(0).value(0).int64_value(), 1);
+  // Identical at t=9.9 (same slide boundary).
+  EXPECT_EQ(buffer.Snapshot(Timestamp::Seconds(9.9)).size(), 1u);
+  // At t=10 the boundary advances: both tuples inside (0, 10].
+  EXPECT_EQ(buffer.Snapshot(Timestamp::Seconds(10)).size(), 2u);
+}
+
+TEST(SlideWindowBufferTest, EvictionRespectsSlideLag) {
+  SchemaRef schema = OneColumn();
+  WindowBuffer buffer(
+      WindowSpec::RangeSlide(Duration::Seconds(5), Duration::Seconds(5)),
+      schema);
+  ASSERT_TRUE(buffer.Insert(At(schema, 1, 1)).ok());
+  ASSERT_TRUE(buffer.Insert(At(schema, 2, 7)).ok());
+  // At t=9 the effective time is 5; tuple@1 is inside (0, 5] and must
+  // survive eviction at t=9.
+  buffer.EvictBefore(Timestamp::Seconds(9));
+  Relation at9 = buffer.Snapshot(Timestamp::Seconds(9));
+  ASSERT_EQ(at9.size(), 1u);
+  EXPECT_EQ(at9.tuple(0).value(0).int64_value(), 1);
+}
+
+}  // namespace
+}  // namespace esp::stream
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+TEST(SlideParserTest, ParsesAndRoundTrips) {
+  auto query = ParseQuery(
+      "SELECT count(*) AS n FROM s [Range By '10 sec' Slide By '2 sec']");
+  ASSERT_TRUE(query.ok()) << query.status();
+  const stream::WindowSpec& window = (*query)->from[0].window;
+  EXPECT_EQ(window.kind, stream::WindowKind::kRange);
+  EXPECT_EQ(window.range, Duration::Seconds(10));
+  EXPECT_EQ(window.slide, Duration::Seconds(2));
+
+  auto reparsed = ParseQuery((*query)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ((*reparsed)->ToString(), (*query)->ToString());
+}
+
+TEST(SlideParserTest, Rejections) {
+  EXPECT_FALSE(
+      ParseQuery("SELECT * FROM s [Range By '5 sec' Slide By 'NOW']").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT * FROM s [Range By '5 sec' Slide '1 sec']").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT * FROM s [Range By '5 sec' Slide By 2]").ok());
+}
+
+TEST(SlideContinuousQueryTest, ResultsAdvanceOnlyAtBoundaries) {
+  SchemaCatalog catalog;
+  SchemaRef schema =
+      stream::MakeSchema({{"tag", DataType::kString}});
+  catalog.AddStream("s", schema);
+  auto cq = ContinuousQuery::Create(
+      "SELECT count(*) AS n FROM s [Range By '4 sec' Slide By '2 sec']",
+      catalog);
+  ASSERT_TRUE(cq.ok()) << cq.status();
+
+  auto push = [&](double t) {
+    return (*cq)->Push(
+        "s", Tuple(schema, {Value::String("x")}, Timestamp::Seconds(t)));
+  };
+  ASSERT_TRUE(push(1).ok());
+  ASSERT_TRUE(push(3).ok());
+
+  // At t=3 the effective time is 2: only the t=1 tuple counts.
+  auto at3 = (*cq)->Evaluate(Timestamp::Seconds(3));
+  ASSERT_TRUE(at3.ok()) << at3.status();
+  EXPECT_EQ(at3->tuple(0).Get("n")->int64_value(), 1);
+  // At t=4 the boundary advances and both tuples are inside (0, 4].
+  auto at4 = (*cq)->Evaluate(Timestamp::Seconds(4));
+  ASSERT_TRUE(at4.ok());
+  EXPECT_EQ(at4->tuple(0).Get("n")->int64_value(), 2);
+  // At t=7 (effective 6, window (2, 6]): only the t=3 tuple remains, and
+  // eviction must not have dropped it despite the slide lag.
+  auto at7 = (*cq)->Evaluate(Timestamp::Seconds(7));
+  ASSERT_TRUE(at7.ok());
+  EXPECT_EQ(at7->tuple(0).Get("n")->int64_value(), 1);
+}
+
+}  // namespace
+}  // namespace esp::cql

@@ -1,0 +1,183 @@
+#include "core/stage.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/reading.h"
+
+namespace esp::core {
+namespace {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+SchemaRef TempSchema() {
+  return stream::MakeSchema(
+      {{"mote_id", DataType::kString}, {"temp", DataType::kDouble}});
+}
+
+Tuple TempTuple(const SchemaRef& schema, const std::string& mote, double temp,
+                double t) {
+  return Tuple(schema, {Value::String(mote), Value::Double(temp)},
+               Timestamp::Seconds(t));
+}
+
+TEST(StageInputNameTest, MatchesPaperConventions) {
+  EXPECT_EQ(StageInputName(StageKind::kPoint), "point_input");
+  EXPECT_EQ(StageInputName(StageKind::kSmooth), "smooth_input");
+  EXPECT_EQ(StageInputName(StageKind::kMerge), "merge_input");
+  EXPECT_EQ(StageInputName(StageKind::kArbitrate), "arbitrate_input");
+}
+
+TEST(CqlStageTest, Query4PointFilterGetsNowWindow) {
+  // The paper's Query 4 is written without a window; the Point stage
+  // rewrites it to instantaneous semantics.
+  auto stage = CqlStage::Create(StageKind::kPoint, "point",
+                                "SELECT * FROM point_input WHERE temp < 50");
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  EXPECT_NE((*stage)->query_text().find("NOW"), std::string::npos);
+
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("point_input", TempSchema());
+  ASSERT_TRUE((*stage)->Bind(catalog).ok());
+
+  SchemaRef schema = TempSchema();
+  ASSERT_TRUE((*stage)->Push("point_input", TempTuple(schema, "m1", 20, 1)).ok());
+  ASSERT_TRUE((*stage)->Push("point_input", TempTuple(schema, "m2", 80, 1)).ok());
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).Get("mote_id")->string_value(), "m1");
+
+  // Instantaneous semantics: a new tick does not re-emit old tuples.
+  auto later = (*stage)->Evaluate(Timestamp::Seconds(2));
+  ASSERT_TRUE(later.ok());
+  EXPECT_TRUE(later->empty());
+}
+
+TEST(CqlStageTest, NonPointStagesKeepTheirWindows) {
+  auto stage = CqlStage::Create(
+      StageKind::kSmooth, "smooth",
+      "SELECT mote_id, avg(temp) AS temp FROM smooth_input "
+      "[Range By '5 sec'] GROUP BY mote_id");
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("smooth_input", TempSchema());
+  ASSERT_TRUE((*stage)->Bind(catalog).ok());
+
+  SchemaRef schema = TempSchema();
+  ASSERT_TRUE((*stage)->Push("smooth_input", TempTuple(schema, "m1", 20, 1)).ok());
+  // The window keeps the reading visible across later ticks.
+  auto at3 = (*stage)->Evaluate(Timestamp::Seconds(3));
+  ASSERT_TRUE(at3.ok());
+  ASSERT_EQ(at3->size(), 1u);
+  EXPECT_DOUBLE_EQ(at3->tuple(0).Get("temp")->double_value(), 20.0);
+}
+
+TEST(CqlStageTest, CreateRejectsBadQueries) {
+  EXPECT_FALSE(CqlStage::Create(StageKind::kPoint, "p", "not a query").ok());
+}
+
+TEST(CqlStageTest, BindRejectsUnknownColumns) {
+  auto stage = CqlStage::Create(StageKind::kPoint, "p",
+                                "SELECT * FROM point_input WHERE bogus < 1");
+  ASSERT_TRUE(stage.ok());
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("point_input", TempSchema());
+  EXPECT_FALSE((*stage)->Bind(catalog).ok());
+}
+
+TEST(CqlStageTest, LifecycleErrors) {
+  auto stage = CqlStage::Create(StageKind::kPoint, "p",
+                                "SELECT * FROM point_input");
+  ASSERT_TRUE(stage.ok());
+  // Push/Evaluate before Bind fail.
+  SchemaRef schema = TempSchema();
+  EXPECT_FALSE((*stage)->Push("point_input", TempTuple(schema, "m", 1, 1)).ok());
+  EXPECT_FALSE((*stage)->Evaluate(Timestamp::Seconds(1)).ok());
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("point_input", TempSchema());
+  ASSERT_TRUE((*stage)->Bind(catalog).ok());
+  // Double bind fails.
+  EXPECT_FALSE((*stage)->Bind(catalog).ok());
+}
+
+TEST(FunctionStageTest, WindowedUdf) {
+  SchemaRef out_schema = stream::MakeSchema({{"n", DataType::kInt64}});
+  FunctionStage stage(
+      StageKind::kSmooth, "count_window",
+      {{"smooth_input", stream::WindowSpec::Range(Duration::Seconds(5))}},
+      out_schema,
+      [out_schema](const std::vector<Relation>& windows,
+                   Timestamp now) -> StatusOr<Relation> {
+        Relation out(out_schema);
+        out.Add(Tuple(out_schema,
+                      {Value::Int64(static_cast<int64_t>(windows[0].size()))},
+                      now));
+        return out;
+      });
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("smooth_input", TempSchema());
+  ASSERT_TRUE(stage.Bind(catalog).ok());
+
+  SchemaRef schema = TempSchema();
+  ASSERT_TRUE(stage.Push("smooth_input", TempTuple(schema, "m", 1, 1)).ok());
+  ASSERT_TRUE(stage.Push("smooth_input", TempTuple(schema, "m", 2, 3)).ok());
+  auto at4 = stage.Evaluate(Timestamp::Seconds(4));
+  ASSERT_TRUE(at4.ok()) << at4.status();
+  EXPECT_EQ(at4->tuple(0).Get("n")->int64_value(), 2);
+  // At t=7 the first tuple (t=1) has left the (2,7] window.
+  auto at7 = stage.Evaluate(Timestamp::Seconds(7));
+  ASSERT_TRUE(at7.ok());
+  EXPECT_EQ(at7->tuple(0).Get("n")->int64_value(), 1);
+}
+
+TEST(FunctionStageTest, RejectsWrongOutputSchema) {
+  SchemaRef declared = stream::MakeSchema({{"n", DataType::kInt64}});
+  SchemaRef actual = stream::MakeSchema({{"other", DataType::kString}});
+  FunctionStage stage(
+      StageKind::kSmooth, "bad", {{"smooth_input", stream::WindowSpec::Now()}},
+      declared,
+      [actual](const std::vector<Relation>&, Timestamp) -> StatusOr<Relation> {
+        return Relation(actual);
+      });
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("smooth_input", TempSchema());
+  ASSERT_TRUE(stage.Bind(catalog).ok());
+  auto result = stage.Evaluate(Timestamp::Seconds(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(FunctionStageTest, UnknownInputRejected) {
+  SchemaRef out_schema = stream::MakeSchema({{"n", DataType::kInt64}});
+  FunctionStage stage(
+      StageKind::kMerge, "m", {{"merge_input", stream::WindowSpec::Now()}},
+      out_schema,
+      [out_schema](const std::vector<Relation>&, Timestamp)
+          -> StatusOr<Relation> { return Relation(out_schema); });
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("merge_input", TempSchema());
+  ASSERT_TRUE(stage.Bind(catalog).ok());
+  SchemaRef schema = TempSchema();
+  EXPECT_FALSE(stage.Push("other_input", TempTuple(schema, "m", 1, 1)).ok());
+}
+
+TEST(FunctionStageTest, BindFailsForMissingStream) {
+  SchemaRef out_schema = stream::MakeSchema({{"n", DataType::kInt64}});
+  FunctionStage stage(
+      StageKind::kVirtualize, "v",
+      {{"rfid_input", stream::WindowSpec::Now()},
+       {"sensors_input", stream::WindowSpec::Now()}},
+      out_schema,
+      [out_schema](const std::vector<Relation>&, Timestamp)
+          -> StatusOr<Relation> { return Relation(out_schema); });
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("rfid_input", TempSchema());
+  EXPECT_FALSE(stage.Bind(catalog).ok());
+}
+
+}  // namespace
+}  // namespace esp::core

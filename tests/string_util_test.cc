@@ -1,0 +1,78 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace esp {
+namespace {
+
+TEST(StrTrimTest, TrimsBothEnds) {
+  EXPECT_EQ(StrTrim("  abc  "), "abc");
+  EXPECT_EQ(StrTrim("abc"), "abc");
+  EXPECT_EQ(StrTrim("\t a b \n"), "a b");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StrCaseTest, LowerUpper) {
+  EXPECT_EQ(StrToLower("SeLeCt"), "select");
+  EXPECT_EQ(StrToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(StrToLower("abc123"), "abc123");
+}
+
+TEST(StrSplitTest, SplitsOnDelimiter) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a", ','), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"x"}, ","), "x");
+}
+
+TEST(StrEqualsIgnoreCaseTest, Works) {
+  EXPECT_TRUE(StrEqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(StrEqualsIgnoreCase("", ""));
+  EXPECT_FALSE(StrEqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(StrEqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(StrStartsWithTest, Works) {
+  EXPECT_TRUE(StrStartsWith("shelf_0", "shelf"));
+  EXPECT_TRUE(StrStartsWith("abc", ""));
+  EXPECT_FALSE(StrStartsWith("ab", "abc"));
+}
+
+TEST(StrToDoubleTest, ParsesAndRejects) {
+  double v = 0;
+  EXPECT_TRUE(StrToDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(StrToDouble(" -2e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(StrToDouble("", &v));
+  EXPECT_FALSE(StrToDouble("abc", &v));
+  EXPECT_FALSE(StrToDouble("1.5x", &v));
+}
+
+TEST(StrToInt64Test, ParsesAndRejects) {
+  int64_t v = 0;
+  EXPECT_TRUE(StrToInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(StrToInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(StrToInt64("", &v));
+  EXPECT_FALSE(StrToInt64("4.2", &v));
+  EXPECT_FALSE(StrToInt64("abc", &v));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d items on shelf %s", 10, "A"), "10 items on shelf A");
+  EXPECT_EQ(StrFormat("%.2f", 0.414), "0.41");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace esp

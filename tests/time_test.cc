@@ -1,0 +1,89 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace esp {
+namespace {
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::Micros(5).micros(), 5);
+  EXPECT_EQ(Duration::Millis(5).micros(), 5000);
+  EXPECT_EQ(Duration::Seconds(5).micros(), 5000000);
+  EXPECT_EQ(Duration::Minutes(5).micros(), 300000000);
+  EXPECT_EQ(Duration::Hours(1).micros(), 3600000000LL);
+  EXPECT_EQ(Duration::Days(1).micros(), 86400000000LL);
+  EXPECT_TRUE(Duration::Zero().IsZero());
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Seconds(5);
+  const Duration b = Duration::Seconds(3);
+  EXPECT_EQ((a + b).seconds(), 8.0);
+  EXPECT_EQ((a - b).seconds(), 2.0);
+  EXPECT_EQ((a * 2.0).seconds(), 10.0);
+  EXPECT_EQ((a / 2.0).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(a / b, 5.0 / 3.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(DurationTest, ToStringPicksNaturalUnit) {
+  EXPECT_EQ(Duration::Seconds(5).ToString(), "5s");
+  EXPECT_EQ(Duration::Millis(250).ToString(), "250ms");
+  EXPECT_EQ(Duration::Minutes(30).ToString(), "30min");
+  EXPECT_EQ(Duration::Hours(2).ToString(), "2h");
+  EXPECT_EQ(Duration::Days(3).ToString(), "3d");
+  EXPECT_EQ(Duration::Micros(7).ToString(), "7us");
+  EXPECT_EQ(Duration::Zero().ToString(), "0s");
+}
+
+TEST(TimestampTest, ArithmeticWithDuration) {
+  const Timestamp t = Timestamp::Seconds(10);
+  EXPECT_EQ((t + Duration::Seconds(5)).seconds(), 15.0);
+  EXPECT_EQ((t - Duration::Seconds(5)).seconds(), 5.0);
+  EXPECT_EQ((t - Timestamp::Seconds(4)).seconds(), 6.0);
+  EXPECT_LT(Timestamp::Epoch(), t);
+}
+
+TEST(ParseDurationTest, ParsesPaperSyntax) {
+  // The exact forms used in the paper's queries.
+  auto five_sec = ParseDuration("5 sec");
+  ASSERT_TRUE(five_sec.ok());
+  EXPECT_EQ(five_sec->seconds(), 5.0);
+
+  auto five_min = ParseDuration("5 min");
+  ASSERT_TRUE(five_min.ok());
+  EXPECT_EQ(five_min->seconds(), 300.0);
+
+  auto now = ParseDuration("NOW");
+  ASSERT_TRUE(now.ok());
+  EXPECT_TRUE(now->IsZero());
+}
+
+TEST(ParseDurationTest, ParsesManyUnits) {
+  struct Case {
+    const char* text;
+    double seconds;
+  };
+  const Case cases[] = {
+      {"250 ms", 0.25},     {"250msec", 0.25},   {"1.5 sec", 1.5},
+      {"2 seconds", 2.0},   {"10s", 10.0},       {"30 minutes", 1800.0},
+      {"2 hours", 7200.0},  {"1 day", 86400.0},  {"1000 us", 0.001},
+      {"0.5 min", 30.0},    {"now", 0.0},        {" Now ", 0.0},
+  };
+  for (const Case& c : cases) {
+    auto result = ParseDuration(c.text);
+    ASSERT_TRUE(result.ok()) << c.text << ": " << result.status();
+    EXPECT_DOUBLE_EQ(result->seconds(), c.seconds) << c.text;
+  }
+}
+
+TEST(ParseDurationTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseDuration("").ok());
+  EXPECT_FALSE(ParseDuration("sec").ok());
+  EXPECT_FALSE(ParseDuration("5 lightyears").ok());
+  EXPECT_FALSE(ParseDuration("-5 sec").ok());
+  EXPECT_FALSE(ParseDuration("five sec").ok());
+}
+
+}  // namespace
+}  // namespace esp

@@ -1,0 +1,337 @@
+#include "core/toolkit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace esp::core {
+namespace {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+SchemaRef RfidSchema() {
+  return stream::MakeSchema(
+      {{"reader_id", DataType::kString}, {"tag_id", DataType::kString}});
+}
+
+SchemaRef TempWithGranuleSchema() {
+  return stream::MakeSchema({{"mote_id", DataType::kString},
+                             {"temp", DataType::kDouble},
+                             {"spatial_granule", DataType::kString}});
+}
+
+SchemaRef CountWithGranuleSchema() {
+  return stream::MakeSchema({{"tag_id", DataType::kString},
+                             {"reads", DataType::kInt64},
+                             {"spatial_granule", DataType::kString}});
+}
+
+StatusOr<std::unique_ptr<Stage>> Instantiate(const StageFactory& factory,
+                                             const std::string& input,
+                                             const SchemaRef& schema) {
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<Stage> stage, factory());
+  cql::SchemaCatalog catalog;
+  catalog.AddStream(input, schema);
+  ESP_RETURN_IF_ERROR(stage->Bind(catalog));
+  return stage;
+}
+
+TEST(ToolkitPointTest, FilterAndValueFilter) {
+  auto filter = Instantiate(PointFilter("temp < 50"), "point_input",
+                            stream::MakeSchema({{"temp", DataType::kDouble}}));
+  ASSERT_TRUE(filter.ok()) << filter.status();
+
+  auto value_filter =
+      Instantiate(PointValueFilter("tag_id", {"tag_person"}), "point_input",
+                  RfidSchema());
+  ASSERT_TRUE(value_filter.ok()) << value_filter.status();
+  SchemaRef schema = RfidSchema();
+  ASSERT_TRUE((*value_filter)
+                  ->Push("point_input",
+                         Tuple(schema,
+                               {Value::String("r0"), Value::String("tag_person")},
+                               Timestamp::Seconds(1)))
+                  .ok());
+  ASSERT_TRUE((*value_filter)
+                  ->Push("point_input",
+                         Tuple(schema,
+                               {Value::String("r0"), Value::String("tag_errant")},
+                               Timestamp::Seconds(1)))
+                  .ok());
+  auto out = (*value_filter)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).Get("tag_id")->string_value(), "tag_person");
+}
+
+TEST(ToolkitSmoothTest, PresenceCountInterpolatesDrops) {
+  auto stage =
+      Instantiate(SmoothPresenceCount(TemporalGranule(Duration::Seconds(5)),
+                                      "tag_id"),
+                  "smooth_input", RfidSchema());
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  SchemaRef schema = RfidSchema();
+  // Tag read at t=1 only; dropped at t=2..4.
+  ASSERT_TRUE((*stage)
+                  ->Push("smooth_input",
+                         Tuple(schema, {Value::String("r0"), Value::String("a")},
+                               Timestamp::Seconds(1)))
+                  .ok());
+  for (double t : {2.0, 3.0, 4.0}) {
+    auto out = (*stage)->Evaluate(Timestamp::Seconds(t));
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), 1u) << "at t=" << t;
+    EXPECT_EQ(out->tuple(0).Get("tag_id")->string_value(), "a");
+    EXPECT_EQ(out->tuple(0).Get("reads")->int64_value(), 1);
+  }
+  // After the window passes, the tag disappears.
+  auto gone = (*stage)->Evaluate(Timestamp::Seconds(7));
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty());
+}
+
+TEST(ToolkitSmoothTest, CqlAndNativePresenceCountAgree) {
+  // Property: the declarative and arbitrary-code implementations produce
+  // identical outputs on random streams.
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto cql_stage = Instantiate(
+        SmoothPresenceCount(TemporalGranule(Duration::Seconds(5)), "tag_id"),
+        "smooth_input", RfidSchema());
+    auto native_stage = Instantiate(
+        NativeSmoothPresenceCount(TemporalGranule(Duration::Seconds(5)),
+                                  "tag_id"),
+        "smooth_input", RfidSchema());
+    ASSERT_TRUE(cql_stage.ok() && native_stage.ok());
+    ASSERT_TRUE(
+        (*cql_stage)->output_schema()->Equals(*(*native_stage)->output_schema()));
+
+    SchemaRef schema = RfidSchema();
+    for (int t = 0; t < 30; ++t) {
+      const int readings = static_cast<int>(rng.UniformInt(0, 3));
+      for (int i = 0; i < readings; ++i) {
+        const std::string tag = "tag_" + std::to_string(rng.UniformInt(0, 4));
+        Tuple tuple(schema, {Value::String("r0"), Value::String(tag)},
+                    Timestamp::Seconds(t));
+        ASSERT_TRUE((*cql_stage)->Push("smooth_input", tuple).ok());
+        ASSERT_TRUE((*native_stage)->Push("smooth_input", tuple).ok());
+      }
+      auto from_cql = (*cql_stage)->Evaluate(Timestamp::Seconds(t));
+      auto from_native = (*native_stage)->Evaluate(Timestamp::Seconds(t));
+      ASSERT_TRUE(from_cql.ok() && from_native.ok());
+      ASSERT_EQ(from_cql->size(), from_native->size())
+          << "trial " << trial << " t=" << t;
+      for (size_t i = 0; i < from_cql->size(); ++i) {
+        EXPECT_TRUE(from_cql->tuple(i).Equals(from_native->tuple(i)));
+      }
+    }
+  }
+}
+
+TEST(ToolkitSmoothTest, CqlAndNativeWindowedAverageAgree) {
+  Rng rng(23);
+  auto cql_stage = Instantiate(
+      SmoothWindowedAverage(TemporalGranule(Duration::Seconds(4)), "mote_id",
+                            "temp"),
+      "smooth_input",
+      stream::MakeSchema(
+          {{"mote_id", DataType::kString}, {"temp", DataType::kDouble}}));
+  auto native_stage = Instantiate(
+      NativeSmoothWindowedAverage(TemporalGranule(Duration::Seconds(4)),
+                                  "mote_id", "temp"),
+      "smooth_input",
+      stream::MakeSchema(
+          {{"mote_id", DataType::kString}, {"temp", DataType::kDouble}}));
+  ASSERT_TRUE(cql_stage.ok() && native_stage.ok());
+
+  SchemaRef schema = stream::MakeSchema(
+      {{"mote_id", DataType::kString}, {"temp", DataType::kDouble}});
+  for (int t = 0; t < 25; ++t) {
+    if (rng.Bernoulli(0.7)) {
+      Tuple tuple(schema,
+                  {Value::String("m1"), Value::Double(rng.Uniform(15, 25))},
+                  Timestamp::Seconds(t));
+      ASSERT_TRUE((*cql_stage)->Push("smooth_input", tuple).ok());
+      ASSERT_TRUE((*native_stage)->Push("smooth_input", tuple).ok());
+    }
+    auto a = (*cql_stage)->Evaluate(Timestamp::Seconds(t));
+    auto b = (*native_stage)->Evaluate(Timestamp::Seconds(t));
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_NEAR(a->tuple(i).Get("temp")->double_value(),
+                  b->tuple(i).Get("temp")->double_value(), 1e-9);
+    }
+  }
+}
+
+TEST(ToolkitMergeTest, OutlierRejectingAverageDropsFailDirty) {
+  auto stage = Instantiate(
+      MergeOutlierRejectingAverage(TemporalGranule(Duration::Minutes(5)),
+                                   "temp"),
+      "merge_input", TempWithGranuleSchema());
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  SchemaRef schema = TempWithGranuleSchema();
+  auto push = [&](const std::string& mote, double temp) {
+    return (*stage)->Push(
+        "merge_input",
+        Tuple(schema,
+              {Value::String(mote), Value::Double(temp),
+               Value::String("room")},
+              Timestamp::Seconds(10)));
+  };
+  ASSERT_TRUE(push("m1", 20.0).ok());
+  ASSERT_TRUE(push("m2", 21.0).ok());
+  ASSERT_TRUE(push("m3", 100.0).ok());  // Fail-dirty outlier.
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(10));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_NEAR(out->tuple(0).Get("temp")->double_value(), 20.5, 1e-9);
+}
+
+TEST(ToolkitMergeTest, VoteThreshold) {
+  SchemaRef schema = stream::MakeSchema({{"detector_id", DataType::kString},
+                                         {"value", DataType::kString},
+                                         {"spatial_granule", DataType::kString}});
+  auto stage = Instantiate(
+      MergeVoteThreshold(TemporalGranule(Duration::Seconds(10)),
+                         "detector_id", 2),
+      "merge_input", schema);
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  auto push = [&](const std::string& detector, double t) {
+    return (*stage)->Push(
+        "merge_input",
+        Tuple(schema,
+              {Value::String(detector), Value::String("ON"),
+               Value::String("office")},
+              Timestamp::Seconds(t)));
+  };
+  // Only one detector fired: below threshold.
+  ASSERT_TRUE(push("x1", 1).ok());
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+  // A second (distinct) detector fires: threshold met.
+  ASSERT_TRUE(push("x1", 2).ok());
+  ASSERT_TRUE(push("x2", 3).ok());
+  out = (*stage)->Evaluate(Timestamp::Seconds(3));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).Get("votes")->int64_value(), 2);
+}
+
+TEST(ToolkitArbitrateTest, MaxCountAttributesToStrongestGranule) {
+  auto stage = Instantiate(ArbitrateMaxCount("tag_id", "reads"),
+                           "arbitrate_input", CountWithGranuleSchema());
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  SchemaRef schema = CountWithGranuleSchema();
+  auto push = [&](const std::string& tag, int64_t reads,
+                  const std::string& granule) {
+    return (*stage)->Push(
+        "arbitrate_input",
+        Tuple(schema,
+              {Value::String(tag), Value::Int64(reads), Value::String(granule)},
+              Timestamp::Seconds(1)));
+  };
+  ASSERT_TRUE(push("a", 9, "shelf_0").ok());
+  ASSERT_TRUE(push("a", 3, "shelf_1").ok());
+  ASSERT_TRUE(push("b", 2, "shelf_1").ok());
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->tuple(0).Get("spatial_granule")->string_value(), "shelf_0");
+  EXPECT_EQ(out->tuple(0).Get("tag_id")->string_value(), "a");
+  EXPECT_EQ(out->tuple(1).Get("spatial_granule")->string_value(), "shelf_1");
+  EXPECT_EQ(out->tuple(1).Get("tag_id")->string_value(), "b");
+}
+
+TEST(ToolkitArbitrateTest, CalibratedTieGoesToWeakAntenna) {
+  auto stage = Instantiate(
+      ArbitrateMaxCountCalibrated("tag_id", "reads", "shelf_1"),
+      "arbitrate_input", CountWithGranuleSchema());
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  SchemaRef schema = CountWithGranuleSchema();
+  auto push = [&](const std::string& tag, int64_t reads,
+                  const std::string& granule) {
+    return (*stage)->Push(
+        "arbitrate_input",
+        Tuple(schema,
+              {Value::String(tag), Value::Int64(reads), Value::String(granule)},
+              Timestamp::Seconds(1)));
+  };
+  ASSERT_TRUE(push("a", 4, "shelf_0").ok());
+  ASSERT_TRUE(push("a", 4, "shelf_1").ok());  // Tie.
+  ASSERT_TRUE(push("b", 5, "shelf_0").ok());
+  ASSERT_TRUE(push("b", 2, "shelf_1").ok());  // Clear winner.
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 2u);
+  // Tie on tag a resolves to the weak antenna only.
+  EXPECT_EQ(out->tuple(0).Get("tag_id")->string_value(), "a");
+  EXPECT_EQ(out->tuple(0).Get("spatial_granule")->string_value(), "shelf_1");
+  EXPECT_EQ(out->tuple(1).Get("tag_id")->string_value(), "b");
+  EXPECT_EQ(out->tuple(1).Get("spatial_granule")->string_value(), "shelf_0");
+}
+
+TEST(ToolkitVirtualizeTest, VotingDetector) {
+  auto stage = VirtualizeVote(
+      {{"sensors_input", "noise > 525"},
+       {"rfid_input", "tag_id = 'tag_person'"},
+       {"motion_input", "value = 'ON'"}},
+      2, "Person-in-room");
+  ASSERT_TRUE(stage.ok()) << stage.status();
+
+  cql::SchemaCatalog catalog;
+  SchemaRef sensors = stream::MakeSchema({{"mote_id", DataType::kString},
+                                          {"noise", DataType::kDouble}});
+  SchemaRef rfid = RfidSchema();
+  SchemaRef motion = stream::MakeSchema(
+      {{"detector_id", DataType::kString}, {"value", DataType::kString}});
+  catalog.AddStream("sensors_input", sensors);
+  catalog.AddStream("rfid_input", rfid);
+  catalog.AddStream("motion_input", motion);
+  ASSERT_TRUE((*stage)->Bind(catalog).ok());
+
+  // Two of three modalities agree at t=1: event fires.
+  ASSERT_TRUE((*stage)
+                  ->Push("sensors_input",
+                         Tuple(sensors, {Value::String("m1"), Value::Double(600)},
+                               Timestamp::Seconds(1)))
+                  .ok());
+  ASSERT_TRUE((*stage)
+                  ->Push("rfid_input",
+                         Tuple(rfid,
+                               {Value::String("r0"), Value::String("tag_person")},
+                               Timestamp::Seconds(1)))
+                  .ok());
+  auto out = (*stage)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->tuple(0).Get("event")->string_value(), "Person-in-room");
+
+  // One vote at t=2 (quiet room): no event.
+  ASSERT_TRUE((*stage)
+                  ->Push("sensors_input",
+                         Tuple(sensors, {Value::String("m1"), Value::Double(500)},
+                               Timestamp::Seconds(2)))
+                  .ok());
+  ASSERT_TRUE((*stage)
+                  ->Push("motion_input",
+                         Tuple(motion, {Value::String("x1"), Value::String("ON")},
+                               Timestamp::Seconds(2)))
+                  .ok());
+  out = (*stage)->Evaluate(Timestamp::Seconds(2));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(ToolkitVirtualizeTest, EmptyInputsRejected) {
+  EXPECT_FALSE(VirtualizeVote({}, 1, "x").ok());
+}
+
+}  // namespace
+}  // namespace esp::core

@@ -1,0 +1,136 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "sim/reading.h"
+#include "sim/shelf_world.h"
+
+namespace esp::sim {
+namespace {
+
+using stream::DataType;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceTest, RoundTripMixedTypes) {
+  SchemaRef schema = stream::MakeSchema({{"mote", DataType::kString},
+                                         {"temp", DataType::kDouble},
+                                         {"epoch", DataType::kInt64},
+                                         {"ok", DataType::kBool}});
+  Relation original(schema);
+  original.Add(Tuple(schema,
+                     {Value::String("m1"), Value::Double(21.5), Value::Int64(3),
+                      Value::Bool(true)},
+                     Timestamp::Seconds(1.5)));
+  original.Add(Tuple(schema,
+                     {Value::String("m,2"), Value::Null(), Value::Int64(-4),
+                      Value::Bool(false)},
+                     Timestamp::Seconds(2)));
+
+  const std::string path = TempPath("esp_trace_roundtrip.csv");
+  ASSERT_TRUE(WriteRelationCsv(path, original).ok());
+  auto restored = ReadRelationCsv(path, schema);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(restored->tuple(i).Equals(original.tuple(i))) << "row " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, WorldTraceRecordAndReplay) {
+  // Record a shelf-world trace and replay it: the replayed relation must
+  // be identical, enabling experiments against archived traces.
+  ShelfWorld::Config config;
+  config.duration = Duration::Seconds(5);
+  ShelfWorld world(config);
+
+  Relation readings(RfidReadingSchema());
+  for (const auto& tick : world.Generate()) {
+    for (const auto& reading : tick.readings) {
+      readings.Add(ToTuple(reading));
+    }
+  }
+  ASSERT_GT(readings.size(), 10u);
+
+  const std::string path = TempPath("esp_trace_shelf.csv");
+  ASSERT_TRUE(WriteRelationCsv(path, readings).ok());
+  auto replayed = ReadRelationCsv(path, RfidReadingSchema());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ASSERT_EQ(replayed->size(), readings.size());
+  for (size_t i = 0; i < readings.size(); i += 7) {
+    EXPECT_TRUE(replayed->tuple(i).Equals(readings.tuple(i)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, SchemaMismatchDetected) {
+  SchemaRef schema = stream::MakeSchema({{"a", DataType::kInt64}});
+  Relation rel(schema);
+  rel.Add(Tuple(schema, {Value::Int64(1)}, Timestamp::Seconds(1)));
+  const std::string path = TempPath("esp_trace_mismatch.csv");
+  ASSERT_TRUE(WriteRelationCsv(path, rel).ok());
+
+  SchemaRef wider = stream::MakeSchema(
+      {{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  auto result = ReadRelationCsv(path, wider);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, BadCellsSurfaceParseErrors) {
+  const std::string path = TempPath("esp_trace_bad.csv");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("time_us,a\n1000,not_an_int\n", f);
+    std::fclose(f);
+  }
+  SchemaRef schema = stream::MakeSchema({{"a", DataType::kInt64}});
+  auto result = ReadRelationCsv(path, schema);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyCellsBecomeNulls) {
+  const std::string path = TempPath("esp_trace_nulls.csv");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("time_us,a\n1000,\n", f);
+    std::fclose(f);
+  }
+  SchemaRef schema = stream::MakeSchema({{"a", DataType::kDouble}});
+  auto result = ReadRelationCsv(path, schema);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_TRUE(result->tuple(0).value(0).is_null());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileAndMissingHeader) {
+  SchemaRef schema = stream::MakeSchema({{"a", DataType::kInt64}});
+  EXPECT_FALSE(ReadRelationCsv("/nonexistent_esp_trace.csv", schema).ok());
+
+  const std::string path = TempPath("esp_trace_empty.csv");
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadRelationCsv(path, schema).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace esp::sim

@@ -1,0 +1,100 @@
+#include "stream/value.h"
+
+#include <gtest/gtest.h>
+
+namespace esp::stream {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int64(42).int64_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).double_value(), 3.5);
+  EXPECT_EQ(Value::String("tag_7").string_value(), "tag_7");
+  EXPECT_EQ(Value::Time(Timestamp::Seconds(2)).time_value(),
+            Timestamp::Seconds(2));
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int64(4).AsDouble().value(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(4.5).AsDouble().value(), 4.5);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_TRUE(Value::Int64(1).Equals(Value::Double(1.0)));
+  EXPECT_TRUE(Value::Double(2.0).Equals(Value::Int64(2)));
+  EXPECT_FALSE(Value::Int64(1).Equals(Value::Double(1.5)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int64(0)));
+  EXPECT_FALSE(Value::Bool(false).Equals(Value::Int64(0)));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, Compare) {
+  EXPECT_EQ(Value::Int64(1).Compare(Value::Int64(2)).value(), -1);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Int64(2)).value(), 0);
+  EXPECT_EQ(Value::Double(2.5).Compare(Value::Int64(2)).value(), 1);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")).value(), -1);
+  EXPECT_EQ(Value::Bool(false).Compare(Value::Bool(true)).value(), -1);
+  EXPECT_EQ(Value::Time(Timestamp::Seconds(1))
+                .Compare(Value::Time(Timestamp::Seconds(2)))
+                .value(),
+            -1);
+  EXPECT_FALSE(Value::Null().Compare(Value::Int64(1)).ok());
+  EXPECT_FALSE(Value::String("a").Compare(Value::Int64(1)).ok());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int64(7).ToString(), "7");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Double(2.25).ToString(), "2.25");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueArithmeticTest, AddSubtractMultiply) {
+  EXPECT_EQ(Add(Value::Int64(2), Value::Int64(3))->int64_value(), 5);
+  EXPECT_DOUBLE_EQ(Add(Value::Int64(2), Value::Double(0.5))->double_value(),
+                   2.5);
+  EXPECT_EQ(Subtract(Value::Int64(5), Value::Int64(3))->int64_value(), 2);
+  EXPECT_EQ(Multiply(Value::Int64(4), Value::Int64(3))->int64_value(), 12);
+}
+
+TEST(ValueArithmeticTest, NullPropagates) {
+  EXPECT_TRUE(Add(Value::Null(), Value::Int64(1))->is_null());
+  EXPECT_TRUE(Multiply(Value::Int64(1), Value::Null())->is_null());
+  EXPECT_TRUE(Negate(Value::Null())->is_null());
+}
+
+TEST(ValueArithmeticTest, TypeErrors) {
+  EXPECT_FALSE(Add(Value::String("a"), Value::Int64(1)).ok());
+  EXPECT_FALSE(Negate(Value::String("a")).ok());
+  EXPECT_FALSE(Modulo(Value::Double(1.5), Value::Int64(2)).ok());
+}
+
+TEST(ValueArithmeticTest, Division) {
+  EXPECT_EQ(Divide(Value::Int64(7), Value::Int64(2))->int64_value(), 3);
+  EXPECT_DOUBLE_EQ(Divide(Value::Double(7), Value::Int64(2))->double_value(),
+                   3.5);
+  EXPECT_FALSE(Divide(Value::Int64(1), Value::Int64(0)).ok());
+  EXPECT_FALSE(Divide(Value::Double(1), Value::Double(0)).ok());
+  EXPECT_EQ(Modulo(Value::Int64(7), Value::Int64(3))->int64_value(), 1);
+  EXPECT_FALSE(Modulo(Value::Int64(7), Value::Int64(0)).ok());
+}
+
+TEST(ValueArithmeticTest, Negate) {
+  EXPECT_EQ(Negate(Value::Int64(5))->int64_value(), -5);
+  EXPECT_DOUBLE_EQ(Negate(Value::Double(2.5))->double_value(), -2.5);
+}
+
+}  // namespace
+}  // namespace esp::stream
