@@ -1,0 +1,187 @@
+#include "bench/chaos_experiment.h"
+
+#include <array>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "cql/continuous_query.h"
+#include "sim/reading.h"
+
+namespace esp::bench {
+
+using core::DeviceTypePipeline;
+using core::EspProcessor;
+using core::SpatialGranule;
+using core::StageKind;
+using core::TemporalGranule;
+using stream::Relation;
+using stream::Tuple;
+
+namespace {
+
+std::string ShardId(int shelf, int shard) {
+  return "reader_" + std::to_string(shelf) + "_" + std::to_string(shard);
+}
+
+/// Sums the shards' smoothed per-tag counts back into one row per tag, so
+/// the arbitration input is identical to the unsharded experiment's.
+core::StageFactory MergeSumReads() {
+  return []() -> StatusOr<std::unique_ptr<core::Stage>> {
+    ESP_ASSIGN_OR_RETURN(
+        std::unique_ptr<core::CqlStage> stage,
+        core::CqlStage::Create(
+            StageKind::kMerge, "merge_sum_reads",
+            "SELECT spatial_granule, tag_id, sum(reads) AS reads "
+            "FROM merge_input [Range By 'NOW'] "
+            "GROUP BY spatial_granule, tag_id"));
+    return std::unique_ptr<core::Stage>(std::move(stage));
+  };
+}
+
+}  // namespace
+
+StatusOr<ChaosShelfResult> RunChaosShelfExperiment(
+    const sim::ShelfWorld::Config& world_config,
+    const ChaosShelfOptions& options) {
+  if (options.readers_per_shelf < 1) {
+    return Status::InvalidArgument("readers_per_shelf must be >= 1");
+  }
+  sim::ShelfWorld world(world_config);
+  const std::vector<sim::ShelfWorld::Tick> trace = world.Generate();
+
+  // --- Deploy: one proximity group per shelf, sharded receptor fleet. ---
+  EspProcessor processor;
+  std::vector<std::string> receptor_ids;
+  for (int shelf = 0; shelf < 2; ++shelf) {
+    core::ProximityGroup group;
+    group.id = "pg_shelf" + std::to_string(shelf);
+    group.device_type = "rfid";
+    group.granule = SpatialGranule{"shelf_" + std::to_string(shelf)};
+    for (int shard = 0; shard < options.readers_per_shelf; ++shard) {
+      group.receptor_ids.push_back(ShardId(shelf, shard));
+      receptor_ids.push_back(ShardId(shelf, shard));
+    }
+    ESP_RETURN_IF_ERROR(processor.AddProximityGroup(std::move(group)));
+  }
+
+  DeviceTypePipeline rfid;
+  rfid.device_type = "rfid";
+  rfid.reading_schema = sim::RfidReadingSchema();
+  rfid.receptor_id_column = "reader_id";
+  rfid.smooth =
+      core::SmoothPresenceCount(TemporalGranule(options.granule), "tag_id");
+  rfid.merge = MergeSumReads();
+  rfid.arbitrate = core::ArbitrateMaxCountCalibrated(
+      "tag_id", "reads", /*weak_granule=*/"shelf_1");
+  ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(rfid)));
+  ESP_RETURN_IF_ERROR(processor.SetHealthPolicy(options.policy));
+  ESP_RETURN_IF_ERROR(processor.Start());
+
+  // --- The fault layer between the world and the processor. ---
+  sim::FaultInjectorConfig faults = options.faults;
+  faults.horizon = world_config.duration;
+  sim::FaultInjector injector(faults, receptor_ids);
+
+  // --- Query 1 over the cleaned stream, as in the headline experiment. ---
+  cql::SchemaCatalog catalog;
+  ESP_ASSIGN_OR_RETURN(stream::SchemaRef cleaned_schema,
+                       processor.TypeOutputSchema("rfid"));
+  catalog.AddStream("esp_output", cleaned_schema);
+  ESP_ASSIGN_OR_RETURN(
+      std::unique_ptr<cql::ContinuousQuery> query1,
+      cql::ContinuousQuery::Create(
+          "SELECT spatial_granule, count(distinct tag_id) AS items "
+          "FROM esp_output [Range By 'NOW'] GROUP BY spatial_granule",
+          catalog));
+
+  ChaosShelfResult result;
+  result.fault_schedule = injector.ScheduleToString();
+  result.ticks_total = static_cast<int64_t>(trace.size());
+
+  // --- Drive the run: world -> shard -> inject -> push -> tick. ---
+  std::array<int, 2> next_shard = {0, 0};
+  auto deliver = [&](sim::FaultInjector::Event event) -> Status {
+    const Status pushed = processor.Push("rfid", std::move(event.tuple));
+    if (pushed.ok()) return Status::OK();
+    if (pushed.code() == StatusCode::kOutOfRange &&
+        !options.stop_on_push_error) {
+      ++result.push_rejects;
+      return Status::OK();
+    }
+    return pushed;
+  };
+  for (const sim::ShelfWorld::Tick& tick : trace) {
+    for (const sim::RfidReading& reading : tick.readings) {
+      const int shelf = reading.reader_id == "reader_0" ? 0 : 1;
+      sim::RfidReading sharded = reading;
+      sharded.reader_id = ShardId(
+          shelf, next_shard[static_cast<size_t>(shelf)]++ %
+                     options.readers_per_shelf);
+      sim::FaultInjector::Event event{sharded.reader_id,
+                                      sim::ToTuple(sharded)};
+      for (sim::FaultInjector::Event& delivered :
+           injector.Process(std::move(event))) {
+        result.run_status = deliver(std::move(delivered));
+        if (!result.run_status.ok()) break;
+      }
+      if (!result.run_status.ok()) break;
+    }
+    if (!result.run_status.ok()) break;
+
+    StatusOr<EspProcessor::TickResult> ticked = processor.Tick(tick.time);
+    if (!ticked.ok()) {
+      result.run_status = ticked.status();
+      break;
+    }
+    ++result.ticks_completed;
+    for (const Tuple& tuple : ticked->per_type[0].second.tuples()) {
+      ESP_RETURN_IF_ERROR(query1->Push("esp_output", tuple));
+    }
+    ESP_ASSIGN_OR_RETURN(Relation answer, query1->Evaluate(tick.time));
+
+    std::array<double, 2> counts = {0.0, 0.0};
+    for (const Tuple& row : answer.tuples()) {
+      ESP_ASSIGN_OR_RETURN(const stream::Value granule_value,
+                           row.Get("spatial_granule"));
+      ESP_ASSIGN_OR_RETURN(const stream::Value items, row.Get("items"));
+      const int shelf = granule_value.string_value() == "shelf_0" ? 0 : 1;
+      counts[static_cast<size_t>(shelf)] =
+          static_cast<double>(items.int64_value());
+    }
+    result.series.time_s.push_back(tick.time.seconds());
+    for (int shelf = 0; shelf < 2; ++shelf) {
+      const size_t s = static_cast<size_t>(shelf);
+      result.series.truth[s].push_back(
+          static_cast<double>(tick.true_counts[s]));
+      result.series.reported[s].push_back(counts[s]);
+    }
+  }
+  injector.Flush();  // Readings still delayed past the end are lost.
+
+  // --- Metrics over the completed portion of the run. ---
+  if (!result.series.time_s.empty()) {
+    std::vector<double> all_reported;
+    std::vector<double> all_truth;
+    for (size_t s = 0; s < 2; ++s) {
+      all_reported.insert(all_reported.end(), result.series.reported[s].begin(),
+                          result.series.reported[s].end());
+      all_truth.insert(all_truth.end(), result.series.truth[s].begin(),
+                       result.series.truth[s].end());
+    }
+    ESP_ASSIGN_OR_RETURN(
+        result.series.average_relative_error,
+        core::AverageRelativeError(all_reported, all_truth));
+    const Duration sample_period =
+        Duration::Seconds(1.0 / world_config.sample_hz);
+    ESP_ASSIGN_OR_RETURN(const double alert_rate_both,
+                         core::AlertRate(all_reported, 5.0, sample_period));
+    result.series.restock_alerts_per_second = alert_rate_both * 2.0;
+  }
+  result.injected = injector.counters();
+  result.health = processor.Health();
+  return result;
+}
+
+}  // namespace esp::bench

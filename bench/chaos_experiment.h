@@ -1,0 +1,63 @@
+#ifndef ESP_BENCH_CHAOS_EXPERIMENT_H_
+#define ESP_BENCH_CHAOS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bench/shelf_experiment.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "core/health.h"
+#include "sim/fault_injector.h"
+#include "sim/shelf_world.h"
+
+namespace esp::bench {
+
+/// \brief Options for the chaos variant of the shelf experiment.
+///
+/// The shelf world's two readers are each sharded round-robin across
+/// `readers_per_shelf` virtual receptors, so receptor-level faults (death,
+/// quarantine) hit a realistic fleet instead of an all-or-nothing reader.
+/// A per-shelf Merge stage sums the shards' smoothed counts back together,
+/// so with faults disabled and one reader per shelf the run is exactly the
+/// Figure 3 Smooth+Arbitrate configuration.
+struct ChaosShelfOptions {
+  int readers_per_shelf = 5;
+  Duration granule = Duration::Seconds(5);
+  /// Fault mix injected between the world and the processor.
+  sim::FaultInjectorConfig faults;
+  /// Degraded-mode policy installed on the processor. The default policy is
+  /// the strict seed behaviour (no liveness tracking, zero lateness
+  /// horizon, kDegrade stage isolation).
+  core::HealthPolicy policy;
+  /// When true, any Push rejection (e.g. kOutOfRange under a zero lateness
+  /// horizon with reordering faults) aborts the run — the pre-hardening
+  /// contract. When false rejects are counted and the run continues.
+  bool stop_on_push_error = false;
+};
+
+/// \brief Outcome of a chaos run. `series` carries the usual Query 1 error
+/// metrics; the rest reports what the faults did and how the pipeline
+/// coped. `run_status` is OK when every tick completed.
+struct ChaosShelfResult {
+  ShelfSeries series;
+  core::PipelineHealth health;
+  sim::FaultInjector::Counters injected;
+  std::string fault_schedule;
+  int64_t ticks_total = 0;
+  int64_t ticks_completed = 0;
+  int64_t push_rejects = 0;
+  Status run_status = Status::OK();
+};
+
+/// Runs the shelf experiment through a FaultInjector with the receptor
+/// fleet sharded per `options`. Setup errors surface as a non-OK StatusOr;
+/// mid-run failures (fail-fast stage errors, push aborts) are reported in
+/// `run_status` with the partial series retained.
+StatusOr<ChaosShelfResult> RunChaosShelfExperiment(
+    const sim::ShelfWorld::Config& world_config,
+    const ChaosShelfOptions& options);
+
+}  // namespace esp::bench
+
+#endif  // ESP_BENCH_CHAOS_EXPERIMENT_H_

@@ -1,0 +1,104 @@
+// Chaos bench: the Section 4 shelf scenario with a sharded receptor fleet
+// and injected faults, contrasting the strict pre-hardening contract with
+// the degraded-mode pipeline.
+//
+// Three runs over the same 700 s world and the same fault schedule:
+//   1. baseline  - faults disabled (sanity: matches the Figure 3 regime).
+//   2. strict    - 20% of receptors die mid-run; no liveness tracking, so
+//                  the pipeline silently degrades with no operator signal
+//                  (and with reordering faults + kFailFast it aborts).
+//   3. hardened  - same deaths under the health policy: the dead receptors
+//                  are quarantined, Merge runs over the survivors, and
+//                  PipelineHealth tells the story.
+
+#include <cstdio>
+
+#include "bench/chaos_experiment.h"
+
+namespace esp::bench {
+namespace {
+
+void PrintRun(const char* label, const ChaosShelfResult& result) {
+  std::printf("--- %s ---\n", label);
+  std::printf("ticks: %lld/%lld  push rejects: %lld  run status: %s\n",
+              static_cast<long long>(result.ticks_completed),
+              static_cast<long long>(result.ticks_total),
+              static_cast<long long>(result.push_rejects),
+              result.run_status.ToString().c_str());
+  std::printf("injected: seen=%lld dead=%lld burst=%lld dup=%lld "
+              "delayed=%lld skewed=%lld\n",
+              static_cast<long long>(result.injected.seen),
+              static_cast<long long>(result.injected.dropped_dead),
+              static_cast<long long>(result.injected.dropped_burst),
+              static_cast<long long>(result.injected.duplicated),
+              static_cast<long long>(result.injected.delayed),
+              static_cast<long long>(result.injected.skewed));
+  std::printf("avg relative error: %.4f  restock alerts/s: %.3f\n",
+              result.series.average_relative_error,
+              result.series.restock_alerts_per_second);
+  std::printf("%s\n", result.health.ToString().c_str());
+}
+
+int Run() {
+  const sim::ShelfWorld::Config world;  // Full 700 s experiment.
+
+  sim::FaultInjectorConfig faults;
+  faults.seed = 7;
+  faults.death_fraction = 0.2;  // 2 of the 10 sharded receptors.
+  faults.duplicate_prob = 0.01;
+  faults.reorder_prob = 0.02;
+  faults.max_reorder_delay = Duration::Seconds(0.3);
+  faults.clock_skew_fraction = 0.2;
+  faults.max_clock_skew = Duration::Seconds(0.1);
+
+  core::HealthPolicy hardened;
+  hardened.staleness_threshold = Duration::Seconds(2);
+  hardened.quarantine_timeout = Duration::Seconds(5);
+  hardened.lateness_horizon = Duration::Seconds(0.5);
+  hardened.stage_error_policy = core::StageErrorPolicy::kDegrade;
+
+  ChaosShelfOptions baseline;
+  auto baseline_run = RunChaosShelfExperiment(world, baseline);
+  if (!baseline_run.ok()) {
+    std::printf("baseline failed: %s\n",
+                baseline_run.status().ToString().c_str());
+    return 1;
+  }
+  PrintRun("baseline (no faults, strict policy)", *baseline_run);
+
+  ChaosShelfOptions strict;
+  strict.faults = faults;
+  strict.policy.stage_error_policy = core::StageErrorPolicy::kFailFast;
+  strict.stop_on_push_error = true;
+  auto strict_run = RunChaosShelfExperiment(world, strict);
+  if (!strict_run.ok()) {
+    std::printf("strict setup failed: %s\n",
+                strict_run.status().ToString().c_str());
+    return 1;
+  }
+  PrintRun("strict (faults, pre-hardening contract)", *strict_run);
+
+  ChaosShelfOptions degraded;
+  degraded.faults = faults;
+  degraded.policy = hardened;
+  auto degraded_run = RunChaosShelfExperiment(world, degraded);
+  if (!degraded_run.ok()) {
+    std::printf("hardened setup failed: %s\n",
+                degraded_run.status().ToString().c_str());
+    return 1;
+  }
+  PrintRun("hardened (faults, degraded-mode policy)", *degraded_run);
+  std::printf("%s", degraded_run->fault_schedule.c_str());
+
+  const double budget = 2.0 * baseline_run->series.average_relative_error;
+  std::printf("\nerror budget (2x fault-free): %.4f -> %s\n", budget,
+              degraded_run->series.average_relative_error < budget
+                  ? "WITHIN"
+                  : "EXCEEDED");
+  return 0;
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() { return esp::bench::Run(); }

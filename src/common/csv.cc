@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/string_util.h"
+
 namespace esp {
 
 StatusOr<CsvWriter> CsvWriter::Open(const std::string& path) {
@@ -43,18 +45,18 @@ Status CsvWriter::Close() {
 }
 
 StatusOr<std::vector<std::vector<std::string>>> CsvReader::ReadFile(
-    const std::string& path) {
+    const std::string& path, size_t expected_columns) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseString(buffer.str());
+  return ParseString(buffer.str(), expected_columns);
 }
 
 StatusOr<std::vector<std::vector<std::string>>> CsvReader::ParseString(
-    const std::string& content) {
+    const std::string& content, size_t expected_columns) {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
@@ -108,7 +110,64 @@ StatusOr<std::vector<std::vector<std::string>>> CsvReader::ParseString(
     row.push_back(std::move(field));
     rows.push_back(std::move(row));
   }
+  if (expected_columns != kAnyColumns) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].size() != expected_columns) {
+        return Status::ParseError(
+            "CSV row " + std::to_string(r + 1) + " has " +
+            std::to_string(rows[r].size()) + " columns, expected " +
+            std::to_string(expected_columns));
+      }
+    }
+  }
   return rows;
+}
+
+StatusOr<const std::string*> CsvReader::Cell(
+    const std::vector<std::string>& row, size_t column, size_t row_number) {
+  if (column >= row.size()) {
+    return Status::ParseError("CSV row " + std::to_string(row_number) +
+                              " has no column " + std::to_string(column + 1) +
+                              " (row has " + std::to_string(row.size()) +
+                              " columns)");
+  }
+  return &row[column];
+}
+
+StatusOr<int64_t> CsvReader::Int64Field(const std::vector<std::string>& row,
+                                        size_t column, size_t row_number) {
+  ESP_ASSIGN_OR_RETURN(const std::string* cell, Cell(row, column, row_number));
+  int64_t value = 0;
+  if (!StrToInt64(*cell, &value)) {
+    return Status::ParseError("CSV row " + std::to_string(row_number) +
+                              " column " + std::to_string(column + 1) +
+                              ": bad int64 '" + *cell + "'");
+  }
+  return value;
+}
+
+StatusOr<double> CsvReader::DoubleField(const std::vector<std::string>& row,
+                                        size_t column, size_t row_number) {
+  ESP_ASSIGN_OR_RETURN(const std::string* cell, Cell(row, column, row_number));
+  double value = 0;
+  if (!StrToDouble(*cell, &value)) {
+    return Status::ParseError("CSV row " + std::to_string(row_number) +
+                              " column " + std::to_string(column + 1) +
+                              ": bad double '" + *cell + "'");
+  }
+  return value;
+}
+
+StatusOr<bool> CsvReader::BoolField(const std::vector<std::string>& row,
+                                    size_t column, size_t row_number) {
+  ESP_ASSIGN_OR_RETURN(const std::string* cell, Cell(row, column, row_number));
+  const std::string lowered = StrToLower(*cell);
+  if (lowered == "true") return true;
+  if (lowered == "false") return false;
+  return Status::ParseError("CSV row " + std::to_string(row_number) +
+                            " column " + std::to_string(column + 1) +
+                            ": bad bool '" + *cell +
+                            "' (expected true or false)");
 }
 
 }  // namespace esp

@@ -35,15 +35,39 @@ class CsvWriter {
 };
 
 /// \brief Parses CSV content into rows of string fields (RFC 4180 quoting).
+///
+/// Malformed input is a kParseError naming the offending 1-based row, not a
+/// best-effort coercion: pass `expected_columns` to reject ragged rows at
+/// parse time, and use the typed field accessors instead of re-parsing cells
+/// by hand so bad values carry their row number too.
 class CsvReader {
  public:
-  /// Reads and parses an entire file.
-  static StatusOr<std::vector<std::vector<std::string>>> ReadFile(
-      const std::string& path);
+  /// Column count of 0 means "any width is accepted".
+  static constexpr size_t kAnyColumns = 0;
 
-  /// Parses CSV text already in memory.
+  /// Reads and parses an entire file. When `expected_columns` is nonzero,
+  /// every row (header included) must have exactly that many fields.
+  static StatusOr<std::vector<std::vector<std::string>>> ReadFile(
+      const std::string& path, size_t expected_columns = kAnyColumns);
+
+  /// Parses CSV text already in memory, with the same width check.
   static StatusOr<std::vector<std::vector<std::string>>> ParseString(
-      const std::string& content);
+      const std::string& content, size_t expected_columns = kAnyColumns);
+
+  // Typed accessors for one cell of a parsed row. `row_number` is the
+  // 1-based row the caller is reading; it is only used in error messages.
+  static StatusOr<int64_t> Int64Field(const std::vector<std::string>& row,
+                                      size_t column, size_t row_number);
+  static StatusOr<double> DoubleField(const std::vector<std::string>& row,
+                                      size_t column, size_t row_number);
+  /// Accepts exactly "true" / "false" (case-insensitive) — anything else is
+  /// a kParseError, never a silent false.
+  static StatusOr<bool> BoolField(const std::vector<std::string>& row,
+                                  size_t column, size_t row_number);
+
+ private:
+  static StatusOr<const std::string*> Cell(const std::vector<std::string>& row,
+                                           size_t column, size_t row_number);
 };
 
 }  // namespace esp

@@ -120,7 +120,7 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
       section.name =
           space == std::string::npos ? "" : StrTrim(header.substr(space + 1));
       if (section.kind != "group" && section.kind != "pipeline" &&
-          section.kind != "virtualize") {
+          section.kind != "virtualize" && section.kind != "health") {
         return Status::ParseError("unknown section kind '" + section.kind +
                                   "' at line " + std::to_string(line_number));
       }
@@ -144,6 +144,46 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
   return sections;
 }
 
+/// Parses a [health] section into a HealthPolicy. Durations use the CQL
+/// window syntax ("2 sec", "500 msec"); omitted keys keep their defaults.
+StatusOr<HealthPolicy> ParseHealthSection(const Section& section) {
+  HealthPolicy policy;
+  struct DurationKey {
+    const char* key;
+    Duration* target;
+  };
+  const DurationKey duration_keys[] = {
+      {"staleness_threshold", &policy.staleness_threshold},
+      {"quarantine_timeout", &policy.quarantine_timeout},
+      {"revival_backoff", &policy.revival_backoff},
+      {"max_revival_backoff", &policy.max_revival_backoff},
+      {"lateness_horizon", &policy.lateness_horizon},
+  };
+  for (const DurationKey& entry : duration_keys) {
+    auto value = section.Single(entry.key);
+    if (!value.ok()) {
+      if (value.status().code() == StatusCode::kNotFound) continue;
+      return value.status();
+    }
+    ESP_ASSIGN_OR_RETURN(*entry.target, ParseDuration(*value));
+  }
+  auto policy_text = section.Single("stage_error_policy");
+  if (policy_text.ok()) {
+    const std::string lowered = StrToLower(StrTrim(*policy_text));
+    if (lowered == "degrade") {
+      policy.stage_error_policy = StageErrorPolicy::kDegrade;
+    } else if (lowered == "failfast" || lowered == "fail_fast") {
+      policy.stage_error_policy = StageErrorPolicy::kFailFast;
+    } else {
+      return Status::ParseError("unknown stage_error_policy '" + *policy_text +
+                                "' (expected degrade or failfast)");
+    }
+  } else if (policy_text.status().code() != StatusCode::kNotFound) {
+    return policy_text.status();
+  }
+  return policy;
+}
+
 /// Builds a CQL stage factory from query text, validated lazily at Bind.
 StageFactory DeclarativeStage(StageKind kind, std::string name,
                               std::string query) {
@@ -165,8 +205,16 @@ StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
 
   bool saw_pipeline = false;
   bool saw_virtualize = false;
+  bool saw_health = false;
   for (const Section& section : sections) {
-    if (section.kind == "group") {
+    if (section.kind == "health") {
+      if (saw_health) {
+        return Status::ParseError("multiple [health] sections");
+      }
+      saw_health = true;
+      ESP_ASSIGN_OR_RETURN(HealthPolicy policy, ParseHealthSection(section));
+      ESP_RETURN_IF_ERROR(processor->SetHealthPolicy(policy));
+    } else if (section.kind == "group") {
       if (section.name.empty()) {
         return Status::ParseError("[group] requires a name");
       }

@@ -36,6 +36,15 @@ namespace esp::core {
 /// # At most one cross-device-type Virtualize stage.
 /// [virtualize]
 /// query = SELECT 'event' AS event WHERE ...
+///
+/// # Optional degraded-mode policy (see core/health.h; all keys optional).
+/// [health]
+/// staleness_threshold = 2 sec    # silent receptor -> suspect
+/// quarantine_timeout = 5 sec     # suspect and still silent -> quarantined
+/// revival_backoff = 1 sec        # first probe delay; doubles per failure
+/// max_revival_backoff = 60 sec
+/// lateness_horizon = 500 msec    # reorder-buffer tolerance for late data
+/// stage_error_policy = degrade   # or failfast
 /// ```
 ///
 /// The returned processor is already Start()ed: push readings and Tick().

@@ -1,0 +1,134 @@
+#include "core/health.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace esp::core {
+
+const char* StageErrorPolicyToString(StageErrorPolicy policy) {
+  switch (policy) {
+    case StageErrorPolicy::kDegrade:
+      return "degrade";
+    case StageErrorPolicy::kFailFast:
+      return "failfast";
+  }
+  return "?";
+}
+
+const char* ReceptorStateToString(ReceptorState state) {
+  switch (state) {
+    case ReceptorState::kHealthy:
+      return "healthy";
+    case ReceptorState::kSuspect:
+      return "suspect";
+    case ReceptorState::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+std::string PipelineHealth::ToString() const {
+  std::string out;
+  out += StrFormat(
+      "pipeline health: %zu receptors (%zu suspect, %zu quarantined), "
+      "%lld stage errors, %lld late admitted, %lld dropped late, "
+      "%lld dropped in quarantine\n",
+      receptors.size(), suspect_now, quarantined_now,
+      static_cast<long long>(total_stage_errors),
+      static_cast<long long>(total_late_admitted),
+      static_cast<long long>(total_dropped_late),
+      static_cast<long long>(total_dropped_quarantined));
+  for (const ReceptorHealth& r : receptors) {
+    if (r.state == ReceptorState::kHealthy && r.dropped_late == 0 &&
+        r.late_admitted == 0 && r.quarantine_count == 0 &&
+        r.last_error.empty()) {
+      continue;  // Keep the report focused on receptors with a story.
+    }
+    out += StrFormat("  %s/%s: %s, delivered=%lld late=%lld dropped=%lld",
+                     r.device_type.c_str(), r.receptor_id.c_str(),
+                     ReceptorStateToString(r.state),
+                     static_cast<long long>(r.delivered),
+                     static_cast<long long>(r.late_admitted),
+                     static_cast<long long>(r.dropped_late));
+    if (r.quarantine_count > 0) {
+      out += StrFormat(" quarantines=%lld revivals=%lld discarded=%lld",
+                       static_cast<long long>(r.quarantine_count),
+                       static_cast<long long>(r.revival_count),
+                       static_cast<long long>(r.dropped_quarantined));
+    }
+    if (!r.last_error.empty()) out += " last_error=" + r.last_error;
+    out += "\n";
+  }
+  for (const StageErrorStat& s : stage_errors) {
+    out += StrFormat("  stage %s: %lld errors (last: %s)\n", s.stage.c_str(),
+                     static_cast<long long>(s.errors),
+                     s.last_message.c_str());
+  }
+  return out;
+}
+
+ReceptorHealthTracker::ReceptorHealthTracker(std::string receptor_id,
+                                             std::string device_type,
+                                             const HealthPolicy* policy)
+    : policy_(policy) {
+  health_.receptor_id = std::move(receptor_id);
+  health_.device_type = std::move(device_type);
+}
+
+ReceptorHealthTracker::Transition ReceptorHealthTracker::Observe(
+    Timestamp now, std::optional<Timestamp> data_time) {
+  if (!baseline_set_) {
+    // Staleness for a receptor that never speaks is measured from the first
+    // tick, not from the epoch.
+    health_.last_seen = now;
+    baseline_set_ = true;
+  }
+  if (data_time.has_value()) {
+    health_.ever_delivered = true;
+    health_.last_seen = std::max(health_.last_seen, *data_time);
+  }
+  if (!policy_->liveness_enabled()) return Transition::kNone;
+
+  switch (health_.state) {
+    case ReceptorState::kHealthy:
+      if (!data_time.has_value() &&
+          now - health_.last_seen > policy_->staleness_threshold) {
+        health_.state = ReceptorState::kSuspect;
+        health_.suspect_since = now;
+        return Transition::kSuspect;
+      }
+      return Transition::kNone;
+
+    case ReceptorState::kSuspect:
+      if (data_time.has_value()) {
+        health_.state = ReceptorState::kHealthy;
+        return Transition::kRecover;
+      }
+      if (now - health_.suspect_since >= policy_->quarantine_timeout) {
+        health_.state = ReceptorState::kQuarantined;
+        health_.quarantined_since = now;
+        health_.probe_backoff = policy_->revival_backoff;
+        health_.next_probe = now + health_.probe_backoff;
+        ++health_.quarantine_count;
+        return Transition::kQuarantine;
+      }
+      return Transition::kNone;
+
+    case ReceptorState::kQuarantined:
+      if (now < health_.next_probe) return Transition::kNone;
+      if (data_time.has_value()) {
+        health_.state = ReceptorState::kHealthy;
+        health_.probe_backoff = Duration::Zero();
+        ++health_.revival_count;
+        return Transition::kRevive;
+      }
+      health_.probe_backoff =
+          std::min(health_.probe_backoff * 2.0, policy_->max_revival_backoff);
+      health_.next_probe = now + health_.probe_backoff;
+      return Transition::kProbeFailed;
+  }
+  return Transition::kNone;
+}
+
+}  // namespace esp::core

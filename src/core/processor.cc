@@ -12,9 +12,25 @@ using stream::SchemaRef;
 using stream::Tuple;
 using stream::Value;
 
+std::string EspProcessor::QuarantineGroupId(const std::string& device_type) {
+  return "__quarantine_" + device_type;
+}
+
 Status EspProcessor::AddProximityGroup(ProximityGroup group) {
   if (started_) return Status::Internal("processor already started");
   return granules_.AddGroup(std::move(group));
+}
+
+Status EspProcessor::SetHealthPolicy(HealthPolicy policy) {
+  if (started_) return Status::Internal("processor already started");
+  if (policy.liveness_enabled() &&
+      policy.staleness_threshold <= policy.lateness_horizon) {
+    return Status::InvalidArgument(
+        "staleness threshold must exceed the lateness horizon (admitted-late "
+        "readings make live receptors look up to one horizon stale)");
+  }
+  policy_ = policy;
+  return Status::OK();
 }
 
 Status EspProcessor::AddPipeline(DeviceTypePipeline pipeline) {
@@ -73,6 +89,9 @@ Status EspProcessor::Start() {
         ReceptorChain chain;
         chain.receptor_id = receptor_id;
         chain.granule_id = group->granule.id;
+        chain.home_group_id = group->id;
+        chain.health = std::make_unique<ReceptorHealthTracker>(
+            receptor_id, config.device_type, &policy_);
         SchemaRef current = config.reading_schema;
         for (const StageFactory& factory : config.point) {
           ESP_ASSIGN_OR_RETURN(std::unique_ptr<Stage> stage, factory());
@@ -163,14 +182,81 @@ Status EspProcessor::Push(const std::string& device_type, Tuple raw) {
     return Status::TypeError("receptor id column must be a string");
   }
   for (ReceptorChain& chain : type->receptors) {
-    if (StrEqualsIgnoreCase(chain.receptor_id, receptor.string_value())) {
-      chain.pending.push_back(std::move(raw));
-      return Status::OK();
+    if (!StrEqualsIgnoreCase(chain.receptor_id, receptor.string_value())) {
+      continue;
     }
+    // Validate the (previous tick, now] contract instead of trusting it:
+    // anything at or before the previous tick's release watermark can never
+    // be delivered in order again and is dropped loudly; later-but-within-
+    // horizon readings go to the reorder buffer.
+    if (has_ticked_) {
+      const Timestamp watermark = last_tick_ - policy_.lateness_horizon;
+      if (raw.timestamp() <= watermark) {
+        chain.health->RecordDroppedLate(1);
+        return Status::OutOfRange(
+            "reading for receptor '" + chain.receptor_id + "' at " +
+            raw.timestamp().ToString() + " is behind the release watermark " +
+            watermark.ToString() + " (lateness horizon " +
+            policy_.lateness_horizon.ToString() + ")");
+      }
+      if (raw.timestamp() <= last_tick_) chain.health->RecordLateAdmitted(1);
+    }
+    chain.pending.push_back(std::move(raw));
+    return Status::OK();
   }
   return Status::NotFound("receptor '" + receptor.string_value() +
                           "' of type '" + device_type +
                           "' is in no proximity group");
+}
+
+void EspProcessor::RecordStageError(Stage* stage,
+                                    const std::string& device_type,
+                                    const std::string& owner_id,
+                                    const Status& status) {
+  const std::string label = device_type + "/" +
+                            StageKindToString(stage->kind()) + "[" + owner_id +
+                            "]";
+  StageErrorStat& stat = stage_errors_[label];
+  stat.stage = label;
+  ++stat.errors;
+  stat.last_message = status.ToString();
+}
+
+StatusOr<Relation> EspProcessor::RunStageGuarded(
+    Stage* stage, const std::string& input_name, Relation input, Timestamp now,
+    const std::string& device_type, const std::string& owner_id,
+    ReceptorChain* chain) {
+  auto run = [&]() -> StatusOr<Relation> {
+    for (const Tuple& tuple : input.tuples()) {
+      ESP_RETURN_IF_ERROR(stage->Push(input_name, tuple));
+    }
+    return stage->Evaluate(now);
+  };
+  StatusOr<Relation> out = run();
+  if (out.ok()) return out;
+  if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
+    return out.status();
+  }
+  RecordStageError(stage, device_type, owner_id, out.status());
+  if (chain != nullptr) chain->health->RecordError(out.status());
+  // Degrade: pass the input through when it already has the stage's output
+  // shape; otherwise the stage contributes nothing this tick.
+  if (input.schema() != nullptr && stage->output_schema() != nullptr &&
+      input.schema()->Equals(*stage->output_schema())) {
+    return input;
+  }
+  return Relation(stage->output_schema());
+}
+
+Status EspProcessor::EnsureQuarantineGroup(const std::string& device_type) {
+  if (quarantine_groups_.contains(device_type)) return Status::OK();
+  ProximityGroup parking;
+  parking.id = QuarantineGroupId(device_type);
+  parking.device_type = device_type;
+  parking.granule.id = "__quarantined";
+  ESP_RETURN_IF_ERROR(granules_.AddGroup(std::move(parking)));
+  quarantine_groups_.insert(device_type);
+  return Status::OK();
 }
 
 StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
@@ -178,6 +264,11 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
   if (has_ticked_ && now < last_tick_) {
     return Status::InvalidArgument("tick times must be non-decreasing");
   }
+  // Release watermark: everything at or before it flows into the stages
+  // this tick; later readings stay in the reorder buffers so late arrivals
+  // within the horizon can still be slotted in ahead of them. With the
+  // default zero horizon the watermark is `now` and nothing is delayed.
+  const Timestamp watermark = now - policy_.lateness_horizon;
   last_tick_ = now;
   has_ticked_ = true;
 
@@ -188,27 +279,63 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
     std::vector<Relation> group_streams(type.groups.size(),
                                         Relation(type.augmented_schema));
     for (ReceptorChain& chain : type.receptors) {
-      std::sort(chain.pending.begin(), chain.pending.end(),
+      // Release the reorder buffer up to the watermark.
+      std::vector<Tuple> released;
+      std::vector<Tuple> held;
+      for (Tuple& tuple : chain.pending) {
+        if (tuple.timestamp() <= watermark) {
+          released.push_back(std::move(tuple));
+        } else {
+          held.push_back(std::move(tuple));
+        }
+      }
+      chain.pending = std::move(held);
+      std::sort(released.begin(), released.end(),
                 [](const Tuple& a, const Tuple& b) {
                   return a.timestamp() < b.timestamp();
                 });
+
+      // Liveness state machine: suspect -> quarantine -> probe/revive.
+      std::optional<Timestamp> data_time;
+      if (!released.empty()) data_time = released.back().timestamp();
+      using Transition = ReceptorHealthTracker::Transition;
+      const Transition transition = chain.health->Observe(now, data_time);
+      if (transition == Transition::kQuarantine) {
+        ESP_RETURN_IF_ERROR(EnsureQuarantineGroup(type.config.device_type));
+        ESP_RETURN_IF_ERROR(granules_.MoveReceptor(
+            type.config.device_type, chain.receptor_id,
+            QuarantineGroupId(type.config.device_type)));
+      } else if (transition == Transition::kRevive) {
+        ESP_RETURN_IF_ERROR(granules_.MoveReceptor(
+            type.config.device_type, chain.receptor_id, chain.home_group_id));
+      }
+      if (chain.health->state() == ReceptorState::kQuarantined) {
+        // Degraded mode: the receptor is out of its proximity group; its
+        // readings (if any trickle in) are discarded until a probe revives
+        // it, and Merge below runs over the surviving members only.
+        chain.health->RecordDroppedQuarantined(
+            static_cast<int64_t>(released.size()));
+        continue;
+      }
+      chain.health->RecordDelivered(static_cast<int64_t>(released.size()));
+
       Relation current(type.config.reading_schema);
-      for (Tuple& tuple : chain.pending) current.Add(std::move(tuple));
-      chain.pending.clear();
+      for (Tuple& tuple : released) current.Add(std::move(tuple));
 
       for (std::unique_ptr<Stage>& stage : chain.point) {
-        for (const Tuple& tuple : current.tuples()) {
-          ESP_RETURN_IF_ERROR(
-              stage->Push(StageInputName(StageKind::kPoint), tuple));
-        }
-        ESP_ASSIGN_OR_RETURN(current, stage->Evaluate(now));
+        ESP_ASSIGN_OR_RETURN(
+            current,
+            RunStageGuarded(stage.get(), StageInputName(StageKind::kPoint),
+                            std::move(current), now, type.config.device_type,
+                            chain.receptor_id, &chain));
       }
       if (chain.smooth != nullptr) {
-        for (const Tuple& tuple : current.tuples()) {
-          ESP_RETURN_IF_ERROR(
-              chain.smooth->Push(StageInputName(StageKind::kSmooth), tuple));
-        }
-        ESP_ASSIGN_OR_RETURN(current, chain.smooth->Evaluate(now));
+        ESP_ASSIGN_OR_RETURN(
+            current, RunStageGuarded(chain.smooth.get(),
+                                     StageInputName(StageKind::kSmooth),
+                                     std::move(current), now,
+                                     type.config.device_type,
+                                     chain.receptor_id, &chain));
       }
 
       // Stamp the spatial granule (footnote 2) and route to the receptor's
@@ -257,11 +384,12 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
         merged.push_back(std::move(input));
         continue;
       }
-      for (const Tuple& tuple : input.tuples()) {
-        ESP_RETURN_IF_ERROR(type.groups[g].merge->Push(
-            StageInputName(StageKind::kMerge), tuple));
-      }
-      ESP_ASSIGN_OR_RETURN(Relation out, type.groups[g].merge->Evaluate(now));
+      ESP_ASSIGN_OR_RETURN(
+          Relation out,
+          RunStageGuarded(type.groups[g].merge.get(),
+                          StageInputName(StageKind::kMerge), std::move(input),
+                          now, type.config.device_type, type.groups[g].group_id,
+                          nullptr));
       merged.push_back(std::move(out));
     }
 
@@ -269,11 +397,12 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
     Relation type_out;
     if (type.arbitrate != nullptr) {
       ESP_ASSIGN_OR_RETURN(Relation united, stream::Union(merged));
-      for (const Tuple& tuple : united.tuples()) {
-        ESP_RETURN_IF_ERROR(type.arbitrate->Push(
-            StageInputName(StageKind::kArbitrate), tuple));
-      }
-      ESP_ASSIGN_OR_RETURN(type_out, type.arbitrate->Evaluate(now));
+      ESP_ASSIGN_OR_RETURN(
+          type_out, RunStageGuarded(type.arbitrate.get(),
+                                    StageInputName(StageKind::kArbitrate),
+                                    std::move(united), now,
+                                    type.config.device_type,
+                                    type.config.device_type, nullptr));
     } else {
       ESP_ASSIGN_OR_RETURN(type_out, stream::Union(merged));
     }
@@ -281,8 +410,16 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
     // --- Feed Virtualize. ---
     if (virtualize_ != nullptr) {
       for (const Tuple& tuple : type_out.tuples()) {
-        ESP_RETURN_IF_ERROR(
-            virtualize_->Push(type.config.virtualize_input, tuple));
+        const Status pushed =
+            virtualize_->Push(type.config.virtualize_input, tuple);
+        if (!pushed.ok()) {
+          if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
+            return pushed;
+          }
+          RecordStageError(virtualize_.get(), type.config.device_type,
+                           type.config.virtualize_input, pushed);
+          break;  // Skip the rest of this type's feed this tick.
+        }
       }
     }
     result.per_type.emplace_back(type.config.device_type,
@@ -290,10 +427,39 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
   }
 
   if (virtualize_ != nullptr) {
-    ESP_ASSIGN_OR_RETURN(Relation out, virtualize_->Evaluate(now));
-    result.virtualized = std::move(out);
+    StatusOr<Relation> out = virtualize_->Evaluate(now);
+    if (out.ok()) {
+      result.virtualized = std::move(out).value();
+    } else if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
+      return out.status();
+    } else {
+      RecordStageError(virtualize_.get(), "virtualize", "virtualize",
+                       out.status());
+      result.virtualized = Relation(virtualize_->output_schema());
+    }
   }
   return result;
+}
+
+PipelineHealth EspProcessor::Health() const {
+  PipelineHealth health;
+  for (const TypeRuntime& type : types_) {
+    for (const ReceptorChain& chain : type.receptors) {
+      if (chain.health == nullptr) continue;
+      const ReceptorHealth& r = chain.health->health();
+      health.receptors.push_back(r);
+      health.total_late_admitted += r.late_admitted;
+      health.total_dropped_late += r.dropped_late;
+      health.total_dropped_quarantined += r.dropped_quarantined;
+      if (r.state == ReceptorState::kQuarantined) ++health.quarantined_now;
+      if (r.state == ReceptorState::kSuspect) ++health.suspect_now;
+    }
+  }
+  for (const auto& [label, stat] : stage_errors_) {
+    health.stage_errors.push_back(stat);
+    health.total_stage_errors += stat.errors;
+  }
+  return health;
 }
 
 StatusOr<SchemaRef> EspProcessor::TypeReadingSchema(

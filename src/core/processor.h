@@ -1,14 +1,17 @@
 #ifndef ESP_CORE_PROCESSOR_H_
 #define ESP_CORE_PROCESSOR_H_
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
 #include "core/granule.h"
+#include "core/health.h"
 #include "core/stage.h"
 #include "stream/tuple.h"
 
@@ -72,8 +75,18 @@ class EspProcessor {
   EspProcessor(const EspProcessor&) = delete;
   EspProcessor& operator=(const EspProcessor&) = delete;
 
+  /// Group id under which quarantined receptors of `device_type` are parked
+  /// (registered lazily on first quarantine).
+  static std::string QuarantineGroupId(const std::string& device_type);
+
   Status AddProximityGroup(ProximityGroup group);
   Status AddPipeline(DeviceTypePipeline pipeline);
+
+  /// Installs the degraded-mode policy (liveness thresholds, lateness
+  /// horizon, stage-error isolation). Must be called before Start(); the
+  /// default-constructed policy preserves the strict historical behaviour.
+  Status SetHealthPolicy(HealthPolicy policy);
+  const HealthPolicy& health_policy() const { return policy_; }
 
   /// Installs the cross-device-type Virtualize stage. Its inputs must be
   /// the pipelines' virtualize_input names.
@@ -84,6 +97,13 @@ class EspProcessor {
   Status Start();
 
   /// Routes one raw reading to its receptor's chain.
+  ///
+  /// The reading's timestamp is validated against the `(previous tick, now]`
+  /// contract: a reading at or before the release watermark of the previous
+  /// tick (last tick minus the policy's lateness horizon) is dropped,
+  /// counted in PipelineHealth, and reported as kOutOfRange; a reading that
+  /// is late but within the horizon is admitted into the receptor's reorder
+  /// buffer and released, in timestamp order, once the watermark passes it.
   Status Push(const std::string& device_type, stream::Tuple raw);
 
   struct TickResult {
@@ -110,15 +130,23 @@ class EspProcessor {
   /// readings — bounded in steady state by window sizes, not stream length.
   size_t BufferedTuples() const;
 
+  /// Snapshot of per-receptor liveness and per-stage error-isolation
+  /// tallies. Valid after Start(); cheap enough to poll every tick.
+  PipelineHealth Health() const;
+
   const GranuleMap& granules() const { return granules_; }
 
  private:
   struct ReceptorChain {
     std::string receptor_id;
-    std::string granule_id;  // Spatial granule this receptor observes.
+    std::string granule_id;      // Spatial granule this receptor observes.
+    std::string home_group_id;   // Group to rejoin on revival.
     std::vector<std::unique_ptr<Stage>> point;
     std::unique_ptr<Stage> smooth;  // May be null.
+    /// Arrival + reorder buffer; tuples are released (sorted) once the tick
+    /// watermark passes their timestamp.
     std::vector<stream::Tuple> pending;
+    std::unique_ptr<ReceptorHealthTracker> health;  // Created at Start().
   };
   struct GroupChain {
     std::string group_id;
@@ -139,9 +167,35 @@ class EspProcessor {
   static StatusOr<stream::SchemaRef> AugmentSchema(
       const stream::SchemaRef& schema);
 
+  /// Feeds `input` through `stage` and evaluates it at `now`. On a non-OK
+  /// stage result under kDegrade, records the error (against `type` /
+  /// `owner_id`, and `chain` when the stage belongs to a receptor) and
+  /// degrades: the input passes through unchanged when its schema matches
+  /// the stage's output schema, otherwise the stage contributes an empty
+  /// relation. Under kFailFast the error propagates.
+  StatusOr<stream::Relation> RunStageGuarded(Stage* stage,
+                                             const std::string& input_name,
+                                             stream::Relation input,
+                                             Timestamp now,
+                                             const std::string& device_type,
+                                             const std::string& owner_id,
+                                             ReceptorChain* chain);
+
+  /// Records one stage error under its "<type>/<Kind>[owner]" label.
+  void RecordStageError(Stage* stage, const std::string& device_type,
+                        const std::string& owner_id, const Status& status);
+
+  /// Registers the per-type quarantine parking group on first use.
+  Status EnsureQuarantineGroup(const std::string& device_type);
+
   GranuleMap granules_;
   std::vector<TypeRuntime> types_;
   std::unique_ptr<Stage> virtualize_;
+  HealthPolicy policy_;
+  /// Stage-error tallies keyed by stage label (deterministic order).
+  std::map<std::string, StageErrorStat> stage_errors_;
+  /// Device types whose quarantine group has been registered.
+  std::set<std::string> quarantine_groups_;
   bool started_ = false;
   bool has_ticked_ = false;
   Timestamp last_tick_;

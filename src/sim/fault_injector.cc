@@ -1,0 +1,255 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace esp::sim {
+
+using stream::Tuple;
+using stream::Value;
+
+FaultInjector::FaultInjector(FaultInjectorConfig config,
+                             std::vector<std::string> receptor_ids)
+    : config_(std::move(config)),
+      receptor_ids_(std::move(receptor_ids)),
+      event_rng_(0) {
+  Rng rng(config_.seed);
+  for (const std::string& id : receptor_ids_) plans_[id];
+
+  const size_t n = receptor_ids_.size();
+  auto pick_fraction = [&](double fraction) {
+    // round(n * fraction) receptors, chosen by a seeded Fisher-Yates
+    // shuffle over the construction-order index list.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    for (size_t i = n; i > 1; --i) {
+      const size_t j = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    const size_t count = static_cast<size_t>(
+        std::llround(static_cast<double>(n) * fraction));
+    order.resize(std::min(count, n));
+    return order;
+  };
+
+  // Deaths.
+  if (config_.death_fraction > 0.0 && n > 0) {
+    const double begin = config_.horizon.seconds() * config_.death_window_begin;
+    const double end = config_.horizon.seconds() * config_.death_window_end;
+    for (size_t index : pick_fraction(config_.death_fraction)) {
+      ReceptorPlan& plan = plans_[receptor_ids_[index]];
+      plan.die_at = Timestamp::Seconds(rng.Uniform(begin, std::max(begin, end)));
+      if (config_.revive_after.has_value()) {
+        plan.revive_at = *plan.die_at + *config_.revive_after;
+      }
+    }
+  }
+
+  // Dropout bursts.
+  if (config_.dropout_bursts_per_minute > 0.0) {
+    const double expected =
+        config_.dropout_bursts_per_minute * config_.horizon.seconds() / 60.0;
+    for (const std::string& id : receptor_ids_) {
+      ReceptorPlan& plan = plans_[id];
+      int64_t bursts = static_cast<int64_t>(expected);
+      if (rng.Bernoulli(expected - std::floor(expected))) ++bursts;
+      for (int64_t b = 0; b < bursts; ++b) {
+        const Timestamp begin =
+            Timestamp::Seconds(rng.Uniform(0.0, config_.horizon.seconds()));
+        plan.bursts.emplace_back(begin, begin + config_.dropout_burst_length);
+      }
+      std::sort(plan.bursts.begin(), plan.bursts.end());
+    }
+  }
+
+  // Stuck-at windows.
+  if (config_.stuck_fraction > 0.0 && !config_.value_column.empty() && n > 0) {
+    const double latest = std::max(
+        0.0, config_.horizon.seconds() - config_.stuck_length.seconds());
+    for (size_t index : pick_fraction(config_.stuck_fraction)) {
+      ReceptorPlan& plan = plans_[receptor_ids_[index]];
+      const Timestamp begin = Timestamp::Seconds(rng.Uniform(0.0, latest));
+      plan.stuck = {begin, begin + config_.stuck_length};
+    }
+  }
+
+  // Clock skew.
+  if (config_.clock_skew_fraction > 0.0 && n > 0 &&
+      !config_.max_clock_skew.IsZero()) {
+    const double max_skew = config_.max_clock_skew.seconds();
+    for (size_t index : pick_fraction(config_.clock_skew_fraction)) {
+      ReceptorPlan& plan = plans_[receptor_ids_[index]];
+      plan.skew = Duration::Seconds(rng.Uniform(-max_skew, max_skew));
+      plan.has_skew = true;
+    }
+  }
+
+  // Per-event randomness (spikes, duplicates, reordering) comes from an
+  // independent stream so schedule layout and event faults do not perturb
+  // each other across configurations.
+  event_rng_ = rng.Fork();
+}
+
+const FaultInjector::ReceptorPlan* FaultInjector::PlanFor(
+    const std::string& receptor_id) const {
+  const auto it = plans_.find(receptor_id);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+FaultInjector::ReceptorPlan* FaultInjector::PlanFor(
+    const std::string& receptor_id) {
+  const auto it = plans_.find(receptor_id);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+bool FaultInjector::Transform(Event* event) {
+  ReceptorPlan* plan = PlanFor(event->receptor_id);
+  if (plan == nullptr) return true;  // Unknown receptor: pass through.
+  const Timestamp t = event->tuple.timestamp();
+
+  // Death window (with optional revival).
+  if (plan->die_at.has_value() && t >= *plan->die_at &&
+      (!plan->revive_at.has_value() || t < *plan->revive_at)) {
+    ++counters_.dropped_dead;
+    return false;
+  }
+  // Dropout bursts.
+  for (const auto& [begin, end] : plan->bursts) {
+    if (t >= begin && t < end) {
+      ++counters_.dropped_burst;
+      return false;
+    }
+    if (begin > t) break;  // Bursts are sorted.
+  }
+
+  // Value faults.
+  const auto schema = event->tuple.schema();
+  size_t value_index = 0;
+  bool has_value_index = false;
+  if (!config_.value_column.empty() && schema != nullptr) {
+    const std::optional<size_t> found = schema->IndexOf(config_.value_column);
+    if (found.has_value() &&
+        schema->field(*found).type == stream::DataType::kDouble) {
+      value_index = *found;
+      has_value_index = true;
+    }
+  }
+  std::vector<Value> values = event->tuple.values();
+  bool values_changed = false;
+  if (has_value_index && !values[value_index].is_null()) {
+    if (plan->stuck.has_value() && t >= plan->stuck->first &&
+        t < plan->stuck->second) {
+      if (!plan->stuck_value.has_value()) {
+        plan->stuck_value = values[value_index].double_value();
+      }
+      values[value_index] = Value::Double(*plan->stuck_value);
+      values_changed = true;
+      ++counters_.stuck;
+    } else if (config_.spike_prob > 0.0 &&
+               event_rng_.Bernoulli(config_.spike_prob)) {
+      const double sign = event_rng_.Bernoulli(0.5) ? 1.0 : -1.0;
+      values[value_index] = Value::Double(
+          values[value_index].double_value() + sign * config_.spike_magnitude);
+      values_changed = true;
+      ++counters_.spiked;
+    }
+  }
+
+  // Clock skew.
+  Timestamp delivered_at = t;
+  if (plan->has_skew) {
+    delivered_at = t + plan->skew;
+    ++counters_.skewed;
+  }
+
+  if (values_changed || delivered_at != t) {
+    event->tuple = Tuple(schema, std::move(values), delivered_at);
+  }
+  return true;
+}
+
+std::vector<FaultInjector::Event> FaultInjector::Process(Event event) {
+  ++counters_.seen;
+  std::vector<Event> out;
+
+  // Release delayed readings whose time has come (by original event time).
+  const Timestamp now = event.tuple.timestamp();
+  while (!delayed_.empty() && delayed_.begin()->first <= now) {
+    out.push_back(std::move(delayed_.begin()->second));
+    delayed_.erase(delayed_.begin());
+  }
+
+  if (!Transform(&event)) return out;
+
+  const bool duplicate = config_.duplicate_prob > 0.0 &&
+                         event_rng_.Bernoulli(config_.duplicate_prob);
+  const bool delay = config_.reorder_prob > 0.0 &&
+                     !config_.max_reorder_delay.IsZero() &&
+                     event_rng_.Bernoulli(config_.reorder_prob);
+  if (delay) {
+    const Duration by = Duration::Seconds(event_rng_.Uniform(
+        0.0, config_.max_reorder_delay.seconds()));
+    ++counters_.delayed;
+    if (duplicate) {
+      ++counters_.duplicated;
+      delayed_.emplace(now + by, event);
+    }
+    delayed_.emplace(now + by, std::move(event));
+    return out;
+  }
+  if (duplicate) {
+    ++counters_.duplicated;
+    out.push_back(event);
+  }
+  out.push_back(std::move(event));
+  return out;
+}
+
+std::vector<FaultInjector::Event> FaultInjector::Flush() {
+  std::vector<Event> out;
+  for (auto& [release_at, event] : delayed_) {
+    (void)release_at;
+    out.push_back(std::move(event));
+  }
+  delayed_.clear();
+  return out;
+}
+
+std::string FaultInjector::ScheduleToString() const {
+  std::string out = StrFormat("fault schedule (seed=%llu):\n",
+                              static_cast<unsigned long long>(config_.seed));
+  for (const std::string& id : receptor_ids_) {
+    const ReceptorPlan* plan = PlanFor(id);
+    if (plan == nullptr) continue;
+    std::string line;
+    if (plan->die_at.has_value()) {
+      line += StrFormat(" dies@%lldus",
+                        static_cast<long long>(plan->die_at->micros()));
+      if (plan->revive_at.has_value()) {
+        line += StrFormat(" revives@%lldus",
+                          static_cast<long long>(plan->revive_at->micros()));
+      }
+    }
+    for (const auto& [begin, end] : plan->bursts) {
+      line += StrFormat(" burst[%lld,%lld)us",
+                        static_cast<long long>(begin.micros()),
+                        static_cast<long long>(end.micros()));
+    }
+    if (plan->stuck.has_value()) {
+      line += StrFormat(" stuck[%lld,%lld)us",
+                        static_cast<long long>(plan->stuck->first.micros()),
+                        static_cast<long long>(plan->stuck->second.micros()));
+    }
+    if (plan->has_skew) {
+      line += StrFormat(" skew=%lldus",
+                        static_cast<long long>(plan->skew.micros()));
+    }
+    if (!line.empty()) out += "  " + id + ":" + line + "\n";
+  }
+  return out;
+}
+
+}  // namespace esp::sim

@@ -1,0 +1,148 @@
+#ifndef ESP_SIM_FAULT_INJECTOR_H_
+#define ESP_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "stream/tuple.h"
+
+namespace esp::sim {
+
+/// \brief Configuration of the fault injector. Every fault class is off by
+/// default; enable the mix a chaos run needs. All scheduling randomness is
+/// drawn from `seed` through common::Rng, so an identical (config, receptor
+/// list) pair always produces a bit-identical fault schedule and injected
+/// stream — chaos runs are reproducible.
+struct FaultInjectorConfig {
+  uint64_t seed = 1;
+
+  /// Experiment length the schedule is laid out over.
+  Duration horizon = Duration::Seconds(700);
+
+  // --- Receptor death / revival (the paper's fail-dirty motes). ---
+  /// Fraction of receptors killed; round(n * fraction) receptors are chosen
+  /// by a seeded shuffle and die at a uniform time inside the death window.
+  double death_fraction = 0.0;
+  /// Death window as fractions of `horizon`.
+  double death_window_begin = 0.25;
+  double death_window_end = 0.75;
+  /// When set, dead receptors come back after this long (revival).
+  std::optional<Duration> revive_after;
+
+  // --- Intermittent dropout bursts (lossy links / epoch-yield dips). ---
+  /// Expected bursts per receptor per minute; each burst silences the
+  /// receptor for `dropout_burst_length`.
+  double dropout_bursts_per_minute = 0.0;
+  Duration dropout_burst_length = Duration::Seconds(2);
+
+  // --- Value faults on `value_column` (ignored when the column is empty
+  // --- or not a double in the reading schema). ---
+  std::string value_column;
+  /// Fraction of receptors that freeze (stuck-at) for `stuck_length`,
+  /// repeating the first value observed inside the stuck window.
+  double stuck_fraction = 0.0;
+  Duration stuck_length = Duration::Seconds(30);
+  /// Per-reading probability of adding a +/- `spike_magnitude` excursion.
+  double spike_prob = 0.0;
+  double spike_magnitude = 0.0;
+
+  // --- Delivery faults. ---
+  /// Per-reading probability of the reading being emitted twice.
+  double duplicate_prob = 0.0;
+  /// Per-reading probability of delayed (out-of-order) delivery, by a
+  /// uniform delay in (0, max_reorder_delay].
+  double reorder_prob = 0.0;
+  Duration max_reorder_delay = Duration::Zero();
+  /// Fraction of receptors whose tuples carry a constant clock skew drawn
+  /// uniformly from [-max_clock_skew, +max_clock_skew].
+  double clock_skew_fraction = 0.0;
+  Duration max_clock_skew = Duration::Zero();
+};
+
+/// \brief A seeded, composable fault layer over any receptor reading
+/// stream.
+///
+/// Usage: construct with the receptor ids the stream contains, then feed
+/// every reading (converted to a tuple) in arrival order through Process().
+/// The injector returns the readings to actually deliver — possibly none
+/// (death, dropout), several (duplicates, released reordered readings), or
+/// altered copies (stuck-at, spikes, clock skew). Call Flush() after the
+/// last reading to drain still-delayed readings.
+///
+/// Deterministic by construction: the death/burst/stuck/skew schedule is
+/// fixed in the constructor, and per-reading randomness comes from one
+/// forked Rng consumed in arrival order.
+class FaultInjector {
+ public:
+  struct Event {
+    std::string receptor_id;
+    stream::Tuple tuple;
+  };
+
+  /// Running totals of what the injector did (for logs and tests).
+  struct Counters {
+    int64_t seen = 0;
+    int64_t dropped_dead = 0;
+    int64_t dropped_burst = 0;
+    int64_t stuck = 0;
+    int64_t spiked = 0;
+    int64_t duplicated = 0;
+    int64_t delayed = 0;
+    int64_t skewed = 0;
+  };
+
+  FaultInjector(FaultInjectorConfig config,
+                std::vector<std::string> receptor_ids);
+
+  /// Transforms one arriving reading; returns the readings to deliver now,
+  /// in order (released delayed readings first). Readings must arrive in
+  /// non-decreasing timestamp order.
+  std::vector<Event> Process(Event event);
+
+  /// Drains every still-delayed reading, in release order.
+  std::vector<Event> Flush();
+
+  /// Canonical rendering of the resolved fault schedule; bit-identical for
+  /// identical (config, receptor list) inputs.
+  std::string ScheduleToString() const;
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct ReceptorPlan {
+    std::optional<Timestamp> die_at;
+    std::optional<Timestamp> revive_at;
+    std::vector<std::pair<Timestamp, Timestamp>> bursts;  // [begin, end)
+    std::optional<std::pair<Timestamp, Timestamp>> stuck;  // [begin, end)
+    Duration skew;
+    bool has_skew = false;
+    /// Value frozen on entry into the stuck window (captured at runtime).
+    std::optional<double> stuck_value;
+  };
+
+  const ReceptorPlan* PlanFor(const std::string& receptor_id) const;
+  ReceptorPlan* PlanFor(const std::string& receptor_id);
+
+  /// Applies value/timestamp faults in place; returns false when the
+  /// reading is dropped entirely (death or burst).
+  bool Transform(Event* event);
+
+  FaultInjectorConfig config_;
+  std::vector<std::string> receptor_ids_;  // Construction order.
+  std::map<std::string, ReceptorPlan> plans_;
+  Rng event_rng_;
+  /// Delayed readings keyed by release time; insertion order preserved for
+  /// equal keys.
+  std::multimap<Timestamp, Event> delayed_;
+  Counters counters_;
+};
+
+}  // namespace esp::sim
+
+#endif  // ESP_SIM_FAULT_INJECTOR_H_

@@ -33,69 +33,52 @@ Status WriteRelationCsv(const std::string& path, const Relation& relation) {
 
 StatusOr<Relation> ReadRelationCsv(const std::string& path,
                                    stream::SchemaRef schema) {
-  ESP_ASSIGN_OR_RETURN(auto rows, CsvReader::ReadFile(path));
+  const size_t expected_columns = schema->num_fields() + 1;
+  // The reader rejects ragged rows up front, naming the offending row.
+  ESP_ASSIGN_OR_RETURN(auto rows, CsvReader::ReadFile(path, expected_columns));
   if (rows.empty()) {
     return Status::ParseError("trace file '" + path + "' has no header");
-  }
-  const size_t expected_columns = schema->num_fields() + 1;
-  if (rows[0].size() != expected_columns) {
-    return Status::ParseError(
-        "trace header has " + std::to_string(rows[0].size()) +
-        " columns, schema expects " + std::to_string(expected_columns));
   }
   Relation relation(schema);
   for (size_t r = 1; r < rows.size(); ++r) {
     const std::vector<std::string>& row = rows[r];
-    if (row.size() != expected_columns) {
-      return Status::ParseError("trace row " + std::to_string(r) +
-                                " has wrong column count");
-    }
-    int64_t micros = 0;
-    if (!StrToInt64(row[0], &micros)) {
-      return Status::ParseError("bad time_us in trace row " +
-                                std::to_string(r));
-    }
+    const size_t row_number = r + 1;  // 1-based, counting the header.
+    ESP_ASSIGN_OR_RETURN(const int64_t micros,
+                         CsvReader::Int64Field(row, 0, row_number));
     std::vector<Value> values;
     values.reserve(schema->num_fields());
     for (size_t c = 0; c < schema->num_fields(); ++c) {
-      const std::string& cell = row[c + 1];
-      if (cell.empty()) {
+      if (row[c + 1].empty()) {
         values.push_back(Value::Null());
         continue;
       }
       switch (schema->field(c).type) {
         case DataType::kInt64: {
-          int64_t v = 0;
-          if (!StrToInt64(cell, &v)) {
-            return Status::ParseError("bad int64 '" + cell + "' in row " +
-                                      std::to_string(r));
-          }
+          ESP_ASSIGN_OR_RETURN(const int64_t v,
+                               CsvReader::Int64Field(row, c + 1, row_number));
           values.push_back(Value::Int64(v));
           break;
         }
         case DataType::kDouble: {
-          double v = 0;
-          if (!StrToDouble(cell, &v)) {
-            return Status::ParseError("bad double '" + cell + "' in row " +
-                                      std::to_string(r));
-          }
+          ESP_ASSIGN_OR_RETURN(const double v,
+                               CsvReader::DoubleField(row, c + 1, row_number));
           values.push_back(Value::Double(v));
           break;
         }
-        case DataType::kBool:
-          values.push_back(Value::Bool(cell == "true"));
+        case DataType::kBool: {
+          ESP_ASSIGN_OR_RETURN(const bool v,
+                               CsvReader::BoolField(row, c + 1, row_number));
+          values.push_back(Value::Bool(v));
           break;
+        }
         case DataType::kString:
-          values.push_back(Value::String(cell));
+          values.push_back(Value::String(row[c + 1]));
           break;
         case DataType::kTimestamp: {
-          // Timestamps round-trip via "t=<seconds>s" or raw micros.
-          int64_t v = 0;
-          if (StrToInt64(cell, &v)) {
-            values.push_back(Value::Time(Timestamp::Micros(v)));
-          } else {
-            return Status::ParseError("bad timestamp '" + cell + "'");
-          }
+          // Timestamps round-trip as raw micros.
+          ESP_ASSIGN_OR_RETURN(const int64_t v,
+                               CsvReader::Int64Field(row, c + 1, row_number));
+          values.push_back(Value::Time(Timestamp::Micros(v)));
           break;
         }
         case DataType::kNull:

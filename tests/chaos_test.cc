@@ -1,0 +1,264 @@
+// Chaos tests: the ShelfWorld trace driven through the FaultInjector and
+// the hardened processor. Asserts (a) fault schedules and injected streams
+// are bit-reproducible for a fixed seed, (b) with faults disabled the chaos
+// harness reproduces the Figure 3 Smooth+Arbitrate regime, and (c) with 20%
+// of the receptor fleet killed mid-run under kDegrade the pipeline
+// completes every tick, quarantines the dead receptors, and keeps the
+// cleaned-output error within 2x the fault-free value.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bench/chaos_experiment.h"
+#include "sim/fault_injector.h"
+#include "sim/reading.h"
+#include "sim/shelf_world.h"
+
+namespace esp::bench {
+namespace {
+
+using sim::FaultInjector;
+using sim::FaultInjectorConfig;
+
+FaultInjectorConfig FullMix(uint64_t seed) {
+  FaultInjectorConfig config;
+  config.seed = seed;
+  config.horizon = Duration::Seconds(120);
+  config.death_fraction = 0.25;
+  config.revive_after = Duration::Seconds(20);
+  config.dropout_bursts_per_minute = 0.5;
+  config.duplicate_prob = 0.05;
+  config.reorder_prob = 0.05;
+  config.max_reorder_delay = Duration::Seconds(0.5);
+  config.clock_skew_fraction = 0.5;
+  config.max_clock_skew = Duration::Seconds(0.1);
+  return config;
+}
+
+std::vector<std::string> FleetIds(int n) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < n; ++i) ids.push_back("r" + std::to_string(i));
+  return ids;
+}
+
+/// Runs a synthetic reading stream through an injector and renders every
+/// delivered event to one canonical string.
+std::string InjectedStream(const FaultInjectorConfig& config) {
+  FaultInjector injector(config, FleetIds(8));
+  std::string out;
+  auto render = [&out](const FaultInjector::Event& event) {
+    out += event.receptor_id + "@" +
+           std::to_string(event.tuple.timestamp().micros()) + ":" +
+           event.tuple.Get("tag_id")->string_value() + "\n";
+  };
+  for (int step = 0; step < 1200; ++step) {
+    const double t = 0.1 * step;
+    const std::string receptor = "r" + std::to_string(step % 8);
+    const std::string tag = "tag" + std::to_string(step % 3);
+    for (const FaultInjector::Event& event : injector.Process(
+             {receptor, sim::ToTuple(sim::RfidReading{
+                            receptor, tag, Timestamp::Seconds(t)})})) {
+      render(event);
+    }
+  }
+  for (const FaultInjector::Event& event : injector.Flush()) render(event);
+  return out;
+}
+
+TEST(FaultInjectorTest, ScheduleAndStreamAreReproducibleAcrossSeeds) {
+  for (const uint64_t seed : {1ull, 7ull, 991ull}) {
+    const FaultInjectorConfig config = FullMix(seed);
+    FaultInjector a(config, FleetIds(8));
+    FaultInjector b(config, FleetIds(8));
+    EXPECT_EQ(a.ScheduleToString(), b.ScheduleToString()) << "seed " << seed;
+    EXPECT_EQ(InjectedStream(config), InjectedStream(config))
+        << "seed " << seed;
+  }
+  // Different seeds produce different schedules.
+  EXPECT_NE(FaultInjector(FullMix(1), FleetIds(8)).ScheduleToString(),
+            FaultInjector(FullMix(2), FleetIds(8)).ScheduleToString());
+}
+
+TEST(FaultInjectorTest, DeathDropsReadingsInsideTheWindowOnly) {
+  FaultInjectorConfig config;
+  config.seed = 3;
+  config.horizon = Duration::Seconds(100);
+  config.death_fraction = 1.0;  // Every receptor dies.
+  config.death_window_begin = 0.4;
+  config.death_window_end = 0.6;
+  config.revive_after = Duration::Seconds(10);
+  FaultInjector injector(config, {"r0"});
+
+  int delivered_before = 0;
+  int delivered_total = 0;
+  bool saw_gap = false;
+  for (int step = 0; step < 1000; ++step) {
+    const double t = 0.1 * step;
+    const auto out = injector.Process(
+        {"r0", sim::ToTuple(sim::RfidReading{"r0", "tag",
+                                             Timestamp::Seconds(t)})});
+    delivered_total += static_cast<int>(out.size());
+    if (t < 40.0) delivered_before += static_cast<int>(out.size());
+    if (out.empty()) saw_gap = true;
+  }
+  // Deaths only occur inside [40, 60]; before that everything flows.
+  EXPECT_EQ(delivered_before, 400);
+  EXPECT_TRUE(saw_gap);
+  EXPECT_EQ(injector.counters().dropped_dead, 1000 - delivered_total);
+  // Revival after 10 s: the receptor came back, so at most ~100+10 s of
+  // readings were lost.
+  EXPECT_LE(injector.counters().dropped_dead, 101);
+  EXPECT_GT(injector.counters().dropped_dead, 0);
+}
+
+TEST(FaultInjectorTest, StuckFreezesValueAndSpikesPerturbIt) {
+  FaultInjectorConfig config;
+  config.seed = 5;
+  config.horizon = Duration::Seconds(100);
+  config.value_column = "temp";
+  config.stuck_fraction = 1.0;
+  config.stuck_length = Duration::Seconds(30);
+  FaultInjector stuck_injector(config, {"m0"});
+  int64_t stuck_seen = 0;
+  double frozen = 0.0;
+  for (int step = 0; step < 1000; ++step) {
+    const double t = 0.1 * step;
+    auto out = stuck_injector.Process(
+        {"m0", sim::ToTempTuple(sim::MoteReading{"m0", 20.0 + 0.01 * step,
+                                                 Timestamp::Seconds(t)})});
+    ASSERT_EQ(out.size(), 1u);
+    const double v = out[0].tuple.Get("temp")->double_value();
+    // Inside the stuck window every reading repeats the first frozen value.
+    if (stuck_injector.counters().stuck > stuck_seen) {
+      if (stuck_seen == 0) frozen = v;
+      stuck_seen = stuck_injector.counters().stuck;
+      EXPECT_DOUBLE_EQ(v, frozen);
+    } else {
+      EXPECT_DOUBLE_EQ(v, 20.0 + 0.01 * step);  // Outside: untouched.
+    }
+  }
+  EXPECT_GT(stuck_injector.counters().stuck, 250);  // ~300 samples in 30 s.
+
+  FaultInjectorConfig spike;
+  spike.seed = 5;
+  spike.horizon = Duration::Seconds(100);
+  spike.value_column = "temp";
+  spike.spike_prob = 0.1;
+  spike.spike_magnitude = 50.0;
+  FaultInjector spike_injector(spike, {"m0"});
+  int spiked = 0;
+  for (int step = 0; step < 1000; ++step) {
+    auto out = spike_injector.Process(
+        {"m0", sim::ToTempTuple(sim::MoteReading{
+                   "m0", 20.0, Timestamp::Seconds(0.1 * step)})});
+    ASSERT_EQ(out.size(), 1u);
+    const double v = out[0].tuple.Get("temp")->double_value();
+    if (v != 20.0) {
+      EXPECT_DOUBLE_EQ(std::abs(v - 20.0), 50.0);
+      ++spiked;
+    }
+  }
+  EXPECT_EQ(spiked, spike_injector.counters().spiked);
+  EXPECT_GT(spiked, 50);
+  EXPECT_LT(spiked, 200);
+}
+
+TEST(FaultInjectorTest, DuplicatesAndReorderingAreBoundedAndComplete) {
+  FaultInjectorConfig config;
+  config.seed = 11;
+  config.horizon = Duration::Seconds(100);
+  config.duplicate_prob = 0.1;
+  config.reorder_prob = 0.1;
+  config.max_reorder_delay = Duration::Seconds(1);
+  FaultInjector injector(config, {"r0"});
+
+  int delivered = 0;
+  for (int step = 0; step < 1000; ++step) {
+    delivered += static_cast<int>(
+        injector
+            .Process({"r0", sim::ToTuple(sim::RfidReading{
+                                "r0", "tag",
+                                Timestamp::Seconds(0.1 * step)})})
+            .size());
+  }
+  delivered += static_cast<int>(injector.Flush().size());
+  // Nothing is lost: 1000 readings plus the duplicates all come out.
+  EXPECT_EQ(delivered, 1000 + static_cast<int>(injector.counters().duplicated));
+  EXPECT_GT(injector.counters().duplicated, 50);
+  EXPECT_GT(injector.counters().delayed, 50);
+}
+
+TEST(ChaosShelfTest, FaultFreeRunMatchesFigure3Regime) {
+  sim::ShelfWorld::Config world;
+  const ChaosShelfOptions options;  // No faults, strict policy, 5 shards.
+  auto run = RunChaosShelfExperiment(world, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->run_status.ok()) << run->run_status;
+  EXPECT_EQ(run->ticks_completed, run->ticks_total);
+  // The sharded fleet with a summing Merge reproduces the Figure 3
+  // Smooth+Arbitrate band (paper 0.04, measured ~0.036).
+  EXPECT_LT(run->series.average_relative_error, 0.07);
+  EXPECT_EQ(run->series.restock_alerts_per_second, 0.0);
+  EXPECT_EQ(run->health.quarantined_now, 0u);
+  EXPECT_EQ(run->health.total_stage_errors, 0);
+}
+
+TEST(ChaosShelfTest, TwentyPercentDeathsDegradeGracefully) {
+  sim::ShelfWorld::Config world;
+
+  sim::FaultInjectorConfig faults;
+  faults.seed = 7;
+  faults.death_fraction = 0.2;  // 2 of the 10 sharded receptors.
+
+  // Fault-free baseline with the identical deployment.
+  ChaosShelfOptions baseline;
+  auto fault_free = RunChaosShelfExperiment(world, baseline);
+  ASSERT_TRUE(fault_free.ok()) << fault_free.status();
+
+  // Seed behaviour: without liveness tracking the run completes but the
+  // pipeline degrades silently — nothing in the health report flags the
+  // dead receptors.
+  ChaosShelfOptions strict;
+  strict.faults = faults;
+  strict.stop_on_push_error = true;
+  auto silent = RunChaosShelfExperiment(world, strict);
+  ASSERT_TRUE(silent.ok()) << silent.status();
+  EXPECT_TRUE(silent->run_status.ok()) << silent->run_status;
+  EXPECT_GT(silent->injected.dropped_dead, 0);
+  EXPECT_EQ(silent->health.quarantined_now, 0u);
+  EXPECT_EQ(silent->health.suspect_now, 0u);
+
+  // Hardened run: same faults under the degraded-mode policy.
+  ChaosShelfOptions hardened;
+  hardened.faults = faults;
+  hardened.policy.staleness_threshold = Duration::Seconds(2);
+  hardened.policy.quarantine_timeout = Duration::Seconds(5);
+  hardened.policy.lateness_horizon = Duration::Seconds(0.5);
+  auto run = RunChaosShelfExperiment(world, hardened);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  // Every tick completed and the dead receptors were quarantined.
+  EXPECT_TRUE(run->run_status.ok()) << run->run_status;
+  EXPECT_EQ(run->ticks_completed, run->ticks_total);
+  EXPECT_EQ(run->health.quarantined_now, 2u);
+  int64_t quarantines = 0;
+  for (const core::ReceptorHealth& r : run->health.receptors) {
+    quarantines += r.quarantine_count;
+  }
+  EXPECT_GE(quarantines, 2);
+
+  // Cleaned-output error stays within 2x the fault-free value.
+  EXPECT_LT(run->series.average_relative_error,
+            2.0 * fault_free->series.average_relative_error);
+
+  // And the whole chaos run is reproducible: same seed, same error.
+  auto rerun = RunChaosShelfExperiment(world, hardened);
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  EXPECT_EQ(rerun->series.average_relative_error,
+            run->series.average_relative_error);
+  EXPECT_EQ(rerun->fault_schedule, run->fault_schedule);
+}
+
+}  // namespace
+}  // namespace esp::bench

@@ -58,6 +58,44 @@ TEST(CsvParseTest, EmptyInputYieldsNoRows) {
   EXPECT_TRUE(rows->empty());
 }
 
+TEST(CsvParseTest, ExpectedColumnsRejectsRaggedRowWithRowNumber) {
+  auto rows = CsvReader::ParseString("a,b,c\n1,2,3\n4,5\n", 3);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+  EXPECT_NE(rows.status().message().find("row 3"), std::string::npos)
+      << rows.status();
+  EXPECT_TRUE(CsvReader::ParseString("a,b,c\n1,2,3\n", 3).ok());
+}
+
+TEST(CsvFieldTest, TypedAccessors) {
+  const std::vector<std::string> row = {"42", "3.5", "TRUE", "oops"};
+  auto i = CsvReader::Int64Field(row, 0, 7);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(*i, 42);
+  auto d = CsvReader::DoubleField(row, 1, 7);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 3.5);
+  auto b = CsvReader::BoolField(row, 2, 7);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*b);
+}
+
+TEST(CsvFieldTest, BadValuesNameRowAndColumn) {
+  const std::vector<std::string> row = {"notanint", "yes"};
+  auto i = CsvReader::Int64Field(row, 0, 12);
+  ASSERT_FALSE(i.ok());
+  EXPECT_EQ(i.status().code(), StatusCode::kParseError);
+  EXPECT_NE(i.status().message().find("row 12"), std::string::npos);
+  // "yes" is not silently coerced to false.
+  auto b = CsvReader::BoolField(row, 1, 12);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kParseError);
+  // Out-of-range column is a parse error, not UB.
+  auto missing = CsvReader::DoubleField(row, 5, 12);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kParseError);
+}
+
 TEST(CsvRoundTripTest, WriteThenRead) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "esp_csv_test.csv").string();

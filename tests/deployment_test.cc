@@ -189,6 +189,44 @@ query = SELECT 1 AS one
                    .ok());
 }
 
+TEST(LoadDeploymentTest, HealthSectionConfiguresPolicy) {
+  const std::string spec = std::string(kShelfDeployment) + R"(
+[health]
+staleness_threshold = 2 sec
+quarantine_timeout = 5 sec
+revival_backoff = 500 msec
+max_revival_backoff = 8 sec
+lateness_horizon = 250 msec
+stage_error_policy = failfast
+)";
+  auto processor = LoadDeployment(spec);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  const HealthPolicy& policy = (*processor)->health_policy();
+  EXPECT_EQ(policy.staleness_threshold, Duration::Seconds(2));
+  EXPECT_EQ(policy.quarantine_timeout, Duration::Seconds(5));
+  EXPECT_EQ(policy.revival_backoff, Duration::Seconds(0.5));
+  EXPECT_EQ(policy.max_revival_backoff, Duration::Seconds(8));
+  EXPECT_EQ(policy.lateness_horizon, Duration::Seconds(0.25));
+  EXPECT_EQ(policy.stage_error_policy, StageErrorPolicy::kFailFast);
+
+  // Bad policy values are parse errors.
+  EXPECT_FALSE(LoadDeployment(std::string(kShelfDeployment) +
+                              "\n[health]\nstage_error_policy = maybe\n")
+                   .ok());
+  EXPECT_FALSE(LoadDeployment(std::string(kShelfDeployment) +
+                              "\n[health]\nlateness_horizon = soon\n")
+                   .ok());
+  // Two health sections.
+  EXPECT_FALSE(LoadDeployment(std::string(kShelfDeployment) +
+                              "\n[health]\n\n[health]\n")
+                   .ok());
+  // Inconsistent thresholds are rejected by SetHealthPolicy.
+  EXPECT_FALSE(LoadDeployment(std::string(kShelfDeployment) +
+                              "\n[health]\nstaleness_threshold = 1 sec\n"
+                              "lateness_horizon = 1 sec\n")
+                   .ok());
+}
+
 TEST(LoadDeploymentTest, CommentsAndContinuationsHandled) {
   constexpr const char* kSpec = R"(
 # leading comment

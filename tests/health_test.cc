@@ -1,0 +1,382 @@
+// Unit tests for the degraded-mode machinery: the quarantine state
+// machine, the reorder buffer's lateness-horizon edges, and per-stage
+// error isolation (kDegrade vs kFailFast).
+
+#include "core/health.h"
+
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "sim/reading.h"
+
+namespace esp::core {
+namespace {
+
+using stream::Relation;
+using stream::Tuple;
+using stream::Value;
+using Transition = ReceptorHealthTracker::Transition;
+
+Tuple Rfid(const std::string& reader, const std::string& tag, double t) {
+  return sim::ToTuple(sim::RfidReading{reader, tag, Timestamp::Seconds(t)});
+}
+
+HealthPolicy LivenessPolicy() {
+  HealthPolicy policy;
+  policy.staleness_threshold = Duration::Seconds(2);
+  policy.quarantine_timeout = Duration::Seconds(3);
+  policy.revival_backoff = Duration::Seconds(1);
+  policy.max_revival_backoff = Duration::Seconds(4);
+  return policy;
+}
+
+// --- ReceptorHealthTracker ------------------------------------------------
+
+TEST(ReceptorHealthTrackerTest, DisabledPolicyNeverLeavesHealthy) {
+  HealthPolicy policy;  // staleness_threshold zero: liveness off.
+  ReceptorHealthTracker tracker("r", "rfid", &policy);
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(0), std::nullopt),
+            Transition::kNone);
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(1e6), std::nullopt),
+            Transition::kNone);
+  EXPECT_EQ(tracker.state(), ReceptorState::kHealthy);
+}
+
+TEST(ReceptorHealthTrackerTest, SuspectRecoverAndQuarantine) {
+  const HealthPolicy policy = LivenessPolicy();
+  ReceptorHealthTracker tracker("r", "rfid", &policy);
+
+  // Staleness is measured from the first tick for a silent receptor.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(0), std::nullopt),
+            Transition::kNone);
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(2), std::nullopt),
+            Transition::kNone);  // Exactly at threshold: not yet suspect.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(2.5), std::nullopt),
+            Transition::kSuspect);
+  EXPECT_EQ(tracker.state(), ReceptorState::kSuspect);
+
+  // Data brings it straight back.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(3), Timestamp::Seconds(3)),
+            Transition::kRecover);
+  EXPECT_EQ(tracker.state(), ReceptorState::kHealthy);
+
+  // Silence again: suspect at 3 + 2+, quarantined quarantine_timeout later.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(5.5), std::nullopt),
+            Transition::kSuspect);
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(7), std::nullopt),
+            Transition::kNone);
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(8.5), std::nullopt),
+            Transition::kQuarantine);
+  EXPECT_EQ(tracker.state(), ReceptorState::kQuarantined);
+  EXPECT_EQ(tracker.health().quarantine_count, 1);
+}
+
+TEST(ReceptorHealthTrackerTest, ProbeBackoffDoublesUpToCapThenRevives) {
+  const HealthPolicy policy = LivenessPolicy();
+  ReceptorHealthTracker tracker("r", "rfid", &policy);
+  ASSERT_EQ(tracker.Observe(Timestamp::Seconds(0), std::nullopt),
+            Transition::kNone);
+  ASSERT_EQ(tracker.Observe(Timestamp::Seconds(3), std::nullopt),
+            Transition::kSuspect);
+  ASSERT_EQ(tracker.Observe(Timestamp::Seconds(6), std::nullopt),
+            Transition::kQuarantine);
+  // First probe is revival_backoff (1 s) after quarantine.
+  EXPECT_EQ(tracker.health().next_probe, Timestamp::Seconds(7));
+
+  // Before the probe is due nothing happens — even if data trickles in.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(6.5), Timestamp::Seconds(6.5)),
+            Transition::kNone);
+  EXPECT_EQ(tracker.state(), ReceptorState::kQuarantined);
+
+  // Failed probes double the backoff: 1 -> 2 -> 4, capped at 4.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(7), std::nullopt),
+            Transition::kProbeFailed);
+  EXPECT_EQ(tracker.health().probe_backoff, Duration::Seconds(2));
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(9), std::nullopt),
+            Transition::kProbeFailed);
+  EXPECT_EQ(tracker.health().probe_backoff, Duration::Seconds(4));
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(13), std::nullopt),
+            Transition::kProbeFailed);
+  EXPECT_EQ(tracker.health().probe_backoff, Duration::Seconds(4));  // Capped.
+
+  // Data at the next due probe revives it.
+  EXPECT_EQ(tracker.Observe(Timestamp::Seconds(17), Timestamp::Seconds(17)),
+            Transition::kRevive);
+  EXPECT_EQ(tracker.state(), ReceptorState::kHealthy);
+  EXPECT_EQ(tracker.health().revival_count, 1);
+}
+
+// --- Reorder buffer / lateness horizon ------------------------------------
+
+StatusOr<std::unique_ptr<EspProcessor>> BuildProcessor(HealthPolicy policy) {
+  auto processor = std::make_unique<EspProcessor>();
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg0", "rfid", SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  ESP_RETURN_IF_ERROR(processor->AddPipeline(std::move(pipeline)));
+  ESP_RETURN_IF_ERROR(processor->SetHealthPolicy(policy));
+  ESP_RETURN_IF_ERROR(processor->Start());
+  return processor;
+}
+
+TEST(LatenessHorizonTest, DefaultPolicyRejectsAnythingAtOrBeforeLastTick) {
+  auto processor = BuildProcessor(HealthPolicy{});
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  ASSERT_TRUE((*processor)->Tick(Timestamp::Seconds(1)).ok());
+
+  // Exactly the previous tick time is behind the zero-horizon watermark.
+  const Status at_tick = (*processor)->Push("rfid", Rfid("reader_0", "x", 1));
+  EXPECT_EQ(at_tick.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "x", 1.1)).ok());
+
+  const PipelineHealth health = (*processor)->Health();
+  EXPECT_EQ(health.total_dropped_late, 1);
+  EXPECT_EQ(health.total_late_admitted, 0);
+}
+
+TEST(LatenessHorizonTest, HorizonAdmitsLateAndReleasesInOrder) {
+  HealthPolicy policy;
+  policy.lateness_horizon = Duration::Seconds(1);
+  auto processor = BuildProcessor(policy);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  ASSERT_TRUE((*processor)->Tick(Timestamp::Seconds(2)).ok());
+
+  // Watermark is 2 - 1 = 1: a reading at exactly the watermark is rejected,
+  // just past it is admitted as late.
+  EXPECT_EQ((*processor)->Push("rfid", Rfid("reader_0", "x", 1)).code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "late", 1.5)).ok());
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "fresh", 2.5)).ok());
+
+  const PipelineHealth health = (*processor)->Health();
+  EXPECT_EQ(health.total_dropped_late, 1);
+  EXPECT_EQ(health.total_late_admitted, 1);
+
+  // Tick at 3: watermark 2 releases only the late reading; the fresh one
+  // (2.5 > 2) is held for the next tick.
+  auto tick3 = (*processor)->Tick(Timestamp::Seconds(3));
+  ASSERT_TRUE(tick3.ok()) << tick3.status();
+  ASSERT_EQ(tick3->per_type[0].second.size(), 1u);
+  EXPECT_EQ(tick3->per_type[0].second.tuple(0).Get("tag_id")->string_value(),
+            "late");
+
+  auto tick4 = (*processor)->Tick(Timestamp::Seconds(4));
+  ASSERT_TRUE(tick4.ok()) << tick4.status();
+  ASSERT_EQ(tick4->per_type[0].second.size(), 1u);
+  EXPECT_EQ(tick4->per_type[0].second.tuple(0).Get("tag_id")->string_value(),
+            "fresh");
+}
+
+TEST(LatenessHorizonTest, ReorderedPushesComeOutSorted) {
+  HealthPolicy policy;
+  policy.lateness_horizon = Duration::Seconds(5);
+  auto processor = BuildProcessor(policy);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "c", 3)).ok());
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "a", 1)).ok());
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "b", 2)).ok());
+
+  auto tick = (*processor)->Tick(Timestamp::Seconds(8));  // Watermark 3.
+  ASSERT_TRUE(tick.ok()) << tick.status();
+  const Relation& out = tick->per_type[0].second;
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.tuple(0).Get("tag_id")->string_value(), "a");
+  EXPECT_EQ(out.tuple(1).Get("tag_id")->string_value(), "b");
+  EXPECT_EQ(out.tuple(2).Get("tag_id")->string_value(), "c");
+}
+
+TEST(HealthPolicyTest, StalenessMustExceedHorizon) {
+  EspProcessor processor;
+  HealthPolicy policy;
+  policy.staleness_threshold = Duration::Seconds(1);
+  policy.lateness_horizon = Duration::Seconds(1);
+  EXPECT_EQ(processor.SetHealthPolicy(policy).code(),
+            StatusCode::kInvalidArgument);
+  policy.staleness_threshold = Duration::Seconds(2);
+  EXPECT_TRUE(processor.SetHealthPolicy(policy).ok());
+}
+
+// --- Stage error isolation -------------------------------------------------
+
+/// A Smooth stage that fails every `fail_every`-th Evaluate and passes its
+/// input through otherwise; its output schema equals its input schema so
+/// kDegrade can pass tuples through.
+StageFactory FlakySmooth(int fail_every) {
+  return [fail_every]() -> StatusOr<std::unique_ptr<Stage>> {
+    class Flaky : public Stage {
+     public:
+      explicit Flaky(int fail_every)
+          : Stage(StageKind::kSmooth, "flaky_smooth"),
+            fail_every_(fail_every) {}
+      Status Bind(const cql::SchemaCatalog& inputs) override {
+        ESP_ASSIGN_OR_RETURN(output_schema_,
+                             inputs.Find(StageInputName(StageKind::kSmooth)));
+        return Status::OK();
+      }
+      Status Push(const std::string&, Tuple tuple) override {
+        buffer_.push_back(std::move(tuple));
+        return Status::OK();
+      }
+      StatusOr<Relation> Evaluate(Timestamp) override {
+        ++calls_;
+        if (calls_ % fail_every_ == 0) {
+          buffer_.clear();
+          return Status::Internal("flaky smooth failure");
+        }
+        Relation out(output_schema_);
+        for (Tuple& tuple : buffer_) out.Add(std::move(tuple));
+        buffer_.clear();
+        return out;
+      }
+      size_t buffered() const override { return buffer_.size(); }
+
+     private:
+      int fail_every_;
+      int calls_ = 0;
+      std::vector<Tuple> buffer_;
+    };
+    return std::unique_ptr<Stage>(new Flaky(fail_every));
+  };
+}
+
+StatusOr<std::unique_ptr<EspProcessor>> BuildFlakyProcessor(
+    HealthPolicy policy) {
+  auto processor = std::make_unique<EspProcessor>();
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg0", "rfid", SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth = FlakySmooth(/*fail_every=*/2);
+  ESP_RETURN_IF_ERROR(processor->AddPipeline(std::move(pipeline)));
+  ESP_RETURN_IF_ERROR(processor->SetHealthPolicy(policy));
+  ESP_RETURN_IF_ERROR(processor->Start());
+  return processor;
+}
+
+TEST(StageErrorIsolationTest, DegradePassesInputThroughAndRecords) {
+  HealthPolicy policy;  // kDegrade is the default.
+  auto processor = BuildFlakyProcessor(policy);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  for (int t = 1; t <= 4; ++t) {
+    ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "x", t)).ok());
+    auto result = (*processor)->Tick(Timestamp::Seconds(t));
+    ASSERT_TRUE(result.ok()) << "t=" << t << ": " << result.status();
+    // Every tick still produces the reading — failing Evaluates degrade to
+    // pass-through because the flaky stage's schemas match.
+    ASSERT_EQ(result->per_type[0].second.size(), 1u) << "t=" << t;
+    EXPECT_EQ(
+        result->per_type[0].second.tuple(0).Get("tag_id")->string_value(),
+        "x");
+  }
+  const PipelineHealth health = (*processor)->Health();
+  EXPECT_EQ(health.total_stage_errors, 2);  // Ticks 2 and 4.
+  ASSERT_EQ(health.stage_errors.size(), 1u);
+  EXPECT_EQ(health.stage_errors[0].stage, "rfid/Smooth[reader_0]");
+  EXPECT_NE(health.stage_errors[0].last_message.find("flaky"),
+            std::string::npos);
+  // The error is also attributed to the owning receptor.
+  ASSERT_EQ(health.receptors.size(), 1u);
+  EXPECT_FALSE(health.receptors[0].last_error.empty());
+}
+
+TEST(StageErrorIsolationTest, FailFastAbortsTheTick) {
+  HealthPolicy policy;
+  policy.stage_error_policy = StageErrorPolicy::kFailFast;
+  auto processor = BuildFlakyProcessor(policy);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "x", 1)).ok());
+  ASSERT_TRUE((*processor)->Tick(Timestamp::Seconds(1)).ok());
+  ASSERT_TRUE((*processor)->Push("rfid", Rfid("reader_0", "x", 2)).ok());
+  auto failed = (*processor)->Tick(Timestamp::Seconds(2));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_EQ((*processor)->Health().total_stage_errors, 0);
+}
+
+// --- Quarantine integration with the GranuleMap ----------------------------
+
+TEST(QuarantineIntegrationTest, SilentReceptorIsQuarantinedAndRevived) {
+  auto processor = std::make_unique<EspProcessor>();
+  ASSERT_TRUE(processor
+                  ->AddProximityGroup({"pg0", "rfid", SpatialGranule{"shelf_0"},
+                                       {"reader_0", "reader_1"}})
+                  .ok());
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  ASSERT_TRUE(processor->AddPipeline(std::move(pipeline)).ok());
+  ASSERT_TRUE(processor->SetHealthPolicy(LivenessPolicy()).ok());
+  ASSERT_TRUE(processor->Start().ok());
+
+  // reader_0 keeps talking; reader_1 goes silent after t=1.
+  auto tick = [&](double t) {
+    EXPECT_TRUE(processor->Push("rfid", Rfid("reader_0", "x", t)).ok());
+    auto result = processor->Tick(Timestamp::Seconds(t));
+    ASSERT_TRUE(result.ok()) << "t=" << t << ": " << result.status();
+  };
+  EXPECT_TRUE(processor->Push("rfid", Rfid("reader_1", "y", 1)).ok());
+  tick(1);
+  // Suspect after staleness (2 s), quarantined quarantine_timeout (3 s)
+  // after that.
+  for (double t = 2; t <= 8; ++t) tick(t);
+
+  PipelineHealth health = processor->Health();
+  EXPECT_EQ(health.quarantined_now, 1u);
+  auto group = processor->granules().GroupOf("rfid", "reader_1");
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ((*group)->id, EspProcessor::QuarantineGroupId("rfid"));
+  EXPECT_EQ((*group)->granule.id, "__quarantined");
+  // The healthy receptor is untouched.
+  auto home = processor->granules().GroupOf("rfid", "reader_0");
+  ASSERT_TRUE(home.ok());
+  EXPECT_EQ((*home)->id, "pg0");
+
+  // Readings while quarantined (between probes) are discarded and counted.
+  EXPECT_TRUE(processor->Push("rfid", Rfid("reader_1", "y", 8.2)).ok());
+  auto mid = processor->Tick(Timestamp::Seconds(8.2));
+  ASSERT_TRUE(mid.ok());
+
+  // Keep the receptor talking; once the next probe comes due it revives and
+  // rejoins its home group.
+  bool revived = false;
+  for (double t = 9; t <= 40 && !revived; ++t) {
+    EXPECT_TRUE(processor->Push("rfid", Rfid("reader_1", "y", t)).ok());
+    tick(t);
+    revived = processor->Health().quarantined_now == 0;
+  }
+  EXPECT_TRUE(revived);
+  health = processor->Health();
+  for (const ReceptorHealth& r : health.receptors) {
+    if (r.receptor_id != "reader_1") continue;
+    EXPECT_EQ(r.state, ReceptorState::kHealthy);
+    EXPECT_EQ(r.quarantine_count, 1);
+    EXPECT_EQ(r.revival_count, 1);
+    EXPECT_GT(r.dropped_quarantined, 0);
+  }
+  auto back = processor->granules().GroupOf("rfid", "reader_1");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->id, "pg0");
+
+  // And its readings flow again.
+  EXPECT_TRUE(processor->Push("rfid", Rfid("reader_1", "z", 41)).ok());
+  auto result = processor->Tick(Timestamp::Seconds(41));
+  ASSERT_TRUE(result.ok());
+  bool saw_z = false;
+  for (const Tuple& tuple : result->per_type[0].second.tuples()) {
+    if (tuple.Get("tag_id")->string_value() == "z") saw_z = true;
+  }
+  EXPECT_TRUE(saw_z);
+}
+
+}  // namespace
+}  // namespace esp::core
