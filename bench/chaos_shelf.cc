@@ -11,6 +11,7 @@
 //                  are quarantined, Merge runs over the survivors, and
 //                  PipelineHealth tells the story.
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/chaos_experiment.h"
@@ -39,6 +40,12 @@ void PrintRun(const char* label, const ChaosShelfResult& result) {
   std::printf("%s\n", result.health.ToString().c_str());
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 int Run() {
   const sim::ShelfWorld::Config world;  // Full 700 s experiment.
 
@@ -58,7 +65,9 @@ int Run() {
   hardened.stage_error_policy = core::StageErrorPolicy::kDegrade;
 
   ChaosShelfOptions baseline;
+  const auto baseline_start = std::chrono::steady_clock::now();
   auto baseline_run = RunChaosShelfExperiment(world, baseline);
+  const double baseline_s = SecondsSince(baseline_start);
   if (!baseline_run.ok()) {
     std::printf("baseline failed: %s\n",
                 baseline_run.status().ToString().c_str());
@@ -81,7 +90,9 @@ int Run() {
   ChaosShelfOptions degraded;
   degraded.faults = faults;
   degraded.policy = hardened;
+  const auto degraded_start = std::chrono::steady_clock::now();
   auto degraded_run = RunChaosShelfExperiment(world, degraded);
+  const double degraded_s = SecondsSince(degraded_start);
   if (!degraded_run.ok()) {
     std::printf("hardened setup failed: %s\n",
                 degraded_run.status().ToString().c_str());
@@ -91,10 +102,41 @@ int Run() {
   std::printf("%s", degraded_run->fault_schedule.c_str());
 
   const double budget = 2.0 * baseline_run->series.average_relative_error;
+  const bool within_budget =
+      degraded_run->series.average_relative_error < budget;
   std::printf("\nerror budget (2x fault-free): %.4f -> %s\n", budget,
-              degraded_run->series.average_relative_error < budget
-                  ? "WITHIN"
-                  : "EXCEEDED");
+              within_budget ? "WITHIN" : "EXCEEDED");
+
+  // Machine-readable summary: throughput and cleaning error of the hardened
+  // run, relative to the fault-free baseline.
+  const auto ticks_per_sec = [](const ChaosShelfResult& r, double seconds) {
+    return seconds > 0 ? static_cast<double>(r.ticks_completed) / seconds
+                       : 0.0;
+  };
+  char json[768];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"chaos_shelf\", "
+      "\"baseline_ticks_per_sec\": %.1f, \"hardened_ticks_per_sec\": %.1f, "
+      "\"baseline_avg_relative_error\": %.6f, "
+      "\"hardened_avg_relative_error\": %.6f, "
+      "\"error_vs_fault_free\": %.6f, \"error_budget\": %.6f, "
+      "\"within_budget\": %s, \"ticks_completed\": %lld, "
+      "\"push_rejects\": %lld}\n",
+      ticks_per_sec(*baseline_run, baseline_s),
+      ticks_per_sec(*degraded_run, degraded_s),
+      baseline_run->series.average_relative_error,
+      degraded_run->series.average_relative_error,
+      degraded_run->series.average_relative_error -
+          baseline_run->series.average_relative_error,
+      budget, within_budget ? "true" : "false",
+      static_cast<long long>(degraded_run->ticks_completed),
+      static_cast<long long>(degraded_run->push_rejects));
+  std::printf("%s", json);
+  if (FILE* f = fopen("BENCH_chaos_shelf.json", "w"); f != nullptr) {
+    std::fputs(json, f);
+    fclose(f);
+  }
   return 0;
 }
 

@@ -1,0 +1,341 @@
+// Crash-recovery harness: deterministic replay equivalence under SIGKILL.
+//
+// A fixed seed generates a deterministic shelf workload (pushes + 5 Hz
+// ticks). For each of `kKillPoints` randomized kill points, a forked child
+// runs the workload through a RecoveryCoordinator (journal-before-apply,
+// auto-checkpoint every 10 ticks) and SIGKILLs itself mid-stream. The
+// parent then recovers into a fresh processor — newest valid snapshot plus
+// journal suffix replay — and asserts that every recovered and
+// post-recovery tick is BITWISE identical to an uninterrupted golden run.
+//
+// Emits BENCH_crash_experiment.json with throughput, recovery latency, and
+// the pass count; exits non-zero on any divergence.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/processor.h"
+#include "core/recovery.h"
+#include "core/toolkit.h"
+#include "sim/reading.h"
+#include "stream/serialize.h"
+
+namespace esp::bench {
+namespace {
+
+using core::EspProcessor;
+using core::RecoveryCoordinator;
+using core::RecoveryOptions;
+using core::RestoreReport;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+constexpr uint64_t kWorkloadSeed = 20060403;  // ICDE'06, for luck.
+constexpr uint64_t kKillSeed = 0xC0FFEE;
+constexpr int kKillPoints = 24;
+constexpr int kTicks = 120;
+constexpr uint64_t kCheckpointEveryTicks = 10;
+
+/// One workload operation: a reading push or a tick boundary.
+struct Op {
+  bool is_tick = false;
+  Tuple tuple;          // kPush
+  Timestamp tick_time;  // kTick
+  int tick_index = -1;  // kTick: position in the golden fingerprint vector
+};
+
+StatusOr<std::unique_ptr<EspProcessor>> BuildProcessor() {
+  auto processor = std::make_unique<EspProcessor>();
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg_shelf0", "rfid", core::SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg_shelf1", "rfid", core::SpatialGranule{"shelf_1"}, {"reader_1"}}));
+  core::DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth = core::SmoothPresenceCount(
+      core::TemporalGranule(Duration::Seconds(5)), "tag_id");
+  pipeline.arbitrate = core::ArbitrateMaxCount("tag_id", "reads");
+  ESP_RETURN_IF_ERROR(processor->AddPipeline(std::move(pipeline)));
+  ESP_RETURN_IF_ERROR(processor->Start());
+  return processor;
+}
+
+/// The deterministic workload: same seed, same ops, every run.
+std::vector<Op> BuildWorkload() {
+  Rng rng(kWorkloadSeed);
+  SchemaRef schema = sim::RfidReadingSchema();
+  std::vector<Op> ops;
+  int tick_index = 0;
+  for (int t = 0; t < kTicks; ++t) {
+    const Timestamp now = Timestamp::Micros(200000 * t);  // 5 Hz.
+    for (int reader = 0; reader < 2; ++reader) {
+      for (int tag = 0; tag < 5; ++tag) {
+        if (!rng.Bernoulli(0.45)) continue;
+        Op op;
+        op.tuple = Tuple(schema,
+                         {Value::String("reader_" + std::to_string(reader)),
+                          Value::String("tag_" + std::to_string(tag))},
+                         now);
+        ops.push_back(std::move(op));
+      }
+    }
+    Op tick;
+    tick.is_tick = true;
+    tick.tick_time = now;
+    tick.tick_index = tick_index++;
+    ops.push_back(std::move(tick));
+  }
+  return ops;
+}
+
+std::string Fingerprint(const EspProcessor::TickResult& result) {
+  ByteWriter w;
+  for (const auto& [type, relation] : result.per_type) {
+    w.WriteString(type);
+    w.WriteU32(static_cast<uint32_t>(relation.size()));
+    for (const Tuple& tuple : relation.tuples()) stream::WriteTuple(w, tuple);
+  }
+  return std::move(w).Release();
+}
+
+/// Uninterrupted run on a plain processor: one fingerprint per tick.
+StatusOr<std::vector<std::string>> GoldenRun(const std::vector<Op>& ops) {
+  ESP_ASSIGN_OR_RETURN(auto processor, BuildProcessor());
+  std::vector<std::string> fingerprints;
+  for (const Op& op : ops) {
+    if (op.is_tick) {
+      ESP_ASSIGN_OR_RETURN(auto result, processor->Tick(op.tick_time));
+      fingerprints.push_back(Fingerprint(result));
+    } else {
+      ESP_RETURN_IF_ERROR(processor->Push("rfid", op.tuple));
+    }
+  }
+  return fingerprints;
+}
+
+RecoveryOptions MakeOptions(const std::string& dir) {
+  RecoveryOptions options;
+  options.directory = dir;
+  options.checkpoint_interval_ticks = kCheckpointEveryTicks;
+  options.retain_snapshots = 3;
+  // SIGKILL kills the process, not the OS: page-cache writes survive, so the
+  // harness skips fsync for speed without weakening the experiment.
+  options.fsync = false;
+  options.journal_flush_every = 1;
+  return options;
+}
+
+/// Child body: run the durable session and die abruptly before op
+/// `kill_op`. Exit codes other than SIGKILL signal a bug to the parent.
+int RunChildUntilKill(const std::string& dir, const std::vector<Op>& ops,
+                      size_t kill_op) {
+  auto processor = BuildProcessor();
+  if (!processor.ok()) return 2;
+  auto session = RecoveryCoordinator::Start(processor->get(), MakeOptions(dir));
+  if (!session.ok()) return 2;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i == kill_op) raise(SIGKILL);
+    const Op& op = ops[i];
+    if (op.is_tick) {
+      if (!(*session)->Tick(op.tick_time).ok()) return 3;
+    } else {
+      if (!(*session)->Push("rfid", op.tuple).ok()) return 3;
+    }
+  }
+  raise(SIGKILL);  // Kill point past the workload: die at the very end.
+  return 0;
+}
+
+struct KillPointResult {
+  bool passed = false;
+  double recovery_ms = 0.0;
+  RestoreReport report;
+  std::string failure;
+};
+
+/// Parent body: recover after the crash and check every subsequent tick —
+/// replayed and newly computed — against the golden run.
+KillPointResult RecoverAndVerify(const std::string& dir,
+                                 const std::vector<Op>& ops,
+                                 const std::vector<std::string>& golden) {
+  KillPointResult out;
+  auto processor = BuildProcessor();
+  if (!processor.ok()) {
+    out.failure = processor.status().ToString();
+    return out;
+  }
+
+  std::vector<std::string> replayed;
+  const auto start = std::chrono::steady_clock::now();
+  RestoreReport report;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), MakeOptions(dir), &report,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  const auto end = std::chrono::steady_clock::now();
+  out.recovery_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  out.report = report;
+  if (!session.ok()) {
+    out.failure = session.status().ToString();
+    return out;
+  }
+
+  // Replayed ticks must match the golden ticks they recompute.
+  size_t ticks_before_resume = 0;
+  for (size_t i = 0; i < report.resume_record_index && i < ops.size(); ++i) {
+    if (ops[i].is_tick) ++ticks_before_resume;
+  }
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    const size_t tick_index = ticks_before_resume + i;
+    if (tick_index >= golden.size() || replayed[i] != golden[tick_index]) {
+      out.failure = "replayed tick " + std::to_string(tick_index) +
+                    " diverged from golden run";
+      return out;
+    }
+  }
+
+  // Continue the workload from the first op the journal never saw.
+  for (size_t i = (*session)->journal_records(); i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    if (op.is_tick) {
+      auto result = (*session)->Tick(op.tick_time);
+      if (!result.ok()) {
+        out.failure = result.status().ToString();
+        return out;
+      }
+      if (Fingerprint(*result) != golden[op.tick_index]) {
+        out.failure = "post-recovery tick " + std::to_string(op.tick_index) +
+                      " diverged from golden run";
+        return out;
+      }
+    } else if (Status status = (*session)->Push("rfid", op.tuple);
+               !status.ok()) {
+      out.failure = status.ToString();
+      return out;
+    }
+  }
+  out.passed = true;
+  return out;
+}
+
+int Run() {
+  const std::vector<Op> ops = BuildWorkload();
+
+  const auto golden_start = std::chrono::steady_clock::now();
+  auto golden = GoldenRun(ops);
+  const auto golden_end = std::chrono::steady_clock::now();
+  if (!golden.ok()) {
+    std::printf("golden run failed: %s\n", golden.status().ToString().c_str());
+    return 1;
+  }
+  const double golden_s =
+      std::chrono::duration<double>(golden_end - golden_start).count();
+  const double ticks_per_sec =
+      golden_s > 0 ? static_cast<double>(kTicks) / golden_s : 0.0;
+
+  // Randomized but reproducible kill points across the whole op range.
+  Rng kill_rng(kKillSeed);
+  std::vector<size_t> kill_points;
+  for (int k = 0; k < kKillPoints; ++k) {
+    kill_points.push_back(static_cast<size_t>(
+        kill_rng.UniformInt(1, static_cast<int64_t>(ops.size()) - 1)));
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "esp_crash_experiment")
+          .string();
+
+  int passed = 0;
+  double recovery_ms_sum = 0.0, recovery_ms_max = 0.0;
+  uint64_t replayed_records = 0, snapshots_skipped = 0;
+  for (int k = 0; k < kKillPoints; ++k) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+
+    const pid_t child = fork();
+    if (child < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (child == 0) {
+      _exit(RunChildUntilKill(dir, ops, kill_points[k]));
+    }
+    int wstatus = 0;
+    if (waitpid(child, &wstatus, 0) != child) {
+      std::perror("waitpid");
+      return 1;
+    }
+    if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+      std::printf("kill point %d (op %zu): child did not die by SIGKILL "
+                  "(wstatus=%d)\n",
+                  k, kill_points[k], wstatus);
+      continue;
+    }
+
+    KillPointResult result = RecoverAndVerify(dir, ops, *golden);
+    recovery_ms_sum += result.recovery_ms;
+    recovery_ms_max = std::max(recovery_ms_max, result.recovery_ms);
+    replayed_records +=
+        result.report.replayed_pushes + result.report.replayed_ticks;
+    snapshots_skipped += result.report.snapshots_skipped;
+    if (result.passed) {
+      ++passed;
+      std::printf(
+          "kill point %2d (op %4zu): PASS  snapshot=%llu replay=%llu+%llu "
+          "recovery=%.2fms\n",
+          k, kill_points[k],
+          static_cast<unsigned long long>(result.report.snapshot_seq),
+          static_cast<unsigned long long>(result.report.replayed_pushes),
+          static_cast<unsigned long long>(result.report.replayed_ticks),
+          result.recovery_ms);
+    } else {
+      std::printf("kill point %2d (op %4zu): FAIL  %s\n", k, kill_points[k],
+                  result.failure.c_str());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  const double recovery_ms_mean =
+      kKillPoints > 0 ? recovery_ms_sum / kKillPoints : 0.0;
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"crash_experiment\", \"kill_points\": %d, "
+      "\"kill_points_passed\": %d, \"ticks\": %d, "
+      "\"golden_ticks_per_sec\": %.1f, \"recovery_latency_ms_mean\": %.3f, "
+      "\"recovery_latency_ms_max\": %.3f, \"replayed_records_total\": %llu, "
+      "\"snapshots_skipped_total\": %llu, \"bitwise_identical\": %s}\n",
+      kKillPoints, passed, kTicks, ticks_per_sec, recovery_ms_mean,
+      recovery_ms_max, static_cast<unsigned long long>(replayed_records),
+      static_cast<unsigned long long>(snapshots_skipped),
+      passed == kKillPoints ? "true" : "false");
+  std::printf("%s", json);
+  if (FILE* f = fopen("BENCH_crash_experiment.json", "w"); f != nullptr) {
+    std::fputs(json, f);
+    fclose(f);
+  }
+  return passed == kKillPoints ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main() { return esp::bench::Run(); }

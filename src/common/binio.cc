@@ -1,0 +1,129 @@
+#include "common/binio.h"
+
+#include <cstring>
+
+namespace esp {
+
+namespace {
+
+/// Lazily-built CRC32 lookup table (IEEE polynomial, reflected).
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  const uint32_t* table = Crc32Table();
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void ByteWriter::WriteDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteString(std::string_view v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  out_.append(v);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (remaining() < n) {
+    return Status::ParseError("truncated binary input: need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint8_t> ByteReader::ReadU8() {
+  ESP_RETURN_IF_ERROR(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<bool> ByteReader::ReadBool() {
+  ESP_ASSIGN_OR_RETURN(const uint8_t v, ReadU8());
+  if (v > 1) return Status::ParseError("invalid bool encoding");
+  return v == 1;
+}
+
+StatusOr<uint32_t> ByteReader::ReadU32() {
+  ESP_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::ReadU64() {
+  ESP_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<int64_t> ByteReader::ReadI64() {
+  ESP_ASSIGN_OR_RETURN(const uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<double> ByteReader::ReadDouble() {
+  ESP_ASSIGN_OR_RETURN(const uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+StatusOr<std::string> ByteReader::ReadString() {
+  ESP_ASSIGN_OR_RETURN(const uint32_t size, ReadU32());
+  ESP_ASSIGN_OR_RETURN(const std::string_view bytes, ReadBytes(size));
+  return std::string(bytes);
+}
+
+StatusOr<std::string_view> ByteReader::ReadBytes(size_t n) {
+  ESP_RETURN_IF_ERROR(Need(n));
+  std::string_view view = data_.substr(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+}  // namespace esp

@@ -1,0 +1,78 @@
+#ifndef ESP_COMMON_BINIO_H_
+#define ESP_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace esp {
+
+/// \brief CRC32 (IEEE, polynomial 0xEDB88320) over a byte range. Used by the
+/// checkpoint/journal durability layer to detect torn or corrupted records.
+uint32_t Crc32(std::string_view data);
+
+/// \brief Incremental CRC32: continue a running checksum. Start from 0.
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+/// \brief Appends fixed-width little-endian binary encodings to a string.
+///
+/// The writer never fails; the paired ByteReader validates bounds and
+/// returns Status errors, so torn files surface as parse errors rather than
+/// undefined behaviour.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v);
+  /// Length-prefixed (u32) byte string.
+  void WriteString(std::string_view v);
+  /// Raw bytes, no length prefix.
+  void WriteBytes(std::string_view v) { out_.append(v); }
+
+  const std::string& data() const { return out_; }
+  size_t size() const { return out_.size(); }
+  std::string&& Release() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// \brief Bounds-checked reader over a byte range written by ByteWriter.
+///
+/// The view must outlive the reader. Every read returns kParseError on
+/// exhausted input, so truncated checkpoints fail loudly instead of
+/// misparsing.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> ReadU8();
+  StatusOr<bool> ReadBool();
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<int64_t> ReadI64();
+  StatusOr<double> ReadDouble();
+  StatusOr<std::string> ReadString();
+  /// Reads exactly `n` raw bytes.
+  StatusOr<std::string_view> ReadBytes(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_BINIO_H_

@@ -82,4 +82,19 @@ double Rng::Gaussian(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+void Rng::SaveState(ByteWriter& w) const {
+  for (const uint64_t word : state_) w.WriteU64(word);
+  w.WriteBool(has_cached_gaussian_);
+  w.WriteDouble(cached_gaussian_);
+}
+
+Status Rng::LoadState(ByteReader& r) {
+  for (auto& word : state_) {
+    ESP_ASSIGN_OR_RETURN(word, r.ReadU64());
+  }
+  ESP_ASSIGN_OR_RETURN(has_cached_gaussian_, r.ReadBool());
+  ESP_ASSIGN_OR_RETURN(cached_gaussian_, r.ReadDouble());
+  return Status::OK();
+}
+
 }  // namespace esp

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "common/binio.h"
+#include "common/status.h"
+
 namespace esp {
 
 /// \brief Deterministic pseudo-random number generator (xoshiro256**).
@@ -38,6 +41,12 @@ class Rng {
   /// Creates an independent child generator; useful for giving each device
   /// in a simulation its own stream without cross-correlation.
   Rng Fork();
+
+  /// Serializes / restores the full generator state (the 256-bit xoshiro
+  /// words plus the cached Box-Muller output), so a restored simulation
+  /// draws exactly the sequence the original would have drawn next.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,198 @@
+#include "core/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace esp::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'S', 'P', 'C', 'K', 'P', 'T', '1'};
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Directory part of a path ("" when the path has no slash).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open for fsync", path));
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError(ErrnoMessage("fsync", path));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("read", path));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(ErrnoMessage("write", tmp));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("fsync", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("close", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(ErrnoMessage("rename to", path));
+  }
+  // Make the rename itself durable.
+  const std::string dir = DirName(path);
+  if (!dir.empty()) {
+    ESP_RETURN_IF_ERROR(FsyncPath(dir, O_RDONLY | O_DIRECTORY));
+  }
+  return Status::OK();
+}
+
+void CheckpointWriter::AddSection(std::string name, std::string payload) {
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string CheckpointWriter::Serialize() const {
+  ByteWriter w;
+  w.WriteBytes(std::string_view(kMagic, sizeof(kMagic)));
+  w.WriteU32(kCheckpointVersion);
+  w.WriteU32(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    w.WriteString(name);
+    w.WriteU32(static_cast<uint32_t>(payload.size()));
+    w.WriteU32(Crc32(payload));
+    w.WriteBytes(payload);
+  }
+  const uint32_t file_crc = Crc32(w.data());
+  w.WriteU32(file_crc);
+  return std::move(w).Release();
+}
+
+Status CheckpointWriter::WriteToFile(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+StatusOr<CheckpointReader> CheckpointReader::Parse(std::string bytes) {
+  CheckpointReader reader;
+  reader.bytes_ = std::move(bytes);
+  const std::string& data = reader.bytes_;
+
+  if (data.size() < sizeof(kMagic) + 2 * sizeof(uint32_t) + sizeof(uint32_t)) {
+    return Status::ParseError("checkpoint truncated: " +
+                              std::to_string(data.size()) + " bytes");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("checkpoint has bad magic (not an ESPCKPT1 file)");
+  }
+  // The trailing u32 protects everything before it.
+  const std::string_view body(data.data(), data.size() - sizeof(uint32_t));
+  ByteReader tail(
+      std::string_view(data.data() + body.size(), sizeof(uint32_t)));
+  ESP_ASSIGN_OR_RETURN(const uint32_t stored_file_crc, tail.ReadU32());
+  if (Crc32(body) != stored_file_crc) {
+    return Status::ParseError(
+        "checkpoint manifest checksum mismatch (file corrupted or truncated)");
+  }
+
+  ByteReader r(body);
+  ESP_RETURN_IF_ERROR(r.ReadBytes(sizeof(kMagic)).status());
+  ESP_ASSIGN_OR_RETURN(const uint32_t version, r.ReadU32());
+  if (version != kCheckpointVersion) {
+    return Status::ParseError("unsupported checkpoint version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kCheckpointVersion) + ")");
+  }
+  ESP_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    ESP_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    ESP_ASSIGN_OR_RETURN(const uint32_t len, r.ReadU32());
+    ESP_ASSIGN_OR_RETURN(const uint32_t stored_crc, r.ReadU32());
+    const size_t offset = data.size() - sizeof(uint32_t) - r.remaining();
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload, r.ReadBytes(len));
+    if (Crc32(payload) != stored_crc) {
+      return Status::ParseError("checkpoint section '" + name +
+                                "' checksum mismatch");
+    }
+    reader.names_.push_back(std::move(name));
+    reader.spans_.emplace_back(offset, len);
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError("checkpoint has " +
+                              std::to_string(r.remaining()) +
+                              " trailing bytes after the last section");
+  }
+  return reader;
+}
+
+StatusOr<CheckpointReader> CheckpointReader::FromFile(const std::string& path) {
+  ESP_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return Parse(std::move(bytes));
+}
+
+bool CheckpointReader::HasSection(const std::string& name) const {
+  for (const std::string& have : names_) {
+    if (have == name) return true;
+  }
+  return false;
+}
+
+StatusOr<std::string_view> CheckpointReader::Section(
+    const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return std::string_view(bytes_.data() + spans_[i].first,
+                              spans_[i].second);
+    }
+  }
+  return Status::NotFound("checkpoint has no section '" + name + "'");
+}
+
+}  // namespace esp::core

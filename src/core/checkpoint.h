@@ -1,0 +1,97 @@
+#ifndef ESP_CORE_CHECKPOINT_H_
+#define ESP_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+
+namespace esp::core {
+
+/// \file
+/// Versioned binary snapshot container for pipeline checkpoints
+/// (docs/RECOVERY.md). A checkpoint file is:
+///
+///   magic "ESPCKPT1" | u32 version | u32 section_count
+///   per section: name (len-prefixed) | u32 payload_len | u32 payload_crc32
+///                | payload bytes
+///   trailing u32 crc32 over everything before it (the manifest checksum)
+///
+/// Every section payload carries its own CRC32, so corruption is localized
+/// and reported by section name; the trailing file checksum additionally
+/// catches truncation after the last complete section. Files are written
+/// atomically (tmp + fsync + rename), so a crash mid-write leaves the
+/// previous snapshot untouched and never a torn one under the final name.
+
+/// Current container version. Readers accept exactly this version; payload
+/// evolution happens inside sections (type tags are append-only).
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// \brief Accumulates named sections and serializes them into the container
+/// format above.
+class CheckpointWriter {
+ public:
+  /// Adds one named section. Names must be unique; order is preserved.
+  void AddSection(std::string name, std::string payload);
+
+  /// Convenience: adds a section from a ByteWriter, consuming its buffer.
+  void AddSection(std::string name, ByteWriter&& w) {
+    AddSection(std::move(name), std::move(w).Release());
+  }
+
+  /// Serializes the container to a byte string.
+  std::string Serialize() const;
+
+  /// Writes the container to `path` atomically: the bytes land in
+  /// `path.tmp`, are fsync()ed, and are rename()d over `path` (the parent
+  /// directory is fsync()ed too, so the rename itself is durable).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// \brief Parses and validates a checkpoint container.
+///
+/// Parse/FromFile verify the magic, version, manifest checksum, and every
+/// section's CRC32 up front; a reader that constructs successfully holds a
+/// fully verified snapshot.
+class CheckpointReader {
+ public:
+  /// Parses an in-memory container (takes ownership of the bytes).
+  static StatusOr<CheckpointReader> Parse(std::string bytes);
+
+  /// Reads and parses `path`.
+  static StatusOr<CheckpointReader> FromFile(const std::string& path);
+
+  bool HasSection(const std::string& name) const;
+
+  /// Payload of a named section; kNotFound when absent. The view is into
+  /// the reader's owned buffer and is invalidated by moving the reader.
+  StatusOr<std::string_view> Section(const std::string& name) const;
+
+  /// Section names in file order.
+  const std::vector<std::string>& section_names() const { return names_; }
+
+ private:
+  CheckpointReader() = default;
+
+  std::string bytes_;
+  std::vector<std::string> names_;
+  // Parallel to names_: (offset, length) of each payload within bytes_.
+  std::vector<std::pair<size_t, size_t>> spans_;
+};
+
+/// Reads an entire file into a string. kNotFound when the file does not
+/// exist; kInternal for other I/O errors.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path` atomically (tmp + fsync + rename + dir fsync).
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_CHECKPOINT_H_

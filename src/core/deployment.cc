@@ -49,37 +49,74 @@ StatusOr<stream::SchemaRef> ParseSchemaSpec(const std::string& spec) {
 namespace {
 
 struct Section {
-  std::string kind;  // "group", "pipeline", "virtualize".
+  std::string kind;  // "group", "pipeline", "virtualize", ...
   std::string name;  // Section argument (group id / device type).
-  // Ordered key/value pairs; keys may repeat (point chains).
-  std::vector<std::pair<std::string, std::string>> entries;
+  size_t line = 0;   // Line of the section header (1-based).
+  // Ordered entries; keys may repeat (point chains).
+  struct Entry {
+    std::string key;
+    std::string value;
+    size_t line = 0;
+  };
+  std::vector<Entry> entries;
 
-  /// The single value for `key`; NotFound when absent, InvalidArgument when
+  std::string Label() const {
+    return "[" + kind + (name.empty() ? "" : " " + name) + "]";
+  }
+
+  /// The single entry for `key`; NotFound when absent, InvalidArgument when
   /// repeated.
-  StatusOr<std::string> Single(const std::string& key) const {
-    const std::string* found = nullptr;
-    for (const auto& [k, v] : entries) {
-      if (StrEqualsIgnoreCase(k, key)) {
+  StatusOr<const Entry*> SingleEntry(const std::string& key) const {
+    const Entry* found = nullptr;
+    for (const Entry& entry : entries) {
+      if (StrEqualsIgnoreCase(entry.key, key)) {
         if (found != nullptr) {
-          return Status::InvalidArgument("key '" + key + "' repeated in [" +
-                                         kind + " " + name + "]");
+          return Status::ParseError(
+              "key '" + key + "' repeated in " + Label() + " at line " +
+              std::to_string(entry.line));
         }
-        found = &v;
+        found = &entry;
       }
     }
     if (found == nullptr) {
-      return Status::NotFound("missing key '" + key + "' in [" + kind + " " +
-                              name + "]");
+      return Status::NotFound("missing key '" + key + "' in " + Label());
     }
-    return *found;
+    return found;
+  }
+
+  StatusOr<std::string> Single(const std::string& key) const {
+    ESP_ASSIGN_OR_RETURN(const Entry* entry, SingleEntry(key));
+    return entry->value;
   }
 
   std::vector<std::string> All(const std::string& key) const {
     std::vector<std::string> values;
-    for (const auto& [k, v] : entries) {
-      if (StrEqualsIgnoreCase(k, key)) values.push_back(v);
+    for (const Entry& entry : entries) {
+      if (StrEqualsIgnoreCase(entry.key, key)) values.push_back(entry.value);
     }
     return values;
+  }
+
+  /// Rejects any entry whose key is not in `allowed` — the strict-section
+  /// contract of [health] and [recovery]: a typo'd knob must fail loudly,
+  /// not silently leave the default in force.
+  Status RejectUnknownKeys(
+      const std::vector<std::string>& allowed) const {
+    for (const Entry& entry : entries) {
+      bool known = false;
+      for (const std::string& key : allowed) {
+        if (StrEqualsIgnoreCase(entry.key, key)) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return Status::ParseError("unknown key '" + entry.key + "' in " +
+                                  Label() + " at line " +
+                                  std::to_string(entry.line));
+      }
+    }
+    return Status::OK();
   }
 };
 
@@ -103,7 +140,7 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
     // checked first, since CQL text may itself start with '[' (windows).
     if (continuation && !pending_key.empty() && !sections.empty() &&
         !sections.back().entries.empty()) {
-      sections.back().entries.back().second += " " + line;
+      sections.back().entries.back().value += " " + line;
       continue;
     }
 
@@ -119,8 +156,10 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
           space == std::string::npos ? header : header.substr(0, space));
       section.name =
           space == std::string::npos ? "" : StrTrim(header.substr(space + 1));
+      section.line = line_number;
       if (section.kind != "group" && section.kind != "pipeline" &&
-          section.kind != "virtualize" && section.kind != "health") {
+          section.kind != "virtualize" && section.kind != "health" &&
+          section.kind != "recovery") {
         return Status::ParseError("unknown section kind '" + section.kind +
                                   "' at line " + std::to_string(line_number));
       }
@@ -138,14 +177,24 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
                                 std::to_string(line_number));
     }
     pending_key = StrTrim(line.substr(0, equals));
-    sections.back().entries.emplace_back(pending_key,
-                                         StrTrim(line.substr(equals + 1)));
+    sections.back().entries.push_back(Section::Entry{
+        pending_key, StrTrim(line.substr(equals + 1)), line_number});
   }
   return sections;
 }
 
+/// A line-numbered ParseError for a bad value in a strict section.
+Status BadValue(const Section& section, const Section::Entry& entry,
+                const std::string& detail) {
+  return Status::ParseError("invalid value '" + entry.value + "' for '" +
+                            entry.key + "' in " + section.Label() +
+                            " at line " + std::to_string(entry.line) + ": " +
+                            detail);
+}
+
 /// Parses a [health] section into a HealthPolicy. Durations use the CQL
 /// window syntax ("2 sec", "500 msec"); omitted keys keep their defaults.
+/// Unknown keys and malformed values fail with line-numbered errors.
 StatusOr<HealthPolicy> ParseHealthSection(const Section& section) {
   HealthPolicy policy;
   struct DurationKey {
@@ -159,29 +208,103 @@ StatusOr<HealthPolicy> ParseHealthSection(const Section& section) {
       {"max_revival_backoff", &policy.max_revival_backoff},
       {"lateness_horizon", &policy.lateness_horizon},
   };
-  for (const DurationKey& entry : duration_keys) {
-    auto value = section.Single(entry.key);
-    if (!value.ok()) {
-      if (value.status().code() == StatusCode::kNotFound) continue;
-      return value.status();
+  ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
+      {"staleness_threshold", "quarantine_timeout", "revival_backoff",
+       "max_revival_backoff", "lateness_horizon", "stage_error_policy"}));
+  for (const DurationKey& key : duration_keys) {
+    auto entry = section.SingleEntry(key.key);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) continue;
+      return entry.status();
     }
-    ESP_ASSIGN_OR_RETURN(*entry.target, ParseDuration(*value));
+    auto parsed = ParseDuration((*entry)->value);
+    if (!parsed.ok()) {
+      return BadValue(section, **entry, parsed.status().message());
+    }
+    *key.target = *parsed;
   }
-  auto policy_text = section.Single("stage_error_policy");
-  if (policy_text.ok()) {
-    const std::string lowered = StrToLower(StrTrim(*policy_text));
+  auto policy_entry = section.SingleEntry("stage_error_policy");
+  if (policy_entry.ok()) {
+    const std::string lowered = StrToLower(StrTrim((*policy_entry)->value));
     if (lowered == "degrade") {
       policy.stage_error_policy = StageErrorPolicy::kDegrade;
     } else if (lowered == "failfast" || lowered == "fail_fast") {
       policy.stage_error_policy = StageErrorPolicy::kFailFast;
     } else {
-      return Status::ParseError("unknown stage_error_policy '" + *policy_text +
-                                "' (expected degrade or failfast)");
+      return BadValue(section, **policy_entry,
+                      "expected degrade or failfast");
     }
-  } else if (policy_text.status().code() != StatusCode::kNotFound) {
-    return policy_text.status();
+  } else if (policy_entry.status().code() != StatusCode::kNotFound) {
+    return policy_entry.status();
   }
   return policy;
+}
+
+/// Parses a [recovery] section into RecoveryOptions (core/recovery.h), with
+/// the same strictness as [health].
+StatusOr<RecoveryOptions> ParseRecoverySection(const Section& section) {
+  RecoveryOptions options;
+  ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
+      {"directory", "checkpoint_interval_ticks", "retain_snapshots", "fsync",
+       "journal_flush_every"}));
+
+  auto directory = section.SingleEntry("directory");
+  if (!directory.ok()) {
+    if (directory.status().code() == StatusCode::kNotFound) {
+      return Status::ParseError("[recovery] at line " +
+                                std::to_string(section.line) +
+                                " requires a 'directory' key");
+    }
+    return directory.status();
+  }
+  options.directory = (*directory)->value;
+  if (options.directory.empty()) {
+    return BadValue(section, **directory, "directory must not be empty");
+  }
+
+  struct CountKey {
+    const char* key;
+    uint64_t* target;
+    uint64_t minimum;
+  };
+  uint64_t retain = options.retain_snapshots;
+  const CountKey count_keys[] = {
+      {"checkpoint_interval_ticks", &options.checkpoint_interval_ticks, 0},
+      {"retain_snapshots", &retain, 1},
+      {"journal_flush_every", &options.journal_flush_every, 1},
+  };
+  for (const CountKey& key : count_keys) {
+    auto entry = section.SingleEntry(key.key);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) continue;
+      return entry.status();
+    }
+    int64_t value = 0;
+    if (!StrToInt64((*entry)->value, &value) || value < 0) {
+      return BadValue(section, **entry, "expected a non-negative integer");
+    }
+    if (static_cast<uint64_t>(value) < key.minimum) {
+      return BadValue(section, **entry,
+                      "must be at least " + std::to_string(key.minimum));
+    }
+    *key.target = static_cast<uint64_t>(value);
+  }
+  options.retain_snapshots = static_cast<size_t>(retain);
+
+  auto fsync_entry = section.SingleEntry("fsync");
+  if (fsync_entry.ok()) {
+    const std::string lowered = StrToLower(StrTrim((*fsync_entry)->value));
+    if (lowered == "true" || lowered == "on" || lowered == "1") {
+      options.fsync = true;
+    } else if (lowered == "false" || lowered == "off" || lowered == "0") {
+      options.fsync = false;
+    } else {
+      return BadValue(section, **fsync_entry, "expected true or false");
+    }
+  } else if (fsync_entry.status().code() != StatusCode::kNotFound) {
+    return fsync_entry.status();
+  }
+  return options;
 }
 
 /// Builds a CQL stage factory from query text, validated lazily at Bind.
@@ -197,11 +320,13 @@ StageFactory DeclarativeStage(StageKind kind, std::string name,
 
 }  // namespace
 
-StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
-    const std::string& spec_text) {
+StatusOr<DeploymentBundle> LoadDeploymentBundle(const std::string& spec_text) {
   ESP_ASSIGN_OR_RETURN(std::vector<Section> sections,
                        ParseSections(spec_text));
-  auto processor = std::make_unique<EspProcessor>();
+  DeploymentBundle bundle;
+  bundle.processor = std::make_unique<EspProcessor>();
+  EspProcessor* processor_ptr = bundle.processor.get();
+  auto& processor = bundle.processor;
 
   bool saw_pipeline = false;
   bool saw_virtualize = false;
@@ -209,11 +334,19 @@ StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
   for (const Section& section : sections) {
     if (section.kind == "health") {
       if (saw_health) {
-        return Status::ParseError("multiple [health] sections");
+        return Status::ParseError("multiple [health] sections (second at line " +
+                                  std::to_string(section.line) + ")");
       }
       saw_health = true;
       ESP_ASSIGN_OR_RETURN(HealthPolicy policy, ParseHealthSection(section));
       ESP_RETURN_IF_ERROR(processor->SetHealthPolicy(policy));
+    } else if (section.kind == "recovery") {
+      if (bundle.recovery.has_value()) {
+        return Status::ParseError(
+            "multiple [recovery] sections (second at line " +
+            std::to_string(section.line) + ")");
+      }
+      ESP_ASSIGN_OR_RETURN(bundle.recovery, ParseRecoverySection(section));
     } else if (section.kind == "group") {
       if (section.name.empty()) {
         return Status::ParseError("[group] requires a name");
@@ -292,8 +425,15 @@ StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
   if (!saw_pipeline) {
     return Status::ParseError("deployment declares no [pipeline] sections");
   }
-  ESP_RETURN_IF_ERROR(processor->Start());
-  return processor;
+  ESP_RETURN_IF_ERROR(processor_ptr->Start());
+  return bundle;
+}
+
+StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
+    const std::string& spec_text) {
+  ESP_ASSIGN_OR_RETURN(DeploymentBundle bundle,
+                       LoadDeploymentBundle(spec_text));
+  return std::move(bundle.processor);
 }
 
 }  // namespace esp::core

@@ -2,10 +2,12 @@
 #define ESP_CORE_DEPLOYMENT_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
 #include "core/processor.h"
+#include "core/recovery.h"
 
 namespace esp::core {
 
@@ -45,11 +47,35 @@ namespace esp::core {
 /// max_revival_backoff = 60 sec
 /// lateness_horizon = 500 msec    # reorder-buffer tolerance for late data
 /// stage_error_policy = degrade   # or failfast
+///
+/// # Optional durability layer (see core/recovery.h; directory required).
+/// [recovery]
+/// directory = /var/lib/esp/shelf # journal + snapshots live here
+/// checkpoint_interval_ticks = 50 # 0 = manual checkpoints only
+/// retain_snapshots = 3
+/// fsync = true
+/// journal_flush_every = 1        # records per journal flush
 /// ```
+///
+/// Unknown keys and malformed values in [health] and [recovery] are
+/// line-numbered parse errors, never silently-applied defaults.
 ///
 /// The returned processor is already Start()ed: push readings and Tick().
 StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
     const std::string& spec_text);
+
+/// \brief A loaded deployment plus its optional durability configuration.
+struct DeploymentBundle {
+  std::unique_ptr<EspProcessor> processor;
+  /// Present when the spec has a [recovery] section. The caller decides how
+  /// to use it: RecoveryCoordinator::Start for a fresh session, ::Resume to
+  /// recover after a crash.
+  std::optional<RecoveryOptions> recovery;
+};
+
+/// \brief Like LoadDeployment, additionally surfacing the [recovery]
+/// section (which LoadDeployment validates but discards).
+StatusOr<DeploymentBundle> LoadDeploymentBundle(const std::string& spec_text);
 
 /// \brief Parses a "name:type, name:type" schema description (types: bool,
 /// int64, double, string, timestamp). Exposed for reuse and tests.

@@ -65,6 +65,10 @@ std::string PipelineHealth::ToString() const {
                      static_cast<long long>(s.errors),
                      s.last_message.c_str());
   }
+  if (recovery.checkpoints_written > 0 || recovery.restores > 0 ||
+      recovery.journal_records > 0) {
+    out += "  recovery: " + recovery.ToString() + "\n";
+  }
   return out;
 }
 
@@ -129,6 +133,53 @@ ReceptorHealthTracker::Transition ReceptorHealthTracker::Observe(
       return Transition::kProbeFailed;
   }
   return Transition::kNone;
+}
+
+void ReceptorHealthTracker::SaveState(ByteWriter& w) const {
+  w.WriteU8(static_cast<uint8_t>(health_.state));
+  w.WriteI64(health_.last_seen.micros());
+  w.WriteBool(health_.ever_delivered);
+  w.WriteI64(health_.suspect_since.micros());
+  w.WriteI64(health_.quarantined_since.micros());
+  w.WriteI64(health_.next_probe.micros());
+  w.WriteI64(health_.probe_backoff.micros());
+  w.WriteI64(health_.delivered);
+  w.WriteI64(health_.late_admitted);
+  w.WriteI64(health_.dropped_late);
+  w.WriteI64(health_.dropped_quarantined);
+  w.WriteI64(health_.quarantine_count);
+  w.WriteI64(health_.revival_count);
+  w.WriteString(health_.last_error);
+  w.WriteBool(baseline_set_);
+}
+
+Status ReceptorHealthTracker::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(const uint8_t state_tag, r.ReadU8());
+  if (state_tag > static_cast<uint8_t>(ReceptorState::kQuarantined)) {
+    return Status::ParseError("unknown receptor state tag " +
+                              std::to_string(state_tag));
+  }
+  health_.state = static_cast<ReceptorState>(state_tag);
+  ESP_ASSIGN_OR_RETURN(int64_t micros, r.ReadI64());
+  health_.last_seen = Timestamp::Micros(micros);
+  ESP_ASSIGN_OR_RETURN(health_.ever_delivered, r.ReadBool());
+  ESP_ASSIGN_OR_RETURN(micros, r.ReadI64());
+  health_.suspect_since = Timestamp::Micros(micros);
+  ESP_ASSIGN_OR_RETURN(micros, r.ReadI64());
+  health_.quarantined_since = Timestamp::Micros(micros);
+  ESP_ASSIGN_OR_RETURN(micros, r.ReadI64());
+  health_.next_probe = Timestamp::Micros(micros);
+  ESP_ASSIGN_OR_RETURN(micros, r.ReadI64());
+  health_.probe_backoff = Duration::Micros(micros);
+  ESP_ASSIGN_OR_RETURN(health_.delivered, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(health_.late_admitted, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(health_.dropped_late, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(health_.dropped_quarantined, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(health_.quarantine_count, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(health_.revival_count, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(health_.last_error, r.ReadString());
+  ESP_ASSIGN_OR_RETURN(baseline_set_, r.ReadBool());
+  return Status::OK();
 }
 
 }  // namespace esp::core

@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "core/metrics.h"
 
 namespace esp::core {
 
@@ -113,6 +115,10 @@ struct PipelineHealth {
   std::vector<ReceptorHealth> receptors;
   std::vector<StageErrorStat> stage_errors;
 
+  /// Durability counters (zero unless a RecoveryCoordinator drives the
+  /// processor).
+  RecoveryStats recovery;
+
   int64_t total_stage_errors = 0;
   int64_t total_late_admitted = 0;
   int64_t total_dropped_late = 0;
@@ -163,6 +169,12 @@ class ReceptorHealthTracker {
 
   const ReceptorHealth& health() const { return health_; }
   ReceptorState state() const { return health_.state; }
+
+  /// Serializes / restores the tracker's mutable state for a pipeline
+  /// checkpoint (receptor id, device type, and policy are configuration and
+  /// are not serialized).
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   const HealthPolicy* policy_;

@@ -1,0 +1,204 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/checkpoint.h"
+#include "stream/serialize.h"
+
+namespace esp::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'S', 'P', 'J', 'R', 'N', 'L', '1'};
+constexpr size_t kHeaderBytes = sizeof(kMagic) + sizeof(uint32_t);
+constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<stream::Tuple> DecodeJournalTuple(const JournalRecord& record,
+                                           const stream::SchemaRef& schema) {
+  if (record.kind != JournalRecord::Kind::kPush) {
+    return Status::InvalidArgument("journal record is not a push record");
+  }
+  ByteReader r(record.tuple_payload);
+  ESP_ASSIGN_OR_RETURN(stream::Tuple tuple, stream::ReadTuple(r, schema));
+  if (!r.exhausted()) {
+    return Status::ParseError("journal push record has trailing bytes");
+  }
+  return tuple;
+}
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Create(
+    const std::string& path, Options options) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+  std::unique_ptr<JournalWriter> writer(
+      new JournalWriter(fd, path, options, /*existing_records=*/0));
+  ByteWriter header;
+  header.WriteBytes(std::string_view(kMagic, sizeof(kMagic)));
+  header.WriteU32(kJournalVersion);
+  ESP_RETURN_IF_ERROR(WriteAll(fd, header.data(), path));
+  if (options.fsync_on_flush && ::fsync(fd) != 0) {
+    return Status::IoError(ErrnoMessage("fsync", path));
+  }
+  return writer;
+}
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Append(
+    const std::string& path, Options options, uint64_t existing_records) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open for append", path));
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(fd, path, options, existing_records));
+}
+
+JournalWriter::~JournalWriter() {
+  // Best-effort flush; callers that care about the Status call Flush()
+  // explicitly before destruction.
+  if (fd_ >= 0) {
+    if (!pending_.empty()) (void)Flush();
+    ::close(fd_);
+  }
+}
+
+Status JournalWriter::AppendRecord(std::string_view payload) {
+  ByteWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(payload.size()));
+  frame.WriteU32(Crc32(payload));
+  frame.WriteBytes(payload);
+  pending_.append(frame.data());
+  ++pending_records_;
+  ++records_written_;
+  bytes_written_ += frame.size();
+  if (pending_records_ >= options_.flush_every_records) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::AppendPush(const std::string& device_type,
+                                 const stream::Tuple& tuple) {
+  ByteWriter payload;
+  payload.WriteU8(static_cast<uint8_t>(JournalRecord::Kind::kPush));
+  payload.WriteString(device_type);
+  stream::WriteTuple(payload, tuple);
+  return AppendRecord(payload.data());
+}
+
+Status JournalWriter::AppendTick(Timestamp now) {
+  ByteWriter payload;
+  payload.WriteU8(static_cast<uint8_t>(JournalRecord::Kind::kTick));
+  payload.WriteI64(now.micros());
+  return AppendRecord(payload.data());
+}
+
+Status JournalWriter::Flush() {
+  if (fd_ < 0) return Status::Internal("journal writer is closed");
+  if (!pending_.empty()) {
+    ESP_RETURN_IF_ERROR(WriteAll(fd_, pending_, path_));
+    pending_.clear();
+  }
+  pending_records_ = 0;
+  if (options_.fsync_on_flush && ::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fsync", path_));
+  }
+  return Status::OK();
+}
+
+StatusOr<JournalScan> ScanJournal(const std::string& path,
+                                  bool truncate_torn_tail) {
+  ESP_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  JournalScan scan;
+
+  if (bytes.size() < kHeaderBytes) {
+    // Crash before the header landed: the journal holds nothing.
+    scan.torn_bytes = bytes.size();
+  } else {
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+      return Status::ParseError("journal has bad magic (not an ESPJRNL1 file)");
+    }
+    ByteReader header(
+        std::string_view(bytes.data() + sizeof(kMagic), sizeof(uint32_t)));
+    ESP_ASSIGN_OR_RETURN(const uint32_t version, header.ReadU32());
+    if (version != kJournalVersion) {
+      return Status::ParseError("unsupported journal version " +
+                                std::to_string(version) + " (expected " +
+                                std::to_string(kJournalVersion) + ")");
+    }
+    scan.valid_bytes = kHeaderBytes;
+
+    ByteReader r(std::string_view(bytes).substr(kHeaderBytes));
+    while (!r.exhausted()) {
+      // A frame that does not fully parse and checksum is the torn tail.
+      if (r.remaining() < kFrameBytes) break;
+      ESP_ASSIGN_OR_RETURN(const uint32_t len, r.ReadU32());
+      ESP_ASSIGN_OR_RETURN(const uint32_t stored_crc, r.ReadU32());
+      if (r.remaining() < len) break;
+      ESP_ASSIGN_OR_RETURN(const std::string_view payload, r.ReadBytes(len));
+      if (Crc32(payload) != stored_crc) break;
+
+      ByteReader body(payload);
+      ESP_ASSIGN_OR_RETURN(const uint8_t kind_tag, body.ReadU8());
+      JournalRecord record;
+      switch (static_cast<JournalRecord::Kind>(kind_tag)) {
+        case JournalRecord::Kind::kPush: {
+          record.kind = JournalRecord::Kind::kPush;
+          ESP_ASSIGN_OR_RETURN(record.device_type, body.ReadString());
+          record.tuple_payload.assign(body.ReadBytes(body.remaining())
+                                          .value());  // Cannot fail.
+          break;
+        }
+        case JournalRecord::Kind::kTick: {
+          record.kind = JournalRecord::Kind::kTick;
+          ESP_ASSIGN_OR_RETURN(const int64_t micros, body.ReadI64());
+          record.tick_time = Timestamp::Micros(micros);
+          break;
+        }
+        default:
+          return Status::ParseError("journal record " +
+                                    std::to_string(scan.records.size()) +
+                                    " has unknown kind tag " +
+                                    std::to_string(kind_tag));
+      }
+      scan.records.push_back(std::move(record));
+      scan.valid_bytes = kHeaderBytes + (bytes.size() - kHeaderBytes) -
+                         r.remaining();
+    }
+    scan.torn_bytes = bytes.size() - scan.valid_bytes;
+  }
+
+  if (truncate_torn_tail && scan.torn_bytes > 0) {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open for repair", path));
+    const int rc = ::ftruncate(fd, static_cast<off_t>(scan.valid_bytes));
+    const int sync_rc = rc == 0 ? ::fsync(fd) : 0;
+    ::close(fd);
+    if (rc != 0) return Status::IoError(ErrnoMessage("ftruncate", path));
+    if (sync_rc != 0) return Status::IoError(ErrnoMessage("fsync", path));
+  }
+  return scan;
+}
+
+}  // namespace esp::core

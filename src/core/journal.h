@@ -1,0 +1,137 @@
+#ifndef ESP_CORE_JOURNAL_H_
+#define ESP_CORE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "stream/tuple.h"
+
+namespace esp::core {
+
+/// \file
+/// Write-ahead input journal for the durability subsystem
+/// (docs/RECOVERY.md). Every reading pushed into the pipeline — and every
+/// tick — is appended to the journal *before* it is applied, so after a
+/// crash the pipeline is reconstructed as: latest valid snapshot + replay of
+/// the journal suffix past the snapshot's record index. The file is:
+///
+///   magic "ESPJRNL1" | u32 version
+///   per record: u32 payload_len | u32 payload_crc32 | payload
+///
+/// Record payloads start with a u8 kind tag. Appends are buffered and
+/// flushed (write + optional fsync) every `flush_every_records` records; a
+/// crash can therefore lose the unflushed tail, which is consistent because
+/// the corresponding in-memory pipeline state died with the process. A
+/// crash mid-write leaves a torn final record; recovery detects it by frame
+/// length/CRC and truncates the file back to its last complete record.
+
+inline constexpr uint32_t kJournalVersion = 1;
+
+/// \brief One decoded journal record.
+struct JournalRecord {
+  enum class Kind : uint8_t { kPush = 1, kTick = 2 };
+
+  Kind kind = Kind::kPush;
+  // kPush fields: the device type and the serialized reading. The tuple
+  // payload is decoded lazily against the reading schema (known only to the
+  // deployment) via DecodeJournalTuple.
+  std::string device_type;
+  std::string tuple_payload;
+  // kTick field.
+  Timestamp tick_time;
+};
+
+/// Decodes a kPush record's reading against its device type's schema.
+StatusOr<stream::Tuple> DecodeJournalTuple(const JournalRecord& record,
+                                           const stream::SchemaRef& schema);
+
+/// \brief Appends framed records to a journal file.
+class JournalWriter {
+ public:
+  struct Options {
+    /// fsync() the file on every flush. Turning this off trades crash
+    /// durability (an OS crash may lose flushed-but-unsynced records) for
+    /// throughput; a plain process crash loses nothing either way.
+    bool fsync_on_flush = true;
+    /// Auto-flush after this many buffered records. 1 = flush every append.
+    uint64_t flush_every_records = 64;
+  };
+
+  /// Creates a new journal at `path` (truncating any existing file) and
+  /// writes the header.
+  static StatusOr<std::unique_ptr<JournalWriter>> Create(
+      const std::string& path, Options options);
+
+  /// Reopens an existing journal for appending. The caller must have run
+  /// RecoverJournal first so the tail is known-good; `existing_records` is
+  /// the recovered record count (continues the writer's numbering).
+  static StatusOr<std::unique_ptr<JournalWriter>> Append(
+      const std::string& path, Options options, uint64_t existing_records);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one raw reading (journalled before the processor sees it).
+  Status AppendPush(const std::string& device_type,
+                    const stream::Tuple& tuple);
+
+  /// Appends one tick boundary.
+  Status AppendTick(Timestamp now);
+
+  /// Writes buffered records to the file (fsync per options). A checkpoint
+  /// must call this before its snapshot lands, so the snapshot's record
+  /// index never points past the journal's durable tail.
+  Status Flush();
+
+  /// Records appended so far, including any recovered prefix.
+  uint64_t records_written() const { return records_written_; }
+  /// Bytes appended by this writer (excludes header and recovered prefix).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  JournalWriter(int fd, std::string path, Options options,
+                uint64_t existing_records)
+      : fd_(fd),
+        path_(std::move(path)),
+        options_(options),
+        records_written_(existing_records) {}
+
+  Status AppendRecord(std::string_view payload);
+
+  int fd_ = -1;
+  std::string path_;
+  Options options_;
+  std::string pending_;
+  uint64_t pending_records_ = 0;
+  uint64_t records_written_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// \brief Result of scanning (and possibly repairing) a journal.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  /// Bytes holding the header plus all complete, CRC-valid records.
+  uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes discarded as a torn tail (0 for a clean file).
+  uint64_t torn_bytes = 0;
+};
+
+/// Reads every valid record of the journal at `path`, tolerating a torn
+/// final record (the expected shape of a crash mid-append): parsing stops at
+/// the first incomplete frame or CRC mismatch and reports the discarded
+/// bytes. When `truncate_torn_tail` is set the file is ftruncate()d back to
+/// `valid_bytes` so a subsequent JournalWriter::Append continues from a
+/// clean tail. A file too short to hold the header scans as empty; a full
+/// header with wrong magic/version is corruption and fails with kParseError.
+StatusOr<JournalScan> ScanJournal(const std::string& path,
+                                  bool truncate_torn_tail);
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_JOURNAL_H_

@@ -4,6 +4,17 @@
 
 namespace esp::core {
 
+std::string RecoveryStats::ToString() const {
+  return "checkpoints=" + std::to_string(checkpoints_written) +
+         " journal_records=" + std::to_string(journal_records) +
+         " journal_bytes=" + std::to_string(journal_bytes) +
+         " restores=" + std::to_string(restores) +
+         " restore_replays=" + std::to_string(restore_replays) +
+         " corrupt_snapshots_skipped=" +
+         std::to_string(corrupt_snapshots_skipped) +
+         " journal_torn_bytes=" + std::to_string(journal_torn_bytes);
+}
+
 StatusOr<double> AverageRelativeError(const std::vector<double>& reported,
                                       const std::vector<double>& truth) {
   if (reported.size() != truth.size()) {

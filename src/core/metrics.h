@@ -1,13 +1,40 @@
 #ifndef ESP_CORE_METRICS_H_
 #define ESP_CORE_METRICS_H_
 
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
 
 namespace esp::core {
+
+/// \brief Durability-layer counters (docs/RECOVERY.md), maintained by the
+/// RecoveryCoordinator against its processor and surfaced in
+/// EspProcessor::Health() so operators can watch checkpoint cadence and
+/// restore behaviour alongside liveness.
+struct RecoveryStats {
+  int64_t checkpoints_written = 0;
+  /// Records appended to the input journal this session (incl. recovered
+  /// prefix after a restore).
+  int64_t journal_records = 0;
+  /// Bytes appended to the input journal by this session's writer.
+  int64_t journal_bytes = 0;
+  /// Restores performed into this processor (0 or 1 in practice).
+  int64_t restores = 0;
+  /// Journal records replayed during restores.
+  int64_t restore_replays = 0;
+  /// Snapshots that failed validation (CRC/truncation) and were skipped in
+  /// favour of an older one.
+  int64_t corrupt_snapshots_skipped = 0;
+  /// Bytes discarded from the journal's torn tail during restores.
+  int64_t journal_torn_bytes = 0;
+
+  /// One-line summary for health reports.
+  std::string ToString() const;
+};
 
 /// \brief Equation (1) of the paper: the mean of |reported - truth| / truth
 /// over aligned time steps. Truth values of zero are handled as in the

@@ -72,6 +72,33 @@ StatusOr<double> CrossAttributeModel::ResidualSigmas(double x,
   return (y - predicted) / spread;
 }
 
+void CrossAttributeModel::SaveState(ByteWriter& w) const {
+  w.WriteI64(observations_);
+  w.WriteDouble(weight_);
+  w.WriteDouble(sx_);
+  w.WriteDouble(sy_);
+  w.WriteDouble(sxx_);
+  w.WriteDouble(sxy_);
+  w.WriteDouble(slope_);
+  w.WriteDouble(intercept_);
+  w.WriteDouble(residual_weight_);
+  w.WriteDouble(residual_m2_);
+}
+
+Status CrossAttributeModel::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(observations_, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(weight_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(sx_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(sy_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(sxx_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(sxy_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(slope_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(intercept_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(residual_weight_, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(residual_m2_, r.ReadDouble());
+  return Status::OK();
+}
+
 ModelOutlierStage::ModelOutlierStage(StageKind kind, std::string name,
                                      Config config)
     : Stage(kind, std::move(name)),
@@ -142,6 +169,19 @@ StatusOr<Relation> ModelOutlierStage::Evaluate(Timestamp now) {
     out.Add(Tuple(output_schema_, std::move(values), tuple.timestamp()));
   }
   return out;
+}
+
+Status ModelOutlierStage::SaveState(ByteWriter& w) const {
+  if (!buffer_.has_value()) return Status::Internal("stage not bound");
+  model_.SaveState(w);
+  buffer_->SaveState(w);
+  return Status::OK();
+}
+
+Status ModelOutlierStage::LoadState(ByteReader& r) {
+  if (!buffer_.has_value()) return Status::Internal("stage not bound");
+  ESP_RETURN_IF_ERROR(model_.LoadState(r));
+  return buffer_->LoadState(r);
 }
 
 }  // namespace esp::core

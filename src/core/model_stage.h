@@ -42,6 +42,11 @@ class CrossAttributeModel {
   double residual_stddev() const;
   int64_t observations() const { return observations_; }
 
+  /// Serializes / restores the learned sufficient statistics (durability
+  /// layer). The forgetting factor is configuration and is not serialized.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
  private:
   bool Usable() const;
   void Refit();
@@ -83,6 +88,11 @@ class ModelOutlierStage : public Stage {
   Status Bind(const cql::SchemaCatalog& inputs) override;
   Status Push(const std::string& input, stream::Tuple tuple) override;
   StatusOr<stream::Relation> Evaluate(Timestamp now) override;
+  size_t buffered() const override {
+    return buffer_.has_value() ? buffer_->buffered() : 0;
+  }
+  Status SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
   const CrossAttributeModel& model() const { return model_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "stream/ops.h"
+#include "stream/serialize.h"
 
 namespace esp::core {
 
@@ -443,6 +444,7 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
 
 PipelineHealth EspProcessor::Health() const {
   PipelineHealth health;
+  health.recovery = recovery_stats_;
   for (const TypeRuntime& type : types_) {
     for (const ReceptorChain& chain : type.receptors) {
       if (chain.health == nullptr) continue;
@@ -490,6 +492,263 @@ size_t EspProcessor::BufferedTuples() const {
   }
   if (virtualize_ != nullptr) total += virtualize_->buffered();
   return total;
+}
+
+namespace {
+
+/// Stage state is wrapped in a length-prefixed blob so each stage's
+/// LoadState sees exactly its own bytes (and the no-state default, which
+/// checks exhausted(), works for stages that saved nothing).
+Status SaveStageBlob(const Stage* stage, ByteWriter& w) {
+  w.WriteString(stage->name());
+  ByteWriter blob;
+  ESP_RETURN_IF_ERROR(stage->SaveState(blob));
+  w.WriteString(blob.data());
+  return Status::OK();
+}
+
+Status LoadStageBlob(Stage* stage, ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
+  if (name != stage->name()) {
+    return Status::ParseError("snapshot stage '" + name +
+                              "' does not match deployed stage '" +
+                              stage->name() + "'");
+  }
+  ESP_ASSIGN_OR_RETURN(const std::string blob, r.ReadString());
+  ByteReader blob_reader(blob);
+  ESP_RETURN_IF_ERROR(stage->LoadState(blob_reader));
+  if (!blob_reader.exhausted()) {
+    return Status::ParseError("stage '" + stage->name() + "' left " +
+                              std::to_string(blob_reader.remaining()) +
+                              " unread state bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EspProcessor::Checkpoint(CheckpointWriter& out) const {
+  if (!started_) return Status::Internal("processor not started");
+
+  // --- config: a fingerprint of the deployed topology and policy. Restore
+  // refuses a snapshot whose fingerprint differs, since stage state is only
+  // meaningful against the exact same configuration.
+  ByteWriter config;
+  config.WriteU32(static_cast<uint32_t>(types_.size()));
+  for (const TypeRuntime& type : types_) {
+    config.WriteString(type.config.device_type);
+    stream::WriteSchema(config, *type.config.reading_schema);
+    config.WriteU32(static_cast<uint32_t>(type.receptors.size()));
+    for (const ReceptorChain& chain : type.receptors) {
+      config.WriteString(chain.receptor_id);
+      config.WriteU32(static_cast<uint32_t>(chain.point.size()));
+      config.WriteBool(chain.smooth != nullptr);
+    }
+    config.WriteU32(static_cast<uint32_t>(type.groups.size()));
+    for (const GroupChain& group : type.groups) {
+      config.WriteString(group.group_id);
+      config.WriteBool(group.merge != nullptr);
+    }
+    config.WriteBool(type.arbitrate != nullptr);
+    config.WriteString(type.config.virtualize_input);
+  }
+  config.WriteBool(virtualize_ != nullptr);
+  config.WriteI64(policy_.staleness_threshold.micros());
+  config.WriteI64(policy_.quarantine_timeout.micros());
+  config.WriteI64(policy_.revival_backoff.micros());
+  config.WriteI64(policy_.max_revival_backoff.micros());
+  config.WriteI64(policy_.lateness_horizon.micros());
+  config.WriteU8(static_cast<uint8_t>(policy_.stage_error_policy));
+  out.AddSection("config", std::move(config));
+
+  // --- clock.
+  ByteWriter clock;
+  clock.WriteBool(has_ticked_);
+  clock.WriteI64(last_tick_.micros());
+  out.AddSection("clock", std::move(clock));
+
+  // --- receptors: reorder buffers, liveness state, and the (possibly
+  // dynamically remapped or quarantine-parked) group assignment.
+  ByteWriter receptors;
+  for (const TypeRuntime& type : types_) {
+    for (const ReceptorChain& chain : type.receptors) {
+      const auto group = granules_.GroupOf(type.config.device_type,
+                                           chain.receptor_id);
+      ESP_RETURN_IF_ERROR(group.status());
+      receptors.WriteString((*group)->id);
+      ByteWriter health;
+      chain.health->SaveState(health);
+      receptors.WriteString(health.data());
+      receptors.WriteU32(static_cast<uint32_t>(chain.pending.size()));
+      for (const Tuple& tuple : chain.pending) {
+        stream::WriteTuple(receptors, tuple);
+      }
+    }
+  }
+  out.AddSection("receptors", std::move(receptors));
+
+  // --- stages: every stage's window/model state, in topology order.
+  ByteWriter stages;
+  for (const TypeRuntime& type : types_) {
+    for (const ReceptorChain& chain : type.receptors) {
+      for (const std::unique_ptr<Stage>& stage : chain.point) {
+        ESP_RETURN_IF_ERROR(SaveStageBlob(stage.get(), stages));
+      }
+      if (chain.smooth != nullptr) {
+        ESP_RETURN_IF_ERROR(SaveStageBlob(chain.smooth.get(), stages));
+      }
+    }
+    for (const GroupChain& group : type.groups) {
+      if (group.merge != nullptr) {
+        ESP_RETURN_IF_ERROR(SaveStageBlob(group.merge.get(), stages));
+      }
+    }
+    if (type.arbitrate != nullptr) {
+      ESP_RETURN_IF_ERROR(SaveStageBlob(type.arbitrate.get(), stages));
+    }
+  }
+  if (virtualize_ != nullptr) {
+    ESP_RETURN_IF_ERROR(SaveStageBlob(virtualize_.get(), stages));
+  }
+  out.AddSection("stages", std::move(stages));
+
+  // --- errors: the per-stage isolation tallies.
+  ByteWriter errors;
+  errors.WriteU32(static_cast<uint32_t>(stage_errors_.size()));
+  for (const auto& [label, stat] : stage_errors_) {
+    errors.WriteString(label);
+    errors.WriteI64(stat.errors);
+    errors.WriteString(stat.last_message);
+  }
+  out.AddSection("errors", std::move(errors));
+  return Status::OK();
+}
+
+Status EspProcessor::Restore(const CheckpointReader& in) {
+  if (!started_) return Status::Internal("processor not started");
+
+  // Validate the configuration fingerprint byte-for-byte: same deployment,
+  // same policy, or the stage state below is meaningless.
+  {
+    CheckpointWriter own;
+    ESP_RETURN_IF_ERROR(Checkpoint(own));
+    // Cheap trick: our own Checkpoint() just serialized the current
+    // fingerprint; compare it against the snapshot's.
+    ESP_ASSIGN_OR_RETURN(CheckpointReader own_reader,
+                         CheckpointReader::Parse(own.Serialize()));
+    ESP_ASSIGN_OR_RETURN(const std::string_view own_config,
+                         own_reader.Section("config"));
+    ESP_ASSIGN_OR_RETURN(const std::string_view snap_config,
+                         in.Section("config"));
+    if (own_config != snap_config) {
+      return Status::InvalidArgument(
+          "snapshot does not match the deployed configuration (device "
+          "types, receptors, groups, stages, or health policy differ)");
+    }
+  }
+
+  // --- clock.
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload, in.Section("clock"));
+    ByteReader r(payload);
+    ESP_ASSIGN_OR_RETURN(has_ticked_, r.ReadBool());
+    ESP_ASSIGN_OR_RETURN(const int64_t micros, r.ReadI64());
+    last_tick_ = Timestamp::Micros(micros);
+  }
+
+  // --- receptors.
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                         in.Section("receptors"));
+    ByteReader r(payload);
+    for (TypeRuntime& type : types_) {
+      for (ReceptorChain& chain : type.receptors) {
+        ESP_ASSIGN_OR_RETURN(const std::string group_id, r.ReadString());
+        ESP_ASSIGN_OR_RETURN(const ProximityGroup* current,
+                             granules_.GroupOf(type.config.device_type,
+                                               chain.receptor_id));
+        if (!StrEqualsIgnoreCase(current->id, group_id)) {
+          if (group_id == QuarantineGroupId(type.config.device_type)) {
+            ESP_RETURN_IF_ERROR(
+                EnsureQuarantineGroup(type.config.device_type));
+          }
+          ESP_RETURN_IF_ERROR(granules_.MoveReceptor(
+              type.config.device_type, chain.receptor_id, group_id));
+        }
+        ESP_ASSIGN_OR_RETURN(const std::string health_blob, r.ReadString());
+        ByteReader health_reader(health_blob);
+        ESP_RETURN_IF_ERROR(chain.health->LoadState(health_reader));
+        if (!health_reader.exhausted()) {
+          return Status::ParseError("receptor '" + chain.receptor_id +
+                                    "' health state has trailing bytes");
+        }
+        ESP_ASSIGN_OR_RETURN(const uint32_t pending, r.ReadU32());
+        chain.pending.clear();
+        chain.pending.reserve(pending);
+        for (uint32_t i = 0; i < pending; ++i) {
+          ESP_ASSIGN_OR_RETURN(
+              Tuple tuple,
+              stream::ReadTuple(r, type.config.reading_schema));
+          chain.pending.push_back(std::move(tuple));
+        }
+      }
+    }
+    if (!r.exhausted()) {
+      return Status::ParseError("receptors section has trailing bytes");
+    }
+  }
+
+  // --- stages.
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                         in.Section("stages"));
+    ByteReader r(payload);
+    for (TypeRuntime& type : types_) {
+      for (ReceptorChain& chain : type.receptors) {
+        for (std::unique_ptr<Stage>& stage : chain.point) {
+          ESP_RETURN_IF_ERROR(LoadStageBlob(stage.get(), r));
+        }
+        if (chain.smooth != nullptr) {
+          ESP_RETURN_IF_ERROR(LoadStageBlob(chain.smooth.get(), r));
+        }
+      }
+      for (GroupChain& group : type.groups) {
+        if (group.merge != nullptr) {
+          ESP_RETURN_IF_ERROR(LoadStageBlob(group.merge.get(), r));
+        }
+      }
+      if (type.arbitrate != nullptr) {
+        ESP_RETURN_IF_ERROR(LoadStageBlob(type.arbitrate.get(), r));
+      }
+    }
+    if (virtualize_ != nullptr) {
+      ESP_RETURN_IF_ERROR(LoadStageBlob(virtualize_.get(), r));
+    }
+    if (!r.exhausted()) {
+      return Status::ParseError("stages section has trailing bytes");
+    }
+  }
+
+  // --- errors.
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                         in.Section("errors"));
+    ByteReader r(payload);
+    ESP_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+    stage_errors_.clear();
+    for (uint32_t i = 0; i < count; ++i) {
+      ESP_ASSIGN_OR_RETURN(std::string label, r.ReadString());
+      StageErrorStat stat;
+      stat.stage = label;
+      ESP_ASSIGN_OR_RETURN(stat.errors, r.ReadI64());
+      ESP_ASSIGN_OR_RETURN(stat.last_message, r.ReadString());
+      stage_errors_.emplace(std::move(label), std::move(stat));
+    }
+    if (!r.exhausted()) {
+      return Status::ParseError("errors section has trailing bytes");
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<SchemaRef> EspProcessor::TypeOutputSchema(

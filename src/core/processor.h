@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "core/checkpoint.h"
 #include "core/granule.h"
 #include "core/health.h"
 #include "core/stage.h"
@@ -134,6 +135,24 @@ class EspProcessor {
   /// tallies. Valid after Start(); cheap enough to poll every tick.
   PipelineHealth Health() const;
 
+  /// Serializes the full mutable runtime state — reorder buffers, every
+  /// stage's window/model state, receptor health, dynamic group
+  /// assignments, stage-error tallies, and the tick clock — into named
+  /// sections of `out` (docs/RECOVERY.md). Valid after Start(). The
+  /// deployment configuration is NOT serialized; a config fingerprint is,
+  /// so Restore() can reject snapshots from a different deployment.
+  Status Checkpoint(CheckpointWriter& out) const;
+
+  /// Restores state saved by Checkpoint() into this processor, which must
+  /// be identically configured and Start()ed (typically rebuilt from the
+  /// same deployment spec). After Restore the processor behaves
+  /// tick-for-tick identically to the one that was checkpointed.
+  Status Restore(const CheckpointReader& in);
+
+  /// Durability counters, written by the RecoveryCoordinator and reported
+  /// through Health().
+  RecoveryStats& mutable_recovery_stats() { return recovery_stats_; }
+
   const GranuleMap& granules() const { return granules_; }
 
  private:
@@ -196,6 +215,7 @@ class EspProcessor {
   std::map<std::string, StageErrorStat> stage_errors_;
   /// Device types whose quarantine group has been registered.
   std::set<std::string> quarantine_groups_;
+  RecoveryStats recovery_stats_;
   bool started_ = false;
   bool has_ticked_ = false;
   Timestamp last_tick_;

@@ -1,0 +1,294 @@
+#include "core/recovery.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+
+namespace esp::core {
+
+namespace {
+
+constexpr const char* kJournalFile = "journal.wal";
+constexpr const char* kSnapshotPrefix = "snap_";
+constexpr const char* kSnapshotSuffix = ".ckpt";
+
+/// Parses "snap_<digits>.ckpt" into its sequence number.
+bool ParseSnapshotName(const std::string& name, uint64_t* seq) {
+  const size_t prefix_len = std::strlen(kSnapshotPrefix);
+  const size_t suffix_len = std::strlen(kSnapshotSuffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kSnapshotPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSnapshotSuffix) !=
+      0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+/// All snapshots in `dir`, sorted ascending by sequence number.
+StatusOr<std::vector<std::pair<uint64_t, std::string>>> ListSnapshots(
+    const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::IoError("opendir '" + dir + "': " + std::strerror(errno));
+  }
+  std::vector<std::pair<uint64_t, std::string>> found;
+  while (const dirent* entry = ::readdir(handle)) {
+    uint64_t seq = 0;
+    const std::string name = entry->d_name;
+    if (ParseSnapshotName(name, &seq)) {
+      found.emplace_back(seq, dir + "/" + name);
+    }
+  }
+  ::closedir(handle);
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::IoError("mkdir '" + dir + "': " + std::strerror(errno));
+}
+
+JournalWriter::Options JournalOptions(const RecoveryOptions& options) {
+  JournalWriter::Options journal;
+  journal.fsync_on_flush = options.fsync;
+  journal.flush_every_records = options.journal_flush_every;
+  return journal;
+}
+
+Status ValidateOptions(const RecoveryOptions& options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("recovery directory must be set");
+  }
+  if (options.retain_snapshots == 0) {
+    return Status::InvalidArgument("retain_snapshots must be at least 1");
+  }
+  if (options.journal_flush_every == 0) {
+    return Status::InvalidArgument("journal_flush_every must be at least 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RecoveryCoordinator::JournalPath() const {
+  return options_.directory + "/" + kJournalFile;
+}
+
+std::string RecoveryCoordinator::SnapshotPath(uint64_t seq) const {
+  std::string digits = std::to_string(seq);
+  while (digits.size() < 8) digits.insert(digits.begin(), '0');
+  return options_.directory + "/" + kSnapshotPrefix + digits + kSnapshotSuffix;
+}
+
+StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Start(
+    EspProcessor* processor, RecoveryOptions options) {
+  ESP_RETURN_IF_ERROR(ValidateOptions(options));
+  ESP_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  // A fresh session owns the directory: snapshots from an earlier journal
+  // would hold resume indexes into a history that no longer exists.
+  ESP_ASSIGN_OR_RETURN(const auto stale, ListSnapshots(options.directory));
+  for (const auto& [seq, path] : stale) {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IoError("unlink '" + path + "': " + std::strerror(errno));
+    }
+  }
+  ESP_ASSIGN_OR_RETURN(
+      std::unique_ptr<JournalWriter> journal,
+      JournalWriter::Create(options.directory + "/" + kJournalFile,
+                            JournalOptions(options)));
+  return std::unique_ptr<RecoveryCoordinator>(new RecoveryCoordinator(
+      processor, std::move(options), std::move(journal), /*next_seq=*/1));
+}
+
+StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
+    EspProcessor* processor, RecoveryOptions options, RestoreReport* report,
+    const ReplayTickCallback& on_replayed_tick) {
+  ESP_RETURN_IF_ERROR(ValidateOptions(options));
+  // A crash can precede even the directory's creation; resuming from
+  // nothing is a fresh start.
+  ESP_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  const std::string journal_path = options.directory + "/" + kJournalFile;
+
+  // 1. Repair the journal: drop the torn tail a crash mid-append leaves. A
+  // missing journal (crash before the session created it) scans as empty.
+  JournalScan scan;
+  {
+    StatusOr<JournalScan> scanned =
+        ScanJournal(journal_path, /*truncate_torn_tail=*/true);
+    if (scanned.ok()) {
+      scan = std::move(scanned).value();
+    } else if (scanned.status().code() != StatusCode::kNotFound) {
+      return scanned.status();
+    }
+  }
+
+  RestoreReport local;
+  RestoreReport* out = report != nullptr ? report : &local;
+  *out = RestoreReport{};
+  out->journal_torn_bytes = scan.torn_bytes;
+
+  // 2. Load the newest snapshot that validates; corrupt ones (CRC
+  // mismatch, truncation, bad sections) are skipped in favour of older
+  // ones. With none usable, replay starts from the beginning of the
+  // journal into the freshly started processor.
+  ESP_ASSIGN_OR_RETURN(auto snapshots, ListSnapshots(options.directory));
+  uint64_t max_seq = 0;
+  for (const auto& [seq, path] : snapshots) max_seq = std::max(max_seq, seq);
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    StatusOr<CheckpointReader> reader = CheckpointReader::FromFile(it->second);
+    if (reader.ok()) {
+      auto try_load = [&]() -> Status {
+        ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                             reader->Section("recovery"));
+        ByteReader r(payload);
+        ESP_ASSIGN_OR_RETURN(const uint64_t resume_index, r.ReadU64());
+        ESP_ASSIGN_OR_RETURN(const uint64_t seq, r.ReadU64());
+        if (resume_index > scan.records.size()) {
+          return Status::ParseError(
+              "snapshot resume index " + std::to_string(resume_index) +
+              " is past the journal's " +
+              std::to_string(scan.records.size()) + " records");
+        }
+        ESP_RETURN_IF_ERROR(processor->Restore(*reader));
+        out->from_snapshot = true;
+        out->snapshot_seq = seq;
+        out->resume_record_index = resume_index;
+        return Status::OK();
+      };
+      if (try_load().ok()) break;
+    }
+    ++out->snapshots_skipped;
+  }
+
+  // 3. Replay the journal suffix. Push rejections (late readings, unknown
+  // receptors) repeat deterministically and are ignored just as the
+  // original caller observed and dropped them.
+  for (size_t i = out->resume_record_index; i < scan.records.size(); ++i) {
+    const JournalRecord& record = scan.records[i];
+    switch (record.kind) {
+      case JournalRecord::Kind::kPush: {
+        ESP_ASSIGN_OR_RETURN(
+            const stream::SchemaRef schema,
+            processor->TypeReadingSchema(record.device_type));
+        ESP_ASSIGN_OR_RETURN(stream::Tuple tuple,
+                             DecodeJournalTuple(record, schema));
+        (void)processor->Push(record.device_type, std::move(tuple));
+        ++out->replayed_pushes;
+        break;
+      }
+      case JournalRecord::Kind::kTick: {
+        ESP_ASSIGN_OR_RETURN(EspProcessor::TickResult result,
+                             processor->Tick(record.tick_time));
+        if (on_replayed_tick != nullptr) {
+          ESP_RETURN_IF_ERROR(on_replayed_tick(record.tick_time, result));
+        }
+        ++out->replayed_ticks;
+        break;
+      }
+    }
+  }
+
+  // 4. Reopen the journal for appending (recreate it when the crash
+  // happened before even the header landed).
+  std::unique_ptr<JournalWriter> journal;
+  if (scan.valid_bytes > 0) {
+    ESP_ASSIGN_OR_RETURN(journal,
+                         JournalWriter::Append(journal_path,
+                                               JournalOptions(options),
+                                               scan.records.size()));
+  } else {
+    ESP_ASSIGN_OR_RETURN(
+        journal, JournalWriter::Create(journal_path, JournalOptions(options)));
+  }
+
+  RecoveryStats& stats = processor->mutable_recovery_stats();
+  ++stats.restores;
+  stats.restore_replays +=
+      static_cast<int64_t>(out->replayed_pushes + out->replayed_ticks);
+  stats.corrupt_snapshots_skipped +=
+      static_cast<int64_t>(out->snapshots_skipped);
+  stats.journal_torn_bytes += static_cast<int64_t>(out->journal_torn_bytes);
+  stats.journal_records = static_cast<int64_t>(journal->records_written());
+
+  return std::unique_ptr<RecoveryCoordinator>(new RecoveryCoordinator(
+      processor, std::move(options), std::move(journal), max_seq + 1));
+}
+
+void RecoveryCoordinator::SyncJournalStats() {
+  RecoveryStats& stats = processor_->mutable_recovery_stats();
+  stats.journal_records = static_cast<int64_t>(journal_->records_written());
+  stats.journal_bytes = static_cast<int64_t>(journal_->bytes_written());
+}
+
+Status RecoveryCoordinator::Push(const std::string& device_type,
+                                 stream::Tuple raw) {
+  // Journal-before-apply: the record must be in the journal's buffer before
+  // the processor mutates state from it.
+  ESP_RETURN_IF_ERROR(journal_->AppendPush(device_type, raw));
+  SyncJournalStats();
+  return processor_->Push(device_type, std::move(raw));
+}
+
+StatusOr<EspProcessor::TickResult> RecoveryCoordinator::Tick(Timestamp now) {
+  ESP_RETURN_IF_ERROR(journal_->AppendTick(now));
+  SyncJournalStats();
+  ESP_ASSIGN_OR_RETURN(EspProcessor::TickResult result,
+                       processor_->Tick(now));
+  ++ticks_since_checkpoint_;
+  if (options_.checkpoint_interval_ticks > 0 &&
+      ticks_since_checkpoint_ >= options_.checkpoint_interval_ticks) {
+    ESP_RETURN_IF_ERROR(Checkpoint());
+  }
+  return result;
+}
+
+Status RecoveryCoordinator::Checkpoint() {
+  // The journal must be durable up to the resume index the snapshot
+  // records, or a crash right after the snapshot could strand it pointing
+  // past the journal's tail.
+  ESP_RETURN_IF_ERROR(journal_->Flush());
+  CheckpointWriter writer;
+  ESP_RETURN_IF_ERROR(processor_->Checkpoint(writer));
+  ByteWriter recovery;
+  recovery.WriteU64(journal_->records_written());
+  recovery.WriteU64(next_seq_);
+  writer.AddSection("recovery", std::move(recovery));
+  ESP_RETURN_IF_ERROR(writer.WriteToFile(SnapshotPath(next_seq_)));
+  ++next_seq_;
+  ticks_since_checkpoint_ = 0;
+  RecoveryStats& stats = processor_->mutable_recovery_stats();
+  ++stats.checkpoints_written;
+  SyncJournalStats();
+  return PruneSnapshots();
+}
+
+Status RecoveryCoordinator::PruneSnapshots() {
+  ESP_ASSIGN_OR_RETURN(auto snapshots, ListSnapshots(options_.directory));
+  if (snapshots.size() <= options_.retain_snapshots) return Status::OK();
+  const size_t excess = snapshots.size() - options_.retain_snapshots;
+  for (size_t i = 0; i < excess; ++i) {
+    if (::unlink(snapshots[i].second.c_str()) != 0) {
+      return Status::IoError("unlink '" + snapshots[i].second +
+                             "': " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace esp::core

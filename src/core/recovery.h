@@ -1,0 +1,136 @@
+#ifndef ESP_CORE_RECOVERY_H_
+#define ESP_CORE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/journal.h"
+#include "core/processor.h"
+#include "stream/tuple.h"
+
+namespace esp::core {
+
+/// \brief Knobs of the durability layer (docs/RECOVERY.md). Set in code or
+/// via a `[recovery]` section in the deployment spec.
+struct RecoveryOptions {
+  /// Directory holding the journal (`journal.wal`) and snapshots
+  /// (`snap_<seq>.ckpt`). Created if missing (one level).
+  std::string directory;
+
+  /// Automatic checkpoint every N successful ticks; 0 = only explicit
+  /// Checkpoint() calls.
+  uint64_t checkpoint_interval_ticks = 0;
+
+  /// Snapshots retained on disk; older ones are pruned after each
+  /// checkpoint. At least 2 gives fallback when the newest is corrupt.
+  size_t retain_snapshots = 3;
+
+  /// fsync journal flushes and snapshot writes (see JournalWriter::Options).
+  bool fsync = true;
+
+  /// Journal auto-flush cadence in records (1 = every append).
+  uint64_t journal_flush_every = 1;
+};
+
+/// \brief What a Resume() did to bring the pipeline back.
+struct RestoreReport {
+  /// False when no usable snapshot existed and the whole journal was
+  /// replayed into the freshly started processor.
+  bool from_snapshot = false;
+  uint64_t snapshot_seq = 0;
+  /// Snapshots that failed CRC/parse validation and were skipped (newest
+  /// first) before one loaded.
+  size_t snapshots_skipped = 0;
+  /// Journal record index the snapshot covered; replay started here.
+  uint64_t resume_record_index = 0;
+  uint64_t replayed_pushes = 0;
+  uint64_t replayed_ticks = 0;
+  /// Bytes cut from the journal's torn tail (crash mid-append).
+  uint64_t journal_torn_bytes = 0;
+};
+
+/// \brief Orchestrates the durability protocol around an EspProcessor:
+/// journal-before-apply on every Push/Tick, periodic snapshots, retention,
+/// and crash recovery (latest valid snapshot + journal suffix replay).
+///
+/// Invariants making replay exact (docs/RECOVERY.md):
+///  - every input reaches the journal before the processor sees it, so the
+///    journal is never behind the in-memory state it would rebuild;
+///  - a checkpoint flushes the journal before its snapshot lands, so the
+///    snapshot's resume index never points past the journal's durable tail;
+///  - snapshots are written atomically and the journal is only ever
+///    truncated at its torn tail, so falling back to snapshot N-1 still
+///    finds every record its replay needs.
+class RecoveryCoordinator {
+ public:
+  /// Called for each tick replayed during Resume, with the recomputed
+  /// outputs — exactly what the pre-crash run returned for that tick.
+  using ReplayTickCallback = std::function<Status(
+      Timestamp now, const EspProcessor::TickResult& result)>;
+
+  /// Begins a fresh durable session for `processor` (configured and
+  /// Start()ed): creates `options.directory` if missing, truncates the
+  /// journal, and removes stale snapshots from earlier sessions.
+  static StatusOr<std::unique_ptr<RecoveryCoordinator>> Start(
+      EspProcessor* processor, RecoveryOptions options);
+
+  /// Recovers a crashed session into `processor`, which must be freshly
+  /// configured and Start()ed from the same deployment: repairs the
+  /// journal's torn tail, loads the newest valid snapshot (falling back
+  /// past corrupt ones), replays the journal suffix, and reopens the
+  /// journal for appending. `report` (optional) receives what happened;
+  /// `on_replayed_tick` (optional) observes each replayed tick's outputs.
+  static StatusOr<std::unique_ptr<RecoveryCoordinator>> Resume(
+      EspProcessor* processor, RecoveryOptions options,
+      RestoreReport* report = nullptr,
+      const ReplayTickCallback& on_replayed_tick = nullptr);
+
+  /// Journals the reading, then pushes it into the processor. Returns the
+  /// processor's verdict (journal I/O errors take precedence). Rejected
+  /// readings stay in the journal — replay re-rejects them identically.
+  Status Push(const std::string& device_type, stream::Tuple raw);
+
+  /// Journals the tick boundary, runs the cascade, and — every
+  /// `checkpoint_interval_ticks` successful ticks — takes a checkpoint.
+  StatusOr<EspProcessor::TickResult> Tick(Timestamp now);
+
+  /// Flushes the journal and atomically writes snapshot N, then prunes
+  /// snapshots older than the retention window.
+  Status Checkpoint();
+
+  /// Records currently in the journal (appended + recovered prefix).
+  uint64_t journal_records() const { return journal_->records_written(); }
+
+  /// Sequence number the next checkpoint will use.
+  uint64_t next_snapshot_seq() const { return next_seq_; }
+
+  const RecoveryOptions& options() const { return options_; }
+
+ private:
+  RecoveryCoordinator(EspProcessor* processor, RecoveryOptions options,
+                      std::unique_ptr<JournalWriter> journal,
+                      uint64_t next_seq)
+      : processor_(processor),
+        options_(std::move(options)),
+        journal_(std::move(journal)),
+        next_seq_(next_seq) {}
+
+  std::string JournalPath() const;
+  std::string SnapshotPath(uint64_t seq) const;
+  Status PruneSnapshots();
+  void SyncJournalStats();
+
+  EspProcessor* processor_;
+  RecoveryOptions options_;
+  std::unique_ptr<JournalWriter> journal_;
+  uint64_t next_seq_ = 1;
+  uint64_t ticks_since_checkpoint_ = 0;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_RECOVERY_H_

@@ -157,4 +157,46 @@ size_t FunctionStage::buffered() const {
   return total;
 }
 
+Status CqlStage::SaveState(ByteWriter& w) const {
+  if (cq_ == nullptr) return Status::Internal("stage not bound");
+  cq_->SaveState(w);
+  return Status::OK();
+}
+
+Status CqlStage::LoadState(ByteReader& r) {
+  if (cq_ == nullptr) return Status::Internal("stage not bound");
+  return cq_->LoadState(r);
+}
+
+Status FunctionStage::SaveState(ByteWriter& w) const {
+  if (!bound_called_) return Status::Internal("stage not bound");
+  w.WriteU32(static_cast<uint32_t>(bound_.size()));
+  for (const BoundInput& bound : bound_) {
+    w.WriteString(bound.declared.stream);
+    bound.buffer.SaveState(w);
+  }
+  return Status::OK();
+}
+
+Status FunctionStage::LoadState(ByteReader& r) {
+  if (!bound_called_) return Status::Internal("stage not bound");
+  ESP_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+  if (count != bound_.size()) {
+    return Status::ParseError("serialized FunctionStage state has " +
+                              std::to_string(count) + " inputs, stage '" +
+                              name() + "' declares " +
+                              std::to_string(bound_.size()));
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    ESP_ASSIGN_OR_RETURN(const std::string stream_name, r.ReadString());
+    if (!StrEqualsIgnoreCase(stream_name, bound_[i].declared.stream)) {
+      return Status::ParseError("serialized FunctionStage input '" +
+                                stream_name + "' does not match declared '" +
+                                bound_[i].declared.stream + "'");
+    }
+    ESP_RETURN_IF_ERROR(bound_[i].buffer.LoadState(r));
+  }
+  return Status::OK();
+}
+
 }  // namespace esp::core

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "cql/continuous_query.h"
@@ -62,6 +63,29 @@ class Stage {
   /// by the memory-boundedness soak tests).
   virtual size_t buffered() const { return 0; }
 
+  /// Serializes the stage's mutable runtime state (window contents, clocks,
+  /// learned statistics) for a pipeline checkpoint. Configuration (queries,
+  /// schemas, parameters) is NOT serialized — restore happens into a stage
+  /// rebuilt from the same deployment and already Bind()ed. Stages built
+  /// into the repository all support this; custom subclasses that keep no
+  /// state across ticks may rely on the default, which saves nothing, while
+  /// stateful subclasses must override both hooks (the default LoadState
+  /// fails loudly rather than silently resuming from empty state).
+  virtual Status SaveState(ByteWriter& w) const {
+    (void)w;
+    if (buffered() == 0) return Status::OK();
+    return Status::Unimplemented("stage '" + name_ +
+                                 "' does not implement SaveState");
+  }
+
+  /// Restores state saved by SaveState. Called after Bind on an identically
+  /// configured stage.
+  virtual Status LoadState(ByteReader& r) {
+    if (r.exhausted()) return Status::OK();
+    return Status::Unimplemented("stage '" + name_ +
+                                 "' does not implement LoadState");
+  }
+
  protected:
   stream::SchemaRef output_schema_;
 
@@ -93,6 +117,8 @@ class CqlStage : public Stage {
   size_t buffered() const override {
     return cq_ == nullptr ? 0 : cq_->buffered();
   }
+  Status SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
   /// The (possibly rewritten) query text this stage runs.
   const std::string& query_text() const { return query_text_; }
@@ -129,6 +155,8 @@ class FunctionStage : public Stage {
   Status Push(const std::string& input, stream::Tuple tuple) override;
   StatusOr<stream::Relation> Evaluate(Timestamp now) override;
   size_t buffered() const override;
+  Status SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
  private:
   struct BoundInput {

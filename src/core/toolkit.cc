@@ -137,6 +137,19 @@ StageFactory NativeSmoothPresenceCount(TemporalGranule granule,
             });
       }
 
+      size_t buffered() const override {
+        return buffer_.has_value() ? buffer_->buffered() : 0;
+      }
+      Status SaveState(ByteWriter& w) const override {
+        if (!buffer_.has_value()) return Status::Internal("stage not bound");
+        buffer_->SaveState(w);
+        return Status::OK();
+      }
+      Status LoadState(ByteReader& r) override {
+        if (!buffer_.has_value()) return Status::Internal("stage not bound");
+        return buffer_->LoadState(r);
+      }
+
      private:
       TemporalGranule granule_;
       std::string key_;
@@ -204,6 +217,19 @@ StageFactory NativeSmoothWindowedAverage(TemporalGranule granule,
                                            : Value::Double(sum / n)},
                            now);
             });
+      }
+
+      size_t buffered() const override {
+        return buffer_.has_value() ? buffer_->buffered() : 0;
+      }
+      Status SaveState(ByteWriter& w) const override {
+        if (!buffer_.has_value()) return Status::Internal("stage not bound");
+        buffer_->SaveState(w);
+        return Status::OK();
+      }
+      Status LoadState(ByteReader& r) override {
+        if (!buffer_.has_value()) return Status::Internal("stage not bound");
+        return buffer_->LoadState(r);
       }
 
      private:
@@ -374,6 +400,19 @@ StageFactory ArbitrateMaxCountCalibrated(std::string key_column,
           }
         }
         return out;
+      }
+
+      size_t buffered() const override {
+        return buffer_.has_value() ? buffer_->buffered() : 0;
+      }
+      Status SaveState(ByteWriter& w) const override {
+        if (!buffer_.has_value()) return Status::Internal("stage not bound");
+        buffer_->SaveState(w);
+        return Status::OK();
+      }
+      Status LoadState(ByteReader& r) override {
+        if (!buffer_.has_value()) return Status::Internal("stage not bound");
+        return buffer_->LoadState(r);
       }
 
      private:

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "cql/parser.h"
+#include "stream/serialize.h"
 
 namespace esp::cql {
 
@@ -241,6 +242,58 @@ size_t ContinuousQuery::buffered() const {
   size_t total = 0;
   for (const StreamState& state : streams_) total += state.history.size();
   return total;
+}
+
+void ContinuousQuery::SaveState(ByteWriter& w) const {
+  w.WriteBool(has_evaluated_);
+  w.WriteI64(last_eval_.micros());
+  w.WriteU32(static_cast<uint32_t>(streams_.size()));
+  for (const StreamState& state : streams_) {
+    w.WriteString(state.name);
+    w.WriteBool(state.has_inserted);
+    w.WriteI64(state.last_insert.micros());
+    w.WriteU64(state.history.size());
+    for (const stream::Tuple& tuple : state.history) {
+      stream::WriteTuple(w, tuple);
+    }
+  }
+}
+
+Status ContinuousQuery::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(has_evaluated_, r.ReadBool());
+  ESP_ASSIGN_OR_RETURN(const int64_t eval_micros, r.ReadI64());
+  last_eval_ = Timestamp::Micros(eval_micros);
+  ESP_ASSIGN_OR_RETURN(const uint32_t stream_count, r.ReadU32());
+  if (stream_count != streams_.size()) {
+    return Status::ParseError(
+        "serialized query state has " + std::to_string(stream_count) +
+        " streams, query reads " + std::to_string(streams_.size()));
+  }
+  for (uint32_t i = 0; i < stream_count; ++i) {
+    ESP_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
+    StreamState* state = nullptr;
+    for (StreamState& candidate : streams_) {
+      if (esp::StrEqualsIgnoreCase(candidate.name, name)) {
+        state = &candidate;
+        break;
+      }
+    }
+    if (state == nullptr) {
+      return Status::ParseError("serialized query state names stream '" +
+                                name + "' this query does not read");
+    }
+    ESP_ASSIGN_OR_RETURN(state->has_inserted, r.ReadBool());
+    ESP_ASSIGN_OR_RETURN(const int64_t insert_micros, r.ReadI64());
+    state->last_insert = Timestamp::Micros(insert_micros);
+    ESP_ASSIGN_OR_RETURN(const uint64_t history_size, r.ReadU64());
+    state->history.clear();
+    for (uint64_t t = 0; t < history_size; ++t) {
+      ESP_ASSIGN_OR_RETURN(stream::Tuple tuple,
+                           stream::ReadTuple(r, state->schema));
+      state->history.push_back(std::move(tuple));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace esp::cql

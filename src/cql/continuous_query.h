@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/binio.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "cql/analyzer.h"
@@ -48,6 +49,16 @@ class ContinuousQuery {
   /// Total tuples currently buffered across all input streams (observability
   /// and tests).
   size_t buffered() const;
+
+  /// Serializes the mutable runtime state — every stream's retained history
+  /// plus the insertion/evaluation clocks. The query text and schemas are
+  /// configuration and are not serialized.
+  void SaveState(ByteWriter& w) const;
+
+  /// Restores state saved by SaveState into a query created from the same
+  /// text and input schemas. Fails when the serialized streams do not match
+  /// this query's stream set.
+  Status LoadState(ByteReader& r);
 
  private:
   /// Retention policy for one referenced input stream, the union of every

@@ -2,6 +2,7 @@
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "core/journal.h"
 
 namespace esp::sim {
 
@@ -87,6 +88,40 @@ StatusOr<Relation> ReadRelationCsv(const std::string& path,
       }
     }
     relation.Add(Tuple(schema, std::move(values), Timestamp::Micros(micros)));
+  }
+  return relation;
+}
+
+Status WriteRelationJournal(const std::string& path,
+                            const std::string& device_type,
+                            const Relation& relation) {
+  if (relation.schema() == nullptr) {
+    return Status::InvalidArgument("relation has no schema");
+  }
+  core::JournalWriter::Options options;
+  options.fsync_on_flush = false;  // Archival, not crash durability.
+  options.flush_every_records = 1024;
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<core::JournalWriter> writer,
+                       core::JournalWriter::Create(path, options));
+  for (const Tuple& tuple : relation.tuples()) {
+    ESP_RETURN_IF_ERROR(writer->AppendPush(device_type, tuple));
+  }
+  return writer->Flush();
+}
+
+StatusOr<Relation> ReadRelationJournal(const std::string& path,
+                                       const std::string& device_type,
+                                       stream::SchemaRef schema) {
+  ESP_ASSIGN_OR_RETURN(
+      const core::JournalScan scan,
+      core::ScanJournal(path, /*truncate_torn_tail=*/false));
+  Relation relation(schema);
+  for (const core::JournalRecord& record : scan.records) {
+    if (record.kind != core::JournalRecord::Kind::kPush) continue;
+    if (!StrEqualsIgnoreCase(record.device_type, device_type)) continue;
+    ESP_ASSIGN_OR_RETURN(Tuple tuple,
+                         core::DecodeJournalTuple(record, schema));
+    relation.Add(std::move(tuple));
   }
   return relation;
 }

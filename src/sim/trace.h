@@ -19,6 +19,23 @@ Status WriteRelationCsv(const std::string& path,
 StatusOr<stream::Relation> ReadRelationCsv(const std::string& path,
                                            stream::SchemaRef schema);
 
+/// \brief Archives a relation of raw readings as an ESP input journal
+/// (core/journal.h): one push record per tuple, in relation order, tagged
+/// with `device_type`. Binary, CRC-framed, and bit-exact on round-trip —
+/// unlike CSV, doubles survive without formatting loss, so a journal trace
+/// replays a simulation identically.
+Status WriteRelationJournal(const std::string& path,
+                            const std::string& device_type,
+                            const stream::Relation& relation);
+
+/// \brief Reads back every push record for `device_type` from a journal
+/// (records of other device types are skipped; tick records are ignored).
+/// Tolerates a torn tail, so a journal captured from a crashed run loads
+/// up to its last complete record.
+StatusOr<stream::Relation> ReadRelationJournal(const std::string& path,
+                                               const std::string& device_type,
+                                               stream::SchemaRef schema);
+
 }  // namespace esp::sim
 
 #endif  // ESP_SIM_TRACE_H_

@@ -63,6 +63,50 @@ Value AggregatePartial::Final(IncAggKind kind) const {
   return Value::Null();
 }
 
+void AggregatePartial::SaveState(ByteWriter& w) const {
+  w.WriteI64(count);
+  w.WriteDouble(sum);
+  w.WriteDouble(min);
+  w.WriteDouble(max);
+  w.WriteDouble(mean);
+  w.WriteDouble(m2);
+}
+
+Status AggregatePartial::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(count, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(sum, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(min, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(max, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(mean, r.ReadDouble());
+  ESP_ASSIGN_OR_RETURN(m2, r.ReadDouble());
+  return Status::OK();
+}
+
+void PaneWindowAggregate::SaveState(ByteWriter& w) const {
+  w.WriteBool(has_inserted_);
+  w.WriteI64(last_insert_.micros());
+  w.WriteU64(panes_.size());
+  for (const Pane& pane : panes_) {
+    w.WriteI64(pane.index);
+    pane.partial.SaveState(w);
+  }
+}
+
+Status PaneWindowAggregate::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(has_inserted_, r.ReadBool());
+  ESP_ASSIGN_OR_RETURN(const int64_t last_micros, r.ReadI64());
+  last_insert_ = Timestamp::Micros(last_micros);
+  ESP_ASSIGN_OR_RETURN(const uint64_t count, r.ReadU64());
+  panes_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    Pane pane;
+    ESP_ASSIGN_OR_RETURN(pane.index, r.ReadI64());
+    ESP_RETURN_IF_ERROR(pane.partial.LoadState(r));
+    panes_.push_back(std::move(pane));
+  }
+  return Status::OK();
+}
+
 StatusOr<PaneWindowAggregate> PaneWindowAggregate::Create(Duration range,
                                                           Duration pane,
                                                           IncAggKind kind) {

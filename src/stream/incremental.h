@@ -3,6 +3,7 @@
 
 #include <deque>
 
+#include "common/binio.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "stream/value.h"
@@ -32,6 +33,10 @@ struct AggregatePartial {
   /// Extracts the final value for one aggregate kind. Empty partials
   /// finalize to null (count finalizes to 0), matching SQL semantics.
   Value Final(IncAggKind kind) const;
+
+  /// Serializes / restores the sufficient statistics (durability layer).
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 };
 
 /// \brief Incremental sliding-window aggregation via panes.
@@ -62,6 +67,12 @@ class PaneWindowAggregate {
   StatusOr<Value> Evaluate(Timestamp now);
 
   size_t live_panes() const { return panes_.size(); }
+
+  /// Serializes the live panes + insertion clock. Range/pane/kind are
+  /// configuration and are not serialized; restore into an identically
+  /// configured instance.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   PaneWindowAggregate(Duration range, Duration pane, IncAggKind kind)

@@ -1,0 +1,158 @@
+#include "stream/serialize.h"
+
+namespace esp::stream {
+
+namespace {
+
+// Stable on-disk type tags; append-only (never renumber).
+enum : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt64 = 2,
+  kTagDouble = 3,
+  kTagString = 4,
+  kTagTimestamp = 5,
+};
+
+StatusOr<DataType> TypeFromTag(uint8_t tag) {
+  switch (tag) {
+    case kTagNull:
+      return DataType::kNull;
+    case kTagBool:
+      return DataType::kBool;
+    case kTagInt64:
+      return DataType::kInt64;
+    case kTagDouble:
+      return DataType::kDouble;
+    case kTagString:
+      return DataType::kString;
+    case kTagTimestamp:
+      return DataType::kTimestamp;
+    default:
+      return Status::ParseError("unknown value type tag " +
+                                std::to_string(tag));
+  }
+}
+
+uint8_t TagOf(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return kTagNull;
+    case DataType::kBool:
+      return kTagBool;
+    case DataType::kInt64:
+      return kTagInt64;
+    case DataType::kDouble:
+      return kTagDouble;
+    case DataType::kString:
+      return kTagString;
+    case DataType::kTimestamp:
+      return kTagTimestamp;
+  }
+  return kTagNull;
+}
+
+}  // namespace
+
+void WriteValue(ByteWriter& w, const Value& value) {
+  w.WriteU8(TagOf(value.type()));
+  switch (value.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      w.WriteBool(value.bool_value());
+      break;
+    case DataType::kInt64:
+      w.WriteI64(value.int64_value());
+      break;
+    case DataType::kDouble:
+      w.WriteDouble(value.double_value());
+      break;
+    case DataType::kString:
+      w.WriteString(value.string_value());
+      break;
+    case DataType::kTimestamp:
+      w.WriteI64(value.time_value().micros());
+      break;
+  }
+}
+
+StatusOr<Value> ReadValue(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(const uint8_t tag, r.ReadU8());
+  ESP_ASSIGN_OR_RETURN(const DataType type, TypeFromTag(tag));
+  switch (type) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      ESP_ASSIGN_OR_RETURN(const bool v, r.ReadBool());
+      return Value::Bool(v);
+    }
+    case DataType::kInt64: {
+      ESP_ASSIGN_OR_RETURN(const int64_t v, r.ReadI64());
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      ESP_ASSIGN_OR_RETURN(const double v, r.ReadDouble());
+      return Value::Double(v);
+    }
+    case DataType::kString: {
+      ESP_ASSIGN_OR_RETURN(std::string v, r.ReadString());
+      return Value::String(std::move(v));
+    }
+    case DataType::kTimestamp: {
+      ESP_ASSIGN_OR_RETURN(const int64_t micros, r.ReadI64());
+      return Value::Time(Timestamp::Micros(micros));
+    }
+  }
+  return Status::Internal("unreachable value tag");
+}
+
+void WriteTuple(ByteWriter& w, const Tuple& tuple) {
+  w.WriteI64(tuple.timestamp().micros());
+  w.WriteU32(static_cast<uint32_t>(tuple.num_fields()));
+  for (const Value& value : tuple.values()) WriteValue(w, value);
+}
+
+StatusOr<Tuple> ReadTuple(ByteReader& r, const SchemaRef& schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("ReadTuple requires a schema");
+  }
+  ESP_ASSIGN_OR_RETURN(const int64_t micros, r.ReadI64());
+  ESP_ASSIGN_OR_RETURN(const uint32_t arity, r.ReadU32());
+  if (arity != schema->num_fields()) {
+    return Status::ParseError(
+        "serialized tuple arity " + std::to_string(arity) +
+        " does not match schema '" + schema->ToString() + "'");
+  }
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    ESP_ASSIGN_OR_RETURN(Value value, ReadValue(r));
+    values.push_back(std::move(value));
+  }
+  return Tuple(schema, std::move(values), Timestamp::Micros(micros));
+}
+
+void WriteSchema(ByteWriter& w, const Schema& schema) {
+  w.WriteU32(static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& field : schema.fields()) {
+    w.WriteString(field.name);
+    w.WriteU8(TagOf(field.type));
+  }
+}
+
+StatusOr<SchemaRef> ReadSchema(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+  std::vector<Field> fields;
+  fields.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Field field;
+    ESP_ASSIGN_OR_RETURN(field.name, r.ReadString());
+    ESP_ASSIGN_OR_RETURN(const uint8_t tag, r.ReadU8());
+    ESP_ASSIGN_OR_RETURN(field.type, TypeFromTag(tag));
+    fields.push_back(std::move(field));
+  }
+  return MakeSchema(std::move(fields));
+}
+
+}  // namespace esp::stream

@@ -1,0 +1,40 @@
+#ifndef ESP_STREAM_SERIALIZE_H_
+#define ESP_STREAM_SERIALIZE_H_
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "stream/tuple.h"
+
+namespace esp::stream {
+
+/// \file
+/// Binary serialization of stream values for the durability subsystem
+/// (docs/RECOVERY.md). Values are type-tagged, so a serialized tuple is
+/// self-describing up to its schema: readers supply the schema (known to
+/// every owner of buffered tuples — window buffers, query histories, the
+/// input journal) and get back an identical Tuple.
+
+/// Appends one type-tagged value.
+void WriteValue(ByteWriter& w, const Value& value);
+
+/// Reads one type-tagged value.
+StatusOr<Value> ReadValue(ByteReader& r);
+
+/// Appends one tuple: timestamp + field count + values. The schema is NOT
+/// serialized; the reader re-attaches the one it supplies.
+void WriteTuple(ByteWriter& w, const Tuple& tuple);
+
+/// Reads one tuple against `schema`. Fails when the serialized field count
+/// does not match the schema arity.
+StatusOr<Tuple> ReadTuple(ByteReader& r, const SchemaRef& schema);
+
+/// Appends a schema (field names + types) — used by checkpoint manifests to
+/// cross-check that a snapshot matches the deployed configuration.
+void WriteSchema(ByteWriter& w, const Schema& schema);
+
+/// Reads a schema written by WriteSchema.
+StatusOr<SchemaRef> ReadSchema(ByteReader& r);
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_SERIALIZE_H_

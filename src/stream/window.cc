@@ -1,5 +1,7 @@
 #include "stream/window.h"
 
+#include "stream/serialize.h"
+
 namespace esp::stream {
 
 std::string WindowSpec::ToString() const {
@@ -60,6 +62,26 @@ void WindowBuffer::EvictBefore(Timestamp t) {
     case WindowKind::kUnbounded:
       break;  // Nothing ever dies.
   }
+}
+
+void WindowBuffer::SaveState(ByteWriter& w) const {
+  w.WriteBool(has_inserted_);
+  w.WriteI64(last_insert_time_.micros());
+  w.WriteU64(buffer_.size());
+  for (const Tuple& tuple : buffer_) WriteTuple(w, tuple);
+}
+
+Status WindowBuffer::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(has_inserted_, r.ReadBool());
+  ESP_ASSIGN_OR_RETURN(const int64_t last_micros, r.ReadI64());
+  last_insert_time_ = Timestamp::Micros(last_micros);
+  ESP_ASSIGN_OR_RETURN(const uint64_t count, r.ReadU64());
+  buffer_.clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    ESP_ASSIGN_OR_RETURN(Tuple tuple, ReadTuple(r, schema_));
+    buffer_.push_back(std::move(tuple));
+  }
+  return Status::OK();
 }
 
 Relation WindowBuffer::Snapshot(Timestamp t) const {

@@ -4,6 +4,7 @@
 #include <deque>
 #include <string>
 
+#include "common/binio.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "stream/tuple.h"
@@ -100,6 +101,15 @@ class WindowBuffer {
   Relation Snapshot(Timestamp t) const;
 
   size_t buffered() const { return buffer_.size(); }
+
+  /// Serializes the live contents (tuples + insertion clock) for the
+  /// durability subsystem. The spec and schema are NOT serialized: they are
+  /// configuration, reconstructed by whoever owns the buffer.
+  void SaveState(ByteWriter& w) const;
+
+  /// Restores contents saved by SaveState into a freshly-configured buffer
+  /// (same spec/schema). Any existing contents are replaced.
+  Status LoadState(ByteReader& r);
 
  private:
   WindowSpec spec_;

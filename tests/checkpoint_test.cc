@@ -1,0 +1,289 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/binio.h"
+#include "core/journal.h"
+#include "sim/reading.h"
+
+namespace esp::core {
+namespace {
+
+using stream::Tuple;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Patches the trailing file checksum after a deliberate payload flip, so the
+// per-section CRC (not the manifest checksum) is what catches the damage.
+void FixFileCrc(std::string& bytes) {
+  const std::string_view body(bytes.data(), bytes.size() - 4);
+  const uint32_t crc = Crc32(body);
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(CheckpointContainerTest, RoundTripPreservesSectionsAndOrder) {
+  CheckpointWriter writer;
+  writer.AddSection("alpha", std::string("first payload"));
+  ByteWriter bw;
+  bw.WriteU64(42);
+  bw.WriteString("nested");
+  writer.AddSection("beta", std::move(bw));
+  writer.AddSection("empty", std::string());
+
+  auto reader = CheckpointReader::Parse(writer.Serialize());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->section_names(),
+            (std::vector<std::string>{"alpha", "beta", "empty"}));
+
+  auto alpha = reader->Section("alpha");
+  ASSERT_TRUE(alpha.ok()) << alpha.status();
+  EXPECT_EQ(*alpha, "first payload");
+
+  auto beta = reader->Section("beta");
+  ASSERT_TRUE(beta.ok()) << beta.status();
+  ByteReader br(*beta);
+  auto num = br.ReadU64();
+  ASSERT_TRUE(num.ok());
+  EXPECT_EQ(*num, 42u);
+  auto str = br.ReadString();
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(*str, "nested");
+  EXPECT_TRUE(br.exhausted());
+
+  auto empty = reader->Section("empty");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(reader->HasSection("gamma"));
+  auto missing = reader->Section("gamma");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointContainerTest, RejectsBadMagic) {
+  CheckpointWriter writer;
+  writer.AddSection("s", std::string("payload"));
+  std::string bytes = writer.Serialize();
+  bytes[0] = 'X';
+  FixFileCrc(bytes);
+  auto reader = CheckpointReader::Parse(std::move(bytes));
+  EXPECT_EQ(reader.status().code(), StatusCode::kParseError);
+}
+
+TEST(CheckpointContainerTest, ManifestChecksumCatchesAnyFlip) {
+  CheckpointWriter writer;
+  writer.AddSection("s", std::string("payload"));
+  std::string bytes = writer.Serialize();
+  bytes[bytes.size() / 2] ^= 0x40;
+  auto reader = CheckpointReader::Parse(std::move(bytes));
+  EXPECT_EQ(reader.status().code(), StatusCode::kParseError);
+}
+
+TEST(CheckpointContainerTest, SectionCrcNamesTheDamagedSection) {
+  CheckpointWriter writer;
+  writer.AddSection("healthy", std::string("aaaaaaaa"));
+  writer.AddSection("damaged", std::string("bbbbbbbb"));
+  std::string bytes = writer.Serialize();
+  // Flip a byte inside the second payload (the last 'b' run before the
+  // trailing checksum), then repair the manifest checksum so only the
+  // per-section CRC can catch it.
+  const size_t pos = bytes.rfind("bbbbbbbb");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 3] = 'Z';
+  FixFileCrc(bytes);
+  auto reader = CheckpointReader::Parse(std::move(bytes));
+  ASSERT_EQ(reader.status().code(), StatusCode::kParseError);
+  EXPECT_NE(reader.status().message().find("damaged"), std::string::npos)
+      << reader.status();
+}
+
+TEST(CheckpointContainerTest, RejectsTruncatedFile) {
+  CheckpointWriter writer;
+  writer.AddSection("s", std::string(256, 'x'));
+  const std::string bytes = writer.Serialize();
+  // Cut at several depths: inside the trailing checksum, inside the payload,
+  // and inside the header.
+  for (const size_t keep :
+       {bytes.size() - 2, bytes.size() - 20, bytes.size() / 2, size_t{5}}) {
+    auto reader = CheckpointReader::Parse(bytes.substr(0, keep));
+    EXPECT_EQ(reader.status().code(), StatusCode::kParseError)
+        << "keep=" << keep;
+  }
+}
+
+TEST(CheckpointFileTest, AtomicWriteThenReadBack) {
+  const std::string path = TempPath("atomic_write_test.bin");
+  const std::string payload = "durable bytes \x01\x02\x03";
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  // Overwrite in place: rename replaces the old file atomically.
+  ASSERT_TRUE(AtomicWriteFile(path, "second version").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "second version");
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, ReadMissingFileIsNotFound) {
+  auto read = ReadFileToString(TempPath("definitely_absent.bin"));
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointFileTest, WriteToFileRoundTrips) {
+  const std::string path = TempPath("checkpoint_file_test.ckpt");
+  CheckpointWriter writer;
+  writer.AddSection("clock", std::string("tick tock"));
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  auto reader = CheckpointReader::FromFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto clock = reader->Section("clock");
+  ASSERT_TRUE(clock.ok());
+  EXPECT_EQ(*clock, "tick tock");
+  std::remove(path.c_str());
+}
+
+Tuple Rfid(const std::string& reader, const std::string& tag, double t) {
+  return sim::ToTuple(sim::RfidReading{reader, tag, Timestamp::Seconds(t)});
+}
+
+TEST(JournalTest, RoundTripPushAndTickRecords) {
+  const std::string path = TempPath("journal_roundtrip.wal");
+  std::remove(path.c_str());
+  {
+    auto writer = JournalWriter::Create(path, {});
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_0", "x", 1)).ok());
+    ASSERT_TRUE((*writer)->AppendTick(Timestamp::Seconds(1)).ok());
+    ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_1", "y", 2)).ok());
+    EXPECT_EQ((*writer)->records_written(), 3u);
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+
+  auto scan = ScanJournal(path, /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->torn_bytes, 0u);
+  ASSERT_EQ(scan->records.size(), 3u);
+
+  EXPECT_EQ(scan->records[0].kind, JournalRecord::Kind::kPush);
+  EXPECT_EQ(scan->records[0].device_type, "rfid");
+  auto tuple = DecodeJournalTuple(scan->records[0], sim::RfidReadingSchema());
+  ASSERT_TRUE(tuple.ok()) << tuple.status();
+  EXPECT_EQ(tuple->Get("reader_id")->string_value(), "reader_0");
+  EXPECT_EQ(tuple->Get("tag_id")->string_value(), "x");
+  EXPECT_EQ(tuple->timestamp(), Timestamp::Seconds(1));
+
+  EXPECT_EQ(scan->records[1].kind, JournalRecord::Kind::kTick);
+  EXPECT_EQ(scan->records[1].tick_time, Timestamp::Seconds(1));
+
+  tuple = DecodeJournalTuple(scan->records[2], sim::RfidReadingSchema());
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->Get("tag_id")->string_value(), "y");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornTailIsDetectedAndTruncated) {
+  const std::string path = TempPath("journal_torn.wal");
+  std::remove(path.c_str());
+  {
+    auto writer = JournalWriter::Create(path, {});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_0", "x", 1)).ok());
+    ASSERT_TRUE((*writer)->AppendTick(Timestamp::Seconds(1)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  // Simulate a crash mid-append: a frame header promising more bytes than
+  // the file holds.
+  {
+    FILE* f = fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = {static_cast<char>(0xff), 0x00, 0x00, 0x00, 0x01};
+    fwrite(torn, 1, sizeof(torn), f);
+    fclose(f);
+  }
+
+  auto scan = ScanJournal(path, /*truncate_torn_tail=*/true);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->torn_bytes, 5u);
+
+  // After repair the file scans clean and a writer can continue appending.
+  auto rescan = ScanJournal(path, /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->torn_bytes, 0u);
+  EXPECT_EQ(rescan->records.size(), 2u);
+
+  auto writer = JournalWriter::Append(path, {}, rescan->records.size());
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_1", "z", 3)).ok());
+  ASSERT_TRUE((*writer)->Flush().ok());
+  EXPECT_EQ((*writer)->records_written(), 3u);
+
+  auto final_scan = ScanJournal(path, /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(final_scan.ok());
+  ASSERT_EQ(final_scan->records.size(), 3u);
+  auto tuple =
+      DecodeJournalTuple(final_scan->records[2], sim::RfidReadingSchema());
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->Get("tag_id")->string_value(), "z");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CorruptRecordPayloadStopsTheScan) {
+  const std::string path = TempPath("journal_crcflip.wal");
+  std::remove(path.c_str());
+  {
+    auto writer = JournalWriter::Create(path, {});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_0", "x", 1)).ok());
+    ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_0", "y", 2)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  // Flip a byte in the final record's payload: the scan keeps the first
+  // record and reports the rest as torn.
+  std::string damaged = *bytes;
+  damaged[damaged.size() - 2] ^= 0x20;
+  ASSERT_TRUE(AtomicWriteFile(path, damaged).ok());
+
+  auto scan = ScanJournal(path, /*truncate_torn_tail=*/false);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_GT(scan->torn_bytes, 0u);
+  auto tuple = DecodeJournalTuple(scan->records[0], sim::RfidReadingSchema());
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->Get("tag_id")->string_value(), "x");
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, WrongMagicIsCorruptionNotATornTail) {
+  const std::string path = TempPath("journal_badmagic.wal");
+  ASSERT_TRUE(
+      AtomicWriteFile(path, std::string("NOTAJRNL\x01\x00\x00\x00", 12))
+          .ok());
+  auto scan = ScanJournal(path, /*truncate_torn_tail=*/false);
+  EXPECT_EQ(scan.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FileShorterThanHeaderScansAsEmpty) {
+  const std::string path = TempPath("journal_stub.wal");
+  ASSERT_TRUE(AtomicWriteFile(path, "ESP").ok());
+  auto scan = ScanJournal(path, /*truncate_torn_tail=*/true);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_EQ(scan->torn_bytes, 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace esp::core

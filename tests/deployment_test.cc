@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/reading.h"
 
 namespace esp::core {
@@ -225,6 +227,108 @@ stage_error_policy = failfast
                               "\n[health]\nstaleness_threshold = 1 sec\n"
                               "lateness_horizon = 1 sec\n")
                    .ok());
+}
+
+/// 1-based line number of the first occurrence of `needle` in `spec`.
+size_t LineOf(const std::string& spec, const std::string& needle) {
+  const size_t pos = spec.find(needle);
+  EXPECT_NE(pos, std::string::npos) << needle;
+  return 1 + static_cast<size_t>(
+                 std::count(spec.begin(),
+                            spec.begin() + static_cast<ptrdiff_t>(pos), '\n'));
+}
+
+/// The error must carry the exact line of the offending entry — malformed
+/// [health]/[recovery] input is never silently replaced by defaults.
+void ExpectLineNumberedError(const std::string& spec,
+                             const std::string& offending,
+                             const std::string& detail) {
+  auto bundle = LoadDeploymentBundle(spec);
+  ASSERT_FALSE(bundle.ok()) << "spec unexpectedly parsed: " << spec;
+  EXPECT_EQ(bundle.status().code(), StatusCode::kParseError)
+      << bundle.status();
+  const std::string message(bundle.status().message());
+  EXPECT_NE(message.find(detail), std::string::npos) << message;
+  const std::string marker = "line " + std::to_string(LineOf(spec, offending));
+  EXPECT_NE(message.find(marker), std::string::npos)
+      << "expected '" << marker << "' in: " << message;
+}
+
+TEST(LoadDeploymentTest, RecoverySectionSurfacesOptions) {
+  const std::string spec = std::string(kShelfDeployment) + R"(
+[recovery]
+directory = /tmp/esp_depl_test
+checkpoint_interval_ticks = 25
+retain_snapshots = 4
+fsync = false
+journal_flush_every = 8
+)";
+  auto bundle = LoadDeploymentBundle(spec);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  ASSERT_TRUE(bundle->recovery.has_value());
+  EXPECT_EQ(bundle->recovery->directory, "/tmp/esp_depl_test");
+  EXPECT_EQ(bundle->recovery->checkpoint_interval_ticks, 25u);
+  EXPECT_EQ(bundle->recovery->retain_snapshots, 4u);
+  EXPECT_FALSE(bundle->recovery->fsync);
+  EXPECT_EQ(bundle->recovery->journal_flush_every, 8u);
+  // The processor itself is ready to use.
+  ASSERT_NE(bundle->processor, nullptr);
+  EXPECT_EQ(bundle->processor->granules().num_groups(), 2u);
+
+  // LoadDeployment validates the section too, then discards it.
+  auto processor = LoadDeployment(spec);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+}
+
+TEST(LoadDeploymentTest, BundleWithoutRecoverySectionHasNoOptions) {
+  auto bundle = LoadDeploymentBundle(kShelfDeployment);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_FALSE(bundle->recovery.has_value());
+}
+
+TEST(LoadDeploymentTest, RecoveryErrorsAreLineNumbered) {
+  const std::string base = std::string(kShelfDeployment);
+
+  ExpectLineNumberedError(
+      base + "\n[recovery]\ndirectory = /tmp/x\nturbo = on\n", "turbo",
+      "unknown key 'turbo'");
+  ExpectLineNumberedError(
+      base + "\n[recovery]\ndirectory = /tmp/x\nretain_snapshots = 0\n",
+      "retain_snapshots = 0", "retain_snapshots");
+  ExpectLineNumberedError(
+      base + "\n[recovery]\ndirectory = /tmp/x\njournal_flush_every = 0\n",
+      "journal_flush_every = 0", "journal_flush_every");
+  ExpectLineNumberedError(
+      base +
+          "\n[recovery]\ndirectory = /tmp/x\ncheckpoint_interval_ticks = "
+          "soon\n",
+      "checkpoint_interval_ticks = soon", "checkpoint_interval_ticks");
+  ExpectLineNumberedError(
+      base + "\n[recovery]\ndirectory = /tmp/x\nfsync = maybe\n",
+      "fsync = maybe", "fsync");
+  ExpectLineNumberedError(base + "\n[recovery]\ndirectory =\n", "directory",
+                          "directory");
+
+  // A [recovery] section with no directory at all names the section's line.
+  ExpectLineNumberedError(base + "\n[recovery]\nretain_snapshots = 2\n",
+                          "[recovery]", "directory");
+}
+
+TEST(LoadDeploymentTest, HealthErrorsAreLineNumbered) {
+  const std::string base = std::string(kShelfDeployment);
+
+  ExpectLineNumberedError(base + "\n[health]\ntypo_key = 1 sec\n", "typo_key",
+                          "unknown key 'typo_key'");
+  ExpectLineNumberedError(
+      base + "\n[health]\nstaleness_threshold = whenever\n",
+      "staleness_threshold = whenever", "staleness_threshold");
+  ExpectLineNumberedError(base + "\n[health]\nstage_error_policy = maybe\n",
+                          "stage_error_policy = maybe", "stage_error_policy");
+  // Repeated key within the section names the repeat's line.
+  ExpectLineNumberedError(
+      base + "\n[health]\nlateness_horizon = 1 msec\nlateness_horizon = "
+             "2 msec\n",
+      "lateness_horizon = 2 msec", "repeated");
 }
 
 TEST(LoadDeploymentTest, CommentsAndContinuationsHandled) {

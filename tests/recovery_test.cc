@@ -1,0 +1,475 @@
+#include "core/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/deployment.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "sim/reading.h"
+#include "stream/serialize.h"
+
+namespace esp::core {
+namespace {
+
+using stream::Relation;
+using stream::Tuple;
+
+Tuple Rfid(const std::string& reader, const std::string& tag, double t) {
+  return sim::ToTuple(sim::RfidReading{reader, tag, Timestamp::Seconds(t)});
+}
+
+/// The paper's shelf scenario: two single-reader proximity groups, presence
+/// smoothing and max-count arbitration.
+StatusOr<std::unique_ptr<EspProcessor>> BuildShelfProcessor() {
+  auto processor = std::make_unique<EspProcessor>();
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg_shelf0", "rfid", SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg_shelf1", "rfid", SpatialGranule{"shelf_1"}, {"reader_1"}}));
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth =
+      SmoothPresenceCount(TemporalGranule(Duration::Seconds(5)), "tag_id");
+  pipeline.arbitrate = ArbitrateMaxCount("tag_id", "reads");
+  ESP_RETURN_IF_ERROR(processor->AddPipeline(std::move(pipeline)));
+  ESP_RETURN_IF_ERROR(processor->Start());
+  return processor;
+}
+
+/// Canonical bytes of a tick's outputs, for bitwise equality checks.
+std::string Fingerprint(const EspProcessor::TickResult& result) {
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(result.per_type.size()));
+  for (const auto& [type, relation] : result.per_type) {
+    w.WriteString(type);
+    w.WriteU32(static_cast<uint32_t>(relation.size()));
+    for (const Tuple& tuple : relation.tuples()) stream::WriteTuple(w, tuple);
+  }
+  w.WriteBool(result.virtualized.has_value());
+  if (result.virtualized.has_value()) {
+    w.WriteU32(static_cast<uint32_t>(result.virtualized->size()));
+    for (const Tuple& tuple : result.virtualized->tuples()) {
+      stream::WriteTuple(w, tuple);
+    }
+  }
+  return std::move(w).Release();
+}
+
+/// One scripted input step: some readings, then a tick.
+struct Step {
+  std::vector<Tuple> pushes;
+  Timestamp tick;
+};
+
+std::vector<Step> ShelfScript(int ticks) {
+  std::vector<Step> steps;
+  for (int t = 0; t < ticks; ++t) {
+    Step step;
+    step.pushes.push_back(Rfid("reader_0", "x", t));
+    if (t % 2 == 0) step.pushes.push_back(Rfid("reader_0", "x", t));
+    if (t % 3 != 0) step.pushes.push_back(Rfid("reader_1", "x", t));
+    step.pushes.push_back(Rfid("reader_1", "y", t));
+    step.tick = Timestamp::Seconds(t);
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+/// Runs the whole script on a fresh non-durable processor and returns one
+/// fingerprint per tick — the golden, uninterrupted outputs.
+std::vector<std::string> GoldenRun(const std::vector<Step>& steps) {
+  auto processor = BuildShelfProcessor();
+  EXPECT_TRUE(processor.ok()) << processor.status();
+  std::vector<std::string> fingerprints;
+  for (const Step& step : steps) {
+    for (const Tuple& tuple : step.pushes) {
+      EXPECT_TRUE((*processor)->Push("rfid", tuple).ok());
+    }
+    auto result = (*processor)->Tick(step.tick);
+    EXPECT_TRUE(result.ok()) << result.status();
+    fingerprints.push_back(Fingerprint(*result));
+  }
+  return fingerprints;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "snap_%08llu.ckpt",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+TEST(EspProcessorCheckpointTest, RoundTripMidStream) {
+  const std::vector<Step> steps = ShelfScript(8);
+  const std::vector<std::string> golden = GoldenRun(steps);
+
+  // Run half the script, snapshot, and restore into a fresh processor; the
+  // second half must match the golden run bitwise on both.
+  auto source = BuildShelfProcessor();
+  ASSERT_TRUE(source.ok()) << source.status();
+  for (int t = 0; t < 4; ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*source)->Push("rfid", tuple).ok());
+    }
+    ASSERT_TRUE((*source)->Tick(steps[t].tick).ok());
+  }
+  CheckpointWriter snapshot;
+  ASSERT_TRUE((*source)->Checkpoint(snapshot).ok());
+
+  auto restored = BuildShelfProcessor();
+  ASSERT_TRUE(restored.ok());
+  auto reader = CheckpointReader::Parse(snapshot.Serialize());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_TRUE((*restored)->Restore(*reader).ok());
+
+  for (size_t t = 4; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*source)->Push("rfid", tuple).ok());
+      ASSERT_TRUE((*restored)->Push("rfid", tuple).ok());
+    }
+    auto from_source = (*source)->Tick(steps[t].tick);
+    auto from_restored = (*restored)->Tick(steps[t].tick);
+    ASSERT_TRUE(from_source.ok());
+    ASSERT_TRUE(from_restored.ok());
+    EXPECT_EQ(Fingerprint(*from_source), golden[t]) << "t=" << t;
+    EXPECT_EQ(Fingerprint(*from_restored), golden[t]) << "t=" << t;
+  }
+}
+
+TEST(EspProcessorCheckpointTest, RestoreRejectsMismatchedConfiguration) {
+  auto source = BuildShelfProcessor();
+  ASSERT_TRUE(source.ok());
+  CheckpointWriter snapshot;
+  ASSERT_TRUE((*source)->Checkpoint(snapshot).ok());
+
+  // A processor with a different topology (one group instead of two).
+  auto other = std::make_unique<EspProcessor>();
+  ASSERT_TRUE(other
+                  ->AddProximityGroup({"pg_shelf0", "rfid",
+                                       SpatialGranule{"shelf_0"},
+                                       {"reader_0"}})
+                  .ok());
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  ASSERT_TRUE(other->AddPipeline(std::move(pipeline)).ok());
+  ASSERT_TRUE(other->Start().ok());
+
+  auto reader = CheckpointReader::Parse(snapshot.Serialize());
+  ASSERT_TRUE(reader.ok());
+  auto status = other->Restore(*reader);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status;
+}
+
+TEST(RecoveryCoordinatorTest, ResumeReplaysToGoldenEquivalence) {
+  const std::vector<Step> steps = ShelfScript(10);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_resume_equiv");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;  // Tests exercise logic, not disk durability.
+
+  // Durable session: checkpoint after tick 3, crash after tick 6 (the
+  // coordinator simply goes away; the journal has every record).
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    for (int t = 0; t <= 6; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      auto result = (*session)->Tick(steps[t].tick);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+      if (t == 3) ASSERT_TRUE((*session)->Checkpoint().ok());
+    }
+  }
+
+  // Recover: snapshot covers ticks 0..3, journal replay recomputes 4..6.
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  std::vector<std::string> replayed;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), options, &report,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE(report.from_snapshot);
+  EXPECT_EQ(report.snapshot_seq, 1u);
+  EXPECT_EQ(report.snapshots_skipped, 0u);
+  EXPECT_EQ(report.replayed_ticks, 3u);
+  ASSERT_EQ(replayed.size(), 3u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], golden[4 + i]) << "replayed tick " << i;
+  }
+
+  // The recovered session continues exactly where the crashed one died.
+  for (size_t t = 7; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+
+  // Recovery counters surface through Health().
+  const PipelineHealth health = (*processor)->Health();
+  EXPECT_EQ(health.recovery.restores, 1);
+  EXPECT_EQ(health.recovery.restore_replays,
+            static_cast<int64_t>(report.replayed_pushes +
+                                 report.replayed_ticks));
+  EXPECT_EQ(health.recovery.corrupt_snapshots_skipped, 0);
+  EXPECT_GT(health.recovery.journal_records, 0);
+}
+
+// Shared scaffolding for the corrupt-latest-snapshot tests: runs a durable
+// session with checkpoints at ticks 3 and 6, damages snapshot 2 via
+// `damage`, then verifies recovery falls back to snapshot 1 and still
+// reproduces the golden tail.
+void RunFallbackTest(const std::string& dir_name,
+                     const std::function<void(const std::string&)>& damage) {
+  const std::vector<Step> steps = ShelfScript(10);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir(dir_name);
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok());
+    for (int t = 0; t <= 7; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+      if (t == 3 || t == 6) ASSERT_TRUE((*session)->Checkpoint().ok());
+    }
+  }
+
+  damage(SnapshotPath(dir, 2));
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  std::vector<std::string> replayed;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), options, &report,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE(report.from_snapshot);
+  EXPECT_EQ(report.snapshot_seq, 1u) << "should fall back to snapshot N-1";
+  EXPECT_EQ(report.snapshots_skipped, 1u);
+  // Snapshot 1 covers ticks 0..3, so ticks 4..7 replay from the journal.
+  ASSERT_EQ(replayed.size(), 4u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], golden[4 + i]) << "replayed tick " << i;
+  }
+
+  for (size_t t = 8; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+
+  EXPECT_EQ((*processor)->Health().recovery.corrupt_snapshots_skipped, 1);
+}
+
+TEST(RecoveryCoordinatorTest, FallsBackToPreviousSnapshotOnCrcMismatch) {
+  RunFallbackTest("recovery_fallback_crc", [](const std::string& path) {
+    auto bytes = ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    std::string damaged = *bytes;
+    damaged[damaged.size() / 2] ^= 0x01;
+    ASSERT_TRUE(AtomicWriteFile(path, damaged).ok());
+  });
+}
+
+TEST(RecoveryCoordinatorTest, FallsBackToPreviousSnapshotOnTruncation) {
+  RunFallbackTest("recovery_fallback_trunc", [](const std::string& path) {
+    auto bytes = ReadFileToString(path);
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_TRUE(AtomicWriteFile(path, bytes->substr(0, bytes->size() / 3))
+                    .ok());
+  });
+}
+
+TEST(RecoveryCoordinatorTest, AllSnapshotsCorruptFallsBackToFullReplay) {
+  const std::vector<Step> steps = ShelfScript(6);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_full_replay");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok());
+    for (int t = 0; t <= 4; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+      if (t == 2) ASSERT_TRUE((*session)->Checkpoint().ok());
+    }
+  }
+
+  // Destroy the only snapshot entirely: recovery must rebuild from an empty
+  // pipeline by replaying the whole journal.
+  ASSERT_TRUE(AtomicWriteFile(SnapshotPath(dir, 1), "garbage").ok());
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  auto session =
+      RecoveryCoordinator::Resume(processor->get(), options, &report);
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_FALSE(report.from_snapshot);
+  EXPECT_EQ(report.snapshots_skipped, 1u);
+  EXPECT_EQ(report.replayed_ticks, 5u);
+
+  for (size_t t = 5; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+}
+
+TEST(RecoveryCoordinatorTest, AutoCheckpointIntervalAndRetention) {
+  const std::vector<Step> steps = ShelfScript(10);
+  const std::string dir = FreshDir("recovery_retention");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+  options.checkpoint_interval_ticks = 2;
+  options.retain_snapshots = 2;
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  auto session = RecoveryCoordinator::Start(processor->get(), options);
+  ASSERT_TRUE(session.ok());
+  for (const Step& step : steps) {
+    for (const Tuple& tuple : step.pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    ASSERT_TRUE((*session)->Tick(step.tick).ok());
+  }
+  // 10 ticks at interval 2 -> snapshots 1..5; retention keeps only 4 and 5.
+  EXPECT_EQ((*session)->next_snapshot_seq(), 6u);
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    EXPECT_EQ(ReadFileToString(SnapshotPath(dir, seq)).status().code(),
+              StatusCode::kNotFound)
+        << "snapshot " << seq << " should be pruned";
+  }
+  for (uint64_t seq = 4; seq <= 5; ++seq) {
+    EXPECT_TRUE(CheckpointReader::FromFile(SnapshotPath(dir, seq)).ok())
+        << "snapshot " << seq << " should be retained and valid";
+  }
+  EXPECT_EQ((*processor)->Health().recovery.checkpoints_written, 5);
+}
+
+TEST(RecoveryCoordinatorTest, ResumeWithTornJournalTailDropsOnlyTheTail) {
+  const std::vector<Step> steps = ShelfScript(6);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_torn_tail");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok());
+    for (int t = 0; t <= 3; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+    }
+  }
+
+  // Crash mid-append: garbage half-record at the journal's tail.
+  {
+    FILE* f = fopen((dir + "/journal.wal").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char torn[] = {0x40, 0x00, 0x00, 0x00, 0x01, 0x02};
+    fwrite(torn, 1, sizeof(torn), f);
+    fclose(f);
+  }
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  auto session =
+      RecoveryCoordinator::Resume(processor->get(), options, &report);
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ(report.journal_torn_bytes, 6u);
+  EXPECT_EQ(report.replayed_ticks, 4u);
+
+  // Post-recovery the session continues on the golden trajectory.
+  for (size_t t = 4; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+  EXPECT_EQ((*processor)->Health().recovery.journal_torn_bytes, 6);
+}
+
+TEST(RecoveryCoordinatorTest, StartRejectsInvalidOptions) {
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RecoveryOptions no_dir;
+  EXPECT_FALSE(RecoveryCoordinator::Start(processor->get(), no_dir).ok());
+
+  RecoveryOptions bad_retain;
+  bad_retain.directory = FreshDir("recovery_bad_retain");
+  bad_retain.retain_snapshots = 0;
+  EXPECT_FALSE(RecoveryCoordinator::Start(processor->get(), bad_retain).ok());
+}
+
+}  // namespace
+}  // namespace esp::core

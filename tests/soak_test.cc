@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/rng.h"
+#include "core/checkpoint.h"
 #include "core/processor.h"
 #include "core/toolkit.h"
 #include "sim/reading.h"
+#include "stream/serialize.h"
 
 namespace esp::core {
 namespace {
@@ -116,6 +121,109 @@ TEST(SoakTest, TimeJumpFlushesWindows) {
   ASSERT_EQ(result->per_type[0].second.size(), 1u);
   EXPECT_DOUBLE_EQ(
       result->per_type[0].second.tuple(0).Get("temp")->double_value(), 21.0);
+}
+
+std::unique_ptr<EspProcessor> BuildSoakShelfProcessor() {
+  auto processor = std::make_unique<EspProcessor>();
+  EXPECT_TRUE(processor
+                  ->AddProximityGroup({"pg0", "rfid",
+                                       SpatialGranule{"shelf_0"},
+                                       {"reader_0"}})
+                  .ok());
+  EXPECT_TRUE(processor
+                  ->AddProximityGroup({"pg1", "rfid",
+                                       SpatialGranule{"shelf_1"},
+                                       {"reader_1"}})
+                  .ok());
+  DeviceTypePipeline rfid;
+  rfid.device_type = "rfid";
+  rfid.reading_schema = sim::RfidReadingSchema();
+  rfid.receptor_id_column = "reader_id";
+  rfid.smooth =
+      SmoothPresenceCount(TemporalGranule(Duration::Seconds(5)), "tag_id");
+  rfid.arbitrate = ArbitrateMaxCount("tag_id", "reads");
+  EXPECT_TRUE(processor->AddPipeline(std::move(rfid)).ok());
+  EXPECT_TRUE(processor->Start().ok());
+  return processor;
+}
+
+std::string OutputFingerprint(const EspProcessor::TickResult& result) {
+  ByteWriter w;
+  for (const auto& [type, relation] : result.per_type) {
+    w.WriteString(type);
+    w.WriteU32(static_cast<uint32_t>(relation.size()));
+    for (const Tuple& tuple : relation.tuples()) stream::WriteTuple(w, tuple);
+  }
+  return std::move(w).Release();
+}
+
+TEST(SoakTest, PeriodicCheckpointRestoreLoopShowsNoDrift) {
+  // The durable pipeline lives its whole life through snapshot round-trips:
+  // every N ticks it is checkpointed and REPLACED by a fresh processor
+  // restored from that snapshot. If serialization misses any state (window
+  // contents, clocks, health, learned models), outputs diverge from the
+  // golden never-checkpointed twin — so every tick is compared bitwise and
+  // the headline error metrics are compared at the end.
+  auto golden = BuildSoakShelfProcessor();
+  auto durable = BuildSoakShelfProcessor();
+
+  Rng rng(20260806);
+  SchemaRef schema = sim::RfidReadingSchema();
+  const int64_t ticks = 3000;
+  const int64_t checkpoint_every = 250;
+  int64_t golden_tuples = 0, durable_tuples = 0;
+  int64_t golden_reads = 0, durable_reads = 0;
+  int restores = 0;
+
+  for (int64_t tick = 0; tick < ticks; ++tick) {
+    const Timestamp now = Timestamp::Micros(200000 * tick);  // 5 Hz.
+    for (int reader = 0; reader < 2; ++reader) {
+      for (int tag = 0; tag < 6; ++tag) {
+        if (!rng.Bernoulli(0.4)) continue;
+        const Tuple reading(
+            schema,
+            {Value::String("reader_" + std::to_string(reader)),
+             Value::String("tag_" + std::to_string(tag))},
+            now);
+        ASSERT_TRUE(golden->Push("rfid", reading).ok());
+        ASSERT_TRUE(durable->Push("rfid", reading).ok());
+      }
+    }
+    auto golden_result = golden->Tick(now);
+    auto durable_result = durable->Tick(now);
+    ASSERT_TRUE(golden_result.ok()) << golden_result.status();
+    ASSERT_TRUE(durable_result.ok()) << durable_result.status();
+    ASSERT_EQ(OutputFingerprint(*golden_result),
+              OutputFingerprint(*durable_result))
+        << "outputs drifted at tick " << tick << " after " << restores
+        << " restores";
+
+    for (const Tuple& tuple : golden_result->per_type[0].second.tuples()) {
+      ++golden_tuples;
+      golden_reads += tuple.Get("reads")->int64_value();
+    }
+    for (const Tuple& tuple : durable_result->per_type[0].second.tuples()) {
+      ++durable_tuples;
+      durable_reads += tuple.Get("reads")->int64_value();
+    }
+
+    if ((tick + 1) % checkpoint_every == 0) {
+      CheckpointWriter snapshot;
+      ASSERT_TRUE(durable->Checkpoint(snapshot).ok()) << "tick " << tick;
+      auto reader = CheckpointReader::Parse(snapshot.Serialize());
+      ASSERT_TRUE(reader.ok()) << reader.status();
+      auto replacement = BuildSoakShelfProcessor();
+      ASSERT_TRUE(replacement->Restore(*reader).ok()) << "tick " << tick;
+      durable = std::move(replacement);
+      ++restores;
+    }
+  }
+
+  EXPECT_EQ(restores, ticks / checkpoint_every);
+  // Headline error metrics: identical cleaned-output volume and read counts.
+  EXPECT_GT(golden_tuples, 0);
+  EXPECT_EQ(golden_tuples, durable_tuples);
+  EXPECT_EQ(golden_reads, durable_reads);
 }
 
 }  // namespace
