@@ -55,7 +55,8 @@ StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Create(
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
   std::unique_ptr<JournalWriter> writer(
-      new JournalWriter(fd, path, options, /*existing_records=*/0));
+      new JournalWriter(fd, path, options, /*existing_records=*/0,
+                        /*existing_bytes=*/kHeaderBytes));
   ByteWriter header;
   header.WriteBytes(std::string_view(kMagic, sizeof(kMagic)));
   header.WriteU32(kJournalVersion);
@@ -67,23 +68,29 @@ StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Create(
 }
 
 StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Append(
-    const std::string& path, Options options, uint64_t existing_records) {
+    const std::string& path, Options options, uint64_t existing_records,
+    uint64_t existing_bytes) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) return Status::IoError(ErrnoMessage("open for append", path));
   return std::unique_ptr<JournalWriter>(
-      new JournalWriter(fd, path, options, existing_records));
+      new JournalWriter(fd, path, options, existing_records, existing_bytes));
 }
 
 JournalWriter::~JournalWriter() {
   // Best-effort flush; callers that care about the Status call Flush()
-  // explicitly before destruction.
+  // explicitly before destruction. A poisoned writer must not retry (see
+  // failed_), so its buffered tail is dropped.
   if (fd_ >= 0) {
-    if (!pending_.empty()) (void)Flush();
+    if (!pending_.empty() && !failed_) (void)Flush();
     ::close(fd_);
   }
 }
 
 Status JournalWriter::AppendRecord(std::string_view payload) {
+  if (failed_) {
+    return Status::Internal("journal writer '" + path_ +
+                            "' is poisoned by an earlier write failure");
+  }
   ByteWriter frame;
   frame.WriteU32(static_cast<uint32_t>(payload.size()));
   frame.WriteU32(Crc32(payload));
@@ -116,8 +123,20 @@ Status JournalWriter::AppendTick(Timestamp now) {
 
 Status JournalWriter::Flush() {
   if (fd_ < 0) return Status::Internal("journal writer is closed");
+  if (failed_) {
+    return Status::Internal("journal writer '" + path_ +
+                            "' is poisoned by an earlier write failure");
+  }
   if (!pending_.empty()) {
-    ESP_RETURN_IF_ERROR(WriteAll(fd_, pending_, path_));
+    const Status wrote = WriteAll(fd_, pending_, path_);
+    if (!wrote.ok()) {
+      // Part of pending_ may have reached the fd; a retry would re-append
+      // those bytes, duplicating frames and tearing every record after
+      // them. Poison the writer instead — the file stays valid up to its
+      // last complete frame.
+      failed_ = true;
+      return wrote;
+    }
     pending_.clear();
   }
   pending_records_ = 0;

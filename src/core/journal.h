@@ -68,10 +68,13 @@ class JournalWriter {
       const std::string& path, Options options);
 
   /// Reopens an existing journal for appending. The caller must have run
-  /// RecoverJournal first so the tail is known-good; `existing_records` is
-  /// the recovered record count (continues the writer's numbering).
+  /// ScanJournal first so the tail is known-good; `existing_records` and
+  /// `existing_bytes` are the recovered record count and byte size
+  /// (JournalScan::valid_bytes), continuing the writer's record numbering
+  /// and byte accounting.
   static StatusOr<std::unique_ptr<JournalWriter>> Append(
-      const std::string& path, Options options, uint64_t existing_records);
+      const std::string& path, Options options, uint64_t existing_records,
+      uint64_t existing_bytes);
 
   ~JournalWriter();
   JournalWriter(const JournalWriter&) = delete;
@@ -91,16 +94,18 @@ class JournalWriter {
 
   /// Records appended so far, including any recovered prefix.
   uint64_t records_written() const { return records_written_; }
-  /// Bytes appended by this writer (excludes header and recovered prefix).
+  /// Total journal bytes: the header, any recovered prefix, and the records
+  /// appended by this writer (including ones still buffered).
   uint64_t bytes_written() const { return bytes_written_; }
 
  private:
   JournalWriter(int fd, std::string path, Options options,
-                uint64_t existing_records)
+                uint64_t existing_records, uint64_t existing_bytes)
       : fd_(fd),
         path_(std::move(path)),
         options_(options),
-        records_written_(existing_records) {}
+        records_written_(existing_records),
+        bytes_written_(existing_bytes) {}
 
   Status AppendRecord(std::string_view payload);
 
@@ -111,6 +116,12 @@ class JournalWriter {
   uint64_t pending_records_ = 0;
   uint64_t records_written_ = 0;
   uint64_t bytes_written_ = 0;
+  /// Set after a write error: a failed write() may have landed a prefix of
+  /// `pending_` on disk, so retrying the flush would duplicate those bytes
+  /// and tear every frame after them. A poisoned writer refuses all further
+  /// appends and flushes; the file stays valid up to its last complete
+  /// frame and recovery truncates the rest.
+  bool failed_ = false;
 };
 
 /// \brief Result of scanning (and possibly repairing) a journal.

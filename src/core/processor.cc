@@ -497,8 +497,8 @@ size_t EspProcessor::BufferedTuples() const {
 namespace {
 
 /// Stage state is wrapped in a length-prefixed blob so each stage's
-/// LoadState sees exactly its own bytes (and the no-state default, which
-/// checks exhausted(), works for stages that saved nothing).
+/// LoadState sees exactly its own bytes (and the default hooks, which write
+/// and verify an explicit no-state marker, stay framed per stage).
 Status SaveStageBlob(const Stage* stage, ByteWriter& w) {
   w.WriteString(stage->name());
   ByteWriter blob;

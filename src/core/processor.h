@@ -119,6 +119,12 @@ class EspProcessor {
   /// non-decreasing.
   StatusOr<TickResult> Tick(Timestamp now);
 
+  /// True once a tick has run (including via Restore of a ticked snapshot).
+  bool has_ticked() const { return has_ticked_; }
+
+  /// Time of the most recent tick; meaningful only when has_ticked().
+  Timestamp last_tick() const { return last_tick_; }
+
   /// Cleaned-output schema of one device type; valid after Start().
   StatusOr<stream::SchemaRef> TypeOutputSchema(
       const std::string& device_type) const;

@@ -146,10 +146,20 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
   // 2. Load the newest snapshot that validates; corrupt ones (CRC
   // mismatch, truncation, bad sections) are skipped in favour of older
   // ones. With none usable, replay starts from the beginning of the
-  // journal into the freshly started processor.
+  // journal into the freshly started processor. A candidate can pass every
+  // container CRC yet fail Restore partway (a semantically short section),
+  // leaving the processor half mutated — so the fresh processor's pristine
+  // state is captured up front and put back after a failed attempt, before
+  // the next candidate (or the full-journal replay) runs.
   ESP_ASSIGN_OR_RETURN(auto snapshots, ListSnapshots(options.directory));
   uint64_t max_seq = 0;
   for (const auto& [seq, path] : snapshots) max_seq = std::max(max_seq, seq);
+  std::string pristine_bytes;
+  if (!snapshots.empty()) {
+    CheckpointWriter pristine;
+    ESP_RETURN_IF_ERROR(processor->Checkpoint(pristine));
+    pristine_bytes = pristine.Serialize();
+  }
   for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
     StatusOr<CheckpointReader> reader = CheckpointReader::FromFile(it->second);
     if (reader.ok()) {
@@ -172,31 +182,53 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
         return Status::OK();
       };
       if (try_load().ok()) break;
+      ESP_ASSIGN_OR_RETURN(const CheckpointReader pristine,
+                           CheckpointReader::Parse(pristine_bytes));
+      ESP_RETURN_IF_ERROR(processor->Restore(pristine));
     }
     ++out->snapshots_skipped;
   }
 
-  // 3. Replay the journal suffix. Push rejections (late readings, unknown
-  // receptors) repeat deterministically and are ignored just as the
-  // original caller observed and dropped them.
+  // 3. Replay the journal suffix. Inputs the live session rejected repeat
+  // their rejection deterministically and are dropped just as the original
+  // caller dropped them: Push rejections (late readings, unknown receptors)
+  // via the ignored Push status, and records only journals written before
+  // input validation can hold (unknown device type, schema mismatch,
+  // non-monotonic tick) by tolerating their lookup/decode/Tick failures.
+  // Anything else — e.g. an I/O error or a callback failure — still aborts.
   for (size_t i = out->resume_record_index; i < scan.records.size(); ++i) {
     const JournalRecord& record = scan.records[i];
     switch (record.kind) {
       case JournalRecord::Kind::kPush: {
-        ESP_ASSIGN_OR_RETURN(
-            const stream::SchemaRef schema,
-            processor->TypeReadingSchema(record.device_type));
-        ESP_ASSIGN_OR_RETURN(stream::Tuple tuple,
-                             DecodeJournalTuple(record, schema));
-        (void)processor->Push(record.device_type, std::move(tuple));
+        const StatusOr<stream::SchemaRef> schema =
+            processor->TypeReadingSchema(record.device_type);
+        if (!schema.ok()) {
+          ++out->replay_rejected;
+          break;
+        }
+        StatusOr<stream::Tuple> tuple =
+            DecodeJournalTuple(record, schema.value());
+        if (!tuple.ok()) {
+          ++out->replay_rejected;
+          break;
+        }
+        (void)processor->Push(record.device_type, std::move(tuple).value());
         ++out->replayed_pushes;
         break;
       }
       case JournalRecord::Kind::kTick: {
-        ESP_ASSIGN_OR_RETURN(EspProcessor::TickResult result,
-                             processor->Tick(record.tick_time));
+        StatusOr<EspProcessor::TickResult> result =
+            processor->Tick(record.tick_time);
+        if (!result.ok()) {
+          if (result.status().code() == StatusCode::kInvalidArgument) {
+            ++out->replay_rejected;
+            break;
+          }
+          return result.status();
+        }
         if (on_replayed_tick != nullptr) {
-          ESP_RETURN_IF_ERROR(on_replayed_tick(record.tick_time, result));
+          ESP_RETURN_IF_ERROR(
+              on_replayed_tick(record.tick_time, result.value()));
         }
         ++out->replayed_ticks;
         break;
@@ -211,7 +243,8 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
     ESP_ASSIGN_OR_RETURN(journal,
                          JournalWriter::Append(journal_path,
                                                JournalOptions(options),
-                                               scan.records.size()));
+                                               scan.records.size(),
+                                               scan.valid_bytes));
   } else {
     ESP_ASSIGN_OR_RETURN(
         journal, JournalWriter::Create(journal_path, JournalOptions(options)));
@@ -225,6 +258,7 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
       static_cast<int64_t>(out->snapshots_skipped);
   stats.journal_torn_bytes += static_cast<int64_t>(out->journal_torn_bytes);
   stats.journal_records = static_cast<int64_t>(journal->records_written());
+  stats.journal_bytes = static_cast<int64_t>(journal->bytes_written());
 
   return std::unique_ptr<RecoveryCoordinator>(new RecoveryCoordinator(
       processor, std::move(options), std::move(journal), max_seq + 1));
@@ -238,6 +272,16 @@ void RecoveryCoordinator::SyncJournalStats() {
 
 Status RecoveryCoordinator::Push(const std::string& device_type,
                                  stream::Tuple raw) {
+  // Never journal what replay cannot decode: a push for an unknown device
+  // type or with a mismatched schema fails schema lookup/decode during
+  // Resume instead of repeating its live rejection, so it is rejected here
+  // before it can reach the journal.
+  ESP_ASSIGN_OR_RETURN(const stream::SchemaRef schema,
+                       processor_->TypeReadingSchema(device_type));
+  if (raw.schema() == nullptr || !raw.schema()->Equals(*schema)) {
+    return Status::TypeError("raw reading schema mismatch for type '" +
+                             device_type + "'");
+  }
   // Journal-before-apply: the record must be in the journal's buffer before
   // the processor mutates state from it.
   ESP_RETURN_IF_ERROR(journal_->AppendPush(device_type, raw));
@@ -246,6 +290,12 @@ Status RecoveryCoordinator::Push(const std::string& device_type,
 }
 
 StatusOr<EspProcessor::TickResult> RecoveryCoordinator::Tick(Timestamp now) {
+  // Mirror the processor's monotonicity check before journaling — a
+  // journaled-but-rejected tick would be skipped on every future replay,
+  // bloating the journal for nothing.
+  if (processor_->has_ticked() && now < processor_->last_tick()) {
+    return Status::InvalidArgument("tick times must be non-decreasing");
+  }
   ESP_RETURN_IF_ERROR(journal_->AppendTick(now));
   SyncJournalStats();
   ESP_ASSIGN_OR_RETURN(EspProcessor::TickResult result,

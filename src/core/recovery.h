@@ -49,6 +49,12 @@ struct RestoreReport {
   uint64_t resume_record_index = 0;
   uint64_t replayed_pushes = 0;
   uint64_t replayed_ticks = 0;
+  /// Journal records skipped during replay because the processor rejected
+  /// them at lookup/decode/validation (unknown device type, schema
+  /// mismatch, non-monotonic tick) — inputs the live session rejected
+  /// identically. Current writers validate before journaling, so these only
+  /// appear in journals written before that validation existed.
+  uint64_t replay_rejected = 0;
   /// Bytes cut from the journal's torn tail (crash mid-append).
   uint64_t journal_torn_bytes = 0;
 };
@@ -89,12 +95,16 @@ class RecoveryCoordinator {
       RestoreReport* report = nullptr,
       const ReplayTickCallback& on_replayed_tick = nullptr);
 
-  /// Journals the reading, then pushes it into the processor. Returns the
-  /// processor's verdict (journal I/O errors take precedence). Rejected
-  /// readings stay in the journal — replay re-rejects them identically.
+  /// Validates the reading's device type and schema, journals it, then
+  /// pushes it into the processor. Returns the processor's verdict (journal
+  /// I/O errors take precedence). Readings the *processor* rejects (late
+  /// arrival, unknown receptor) stay in the journal — replay re-rejects
+  /// them identically; readings replay could not even decode (unknown
+  /// device type, schema mismatch) are rejected before journaling.
   Status Push(const std::string& device_type, stream::Tuple raw);
 
-  /// Journals the tick boundary, runs the cascade, and — every
+  /// Journals the tick boundary (rejecting non-monotonic tick times before
+  /// they reach the journal), runs the cascade, and — every
   /// `checkpoint_interval_ticks` successful ticks — takes a checkpoint.
   StatusOr<EspProcessor::TickResult> Tick(Timestamp now);
 

@@ -63,27 +63,43 @@ class Stage {
   /// by the memory-boundedness soak tests).
   virtual size_t buffered() const { return 0; }
 
+  /// Byte the default SaveState writes as its entire payload, letting the
+  /// default LoadState tell "this stage deliberately checkpoints no state"
+  /// apart from a blob that actually holds state.
+  static constexpr uint8_t kNoStateMarker = 0xE5;
+
   /// Serializes the stage's mutable runtime state (window contents, clocks,
   /// learned statistics) for a pipeline checkpoint. Configuration (queries,
   /// schemas, parameters) is NOT serialized — restore happens into a stage
   /// rebuilt from the same deployment and already Bind()ed. Stages built
   /// into the repository all support this; custom subclasses that keep no
-  /// state across ticks may rely on the default, which saves nothing, while
-  /// stateful subclasses must override both hooks (the default LoadState
-  /// fails loudly rather than silently resuming from empty state).
+  /// state across ticks may rely on the defaults, which write and verify an
+  /// explicit no-state marker, while stateful subclasses must override BOTH
+  /// hooks: the marker makes a mismatch loud in either direction (a blob
+  /// holding real state fails the default LoadState instead of silently
+  /// restoring nothing, and the marker blob fails a real LoadState).
+  /// Caveat: a stateful subclass that overrides neither hook and keeps its
+  /// state outside buffered() tuples is undetectable here — checkpoint
+  /// coverage is part of the subclass author's contract (docs/RECOVERY.md).
   virtual Status SaveState(ByteWriter& w) const {
-    (void)w;
-    if (buffered() == 0) return Status::OK();
-    return Status::Unimplemented("stage '" + name_ +
-                                 "' does not implement SaveState");
+    if (buffered() > 0) {
+      return Status::Unimplemented("stage '" + name_ +
+                                   "' does not implement SaveState");
+    }
+    w.WriteU8(kNoStateMarker);
+    return Status::OK();
   }
 
   /// Restores state saved by SaveState. Called after Bind on an identically
   /// configured stage.
   virtual Status LoadState(ByteReader& r) {
-    if (r.exhausted()) return Status::OK();
-    return Status::Unimplemented("stage '" + name_ +
-                                 "' does not implement LoadState");
+    const StatusOr<uint8_t> marker = r.ReadU8();
+    if (!marker.ok() || marker.value() != kNoStateMarker || !r.exhausted()) {
+      return Status::Unimplemented(
+          "stage '" + name_ +
+          "' does not implement LoadState but its checkpoint holds state");
+    }
+    return Status::OK();
   }
 
  protected:

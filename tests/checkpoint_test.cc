@@ -220,11 +220,18 @@ TEST(JournalTest, TornTailIsDetectedAndTruncated) {
   EXPECT_EQ(rescan->torn_bytes, 0u);
   EXPECT_EQ(rescan->records.size(), 2u);
 
-  auto writer = JournalWriter::Append(path, {}, rescan->records.size());
+  auto writer =
+      JournalWriter::Append(path, {}, rescan->records.size(),
+                            rescan->valid_bytes);
   ASSERT_TRUE(writer.ok()) << writer.status();
   ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_1", "z", 3)).ok());
   ASSERT_TRUE((*writer)->Flush().ok());
   EXPECT_EQ((*writer)->records_written(), 3u);
+  // Byte accounting continues from the recovered prefix: the writer's
+  // total matches the file on disk.
+  auto on_disk = ReadFileToString(path);
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ((*writer)->bytes_written(), on_disk->size());
 
   auto final_scan = ScanJournal(path, /*truncate_torn_tail=*/false);
   ASSERT_TRUE(final_scan.ok());
@@ -262,6 +269,19 @@ TEST(JournalTest, CorruptRecordPayloadStopsTheScan) {
   ASSERT_TRUE(tuple.ok());
   EXPECT_EQ(tuple->Get("tag_id")->string_value(), "x");
   std::remove(path.c_str());
+}
+
+TEST(JournalTest, WriteFailurePoisonsTheWriter) {
+  // /dev/full fails every write with ENOSPC, standing in for a partial
+  // write: once a flush fails, retrying could duplicate bytes that already
+  // reached the file, so the writer must refuse all further work.
+  auto writer = JournalWriter::Append("/dev/full", {}, 0, 0);
+  if (!writer.ok()) GTEST_SKIP() << "/dev/full unavailable";
+  ASSERT_TRUE((*writer)->AppendPush("rfid", Rfid("reader_0", "x", 1)).ok());
+  EXPECT_EQ((*writer)->Flush().code(), StatusCode::kIoError);
+  EXPECT_EQ((*writer)->Flush().code(), StatusCode::kInternal);
+  EXPECT_EQ((*writer)->AppendTick(Timestamp::Seconds(1)).code(),
+            StatusCode::kInternal);
 }
 
 TEST(JournalTest, WrongMagicIsCorruptionNotATornTail) {

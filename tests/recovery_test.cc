@@ -243,6 +243,14 @@ TEST(RecoveryCoordinatorTest, ResumeReplaysToGoldenEquivalence) {
                                  report.replayed_ticks));
   EXPECT_EQ(health.recovery.corrupt_snapshots_skipped, 0);
   EXPECT_GT(health.recovery.journal_records, 0);
+
+  // journal_bytes accounts for the header and the recovered prefix, so it
+  // matches the file on disk exactly (every record is flushed: the default
+  // journal_flush_every is 1).
+  auto on_disk = ReadFileToString(dir + "/journal.wal");
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_EQ(health.recovery.journal_bytes,
+            static_cast<int64_t>(on_disk->size()));
 }
 
 // Shared scaffolding for the corrupt-latest-snapshot tests: runs a durable
@@ -457,6 +465,184 @@ TEST(RecoveryCoordinatorTest, ResumeWithTornJournalTailDropsOnlyTheTail) {
     EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
   }
   EXPECT_EQ((*processor)->Health().recovery.journal_torn_bytes, 6);
+}
+
+TEST(RecoveryCoordinatorTest, RejectedInputsAreNotJournaled) {
+  const std::string dir = FreshDir("recovery_validate_first");
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  auto session = RecoveryCoordinator::Start(processor->get(), options);
+  ASSERT_TRUE(session.ok());
+
+  // Inputs that would fail schema lookup/decode at replay are rejected
+  // before they can reach the journal: a push for an unknown device type...
+  EXPECT_EQ((*session)->Push("ghost", Rfid("reader_0", "x", 1)).code(),
+            StatusCode::kNotFound);
+  // ...a push whose tuple carries the wrong schema...
+  EXPECT_EQ((*session)
+                ->Push("rfid", sim::ToTempTuple(sim::MoteReading{
+                                   "m1", 20.0, Timestamp::Seconds(1)}))
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ((*session)->journal_records(), 0u);
+
+  // ...and a non-monotonic tick.
+  ASSERT_TRUE((*session)->Push("rfid", Rfid("reader_0", "x", 1)).ok());
+  ASSERT_TRUE((*session)->Tick(Timestamp::Seconds(1)).ok());
+  EXPECT_EQ((*session)->Tick(Timestamp::Seconds(0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*session)->journal_records(), 2u);
+}
+
+TEST(RecoveryCoordinatorTest, ResumeSkipsJournaledRecordsTheProcessorRejects) {
+  const std::vector<Step> steps = ShelfScript(6);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_poisoned_journal");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok());
+    for (int t = 0; t <= 2; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+    }
+  }
+
+  // A journal written before input validation existed can hold records the
+  // processor rejects. Splice in a push for an unknown device type and a
+  // tick that goes backwards, followed by one more valid step.
+  {
+    const std::string journal_path = dir + "/journal.wal";
+    auto scan = ScanJournal(journal_path, /*truncate_torn_tail=*/false);
+    ASSERT_TRUE(scan.ok());
+    auto writer = JournalWriter::Append(journal_path, {},
+                                        scan->records.size(),
+                                        scan->valid_bytes);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendPush("ghost", Rfid("reader_0", "x", 3)).ok());
+    ASSERT_TRUE((*writer)->AppendTick(Timestamp::Seconds(0)).ok());
+    for (const Tuple& tuple : steps[3].pushes) {
+      ASSERT_TRUE((*writer)->AppendPush("rfid", tuple).ok());
+    }
+    ASSERT_TRUE((*writer)->AppendTick(steps[3].tick).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+
+  // Resume must skip the two poisoned records — they were rejected live
+  // too — and still replay the valid tail to golden equivalence.
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  std::vector<std::string> replayed;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), options, &report,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ(report.replay_rejected, 2u);
+  EXPECT_EQ(report.replayed_ticks, 4u);
+  ASSERT_EQ(replayed.size(), 4u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], golden[i]) << "replayed tick " << i;
+  }
+
+  for (size_t t = 4; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+}
+
+TEST(RecoveryCoordinatorTest, PartialRestoreRollsBackBeforeFullReplay) {
+  const std::vector<Step> steps = ShelfScript(6);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_partial_restore");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok());
+    for (int t = 0; t <= 4; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+      if (t == 2) ASSERT_TRUE((*session)->Checkpoint().ok());
+    }
+  }
+
+  // Rebuild the only snapshot so every container CRC still passes but the
+  // "receptors" section is semantically truncated: Restore validates the
+  // config fingerprint, restores the clock, then fails mid-receptors —
+  // after mutating the processor.
+  {
+    auto bytes = ReadFileToString(SnapshotPath(dir, 1));
+    ASSERT_TRUE(bytes.ok());
+    auto reader = CheckpointReader::Parse(*bytes);
+    ASSERT_TRUE(reader.ok());
+    CheckpointWriter rewritten;
+    for (const std::string& name : reader->section_names()) {
+      auto payload = reader->Section(name);
+      ASSERT_TRUE(payload.ok());
+      std::string data(*payload);
+      if (name == "receptors") data.resize(data.size() / 2);
+      rewritten.AddSection(name, std::move(data));
+    }
+    ASSERT_TRUE(rewritten.WriteToFile(SnapshotPath(dir, 1)).ok());
+  }
+
+  // The half-applied snapshot must be rolled back before the full-journal
+  // replay; a dirty clock would silently swallow the early replayed ticks.
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  std::vector<std::string> replayed;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), options, &report,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_FALSE(report.from_snapshot);
+  EXPECT_EQ(report.snapshots_skipped, 1u);
+  EXPECT_EQ(report.replay_rejected, 0u);
+  EXPECT_EQ(report.replayed_ticks, 5u);
+  ASSERT_EQ(replayed.size(), 5u);
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], golden[i]) << "replayed tick " << i;
+  }
+
+  for (size_t t = 5; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
 }
 
 TEST(RecoveryCoordinatorTest, StartRejectsInvalidOptions) {

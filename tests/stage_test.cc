@@ -165,6 +165,45 @@ TEST(FunctionStageTest, UnknownInputRejected) {
   EXPECT_FALSE(stage.Push("other_input", TempTuple(schema, "m", 1, 1)).ok());
 }
 
+/// A custom code stage with no cross-tick state, relying on the default
+/// SaveState/LoadState hooks.
+class StatelessStage : public Stage {
+ public:
+  StatelessStage() : Stage(StageKind::kSmooth, "stateless") {}
+  Status Bind(const cql::SchemaCatalog&) override { return Status::OK(); }
+  Status Push(const std::string&, Tuple) override { return Status::OK(); }
+  StatusOr<Relation> Evaluate(Timestamp) override {
+    return Relation(output_schema_);
+  }
+};
+
+TEST(StageStateTest, DefaultHooksRoundTripAnExplicitNoStateMarker) {
+  StatelessStage stage;
+  ByteWriter w;
+  ASSERT_TRUE(stage.SaveState(w).ok());
+  // The default saves a marker rather than nothing, so a blob that holds
+  // real state can never be mistaken for "deliberately stateless".
+  const std::string blob = std::move(w).Release();
+  EXPECT_FALSE(blob.empty());
+  ByteReader r(blob);
+  EXPECT_TRUE(stage.LoadState(r).ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(StageStateTest, DefaultLoadStateRejectsBlobsHoldingRealState) {
+  StatelessStage stage;
+  // A blob saved by a stateful stage (anything but the bare marker) must
+  // fail loudly instead of silently restoring empty state.
+  ByteWriter w;
+  w.WriteU32(7);
+  const std::string blob = std::move(w).Release();
+  ByteReader r(blob);
+  EXPECT_EQ(stage.LoadState(r).code(), StatusCode::kUnimplemented);
+
+  ByteReader empty{std::string_view()};
+  EXPECT_EQ(stage.LoadState(empty).code(), StatusCode::kUnimplemented);
+}
+
 TEST(FunctionStageTest, BindFailsForMissingStream) {
   SchemaRef out_schema = stream::MakeSchema({{"n", DataType::kInt64}});
   FunctionStage stage(
