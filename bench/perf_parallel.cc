@@ -1,0 +1,256 @@
+// Shard-count sweep for the ShardedEspProcessor: a scaled-up shelf world
+// (hundreds of single-reader proximity groups) pushed and ticked through
+// 1/2/4/8 shards, reporting tuples/sec, speedup vs 1 shard, and the
+// wrapper's merge overhead, into BENCH_parallel_scaling.json.
+//
+// The machine this runs on may have a single core, so the headline scaling
+// is *algorithmic*, not thread-level: EspProcessor::Push scans its receptor
+// chains linearly and the granule stamp scans the type's groups per
+// receptor, so one engine over R receptors and G groups does O(R·G) string
+// comparisons per tick while N shards do O(R·G/N) in total. The
+// "stage_bound" workload keeps a real Smooth stage per receptor as the
+// honest counterpoint: per-tuple stage work does not shrink with sharding
+// on one core (docs/PERFORMANCE.md).
+//
+// Before timing, the sweep replays a shorter trace through the single
+// processor and the widest sharded engine and asserts bitwise-identical
+// tick outputs — the same equivalence the crash experiment demands of
+// replay.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/processor.h"
+#include "core/sharded_processor.h"
+#include "core/toolkit.h"
+#include "sim/reading.h"
+#include "stream/serialize.h"
+
+namespace esp {
+namespace {
+
+using core::DeviceTypePipeline;
+using core::EspProcessor;
+using core::ProximityGroup;
+using core::ShardedEspProcessor;
+using core::SpatialGranule;
+using core::TickResult;
+using stream::Tuple;
+
+struct Workload {
+  std::string name;
+  int shelves = 0;
+  int readings_per_reader = 2;
+  int ticks = 0;
+  bool with_smooth = false;
+};
+
+template <typename Engine>
+Status Configure(Engine& engine, const Workload& workload) {
+  for (int s = 0; s < workload.shelves; ++s) {
+    ProximityGroup group;
+    group.id = "pg_" + std::to_string(s);
+    group.device_type = "rfid";
+    group.granule = SpatialGranule{"shelf_" + std::to_string(s)};
+    group.receptor_ids = {"reader_" + std::to_string(s)};
+    ESP_RETURN_IF_ERROR(engine.AddProximityGroup(std::move(group)));
+  }
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  if (workload.with_smooth) {
+    pipeline.smooth = core::NativeSmoothPresenceCount(
+        core::TemporalGranule(Duration::Seconds(5)), "tag_id");
+  }
+  return engine.AddPipeline(std::move(pipeline));
+}
+
+/// One deterministic trace: per tick, per reader, a few tag readings.
+std::vector<std::vector<Tuple>> GenerateTrace(const Workload& workload,
+                                              int ticks, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Tuple>> trace(ticks);
+  for (int t = 0; t < ticks; ++t) {
+    trace[t].reserve(workload.shelves * workload.readings_per_reader);
+    for (int s = 0; s < workload.shelves; ++s) {
+      for (int i = 0; i < workload.readings_per_reader; ++i) {
+        trace[t].push_back(sim::ToTuple(sim::RfidReading{
+            "reader_" + std::to_string(s),
+            "tag_" + std::to_string(rng.NextUint64() % 8),
+            Timestamp::Seconds(t)}));
+      }
+    }
+  }
+  return trace;
+}
+
+std::string Fingerprint(const TickResult& result) {
+  ByteWriter w;
+  for (const auto& [type, relation] : result.per_type) {
+    w.WriteString(type);
+    for (const Tuple& tuple : relation.tuples()) stream::WriteTuple(w, tuple);
+  }
+  return w.data();
+}
+
+/// Pushes and ticks `trace` through `engine`; returns elapsed seconds.
+template <typename Engine>
+double RunTrace(Engine& engine, const std::vector<std::vector<Tuple>>& trace) {
+  const auto begin = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < trace.size(); ++t) {
+    for (const Tuple& reading : trace[t]) {
+      const Status pushed = engine.Push("rfid", reading);
+      if (!pushed.ok()) {
+        std::fprintf(stderr, "push failed: %s\n",
+                     pushed.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    auto result = engine.Tick(Timestamp::Seconds(static_cast<double>(t)));
+    if (!result.ok()) {
+      std::fprintf(stderr, "tick failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+bool VerifyBitwiseIdentical(const Workload& workload, size_t shards) {
+  const auto trace = GenerateTrace(workload, 12, /*seed=*/5);
+  EspProcessor single;
+  if (!Configure(single, workload).ok() || !single.Start().ok()) return false;
+  ShardedEspProcessor sharded({.num_shards = shards});
+  if (!Configure(sharded, workload).ok() || !sharded.Start().ok()) {
+    return false;
+  }
+  for (size_t t = 0; t < trace.size(); ++t) {
+    for (const Tuple& reading : trace[t]) {
+      if (!single.Push("rfid", reading).ok()) return false;
+      if (!sharded.Push("rfid", reading).ok()) return false;
+    }
+    auto expected = single.Tick(Timestamp::Seconds(static_cast<double>(t)));
+    auto actual = sharded.Tick(Timestamp::Seconds(static_cast<double>(t)));
+    if (!expected.ok() || !actual.ok()) return false;
+    if (Fingerprint(*expected) != Fingerprint(*actual)) return false;
+  }
+  return true;
+}
+
+struct SweepPoint {
+  size_t shards;
+  double elapsed_sec;
+  double tuples_per_sec;
+  double speedup_vs_1;
+};
+
+int Main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
+
+  const std::vector<Workload> workloads = {
+      // Routing-bound: no per-receptor stages, so the O(R·G) push/stamp
+      // scans dominate and sharding divides them. The headline number.
+      {.name = "routing_bound", .shelves = 384, .readings_per_reader = 2,
+       .ticks = 40, .with_smooth = false},
+      // Stage-bound: a native Smooth per receptor; per-tuple work dominates
+      // and does not shrink on one core.
+      {.name = "stage_bound", .shelves = 96, .readings_per_reader = 2,
+       .ticks = 25, .with_smooth = true},
+  };
+  const std::vector<size_t> shard_counts = {1, 2, 4, 8};
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"workloads\": [\n";
+  bool first_workload = true;
+  bool all_identical = true;
+
+  for (const Workload& workload : workloads) {
+    const bool identical =
+        VerifyBitwiseIdentical(workload, shard_counts.back());
+    all_identical = all_identical && identical;
+    std::printf("[%s] bitwise identical across %zu shards: %s\n",
+                workload.name.c_str(), shard_counts.back(),
+                identical ? "yes" : "NO");
+
+    const auto trace = GenerateTrace(workload, workload.ticks, /*seed=*/42);
+    size_t tuples = 0;
+    for (const auto& tick : trace) tuples += tick.size();
+
+    // Baseline: the raw single processor (no wrapper).
+    double single_sec = 0;
+    {
+      EspProcessor single;
+      if (!Configure(single, workload).ok() || !single.Start().ok()) {
+        std::fprintf(stderr, "configure failed\n");
+        return 1;
+      }
+      single_sec = RunTrace(single, trace);
+    }
+
+    std::vector<SweepPoint> sweep;
+    for (const size_t shards : shard_counts) {
+      ShardedEspProcessor engine({.num_shards = shards});
+      if (!Configure(engine, workload).ok() || !engine.Start().ok()) {
+        std::fprintf(stderr, "configure failed\n");
+        return 1;
+      }
+      const double elapsed = RunTrace(engine, trace);
+      sweep.push_back({shards, elapsed,
+                       static_cast<double>(tuples) / elapsed,
+                       sweep.empty() ? 1.0
+                                     : sweep.front().elapsed_sec / elapsed});
+      std::printf(
+          "[%s] shards=%zu  %.3fs  %.0f tuples/s  speedup=%.2fx\n",
+          workload.name.c_str(), shards, elapsed,
+          sweep.back().tuples_per_sec, sweep.back().speedup_vs_1);
+    }
+    // Wrapper + ordered-merge overhead, isolated at shard count 1: same
+    // work, plus the fan-out map, pool hop, and concat merge.
+    const double merge_overhead_pct =
+        (sweep.front().elapsed_sec - single_sec) / single_sec * 100.0;
+    std::printf("[%s] single=%.3fs wrapper@1=%.3fs merge overhead=%.1f%%\n",
+                workload.name.c_str(), single_sec,
+                sweep.front().elapsed_sec, merge_overhead_pct);
+
+    if (!first_workload) out << ",\n";
+    first_workload = false;
+    out << "    {\n"
+        << "      \"name\": \"" << workload.name << "\",\n"
+        << "      \"receptors\": " << workload.shelves << ",\n"
+        << "      \"groups\": " << workload.shelves << ",\n"
+        << "      \"ticks\": " << workload.ticks << ",\n"
+        << "      \"tuples\": " << tuples << ",\n"
+        << "      \"with_smooth\": "
+        << (workload.with_smooth ? "true" : "false") << ",\n"
+        << "      \"bitwise_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "      \"single_processor_sec\": " << single_sec << ",\n"
+        << "      \"merge_overhead_pct\": " << merge_overhead_pct << ",\n"
+        << "      \"sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      out << "        {\"shards\": " << sweep[i].shards
+          << ", \"elapsed_sec\": " << sweep[i].elapsed_sec
+          << ", \"tuples_per_sec\": " << sweep[i].tuples_per_sec
+          << ", \"speedup_vs_1\": " << sweep[i].speedup_vs_1 << "}"
+          << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n    }";
+  }
+  out << "\n  ]\n}\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace esp
+
+int main(int argc, char** argv) { return esp::Main(argc, argv); }

@@ -6,10 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/processor.h"
 #include "core/toolkit.h"
 #include "cql/continuous_query.h"
+#include "cql/evaluator.h"
 #include "cql/parser.h"
 #include "sim/reading.h"
 #include "stream/ops.h"
@@ -195,7 +200,100 @@ void BM_ProcessorShelfTick(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcessorShelfTick);
 
+// --- Compiled vs interpretive expression evaluation -----------------------
+// The evaluator binds column references to row slots and folds constants
+// once per execution (the BoundExpr path); these benchmarks pin its win
+// over the per-tuple ResolveColumn walk, which stays reachable through
+// cql::SetExprCompilationForBenchmarks(false).
+
+cql::Catalog BoundExprCatalog(int64_t rows) {
+  SchemaRef schema = stream::MakeSchema({{"tag_id", DataType::kString},
+                                         {"reads", DataType::kInt64},
+                                         {"rssi", DataType::kDouble}});
+  Relation history(schema);
+  Rng rng(17);
+  for (int64_t i = 0; i < rows; ++i) {
+    history.Add(Tuple(schema,
+                      {Value::String("tag_" + std::to_string(i % 50)),
+                       Value::Int64(rng.UniformInt(0, 9)),
+                       Value::Double(rng.Uniform(-80, -30))},
+                      Timestamp::Seconds(i)));
+  }
+  cql::Catalog catalog;
+  catalog.AddStream("readings", std::move(history));
+  return catalog;
+}
+
+void RunExprPathBench(benchmark::State& state, const std::string& text,
+                      bool compiled) {
+  const int64_t rows = state.range(0);
+  const cql::Catalog catalog = BoundExprCatalog(rows);
+  auto ast = cql::ParseQuery(text);
+  if (!ast.ok()) {
+    state.SkipWithError(ast.status().ToString().c_str());
+    return;
+  }
+  cql::SetExprCompilationForBenchmarks(compiled);
+  for (auto _ : state) {
+    auto result =
+        cql::ExecuteQuery(**ast, catalog, Timestamp::Seconds(rows));
+    benchmark::DoNotOptimize(result);
+  }
+  cql::SetExprCompilationForBenchmarks(true);
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+
+const char kProjectionQuery[] =
+    "SELECT tag_id, reads * 2 + 1 AS scaled, rssi FROM readings "
+    "[Unbounded] WHERE reads >= 1 AND rssi < 0.0 - 35.0";
+
+void BM_CqlProjectionCompiled(benchmark::State& state) {
+  RunExprPathBench(state, kProjectionQuery, /*compiled=*/true);
+}
+BENCHMARK(BM_CqlProjectionCompiled)->Arg(256)->Arg(4096);
+
+void BM_CqlProjectionInterpretive(benchmark::State& state) {
+  RunExprPathBench(state, kProjectionQuery, /*compiled=*/false);
+}
+BENCHMARK(BM_CqlProjectionInterpretive)->Arg(256)->Arg(4096);
+
+const char kGroupedQuery[] =
+    "SELECT tag_id, count(*) AS n, avg(rssi) AS level FROM readings "
+    "[Unbounded] WHERE reads >= 1 GROUP BY tag_id HAVING count(*) >= 2";
+
+void BM_CqlGroupedCompiled(benchmark::State& state) {
+  RunExprPathBench(state, kGroupedQuery, /*compiled=*/true);
+}
+BENCHMARK(BM_CqlGroupedCompiled)->Arg(256)->Arg(4096);
+
+void BM_CqlGroupedInterpretive(benchmark::State& state) {
+  RunExprPathBench(state, kGroupedQuery, /*compiled=*/false);
+}
+BENCHMARK(BM_CqlGroupedInterpretive)->Arg(256)->Arg(4096);
+
 }  // namespace
 }  // namespace esp
 
-BENCHMARK_MAIN();
+// A regression baseline lands next to the binary on every run: unless the
+// caller already chose an output, write BENCH_perf_stream_engine.json.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_perf_stream_engine.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&adjusted_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,10 @@
 #ifndef ESP_COMMON_STRING_UTIL_H_
 #define ESP_COMMON_STRING_UTIL_H_
 
+#include <cctype>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace esp {
@@ -25,6 +28,38 @@ std::string StrJoin(const std::vector<std::string>& pieces,
 
 /// \brief Case-insensitive ASCII equality.
 bool StrEqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// \brief Transparent FNV-1a hash over lower-cased ASCII, for
+/// case-insensitive unordered containers with heterogeneous (string_view)
+/// lookup — no per-lookup key allocation.
+struct AsciiCaseHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(
+          std::tolower(static_cast<unsigned char>(c)));
+      h *= 1099511628211ull;  // FNV prime.
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Transparent case-insensitive ASCII equality, companion of
+/// AsciiCaseHash.
+struct AsciiCaseEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
 
 /// \brief True if `s` starts with `prefix`.
 bool StrStartsWith(const std::string& s, const std::string& prefix);

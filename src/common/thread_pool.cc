@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace esp {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (threads_.empty()) {
+    packaged();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    region_size_ = n;
+    completed_.store(0, std::memory_order_relaxed);
+    generation = ++generation_;
+    claim_.store(generation << 32, std::memory_order_release);
+  }
+  wake_.notify_all();
+  // The caller participates; indices it claims count toward completion.
+  DrainRegion(generation, body, n);
+  std::unique_lock<std::mutex> lock(mu_);
+  region_done_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) >= region_size_;
+  });
+  body_ = nullptr;
+  region_size_ = 0;
+}
+
+void ThreadPool::DrainRegion(uint64_t generation,
+                             const std::function<void(size_t)>& body,
+                             size_t n) {
+  const uint64_t tag = generation << 32;
+  uint64_t cur = claim_.load(std::memory_order_acquire);
+  while (true) {
+    if ((cur & ~uint64_t{0xffffffff}) != tag) break;  // Region superseded.
+    const size_t i = static_cast<size_t>(cur & 0xffffffff);
+    if (i >= n) break;
+    if (!claim_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acq_rel)) {
+      continue;  // cur was reloaded by the failed CAS.
+    }
+    body(i);
+    cur = claim_.load(std::memory_order_acquire);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      // Touch the mutex so the caller cannot be between its predicate check
+      // and its sleep when this notify fires (lost-wakeup guard).
+      { std::lock_guard<std::mutex> lock(mu_); }
+      region_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_.wait(lock, [&] {
+      return shutdown_ || !tasks_.empty() ||
+             (body_ != nullptr && generation_ != seen_generation);
+    });
+    if (!tasks_.empty()) {
+      std::packaged_task<void()> task = std::move(tasks_.front());
+      tasks_.pop();
+      lock.unlock();
+      task();
+      continue;
+    }
+    if (body_ != nullptr && generation_ != seen_generation) {
+      seen_generation = generation_;
+      const std::function<void(size_t)>& body = *body_;
+      const size_t n = region_size_;
+      lock.unlock();
+      DrainRegion(seen_generation, body, n);
+      continue;
+    }
+    if (shutdown_) return;
+  }
+}
+
+}  // namespace esp

@@ -1,0 +1,88 @@
+#ifndef ESP_COMMON_THREAD_POOL_H_
+#define ESP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace esp {
+
+/// \brief A fixed pool of worker threads with two entry points:
+///
+///  - Submit() queues an arbitrary task and returns a future — convenient
+///    for one-off work and tests, at the cost of a heap allocation per task.
+///  - ParallelFor() runs `body(i)` for i in [0, n) across the workers and
+///    the calling thread, allocating nothing on the steady path: workers
+///    claim indices from a shared atomic counter and the caller joins in,
+///    so a pool of size 0 degenerates to a plain sequential loop.
+///
+/// ParallelFor calls must not be issued concurrently from multiple threads
+/// (one parallel region at a time); Submit() is thread-safe and may be
+/// interleaved, but queued tasks wait until the current parallel region
+/// releases the workers.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. Zero is valid: every ParallelFor runs
+  /// inline on the caller and Submit executes eagerly on the caller.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Queues `task` for execution on a worker (or runs it inline when the
+  /// pool has no threads). The future resolves when the task returns;
+  /// exceptions propagate through the future.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(n-1), distributing indices dynamically across
+  /// the workers and the calling thread. Returns once every index has
+  /// completed. `body` must be safe to invoke concurrently for distinct
+  /// indices. No allocation occurs per call or per index.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  /// Claims loop indices until the region of size `n` is exhausted or the
+  /// region's generation tag no longer matches `generation` (the region
+  /// ended while this thread was stalled — it must not claim from the
+  /// successor region). `body` and `n` are snapshotted under `mu_` by the
+  /// claimer and only dereferenced after a successful same-generation
+  /// claim, so stale claimers never touch reset or destroyed state.
+  void DrainRegion(uint64_t generation,
+                   const std::function<void(size_t)>& body, size_t n);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;     // Workers wait here for work.
+  std::condition_variable region_done_;  // ParallelFor caller waits here.
+  bool shutdown_ = false;
+
+  // One-off task queue (Submit).
+  std::queue<std::packaged_task<void()>> tasks_;
+
+  // Current ParallelFor region. `generation_` bumps when a region opens so
+  // sleeping workers can tell a new region from a spurious wake.
+  uint64_t generation_ = 0;
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t region_size_ = 0;
+  /// Claim word: generation tag in the high 32 bits, next unclaimed index
+  /// in the low 32 bits. Claims CAS the index forward only while the tag
+  /// matches, so a claimer stalled past its region's end backs off instead
+  /// of stealing an index from the next region.
+  std::atomic<uint64_t> claim_{0};
+  std::atomic<size_t> completed_{0};
+};
+
+}  // namespace esp
+
+#endif  // ESP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,75 @@
+#ifndef ESP_CORE_ENGINE_H_
+#define ESP_CORE_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/checkpoint.h"
+#include "core/health.h"
+#include "stream/tuple.h"
+
+namespace esp::core {
+
+/// \brief One tick's cleaned outputs: the final relation per device type
+/// (after Arbitrate), in pipeline registration order, plus the Virtualize
+/// output when that stage is installed.
+struct TickResult {
+  std::vector<std::pair<std::string, stream::Relation>> per_type;
+  std::optional<stream::Relation> virtualized;
+};
+
+/// \brief The surface a pipeline execution engine exposes to the layers
+/// above it — the durability coordinator, benchmarks, and deployments.
+///
+/// Two implementations exist: the single-threaded EspProcessor and the
+/// ShardedEspProcessor, which partitions proximity groups across internal
+/// shards and runs them in parallel while producing bitwise-identical
+/// output. Everything written against this interface (notably
+/// RecoveryCoordinator's journal-before-apply protocol) works with either.
+class StreamEngine {
+ public:
+  virtual ~StreamEngine() = default;
+
+  /// Routes one raw reading toward its receptor's chain. See
+  /// EspProcessor::Push for the (previous tick, now] timestamp contract.
+  virtual Status Push(const std::string& device_type, stream::Tuple raw) = 0;
+
+  /// Runs the full cascade at time `now`. Tick times must be
+  /// non-decreasing.
+  virtual StatusOr<TickResult> Tick(Timestamp now) = 0;
+
+  /// True once a tick has run (including via Restore of a ticked snapshot).
+  virtual bool has_ticked() const = 0;
+
+  /// Time of the most recent tick; meaningful only when has_ticked().
+  virtual Timestamp last_tick() const = 0;
+
+  /// Raw-reading schema of one device type (as configured in its pipeline).
+  virtual StatusOr<stream::SchemaRef> TypeReadingSchema(
+      const std::string& device_type) const = 0;
+
+  /// Serializes the full mutable runtime state into named sections of
+  /// `out`; the configuration is fingerprinted, not serialized
+  /// (docs/RECOVERY.md).
+  virtual Status Checkpoint(CheckpointWriter& out) const = 0;
+
+  /// Restores state saved by Checkpoint() into this engine, which must be
+  /// identically configured and started.
+  virtual Status Restore(const CheckpointReader& in) = 0;
+
+  /// Durability counters, written by the RecoveryCoordinator and reported
+  /// through Health().
+  virtual RecoveryStats& mutable_recovery_stats() = 0;
+
+  /// Snapshot of per-receptor liveness and per-stage error-isolation
+  /// tallies.
+  virtual PipelineHealth Health() const = 0;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_ENGINE_H_

@@ -172,8 +172,11 @@ StatusOr<EspProcessor::TypeRuntime*> EspProcessor::FindType(
 Status EspProcessor::Push(const std::string& device_type, Tuple raw) {
   if (!started_) return Status::Internal("processor not started");
   ESP_ASSIGN_OR_RETURN(TypeRuntime * type, FindType(device_type));
+  // Pointer identity short-circuits the field-by-field comparison on the
+  // common path where the pusher holds the pipeline's own SchemaRef.
   if (raw.schema() == nullptr ||
-      !raw.schema()->Equals(*type->config.reading_schema)) {
+      (raw.schema().get() != type->config.reading_schema.get() &&
+       !raw.schema()->Equals(*type->config.reading_schema))) {
     return Status::TypeError("raw reading schema mismatch for type '" +
                              device_type + "'");
   }
@@ -493,39 +496,6 @@ size_t EspProcessor::BufferedTuples() const {
   if (virtualize_ != nullptr) total += virtualize_->buffered();
   return total;
 }
-
-namespace {
-
-/// Stage state is wrapped in a length-prefixed blob so each stage's
-/// LoadState sees exactly its own bytes (and the default hooks, which write
-/// and verify an explicit no-state marker, stay framed per stage).
-Status SaveStageBlob(const Stage* stage, ByteWriter& w) {
-  w.WriteString(stage->name());
-  ByteWriter blob;
-  ESP_RETURN_IF_ERROR(stage->SaveState(blob));
-  w.WriteString(blob.data());
-  return Status::OK();
-}
-
-Status LoadStageBlob(Stage* stage, ByteReader& r) {
-  ESP_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
-  if (name != stage->name()) {
-    return Status::ParseError("snapshot stage '" + name +
-                              "' does not match deployed stage '" +
-                              stage->name() + "'");
-  }
-  ESP_ASSIGN_OR_RETURN(const std::string blob, r.ReadString());
-  ByteReader blob_reader(blob);
-  ESP_RETURN_IF_ERROR(stage->LoadState(blob_reader));
-  if (!blob_reader.exhausted()) {
-    return Status::ParseError("stage '" + stage->name() + "' left " +
-                              std::to_string(blob_reader.remaining()) +
-                              " unread state bytes");
-  }
-  return Status::OK();
-}
-
-}  // namespace
 
 Status EspProcessor::Checkpoint(CheckpointWriter& out) const {
   if (!started_) return Status::Internal("processor not started");

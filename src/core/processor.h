@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "core/checkpoint.h"
+#include "core/engine.h"
 #include "core/granule.h"
 #include "core/health.h"
 #include "core/stage.h"
@@ -66,7 +67,7 @@ struct DeviceTypePipeline {
 /// tick: Push() raw readings (timestamps within (previous tick, now]), then
 /// Tick(now) to run the cascade and obtain each type's cleaned relation
 /// plus the virtualized output.
-class EspProcessor {
+class EspProcessor : public StreamEngine {
  public:
   /// Name of the spatial-granule attribute ESP adds to every stream after
   /// the per-receptor stages.
@@ -105,25 +106,21 @@ class EspProcessor {
   /// counted in PipelineHealth, and reported as kOutOfRange; a reading that
   /// is late but within the horizon is admitted into the receptor's reorder
   /// buffer and released, in timestamp order, once the watermark passes it.
-  Status Push(const std::string& device_type, stream::Tuple raw);
+  Status Push(const std::string& device_type, stream::Tuple raw) override;
 
-  struct TickResult {
-    /// Final cleaned relation per device type (after Arbitrate), in
-    /// pipeline registration order.
-    std::vector<std::pair<std::string, stream::Relation>> per_type;
-    /// Output of the Virtualize stage, when installed.
-    std::optional<stream::Relation> virtualized;
-  };
+  /// One tick's outputs (now shared by every StreamEngine; the nested name
+  /// is kept for source compatibility).
+  using TickResult = core::TickResult;
 
   /// Runs the full cascade at time `now`. Tick times must be
   /// non-decreasing.
-  StatusOr<TickResult> Tick(Timestamp now);
+  StatusOr<TickResult> Tick(Timestamp now) override;
 
   /// True once a tick has run (including via Restore of a ticked snapshot).
-  bool has_ticked() const { return has_ticked_; }
+  bool has_ticked() const override { return has_ticked_; }
 
   /// Time of the most recent tick; meaningful only when has_ticked().
-  Timestamp last_tick() const { return last_tick_; }
+  Timestamp last_tick() const override { return last_tick_; }
 
   /// Cleaned-output schema of one device type; valid after Start().
   StatusOr<stream::SchemaRef> TypeOutputSchema(
@@ -131,7 +128,7 @@ class EspProcessor {
 
   /// Raw-reading schema of one device type (as configured in its pipeline).
   StatusOr<stream::SchemaRef> TypeReadingSchema(
-      const std::string& device_type) const;
+      const std::string& device_type) const override;
 
   /// Total tuples buffered across every stage's windows plus un-ticked raw
   /// readings — bounded in steady state by window sizes, not stream length.
@@ -139,7 +136,7 @@ class EspProcessor {
 
   /// Snapshot of per-receptor liveness and per-stage error-isolation
   /// tallies. Valid after Start(); cheap enough to poll every tick.
-  PipelineHealth Health() const;
+  PipelineHealth Health() const override;
 
   /// Serializes the full mutable runtime state — reorder buffers, every
   /// stage's window/model state, receptor health, dynamic group
@@ -147,17 +144,17 @@ class EspProcessor {
   /// sections of `out` (docs/RECOVERY.md). Valid after Start(). The
   /// deployment configuration is NOT serialized; a config fingerprint is,
   /// so Restore() can reject snapshots from a different deployment.
-  Status Checkpoint(CheckpointWriter& out) const;
+  Status Checkpoint(CheckpointWriter& out) const override;
 
   /// Restores state saved by Checkpoint() into this processor, which must
   /// be identically configured and Start()ed (typically rebuilt from the
   /// same deployment spec). After Restore the processor behaves
   /// tick-for-tick identically to the one that was checkpointed.
-  Status Restore(const CheckpointReader& in);
+  Status Restore(const CheckpointReader& in) override;
 
   /// Durability counters, written by the RecoveryCoordinator and reported
   /// through Health().
-  RecoveryStats& mutable_recovery_stats() { return recovery_stats_; }
+  RecoveryStats& mutable_recovery_stats() override { return recovery_stats_; }
 
   const GranuleMap& granules() const { return granules_; }
 

@@ -97,7 +97,7 @@ std::string RecoveryCoordinator::SnapshotPath(uint64_t seq) const {
 }
 
 StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Start(
-    EspProcessor* processor, RecoveryOptions options) {
+    StreamEngine* processor, RecoveryOptions options) {
   ESP_RETURN_IF_ERROR(ValidateOptions(options));
   ESP_RETURN_IF_ERROR(EnsureDirectory(options.directory));
   // A fresh session owns the directory: snapshots from an earlier journal
@@ -117,7 +117,7 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Start(
 }
 
 StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
-    EspProcessor* processor, RecoveryOptions options, RestoreReport* report,
+    StreamEngine* processor, RecoveryOptions options, RestoreReport* report,
     const ReplayTickCallback& on_replayed_tick) {
   ESP_RETURN_IF_ERROR(ValidateOptions(options));
   // A crash can precede even the directory's creation; resuming from
@@ -217,7 +217,7 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
         break;
       }
       case JournalRecord::Kind::kTick: {
-        StatusOr<EspProcessor::TickResult> result =
+        StatusOr<TickResult> result =
             processor->Tick(record.tick_time);
         if (!result.ok()) {
           if (result.status().code() == StatusCode::kInvalidArgument) {
@@ -289,7 +289,7 @@ Status RecoveryCoordinator::Push(const std::string& device_type,
   return processor_->Push(device_type, std::move(raw));
 }
 
-StatusOr<EspProcessor::TickResult> RecoveryCoordinator::Tick(Timestamp now) {
+StatusOr<TickResult> RecoveryCoordinator::Tick(Timestamp now) {
   // Mirror the processor's monotonicity check before journaling — a
   // journaled-but-rejected tick would be skipped on every future replay,
   // bloating the journal for nothing.
@@ -298,7 +298,7 @@ StatusOr<EspProcessor::TickResult> RecoveryCoordinator::Tick(Timestamp now) {
   }
   ESP_RETURN_IF_ERROR(journal_->AppendTick(now));
   SyncJournalStats();
-  ESP_ASSIGN_OR_RETURN(EspProcessor::TickResult result,
+  ESP_ASSIGN_OR_RETURN(TickResult result,
                        processor_->Tick(now));
   ++ticks_since_checkpoint_;
   if (options_.checkpoint_interval_ticks > 0 &&

@@ -8,8 +8,8 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "core/engine.h"
 #include "core/journal.h"
-#include "core/processor.h"
 #include "stream/tuple.h"
 
 namespace esp::core {
@@ -59,7 +59,8 @@ struct RestoreReport {
   uint64_t journal_torn_bytes = 0;
 };
 
-/// \brief Orchestrates the durability protocol around an EspProcessor:
+/// \brief Orchestrates the durability protocol around a StreamEngine
+/// (single-threaded EspProcessor or ShardedEspProcessor alike):
 /// journal-before-apply on every Push/Tick, periodic snapshots, retention,
 /// and crash recovery (latest valid snapshot + journal suffix replay).
 ///
@@ -75,14 +76,14 @@ class RecoveryCoordinator {
  public:
   /// Called for each tick replayed during Resume, with the recomputed
   /// outputs — exactly what the pre-crash run returned for that tick.
-  using ReplayTickCallback = std::function<Status(
-      Timestamp now, const EspProcessor::TickResult& result)>;
+  using ReplayTickCallback =
+      std::function<Status(Timestamp now, const TickResult& result)>;
 
   /// Begins a fresh durable session for `processor` (configured and
   /// Start()ed): creates `options.directory` if missing, truncates the
   /// journal, and removes stale snapshots from earlier sessions.
   static StatusOr<std::unique_ptr<RecoveryCoordinator>> Start(
-      EspProcessor* processor, RecoveryOptions options);
+      StreamEngine* processor, RecoveryOptions options);
 
   /// Recovers a crashed session into `processor`, which must be freshly
   /// configured and Start()ed from the same deployment: repairs the
@@ -91,7 +92,7 @@ class RecoveryCoordinator {
   /// journal for appending. `report` (optional) receives what happened;
   /// `on_replayed_tick` (optional) observes each replayed tick's outputs.
   static StatusOr<std::unique_ptr<RecoveryCoordinator>> Resume(
-      EspProcessor* processor, RecoveryOptions options,
+      StreamEngine* processor, RecoveryOptions options,
       RestoreReport* report = nullptr,
       const ReplayTickCallback& on_replayed_tick = nullptr);
 
@@ -106,7 +107,7 @@ class RecoveryCoordinator {
   /// Journals the tick boundary (rejecting non-monotonic tick times before
   /// they reach the journal), runs the cascade, and — every
   /// `checkpoint_interval_ticks` successful ticks — takes a checkpoint.
-  StatusOr<EspProcessor::TickResult> Tick(Timestamp now);
+  StatusOr<TickResult> Tick(Timestamp now);
 
   /// Flushes the journal and atomically writes snapshot N, then prunes
   /// snapshots older than the retention window.
@@ -121,7 +122,7 @@ class RecoveryCoordinator {
   const RecoveryOptions& options() const { return options_; }
 
  private:
-  RecoveryCoordinator(EspProcessor* processor, RecoveryOptions options,
+  RecoveryCoordinator(StreamEngine* processor, RecoveryOptions options,
                       std::unique_ptr<JournalWriter> journal,
                       uint64_t next_seq)
       : processor_(processor),
@@ -134,7 +135,7 @@ class RecoveryCoordinator {
   Status PruneSnapshots();
   void SyncJournalStats();
 
-  EspProcessor* processor_;
+  StreamEngine* processor_;
   RecoveryOptions options_;
   std::unique_ptr<JournalWriter> journal_;
   uint64_t next_seq_ = 1;

@@ -1,0 +1,561 @@
+#include "core/sharded_processor.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/string_util.h"
+#include "stream/serialize.h"
+
+namespace esp::core {
+
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+namespace {
+
+// Composite routing key; the map's transparent case-insensitive hash makes
+// lower-casing unnecessary, and the short concatenation stays within SSO on
+// the Push hot path.
+std::string RouteKey(const std::string& device_type,
+                     const std::string& receptor_id) {
+  std::string key;
+  key.reserve(device_type.size() + 1 + receptor_id.size());
+  key += device_type;
+  key.push_back('\0');
+  key += receptor_id;
+  return key;
+}
+
+std::string ShardSectionName(size_t shard) {
+  return "shard_" + std::to_string(shard);
+}
+
+}  // namespace
+
+ShardedEspProcessor::ShardedEspProcessor(Options options)
+    : options_(options) {}
+
+Status ShardedEspProcessor::AddProximityGroup(ProximityGroup group) {
+  if (started_) return Status::Internal("processor already started");
+  return staged_granules_.AddGroup(std::move(group));
+}
+
+Status ShardedEspProcessor::SetHealthPolicy(HealthPolicy policy) {
+  if (started_) return Status::Internal("processor already started");
+  if (policy.liveness_enabled() &&
+      policy.staleness_threshold <= policy.lateness_horizon) {
+    return Status::InvalidArgument(
+        "staleness threshold must exceed the lateness horizon (admitted-late "
+        "readings make live receptors look up to one horizon stale)");
+  }
+  policy_ = policy;
+  return Status::OK();
+}
+
+Status ShardedEspProcessor::AddPipeline(DeviceTypePipeline pipeline) {
+  if (started_) return Status::Internal("processor already started");
+  if (pipeline.reading_schema == nullptr) {
+    return Status::InvalidArgument("pipeline for '" + pipeline.device_type +
+                                   "' has no reading schema");
+  }
+  if (!pipeline.reading_schema->Contains(pipeline.receptor_id_column)) {
+    return Status::InvalidArgument(
+        "receptor id column '" + pipeline.receptor_id_column +
+        "' not in reading schema for '" + pipeline.device_type + "'");
+  }
+  for (const TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, pipeline.device_type)) {
+      return Status::AlreadyExists("pipeline for '" + pipeline.device_type +
+                                   "' already registered");
+    }
+  }
+  if (pipeline.virtualize_input.empty()) {
+    pipeline.virtualize_input = pipeline.device_type + "_input";
+  }
+  TypeRuntime runtime;
+  runtime.config = std::move(pipeline);
+  types_.push_back(std::move(runtime));
+  return Status::OK();
+}
+
+void ShardedEspProcessor::SetVirtualize(std::unique_ptr<Stage> stage) {
+  virtualize_ = std::move(stage);
+}
+
+Status ShardedEspProcessor::Start() {
+  if (started_) return Status::Internal("processor already started");
+  if (options_.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  const size_t num_shards = options_.num_shards;
+
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(num_shards);
+    pool_ = owned_pool_.get();
+  }
+
+  shards_.clear();
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<EspProcessor>());
+    ESP_RETURN_IF_ERROR(shards_[s]->SetHealthPolicy(policy_));
+  }
+
+  // Partition each type's proximity groups into contiguous blocks in
+  // registration order: with G groups over N shards, the first G % N shards
+  // take ceil(G/N) groups, the rest floor(G/N). Contiguity is what makes
+  // the shard-order merge reproduce the single processor's group-ordered
+  // Union (see class comment).
+  for (TypeRuntime& type : types_) {
+    const auto groups = staged_granules_.GroupsOfType(type.config.device_type);
+    if (groups.empty()) {
+      return Status::InvalidArgument("no proximity groups for device type '" +
+                                     type.config.device_type + "'");
+    }
+    const size_t g_count = groups.size();
+    const size_t base = g_count / num_shards;
+    const size_t extra = g_count % num_shards;
+    size_t next = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t take = base + (s < extra ? 1 : 0);
+      if (take == 0) continue;
+      for (size_t i = 0; i < take; ++i, ++next) {
+        const ProximityGroup* group = groups[next];
+        ESP_RETURN_IF_ERROR(shards_[s]->AddProximityGroup(*group));
+        for (const std::string& receptor_id : group->receptor_ids) {
+          receptor_shard_[RouteKey(type.config.device_type, receptor_id)] = s;
+        }
+      }
+      type.hosting_shards.push_back(s);
+      // The shard runs everything through Merge; Arbitrate (cross-group)
+      // and Virtualize (cross-type) stay in this wrapper.
+      DeviceTypePipeline shard_pipeline = type.config;
+      shard_pipeline.arbitrate = nullptr;
+      ESP_RETURN_IF_ERROR(
+          shards_[s]->AddPipeline(std::move(shard_pipeline)));
+    }
+  }
+
+  cql::SchemaCatalog virtualize_inputs;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ESP_RETURN_IF_ERROR(shards_[s]->Start());
+  }
+  for (TypeRuntime& type : types_) {
+    ESP_ASSIGN_OR_RETURN(
+        type.group_output_schema,
+        shards_[type.hosting_shards.front()]->TypeOutputSchema(
+            type.config.device_type));
+    SchemaRef type_out = type.group_output_schema;
+    if (type.config.arbitrate != nullptr) {
+      ESP_ASSIGN_OR_RETURN(type.arbitrate, type.config.arbitrate());
+      cql::SchemaCatalog catalog;
+      catalog.AddStream(StageInputName(StageKind::kArbitrate),
+                        type.group_output_schema);
+      ESP_RETURN_IF_ERROR(type.arbitrate->Bind(catalog));
+      type_out = type.arbitrate->output_schema();
+    }
+    type.output_schema = type_out;
+    virtualize_inputs.AddStream(type.config.virtualize_input, type_out);
+  }
+  if (virtualize_ != nullptr) {
+    ESP_RETURN_IF_ERROR(virtualize_->Bind(virtualize_inputs));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+StatusOr<ShardedEspProcessor::TypeRuntime*> ShardedEspProcessor::FindType(
+    const std::string& device_type) {
+  for (TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, device_type)) {
+      return &type;
+    }
+  }
+  return Status::NotFound("no pipeline for device type '" + device_type +
+                          "'");
+}
+
+StatusOr<const ShardedEspProcessor::TypeRuntime*>
+ShardedEspProcessor::FindType(const std::string& device_type) const {
+  for (const TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, device_type)) {
+      return &type;
+    }
+  }
+  return Status::NotFound("no pipeline for device type '" + device_type +
+                          "'");
+}
+
+Status ShardedEspProcessor::Push(const std::string& device_type, Tuple raw) {
+  if (!started_) return Status::Internal("processor not started");
+  ESP_ASSIGN_OR_RETURN(TypeRuntime * type, FindType(device_type));
+  // Same validation order as EspProcessor::Push, so a reading that is wrong
+  // in several ways gets the same verdict from either engine.
+  if (raw.schema() == nullptr ||
+      (raw.schema().get() != type->config.reading_schema.get() &&
+       !raw.schema()->Equals(*type->config.reading_schema))) {
+    return Status::TypeError("raw reading schema mismatch for type '" +
+                             device_type + "'");
+  }
+  ESP_ASSIGN_OR_RETURN(const Value receptor,
+                       raw.Get(type->config.receptor_id_column));
+  if (receptor.type() != stream::DataType::kString) {
+    return Status::TypeError("receptor id column must be a string");
+  }
+  const auto it = receptor_shard_.find(
+      RouteKey(device_type, receptor.string_value()));
+  if (it == receptor_shard_.end()) {
+    return Status::NotFound("receptor '" + receptor.string_value() +
+                            "' of type '" + device_type +
+                            "' is in no proximity group");
+  }
+  // The shard re-runs the cheap validations (the schema check hits the
+  // pointer fast path) and applies the watermark contract against its own
+  // clock, which ticks in lockstep with ours.
+  return shards_[it->second]->Push(device_type, std::move(raw));
+}
+
+void ShardedEspProcessor::RecordStageError(Stage* stage,
+                                           const std::string& device_type,
+                                           const std::string& owner_id,
+                                           const Status& status) {
+  const std::string label = device_type + "/" +
+                            StageKindToString(stage->kind()) + "[" + owner_id +
+                            "]";
+  StageErrorStat& stat = stage_errors_[label];
+  stat.stage = label;
+  ++stat.errors;
+  stat.last_message = status.ToString();
+}
+
+StatusOr<Relation> ShardedEspProcessor::RunStageGuarded(
+    Stage* stage, const std::string& input_name, Relation input, Timestamp now,
+    const std::string& device_type, const std::string& owner_id) {
+  auto run = [&]() -> StatusOr<Relation> {
+    for (const Tuple& tuple : input.tuples()) {
+      ESP_RETURN_IF_ERROR(stage->Push(input_name, tuple));
+    }
+    return stage->Evaluate(now);
+  };
+  StatusOr<Relation> out = run();
+  if (out.ok()) return out;
+  if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
+    return out.status();
+  }
+  RecordStageError(stage, device_type, owner_id, out.status());
+  if (input.schema() != nullptr && stage->output_schema() != nullptr &&
+      input.schema()->Equals(*stage->output_schema())) {
+    return input;
+  }
+  return Relation(stage->output_schema());
+}
+
+StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
+  if (!started_) return Status::Internal("processor not started");
+  if (has_ticked_ && now < last_tick_) {
+    return Status::InvalidArgument("tick times must be non-decreasing");
+  }
+  last_tick_ = now;
+  has_ticked_ = true;
+
+  // Fan the shard cascades out on the pool. Each slot is written by exactly
+  // one worker; errors are surfaced in shard order for determinism.
+  std::vector<std::optional<StatusOr<TickResult>>> shard_results(
+      shards_.size());
+  pool_->ParallelFor(shards_.size(), [&](size_t s) {
+    shard_results[s] = shards_[s]->Tick(now);
+  });
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!shard_results[s]->ok()) return shard_results[s]->status();
+  }
+
+  TickResult result;
+  for (TypeRuntime& type : types_) {
+    // Concatenate the shards' per-type outputs in shard order — block
+    // contiguity makes this the single processor's group-ordered Union.
+    Relation merged(type.group_output_schema);
+    for (const size_t s : type.hosting_shards) {
+      TickResult& shard_result = shard_results[s]->value();
+      for (auto& [name, relation] : shard_result.per_type) {
+        if (!StrEqualsIgnoreCase(name, type.config.device_type)) continue;
+        auto& tuples = relation.mutable_tuples();
+        merged.mutable_tuples().insert(
+            merged.mutable_tuples().end(),
+            std::make_move_iterator(tuples.begin()),
+            std::make_move_iterator(tuples.end()));
+        break;
+      }
+    }
+
+    Relation type_out;
+    if (type.arbitrate != nullptr) {
+      ESP_ASSIGN_OR_RETURN(
+          type_out, RunStageGuarded(type.arbitrate.get(),
+                                    StageInputName(StageKind::kArbitrate),
+                                    std::move(merged), now,
+                                    type.config.device_type,
+                                    type.config.device_type));
+    } else {
+      type_out = std::move(merged);
+    }
+
+    if (virtualize_ != nullptr) {
+      for (const Tuple& tuple : type_out.tuples()) {
+        const Status pushed =
+            virtualize_->Push(type.config.virtualize_input, tuple);
+        if (!pushed.ok()) {
+          if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
+            return pushed;
+          }
+          RecordStageError(virtualize_.get(), type.config.device_type,
+                           type.config.virtualize_input, pushed);
+          break;  // Skip the rest of this type's feed this tick.
+        }
+      }
+    }
+    result.per_type.emplace_back(type.config.device_type,
+                                 std::move(type_out));
+  }
+
+  if (virtualize_ != nullptr) {
+    StatusOr<Relation> out = virtualize_->Evaluate(now);
+    if (out.ok()) {
+      result.virtualized = std::move(out).value();
+    } else if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
+      return out.status();
+    } else {
+      RecordStageError(virtualize_.get(), "virtualize", "virtualize",
+                       out.status());
+      result.virtualized = Relation(virtualize_->output_schema());
+    }
+  }
+  return result;
+}
+
+PipelineHealth ShardedEspProcessor::Health() const {
+  PipelineHealth health;
+  health.recovery = recovery_stats_;
+
+  std::vector<PipelineHealth> shard_health;
+  shard_health.reserve(shards_.size());
+  for (const std::unique_ptr<EspProcessor>& shard : shards_) {
+    shard_health.push_back(shard->Health());
+  }
+
+  // Receptors in the single processor's order: types in registration order,
+  // receptors in group-block order — i.e. each type's hosting shards in
+  // ascending order, each shard's receptors of that type in its local
+  // (block-contiguous) order.
+  for (const TypeRuntime& type : types_) {
+    for (const size_t s : type.hosting_shards) {
+      for (const ReceptorHealth& r : shard_health[s].receptors) {
+        if (!StrEqualsIgnoreCase(r.device_type, type.config.device_type)) {
+          continue;
+        }
+        health.receptors.push_back(r);
+        health.total_late_admitted += r.late_admitted;
+        health.total_dropped_late += r.dropped_late;
+        health.total_dropped_quarantined += r.dropped_quarantined;
+        if (r.state == ReceptorState::kQuarantined) ++health.quarantined_now;
+        if (r.state == ReceptorState::kSuspect) ++health.suspect_now;
+      }
+    }
+  }
+
+  // One label-sorted error list: shard-local labels (receptor/group owners
+  // are disjoint across shards) plus the wrapper's Arbitrate / Virtualize
+  // labels — matching the single processor's sorted map.
+  std::map<std::string, StageErrorStat> merged(stage_errors_);
+  for (const PipelineHealth& sh : shard_health) {
+    for (const StageErrorStat& stat : sh.stage_errors) {
+      merged[stat.stage] = stat;
+    }
+  }
+  for (const auto& [label, stat] : merged) {
+    health.stage_errors.push_back(stat);
+    health.total_stage_errors += stat.errors;
+  }
+  return health;
+}
+
+StatusOr<SchemaRef> ShardedEspProcessor::TypeReadingSchema(
+    const std::string& device_type) const {
+  ESP_ASSIGN_OR_RETURN(const TypeRuntime* type, FindType(device_type));
+  return type->config.reading_schema;
+}
+
+StatusOr<SchemaRef> ShardedEspProcessor::TypeOutputSchema(
+    const std::string& device_type) const {
+  ESP_ASSIGN_OR_RETURN(const TypeRuntime* type, FindType(device_type));
+  if (!started_) return Status::Internal("processor not started");
+  return type->output_schema;
+}
+
+size_t ShardedEspProcessor::BufferedTuples() const {
+  size_t total = 0;
+  for (const std::unique_ptr<EspProcessor>& shard : shards_) {
+    total += shard->BufferedTuples();
+  }
+  for (const TypeRuntime& type : types_) {
+    if (type.arbitrate != nullptr) total += type.arbitrate->buffered();
+  }
+  if (virtualize_ != nullptr) total += virtualize_->buffered();
+  return total;
+}
+
+ByteWriter ShardedEspProcessor::ConfigFingerprint() const {
+  ByteWriter config;
+  config.WriteU32(static_cast<uint32_t>(options_.num_shards));
+  config.WriteU32(static_cast<uint32_t>(types_.size()));
+  for (const TypeRuntime& type : types_) {
+    config.WriteString(type.config.device_type);
+    stream::WriteSchema(config, *type.config.reading_schema);
+    const auto groups = staged_granules_.GroupsOfType(type.config.device_type);
+    config.WriteU32(static_cast<uint32_t>(groups.size()));
+    for (const ProximityGroup* group : groups) {
+      config.WriteString(group->id);
+      config.WriteU32(static_cast<uint32_t>(group->receptor_ids.size()));
+      for (const std::string& receptor_id : group->receptor_ids) {
+        config.WriteString(receptor_id);
+      }
+    }
+    config.WriteU32(static_cast<uint32_t>(type.config.point.size()));
+    config.WriteBool(type.config.smooth != nullptr);
+    config.WriteBool(type.config.merge != nullptr);
+    config.WriteBool(type.arbitrate != nullptr);
+    config.WriteString(type.config.virtualize_input);
+  }
+  config.WriteBool(virtualize_ != nullptr);
+  config.WriteI64(policy_.staleness_threshold.micros());
+  config.WriteI64(policy_.quarantine_timeout.micros());
+  config.WriteI64(policy_.revival_backoff.micros());
+  config.WriteI64(policy_.max_revival_backoff.micros());
+  config.WriteI64(policy_.lateness_horizon.micros());
+  config.WriteU8(static_cast<uint8_t>(policy_.stage_error_policy));
+  return config;
+}
+
+Status ShardedEspProcessor::Checkpoint(CheckpointWriter& out) const {
+  if (!started_) return Status::Internal("processor not started");
+
+  out.AddSection("config", ConfigFingerprint());
+
+  ByteWriter clock;
+  clock.WriteBool(has_ticked_);
+  clock.WriteI64(last_tick_.micros());
+  out.AddSection("clock", std::move(clock));
+
+  // Every shard's full snapshot (its own config fingerprint, clock,
+  // receptors, stages, errors) nests as one opaque section.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    CheckpointWriter shard_out;
+    ESP_RETURN_IF_ERROR(shards_[s]->Checkpoint(shard_out));
+    ByteWriter nested;
+    nested.WriteString(shard_out.Serialize());
+    out.AddSection(ShardSectionName(s), std::move(nested));
+  }
+
+  // The wrapper-owned stages: per-type Arbitrate, then Virtualize.
+  ByteWriter stages;
+  for (const TypeRuntime& type : types_) {
+    if (type.arbitrate != nullptr) {
+      ESP_RETURN_IF_ERROR(SaveStageBlob(type.arbitrate.get(), stages));
+    }
+  }
+  if (virtualize_ != nullptr) {
+    ESP_RETURN_IF_ERROR(SaveStageBlob(virtualize_.get(), stages));
+  }
+  out.AddSection("stages", std::move(stages));
+
+  ByteWriter errors;
+  errors.WriteU32(static_cast<uint32_t>(stage_errors_.size()));
+  for (const auto& [label, stat] : stage_errors_) {
+    errors.WriteString(label);
+    errors.WriteI64(stat.errors);
+    errors.WriteString(stat.last_message);
+  }
+  out.AddSection("errors", std::move(errors));
+  return Status::OK();
+}
+
+Status ShardedEspProcessor::Restore(const CheckpointReader& in) {
+  if (!started_) return Status::Internal("processor not started");
+
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view snap_config,
+                         in.Section("config"));
+    const ByteWriter own = ConfigFingerprint();
+    if (std::string_view(own.data()) != snap_config) {
+      return Status::InvalidArgument(
+          "snapshot does not match the deployed configuration (shard count, "
+          "device types, receptors, groups, stages, or health policy "
+          "differ)");
+    }
+  }
+
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload, in.Section("clock"));
+    ByteReader r(payload);
+    ESP_ASSIGN_OR_RETURN(has_ticked_, r.ReadBool());
+    ESP_ASSIGN_OR_RETURN(const int64_t micros, r.ReadI64());
+    last_tick_ = Timestamp::Micros(micros);
+  }
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                         in.Section(ShardSectionName(s)));
+    ByteReader r(payload);
+    ESP_ASSIGN_OR_RETURN(const std::string nested, r.ReadString());
+    if (!r.exhausted()) {
+      return Status::ParseError(ShardSectionName(s) +
+                                " section has trailing bytes");
+    }
+    ESP_ASSIGN_OR_RETURN(CheckpointReader shard_in,
+                         CheckpointReader::Parse(nested));
+    ESP_RETURN_IF_ERROR(shards_[s]->Restore(shard_in));
+  }
+
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                         in.Section("stages"));
+    ByteReader r(payload);
+    for (TypeRuntime& type : types_) {
+      if (type.arbitrate != nullptr) {
+        ESP_RETURN_IF_ERROR(LoadStageBlob(type.arbitrate.get(), r));
+      }
+    }
+    if (virtualize_ != nullptr) {
+      ESP_RETURN_IF_ERROR(LoadStageBlob(virtualize_.get(), r));
+    }
+    if (!r.exhausted()) {
+      return Status::ParseError("stages section has trailing bytes");
+    }
+  }
+
+  {
+    ESP_ASSIGN_OR_RETURN(const std::string_view payload,
+                         in.Section("errors"));
+    ByteReader r(payload);
+    ESP_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+    stage_errors_.clear();
+    for (uint32_t i = 0; i < count; ++i) {
+      ESP_ASSIGN_OR_RETURN(std::string label, r.ReadString());
+      StageErrorStat stat;
+      stat.stage = label;
+      ESP_ASSIGN_OR_RETURN(stat.errors, r.ReadI64());
+      ESP_ASSIGN_OR_RETURN(stat.last_message, r.ReadString());
+      stage_errors_.emplace(std::move(label), std::move(stat));
+    }
+    if (!r.exhausted()) {
+      return Status::ParseError("errors section has trailing bytes");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace esp::core

@@ -1,0 +1,150 @@
+#ifndef ESP_CORE_SHARDED_PROCESSOR_H_
+#define ESP_CORE_SHARDED_PROCESSOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/time.h"
+#include "core/engine.h"
+#include "core/processor.h"
+
+namespace esp::core {
+
+/// \brief A StreamEngine that partitions the deployment's proximity groups
+/// across N internal EspProcessor shards and ticks them in parallel on a
+/// thread pool, while producing output bitwise-identical to a single
+/// EspProcessor over the same inputs.
+///
+/// Why this is exact and not approximate: every pipeline stage up to and
+/// including Merge is local to one receptor or one proximity group, and
+/// receptors never migrate between groups of different shards (quarantine
+/// parks a receptor in a shard-local parking group). Each type's groups are
+/// partitioned into contiguous blocks in registration order, so
+/// concatenating the shards' per-type outputs in shard order reproduces the
+/// single processor's group-ordered Union. The only cross-group stages —
+/// Arbitrate (per type) and Virtualize (cross-type) — are stripped from the
+/// shards and run serially in this wrapper over the merged stream, exactly
+/// where the single processor runs them.
+///
+/// The parallel win on top of the pipeline parallelism: Push's linear
+/// receptor scan and Tick's per-receptor group routing shrink by the shard
+/// count, so even on one core a sharded engine over R receptors beats the
+/// monolith once R is large (docs/PERFORMANCE.md).
+///
+/// Configuration mirrors EspProcessor: AddProximityGroup / AddPipeline /
+/// SetHealthPolicy / SetVirtualize, then Start(). Checkpoint/Restore
+/// snapshot every shard plus the wrapper's own stages, so the
+/// RecoveryCoordinator drives either engine unchanged.
+class ShardedEspProcessor : public StreamEngine {
+ public:
+  struct Options {
+    /// Number of internal shards. Groups are spread contiguously; shards
+    /// beyond the group count of every type simply idle.
+    size_t num_shards = 2;
+
+    /// Pool to tick shards on; must outlive the processor and have been
+    /// created with at least one thread for any parallelism to materialize.
+    /// When null the processor creates a private pool of num_shards threads
+    /// at Start().
+    ThreadPool* pool = nullptr;
+  };
+
+  explicit ShardedEspProcessor(Options options);
+  ShardedEspProcessor(const ShardedEspProcessor&) = delete;
+  ShardedEspProcessor& operator=(const ShardedEspProcessor&) = delete;
+
+  Status AddProximityGroup(ProximityGroup group);
+  Status AddPipeline(DeviceTypePipeline pipeline);
+  Status SetHealthPolicy(HealthPolicy policy);
+  const HealthPolicy& health_policy() const { return policy_; }
+  void SetVirtualize(std::unique_ptr<Stage> stage);
+
+  /// Partitions groups, builds the shards, binds the wrapper's Arbitrate
+  /// and Virtualize stages, and freezes configuration.
+  Status Start();
+
+  size_t num_shards() const { return options_.num_shards; }
+
+  // StreamEngine:
+  Status Push(const std::string& device_type, stream::Tuple raw) override;
+  StatusOr<TickResult> Tick(Timestamp now) override;
+  bool has_ticked() const override { return has_ticked_; }
+  Timestamp last_tick() const override { return last_tick_; }
+  StatusOr<stream::SchemaRef> TypeReadingSchema(
+      const std::string& device_type) const override;
+  Status Checkpoint(CheckpointWriter& out) const override;
+  Status Restore(const CheckpointReader& in) override;
+  RecoveryStats& mutable_recovery_stats() override { return recovery_stats_; }
+  PipelineHealth Health() const override;
+
+  /// Cleaned-output schema of one device type; valid after Start().
+  StatusOr<stream::SchemaRef> TypeOutputSchema(
+      const std::string& device_type) const;
+
+  /// Total tuples buffered across every shard and the wrapper's stages.
+  size_t BufferedTuples() const;
+
+ private:
+  /// Wrapper-side view of one device type: its original config (with the
+  /// Arbitrate factory), which shards host at least one of its groups, and
+  /// the wrapper's own Arbitrate instance.
+  struct TypeRuntime {
+    DeviceTypePipeline config;
+    std::vector<size_t> hosting_shards;   // Shard indices, ascending.
+    std::unique_ptr<Stage> arbitrate;     // May be null.
+    stream::SchemaRef group_output_schema;  // Shards' per-type output.
+    stream::SchemaRef output_schema;        // After wrapper Arbitrate.
+  };
+
+  StatusOr<TypeRuntime*> FindType(const std::string& device_type);
+  StatusOr<const TypeRuntime*> FindType(const std::string& device_type) const;
+
+  /// Mirror of EspProcessor::RunStageGuarded for the wrapper-owned stages
+  /// (Arbitrate / Virtualize are never receptor-owned, so no chain).
+  StatusOr<stream::Relation> RunStageGuarded(Stage* stage,
+                                             const std::string& input_name,
+                                             stream::Relation input,
+                                             Timestamp now,
+                                             const std::string& device_type,
+                                             const std::string& owner_id);
+  void RecordStageError(Stage* stage, const std::string& device_type,
+                        const std::string& owner_id, const Status& status);
+
+  /// Deterministic byte string identifying the deployed topology, policy,
+  /// and shard count; Restore refuses snapshots whose fingerprint differs.
+  ByteWriter ConfigFingerprint() const;
+
+  Options options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // == options_.pool or owned_pool_.get().
+
+  /// Staging registry (registration-ordered); used to validate, partition,
+  /// and build the routing map. Not updated by shard-local quarantine moves.
+  GranuleMap staged_granules_;
+  std::vector<TypeRuntime> types_;
+  std::unique_ptr<Stage> virtualize_;
+  HealthPolicy policy_;
+
+  std::vector<std::unique_ptr<EspProcessor>> shards_;
+  /// (device_type '\0' receptor_id) -> shard index, case-insensitive.
+  std::unordered_map<std::string, size_t, AsciiCaseHash, AsciiCaseEq>
+      receptor_shard_;
+
+  /// Wrapper-stage error tallies (Arbitrate / Virtualize labels only;
+  /// shard-local labels live in the shards and are merged by Health()).
+  std::map<std::string, StageErrorStat> stage_errors_;
+  RecoveryStats recovery_stats_;
+  bool started_ = false;
+  bool has_ticked_ = false;
+  Timestamp last_tick_;
+};
+
+}  // namespace esp::core
+
+#endif  // ESP_CORE_SHARDED_PROCESSOR_H_

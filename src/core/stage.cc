@@ -199,4 +199,30 @@ Status FunctionStage::LoadState(ByteReader& r) {
   return Status::OK();
 }
 
+Status SaveStageBlob(const Stage* stage, ByteWriter& w) {
+  w.WriteString(stage->name());
+  ByteWriter blob;
+  ESP_RETURN_IF_ERROR(stage->SaveState(blob));
+  w.WriteString(blob.data());
+  return Status::OK();
+}
+
+Status LoadStageBlob(Stage* stage, ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
+  if (name != stage->name()) {
+    return Status::ParseError("snapshot stage '" + name +
+                              "' does not match deployed stage '" +
+                              stage->name() + "'");
+  }
+  ESP_ASSIGN_OR_RETURN(const std::string blob, r.ReadString());
+  ByteReader blob_reader(blob);
+  ESP_RETURN_IF_ERROR(stage->LoadState(blob_reader));
+  if (!blob_reader.exhausted()) {
+    return Status::ParseError("stage '" + stage->name() + "' left " +
+                              std::to_string(blob_reader.remaining()) +
+                              " unread state bytes");
+  }
+  return Status::OK();
+}
+
 }  // namespace esp::core

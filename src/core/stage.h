@@ -114,6 +114,16 @@ class Stage {
 /// stage instances from one configuration.
 using StageFactory = std::function<StatusOr<std::unique_ptr<Stage>>()>;
 
+/// Writes one stage's name plus its SaveState payload as a length-prefixed
+/// blob, so each stage's LoadState sees exactly its own bytes (and the
+/// default hooks, which write and verify an explicit no-state marker, stay
+/// framed per stage). Shared by every StreamEngine's checkpoint writer.
+Status SaveStageBlob(const Stage* stage, ByteWriter& w);
+
+/// Reads a blob written by SaveStageBlob into an identically named stage,
+/// verifying the name and that LoadState consumed every byte.
+Status LoadStageBlob(Stage* stage, ByteReader& r);
+
 /// \brief A stage programmed with a declarative CQL query — the paper's
 /// preferred programming model.
 ///

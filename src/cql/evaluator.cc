@@ -1,6 +1,8 @@
 #include "cql/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -446,6 +448,428 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
 }
 
 // ---------------------------------------------------------------------------
+// Compiled expressions
+//
+// ExecuteInternal compiles each query expression against the FROM layout
+// once per execution: column references become absolute row-slot indices
+// (replacing the per-tuple ResolveColumn string-compare walk), constant
+// subexpressions fold to a single Value, and anything this path cannot
+// prove equivalent — subqueries, outer-scope references, ambiguous or
+// unresolved names — falls back to the interpretive EvalExpr node-for-node,
+// preserving exact error and NULL semantics.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_expr_compilation{true};
+
+struct BoundExpr {
+  enum class Kind {
+    kConst,      // Folded constant.
+    kSlot,       // Column bound to an absolute index into the joined row.
+    kFallback,   // Interpretive escape hatch: delegates to EvalExpr.
+    kNot,
+    kNegate,
+    kArith,      // bin_op in {Add, Subtract, Multiply, Divide, Modulo}.
+    kCompare,    // bin_op in the comparison range.
+    kLogical,    // bin_op in {And, Or}, three-valued with short-circuit.
+    kScalarFn,   // Registry function; never folded (no purity contract).
+    kAggregate,  // Aggregate call; children[0] is the compiled argument.
+    kIsNull,
+    kBetween,    // children = {value, low, high}.
+    kCase,       // children = {cond, result}... [+ else when has_else].
+    kInList,     // children = {lhs, item...}; IN over a literal/expr list.
+  };
+
+  Kind kind = Kind::kFallback;
+  Value constant;                              // kConst.
+  size_t slot = 0;                             // kSlot.
+  BinaryOp bin_op = BinaryOp::kAnd;            // kArith/kCompare/kLogical.
+  bool negated = false;                        // kIsNull/kBetween/kInList.
+  bool has_else = false;                       // kCase.
+  const ScalarFunction* fn = nullptr;          // kScalarFn.
+  const FunctionCallExpr* agg_call = nullptr;  // kAggregate.
+  const Expr* fallback = nullptr;              // kFallback.
+  std::vector<BoundExpr> children;
+};
+
+BoundExpr MakeFallback(const Expr& expr) {
+  BoundExpr bound;
+  bound.kind = BoundExpr::Kind::kFallback;
+  bound.fallback = &expr;
+  return bound;
+}
+
+StatusOr<Value> EvalBound(const BoundExpr& bound, const EvalContext& ec);
+
+/// Folds an all-constant operator node into kConst by evaluating it once.
+/// Evaluation failures (1/0, type errors) keep the node intact so the error
+/// still surfaces — or doesn't — exactly where the interpretive path would
+/// raise it (e.g. behind a short-circuiting AND or an untaken CASE arm).
+BoundExpr FoldIfConst(BoundExpr node) {
+  switch (node.kind) {
+    case BoundExpr::Kind::kConst:
+    case BoundExpr::Kind::kSlot:
+    case BoundExpr::Kind::kFallback:
+    case BoundExpr::Kind::kScalarFn:
+    case BoundExpr::Kind::kAggregate:
+      return node;
+    default:
+      break;
+  }
+  for (const BoundExpr& child : node.children) {
+    if (child.kind != BoundExpr::Kind::kConst) return node;
+  }
+  const EvalContext empty;
+  StatusOr<Value> value = EvalBound(node, empty);
+  if (!value.ok()) return node;
+  BoundExpr folded;
+  folded.kind = BoundExpr::Kind::kConst;
+  folded.constant = std::move(*value);
+  return folded;
+}
+
+/// Binds `expr` against the innermost FROM layout. Anything that cannot be
+/// bound losslessly compiles to a fallback node.
+BoundExpr CompileExpr(const Expr& expr, const FromContext& from) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kConst;
+      bound.constant = static_cast<const LiteralExpr&>(expr).value;
+      return bound;
+    }
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (!ref.qualifier.empty()) {
+        for (const FromContext::Frame& frame : from.frames) {
+          if (esp::StrEqualsIgnoreCase(frame.alias, ref.qualifier)) {
+            auto index = frame.schema->IndexOf(ref.name);
+            // Missing column in a matched frame is an error ResolveColumn
+            // raises per tuple; the fallback reproduces it.
+            if (!index.has_value()) return MakeFallback(expr);
+            BoundExpr bound;
+            bound.kind = BoundExpr::Kind::kSlot;
+            bound.slot = frame.offset + *index;
+            return bound;
+          }
+        }
+        return MakeFallback(expr);  // Qualifier may name an outer frame.
+      }
+      const FromContext::Frame* found_frame = nullptr;
+      size_t found_index = 0;
+      for (const FromContext::Frame& frame : from.frames) {
+        auto index = frame.schema->IndexOf(ref.name);
+        if (index.has_value()) {
+          if (found_frame != nullptr) return MakeFallback(expr);  // Ambiguous.
+          found_frame = &frame;
+          found_index = *index;
+        }
+      }
+      if (found_frame == nullptr) return MakeFallback(expr);  // Outer/unknown.
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kSlot;
+      bound.slot = found_frame->offset + found_index;
+      return bound;
+    }
+    case ExprKind::kStar:
+      return MakeFallback(expr);  // Not a scalar; EvalExpr raises the error.
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      BoundExpr bound;
+      bound.kind = unary.op == UnaryOp::kNegate ? BoundExpr::Kind::kNegate
+                                                : BoundExpr::Kind::kNot;
+      bound.children.push_back(CompileExpr(*unary.operand, from));
+      return FoldIfConst(std::move(bound));
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      BoundExpr bound;
+      switch (binary.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          bound.kind = BoundExpr::Kind::kLogical;
+          break;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSubtract:
+        case BinaryOp::kMultiply:
+        case BinaryOp::kDivide:
+        case BinaryOp::kModulo:
+          bound.kind = BoundExpr::Kind::kArith;
+          break;
+        default:
+          bound.kind = BoundExpr::Kind::kCompare;
+          break;
+      }
+      bound.bin_op = binary.op;
+      bound.children.push_back(CompileExpr(*binary.lhs, from));
+      bound.children.push_back(CompileExpr(*binary.rhs, from));
+      return FoldIfConst(std::move(bound));
+    }
+    case ExprKind::kFunctionCall: {
+      const auto& call = static_cast<const FunctionCallExpr&>(expr);
+      if (stream::AggregateRegistry::Global().Contains(call.name)) {
+        BoundExpr bound;
+        bound.kind = BoundExpr::Kind::kAggregate;
+        bound.agg_call = &call;
+        if (!call.IsStarArg() && call.args.size() == 1) {
+          bound.children.push_back(CompileExpr(*call.args[0], from));
+        }
+        return bound;
+      }
+      StatusOr<const ScalarFunction*> function =
+          ScalarFunctionRegistry::Global().Find(call.name);
+      // Unknown names and arity mismatches stay interpretive so the error
+      // is raised only if (and when) the call is actually evaluated.
+      if (!function.ok()) return MakeFallback(expr);
+      if (call.args.size() < (*function)->min_args ||
+          call.args.size() > (*function)->max_args) {
+        return MakeFallback(expr);
+      }
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kScalarFn;
+      bound.fn = *function;
+      bound.children.reserve(call.args.size());
+      for (const ExprPtr& arg : call.args) {
+        bound.children.push_back(CompileExpr(*arg, from));
+      }
+      return bound;
+    }
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kQuantifiedComparison:
+    case ExprKind::kExists:
+      return MakeFallback(expr);  // Subqueries re-enter ExecuteInternal.
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(expr);
+      if (in.subquery != nullptr) return MakeFallback(expr);
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kInList;
+      bound.negated = in.negated;
+      bound.children.reserve(in.list.size() + 1);
+      bound.children.push_back(CompileExpr(*in.lhs, from));
+      for (const ExprPtr& item : in.list) {
+        bound.children.push_back(CompileExpr(*item, from));
+      }
+      return FoldIfConst(std::move(bound));
+    }
+    case ExprKind::kIsNull: {
+      const auto& is_null = static_cast<const IsNullExpr&>(expr);
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kIsNull;
+      bound.negated = is_null.negated;
+      bound.children.push_back(CompileExpr(*is_null.operand, from));
+      return FoldIfConst(std::move(bound));
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(expr);
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kBetween;
+      bound.negated = between.negated;
+      bound.children.push_back(CompileExpr(*between.value, from));
+      bound.children.push_back(CompileExpr(*between.low, from));
+      bound.children.push_back(CompileExpr(*between.high, from));
+      return FoldIfConst(std::move(bound));
+    }
+    case ExprKind::kCase: {
+      const auto& case_expr = static_cast<const CaseExpr&>(expr);
+      BoundExpr bound;
+      bound.kind = BoundExpr::Kind::kCase;
+      bound.children.reserve(case_expr.whens.size() * 2 + 1);
+      for (const CaseExpr::WhenClause& when : case_expr.whens) {
+        bound.children.push_back(CompileExpr(*when.condition, from));
+        bound.children.push_back(CompileExpr(*when.result, from));
+      }
+      if (case_expr.else_result != nullptr) {
+        bound.has_else = true;
+        bound.children.push_back(CompileExpr(*case_expr.else_result, from));
+      }
+      return FoldIfConst(std::move(bound));
+    }
+  }
+  return MakeFallback(expr);
+}
+
+/// Three-valued AND/OR over compiled operands (mirrors EvalLogical).
+StatusOr<Value> EvalBoundLogical(const BoundExpr& bound,
+                                 const EvalContext& ec) {
+  ESP_ASSIGN_OR_RETURN(const Value lhs, EvalBound(bound.children[0], ec));
+  if (!lhs.is_null() && lhs.type() == DataType::kBool) {
+    if (bound.bin_op == BinaryOp::kAnd && !lhs.bool_value()) {
+      return Value::Bool(false);
+    }
+    if (bound.bin_op == BinaryOp::kOr && lhs.bool_value()) {
+      return Value::Bool(true);
+    }
+  } else if (!lhs.is_null()) {
+    return Status::TypeError("AND/OR operand must be boolean");
+  }
+  ESP_ASSIGN_OR_RETURN(const Value rhs, EvalBound(bound.children[1], ec));
+  if (!rhs.is_null() && rhs.type() != DataType::kBool) {
+    return Status::TypeError("AND/OR operand must be boolean");
+  }
+  if (bound.bin_op == BinaryOp::kAnd) {
+    if (!rhs.is_null() && !rhs.bool_value()) return Value::Bool(false);
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Bool(true);
+  }
+  if (!rhs.is_null() && rhs.bool_value()) return Value::Bool(true);
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  return Value::Bool(false);
+}
+
+/// Aggregate over the current group with a compiled argument (mirrors
+/// EvalAggregate, including its error order).
+StatusOr<Value> EvalBoundAggregate(const BoundExpr& bound,
+                                   const EvalContext& ec) {
+  const FunctionCallExpr& call = *bound.agg_call;
+  if (ec.group_rows == nullptr) {
+    return Status::InvalidArgument("aggregate " + call.name +
+                                   "() used outside grouped evaluation");
+  }
+  ESP_ASSIGN_OR_RETURN(
+      std::unique_ptr<stream::Aggregator> aggregator,
+      stream::AggregateRegistry::Global().Create(call.name, call.distinct));
+  const bool star = call.IsStarArg();
+  if (!star && call.args.size() != 1) {
+    return Status::InvalidArgument("aggregate " + call.name +
+                                   "() takes exactly one argument");
+  }
+  for (const Row* row : *ec.group_rows) {
+    Value input = Value::Int64(1);  // count(*) marker.
+    if (!star) {
+      EvalContext row_ec = ec;
+      row_ec.row = row;
+      row_ec.group_rows = nullptr;  // Argument is a per-row expression.
+      ESP_ASSIGN_OR_RETURN(input, EvalBound(bound.children[0], row_ec));
+    }
+    ESP_RETURN_IF_ERROR(aggregator->Update(input));
+  }
+  return aggregator->Final();
+}
+
+StatusOr<Value> EvalBound(const BoundExpr& bound, const EvalContext& ec) {
+  switch (bound.kind) {
+    case BoundExpr::Kind::kConst:
+      return bound.constant;
+    case BoundExpr::Kind::kSlot:
+      return (*ec.row)[bound.slot];
+    case BoundExpr::Kind::kFallback:
+      return EvalExpr(*bound.fallback, ec);
+    case BoundExpr::Kind::kNegate: {
+      ESP_ASSIGN_OR_RETURN(const Value operand,
+                           EvalBound(bound.children[0], ec));
+      return stream::Negate(operand);
+    }
+    case BoundExpr::Kind::kNot: {
+      ESP_ASSIGN_OR_RETURN(const Value operand,
+                           EvalBound(bound.children[0], ec));
+      if (operand.is_null()) return Value::Null();
+      if (operand.type() != DataType::kBool) {
+        return Status::TypeError("NOT requires a boolean");
+      }
+      return Value::Bool(!operand.bool_value());
+    }
+    case BoundExpr::Kind::kArith: {
+      ESP_ASSIGN_OR_RETURN(const Value lhs, EvalBound(bound.children[0], ec));
+      ESP_ASSIGN_OR_RETURN(const Value rhs, EvalBound(bound.children[1], ec));
+      switch (bound.bin_op) {
+        case BinaryOp::kAdd:
+          return stream::Add(lhs, rhs);
+        case BinaryOp::kSubtract:
+          return stream::Subtract(lhs, rhs);
+        case BinaryOp::kMultiply:
+          return stream::Multiply(lhs, rhs);
+        case BinaryOp::kDivide:
+          return stream::Divide(lhs, rhs);
+        default:
+          return stream::Modulo(lhs, rhs);
+      }
+    }
+    case BoundExpr::Kind::kCompare: {
+      ESP_ASSIGN_OR_RETURN(const Value lhs, EvalBound(bound.children[0], ec));
+      ESP_ASSIGN_OR_RETURN(const Value rhs, EvalBound(bound.children[1], ec));
+      return EvalComparison(bound.bin_op, lhs, rhs);
+    }
+    case BoundExpr::Kind::kLogical:
+      return EvalBoundLogical(bound, ec);
+    case BoundExpr::Kind::kScalarFn: {
+      std::vector<Value> args;
+      args.reserve(bound.children.size());
+      for (const BoundExpr& child : bound.children) {
+        ESP_ASSIGN_OR_RETURN(Value value, EvalBound(child, ec));
+        args.push_back(std::move(value));
+      }
+      return bound.fn->fn(args);
+    }
+    case BoundExpr::Kind::kAggregate:
+      return EvalBoundAggregate(bound, ec);
+    case BoundExpr::Kind::kIsNull: {
+      ESP_ASSIGN_OR_RETURN(const Value operand,
+                           EvalBound(bound.children[0], ec));
+      return Value::Bool(bound.negated ? !operand.is_null()
+                                       : operand.is_null());
+    }
+    case BoundExpr::Kind::kBetween: {
+      ESP_ASSIGN_OR_RETURN(const Value value, EvalBound(bound.children[0], ec));
+      ESP_ASSIGN_OR_RETURN(const Value low, EvalBound(bound.children[1], ec));
+      ESP_ASSIGN_OR_RETURN(const Value high, EvalBound(bound.children[2], ec));
+      ESP_ASSIGN_OR_RETURN(
+          const Value ge_low,
+          EvalComparison(BinaryOp::kGreaterEquals, value, low));
+      ESP_ASSIGN_OR_RETURN(const Value le_high,
+                           EvalComparison(BinaryOp::kLessEquals, value, high));
+      if (ge_low.is_null() || le_high.is_null()) return Value::Null();
+      const bool inside = ge_low.bool_value() && le_high.bool_value();
+      return Value::Bool(bound.negated ? !inside : inside);
+    }
+    case BoundExpr::Kind::kCase: {
+      const size_t when_pairs =
+          (bound.children.size() - (bound.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < when_pairs; ++i) {
+        ESP_ASSIGN_OR_RETURN(const Value condition,
+                             EvalBound(bound.children[2 * i], ec));
+        ESP_ASSIGN_OR_RETURN(const bool matched,
+                             ToDecision(condition, "CASE WHEN condition"));
+        if (matched) return EvalBound(bound.children[2 * i + 1], ec);
+      }
+      if (bound.has_else) return EvalBound(bound.children.back(), ec);
+      return Value::Null();
+    }
+    case BoundExpr::Kind::kInList: {
+      ESP_ASSIGN_OR_RETURN(const Value lhs, EvalBound(bound.children[0], ec));
+      if (lhs.is_null()) return Value::Null();
+      std::vector<Value> values;
+      values.reserve(bound.children.size() - 1);
+      for (size_t i = 1; i < bound.children.size(); ++i) {
+        ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound.children[i], ec));
+        values.push_back(std::move(value));
+      }
+      bool saw_null = false;
+      for (const Value& candidate : values) {
+        if (candidate.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (lhs.Equals(candidate)) return Value::Bool(!bound.negated);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Bool(bound.negated);
+    }
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+/// Records every slot read a compiled tree can make. `opaque` is set when
+/// the tree contains a fallback node, whose column reads the compiler
+/// cannot see.
+void CollectSlotReads(const BoundExpr& bound, std::vector<size_t>& slots,
+                      bool& opaque) {
+  if (bound.kind == BoundExpr::Kind::kSlot) slots.push_back(bound.slot);
+  if (bound.kind == BoundExpr::Kind::kFallback) opaque = true;
+  for (const BoundExpr& child : bound.children) {
+    CollectSlotReads(child, slots, opaque);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Query execution
 // ---------------------------------------------------------------------------
 
@@ -574,7 +998,23 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
   // Enumerate joined rows (cartesian product; FROM-less yields one empty
   // row).
   std::vector<Row> rows;
-  {
+  if (inputs.size() == 1) {
+    // Single-input FROM (the common continuous-query shape): the windowed
+    // relation is owned by this evaluation, so move each tuple's values
+    // into its row instead of copying field by field.
+    rows.reserve(inputs[0].size());
+    for (Tuple& tuple : inputs[0].mutable_tuples()) {
+      if (tuple.num_fields() == from.total_columns) {
+        rows.push_back(std::move(tuple.mutable_values()));
+      } else {
+        Row row(from.total_columns, Value::Null());
+        for (size_t c = 0; c < tuple.num_fields(); ++c) {
+          row[c] = tuple.value(c);
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  } else {
     Row current(from.total_columns, Value::Null());
     // Iterative odometer over input relations.
     std::vector<size_t> cursor(inputs.size(), 0);
@@ -585,6 +1025,9 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
     if (inputs.empty()) {
       rows.push_back(current);  // FROM-less: a single all-null (empty) row.
     } else if (!exhausted) {
+      size_t product = 1;
+      for (const Relation& input : inputs) product *= input.size();
+      rows.reserve(product);
       while (true) {
         for (size_t i = 0; i < inputs.size(); ++i) {
           const Tuple& tuple = inputs[i].tuple(cursor[i]);
@@ -616,13 +1059,30 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
   base.from = &from;
   base.outer = outer;
 
+  // Compile every query expression against the FROM layout once; the
+  // per-row loops below then evaluate slot-bound trees instead of
+  // re-resolving names per tuple.
+  const bool compile_exprs =
+      g_expr_compilation.load(std::memory_order_relaxed);
+  const auto compile = [&](const Expr& expr) {
+    return compile_exprs ? CompileExpr(expr, from) : MakeFallback(expr);
+  };
+  std::optional<BoundExpr> bound_where;
+  if (query.where != nullptr) bound_where = compile(*query.where);
+  std::vector<BoundExpr> bound_items;
+  bound_items.reserve(query.items.size());
+  for (const SelectItem& item : query.items) {
+    bound_items.push_back(compile(*item.expr));
+  }
+
   // WHERE.
   std::vector<Row> filtered;
-  if (query.where != nullptr) {
+  if (bound_where.has_value()) {
+    filtered.reserve(rows.size());
     for (Row& row : rows) {
       EvalContext ec = base;
       ec.row = &row;
-      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalExpr(*query.where, ec));
+      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalBound(*bound_where, ec));
       ESP_ASSIGN_OR_RETURN(const bool keep, ToDecision(verdict, "WHERE"));
       if (keep) filtered.push_back(std::move(row));
     }
@@ -633,18 +1093,57 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
   Relation output(output_schema);
 
   if (!QueryUsesAggregation(query)) {
+    const bool has_star = std::any_of(
+        query.items.begin(), query.items.end(), [](const SelectItem& item) {
+          return item.expr->kind() == ExprKind::kStar;
+        });
+    // `SELECT *` alone: the row IS the output tuple's value vector.
+    if (has_star && query.items.size() == 1) {
+      output.mutable_tuples().reserve(filtered.size());
+      for (Row& row : filtered) {
+        output.Add(Tuple(output_schema, std::move(row), now));
+      }
+      return FinalizeOutput(query, std::move(output));
+    }
+    // Plan which items may move their value straight out of the row: a
+    // top-level slot read whose slot no other part of the projection (no
+    // fallback anywhere, no star, no second read) can observe.
+    std::vector<char> move_item(query.items.size(), 0);
+    if (!has_star) {
+      bool opaque = false;
+      std::vector<size_t> slot_reads;
+      for (const BoundExpr& bound : bound_items) {
+        CollectSlotReads(bound, slot_reads, opaque);
+      }
+      if (!opaque) {
+        std::unordered_map<size_t, size_t> reads_per_slot;
+        for (size_t slot : slot_reads) ++reads_per_slot[slot];
+        for (size_t i = 0; i < bound_items.size(); ++i) {
+          if (bound_items[i].kind == BoundExpr::Kind::kSlot &&
+              reads_per_slot[bound_items[i].slot] == 1) {
+            move_item[i] = 1;
+          }
+        }
+      }
+    }
     // Plain projection.
-    for (const Row& row : filtered) {
+    output.mutable_tuples().reserve(filtered.size());
+    for (Row& row : filtered) {
       EvalContext ec = base;
       ec.row = &row;
       std::vector<Value> values;
       values.reserve(output_schema->num_fields());
-      for (const SelectItem& item : query.items) {
+      for (size_t i = 0; i < query.items.size(); ++i) {
+        const SelectItem& item = query.items[i];
         if (item.expr->kind() == ExprKind::kStar) {
           for (const Value& value : row) values.push_back(value);
           continue;
         }
-        ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*item.expr, ec));
+        if (move_item[i]) {
+          values.push_back(std::move(row[bound_items[i].slot]));
+          continue;
+        }
+        ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound_items[i], ec));
         values.push_back(std::move(value));
       }
       output.Add(Tuple(output_schema, std::move(values), now));
@@ -663,6 +1162,11 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
     groups.emplace_back();
     for (const Row& row : filtered) groups.back().rows.push_back(&row);
   } else {
+    std::vector<BoundExpr> bound_keys;
+    bound_keys.reserve(query.group_by.size());
+    for (const ExprPtr& expr : query.group_by) {
+      bound_keys.push_back(compile(*expr));
+    }
     std::unordered_map<std::vector<Value>, size_t, stream::ValueVectorHash,
                        stream::ValueVectorEq>
         index;
@@ -670,9 +1174,9 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
       EvalContext ec = base;
       ec.row = &row;
       std::vector<Value> key;
-      key.reserve(query.group_by.size());
-      for (const ExprPtr& expr : query.group_by) {
-        ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*expr, ec));
+      key.reserve(bound_keys.size());
+      for (const BoundExpr& bound : bound_keys) {
+        ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound, ec));
         key.push_back(std::move(value));
       }
       auto [it, inserted] = index.emplace(std::move(key), groups.size());
@@ -680,6 +1184,9 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
       groups[it->second].rows.push_back(&row);
     }
   }
+
+  std::optional<BoundExpr> bound_having;
+  if (query.having != nullptr) bound_having = compile(*query.having);
 
   const Row empty_row(from.total_columns, Value::Null());
   for (const Group& group : groups) {
@@ -689,15 +1196,15 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
     // per SQL, should be functionally dependent on the group key).
     ec.row = group.rows.empty() ? &empty_row : group.rows.front();
 
-    if (query.having != nullptr) {
-      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalExpr(*query.having, ec));
+    if (bound_having.has_value()) {
+      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalBound(*bound_having, ec));
       ESP_ASSIGN_OR_RETURN(const bool keep, ToDecision(verdict, "HAVING"));
       if (!keep) continue;
     }
     std::vector<Value> values;
     values.reserve(output_schema->num_fields());
-    for (const SelectItem& item : query.items) {
-      ESP_ASSIGN_OR_RETURN(Value value, EvalExpr(*item.expr, ec));
+    for (const BoundExpr& bound : bound_items) {
+      ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound, ec));
       values.push_back(std::move(value));
     }
     output.Add(Tuple(output_schema, std::move(values), now));
@@ -710,6 +1217,10 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
 StatusOr<Relation> ExecuteQuery(const SelectQuery& query,
                                 const Catalog& catalog, Timestamp now) {
   return ExecuteInternal(query, catalog, now, nullptr);
+}
+
+void SetExprCompilationForBenchmarks(bool enabled) {
+  g_expr_compilation.store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace esp::cql

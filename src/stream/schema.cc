@@ -4,11 +4,19 @@
 
 namespace esp::stream {
 
-std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+void Schema::BuildIndex() {
+  index_by_name_.reserve(fields_.size());
   for (size_t i = 0; i < fields_.size(); ++i) {
-    if (StrEqualsIgnoreCase(fields_[i].name, name)) return i;
+    // try_emplace keeps the first occurrence, matching the historical
+    // first-match semantics of the linear scan on duplicate names.
+    index_by_name_.try_emplace(fields_[i].name, i);
   }
-  return std::nullopt;
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  const auto it = index_by_name_.find(std::string_view(name));
+  if (it == index_by_name_.end()) return std::nullopt;
+  return it->second;
 }
 
 StatusOr<size_t> Schema::ResolveIndex(const std::string& name) const {
@@ -21,6 +29,7 @@ StatusOr<size_t> Schema::ResolveIndex(const std::string& name) const {
 }
 
 bool Schema::Equals(const Schema& other) const {
+  if (this == &other) return true;
   if (fields_.size() != other.fields_.size()) return false;
   for (size_t i = 0; i < fields_.size(); ++i) {
     if (!StrEqualsIgnoreCase(fields_[i].name, other.fields_[i].name) ||

@@ -4,9 +4,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/string_util.h"
 #include "stream/type.h"
 
 namespace esp::stream {
@@ -28,7 +30,9 @@ struct Field {
 class Schema {
  public:
   Schema() = default;
-  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+    BuildIndex();
+  }
 
   size_t num_fields() const { return fields_.size(); }
   const Field& field(size_t i) const { return fields_[i]; }
@@ -53,7 +57,13 @@ class Schema {
   std::string ToString() const;
 
  private:
+  void BuildIndex();
+
   std::vector<Field> fields_;
+  /// Case-insensitive name → first matching field index, built once at
+  /// construction so IndexOf is O(1) instead of a per-lookup scan.
+  std::unordered_map<std::string, size_t, AsciiCaseHash, AsciiCaseEq>
+      index_by_name_;
 };
 
 using SchemaRef = std::shared_ptr<const Schema>;

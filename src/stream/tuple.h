@@ -27,6 +27,10 @@ class Tuple {
 
   const SchemaRef& schema() const { return schema_; }
   const std::vector<Value>& values() const { return values_; }
+  /// Mutable access for hot paths that move values out of a tuple the
+  /// caller owns (e.g. query projection); the tuple is in a valid but
+  /// unspecified state afterwards.
+  std::vector<Value>& mutable_values() { return values_; }
   Timestamp timestamp() const { return timestamp_; }
 
   size_t num_fields() const { return values_.size(); }

@@ -32,10 +32,12 @@ Status WindowBuffer::Insert(Tuple tuple) {
   last_insert_time_ = tuple.timestamp();
   has_inserted_ = true;
   buffer_.push_back(std::move(tuple));
+  cache_valid_ = false;
   return Status::OK();
 }
 
 void WindowBuffer::EvictBefore(Timestamp t) {
+  const size_t before = buffer_.size();
   switch (spec_.kind) {
     case WindowKind::kRange: {
       // A tuple with timestamp s is in the window at time u >= t iff
@@ -62,6 +64,7 @@ void WindowBuffer::EvictBefore(Timestamp t) {
     case WindowKind::kUnbounded:
       break;  // Nothing ever dies.
   }
+  if (buffer_.size() != before) cache_valid_ = false;
 }
 
 void WindowBuffer::SaveState(ByteWriter& w) const {
@@ -81,15 +84,44 @@ Status WindowBuffer::LoadState(ByteReader& r) {
     ESP_ASSIGN_OR_RETURN(Tuple tuple, ReadTuple(r, schema_));
     buffer_.push_back(std::move(tuple));
   }
+  cache_valid_ = false;
   return Status::OK();
 }
 
+bool WindowBuffer::CacheHit(Timestamp t) const {
+  if (!cache_valid_) return false;
+  switch (spec_.kind) {
+    case WindowKind::kRange:
+      return spec_.EffectiveTime(t) == cache_key_;
+    case WindowKind::kNow:
+      return t == cache_key_;
+    case WindowKind::kRows:
+    case WindowKind::kUnbounded:
+      // Identical instant always replays; a later instant replays only if
+      // the cached pass admitted every buffered tuple (nothing was waiting
+      // on a future timestamp).
+      return t == cache_key_ || (cache_covers_all_ && t > cache_key_);
+  }
+  return false;
+}
+
 Relation WindowBuffer::Snapshot(Timestamp t) const {
+  if (CacheHit(t)) return cache_;
+  cache_ = Rebuild(t);
+  cache_valid_ = true;
+  cache_key_ = spec_.kind == WindowKind::kRange ? spec_.EffectiveTime(t) : t;
+  cache_covers_all_ =
+      buffer_.empty() || buffer_.back().timestamp() <= cache_key_;
+  return cache_;
+}
+
+Relation WindowBuffer::Rebuild(Timestamp t) const {
   Relation result(schema_);
   switch (spec_.kind) {
     case WindowKind::kRange: {
       const Timestamp effective = spec_.EffectiveTime(t);
       const Timestamp low = effective - spec_.range;  // Exclusive bound.
+      result.mutable_tuples().reserve(buffer_.size());
       for (const Tuple& tuple : buffer_) {
         if (tuple.timestamp() > low && tuple.timestamp() <= effective) {
           result.Add(tuple);
@@ -106,17 +138,20 @@ Relation WindowBuffer::Snapshot(Timestamp t) const {
     case WindowKind::kRows: {
       // Collect tuples at or before t, then keep the most recent n.
       std::vector<const Tuple*> eligible;
+      eligible.reserve(buffer_.size());
       for (const Tuple& tuple : buffer_) {
         if (tuple.timestamp() <= t) eligible.push_back(&tuple);
       }
       const size_t n = static_cast<size_t>(spec_.rows);
       const size_t start = eligible.size() > n ? eligible.size() - n : 0;
+      result.mutable_tuples().reserve(eligible.size() - start);
       for (size_t i = start; i < eligible.size(); ++i) {
         result.Add(*eligible[i]);
       }
       break;
     }
     case WindowKind::kUnbounded: {
+      result.mutable_tuples().reserve(buffer_.size());
       for (const Tuple& tuple : buffer_) {
         if (tuple.timestamp() <= t) result.Add(tuple);
       }

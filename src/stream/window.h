@@ -112,11 +112,28 @@ class WindowBuffer {
   Status LoadState(ByteReader& r);
 
  private:
+  /// True when the cached snapshot answers Snapshot(t) exactly.
+  bool CacheHit(Timestamp t) const;
+  /// Materializes the window contents at time t (the pre-cache Snapshot).
+  Relation Rebuild(Timestamp t) const;
+
   WindowSpec spec_;
   SchemaRef schema_;
   std::deque<Tuple> buffer_;
   Timestamp last_insert_time_;
   bool has_inserted_ = false;
+
+  /// Snapshot cache: Snapshot() re-materialized a full Relation on every
+  /// call even when nothing entered or expired since the last one. The
+  /// cache is keyed on the evaluation instant (the slide-quantized
+  /// effective time for kRange) and invalidated by Insert/EvictBefore/
+  /// LoadState. For kRows/kUnbounded a cached result that covered the whole
+  /// buffer stays valid at any later t (the `<= t` filter can only re-admit
+  /// the same tuples).
+  mutable bool cache_valid_ = false;
+  mutable bool cache_covers_all_ = false;
+  mutable Timestamp cache_key_;
+  mutable Relation cache_;
 };
 
 }  // namespace esp::stream

@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace esp {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  std::future<void> f =
+      pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); }).get();
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] = 1; });
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  pool.ParallelFor(1, [&](size_t i) { counter.fetch_add(i == 0 ? 1 : 100); });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, BackToBackRegionsDoNotLeakIndices) {
+  ThreadPool pool(4);
+  // Many short regions stress the region-transition path (a stalled worker
+  // from region k must never claim an index of region k+1).
+  for (int round = 0; round < 500; ++round) {
+    const size_t n = 1 + static_cast<size_t>(round % 7);
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForAggregatesWork) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 4096;
+  std::vector<uint64_t> squares(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { squares[i] = uint64_t{i} * i; });
+  uint64_t sum = 0;
+  for (uint64_t v : squares) sum += v;
+  // Closed form of sum of squares below kN.
+  const uint64_t n = kN - 1;
+  EXPECT_EQ(sum, n * (n + 1) * (2 * n + 1) / 6);
+}
+
+TEST(ThreadPoolTest, SubmitInterleavesWithParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::future<void> f = pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.ParallelFor(64, [&](size_t) { counter.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(counter.load(), 65);
+}
+
+}  // namespace
+}  // namespace esp
