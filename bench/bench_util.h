@@ -1,0 +1,47 @@
+#ifndef ESP_BENCH_BENCH_UTIL_H_
+#define ESP_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for benchmark harnesses: every artifact (CSV trace, BENCH_*
+// regression JSON) is routed through a --output_dir flag so CI jobs and sweep
+// scripts can collect artifacts from one place instead of scraping whatever
+// working directory the binary ran in.
+
+#include <string>
+
+namespace esp::bench {
+
+/// Extracts `--output_dir=DIR` (or `--output_dir DIR`) from argv, compacting
+/// the array in place so downstream flag parsers (e.g. google-benchmark)
+/// never see it. Returns DIR, defaulting to "." — the historical
+/// write-to-cwd behavior.
+inline std::string ParseOutputDir(int* argc, char** argv) {
+  std::string dir = ".";
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg.rfind("--output_dir=", 0) == 0) {
+      dir = arg.substr(13);
+      continue;
+    }
+    if (arg == "--output_dir" && r + 1 < *argc) {
+      dir = argv[++r];
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  *argc = w;
+  return dir.empty() ? std::string(".") : dir;
+}
+
+/// Joins `dir` and `filename`. A "." directory yields the bare filename so
+/// log messages stay as short as before.
+inline std::string OutputPath(const std::string& dir,
+                              const std::string& filename) {
+  if (dir.empty() || dir == ".") return filename;
+  if (dir.back() == '/') return dir + filename;
+  return dir + "/" + filename;
+}
+
+}  // namespace esp::bench
+
+#endif  // ESP_BENCH_BENCH_UTIL_H_

@@ -16,6 +16,8 @@
 
 #include "bench/chaos_experiment.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -46,7 +48,7 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-int Run() {
+int Run(const std::string& out_dir) {
   const sim::ShelfWorld::Config world;  // Full 700 s experiment.
 
   sim::FaultInjectorConfig faults;
@@ -133,7 +135,8 @@ int Run() {
       static_cast<long long>(degraded_run->ticks_completed),
       static_cast<long long>(degraded_run->push_rejects));
   std::printf("%s", json);
-  if (FILE* f = fopen("BENCH_chaos_shelf.json", "w"); f != nullptr) {
+  const std::string out_path = OutputPath(out_dir, "BENCH_chaos_shelf.json");
+  if (FILE* f = fopen(out_path.c_str(), "w"); f != nullptr) {
     std::fputs(json, f);
     fclose(f);
   }
@@ -143,4 +146,6 @@ int Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() { return esp::bench::Run(); }
+int main(int argc, char** argv) {
+  return esp::bench::Run(esp::bench::ParseOutputDir(&argc, argv));
+}

@@ -31,6 +31,8 @@
 #include "sim/reading.h"
 #include "stream/serialize.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -235,7 +237,7 @@ KillPointResult RecoverAndVerify(const std::string& dir,
   return out;
 }
 
-int Run() {
+int Run(const std::string& out_dir) {
   const std::vector<Op> ops = BuildWorkload();
 
   const auto golden_start = std::chrono::steady_clock::now();
@@ -328,7 +330,8 @@ int Run() {
       static_cast<unsigned long long>(snapshots_skipped),
       passed == kKillPoints ? "true" : "false");
   std::printf("%s", json);
-  if (FILE* f = fopen("BENCH_crash_experiment.json", "w"); f != nullptr) {
+  const std::string out_path = OutputPath(out_dir, "BENCH_crash_experiment.json");
+  if (FILE* f = fopen(out_path.c_str(), "w"); f != nullptr) {
     std::fputs(json, f);
     fclose(f);
   }
@@ -338,4 +341,6 @@ int Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() { return esp::bench::Run(); }
+int main(int argc, char** argv) {
+  return esp::bench::Run(esp::bench::ParseOutputDir(&argc, argv));
+}

@@ -18,6 +18,8 @@
 #include "sim/redwood_world.h"
 #include "sim/reading.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -102,7 +104,7 @@ StatusOr<Outcome> RunWithGroupSize(
   return outcome;
 }
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::RedwoodWorld::Config config;
   config.duration = Duration::Days(2);
   sim::RedwoodWorld world(config);
@@ -112,7 +114,7 @@ Status Run() {
       "=== Extension: spatial granule size sweep (Section 5.3.2) ===\n\n");
   std::printf("%-18s %-14s %-18s\n", "motes per granule", "epoch yield",
               "within 1 C of log");
-  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("ext_spatial.csv"));
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(OutputPath(out_dir, "ext_spatial.csv")));
   ESP_RETURN_IF_ERROR(writer.WriteRow({"group_size", "yield", "within_1c"}));
   double previous_yield = 0;
   for (int group_size : {1, 2, 4, 8}) {
@@ -141,8 +143,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "ext_spatial_granule failed: %s\n",
                  status.ToString().c_str());

@@ -11,6 +11,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -48,7 +50,7 @@ void PrintSparkline(const char* label, const std::vector<double>& series) {
   std::printf("\n");
 }
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::ShelfWorld::Config world;
   const Duration granule = Duration::Seconds(5);
 
@@ -76,7 +78,7 @@ Status Run() {
   for (const Row& row : rows) {
     ESP_ASSIGN_OR_RETURN(ShelfSeries series,
                          RunShelfExperiment(world, row.pipeline, granule));
-    ESP_RETURN_IF_ERROR(WriteTraceCsv(row.csv, series));
+    ESP_RETURN_IF_ERROR(WriteTraceCsv(OutputPath(out_dir, row.csv), series));
     std::printf("%-28s avg relative error = %.3f   restock alerts/s = %.2f\n",
                 row.figure, series.average_relative_error,
                 series.restock_alerts_per_second);
@@ -98,8 +100,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "fig3_shelf_traces failed: %s\n",
                  status.ToString().c_str());

@@ -11,10 +11,12 @@
 #include "common/csv.h"
 #include "common/string_util.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::ShelfWorld::Config world;
   const Duration granule = Duration::Seconds(5);
 
@@ -29,7 +31,7 @@ Status Run() {
   std::printf("=== Figure 5: error by pipeline configuration ===\n\n");
   std::printf("%-20s %-22s\n", "configuration", "avg relative error");
 
-  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("fig5.csv"));
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(OutputPath(out_dir, "fig5.csv")));
   ESP_RETURN_IF_ERROR(writer.WriteRow({"configuration", "avg_relative_error"}));
 
   double raw_error = 0;
@@ -59,8 +61,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "fig5_pipeline_configs failed: %s\n",
                  status.ToString().c_str());

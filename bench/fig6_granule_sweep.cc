@@ -11,17 +11,19 @@
 #include "common/csv.h"
 #include "common/string_util.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::ShelfWorld::Config world;
   const double granules_s[] = {0.2, 0.5, 1, 2, 3, 5, 8, 10, 15, 20, 25, 30};
 
   std::printf("=== Figure 6: error vs temporal granule size ===\n\n");
   std::printf("%-14s %-20s\n", "granule (s)", "avg relative error");
 
-  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("fig6.csv"));
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(OutputPath(out_dir, "fig6.csv")));
   ESP_RETURN_IF_ERROR(
       writer.WriteRow({"granule_s", "avg_relative_error"}));
 
@@ -57,8 +59,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "fig6_granule_sweep failed: %s\n",
                  status.ToString().c_str());

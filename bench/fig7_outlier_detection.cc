@@ -19,6 +19,8 @@
 #include "sim/intel_lab_world.h"
 #include "sim/reading.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -28,7 +30,7 @@ using core::SpatialGranule;
 using core::TemporalGranule;
 using stream::Tuple;
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::IntelLabWorld world({});
   const auto trace = world.Generate();
 
@@ -47,7 +49,7 @@ Status Run() {
   ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(motes)));
   ESP_RETURN_IF_ERROR(processor.Start());
 
-  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("fig7.csv"));
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(OutputPath(out_dir, "fig7.csv")));
   ESP_RETURN_IF_ERROR(writer.WriteRow({"time_days", "mote1", "mote2", "mote3",
                                        "naive_average", "esp", "truth"}));
 
@@ -147,8 +149,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "fig7_outlier_detection failed: %s\n",
                  status.ToString().c_str());

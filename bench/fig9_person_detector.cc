@@ -17,6 +17,8 @@
 #include "sim/home_world.h"
 #include "sim/reading.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -25,7 +27,7 @@ using core::EspProcessor;
 using core::SpatialGranule;
 using core::TemporalGranule;
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::HomeWorld world({});
   const auto trace = world.Generate();
 
@@ -93,7 +95,7 @@ Status Run() {
   processor.SetVirtualize(std::move(virtualize));
   ESP_RETURN_IF_ERROR(processor.Start());
 
-  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("fig9.csv"));
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(OutputPath(out_dir, "fig9.csv")));
   ESP_RETURN_IF_ERROR(writer.WriteRow(
       {"time_s", "truth", "detected", "rfid_raw_reads", "sound_raw_max",
        "x10_raw_events"}));
@@ -165,8 +167,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "fig9_person_detector failed: %s\n",
                  status.ToString().c_str());

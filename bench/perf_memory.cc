@@ -1,0 +1,242 @@
+// Heap-allocation profile of the shelf workload under the three data-plane
+// configurations: plain strings + full window rescans (the PR-4 behavior),
+// interned strings + rescans, and interned strings + incremental window
+// evaluation. A global operator-new hook counts allocations and bytes per
+// tick; the headline regression number is the plain-vs-incremental
+// allocations-per-tick ratio, written to BENCH_memory.json.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "cql/incremental_exec.h"
+#include "sim/reading.h"
+#include "stream/arena.h"
+#include "stream/symbol_table.h"
+#include "stream/tuple.h"
+
+// --- Global allocation counters -------------------------------------------
+// Relaxed atomics: the workload is single-threaded; the counters only need
+// to not tear. Counting lives in the replaceable global operator new/delete,
+// so every container/string/node allocation in the pipeline is visible.
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace esp::bench {
+namespace {
+
+constexpr int kWarmupTicks = 100;
+constexpr int kMeasuredTicks = 1000;
+
+struct ModeResult {
+  std::string name;
+  double allocs_per_tick = 0;
+  double bytes_per_tick = 0;
+  uint64_t emitted = 0;  // Total output tuples — cross-mode sanity check.
+};
+
+StatusOr<ModeResult> RunMode(const std::string& name, bool interned,
+                             bool incremental, bool pooled) {
+  stream::SetStringInterningEnabled(interned);
+  cql::SetIncrementalEvalForBenchmarks(incremental);
+  stream::TupleArena::SetPoolingEnabled(pooled);
+
+  core::EspProcessor processor;
+  ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+      {"pg0", "rfid", core::SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  ESP_RETURN_IF_ERROR(processor.AddProximityGroup(
+      {"pg1", "rfid", core::SpatialGranule{"shelf_1"}, {"reader_1"}}));
+  core::DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth = core::SmoothPresenceCount(
+      core::TemporalGranule(Duration::Seconds(5)), "tag_id");
+  pipeline.arbitrate = core::ArbitrateMaxCount("tag_id", "reads");
+  ESP_RETURN_IF_ERROR(processor.AddPipeline(std::move(pipeline)));
+  ESP_RETURN_IF_ERROR(processor.Start());
+
+  ModeResult result;
+  result.name = name;
+  Rng rng(13);
+  stream::SchemaRef schema = sim::RfidReadingSchema();
+  int64_t tick = 0;
+  const auto run_tick = [&]() -> Status {
+    const Timestamp now = Timestamp::Micros(200000 * tick);
+    for (int reader = 0; reader < 2; ++reader) {
+      for (int tag = 0; tag < 10; ++tag) {
+        if (rng.Bernoulli(0.5)) {
+          ESP_RETURN_IF_ERROR(processor.Push(
+              "rfid",
+              stream::Tuple(
+                  schema,
+                  {stream::Value::Interned("reader_" + std::to_string(reader)),
+                   stream::Value::Interned("tag_" + std::to_string(tag))},
+                  now)));
+        }
+      }
+    }
+    ESP_ASSIGN_OR_RETURN(core::EspProcessor::TickResult out,
+                         processor.Tick(now));
+    for (const auto& [type, relation] : out.per_type) {
+      result.emitted += relation.size();
+    }
+    ++tick;
+    return Status::OK();
+  };
+
+  for (int i = 0; i < kWarmupTicks; ++i) ESP_RETURN_IF_ERROR(run_tick());
+
+  const uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const uint64_t bytes_before = g_bytes.load(std::memory_order_relaxed);
+  result.emitted = 0;
+  for (int i = 0; i < kMeasuredTicks; ++i) ESP_RETURN_IF_ERROR(run_tick());
+  result.allocs_per_tick =
+      static_cast<double>(g_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      kMeasuredTicks;
+  result.bytes_per_tick =
+      static_cast<double>(g_bytes.load(std::memory_order_relaxed) -
+                          bytes_before) /
+      kMeasuredTicks;
+  return result;
+}
+
+int Run(const std::string& out_dir) {
+  std::vector<ModeResult> results;
+  // The ablation ladder: `plain_rescan` turns off everything this
+  // optimisation pass added (symbol interning, arena pooling, incremental
+  // evaluation) and is the pre-optimisation data plane; the other modes
+  // layer the optimisations back on.
+  const struct {
+    const char* name;
+    bool interned;
+    bool incremental;
+    bool pooled;
+  } modes[] = {
+      {"plain_rescan", false, false, false},
+      {"interned_rescan", true, false, true},
+      {"interned_incremental", true, true, true},
+  };
+  for (const auto& mode : modes) {
+    StatusOr<ModeResult> result =
+        RunMode(mode.name, mode.interned, mode.incremental, mode.pooled);
+    // Restore defaults before anything else runs.
+    stream::SetStringInterningEnabled(true);
+    cql::SetIncrementalEvalForBenchmarks(true);
+    stream::TupleArena::SetPoolingEnabled(true);
+    if (!result.ok()) {
+      std::fprintf(stderr, "mode %s failed: %s\n", mode.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(std::move(*result));
+  }
+
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].emitted != results[0].emitted) {
+      std::fprintf(stderr,
+                   "output divergence: %s emitted %llu tuples, %s %llu\n",
+                   results[i].name.c_str(),
+                   static_cast<unsigned long long>(results[i].emitted),
+                   results[0].name.c_str(),
+                   static_cast<unsigned long long>(results[0].emitted));
+      return 1;
+    }
+  }
+
+  const double ratio = results.back().allocs_per_tick > 0
+                           ? results.front().allocs_per_tick /
+                                 results.back().allocs_per_tick
+                           : 0.0;
+
+  std::printf("=== Heap allocations per shelf tick (%d measured ticks) ===\n\n",
+              kMeasuredTicks);
+  std::printf("%-24s %16s %16s\n", "mode", "allocs/tick", "bytes/tick");
+  for (const ModeResult& r : results) {
+    std::printf("%-24s %16.1f %16.0f\n", r.name.c_str(), r.allocs_per_tick,
+                r.bytes_per_tick);
+  }
+  std::printf("\nplain_rescan / interned_incremental allocs: %.1fx\n", ratio);
+
+  const std::string out_path = OutputPath(out_dir, "BENCH_memory.json");
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"memory\",\n  \"measured_ticks\": %d,\n",
+               kMeasuredTicks);
+  std::fprintf(f, "  \"modes\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"allocs_per_tick\": %.2f, "
+                 "\"bytes_per_tick\": %.0f, \"emitted\": %llu}%s\n",
+                 r.name.c_str(), r.allocs_per_tick, r.bytes_per_tick,
+                 static_cast<unsigned long long>(r.emitted),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"alloc_reduction_plain_vs_incremental\": %.2f\n}\n",
+               ratio);
+  std::fclose(f);
+  std::printf("Written to %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main(int argc, char** argv) {
+  return esp::bench::Run(esp::bench::ParseOutputDir(&argc, argv));
+}

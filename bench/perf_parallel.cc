@@ -31,6 +31,8 @@
 #include "sim/reading.h"
 #include "stream/serialize.h"
 
+#include "bench/bench_util.h"
+
 namespace esp {
 namespace {
 
@@ -152,8 +154,10 @@ struct SweepPoint {
 };
 
 int Main(int argc, char** argv) {
+  const std::string out_dir = bench::ParseOutputDir(&argc, argv);
   const std::string out_path =
-      argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
+      argc > 1 ? argv[1]
+               : bench::OutputPath(out_dir, "BENCH_parallel_scaling.json");
 
   const std::vector<Workload> workloads = {
       // Routing-bound: no per-receptor stages, so the O(R·G) push/stamp

@@ -17,6 +17,8 @@
 #include "sim/redwood_world.h"
 #include "sim/reading.h"
 
+#include "bench/bench_util.h"
+
 namespace esp::bench {
 namespace {
 
@@ -126,7 +128,7 @@ StatusOr<StageOutcome> RunPipeline(const sim::RedwoodWorld& world,
   return outcome;
 }
 
-Status Run() {
+Status Run(const std::string& out_dir) {
   sim::RedwoodWorld world({});
   const auto trace = world.Generate();
 
@@ -154,7 +156,7 @@ Status Run() {
               "After Merge", merge.yield * 100, merge.within_1c * 100, "92%",
               "94%");
 
-  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open("sec52.csv"));
+  ESP_ASSIGN_OR_RETURN(CsvWriter writer, CsvWriter::Open(OutputPath(out_dir, "sec52.csv")));
   ESP_RETURN_IF_ERROR(writer.WriteRow({"stage", "yield", "within_1c"}));
   ESP_RETURN_IF_ERROR(writer.WriteRow({"raw", StrFormat("%.4f", raw_yield), ""}));
   ESP_RETURN_IF_ERROR(writer.WriteRow({"smooth", StrFormat("%.4f", smooth.yield),
@@ -175,8 +177,9 @@ Status Run() {
 }  // namespace
 }  // namespace esp::bench
 
-int main() {
-  const esp::Status status = esp::bench::Run();
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  const esp::Status status = esp::bench::Run(out_dir);
   if (!status.ok()) {
     std::fprintf(stderr, "sec52_epoch_yield failed: %s\n",
                  status.ToString().c_str());

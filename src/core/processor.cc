@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "stream/arena.h"
 #include "stream/ops.h"
 #include "stream/serialize.h"
 
@@ -230,14 +231,27 @@ StatusOr<Relation> EspProcessor::RunStageGuarded(
     Stage* stage, const std::string& input_name, Relation input, Timestamp now,
     const std::string& device_type, const std::string& owner_id,
     ReceptorChain* chain) {
+  stream::TupleArena& arena = stream::TupleArena::Local();
   auto run = [&]() -> StatusOr<Relation> {
     for (const Tuple& tuple : input.tuples()) {
-      ESP_RETURN_IF_ERROR(stage->Push(input_name, tuple));
+      // Hand the stage an arena-backed copy: stage buffers (query histories,
+      // windowed buffers) release evicted rows back to the arena, closing
+      // the per-tick allocation loop. `input` stays intact for the degraded
+      // pass-through below.
+      std::vector<Value> values = arena.Acquire(tuple.num_fields());
+      values.insert(values.end(), tuple.values().begin(),
+                    tuple.values().end());
+      ESP_RETURN_IF_ERROR(stage->Push(
+          input_name,
+          Tuple(tuple.schema(), std::move(values), tuple.timestamp())));
     }
     return stage->Evaluate(now);
   };
   StatusOr<Relation> out = run();
-  if (out.ok()) return out;
+  if (out.ok()) {
+    arena.Recycle(std::move(input));
+    return out;
+  }
   if (policy_.stage_error_policy == StageErrorPolicy::kFailFast) {
     return out.status();
   }
@@ -362,13 +376,18 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
       const bool already_has_granule =
           current.schema() != nullptr &&
           current.schema()->Contains(kSpatialGranuleColumn);
-      for (const Tuple& tuple : current.tuples()) {
+      stream::TupleArena& arena = stream::TupleArena::Local();
+      for (Tuple& tuple : current.mutable_tuples()) {
         if (already_has_granule) {
-          group_streams[group_index].Add(tuple);
+          group_streams[group_index].Add(std::move(tuple));
           continue;
         }
-        std::vector<Value> values = tuple.values();
-        values.push_back(Value::String(group_of->granule.id));
+        std::vector<Value> values = arena.Acquire(tuple.num_fields() + 1);
+        for (Value& value : tuple.mutable_values()) {
+          values.push_back(std::move(value));
+        }
+        values.push_back(Value::Interned(group_of->granule.id));
+        arena.Release(std::move(tuple.mutable_values()));
         group_streams[group_index].Add(Tuple(
             type.augmented_schema, std::move(values), tuple.timestamp()));
       }
@@ -400,7 +419,7 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
     // --- Arbitrate across groups. ---
     Relation type_out;
     if (type.arbitrate != nullptr) {
-      ESP_ASSIGN_OR_RETURN(Relation united, stream::Union(merged));
+      ESP_ASSIGN_OR_RETURN(Relation united, stream::Union(std::move(merged)));
       ESP_ASSIGN_OR_RETURN(
           type_out, RunStageGuarded(type.arbitrate.get(),
                                     StageInputName(StageKind::kArbitrate),
@@ -408,7 +427,7 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
                                     type.config.device_type,
                                     type.config.device_type, nullptr));
     } else {
-      ESP_ASSIGN_OR_RETURN(type_out, stream::Union(merged));
+      ESP_ASSIGN_OR_RETURN(type_out, stream::Union(std::move(merged)));
     }
 
     // --- Feed Virtualize. ---

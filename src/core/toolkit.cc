@@ -394,7 +394,7 @@ StageFactory ArbitrateMaxCountCalibrated(std::string key_column,
               continue;  // Calibration: the weak antenna wins ties.
             }
             out.Add(Tuple(output_schema_,
-                          {Value::String(claim.granule), key,
+                          {Value::Interned(claim.granule), key,
                            Value::Int64(claim.count)},
                           now));
           }

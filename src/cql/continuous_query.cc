@@ -4,7 +4,10 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "cql/expr_eval.h"
+#include "cql/incremental_exec.h"
 #include "cql/parser.h"
+#include "stream/arena.h"
 #include "stream/serialize.h"
 
 namespace esp::cql {
@@ -132,6 +135,8 @@ void CollectFromExpr(const Expr& expr,
 
 }  // namespace
 
+ContinuousQuery::~ContinuousQuery() = default;
+
 StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Create(
     const std::string& query_text, const SchemaCatalog& input_schemas) {
   ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> query,
@@ -156,6 +161,7 @@ StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
     StreamState state;
     state.name = name;
     ESP_ASSIGN_OR_RETURN(state.schema, input_schemas.Find(name));
+    state.history = Relation(state.schema);
     state.max_range = window_union.max_range;
     state.max_rows = window_union.max_rows;
     state.unbounded = window_union.unbounded;
@@ -166,6 +172,22 @@ StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
   ESP_ASSIGN_OR_RETURN(cq->output_schema_,
                        InferOutputSchema(*query, input_schemas));
   cq->query_ = std::move(query);
+  cq->exec_cache_ = std::make_unique<QueryExecCache>();
+
+  // Try the incremental engine for the single-stream grouped shape; the
+  // planner proves bitwise equivalence or declines.
+  if (cq->query_->from.size() == 1 &&
+      cq->query_->from[0].kind == TableRef::Kind::kStream) {
+    const std::string target = esp::StrToLower(cq->query_->from[0].stream_name);
+    for (size_t i = 0; i < cq->streams_.size(); ++i) {
+      if (cq->streams_[i].name != target) continue;
+      cq->engine_ = IncrementalGroupedQuery::TryPlan(
+          *cq->query_, cq->streams_[i].name, cq->streams_[i].schema,
+          cq->output_schema_);
+      cq->engine_stream_ = i;
+      break;
+    }
+  }
   return cq;
 }
 
@@ -186,7 +208,7 @@ Status ContinuousQuery::Push(const std::string& stream_name,
       }
       state.last_insert = tuple.timestamp();
       state.has_inserted = true;
-      state.history.push_back(std::move(tuple));
+      state.history.Add(std::move(tuple));
       return Status::OK();
     }
   }
@@ -201,21 +223,26 @@ void ContinuousQuery::Evict(Timestamp now) {
     // keep ts == now alive, hence the strict ts < now condition; ROWS
     // windows additionally protect the most recent max_rows tuples.
     const Timestamp horizon = now - state.max_range;
+    std::vector<Tuple>& history = state.history.mutable_tuples();
     size_t first_alive = 0;
     const size_t rows_protected_from =
-        state.history.size() > static_cast<size_t>(state.max_rows)
-            ? state.history.size() - static_cast<size_t>(state.max_rows)
+        history.size() > static_cast<size_t>(state.max_rows)
+            ? history.size() - static_cast<size_t>(state.max_rows)
             : 0;
-    while (first_alive < state.history.size() &&
-           state.history[first_alive].timestamp() <= horizon &&
-           state.history[first_alive].timestamp() < now &&
+    while (first_alive < history.size() &&
+           history[first_alive].timestamp() <= horizon &&
+           history[first_alive].timestamp() < now &&
            first_alive < rows_protected_from) {
       ++first_alive;
     }
     if (first_alive > 0) {
-      state.history.erase(state.history.begin(),
-                          state.history.begin() +
-                              static_cast<std::ptrdiff_t>(first_alive));
+      stream::TupleArena& arena = stream::TupleArena::Local();
+      for (size_t i = 0; i < first_alive; ++i) {
+        arena.Release(std::move(history[i].mutable_values()));
+      }
+      history.erase(history.begin(),
+                    history.begin() + static_cast<std::ptrdiff_t>(first_alive));
+      state.base_seq += first_alive;
     }
   }
 }
@@ -227,15 +254,30 @@ StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
   last_eval_ = now;
   has_evaluated_ = true;
 
+  if (engine_ != nullptr) {
+    StreamState& state = streams_[engine_stream_];
+    std::optional<Relation> result =
+        engine_->Evaluate(state.history, state.base_seq, now);
+    if (result.has_value()) {
+      Evict(now);  // Retention horizon trails the engine's consumption.
+      return std::move(*result);
+    }
+    // Permanent fallback: the rescan path reproduces any genuine error and
+    // handles whatever the planner could not prove.
+    engine_.reset();
+  }
+
   Evict(now);
 
-  Catalog catalog;
-  for (const StreamState& state : streams_) {
-    Relation history(state.schema);
-    for (const Tuple& tuple : state.history) history.Add(tuple);
-    catalog.AddStream(state.name, std::move(history));
+  // The catalog views the stream histories in place; `streams_` never
+  // resizes after construction, so build it once and reuse it every tick.
+  if (catalog_ == nullptr) {
+    catalog_ = std::make_unique<Catalog>();
+    for (const StreamState& state : streams_) {
+      catalog_->AddStreamView(state.name, &state.history);
+    }
   }
-  return ExecuteQuery(*query_, catalog, now);
+  return ExecuteQuery(*query_, *catalog_, now, exec_cache_.get());
 }
 
 size_t ContinuousQuery::buffered() const {
@@ -253,7 +295,7 @@ void ContinuousQuery::SaveState(ByteWriter& w) const {
     w.WriteBool(state.has_inserted);
     w.WriteI64(state.last_insert.micros());
     w.WriteU64(state.history.size());
-    for (const stream::Tuple& tuple : state.history) {
+    for (const stream::Tuple& tuple : state.history.tuples()) {
       stream::WriteTuple(w, tuple);
     }
   }
@@ -286,13 +328,17 @@ Status ContinuousQuery::LoadState(ByteReader& r) {
     ESP_ASSIGN_OR_RETURN(const int64_t insert_micros, r.ReadI64());
     state->last_insert = Timestamp::Micros(insert_micros);
     ESP_ASSIGN_OR_RETURN(const uint64_t history_size, r.ReadU64());
-    state->history.clear();
+    state->history.mutable_tuples().clear();
+    state->base_seq = 0;
     for (uint64_t t = 0; t < history_size; ++t) {
       ESP_ASSIGN_OR_RETURN(stream::Tuple tuple,
                            stream::ReadTuple(r, state->schema));
-      state->history.push_back(std::move(tuple));
+      state->history.Add(std::move(tuple));
     }
   }
+  // The engine's window state is a pure function of the live rows; rebuild
+  // it from the restored history on the next evaluation.
+  if (engine_ != nullptr) engine_->Reset();
   return Status::OK();
 }
 

@@ -15,6 +15,9 @@
 
 namespace esp::cql {
 
+class IncrementalGroupedQuery;  // incremental_exec.h.
+class QueryExecCache;           // expr_eval.h.
+
 /// \brief A standing CQL query over one or more input streams.
 ///
 /// This is the unit an ESP stage deploys: parse once, then per tick push the
@@ -32,6 +35,8 @@ class ContinuousQuery {
   /// Like Create but takes an already-parsed AST.
   static StatusOr<std::unique_ptr<ContinuousQuery>> CreateFromAst(
       std::unique_ptr<SelectQuery> query, const SchemaCatalog& input_schemas);
+
+  ~ContinuousQuery();  // Out-of-line: members are forward-declared here.
 
   /// Appends one tuple to the named input stream. Tuples must arrive in
   /// non-decreasing timestamp order per stream.
@@ -66,7 +71,8 @@ class ContinuousQuery {
   struct StreamState {
     std::string name;
     stream::SchemaRef schema;
-    std::vector<stream::Tuple> history;
+    stream::Relation history;  // Retained, time-ordered; schema == `schema`.
+    uint64_t base_seq = 0;     // All-time index of history[0] (evictions).
     Duration max_range;  // Largest RANGE window (NOW counts as zero).
     int64_t max_rows = 0;       // Largest ROWS window.
     bool unbounded = false;     // Any unbounded reference disables eviction.
@@ -83,6 +89,16 @@ class ContinuousQuery {
   std::vector<StreamState> streams_;
   Timestamp last_eval_;
   bool has_evaluated_ = false;
+
+  /// Prepared-plan cache reused across ticks (keyed by this query's AST).
+  std::unique_ptr<QueryExecCache> exec_cache_;
+  /// Lazily built stream-view catalog, reused every tick (streams_ never
+  /// resizes after construction, so the views stay valid).
+  std::unique_ptr<Catalog> catalog_;
+  /// Incremental engine for the provable grouped-aggregate shape; null when
+  /// the query does not qualify or after a runtime fallback.
+  std::unique_ptr<IncrementalGroupedQuery> engine_;
+  size_t engine_stream_ = 0;  // Index into streams_ the engine consumes.
 };
 
 }  // namespace esp::cql

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "cql/expr_eval.h"
 #include "cql/scalar_function.h"
 #include "stream/aggregate.h"
+#include "stream/arena.h"
 #include "stream/ops.h"
 
 namespace esp::cql {
@@ -21,27 +24,51 @@ using stream::Value;
 using stream::WindowKind;
 using stream::WindowSpec;
 
+using internal::BoundExpr;
+using internal::EvalContext;
+using internal::FromContext;
+using internal::Row;
+
 void Catalog::AddStream(const std::string& name, Relation history) {
-  for (auto& [existing, relation] : streams_) {
-    if (esp::StrEqualsIgnoreCase(existing, name)) {
-      relation = std::move(history);
+  for (Entry& entry : streams_) {
+    if (esp::StrEqualsIgnoreCase(entry.name, name)) {
+      entry.owned = std::move(history);
+      entry.view = nullptr;
       return;
     }
   }
-  streams_.emplace_back(name, std::move(history));
+  Entry entry;
+  entry.name = name;
+  entry.owned = std::move(history);
+  streams_.push_back(std::move(entry));
+}
+
+void Catalog::AddStreamView(const std::string& name,
+                            const Relation* history) {
+  for (Entry& entry : streams_) {
+    if (esp::StrEqualsIgnoreCase(entry.name, name)) {
+      entry.owned = Relation();
+      entry.view = history;
+      return;
+    }
+  }
+  Entry entry;
+  entry.name = name;
+  entry.view = history;
+  streams_.push_back(std::move(entry));
 }
 
 StatusOr<const Relation*> Catalog::Find(const std::string& name) const {
-  for (const auto& [existing, relation] : streams_) {
-    if (esp::StrEqualsIgnoreCase(existing, name)) return &relation;
+  for (const Entry& entry : streams_) {
+    if (esp::StrEqualsIgnoreCase(entry.name, name)) return entry.get();
   }
   return Status::NotFound("unknown stream '" + name + "'");
 }
 
 SchemaCatalog Catalog::ToSchemaCatalog() const {
   SchemaCatalog catalog;
-  for (const auto& [name, relation] : streams_) {
-    catalog.AddStream(name, relation.schema());
+  for (const Entry& entry : streams_) {
+    catalog.AddStream(entry.name, entry.get()->schema());
   }
   return catalog;
 }
@@ -88,41 +115,15 @@ Relation ApplyWindow(const Relation& history, const WindowSpec& spec,
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Evaluation machinery
-// ---------------------------------------------------------------------------
-
-/// The FROM clause of one query evaluation: per-frame alias/schema plus each
-/// frame's column offset into the flattened joined row.
-struct FromContext {
-  struct Frame {
-    std::string alias;
-    SchemaRef schema;
-    size_t offset = 0;
-  };
-  std::vector<Frame> frames;
-  size_t total_columns = 0;
-};
-
-using Row = std::vector<Value>;
-
-/// Everything an expression needs to evaluate: the current row (or the
-/// representative row of the current group), the group's rows when in
-/// grouped evaluation, and the enclosing query's context for correlated
-/// references.
-struct EvalContext {
-  const Catalog* catalog = nullptr;
-  Timestamp now;
-  const FromContext* from = nullptr;
-  const Row* row = nullptr;
-  const std::vector<const Row*>* group_rows = nullptr;  // Grouped mode only.
-  const EvalContext* outer = nullptr;
-};
-
-StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec);
 StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
                                    const Catalog& catalog, Timestamp now,
-                                   const EvalContext* outer);
+                                   const EvalContext* outer,
+                                   QueryExecCache* cache);
+
+std::atomic<bool> g_expr_compilation{true};
+
+/// Cap on the persistent group-by index kept in a plan's scratch.
+constexpr size_t kMaxPersistentGroups = 4096;
 
 /// Resolves a column against the context chain, returning its value in the
 /// current row. Mirrors analyzer resolution exactly.
@@ -163,17 +164,6 @@ StatusOr<Value> ResolveColumn(const ColumnRefExpr& ref, const EvalContext& ec) {
   return Status::NotFound("unknown column '" + ref.ToString() + "'");
 }
 
-/// SQL truthiness for predicate positions: NULL decides as false.
-StatusOr<bool> ToDecision(const Value& value, const char* where) {
-  if (value.is_null()) return false;
-  if (value.type() != DataType::kBool) {
-    return Status::TypeError(std::string(where) +
-                             " must be boolean, got " +
-                             stream::DataTypeToString(value.type()));
-  }
-  return value.bool_value();
-}
-
 /// Three-valued comparison: NULL operand -> NULL result.
 StatusOr<Value> EvalComparison(BinaryOp op, const Value& lhs,
                                const Value& rhs) {
@@ -198,7 +188,7 @@ StatusOr<Value> EvalComparison(BinaryOp op, const Value& lhs,
 /// Three-valued AND/OR.
 StatusOr<Value> EvalLogical(BinaryOp op, const Expr& lhs_expr,
                             const Expr& rhs_expr, const EvalContext& ec) {
-  ESP_ASSIGN_OR_RETURN(const Value lhs, EvalExpr(lhs_expr, ec));
+  ESP_ASSIGN_OR_RETURN(const Value lhs, internal::EvalExpr(lhs_expr, ec));
   // Short-circuit where the result is already decided.
   if (!lhs.is_null() && lhs.type() == DataType::kBool) {
     if (op == BinaryOp::kAnd && !lhs.bool_value()) return Value::Bool(false);
@@ -206,7 +196,7 @@ StatusOr<Value> EvalLogical(BinaryOp op, const Expr& lhs_expr,
   } else if (!lhs.is_null()) {
     return Status::TypeError("AND/OR operand must be boolean");
   }
-  ESP_ASSIGN_OR_RETURN(const Value rhs, EvalExpr(rhs_expr, ec));
+  ESP_ASSIGN_OR_RETURN(const Value rhs, internal::EvalExpr(rhs_expr, ec));
   if (!rhs.is_null() && rhs.type() != DataType::kBool) {
     return Status::TypeError("AND/OR operand must be boolean");
   }
@@ -221,6 +211,26 @@ StatusOr<Value> EvalLogical(BinaryOp op, const Expr& lhs_expr,
   return Value::Bool(false);
 }
 
+/// Hands out an aggregator for `call`: from the execution's reuse pool when
+/// one is available (resettable aggregators are recycled across groups), a
+/// fresh single-use instance otherwise. The pooled pointer stays valid for
+/// the current group only.
+StatusOr<stream::Aggregator*> AcquireAggregator(const FunctionCallExpr& call,
+                                                const EvalContext& ec) {
+  if (ec.agg_scratch == nullptr) {
+    // No pool (should not happen in grouped evaluation, but stay safe):
+    // fall back to a leak-free one-shot below via the pool-less branch.
+    return Status::Internal("aggregator pool missing");
+  }
+  std::unique_ptr<stream::Aggregator>& slot = (*ec.agg_scratch)[&call];
+  if (slot == nullptr || !slot->Reset()) {
+    ESP_ASSIGN_OR_RETURN(
+        slot, stream::AggregateRegistry::Global().Create(call.name,
+                                                         call.distinct));
+  }
+  return slot.get();
+}
+
 /// Runs an aggregate call over the current group.
 StatusOr<Value> EvalAggregate(const FunctionCallExpr& call,
                               const EvalContext& ec) {
@@ -228,9 +238,8 @@ StatusOr<Value> EvalAggregate(const FunctionCallExpr& call,
     return Status::InvalidArgument("aggregate " + call.name +
                                    "() used outside grouped evaluation");
   }
-  ESP_ASSIGN_OR_RETURN(
-      std::unique_ptr<stream::Aggregator> aggregator,
-      stream::AggregateRegistry::Global().Create(call.name, call.distinct));
+  ESP_ASSIGN_OR_RETURN(stream::Aggregator* const aggregator,
+                       AcquireAggregator(call, ec));
   const bool star = call.IsStarArg();
   if (!star && call.args.size() != 1) {
     return Status::InvalidArgument("aggregate " + call.name +
@@ -242,7 +251,7 @@ StatusOr<Value> EvalAggregate(const FunctionCallExpr& call,
       EvalContext row_ec = ec;
       row_ec.row = row;
       row_ec.group_rows = nullptr;  // Argument is a per-row expression.
-      ESP_ASSIGN_OR_RETURN(input, EvalExpr(*call.args[0], row_ec));
+      ESP_ASSIGN_OR_RETURN(input, internal::EvalExpr(*call.args[0], row_ec));
     }
     ESP_RETURN_IF_ERROR(aggregator->Update(input));
   }
@@ -250,21 +259,133 @@ StatusOr<Value> EvalAggregate(const FunctionCallExpr& call,
 }
 
 /// Evaluates a subquery and returns the values of its single output column.
+/// The returned vector's backing store comes from the thread's arena;
+/// callers Release() it when done.
 StatusOr<std::vector<Value>> EvalSubqueryColumn(const SelectQuery& subquery,
                                                 const EvalContext& ec,
                                                 const char* what) {
-  ESP_ASSIGN_OR_RETURN(Relation result,
-                       ExecuteInternal(subquery, *ec.catalog, ec.now, &ec));
+  ESP_ASSIGN_OR_RETURN(
+      Relation result,
+      ExecuteInternal(subquery, *ec.catalog, ec.now, &ec, ec.cache));
   if (result.schema()->num_fields() != 1) {
     return Status::InvalidArgument(std::string(what) +
                                    " subquery must produce exactly one column");
   }
-  std::vector<Value> values;
-  values.reserve(result.size());
-  for (const Tuple& tuple : result.tuples()) {
-    values.push_back(tuple.value(0));
+  std::vector<Value> values = stream::TupleArena::Local().Acquire(result.size());
+  for (Tuple& tuple : result.mutable_tuples()) {
+    values.push_back(std::move(tuple.mutable_values()[0]));
   }
+  // The result tuples' backing stores go back to the arena; per-tick
+  // subqueries (paper Query 3's ALL) stop churning the allocator.
+  stream::TupleArena::Local().Recycle(std::move(result));
   return values;
+}
+
+/// Folds an all-constant operator node into kConst by evaluating it once.
+/// Evaluation failures (1/0, type errors) keep the node intact so the error
+/// still surfaces — or doesn't — exactly where the interpretive path would
+/// raise it (e.g. behind a short-circuiting AND or an untaken CASE arm).
+BoundExpr FoldIfConst(BoundExpr node) {
+  switch (node.kind) {
+    case BoundExpr::Kind::kConst:
+    case BoundExpr::Kind::kSlot:
+    case BoundExpr::Kind::kFallback:
+    case BoundExpr::Kind::kScalarFn:
+    case BoundExpr::Kind::kAggregate:
+    case BoundExpr::Kind::kAggSlot:
+      return node;
+    default:
+      break;
+  }
+  for (const BoundExpr& child : node.children) {
+    if (child.kind != BoundExpr::Kind::kConst) return node;
+  }
+  const EvalContext empty;
+  StatusOr<Value> value = internal::EvalBound(node, empty);
+  if (!value.ok()) return node;
+  BoundExpr folded;
+  folded.kind = BoundExpr::Kind::kConst;
+  folded.constant = std::move(*value);
+  return folded;
+}
+
+/// Three-valued AND/OR over compiled operands (mirrors EvalLogical).
+StatusOr<Value> EvalBoundLogical(const BoundExpr& bound,
+                                 const EvalContext& ec) {
+  ESP_ASSIGN_OR_RETURN(const Value lhs,
+                       internal::EvalBound(bound.children[0], ec));
+  if (!lhs.is_null() && lhs.type() == DataType::kBool) {
+    if (bound.bin_op == BinaryOp::kAnd && !lhs.bool_value()) {
+      return Value::Bool(false);
+    }
+    if (bound.bin_op == BinaryOp::kOr && lhs.bool_value()) {
+      return Value::Bool(true);
+    }
+  } else if (!lhs.is_null()) {
+    return Status::TypeError("AND/OR operand must be boolean");
+  }
+  ESP_ASSIGN_OR_RETURN(const Value rhs,
+                       internal::EvalBound(bound.children[1], ec));
+  if (!rhs.is_null() && rhs.type() != DataType::kBool) {
+    return Status::TypeError("AND/OR operand must be boolean");
+  }
+  if (bound.bin_op == BinaryOp::kAnd) {
+    if (!rhs.is_null() && !rhs.bool_value()) return Value::Bool(false);
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Bool(true);
+  }
+  if (!rhs.is_null() && rhs.bool_value()) return Value::Bool(true);
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  return Value::Bool(false);
+}
+
+/// Aggregate over the current group with a compiled argument (mirrors
+/// EvalAggregate, including its error order).
+StatusOr<Value> EvalBoundAggregate(const BoundExpr& bound,
+                                   const EvalContext& ec) {
+  const FunctionCallExpr& call = *bound.agg_call;
+  if (ec.group_rows == nullptr) {
+    return Status::InvalidArgument("aggregate " + call.name +
+                                   "() used outside grouped evaluation");
+  }
+  ESP_ASSIGN_OR_RETURN(stream::Aggregator* const aggregator,
+                       AcquireAggregator(call, ec));
+  const bool star = call.IsStarArg();
+  if (!star && call.args.size() != 1) {
+    return Status::InvalidArgument("aggregate " + call.name +
+                                   "() takes exactly one argument");
+  }
+  for (const Row* row : *ec.group_rows) {
+    Value input = Value::Int64(1);  // count(*) marker.
+    if (!star) {
+      EvalContext row_ec = ec;
+      row_ec.row = row;
+      row_ec.group_rows = nullptr;  // Argument is a per-row expression.
+      ESP_ASSIGN_OR_RETURN(input,
+                           internal::EvalBound(bound.children[0], row_ec));
+    }
+    ESP_RETURN_IF_ERROR(aggregator->Update(input));
+  }
+  return aggregator->Final();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared evaluation machinery (declared in expr_eval.h; also used by the
+// incremental grouped-aggregate engine).
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+StatusOr<bool> ToDecision(const Value& value, const char* where) {
+  if (value.is_null()) return false;
+  if (value.type() != DataType::kBool) {
+    return Status::TypeError(std::string(where) +
+                             " must be boolean, got " +
+                             stream::DataTypeToString(value.type()));
+  }
+  return value.bool_value();
 }
 
 StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
@@ -348,7 +469,9 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
         return Status::InvalidArgument(
             "scalar subquery produced more than one row");
       }
-      return values[0];
+      Value result = std::move(values[0]);
+      stream::TupleArena::Local().Release(std::move(values));
+      return result;
     }
     case ExprKind::kQuantifiedComparison: {
       const auto& quantified =
@@ -359,6 +482,7 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
           EvalSubqueryColumn(*quantified.subquery, ec, "ALL/ANY"));
       // ALL over empty set is true; ANY over empty set is false.
       bool saw_null = false;
+      std::optional<bool> verdict;
       for (const Value& rhs : values) {
         ESP_ASSIGN_OR_RETURN(const Value cmp,
                              EvalComparison(quantified.op, lhs, rhs));
@@ -367,12 +491,16 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
           continue;
         }
         if (quantified.quantifier == Quantifier::kAll && !cmp.bool_value()) {
-          return Value::Bool(false);
+          verdict = false;
+          break;
         }
         if (quantified.quantifier == Quantifier::kAny && cmp.bool_value()) {
-          return Value::Bool(true);
+          verdict = true;
+          break;
         }
       }
+      stream::TupleArena::Local().Release(std::move(values));
+      if (verdict.has_value()) return Value::Bool(*verdict);
       if (saw_null) return Value::Null();
       return Value::Bool(quantified.quantifier == Quantifier::kAll);
     }
@@ -390,15 +518,19 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
         }
       }
       bool saw_null = false;
+      bool found = false;
       for (const Value& candidate : values) {
         if (candidate.is_null()) {
           saw_null = true;
           continue;
         }
         if (lhs.Equals(candidate)) {
-          return Value::Bool(!in.negated);
+          found = true;
+          break;
         }
       }
+      stream::TupleArena::Local().Release(std::move(values));
+      if (found) return Value::Bool(!in.negated);
       if (saw_null) return Value::Null();
       return Value::Bool(in.negated);
     }
@@ -406,8 +538,10 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
       const auto& exists = static_cast<const ExistsExpr&>(expr);
       ESP_ASSIGN_OR_RETURN(
           Relation result,
-          ExecuteInternal(*exists.subquery, *ec.catalog, ec.now, &ec));
+          ExecuteInternal(*exists.subquery, *ec.catalog, ec.now, &ec,
+                          ec.cache));
       const bool has_rows = !result.empty();
+      stream::TupleArena::Local().Recycle(std::move(result));
       return Value::Bool(exists.negated ? !has_rows : has_rows);
     }
     case ExprKind::kIsNull: {
@@ -447,50 +581,6 @@ StatusOr<Value> EvalExpr(const Expr& expr, const EvalContext& ec) {
   return Status::Internal("unhandled expression kind");
 }
 
-// ---------------------------------------------------------------------------
-// Compiled expressions
-//
-// ExecuteInternal compiles each query expression against the FROM layout
-// once per execution: column references become absolute row-slot indices
-// (replacing the per-tuple ResolveColumn string-compare walk), constant
-// subexpressions fold to a single Value, and anything this path cannot
-// prove equivalent — subqueries, outer-scope references, ambiguous or
-// unresolved names — falls back to the interpretive EvalExpr node-for-node,
-// preserving exact error and NULL semantics.
-// ---------------------------------------------------------------------------
-
-std::atomic<bool> g_expr_compilation{true};
-
-struct BoundExpr {
-  enum class Kind {
-    kConst,      // Folded constant.
-    kSlot,       // Column bound to an absolute index into the joined row.
-    kFallback,   // Interpretive escape hatch: delegates to EvalExpr.
-    kNot,
-    kNegate,
-    kArith,      // bin_op in {Add, Subtract, Multiply, Divide, Modulo}.
-    kCompare,    // bin_op in the comparison range.
-    kLogical,    // bin_op in {And, Or}, three-valued with short-circuit.
-    kScalarFn,   // Registry function; never folded (no purity contract).
-    kAggregate,  // Aggregate call; children[0] is the compiled argument.
-    kIsNull,
-    kBetween,    // children = {value, low, high}.
-    kCase,       // children = {cond, result}... [+ else when has_else].
-    kInList,     // children = {lhs, item...}; IN over a literal/expr list.
-  };
-
-  Kind kind = Kind::kFallback;
-  Value constant;                              // kConst.
-  size_t slot = 0;                             // kSlot.
-  BinaryOp bin_op = BinaryOp::kAnd;            // kArith/kCompare/kLogical.
-  bool negated = false;                        // kIsNull/kBetween/kInList.
-  bool has_else = false;                       // kCase.
-  const ScalarFunction* fn = nullptr;          // kScalarFn.
-  const FunctionCallExpr* agg_call = nullptr;  // kAggregate.
-  const Expr* fallback = nullptr;              // kFallback.
-  std::vector<BoundExpr> children;
-};
-
 BoundExpr MakeFallback(const Expr& expr) {
   BoundExpr bound;
   bound.kind = BoundExpr::Kind::kFallback;
@@ -498,37 +588,6 @@ BoundExpr MakeFallback(const Expr& expr) {
   return bound;
 }
 
-StatusOr<Value> EvalBound(const BoundExpr& bound, const EvalContext& ec);
-
-/// Folds an all-constant operator node into kConst by evaluating it once.
-/// Evaluation failures (1/0, type errors) keep the node intact so the error
-/// still surfaces — or doesn't — exactly where the interpretive path would
-/// raise it (e.g. behind a short-circuiting AND or an untaken CASE arm).
-BoundExpr FoldIfConst(BoundExpr node) {
-  switch (node.kind) {
-    case BoundExpr::Kind::kConst:
-    case BoundExpr::Kind::kSlot:
-    case BoundExpr::Kind::kFallback:
-    case BoundExpr::Kind::kScalarFn:
-    case BoundExpr::Kind::kAggregate:
-      return node;
-    default:
-      break;
-  }
-  for (const BoundExpr& child : node.children) {
-    if (child.kind != BoundExpr::Kind::kConst) return node;
-  }
-  const EvalContext empty;
-  StatusOr<Value> value = EvalBound(node, empty);
-  if (!value.ok()) return node;
-  BoundExpr folded;
-  folded.kind = BoundExpr::Kind::kConst;
-  folded.constant = std::move(*value);
-  return folded;
-}
-
-/// Binds `expr` against the innermost FROM layout. Anything that cannot be
-/// bound losslessly compiles to a fallback node.
 BoundExpr CompileExpr(const Expr& expr, const FromContext& from) {
   switch (expr.kind()) {
     case ExprKind::kLiteral: {
@@ -687,70 +746,14 @@ BoundExpr CompileExpr(const Expr& expr, const FromContext& from) {
   return MakeFallback(expr);
 }
 
-/// Three-valued AND/OR over compiled operands (mirrors EvalLogical).
-StatusOr<Value> EvalBoundLogical(const BoundExpr& bound,
-                                 const EvalContext& ec) {
-  ESP_ASSIGN_OR_RETURN(const Value lhs, EvalBound(bound.children[0], ec));
-  if (!lhs.is_null() && lhs.type() == DataType::kBool) {
-    if (bound.bin_op == BinaryOp::kAnd && !lhs.bool_value()) {
-      return Value::Bool(false);
-    }
-    if (bound.bin_op == BinaryOp::kOr && lhs.bool_value()) {
-      return Value::Bool(true);
-    }
-  } else if (!lhs.is_null()) {
-    return Status::TypeError("AND/OR operand must be boolean");
-  }
-  ESP_ASSIGN_OR_RETURN(const Value rhs, EvalBound(bound.children[1], ec));
-  if (!rhs.is_null() && rhs.type() != DataType::kBool) {
-    return Status::TypeError("AND/OR operand must be boolean");
-  }
-  if (bound.bin_op == BinaryOp::kAnd) {
-    if (!rhs.is_null() && !rhs.bool_value()) return Value::Bool(false);
-    if (lhs.is_null() || rhs.is_null()) return Value::Null();
-    return Value::Bool(true);
-  }
-  if (!rhs.is_null() && rhs.bool_value()) return Value::Bool(true);
-  if (lhs.is_null() || rhs.is_null()) return Value::Null();
-  return Value::Bool(false);
-}
-
-/// Aggregate over the current group with a compiled argument (mirrors
-/// EvalAggregate, including its error order).
-StatusOr<Value> EvalBoundAggregate(const BoundExpr& bound,
-                                   const EvalContext& ec) {
-  const FunctionCallExpr& call = *bound.agg_call;
-  if (ec.group_rows == nullptr) {
-    return Status::InvalidArgument("aggregate " + call.name +
-                                   "() used outside grouped evaluation");
-  }
-  ESP_ASSIGN_OR_RETURN(
-      std::unique_ptr<stream::Aggregator> aggregator,
-      stream::AggregateRegistry::Global().Create(call.name, call.distinct));
-  const bool star = call.IsStarArg();
-  if (!star && call.args.size() != 1) {
-    return Status::InvalidArgument("aggregate " + call.name +
-                                   "() takes exactly one argument");
-  }
-  for (const Row* row : *ec.group_rows) {
-    Value input = Value::Int64(1);  // count(*) marker.
-    if (!star) {
-      EvalContext row_ec = ec;
-      row_ec.row = row;
-      row_ec.group_rows = nullptr;  // Argument is a per-row expression.
-      ESP_ASSIGN_OR_RETURN(input, EvalBound(bound.children[0], row_ec));
-    }
-    ESP_RETURN_IF_ERROR(aggregator->Update(input));
-  }
-  return aggregator->Final();
-}
-
 StatusOr<Value> EvalBound(const BoundExpr& bound, const EvalContext& ec) {
   switch (bound.kind) {
     case BoundExpr::Kind::kConst:
       return bound.constant;
     case BoundExpr::Kind::kSlot:
       return (*ec.row)[bound.slot];
+    case BoundExpr::Kind::kAggSlot:
+      return (*ec.agg_values)[bound.slot];
     case BoundExpr::Kind::kFallback:
       return EvalExpr(*bound.fallback, ec);
     case BoundExpr::Kind::kNegate: {
@@ -857,9 +860,6 @@ StatusOr<Value> EvalBound(const BoundExpr& bound, const EvalContext& ec) {
   return Status::Internal("unhandled bound expression kind");
 }
 
-/// Records every slot read a compiled tree can make. `opaque` is set when
-/// the tree contains a fallback node, whose column reads the compiler
-/// cannot see.
 void CollectSlotReads(const BoundExpr& bound, std::vector<size_t>& slots,
                       bool& opaque) {
   if (bound.kind == BoundExpr::Kind::kSlot) slots.push_back(bound.slot);
@@ -868,10 +868,6 @@ void CollectSlotReads(const BoundExpr& bound, std::vector<size_t>& slots,
     CollectSlotReads(child, slots, opaque);
   }
 }
-
-// ---------------------------------------------------------------------------
-// Query execution
-// ---------------------------------------------------------------------------
 
 bool QueryUsesAggregation(const SelectQuery& query) {
   if (!query.group_by.empty()) return true;
@@ -884,7 +880,6 @@ bool QueryUsesAggregation(const SelectQuery& query) {
   return false;
 }
 
-/// Applies DISTINCT / ORDER BY / LIMIT to the projected output.
 StatusOr<Relation> FinalizeOutput(const SelectQuery& query, Relation output) {
   if (query.distinct) {
     ESP_ASSIGN_OR_RETURN(output, stream::Distinct(output));
@@ -941,107 +936,308 @@ StatusOr<Relation> FinalizeOutput(const SelectQuery& query, Relation output) {
   return output;
 }
 
+bool LayoutMatches(const PreparedQuery& prep, const FromContext& from) {
+  if (prep.from.total_columns != from.total_columns) return false;
+  if (prep.from.frames.size() != from.frames.size()) return false;
+  for (size_t i = 0; i < from.frames.size(); ++i) {
+    const FromContext::Frame& a = prep.from.frames[i];
+    const FromContext::Frame& b = from.frames[i];
+    if (a.offset != b.offset || a.schema.get() != b.schema.get() ||
+        a.alias != b.alias) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Query execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Half-open index range [lo, hi) of `history`'s tuples inside the window at
+/// `now`. Requires non-decreasing timestamp order.
+std::pair<size_t, size_t> WindowBounds(const Relation& history,
+                                       const WindowSpec& spec, Timestamp now) {
+  const std::vector<Tuple>& tuples = history.tuples();
+  const auto first_after = [&](Timestamp t) -> size_t {
+    return static_cast<size_t>(
+        std::upper_bound(tuples.begin(), tuples.end(), t,
+                         [](Timestamp lhs, const Tuple& rhs) {
+                           return lhs < rhs.timestamp();
+                         }) -
+        tuples.begin());
+  };
+  switch (spec.kind) {
+    case WindowKind::kRange: {
+      const Timestamp effective = spec.EffectiveTime(now);
+      const Timestamp low = effective - spec.range;  // Exclusive.
+      return {first_after(low), first_after(effective)};
+    }
+    case WindowKind::kNow: {
+      const size_t lo = static_cast<size_t>(
+          std::lower_bound(tuples.begin(), tuples.end(), now,
+                           [](const Tuple& lhs, Timestamp rhs) {
+                             return lhs.timestamp() < rhs;
+                           }) -
+          tuples.begin());
+      return {lo, first_after(now)};
+    }
+    case WindowKind::kRows: {
+      const size_t hi = first_after(now);
+      const size_t n = static_cast<size_t>(spec.rows);
+      return {hi > n ? hi - n : 0, hi};
+    }
+    case WindowKind::kUnbounded:
+      return {0, first_after(now)};
+  }
+  return {0, 0};
+}
+
+bool TimeOrdered(const Relation& history) {
+  const std::vector<Tuple>& tuples = history.tuples();
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    if (tuples[i].timestamp() < tuples[i - 1].timestamp()) return false;
+  }
+  return true;
+}
+
 StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
                                    const Catalog& catalog, Timestamp now,
-                                   const EvalContext* outer) {
-  // Infer the output schema up front (also validates the query shape).
-  // Build the analysis scope chain mirroring the outer EvalContext chain.
-  std::vector<AnalysisScope> outer_scopes;
-  for (const EvalContext* scope = outer; scope != nullptr;
-       scope = scope->outer) {
-    if (scope->from == nullptr) continue;
-    AnalysisScope analysis_scope;
-    for (const FromContext::Frame& frame : scope->from->frames) {
-      analysis_scope.frames.push_back({frame.alias, frame.schema});
-    }
-    outer_scopes.push_back(std::move(analysis_scope));
-  }
-  for (size_t i = 0; i + 1 < outer_scopes.size(); ++i) {
-    outer_scopes[i].outer = &outer_scopes[i + 1];
-  }
-  const SchemaCatalog schema_catalog = catalog.ToSchemaCatalog();
-  ESP_ASSIGN_OR_RETURN(
-      SchemaRef output_schema,
-      InferOutputSchema(query, schema_catalog,
-                        outer_scopes.empty() ? nullptr : &outer_scopes[0]));
+                                   const EvalContext* outer,
+                                   QueryExecCache* cache) {
+  stream::TupleArena& arena = stream::TupleArena::Local();
+  const bool compile_exprs =
+      g_expr_compilation.load(std::memory_order_relaxed);
 
-  // Materialize FROM inputs.
-  FromContext from;
-  std::vector<Relation> inputs;
+  internal::PreparedQuery* prep =
+      (cache != nullptr && compile_exprs) ? cache->Find(&query) : nullptr;
+
+  // Execution-time containers live in the plan's scratch so their buffers
+  // (row vectors, group slots, aggregator instances) persist across ticks.
+  // `found` remembers the cache hit: if the layout changed and the plan is
+  // recompiled below, the warmed scratch migrates into the new cache entry.
+  internal::PreparedQuery local;
+  internal::PreparedQuery* const found = prep;
+  internal::PreparedQuery::ExecScratch& scratch =
+      (prep != nullptr ? *prep : local).EnsureScratch();
+
+  // The schema catalog is needed only on the uncached path and for
+  // schema-less histories, so derive it lazily.
+  std::optional<SchemaCatalog> schema_catalog;
+  const auto schemas = [&]() -> const SchemaCatalog& {
+    if (!schema_catalog.has_value()) {
+      schema_catalog = catalog.ToSchemaCatalog();
+    }
+    return *schema_catalog;
+  };
+
+  // Infer the output schema up front (also validates the query shape) —
+  // unless a prepared plan already carries the result of this analysis.
+  // The analysis scope chain mirrors the outer EvalContext chain.
+  SchemaRef output_schema;
+  std::vector<AnalysisScope> outer_scopes;
+  const auto infer_schema = [&]() -> Status {
+    outer_scopes.clear();
+    for (const EvalContext* scope = outer; scope != nullptr;
+         scope = scope->outer) {
+      if (scope->from == nullptr) continue;
+      AnalysisScope analysis_scope;
+      for (const FromContext::Frame& frame : scope->from->frames) {
+        analysis_scope.frames.push_back({frame.alias, frame.schema});
+      }
+      outer_scopes.push_back(std::move(analysis_scope));
+    }
+    for (size_t i = 0; i + 1 < outer_scopes.size(); ++i) {
+      outer_scopes[i].outer = &outer_scopes[i + 1];
+    }
+    ESP_ASSIGN_OR_RETURN(
+        output_schema,
+        InferOutputSchema(query, schemas(),
+                          outer_scopes.empty() ? nullptr : &outer_scopes[0]));
+    return Status::OK();
+  };
+  if (prep == nullptr) ESP_RETURN_IF_ERROR(infer_schema());
+
+  // Materialize FROM inputs. Stream references over time-ordered histories
+  // become binary-searched index ranges directly over the catalog's relation
+  // — no per-tick window copy. Derived tables (and disordered ad-hoc
+  // histories) still materialize and own their rows.
+  FromContext& from = scratch.from;
+  from.frames.clear();
+  from.total_columns = 0;
+  std::vector<internal::FromInput>& inputs = scratch.inputs;
+  for (internal::FromInput& input : inputs) {
+    arena.Recycle(std::move(input.owned));
+  }
+  inputs.clear();
+  inputs.reserve(query.from.size());
+  bool cacheable_from = true;
   for (const TableRef& ref : query.from) {
-    Relation input;
+    inputs.emplace_back();
+    internal::FromInput& input = inputs.back();
     FromContext::Frame frame;
     if (ref.kind == TableRef::Kind::kStream) {
       ESP_ASSIGN_OR_RETURN(const Relation* history,
                            catalog.Find(ref.stream_name));
-      input = ApplyWindow(*history, ref.window, now);
+      if (TimeOrdered(*history)) {
+        input.rel = history;
+        std::tie(input.lo, input.hi) = WindowBounds(*history, ref.window, now);
+      } else {
+        input.owned = ApplyWindow(*history, ref.window, now);
+        input.rel = &input.owned;
+        input.hi = input.owned.size();
+        input.movable = true;
+      }
       frame.alias = ref.alias.empty() ? ref.stream_name : ref.alias;
-      frame.schema = input.schema();
+      frame.schema = input.rel->schema();
       if (frame.schema == nullptr) {
-        ESP_ASSIGN_OR_RETURN(frame.schema,
-                             schema_catalog.Find(ref.stream_name));
+        ESP_ASSIGN_OR_RETURN(frame.schema, schemas().Find(ref.stream_name));
       }
     } else {
       // Derived tables see the enclosing query's outer scope, not their
       // siblings (no LATERAL).
-      ESP_ASSIGN_OR_RETURN(input,
-                           ExecuteInternal(*ref.subquery, catalog, now, outer));
+      ESP_ASSIGN_OR_RETURN(
+          input.owned,
+          ExecuteInternal(*ref.subquery, catalog, now, outer, cache));
+      input.rel = &input.owned;
+      input.hi = input.owned.size();
+      input.movable = true;
+      cacheable_from = false;  // Fresh schema per execution; never cache-hits.
       frame.alias = ref.alias;
-      frame.schema = input.schema();
+      frame.schema = input.owned.schema();
     }
     frame.offset = from.total_columns;
     from.total_columns += frame.schema->num_fields();
     from.frames.push_back(std::move(frame));
-    inputs.push_back(std::move(input));
   }
 
-  // Enumerate joined rows (cartesian product; FROM-less yields one empty
-  // row).
-  std::vector<Row> rows;
-  if (inputs.size() == 1) {
-    // Single-input FROM (the common continuous-query shape): the windowed
-    // relation is owned by this evaluation, so move each tuple's values
-    // into its row instead of copying field by field.
-    rows.reserve(inputs[0].size());
-    for (Tuple& tuple : inputs[0].mutable_tuples()) {
-      if (tuple.num_fields() == from.total_columns) {
-        rows.push_back(std::move(tuple.mutable_values()));
-      } else {
-        Row row(from.total_columns, Value::Null());
-        for (size_t c = 0; c < tuple.num_fields(); ++c) {
-          row[c] = tuple.value(c);
-        }
-        rows.push_back(std::move(row));
+  // A hit is only usable if the catalog still presents the layout the plan
+  // was compiled against (stable for standing queries).
+  if (prep != nullptr && !internal::LayoutMatches(*prep, from)) {
+    prep = nullptr;
+  }
+  if (prep == nullptr) {
+    if (output_schema == nullptr) ESP_RETURN_IF_ERROR(infer_schema());
+    local.output_schema = output_schema;
+    const auto compile = [&](const Expr& expr) {
+      return compile_exprs ? internal::CompileExpr(expr, from)
+                           : internal::MakeFallback(expr);
+    };
+    if (query.where != nullptr) local.where = compile(*query.where);
+    local.items.reserve(query.items.size());
+    for (const SelectItem& item : query.items) {
+      local.items.push_back(compile(*item.expr));
+    }
+    if (internal::QueryUsesAggregation(query)) {
+      local.group_keys.reserve(query.group_by.size());
+      for (const ExprPtr& expr : query.group_by) {
+        local.group_keys.push_back(compile(*expr));
       }
+      if (query.having != nullptr) local.having = compile(*query.having);
+    } else {
+      // Plan which items may move their value straight out of the row: a
+      // top-level slot read whose slot no other part of the projection (no
+      // fallback anywhere, no star, no second read) can observe.
+      local.move_item.assign(query.items.size(), 0);
+      const bool any_star = std::any_of(
+          query.items.begin(), query.items.end(), [](const SelectItem& item) {
+            return item.expr->kind() == ExprKind::kStar;
+          });
+      if (!any_star) {
+        bool opaque = false;
+        std::vector<size_t> slot_reads;
+        for (const BoundExpr& bound : local.items) {
+          internal::CollectSlotReads(bound, slot_reads, opaque);
+        }
+        if (!opaque) {
+          std::unordered_map<size_t, size_t> reads_per_slot;
+          for (size_t slot : slot_reads) ++reads_per_slot[slot];
+          for (size_t i = 0; i < local.items.size(); ++i) {
+            if (local.items[i].kind == BoundExpr::Kind::kSlot &&
+                reads_per_slot[local.items[i].slot] == 1) {
+              local.move_item[i] = 1;
+            }
+          }
+        }
+      }
+    }
+    if (cache != nullptr && compile_exprs && cacheable_from) {
+      local.from = from;
+      // Keep the warmed scratch: `scratch` references the ExecScratch object
+      // behind the unique_ptr, which survives both moves below, so every
+      // reference taken above (from, inputs, ...) stays valid.
+      if (found != nullptr) local.scratch = std::move(found->scratch);
+      prep = cache->Insert(&query, std::move(local));
+    }
+  }
+  const internal::PreparedQuery& plan = prep != nullptr ? *prep : local;
+  output_schema = plan.output_schema;
+
+  // Enumerate joined rows (cartesian product; FROM-less yields one empty
+  // row). Row backing stores come from the thread's arena.
+  std::vector<Row>& rows = scratch.rows;
+  rows.clear();
+  if (inputs.size() == 1) {
+    internal::FromInput& input = inputs[0];
+    rows.reserve(input.hi - input.lo);
+    for (size_t r = input.lo; r < input.hi; ++r) {
+      if (input.movable) {
+        // The windowed relation is owned by this evaluation, so move each
+        // tuple's values into its row instead of copying field by field.
+        Tuple& tuple = input.owned.mutable_tuples()[r];
+        if (tuple.num_fields() == from.total_columns) {
+          rows.push_back(std::move(tuple.mutable_values()));
+          continue;
+        }
+      }
+      const Tuple& tuple = input.rel->tuple(r);
+      Row row = arena.Acquire(from.total_columns);
+      if (tuple.num_fields() == from.total_columns) {
+        row.assign(tuple.values().begin(), tuple.values().end());
+      } else {
+        row.assign(from.total_columns, Value::Null());
+        const size_t n = std::min(tuple.num_fields(), from.total_columns);
+        for (size_t c = 0; c < n; ++c) row[c] = tuple.value(c);
+      }
+      rows.push_back(std::move(row));
     }
   } else {
     Row current(from.total_columns, Value::Null());
-    // Iterative odometer over input relations.
+    // Iterative odometer over input ranges.
     std::vector<size_t> cursor(inputs.size(), 0);
     bool exhausted = false;
-    for (const Relation& input : inputs) {
-      if (input.empty()) exhausted = true;
+    for (const internal::FromInput& input : inputs) {
+      if (input.hi == input.lo) exhausted = true;
     }
     if (inputs.empty()) {
       rows.push_back(current);  // FROM-less: a single all-null (empty) row.
     } else if (!exhausted) {
       size_t product = 1;
-      for (const Relation& input : inputs) product *= input.size();
+      for (const internal::FromInput& input : inputs) product *= input.hi - input.lo;
       rows.reserve(product);
       while (true) {
         for (size_t i = 0; i < inputs.size(); ++i) {
-          const Tuple& tuple = inputs[i].tuple(cursor[i]);
+          const Tuple& tuple = inputs[i].rel->tuple(inputs[i].lo + cursor[i]);
           const size_t offset = from.frames[i].offset;
           for (size_t c = 0; c < tuple.num_fields(); ++c) {
             current[offset + c] = tuple.value(c);
           }
         }
-        rows.push_back(current);
+        Row copy = arena.Acquire(from.total_columns);
+        copy.assign(current.begin(), current.end());
+        rows.push_back(std::move(copy));
         // Advance odometer.
         size_t position = inputs.size();
         while (position > 0) {
           --position;
-          if (++cursor[position] < inputs[position].size()) break;
+          if (++cursor[position] <
+              inputs[position].hi - inputs[position].lo) {
+            break;
+          }
           cursor[position] = 0;
           if (position == 0) {
             position = SIZE_MAX;
@@ -1057,42 +1253,35 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
   base.catalog = &catalog;
   base.now = now;
   base.from = &from;
+  base.cache = cache;
   base.outer = outer;
 
-  // Compile every query expression against the FROM layout once; the
-  // per-row loops below then evaluate slot-bound trees instead of
-  // re-resolving names per tuple.
-  const bool compile_exprs =
-      g_expr_compilation.load(std::memory_order_relaxed);
-  const auto compile = [&](const Expr& expr) {
-    return compile_exprs ? CompileExpr(expr, from) : MakeFallback(expr);
-  };
-  std::optional<BoundExpr> bound_where;
-  if (query.where != nullptr) bound_where = compile(*query.where);
-  std::vector<BoundExpr> bound_items;
-  bound_items.reserve(query.items.size());
-  for (const SelectItem& item : query.items) {
-    bound_items.push_back(compile(*item.expr));
-  }
-
-  // WHERE.
-  std::vector<Row> filtered;
-  if (bound_where.has_value()) {
+  // WHERE. Without one, the filtered set IS the row set (aliased, so both
+  // scratch buffers keep their capacity for the next execution).
+  std::vector<Row>& filtered =
+      plan.where.has_value() ? scratch.filtered : rows;
+  if (plan.where.has_value()) {
+    filtered.clear();
     filtered.reserve(rows.size());
     for (Row& row : rows) {
       EvalContext ec = base;
       ec.row = &row;
-      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalBound(*bound_where, ec));
-      ESP_ASSIGN_OR_RETURN(const bool keep, ToDecision(verdict, "WHERE"));
-      if (keep) filtered.push_back(std::move(row));
+      ESP_ASSIGN_OR_RETURN(const Value verdict,
+                           internal::EvalBound(*plan.where, ec));
+      ESP_ASSIGN_OR_RETURN(const bool keep,
+                           internal::ToDecision(verdict, "WHERE"));
+      if (keep) {
+        filtered.push_back(std::move(row));
+      } else {
+        arena.Release(std::move(row));
+      }
     }
-  } else {
-    filtered = std::move(rows);
   }
 
   Relation output(output_schema);
+  output.mutable_tuples() = arena.AcquireTuples();
 
-  if (!QueryUsesAggregation(query)) {
+  if (!internal::QueryUsesAggregation(query)) {
     const bool has_star = std::any_of(
         query.items.begin(), query.items.end(), [](const SelectItem& item) {
           return item.expr->kind() == ExprKind::kStar;
@@ -1103,120 +1292,127 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
       for (Row& row : filtered) {
         output.Add(Tuple(output_schema, std::move(row), now));
       }
-      return FinalizeOutput(query, std::move(output));
-    }
-    // Plan which items may move their value straight out of the row: a
-    // top-level slot read whose slot no other part of the projection (no
-    // fallback anywhere, no star, no second read) can observe.
-    std::vector<char> move_item(query.items.size(), 0);
-    if (!has_star) {
-      bool opaque = false;
-      std::vector<size_t> slot_reads;
-      for (const BoundExpr& bound : bound_items) {
-        CollectSlotReads(bound, slot_reads, opaque);
-      }
-      if (!opaque) {
-        std::unordered_map<size_t, size_t> reads_per_slot;
-        for (size_t slot : slot_reads) ++reads_per_slot[slot];
-        for (size_t i = 0; i < bound_items.size(); ++i) {
-          if (bound_items[i].kind == BoundExpr::Kind::kSlot &&
-              reads_per_slot[bound_items[i].slot] == 1) {
-            move_item[i] = 1;
-          }
-        }
-      }
+      return internal::FinalizeOutput(query, std::move(output));
     }
     // Plain projection.
     output.mutable_tuples().reserve(filtered.size());
     for (Row& row : filtered) {
       EvalContext ec = base;
       ec.row = &row;
-      std::vector<Value> values;
-      values.reserve(output_schema->num_fields());
+      std::vector<Value> values = arena.Acquire(output_schema->num_fields());
       for (size_t i = 0; i < query.items.size(); ++i) {
         const SelectItem& item = query.items[i];
         if (item.expr->kind() == ExprKind::kStar) {
           for (const Value& value : row) values.push_back(value);
           continue;
         }
-        if (move_item[i]) {
-          values.push_back(std::move(row[bound_items[i].slot]));
+        if (!plan.move_item.empty() && plan.move_item[i]) {
+          values.push_back(std::move(row[plan.items[i].slot]));
           continue;
         }
-        ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound_items[i], ec));
+        ESP_ASSIGN_OR_RETURN(Value value,
+                             internal::EvalBound(plan.items[i], ec));
         values.push_back(std::move(value));
       }
       output.Add(Tuple(output_schema, std::move(values), now));
+      arena.Release(std::move(row));
     }
-    return FinalizeOutput(query, std::move(output));
+    return internal::FinalizeOutput(query, std::move(output));
   }
 
-  // Grouped evaluation.
-  struct Group {
-    std::vector<const Row*> rows;
-  };
-  std::vector<Group> groups;
+  // Grouped evaluation. Group slots and the key->slot index persist in the
+  // plan's scratch across executions: recurring keys (the small sensor
+  // vocabularies that dominate standing queries) keep their slot, so the
+  // steady state allocates nothing. Slots are generation-stamped; `touched`
+  // lists this execution's slots in first-seen order — the emit order, which
+  // matches the fresh-map behaviour exactly.
+  std::vector<internal::PreparedQuery::GroupSlot>& groups = scratch.groups;
+  auto& index = scratch.group_index;
+  std::vector<size_t>& touched = scratch.touched;
+  touched.clear();
+  if (index.size() > kMaxPersistentGroups) {
+    // Unbounded key domains (e.g. grouping on a measurement) must not grow
+    // the index forever; dropping it only costs re-insertion.
+    index.clear();
+    groups.clear();
+  }
+  const uint64_t gen = ++scratch.gen;
   if (query.group_by.empty()) {
     // A single group over all rows — exists even when empty (SQL scalar
     // aggregate semantics: `SELECT count(*) FROM empty` returns one row).
-    groups.emplace_back();
-    for (const Row& row : filtered) groups.back().rows.push_back(&row);
+    if (groups.empty()) groups.emplace_back();
+    groups[0].rows.clear();
+    groups[0].gen = gen;
+    for (const Row& row : filtered) groups[0].rows.push_back(&row);
+    touched.push_back(0);
   } else {
-    std::vector<BoundExpr> bound_keys;
-    bound_keys.reserve(query.group_by.size());
-    for (const ExprPtr& expr : query.group_by) {
-      bound_keys.push_back(compile(*expr));
-    }
-    std::unordered_map<std::vector<Value>, size_t, stream::ValueVectorHash,
-                       stream::ValueVectorEq>
-        index;
+    Row& key = scratch.key_scratch;
     for (const Row& row : filtered) {
       EvalContext ec = base;
       ec.row = &row;
-      std::vector<Value> key;
-      key.reserve(bound_keys.size());
-      for (const BoundExpr& bound : bound_keys) {
-        ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound, ec));
+      key.clear();
+      for (const BoundExpr& bound : plan.group_keys) {
+        ESP_ASSIGN_OR_RETURN(Value value, internal::EvalBound(bound, ec));
         key.push_back(std::move(value));
       }
-      auto [it, inserted] = index.emplace(std::move(key), groups.size());
-      if (inserted) groups.emplace_back();
-      groups[it->second].rows.push_back(&row);
+      size_t slot = 0;
+      const auto it = index.find(key);
+      if (it == index.end()) {
+        slot = groups.size();
+        groups.emplace_back();
+        index.emplace(key, slot);
+      } else {
+        slot = it->second;
+      }
+      internal::PreparedQuery::GroupSlot& group = groups[slot];
+      if (group.gen != gen) {
+        group.gen = gen;
+        group.rows.clear();
+        touched.push_back(slot);
+      }
+      group.rows.push_back(&row);
     }
   }
 
-  std::optional<BoundExpr> bound_having;
-  if (query.having != nullptr) bound_having = compile(*query.having);
-
   const Row empty_row(from.total_columns, Value::Null());
-  for (const Group& group : groups) {
+  for (const size_t slot : touched) {
+    const internal::PreparedQuery::GroupSlot& group = groups[slot];
     EvalContext ec = base;
     ec.group_rows = &group.rows;
+    ec.agg_scratch = &scratch.agg_scratch;
     // The representative row backs non-aggregated column references (which,
     // per SQL, should be functionally dependent on the group key).
     ec.row = group.rows.empty() ? &empty_row : group.rows.front();
 
-    if (bound_having.has_value()) {
-      ESP_ASSIGN_OR_RETURN(const Value verdict, EvalBound(*bound_having, ec));
-      ESP_ASSIGN_OR_RETURN(const bool keep, ToDecision(verdict, "HAVING"));
+    if (plan.having.has_value()) {
+      ESP_ASSIGN_OR_RETURN(const Value verdict,
+                           internal::EvalBound(*plan.having, ec));
+      ESP_ASSIGN_OR_RETURN(const bool keep,
+                           internal::ToDecision(verdict, "HAVING"));
       if (!keep) continue;
     }
-    std::vector<Value> values;
-    values.reserve(output_schema->num_fields());
-    for (const BoundExpr& bound : bound_items) {
-      ESP_ASSIGN_OR_RETURN(Value value, EvalBound(bound, ec));
+    std::vector<Value> values = arena.Acquire(output_schema->num_fields());
+    for (const BoundExpr& bound : plan.items) {
+      ESP_ASSIGN_OR_RETURN(Value value, internal::EvalBound(bound, ec));
       values.push_back(std::move(value));
     }
     output.Add(Tuple(output_schema, std::move(values), now));
   }
-  return FinalizeOutput(query, std::move(output));
+  for (Row& row : filtered) arena.Release(std::move(row));
+  return internal::FinalizeOutput(query, std::move(output));
 }
 
 }  // namespace
 
 StatusOr<Relation> ExecuteQuery(const SelectQuery& query,
                                 const Catalog& catalog, Timestamp now) {
-  return ExecuteInternal(query, catalog, now, nullptr);
+  return ExecuteInternal(query, catalog, now, nullptr, nullptr);
+}
+
+StatusOr<Relation> ExecuteQuery(const SelectQuery& query,
+                                const Catalog& catalog, Timestamp now,
+                                QueryExecCache* cache) {
+  return ExecuteInternal(query, catalog, now, nullptr, cache);
 }
 
 void SetExprCompilationForBenchmarks(bool enabled) {

@@ -13,6 +13,8 @@
 
 namespace esp::cql {
 
+class QueryExecCache;  // expr_eval.h; opaque to API consumers.
+
 /// \brief Maps stream names to their retained, time-ordered histories.
 ///
 /// The evaluator applies each reference's window clause to the history at
@@ -20,10 +22,18 @@ namespace esp::cql {
 /// at time t is an ordinary relational evaluation over the windows' contents
 /// at t. The caller (ContinuousQuery / EspProcessor) is responsible for
 /// keeping enough history to cover the largest window and evicting the rest.
+///
+/// A stream may be registered by value (the catalog owns a copy) or as a
+/// borrowed view of a history the caller keeps alive for the duration of the
+/// evaluation — the zero-copy path standing queries use every tick.
 class Catalog {
  public:
   /// Registers or replaces a stream's history. Tuples must be time-ordered.
   void AddStream(const std::string& name, stream::Relation history);
+
+  /// Registers or replaces a stream as a borrowed view. `history` must
+  /// outlive every evaluation against this catalog and be time-ordered.
+  void AddStreamView(const std::string& name, const stream::Relation* history);
 
   StatusOr<const stream::Relation*> Find(const std::string& name) const;
 
@@ -31,7 +41,16 @@ class Catalog {
   SchemaCatalog ToSchemaCatalog() const;
 
  private:
-  std::vector<std::pair<std::string, stream::Relation>> streams_;
+  struct Entry {
+    std::string name;
+    stream::Relation owned;
+    const stream::Relation* view = nullptr;  // Set for AddStreamView entries.
+
+    const stream::Relation* get() const {
+      return view != nullptr ? view : &owned;
+    }
+  };
+  std::vector<Entry> streams_;
 };
 
 /// \brief Materializes the window contents of `history` at time `now`.
@@ -49,6 +68,15 @@ stream::Relation ApplyWindow(const stream::Relation& history,
 /// NULL predicate is treated as false where a decision is forced.
 StatusOr<stream::Relation> ExecuteQuery(const SelectQuery& query,
                                         const Catalog& catalog, Timestamp now);
+
+/// \brief As above, with a per-standing-query prepared-plan cache. The cache
+/// (see expr_eval.h) memoizes schema inference and expression compilation
+/// across ticks, keyed by AST node; it must not outlive the query's AST and
+/// must always be used with catalogs presenting the same stream layouts.
+/// Pass nullptr for one-shot behavior.
+StatusOr<stream::Relation> ExecuteQuery(const SelectQuery& query,
+                                        const Catalog& catalog, Timestamp now,
+                                        QueryExecCache* cache);
 
 /// \brief Benchmark hook: toggles the compiled expression path (column
 /// references bound to row slots once per execution, constants folded once

@@ -38,25 +38,25 @@ SchemaRef MotionReadingSchema() { return SharedMotionSchema(); }
 
 Tuple ToTuple(const RfidReading& reading) {
   return Tuple(SharedRfidSchema(),
-               {Value::String(reading.reader_id), Value::String(reading.tag_id)},
+               {Value::Interned(reading.reader_id), Value::Interned(reading.tag_id)},
                reading.time);
 }
 
 Tuple ToTempTuple(const MoteReading& reading) {
   return Tuple(SharedTempSchema(),
-               {Value::String(reading.mote_id), Value::Double(reading.value)},
+               {Value::Interned(reading.mote_id), Value::Double(reading.value)},
                reading.time);
 }
 
 Tuple ToSoundTuple(const MoteReading& reading) {
   return Tuple(SharedSoundSchema(),
-               {Value::String(reading.mote_id), Value::Double(reading.value)},
+               {Value::Interned(reading.mote_id), Value::Double(reading.value)},
                reading.time);
 }
 
 Tuple ToTuple(const MotionReading& reading) {
   return Tuple(SharedMotionSchema(),
-               {Value::String(reading.detector_id), Value::String("ON")},
+               {Value::Interned(reading.detector_id), Value::Interned("ON")},
                reading.time);
 }
 

@@ -73,7 +73,7 @@ StatusOr<Relation> ReadRelationCsv(const std::string& path,
           break;
         }
         case DataType::kString:
-          values.push_back(Value::String(row[c + 1]));
+          values.push_back(Value::Interned(row[c + 1]));
           break;
         case DataType::kTimestamp: {
           // Timestamps round-trip as raw micros.

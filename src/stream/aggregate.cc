@@ -20,6 +20,10 @@ class CountAggregator : public Aggregator {
     return Status::OK();
   }
   Value Final() const override { return Value::Int64(count_); }
+  bool Reset() override {
+    count_ = 0;
+    return true;
+  }
 
  private:
   int64_t count_ = 0;
@@ -41,6 +45,12 @@ class SumAggregator : public Aggregator {
     if (all_integers_) return Value::Int64(static_cast<int64_t>(sum_));
     return Value::Double(sum_);
   }
+  bool Reset() override {
+    sum_ = 0.0;
+    saw_value_ = false;
+    all_integers_ = true;
+    return true;
+  }
 
  private:
   double sum_ = 0.0;
@@ -60,6 +70,11 @@ class AvgAggregator : public Aggregator {
   Value Final() const override {
     if (count_ == 0) return Value::Null();
     return Value::Double(sum_ / static_cast<double>(count_));
+  }
+  bool Reset() override {
+    sum_ = 0.0;
+    count_ = 0;
+    return true;
   }
 
  private:
@@ -82,6 +97,10 @@ class MinMaxAggregator : public Aggregator {
     return Status::OK();
   }
   Value Final() const override { return best_; }
+  bool Reset() override {
+    best_ = Value::Null();
+    return true;
+  }
 
  private:
   bool is_min_;
@@ -113,6 +132,10 @@ class PercentileAggregator : public Aggregator {
     return Value::Double(sorted[lower] * (1.0 - weight) +
                          sorted[upper] * weight);
   }
+  bool Reset() override {
+    values_.clear();
+    return true;
+  }
 
  private:
   double fraction_;
@@ -137,6 +160,12 @@ class StdDevAggregator : public Aggregator {
     if (count_ == 0) return Value::Null();
     const double var = m2_ / static_cast<double>(count_);
     return Value::Double(variance_ ? var : std::sqrt(var));
+  }
+  bool Reset() override {
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    return true;
   }
 
  private:

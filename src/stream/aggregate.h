@@ -28,6 +28,12 @@ class Aggregator {
   /// Produces the aggregate result. Empty-input behaviour follows SQL:
   /// count -> 0, everything else -> null.
   virtual Value Final() const = 0;
+
+  /// Returns the aggregator to its freshly-constructed state and returns
+  /// true, allowing the evaluator to reuse one instance across groups
+  /// instead of heap-allocating per group. The default returns false
+  /// (unsupported) so user-defined aggregates keep single-use semantics.
+  virtual bool Reset() { return false; }
 };
 
 using AggregatorFactory = std::function<std::unique_ptr<Aggregator>()>;
@@ -69,6 +75,10 @@ class DistinctAggregator : public Aggregator {
 
   Status Update(const Value& value) override;
   Value Final() const override { return inner_->Final(); }
+  bool Reset() override {
+    seen_.clear();
+    return inner_->Reset();
+  }
 
  private:
   std::unique_ptr<Aggregator> inner_;

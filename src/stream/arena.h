@@ -1,0 +1,122 @@
+#ifndef ESP_STREAM_ARENA_H_
+#define ESP_STREAM_ARENA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "stream/tuple.h"
+#include "stream/value.h"
+
+namespace esp::stream {
+
+/// \brief A free-list of std::vector<Value> backing stores, recycled across
+/// ticks instead of round-tripping through the allocator.
+///
+/// The steady-state data plane creates and destroys thousands of small value
+/// vectors per tick (evaluator rows, projection outputs, window evictions)
+/// whose sizes barely vary. The arena keeps released vectors (cleared, with
+/// their capacity intact) and hands them back on Acquire.
+///
+/// Lifetime rules: the arena is a cache, not an owner. A vector obtained
+/// from Acquire() may be freed normally anywhere (e.g. inside a Tuple handed
+/// to the caller) — only vectors explicitly passed to Release() return to
+/// the pool. Each thread has its own arena (Local()), so shard workers never
+/// contend; releasing a vector on a different thread than the one that
+/// allocated it is safe (it just migrates the buffer).
+class TupleArena {
+ public:
+  /// The calling thread's arena.
+  static TupleArena& Local();
+
+  /// Globally enables/disables buffer recycling. When disabled, Acquire
+  /// always allocates fresh and Release frees normally. Useful for memory
+  /// ablation benchmarks and for debugging under sanitizers (recycled
+  /// buffers hide use-after-free from ASan). Enabled by default.
+  static void SetPoolingEnabled(bool enabled);
+  static bool PoolingEnabled();
+
+  /// Returns an empty vector with at least `reserve` capacity, reusing a
+  /// pooled backing store when one is available.
+  std::vector<Value> Acquire(size_t reserve) {
+    if (!pool_.empty() && PoolingEnabled()) {
+      std::vector<Value> v = std::move(pool_.back());
+      pool_.pop_back();
+      ++hits_;
+      if (v.capacity() < reserve) v.reserve(reserve);
+      return v;
+    }
+    ++misses_;
+    std::vector<Value> v;
+    v.reserve(reserve);
+    return v;
+  }
+
+  /// Returns a vector's backing store to the pool. The elements are
+  /// destroyed now (clear()); the capacity is kept. Oversized buffers and
+  /// overflow beyond the pool cap are simply freed.
+  void Release(std::vector<Value>&& v) {
+    if (!PoolingEnabled() || v.capacity() == 0 ||
+        v.capacity() > kMaxPooledCapacity ||
+        pool_.size() >= kMaxPooledVectors) {
+      return;  // Let the vector free normally.
+    }
+    v.clear();
+    pool_.push_back(std::move(v));
+  }
+
+  /// Returns an empty tuple vector, reusing a pooled backing store when one
+  /// is available. Pairs with ReleaseTuples()/Recycle() the way Acquire()
+  /// pairs with Release(); relations built on these vectors stop allocating
+  /// their tuple arrays once the pool warms up.
+  std::vector<Tuple> AcquireTuples() {
+    if (!tuple_pool_.empty() && PoolingEnabled()) {
+      std::vector<Tuple> v = std::move(tuple_pool_.back());
+      tuple_pool_.pop_back();
+      ++hits_;
+      return v;
+    }
+    ++misses_;
+    return {};
+  }
+
+  /// Returns a tuple vector's backing store to the pool. Elements are
+  /// destroyed now; callers should Recycle() value stores first.
+  void ReleaseTuples(std::vector<Tuple>&& v) {
+    if (!PoolingEnabled() || v.capacity() == 0 ||
+        v.capacity() > kMaxPooledCapacity ||
+        tuple_pool_.size() >= kMaxPooledVectors) {
+      return;  // Let the vector free normally.
+    }
+    v.clear();
+    tuple_pool_.push_back(std::move(v));
+  }
+
+  /// Releases the backing store of every tuple in `relation` (which is left
+  /// empty) and pools the tuple array itself. For stages that drop a whole
+  /// relation at end of tick.
+  void Recycle(Relation&& relation) {
+    for (Tuple& tuple : relation.mutable_tuples()) {
+      Release(std::move(tuple.mutable_values()));
+    }
+    ReleaseTuples(std::move(relation.mutable_tuples()));
+    relation.mutable_tuples().clear();
+  }
+
+  size_t pooled() const { return pool_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr size_t kMaxPooledVectors = 8192;
+  static constexpr size_t kMaxPooledCapacity = 64;  // Values per vector.
+
+  std::vector<std::vector<Value>> pool_;
+  std::vector<std::vector<Tuple>> tuple_pool_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace esp::stream
+
+#endif  // ESP_STREAM_ARENA_H_

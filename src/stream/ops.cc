@@ -92,6 +92,29 @@ StatusOr<Relation> Union(const std::vector<Relation>& inputs) {
   return result;
 }
 
+StatusOr<Relation> Union(std::vector<Relation>&& inputs) {
+  if (inputs.empty()) return Relation();
+  const SchemaRef schema = inputs.front().schema();
+  Relation result(schema);
+  for (Relation& input : inputs) {
+    if (input.schema() != nullptr && schema != nullptr &&
+        !input.schema()->Equals(*schema)) {
+      return Status::TypeError("union over mismatched schemas: [" +
+                               schema->ToString() + "] vs [" +
+                               input.schema()->ToString() + "]");
+    }
+    for (Tuple& tuple : input.mutable_tuples()) {
+      result.Add(std::move(tuple));
+    }
+  }
+  std::stable_sort(result.mutable_tuples().begin(),
+                   result.mutable_tuples().end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a.timestamp() < b.timestamp();
+                   });
+  return result;
+}
+
 StatusOr<Relation> GroupBy(const Relation& input,
                            const std::vector<std::string>& key_columns,
                            SchemaRef output_schema,

@@ -44,6 +44,9 @@ StatusOr<Relation> ProjectColumns(const Relation& input,
 /// schema (column names and types).
 StatusOr<Relation> Union(const std::vector<Relation>& inputs);
 
+/// \brief As above, consuming the inputs (tuples are moved, not copied).
+StatusOr<Relation> Union(std::vector<Relation>&& inputs);
+
 /// \brief Groups by the named key columns and reduces every group with
 /// `reduce`, which receives the key values and the group's rows and emits
 /// one output tuple.

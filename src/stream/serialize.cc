@@ -69,6 +69,9 @@ void WriteValue(ByteWriter& w, const Value& value) {
       w.WriteDouble(value.double_value());
       break;
     case DataType::kString:
+      // Interned values report kString and render their table text here, so
+      // they serialize byte-identically to plain strings and the checkpoint/
+      // journal formats are unchanged; ReadValue restores a plain string.
       w.WriteString(value.string_value());
       break;
     case DataType::kTimestamp:

@@ -52,15 +52,26 @@ std::string Relation::ToString() const {
 }
 
 TupleBuilder& TupleBuilder::Set(const std::string& name, Value value) {
-  pending_.emplace_back(name, std::move(value));
+  // Resolve through the schema's hash index now instead of a per-Build
+  // linear re-resolution; unknown names surface from Build() as before.
+  std::optional<size_t> index =
+      schema_ != nullptr ? schema_->IndexOf(name) : std::nullopt;
+  if (!index.has_value()) {
+    if (!has_unknown_) {
+      first_unknown_ = name;
+      has_unknown_ = true;
+    }
+    return *this;
+  }
+  pending_.emplace_back(*index, std::move(value));
   return *this;
 }
 
 StatusOr<Tuple> TupleBuilder::Build() {
   if (schema_ == nullptr) return Status::Internal("builder has no schema");
+  if (has_unknown_) return schema_->ResolveIndex(first_unknown_).status();
   std::vector<Value> values(schema_->num_fields(), Value::Null());
-  for (auto& [name, value] : pending_) {
-    ESP_ASSIGN_OR_RETURN(const size_t index, schema_->ResolveIndex(name));
+  for (auto& [index, value] : pending_) {
     values[index] = std::move(value);
   }
   pending_.clear();

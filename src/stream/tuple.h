@@ -99,7 +99,11 @@ class TupleBuilder {
 
  private:
   SchemaRef schema_;
-  std::vector<std::pair<std::string, Value>> pending_;
+  // Field indices are resolved hash-indexed at Set() time; the first name
+  // that fails to resolve is remembered so Build() can report it.
+  std::vector<std::pair<size_t, Value>> pending_;
+  std::string first_unknown_;
+  bool has_unknown_ = false;
   Timestamp timestamp_;
 };
 

@@ -7,6 +7,15 @@
 
 namespace esp::stream {
 
+Value Value::Interned(std::string_view s) {
+  if (StringInterningEnabled()) {
+    if (std::optional<uint32_t> id = SymbolTable::Global().TryIntern(s)) {
+      return Value(Storage(Symbol{*id}));
+    }
+  }
+  return Value::String(std::string(s));
+}
+
 DataType Value::type() const {
   switch (data_.index()) {
     case 0:
@@ -21,6 +30,8 @@ DataType Value::type() const {
       return DataType::kString;
     case 5:
       return DataType::kTimestamp;
+    case 6:
+      return DataType::kString;  // Interned symbol.
   }
   return DataType::kNull;
 }
@@ -54,6 +65,14 @@ bool Value::Equals(const Value& other) const {
   if (is_numeric() && other.is_numeric() && type() != other.type()) {
     return AsDouble().value() == other.AsDouble().value();
   }
+  // Interned and plain strings are the same logical type: equal ids fast-
+  // path, otherwise content comparison. The variant == below would compare
+  // alternative indices and wrongly report symbol != string.
+  if (is_interned() || other.is_interned()) {
+    if (type() != other.type()) return false;
+    if (is_interned() && other.is_interned()) return symbol() == other.symbol();
+    return string_value() == other.string_value();
+  }
   return data_ == other.data_;
 }
 
@@ -82,6 +101,9 @@ StatusOr<int> Value::Compare(const Value& other) const {
       return a - b;
     }
     case DataType::kString: {
+      if (is_interned() && other.is_interned() && symbol() == other.symbol()) {
+        return 0;
+      }
       const int cmp = string_value().compare(other.string_value());
       return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
     }
@@ -133,6 +155,9 @@ size_t Value::Hash() const {
     case DataType::kDouble:
       return std::hash<double>{}(double_value());
     case DataType::kString:
+      // Interned values reuse the table's precomputed content hash, which
+      // is the same std::hash<std::string> a plain string computes here.
+      if (is_interned()) return SymbolTable::Global().HashOf(symbol().id);
       return std::hash<std::string>{}(string_value());
     case DataType::kTimestamp:
       return std::hash<int64_t>{}(time_value().micros());

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/status.h"
 #include "common/time.h"
+#include "stream/symbol_table.h"
 #include "stream/type.h"
 
 namespace esp::stream {
@@ -31,6 +33,14 @@ class Value {
   static Value String(std::string v) { return Value(Storage(std::move(v))); }
   static Value Time(Timestamp t) { return Value(Storage(t)); }
 
+  /// An interned string value: reports DataType::kString and behaves exactly
+  /// like String(s) everywhere (equality, ordering, hashing, serialization),
+  /// but copies as a 4-byte handle and compares by id against other interned
+  /// values. Falls back to a plain string when interning is disabled (see
+  /// SetStringInterningEnabled) or the table is full.
+  static Value Interned(std::string_view s);
+  static Value InternedSymbol(Symbol sym) { return Value(Storage(sym)); }
+
   DataType type() const;
 
   bool is_null() const { return type() == DataType::kNull; }
@@ -41,9 +51,16 @@ class Value {
   int64_t int64_value() const { return std::get<int64_t>(data_); }
   double double_value() const { return std::get<double>(data_); }
   const std::string& string_value() const {
+    if (const Symbol* sym = std::get_if<Symbol>(&data_)) {
+      return SymbolTable::Global().TextOf(sym->id);
+    }
     return std::get<std::string>(data_);
   }
   Timestamp time_value() const { return std::get<Timestamp>(data_); }
+
+  /// True when this string value is an interned symbol.
+  bool is_interned() const { return std::holds_alternative<Symbol>(data_); }
+  Symbol symbol() const { return std::get<Symbol>(data_); }
 
   /// Returns the value as a double if it is numeric (int64 widens), or a
   /// TypeError otherwise.
@@ -71,9 +88,11 @@ class Value {
   bool operator==(const Value& other) const { return Equals(other); }
 
  private:
+  // Symbol is appended last so the existing alternative indices (and thus
+  // type()) are unchanged; index 6 also maps to DataType::kString.
   using Storage =
       std::variant<std::monostate, bool, int64_t, double, std::string,
-                   Timestamp>;
+                   Timestamp, Symbol>;
   explicit Value(Storage data) : data_(std::move(data)) {}
   Storage data_;
 };

@@ -1,8 +1,18 @@
 #include "stream/window.h"
 
+#include "stream/arena.h"
 #include "stream/serialize.h"
 
 namespace esp::stream {
+
+namespace {
+/// Evicted tuples return their value-vector backing store to the calling
+/// thread's arena so the next tick's inserts reuse it.
+void PopFrontRecycled(std::deque<Tuple>& buffer) {
+  TupleArena::Local().Release(std::move(buffer.front().mutable_values()));
+  buffer.pop_front();
+}
+}  // namespace
 
 std::string WindowSpec::ToString() const {
   switch (kind) {
@@ -45,19 +55,19 @@ void WindowBuffer::EvictBefore(Timestamp t) {
       // effective evaluation time lags t by up to one slide width.
       const Timestamp horizon = spec_.EffectiveTime(t) - spec_.range;
       while (!buffer_.empty() && buffer_.front().timestamp() <= horizon) {
-        buffer_.pop_front();
+        PopFrontRecycled(buffer_);
       }
       break;
     }
     case WindowKind::kNow: {
       while (!buffer_.empty() && buffer_.front().timestamp() < t) {
-        buffer_.pop_front();
+        PopFrontRecycled(buffer_);
       }
       break;
     }
     case WindowKind::kRows: {
       while (buffer_.size() > static_cast<size_t>(spec_.rows)) {
-        buffer_.pop_front();
+        PopFrontRecycled(buffer_);
       }
       break;
     }

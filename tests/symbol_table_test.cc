@@ -1,0 +1,71 @@
+#include "stream/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace esp::stream {
+namespace {
+
+TEST(SymbolTableTest, InternDedupsAndRoundTrips) {
+  SymbolTable& table = SymbolTable::Global();
+  const auto a = table.TryIntern("symtab_test_alpha");
+  const auto b = table.TryIntern("symtab_test_beta");
+  const auto a2 = table.TryIntern("symtab_test_alpha");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(*a, *a2);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(table.TextOf(*a), "symtab_test_alpha");
+  EXPECT_EQ(table.TextOf(*b), "symtab_test_beta");
+}
+
+TEST(SymbolTableTest, HashMatchesPlainStringHash) {
+  SymbolTable& table = SymbolTable::Global();
+  const auto id = table.TryIntern("symtab_test_hash");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(table.HashOf(*id),
+            std::hash<std::string>{}(std::string("symtab_test_hash")));
+}
+
+TEST(SymbolTableTest, ConcurrentInterningYieldsConsistentIds) {
+  SymbolTable& table = SymbolTable::Global();
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 64;
+  // All threads intern the same vocabulary in different orders; every
+  // thread must observe the same id for the same string.
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kStrings));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &table, &ids] {
+      for (int i = 0; i < kStrings; ++i) {
+        const int k = (i * 7 + t * 13) % kStrings;  // Per-thread order.
+        const std::string text =
+            "symtab_test_concurrent_" + std::to_string(k);
+        const auto id = table.TryIntern(text);
+        ASSERT_TRUE(id.has_value());
+        ids[t][k] = *id;
+        // The text must already be readable through the lock-free path.
+        EXPECT_EQ(table.TextOf(*id), text);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::set<uint32_t> distinct;
+  for (int i = 0; i < kStrings; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[t][i], ids[0][i]) << "string " << i << " thread " << t;
+    }
+    distinct.insert(ids[0][i]);
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kStrings));
+}
+
+}  // namespace
+}  // namespace esp::stream

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binio.h"
+#include "stream/serialize.h"
+#include "stream/symbol_table.h"
+
 namespace esp::stream {
 namespace {
 
@@ -94,6 +98,60 @@ TEST(ValueArithmeticTest, Division) {
 TEST(ValueArithmeticTest, Negate) {
   EXPECT_EQ(Negate(Value::Int64(5))->int64_value(), -5);
   EXPECT_DOUBLE_EQ(Negate(Value::Double(2.5))->double_value(), -2.5);
+}
+
+TEST(ValueInternedTest, BehavesLikePlainString) {
+  const Value interned = Value::Interned("shelf_3");
+  const Value plain = Value::String("shelf_3");
+  ASSERT_TRUE(interned.is_interned());
+  EXPECT_FALSE(plain.is_interned());
+  // Type, content, equality, hash, and ordering are representation-blind.
+  EXPECT_EQ(interned.type(), DataType::kString);
+  EXPECT_EQ(interned.string_value(), "shelf_3");
+  EXPECT_TRUE(interned.Equals(plain));
+  EXPECT_TRUE(plain.Equals(interned));
+  EXPECT_EQ(interned.Hash(), plain.Hash());
+  EXPECT_EQ(interned.Compare(plain).value(), 0);
+  EXPECT_EQ(interned.Compare(Value::String("shelf_4")).value(), -1);
+  EXPECT_EQ(Value::String("shelf_2").Compare(interned).value(), -1);
+  EXPECT_FALSE(interned.Equals(Value::String("shelf_4")));
+}
+
+TEST(ValueInternedTest, InternedPairsCompareById) {
+  const Value a = Value::Interned("reader_0");
+  const Value b = Value::Interned("reader_0");
+  const Value c = Value::Interned("reader_1");
+  ASSERT_TRUE(a.is_interned());
+  EXPECT_EQ(a.symbol().id, b.symbol().id);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.Compare(c).value(), -1);
+}
+
+TEST(ValueInternedTest, SerializesAsPlainString) {
+  // Checkpoint/journal byte formats must not depend on the in-memory
+  // representation: an interned value round-trips as a plain string.
+  ByteWriter interned_bytes;
+  WriteValue(interned_bytes, Value::Interned("tag_9"));
+  ByteWriter plain_bytes;
+  WriteValue(plain_bytes, Value::String("tag_9"));
+  EXPECT_EQ(interned_bytes.data(), plain_bytes.data());
+
+  ByteReader r(interned_bytes.data());
+  StatusOr<Value> back = ReadValue(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->is_interned());
+  EXPECT_EQ(back->string_value(), "tag_9");
+  EXPECT_TRUE(back->Equals(Value::Interned("tag_9")));
+}
+
+TEST(ValueInternedTest, InterningToggleFallsBackToPlain) {
+  SetStringInterningEnabled(false);
+  const Value v = Value::Interned("toggle_test");
+  SetStringInterningEnabled(true);
+  EXPECT_FALSE(v.is_interned());
+  EXPECT_EQ(v.string_value(), "toggle_test");
 }
 
 }  // namespace
