@@ -1,0 +1,387 @@
+// Networked-ingest harness: throughput and fault-injection equivalence.
+//
+// Phase 1 (throughput): a loopback IngestServer fronting the shelf
+// processor ingests large batches as fast as the client can push them;
+// the harness asserts the end-to-end rate (encode + TCP + decode + apply
+// + ack) clears kMinReadingsPerSec.
+//
+// Phase 2 (chaos): the same deterministic workload is replayed through a
+// FaultProxy that truncates, corrupts, stalls, duplicates, and resets the
+// byte stream, with the block backpressure policy and a resuming client.
+// Every tick's output is fingerprinted and compared BITWISE against an
+// uninterrupted in-process golden run, and the exactly-once counters must
+// balance: zero lost readings, zero duplicated applications.
+//
+// Emits BENCH_ingest.json; exits non-zero on any divergence or a missed
+// throughput floor.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "core/processor.h"
+#include "core/toolkit.h"
+#include "net/fault_proxy.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "sim/reading.h"
+#include "stream/serialize.h"
+
+#include "bench/bench_util.h"
+
+namespace esp::bench {
+namespace {
+
+using core::EspProcessor;
+using stream::Tuple;
+
+constexpr double kMinReadingsPerSec = 200000.0;
+constexpr int kThroughputBatches = 400;
+constexpr int kThroughputBatchReadings = 1000;
+constexpr int kChaosTicks = 150;
+
+StatusOr<std::unique_ptr<EspProcessor>> BuildShelfProcessor() {
+  auto processor = std::make_unique<EspProcessor>();
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg_shelf0", "rfid", core::SpatialGranule{"shelf_0"}, {"reader_0"}}));
+  ESP_RETURN_IF_ERROR(processor->AddProximityGroup(
+      {"pg_shelf1", "rfid", core::SpatialGranule{"shelf_1"}, {"reader_1"}}));
+  core::DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth = core::SmoothPresenceCount(
+      core::TemporalGranule(Duration::Seconds(5)), "tag_id");
+  pipeline.arbitrate = core::ArbitrateMaxCount("tag_id", "reads");
+  ESP_RETURN_IF_ERROR(processor->AddPipeline(std::move(pipeline)));
+  ESP_RETURN_IF_ERROR(processor->Start());
+  return processor;
+}
+
+std::string Fingerprint(const core::TickResult& result) {
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(result.per_type.size()));
+  for (const auto& [type, relation] : result.per_type) {
+    w.WriteString(type);
+    w.WriteU32(static_cast<uint32_t>(relation.size()));
+    for (const Tuple& tuple : relation.tuples()) stream::WriteTuple(w, tuple);
+  }
+  w.WriteBool(result.virtualized.has_value());
+  if (result.virtualized.has_value()) {
+    w.WriteU32(static_cast<uint32_t>(result.virtualized->size()));
+    for (const Tuple& tuple : result.virtualized->tuples()) {
+      stream::WriteTuple(w, tuple);
+    }
+  }
+  return std::move(w).Release();
+}
+
+Tuple Rfid(const std::string& reader, const std::string& tag, double t) {
+  return sim::ToTuple(sim::RfidReading{reader, tag, Timestamp::Seconds(t)});
+}
+
+struct Step {
+  std::vector<Tuple> pushes;
+  Timestamp tick;
+};
+
+/// Deterministic chaos workload: a couple of tags drifting between two
+/// shelves, a tick per simulated second.
+std::vector<Step> ChaosScript() {
+  std::vector<Step> steps;
+  for (int t = 0; t < kChaosTicks; ++t) {
+    Step step;
+    step.pushes.push_back(Rfid("reader_0", "x", t));
+    if (t % 2 == 0) step.pushes.push_back(Rfid("reader_0", "x", t));
+    if (t % 3 != 0) step.pushes.push_back(Rfid("reader_1", "x", t));
+    step.pushes.push_back(Rfid("reader_1", "y", t));
+    if (t % 5 == 1) step.pushes.push_back(Rfid("reader_0", "z", t));
+    step.tick = Timestamp::Seconds(t);
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+size_t TotalReadings(const std::vector<Step>& steps) {
+  size_t n = 0;
+  for (const Step& step : steps) n += step.pushes.size();
+  return n;
+}
+
+std::vector<std::string> GoldenRun(const std::vector<Step>& steps,
+                                   Status* status) {
+  std::vector<std::string> fingerprints;
+  auto processor = BuildShelfProcessor();
+  if (!processor.ok()) {
+    *status = processor.status();
+    return fingerprints;
+  }
+  for (const Step& step : steps) {
+    for (const Tuple& tuple : step.pushes) {
+      Status pushed = (*processor)->Push("rfid", tuple);
+      if (!pushed.ok()) {
+        *status = pushed;
+        return fingerprints;
+      }
+    }
+    auto result = (*processor)->Tick(step.tick);
+    if (!result.ok()) {
+      *status = result.status();
+      return fingerprints;
+    }
+    fingerprints.push_back(Fingerprint(*result));
+  }
+  *status = Status::OK();
+  return fingerprints;
+}
+
+struct ServerRig {
+  std::unique_ptr<EspProcessor> engine;
+  std::unique_ptr<net::EngineSink> sink;
+  std::unique_ptr<net::IngestServer> server;
+  std::vector<std::string> fingerprints;  // Written on the loop thread.
+};
+
+StatusOr<std::unique_ptr<ServerRig>> StartRig(
+    net::IngestServerOptions options) {
+  auto rig = std::make_unique<ServerRig>();
+  ESP_ASSIGN_OR_RETURN(rig->engine, BuildShelfProcessor());
+  rig->sink = std::make_unique<net::EngineSink>(rig->engine.get());
+  auto* fingerprints = &rig->fingerprints;
+  options.on_tick = [fingerprints](Timestamp, const core::TickResult& r) {
+    fingerprints->push_back(Fingerprint(r));
+  };
+  ESP_ASSIGN_OR_RETURN(rig->server,
+                       net::IngestServer::Start(rig->sink.get(),
+                                                std::move(options)));
+  return rig;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct ThroughputResult {
+  double readings_per_sec = 0;
+  int64_t readings_sent = 0;
+};
+
+Status RunThroughputPhase(ThroughputResult* out) {
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<ServerRig> rig,
+                       StartRig(net::IngestServerOptions{}));
+
+  net::IngestClientOptions copts;
+  copts.port = rig->server->port();
+  copts.client_id = "throughput";
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<net::IngestClient> client,
+                       net::IngestClient::Connect(std::move(copts)));
+
+  // One prototype batch reused every send: readers alternate so both
+  // proximity groups stay busy.
+  std::vector<Tuple> batch;
+  batch.reserve(kThroughputBatchReadings);
+  for (int i = 0; i < kThroughputBatchReadings; ++i) {
+    batch.push_back(Rfid(i % 2 == 0 ? "reader_0" : "reader_1",
+                         "tag_" + std::to_string(i % 50), i * 1e-4));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int b = 0; b < kThroughputBatches; ++b) {
+    ESP_RETURN_IF_ERROR(client->PushBatch("rfid", batch));
+  }
+  ESP_RETURN_IF_ERROR(client->Flush());
+  const double elapsed = SecondsSince(start);
+  ESP_RETURN_IF_ERROR(client->Close());
+  rig->server->Stop();
+
+  out->readings_sent =
+      static_cast<int64_t>(kThroughputBatches) * kThroughputBatchReadings;
+  out->readings_per_sec = elapsed > 0 ? out->readings_sent / elapsed : 0;
+
+  const core::IngestStats stats = rig->server->StatsSnapshot();
+  if (stats.readings_applied != out->readings_sent) {
+    return Status::Internal(
+        "throughput phase lost readings: applied " +
+        std::to_string(stats.readings_applied) + " of " +
+        std::to_string(out->readings_sent));
+  }
+  return Status::OK();
+}
+
+struct ChaosResult {
+  bool bitwise_identical = false;
+  int64_t readings_sent = 0;
+  int64_t readings_applied = 0;
+  int64_t lost = 0;
+  int64_t duplicated = 0;
+  int64_t reconnects = 0;
+  int64_t duplicate_frames_dropped = 0;
+  int64_t torn_frame_closes = 0;
+  int64_t faults_injected = 0;
+  std::string failure;
+};
+
+Status RunChaosPhase(const std::vector<Step>& steps,
+                     const std::vector<std::string>& golden,
+                     ChaosResult* out) {
+  // Block (lossless) backpressure with a deliberately small queue, so the
+  // chaos run also exercises the pause/resume path.
+  net::IngestServerOptions sopts;
+  sopts.queue_limit_frames = 8;
+  sopts.backpressure = net::BackpressurePolicy::kBlock;
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<ServerRig> rig,
+                       StartRig(std::move(sopts)));
+
+  net::FaultProxyOptions popts;
+  popts.target_port = rig->server->port();
+  popts.seed = 0xFA1;
+  popts.p_truncate = 0.08;
+  popts.p_corrupt = 0.10;
+  popts.p_stall = 0.10;
+  popts.p_duplicate = 0.10;
+  popts.p_reset = 0.04;
+  popts.stall = Duration::Millis(2);
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<net::FaultProxy> proxy,
+                       net::FaultProxy::Start(std::move(popts)));
+
+  net::IngestClientOptions copts;
+  copts.port = proxy->port();
+  copts.client_id = "chaos";
+  copts.backoff_initial = Duration::Millis(1);
+  copts.backoff_max = Duration::Millis(50);
+  copts.max_reconnect_attempts = 256;
+  // A tiny unacked window forces an ack round trip every couple of frames,
+  // so the byte stream crosses the proxy in many small chunks — each one an
+  // independent fault-injection opportunity. With a wide-open window the
+  // whole workload coalesces into a few 16 KiB chunks and the chaos phase
+  // proves nothing.
+  copts.max_unacked_frames = 2;
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<net::IngestClient> client,
+                       net::IngestClient::Connect(std::move(copts)));
+
+  for (const Step& step : steps) {
+    ESP_RETURN_IF_ERROR(client->PushBatch("rfid", step.pushes));
+    ESP_RETURN_IF_ERROR(client->PushTick(step.tick));
+  }
+  ESP_RETURN_IF_ERROR(client->Close());
+  proxy->Stop();
+  rig->server->Stop();
+
+  const core::IngestStats stats = rig->server->StatsSnapshot();
+  out->readings_sent = static_cast<int64_t>(TotalReadings(steps));
+  out->readings_applied = stats.readings_applied;
+  out->lost = out->readings_sent > out->readings_applied
+                  ? out->readings_sent - out->readings_applied
+                  : 0;
+  out->duplicated = out->readings_applied > out->readings_sent
+                        ? out->readings_applied - out->readings_sent
+                        : 0;
+  out->reconnects = stats.reconnects;
+  out->duplicate_frames_dropped = stats.duplicate_frames_dropped;
+  out->torn_frame_closes = stats.torn_frame_closes;
+  out->faults_injected = proxy->StatsSnapshot().faults();
+
+  out->bitwise_identical = rig->fingerprints == golden;
+  if (!out->bitwise_identical) {
+    out->failure = "tick fingerprints diverged (" +
+                   std::to_string(rig->fingerprints.size()) + " ticks vs " +
+                   std::to_string(golden.size()) + " golden)";
+  } else if (stats.ticks_applied != static_cast<int64_t>(golden.size())) {
+    out->bitwise_identical = false;
+    out->failure = "tick count mismatch";
+  }
+  return Status::OK();
+}
+
+int Run(const std::string& out_dir) {
+  Status golden_status = Status::OK();
+  const std::vector<Step> steps = ChaosScript();
+  const std::vector<std::string> golden = GoldenRun(steps, &golden_status);
+  if (!golden_status.ok()) {
+    std::printf("golden run failed: %s\n",
+                golden_status.ToString().c_str());
+    return 1;
+  }
+
+  ThroughputResult throughput;
+  Status status = RunThroughputPhase(&throughput);
+  if (!status.ok()) {
+    std::printf("throughput phase failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("throughput: %lld readings over loopback at %.0f readings/sec\n",
+              static_cast<long long>(throughput.readings_sent),
+              throughput.readings_per_sec);
+
+  ChaosResult chaos;
+  status = RunChaosPhase(steps, golden, &chaos);
+  if (!status.ok()) {
+    std::printf("chaos phase failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "chaos: %lld readings, %lld faults injected, %lld reconnects, "
+      "%lld duplicate frames dropped, %lld torn-frame closes\n",
+      static_cast<long long>(chaos.readings_sent),
+      static_cast<long long>(chaos.faults_injected),
+      static_cast<long long>(chaos.reconnects),
+      static_cast<long long>(chaos.duplicate_frames_dropped),
+      static_cast<long long>(chaos.torn_frame_closes));
+  std::printf("chaos: lost=%lld duplicated=%lld bitwise_identical=%s\n",
+              static_cast<long long>(chaos.lost),
+              static_cast<long long>(chaos.duplicated),
+              chaos.bitwise_identical ? "true" : "false");
+  if (!chaos.failure.empty()) {
+    std::printf("chaos failure: %s\n", chaos.failure.c_str());
+  }
+
+  const bool throughput_ok = throughput.readings_per_sec >= kMinReadingsPerSec;
+  const bool chaos_ok =
+      chaos.bitwise_identical && chaos.lost == 0 && chaos.duplicated == 0;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"ingest\", \"readings_per_sec\": %.0f, "
+      "\"readings_per_sec_floor\": %.0f, \"throughput_readings\": %lld, "
+      "\"chaos_readings\": %lld, \"chaos_faults_injected\": %lld, "
+      "\"chaos_reconnects\": %lld, \"chaos_duplicate_frames_dropped\": %lld, "
+      "\"chaos_torn_frame_closes\": %lld, \"lost_readings\": %lld, "
+      "\"duplicated_readings\": %lld, \"bitwise_identical\": %s}\n",
+      throughput.readings_per_sec, kMinReadingsPerSec,
+      static_cast<long long>(throughput.readings_sent),
+      static_cast<long long>(chaos.readings_sent),
+      static_cast<long long>(chaos.faults_injected),
+      static_cast<long long>(chaos.reconnects),
+      static_cast<long long>(chaos.duplicate_frames_dropped),
+      static_cast<long long>(chaos.torn_frame_closes),
+      static_cast<long long>(chaos.lost),
+      static_cast<long long>(chaos.duplicated),
+      chaos_ok ? "true" : "false");
+  std::printf("%s", json);
+  const std::string out_path = OutputPath(out_dir, "BENCH_ingest.json");
+  if (FILE* f = fopen(out_path.c_str(), "w"); f != nullptr) {
+    std::fputs(json, f);
+    fclose(f);
+  }
+
+  if (!throughput_ok) {
+    std::printf("FAIL: %.0f readings/sec is below the %.0f floor\n",
+                throughput.readings_per_sec, kMinReadingsPerSec);
+  }
+  if (!chaos_ok) std::printf("FAIL: chaos run was not exactly-once\n");
+  return throughput_ok && chaos_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main(int argc, char** argv) {
+  return esp::bench::Run(esp::bench::ParseOutputDir(&argc, argv));
+}

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace esp {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -24,8 +27,53 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInterrupted:
+      return "Interrupted";
+    case StatusCode::kConnectionReset:
+      return "ConnectionReset";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
   }
   return "Unknown";
+}
+
+Status Status::FromErrno(const std::string& context, int err) {
+  // strerror_r has two incompatible signatures; route through the
+  // XSI-compliant one via a buffer and fall back to the numeric code.
+  char buf[128];
+  buf[0] = '\0';
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  const char* text = strerror_r(err, buf, sizeof(buf));
+#else
+  const char* text = strerror_r(err, buf, sizeof(buf)) == 0 ? buf : "";
+#endif
+  std::string message = context + ": " +
+                        (text != nullptr && text[0] != '\0'
+                             ? std::string(text)
+                             : "unknown error") +
+                        " (errno " + std::to_string(err) + ")";
+  switch (err) {
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      return Status(StatusCode::kUnavailable, std::move(message));
+    case EINTR:
+      return Status(StatusCode::kInterrupted, std::move(message));
+    case ECONNRESET:
+    case EPIPE:
+      return Status(StatusCode::kConnectionReset, std::move(message));
+    case ETIMEDOUT:
+      return Status(StatusCode::kTimedOut, std::move(message));
+    case ENOENT:
+      return Status(StatusCode::kNotFound, std::move(message));
+    case EEXIST:
+      return Status(StatusCode::kAlreadyExists, std::move(message));
+    default:
+      return Status(StatusCode::kIoError, std::move(message));
+  }
 }
 
 std::string Status::ToString() const {

@@ -24,6 +24,16 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kIoError,
+  /// The operation cannot make progress right now and should be retried
+  /// (EAGAIN / EWOULDBLOCK on a non-blocking socket).
+  kUnavailable,
+  /// A blocking syscall was interrupted by a signal (EINTR).
+  kInterrupted,
+  /// The peer reset or closed the connection (ECONNRESET / EPIPE).
+  kConnectionReset,
+  /// A deadline elapsed before the operation completed (ETIMEDOUT, or a
+  /// library-level read/write/connect timeout).
+  kTimedOut,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -71,6 +81,28 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Interrupted(std::string msg) {
+    return Status(StatusCode::kInterrupted, std::move(msg));
+  }
+  static Status ConnectionReset(std::string msg) {
+    return Status(StatusCode::kConnectionReset, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+
+  /// Builds an error from the current `errno` (as captured in `err`):
+  /// "<context>: <strerror text> (errno N)". Retryable and connection-level
+  /// conditions map to distinct codes so callers can branch without string
+  /// matching: EAGAIN/EWOULDBLOCK -> kUnavailable, EINTR -> kInterrupted,
+  /// ECONNRESET/EPIPE -> kConnectionReset, ETIMEDOUT -> kTimedOut,
+  /// ENOENT -> kNotFound, EEXIST -> kAlreadyExists; everything else is
+  /// kIoError. All new syscall error paths should use this instead of
+  /// hand-rolling strerror messages.
+  static Status FromErrno(const std::string& context, int err);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -159,7 +159,7 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
       section.line = line_number;
       if (section.kind != "group" && section.kind != "pipeline" &&
           section.kind != "virtualize" && section.kind != "health" &&
-          section.kind != "recovery") {
+          section.kind != "recovery" && section.kind != "ingest") {
         return Status::ParseError("unknown section kind '" + section.kind +
                                   "' at line " + std::to_string(line_number));
       }
@@ -246,7 +246,7 @@ StatusOr<RecoveryOptions> ParseRecoverySection(const Section& section) {
   RecoveryOptions options;
   ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
       {"directory", "checkpoint_interval_ticks", "retain_snapshots", "fsync",
-       "journal_flush_every"}));
+       "journal_flush_every", "journal_fsync_every"}));
 
   auto directory = section.SingleEntry("directory");
   if (!directory.ok()) {
@@ -272,6 +272,7 @@ StatusOr<RecoveryOptions> ParseRecoverySection(const Section& section) {
       {"checkpoint_interval_ticks", &options.checkpoint_interval_ticks, 0},
       {"retain_snapshots", &retain, 1},
       {"journal_flush_every", &options.journal_flush_every, 1},
+      {"journal_fsync_every", &options.journal_fsync_every, 1},
   };
   for (const CountKey& key : count_keys) {
     auto entry = section.SingleEntry(key.key);
@@ -303,6 +304,103 @@ StatusOr<RecoveryOptions> ParseRecoverySection(const Section& section) {
     }
   } else if (fsync_entry.status().code() != StatusCode::kNotFound) {
     return fsync_entry.status();
+  }
+  return options;
+}
+
+/// Parses an [ingest] section into IngestSpecOptions with the same
+/// strictness as [health] and [recovery].
+StatusOr<IngestSpecOptions> ParseIngestSection(const Section& section) {
+  IngestSpecOptions options;
+  ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
+      {"bind_address", "port", "max_connections", "queue_limit_frames",
+       "backpressure", "max_frame_bytes", "read_timeout", "idle_timeout"}));
+
+  auto address = section.SingleEntry("bind_address");
+  if (address.ok()) {
+    options.bind_address = (*address)->value;
+    if (options.bind_address.empty()) {
+      return BadValue(section, **address, "bind_address must not be empty");
+    }
+  } else if (address.status().code() != StatusCode::kNotFound) {
+    return address.status();
+  }
+
+  auto port = section.SingleEntry("port");
+  if (port.ok()) {
+    int64_t value = 0;
+    if (!StrToInt64((*port)->value, &value) || value < 0 || value > 65535) {
+      return BadValue(section, **port, "expected a port in [0, 65535]");
+    }
+    options.port = static_cast<uint16_t>(value);
+  } else if (port.status().code() != StatusCode::kNotFound) {
+    return port.status();
+  }
+
+  struct CountKey {
+    const char* key;
+    uint64_t* target;
+    uint64_t minimum;
+  };
+  const CountKey count_keys[] = {
+      {"max_connections", &options.max_connections, 1},
+      {"queue_limit_frames", &options.queue_limit_frames, 1},
+      {"max_frame_bytes", &options.max_frame_bytes, 64},
+  };
+  for (const CountKey& key : count_keys) {
+    auto entry = section.SingleEntry(key.key);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) continue;
+      return entry.status();
+    }
+    int64_t value = 0;
+    if (!StrToInt64((*entry)->value, &value) || value < 0) {
+      return BadValue(section, **entry, "expected a non-negative integer");
+    }
+    if (static_cast<uint64_t>(value) < key.minimum) {
+      return BadValue(section, **entry,
+                      "must be at least " + std::to_string(key.minimum));
+    }
+    *key.target = static_cast<uint64_t>(value);
+  }
+
+  struct DurationKey {
+    const char* key;
+    Duration* target;
+  };
+  const DurationKey duration_keys[] = {
+      {"read_timeout", &options.read_timeout},
+      {"idle_timeout", &options.idle_timeout},
+  };
+  for (const DurationKey& key : duration_keys) {
+    auto entry = section.SingleEntry(key.key);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) continue;
+      return entry.status();
+    }
+    if (StrTrim((*entry)->value) == "0") {
+      *key.target = Duration::Zero();
+      continue;
+    }
+    auto parsed = ParseDuration((*entry)->value);
+    if (!parsed.ok()) {
+      return BadValue(section, **entry, parsed.status().message());
+    }
+    if (*parsed < Duration::Zero()) {
+      return BadValue(section, **entry, "timeouts must be non-negative");
+    }
+    *key.target = *parsed;
+  }
+
+  auto policy = section.SingleEntry("backpressure");
+  if (policy.ok()) {
+    const std::string lowered = StrToLower(StrTrim((*policy)->value));
+    if (lowered != "block" && lowered != "shed") {
+      return BadValue(section, **policy, "expected block or shed");
+    }
+    options.backpressure = lowered;
+  } else if (policy.status().code() != StatusCode::kNotFound) {
+    return policy.status();
   }
   return options;
 }
@@ -347,6 +445,13 @@ StatusOr<DeploymentBundle> LoadDeploymentBundle(const std::string& spec_text) {
             std::to_string(section.line) + ")");
       }
       ESP_ASSIGN_OR_RETURN(bundle.recovery, ParseRecoverySection(section));
+    } else if (section.kind == "ingest") {
+      if (bundle.ingest.has_value()) {
+        return Status::ParseError(
+            "multiple [ingest] sections (second at line " +
+            std::to_string(section.line) + ")");
+      }
+      ESP_ASSIGN_OR_RETURN(bundle.ingest, ParseIngestSection(section));
     } else if (section.kind == "group") {
       if (section.name.empty()) {
         return Status::ParseError("[group] requires a name");

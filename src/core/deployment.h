@@ -55,14 +55,42 @@ namespace esp::core {
 /// retain_snapshots = 3
 /// fsync = true
 /// journal_flush_every = 1        # records per journal flush
+/// journal_fsync_every = 1        # fsync every Nth flush (durability batch)
+///
+/// # Optional networked ingest front door (see net/ingest_server.h).
+/// [ingest]
+/// bind_address = 127.0.0.1
+/// port = 9120                    # 0 picks a free port
+/// max_connections = 64
+/// queue_limit_frames = 256       # per-connection pending-frame bound
+/// backpressure = block           # or shed
+/// max_frame_bytes = 1048576
+/// read_timeout = 10 sec          # slow-loris reaping; 0 disables
+/// idle_timeout = 60 sec          # silent-connection reaping; 0 disables
 /// ```
 ///
-/// Unknown keys and malformed values in [health] and [recovery] are
-/// line-numbered parse errors, never silently-applied defaults.
+/// Unknown keys and malformed values in [health], [recovery], and [ingest]
+/// are line-numbered parse errors, never silently-applied defaults.
 ///
 /// The returned processor is already Start()ed: push readings and Tick().
 StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(
     const std::string& spec_text);
+
+/// \brief The [ingest] section of a deployment spec, as plain data. The
+/// core layer only parses and validates it; src/net (which links against
+/// core, not the other way around) converts it into IngestServerOptions via
+/// net::MakeIngestServerOptions and runs the front door.
+struct IngestSpecOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t max_connections = 64;
+  uint64_t queue_limit_frames = 256;
+  /// Validated to "block" or "shed" at parse time.
+  std::string backpressure = "block";
+  uint64_t max_frame_bytes = 1 << 20;
+  Duration read_timeout = Duration::Seconds(10);
+  Duration idle_timeout = Duration::Seconds(60);
+};
 
 /// \brief A loaded deployment plus its optional durability configuration.
 struct DeploymentBundle {
@@ -71,10 +99,12 @@ struct DeploymentBundle {
   /// to use it: RecoveryCoordinator::Start for a fresh session, ::Resume to
   /// recover after a crash.
   std::optional<RecoveryOptions> recovery;
+  /// Present when the spec has an [ingest] section.
+  std::optional<IngestSpecOptions> ingest;
 };
 
-/// \brief Like LoadDeployment, additionally surfacing the [recovery]
-/// section (which LoadDeployment validates but discards).
+/// \brief Like LoadDeployment, additionally surfacing the [recovery] and
+/// [ingest] sections (which LoadDeployment validates but discards).
 StatusOr<DeploymentBundle> LoadDeploymentBundle(const std::string& spec_text);
 
 /// \brief Parses a "name:type, name:type" schema description (types: bool,

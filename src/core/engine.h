@@ -65,6 +65,10 @@ class StreamEngine {
   /// through Health().
   virtual RecoveryStats& mutable_recovery_stats() = 0;
 
+  /// Networked-ingest counters, written by net::IngestServer (on the thread
+  /// that also calls Push/Tick) and reported through Health().
+  virtual IngestStats& mutable_ingest_stats() = 0;
+
   /// Snapshot of per-receptor liveness and per-stage error-isolation
   /// tallies.
   virtual PipelineHealth Health() const = 0;

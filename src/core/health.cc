@@ -69,7 +69,44 @@ std::string PipelineHealth::ToString() const {
       recovery.journal_records > 0) {
     out += "  recovery: " + recovery.ToString() + "\n";
   }
+  if (ingest.active()) {
+    out += "  ingest: " + ingest.ToString() + "\n";
+    for (const ClientIngestStats& c : ingest.clients) {
+      out += StrFormat(
+          "    client %s: connects=%lld reconnects=%lld applied=%lld "
+          "dup=%lld shed=%lld torn=%lld rejected=%lld seq=%llu\n",
+          c.client_id.c_str(), static_cast<long long>(c.connects),
+          static_cast<long long>(c.reconnects),
+          static_cast<long long>(c.readings_applied),
+          static_cast<long long>(c.duplicate_frames_dropped),
+          static_cast<long long>(c.shed_readings),
+          static_cast<long long>(c.torn_frames),
+          static_cast<long long>(c.rejected_readings),
+          static_cast<unsigned long long>(c.last_applied_seq));
+    }
+  }
   return out;
+}
+
+std::string IngestStats::ToString() const {
+  return StrFormat(
+      "conns=%lld (active=%lld rejected=%lld) reconnects=%lld "
+      "readings=%lld ticks=%lld dup_frames=%lld shed=%lld torn=%lld "
+      "gaps=%lld rejected=%lld timeouts=%lld idle=%lld bytes=%lld",
+      static_cast<long long>(connections_accepted),
+      static_cast<long long>(active_connections),
+      static_cast<long long>(connections_rejected),
+      static_cast<long long>(reconnects),
+      static_cast<long long>(readings_applied),
+      static_cast<long long>(ticks_applied),
+      static_cast<long long>(duplicate_frames_dropped),
+      static_cast<long long>(shed_readings),
+      static_cast<long long>(torn_frame_closes),
+      static_cast<long long>(sequence_gap_closes),
+      static_cast<long long>(rejected_readings),
+      static_cast<long long>(read_timeout_closes),
+      static_cast<long long>(idle_closes),
+      static_cast<long long>(bytes_received));
 }
 
 ReceptorHealthTracker::ReceptorHealthTracker(std::string receptor_id,

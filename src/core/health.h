@@ -108,6 +108,65 @@ struct StageErrorStat {
   std::string last_message;
 };
 
+/// \brief Per-client ingest accounting for the networked front door
+/// (net/ingest_server.h), keyed by the client id presented in the wire
+/// handshake. A "client" persists across reconnects of the same id.
+struct ClientIngestStats {
+  std::string client_id;
+  int64_t connects = 0;    // Connections that completed the handshake.
+  int64_t reconnects = 0;  // Handshakes after the first (resume path).
+  int64_t batches_applied = 0;
+  int64_t readings_applied = 0;
+  int64_t ticks_applied = 0;
+  /// Frames whose sequence number the server had already applied —
+  /// retransmissions after a reconnect or wire-level duplicate delivery.
+  int64_t duplicate_frames_dropped = 0;
+  int64_t shed_batches = 0;  // Dropped by the shed backpressure policy.
+  int64_t shed_readings = 0;
+  int64_t torn_frames = 0;  // Undecodable frames (CRC/oversize/garbage).
+  /// Readings the sink rejected (late arrival, unknown receptor); they are
+  /// acked — replay of a journaling sink re-rejects them identically.
+  int64_t rejected_readings = 0;
+  uint64_t last_applied_seq = 0;
+};
+
+/// \brief Aggregate counters of the networked ingest server, written by
+/// net::IngestServer on its event-loop thread and surfaced through
+/// EspProcessor::Health() next to liveness and durability (zero unless an
+/// ingest server fronts the engine).
+struct IngestStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_closed = 0;
+  int64_t connections_rejected = 0;  // Over the max_connections cap.
+  int64_t active_connections = 0;
+  int64_t reconnects = 0;
+  int64_t bytes_received = 0;
+  int64_t frames_decoded = 0;
+  int64_t batches_applied = 0;
+  int64_t readings_applied = 0;
+  int64_t ticks_applied = 0;
+  int64_t duplicate_frames_dropped = 0;
+  int64_t sequence_gap_closes = 0;  // Seq jumped forward: conn closed.
+  int64_t torn_frame_closes = 0;    // Undecodable input: conn closed.
+  int64_t protocol_error_closes = 0;  // E.g. data before the handshake.
+  int64_t shed_batches = 0;
+  int64_t shed_readings = 0;
+  int64_t rejected_readings = 0;
+  int64_t rejected_ticks = 0;
+  int64_t read_timeout_closes = 0;  // Slow-loris reaping (partial frame).
+  int64_t idle_closes = 0;
+  /// Per-client breakdown, sorted by client id.
+  std::vector<ClientIngestStats> clients;
+
+  /// True once any connection was attempted — gates health reporting.
+  bool active() const {
+    return connections_accepted > 0 || connections_rejected > 0;
+  }
+
+  /// One-line summary for health reports.
+  std::string ToString() const;
+};
+
 /// \brief Queryable health snapshot of the whole pipeline, aggregated by
 /// EspProcessor::Health(): per-receptor liveness plus per-stage error
 /// isolation tallies.
@@ -118,6 +177,10 @@ struct PipelineHealth {
   /// Durability counters (zero unless a RecoveryCoordinator drives the
   /// processor).
   RecoveryStats recovery;
+
+  /// Networked-ingest counters (zero unless an IngestServer fronts the
+  /// engine).
+  IngestStats ingest;
 
   int64_t total_stage_errors = 0;
   int64_t total_late_admitted = 0;

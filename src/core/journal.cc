@@ -17,8 +17,8 @@ constexpr char kMagic[8] = {'E', 'S', 'P', 'J', 'R', 'N', 'L', '1'};
 constexpr size_t kHeaderBytes = sizeof(kMagic) + sizeof(uint32_t);
 constexpr size_t kFrameBytes = 2 * sizeof(uint32_t);
 
-std::string ErrnoMessage(const std::string& what, const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::FromErrno(what + " '" + path + "'", errno);
 }
 
 Status WriteAll(int fd, std::string_view data, const std::string& path) {
@@ -28,7 +28,7 @@ Status WriteAll(int fd, std::string_view data, const std::string& path) {
         ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IoError(ErrnoMessage("write", path));
+      return ErrnoStatus("write", path);
     }
     written += static_cast<size_t>(n);
   }
@@ -53,7 +53,7 @@ StatusOr<stream::Tuple> DecodeJournalTuple(const JournalRecord& record,
 StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Create(
     const std::string& path, Options options) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+  if (fd < 0) return ErrnoStatus("open", path);
   std::unique_ptr<JournalWriter> writer(
       new JournalWriter(fd, path, options, /*existing_records=*/0,
                         /*existing_bytes=*/kHeaderBytes));
@@ -62,7 +62,7 @@ StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Create(
   header.WriteU32(kJournalVersion);
   ESP_RETURN_IF_ERROR(WriteAll(fd, header.data(), path));
   if (options.fsync_on_flush && ::fsync(fd) != 0) {
-    return Status::IoError(ErrnoMessage("fsync", path));
+    return ErrnoStatus("fsync", path);
   }
   return writer;
 }
@@ -71,7 +71,7 @@ StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Append(
     const std::string& path, Options options, uint64_t existing_records,
     uint64_t existing_bytes) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
-  if (fd < 0) return Status::IoError(ErrnoMessage("open for append", path));
+  if (fd < 0) return ErrnoStatus("open for append", path);
   return std::unique_ptr<JournalWriter>(
       new JournalWriter(fd, path, options, existing_records, existing_bytes));
 }
@@ -140,8 +140,26 @@ Status JournalWriter::Flush() {
     pending_.clear();
   }
   pending_records_ = 0;
+  if (!options_.fsync_on_flush) return Status::OK();
+  // Batched syncs: only every Nth flush actually reaches the platter; the
+  // in-between flushes are plain write()s whose durability a checkpoint can
+  // force at any moment via Sync().
+  ++flushes_since_sync_;
+  const uint64_t cadence =
+      options_.fsync_every_flushes == 0 ? 1 : options_.fsync_every_flushes;
+  if (flushes_since_sync_ < cadence) return Status::OK();
+  flushes_since_sync_ = 0;
+  if (::fsync(fd_) != 0) {
+    return ErrnoStatus("fsync", path_);
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  ESP_RETURN_IF_ERROR(Flush());
+  flushes_since_sync_ = 0;
   if (options_.fsync_on_flush && ::fsync(fd_) != 0) {
-    return Status::IoError(ErrnoMessage("fsync", path_));
+    return ErrnoStatus("fsync", path_);
   }
   return Status::OK();
 }
@@ -210,12 +228,12 @@ StatusOr<JournalScan> ScanJournal(const std::string& path,
 
   if (truncate_torn_tail && scan.torn_bytes > 0) {
     const int fd = ::open(path.c_str(), O_WRONLY);
-    if (fd < 0) return Status::IoError(ErrnoMessage("open for repair", path));
+    if (fd < 0) return ErrnoStatus("open for repair", path);
     const int rc = ::ftruncate(fd, static_cast<off_t>(scan.valid_bytes));
     const int sync_rc = rc == 0 ? ::fsync(fd) : 0;
     ::close(fd);
-    if (rc != 0) return Status::IoError(ErrnoMessage("ftruncate", path));
-    if (sync_rc != 0) return Status::IoError(ErrnoMessage("fsync", path));
+    if (rc != 0) return ErrnoStatus("ftruncate", path);
+    if (sync_rc != 0) return ErrnoStatus("fsync", path);
   }
   return scan;
 }

@@ -54,12 +54,19 @@ StatusOr<stream::Tuple> DecodeJournalTuple(const JournalRecord& record,
 class JournalWriter {
  public:
   struct Options {
-    /// fsync() the file on every flush. Turning this off trades crash
+    /// fsync() the file when flushing. Turning this off trades crash
     /// durability (an OS crash may lose flushed-but-unsynced records) for
     /// throughput; a plain process crash loses nothing either way.
     bool fsync_on_flush = true;
     /// Auto-flush after this many buffered records. 1 = flush every append.
     uint64_t flush_every_records = 64;
+    /// fsync() only every Nth flush (1 = every flush, the historical
+    /// behaviour). Batching syncs trades OS-crash durability of the last
+    /// N-1 flushes for throughput; checkpoints force a sync regardless via
+    /// Sync(), so snapshot resume indexes never outrun the durable tail.
+    /// Must be at least 1. Configurable per deployment through the
+    /// [recovery] section's `journal_fsync_every` key.
+    uint64_t fsync_every_flushes = 1;
   };
 
   /// Creates a new journal at `path` (truncating any existing file) and
@@ -87,10 +94,15 @@ class JournalWriter {
   /// Appends one tick boundary.
   Status AppendTick(Timestamp now);
 
-  /// Writes buffered records to the file (fsync per options). A checkpoint
-  /// must call this before its snapshot lands, so the snapshot's record
-  /// index never points past the journal's durable tail.
+  /// Writes buffered records to the file (fsync per options, batched every
+  /// `fsync_every_flushes` flushes).
   Status Flush();
+
+  /// Flushes and unconditionally fsync()s (when fsync is enabled),
+  /// regardless of the batching cadence. A checkpoint must call this before
+  /// its snapshot lands, so the snapshot's record index never points past
+  /// the journal's durable tail.
+  Status Sync();
 
   /// Records appended so far, including any recovered prefix.
   uint64_t records_written() const { return records_written_; }
@@ -114,6 +126,7 @@ class JournalWriter {
   Options options_;
   std::string pending_;
   uint64_t pending_records_ = 0;
+  uint64_t flushes_since_sync_ = 0;
   uint64_t records_written_ = 0;
   uint64_t bytes_written_ = 0;
   /// Set after a write error: a failed write() may have landed a prefix of

@@ -467,6 +467,7 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
 PipelineHealth EspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
+  health.ingest = ingest_stats_;
   for (const TypeRuntime& type : types_) {
     for (const ReceptorChain& chain : type.receptors) {
       if (chain.health == nullptr) continue;

@@ -156,6 +156,10 @@ class EspProcessor : public StreamEngine {
   /// through Health().
   RecoveryStats& mutable_recovery_stats() override { return recovery_stats_; }
 
+  /// Networked-ingest counters, written by net::IngestServer and reported
+  /// through Health().
+  IngestStats& mutable_ingest_stats() override { return ingest_stats_; }
+
   const GranuleMap& granules() const { return granules_; }
 
  private:
@@ -219,6 +223,7 @@ class EspProcessor : public StreamEngine {
   /// Device types whose quarantine group has been registered.
   std::set<std::string> quarantine_groups_;
   RecoveryStats recovery_stats_;
+  IngestStats ingest_stats_;
   bool started_ = false;
   bool has_ticked_ = false;
   Timestamp last_tick_;

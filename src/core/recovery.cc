@@ -68,6 +68,7 @@ JournalWriter::Options JournalOptions(const RecoveryOptions& options) {
   JournalWriter::Options journal;
   journal.fsync_on_flush = options.fsync;
   journal.flush_every_records = options.journal_flush_every;
+  journal.fsync_every_flushes = options.journal_fsync_every;
   return journal;
 }
 
@@ -80,6 +81,9 @@ Status ValidateOptions(const RecoveryOptions& options) {
   }
   if (options.journal_flush_every == 0) {
     return Status::InvalidArgument("journal_flush_every must be at least 1");
+  }
+  if (options.journal_fsync_every == 0) {
+    return Status::InvalidArgument("journal_fsync_every must be at least 1");
   }
   return Status::OK();
 }
@@ -311,8 +315,8 @@ StatusOr<TickResult> RecoveryCoordinator::Tick(Timestamp now) {
 Status RecoveryCoordinator::Checkpoint() {
   // The journal must be durable up to the resume index the snapshot
   // records, or a crash right after the snapshot could strand it pointing
-  // past the journal's tail.
-  ESP_RETURN_IF_ERROR(journal_->Flush());
+  // past the journal's tail. Sync() overrides any fsync batching cadence.
+  ESP_RETURN_IF_ERROR(journal_->Sync());
   CheckpointWriter writer;
   ESP_RETURN_IF_ERROR(processor_->Checkpoint(writer));
   ByteWriter recovery;

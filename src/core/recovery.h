@@ -34,6 +34,11 @@ struct RecoveryOptions {
 
   /// Journal auto-flush cadence in records (1 = every append).
   uint64_t journal_flush_every = 1;
+
+  /// Journal fsync batching: sync the file only every Nth flush (1 = every
+  /// flush). Checkpoints always force a sync, so snapshot resume indexes
+  /// never point past the durable tail (see JournalWriter::Options).
+  uint64_t journal_fsync_every = 1;
 };
 
 /// \brief What a Resume() did to bring the pipeline back.

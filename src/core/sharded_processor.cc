@@ -340,6 +340,7 @@ StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
 PipelineHealth ShardedEspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
+  health.ingest = ingest_stats_;
 
   std::vector<PipelineHealth> shard_health;
   shard_health.reserve(shards_.size());

@@ -81,6 +81,7 @@ class ShardedEspProcessor : public StreamEngine {
   Status Checkpoint(CheckpointWriter& out) const override;
   Status Restore(const CheckpointReader& in) override;
   RecoveryStats& mutable_recovery_stats() override { return recovery_stats_; }
+  IngestStats& mutable_ingest_stats() override { return ingest_stats_; }
   PipelineHealth Health() const override;
 
   /// Cleaned-output schema of one device type; valid after Start().
@@ -140,6 +141,7 @@ class ShardedEspProcessor : public StreamEngine {
   /// shard-local labels live in the shards and are merged by Health()).
   std::map<std::string, StageErrorStat> stage_errors_;
   RecoveryStats recovery_stats_;
+  IngestStats ingest_stats_;
   bool started_ = false;
   bool has_ticked_ = false;
   Timestamp last_tick_;

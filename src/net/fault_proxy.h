@@ -1,0 +1,113 @@
+#ifndef ESP_NET_FAULT_PROXY_H_
+#define ESP_NET_FAULT_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/socket.h"
+
+namespace esp::net {
+
+/// \brief Fault injection knobs. Each probability is evaluated per
+/// client-to-server chunk with a deterministic seeded Rng; the server-to-
+/// client direction (acks) is forwarded verbatim, so every injected fault
+/// exercises the ingest path's recovery rather than the client's.
+struct FaultProxyOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 picks a free port.
+  std::string target_host = "127.0.0.1";
+  uint16_t target_port = 0;
+
+  uint64_t seed = 1;
+
+  /// Deliver only a random prefix of the chunk, then reset both sides —
+  /// the canonical torn / mid-frame-cut fault.
+  double p_truncate = 0.0;
+  /// Flip one byte of the chunk before forwarding (CRC must catch it).
+  double p_corrupt = 0.0;
+  /// Pause the whole proxy for `stall` before forwarding (slow network /
+  /// slow-loris shape).
+  double p_stall = 0.0;
+  /// Forward the chunk twice (wire-level duplicate delivery).
+  double p_duplicate = 0.0;
+  /// Drop the connection pair without forwarding anything.
+  double p_reset = 0.0;
+
+  Duration stall = Duration::Millis(20);
+};
+
+struct FaultProxyStats {
+  int64_t connections = 0;
+  int64_t chunks_forwarded = 0;
+  int64_t truncations = 0;
+  int64_t corruptions = 0;
+  int64_t stalls = 0;
+  int64_t duplicates = 0;
+  int64_t resets = 0;
+
+  int64_t faults() const {
+    return truncations + corruptions + stalls + duplicates + resets;
+  }
+};
+
+/// \brief A TCP proxy that forwards client connections to a target server
+/// while injecting byte-level faults, for chaos-testing the ingest stack
+/// (bench/chaos_ingest.cc). Single poll()-based thread; deterministic given
+/// the seed and the byte stream (chunk boundaries do depend on kernel
+/// timing, so determinism here means "reproducible fault mix", not a
+/// bit-exact schedule).
+class FaultProxy {
+ public:
+  static StatusOr<std::unique_ptr<FaultProxy>> Start(
+      FaultProxyOptions options);
+
+  ~FaultProxy();
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The port clients should connect to.
+  uint16_t port() const { return port_; }
+
+  void Stop();
+
+  FaultProxyStats StatsSnapshot() const;
+
+ private:
+  explicit FaultProxy(FaultProxyOptions options);
+
+  struct Pair {
+    UniqueFd client;
+    UniqueFd upstream;
+  };
+
+  Status Init();
+  void Loop();
+  void HandleAccept();
+  /// Forwards one chunk from `from` to `to`, maybe injecting a fault.
+  /// Returns false when the pair must be torn down.
+  bool ForwardChunk(int from, int to, bool inject);
+
+  FaultProxyOptions options_;
+  uint16_t port_ = 0;
+  UniqueFd listen_fd_;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+
+  std::vector<Pair> pairs_;
+  Rng rng_;
+
+  mutable std::mutex stats_mu_;
+  FaultProxyStats stats_;
+};
+
+}  // namespace esp::net
+
+#endif  // ESP_NET_FAULT_PROXY_H_

@@ -1,0 +1,284 @@
+#ifndef ESP_NET_INGEST_SERVER_H_
+#define ESP_NET_INGEST_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/deployment.h"
+#include "core/engine.h"
+#include "core/recovery.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace esp::net {
+
+/// \brief Where the ingest server delivers decoded input — either straight
+/// into a StreamEngine or through a RecoveryCoordinator so every networked
+/// reading is journaled before it is applied. All calls happen on the
+/// server's event-loop thread.
+class IngestSink {
+ public:
+  virtual ~IngestSink() = default;
+
+  virtual Status Push(const std::string& device_type, stream::Tuple raw) = 0;
+  virtual StatusOr<core::TickResult> Tick(Timestamp now) = 0;
+
+  /// Raw-reading schema used to decode batch tuple bytes.
+  virtual StatusOr<stream::SchemaRef> ReadingSchema(
+      const std::string& device_type) const = 0;
+
+  /// The engine's health-reported ingest counters; null when the sink has
+  /// no engine to report through. Written only on the event-loop thread.
+  virtual core::IngestStats* stats() = 0;
+};
+
+/// Delivers directly into a StreamEngine (no durability).
+class EngineSink : public IngestSink {
+ public:
+  explicit EngineSink(core::StreamEngine* engine) : engine_(engine) {}
+
+  Status Push(const std::string& device_type, stream::Tuple raw) override {
+    return engine_->Push(device_type, std::move(raw));
+  }
+  StatusOr<core::TickResult> Tick(Timestamp now) override {
+    return engine_->Tick(now);
+  }
+  StatusOr<stream::SchemaRef> ReadingSchema(
+      const std::string& device_type) const override {
+    return engine_->TypeReadingSchema(device_type);
+  }
+  core::IngestStats* stats() override {
+    return &engine_->mutable_ingest_stats();
+  }
+
+ private:
+  core::StreamEngine* engine_;
+};
+
+/// Delivers through a RecoveryCoordinator (journal-before-apply), so a
+/// crashed networked session replays to the same state.
+class RecoverySink : public IngestSink {
+ public:
+  RecoverySink(core::RecoveryCoordinator* recovery,
+               core::StreamEngine* engine)
+      : recovery_(recovery), engine_(engine) {}
+
+  Status Push(const std::string& device_type, stream::Tuple raw) override {
+    return recovery_->Push(device_type, std::move(raw));
+  }
+  StatusOr<core::TickResult> Tick(Timestamp now) override {
+    return recovery_->Tick(now);
+  }
+  StatusOr<stream::SchemaRef> ReadingSchema(
+      const std::string& device_type) const override {
+    return engine_->TypeReadingSchema(device_type);
+  }
+  core::IngestStats* stats() override {
+    return &engine_->mutable_ingest_stats();
+  }
+
+ private:
+  core::RecoveryCoordinator* recovery_;
+  core::StreamEngine* engine_;
+};
+
+/// What the server does when a connection's pending-frame queue is full.
+enum class BackpressurePolicy {
+  /// Stop reading from the connection (EPOLLIN interest is dropped) until
+  /// the queue drains. TCP flow control propagates the stall to the client;
+  /// nothing is lost.
+  kBlock,
+  /// Drop the excess batch frame but advance its sequence number and ack it,
+  /// counting the deliberate loss in shed_batches / shed_readings. Ticks are
+  /// never shed — they carry the experiment clock.
+  kShed,
+};
+
+StatusOr<BackpressurePolicy> ParseBackpressurePolicy(const std::string& text);
+
+struct IngestServerOptions;
+
+/// Converts a deployment spec's [ingest] section (core/deployment.h) into
+/// runnable server options.
+StatusOr<IngestServerOptions> MakeIngestServerOptions(
+    const core::IngestSpecOptions& spec);
+
+struct IngestServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks a free port; read it back via IngestServer::port().
+  uint16_t port = 0;
+
+  size_t max_connections = 64;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Batches above this reading count are a protocol error (closes the
+  /// connection) even when their frame fits max_frame_bytes.
+  size_t max_batch_readings = 100000;
+
+  /// Per-connection pending-frame queue bound, and what happens at it.
+  size_t queue_limit_frames = 256;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Decoded frames applied per connection per loop pass; 0 drains fully.
+  /// Small budgets make backpressure observable under test load.
+  size_t apply_budget_frames = 0;
+
+  /// A connection holding a partial frame longer than this is reaped
+  /// (slow-loris defence). Zero disables.
+  Duration read_timeout = Duration::Seconds(10);
+  /// A connection with no traffic at all for this long is reaped. Zero
+  /// disables.
+  Duration idle_timeout = Duration::Seconds(60);
+
+  /// Observes every applied tick's outputs on the event-loop thread (the
+  /// chaos harness fingerprints them here).
+  std::function<void(Timestamp, const core::TickResult&)> on_tick;
+};
+
+/// \brief Epoll-based non-blocking TCP front door feeding an IngestSink.
+///
+/// Single event-loop thread; all sink and engine-stats access happens there,
+/// so the engine below needs no locking. Frames apply in exactly the order
+/// each client sent them (sequence-checked), which is what makes a
+/// networked run bitwise-identical to an in-process run of the same inputs.
+///
+/// Protocol, backpressure, and resume semantics: docs/NETWORKING.md.
+class IngestServer {
+ public:
+  /// Binds, spawns the event loop, and returns a running server.
+  static StatusOr<std::unique_ptr<IngestServer>> Start(
+      IngestSink* sink, IngestServerOptions options);
+
+  ~IngestServer();
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops the event loop and closes every connection. Idempotent.
+  void Stop();
+
+  /// Thread-safe copy of the aggregate + per-client counters.
+  core::IngestStats StatsSnapshot() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Frame queued behind the apply budget: a decoded batch envelope (tuple
+  /// bytes still raw) or a tick.
+  struct PendingFrame {
+    bool is_tick = false;
+    /// Shed at admission (kShed policy): applies as a counted no-op — the
+    /// sequence still commits and acks, so the loss is deliberate and
+    /// visible, never silent.
+    bool shed = false;
+    uint64_t seq = 0;
+    // Batch:
+    std::string device_type;
+    uint32_t count = 0;
+    std::string tuple_bytes;
+    // Tick:
+    Timestamp tick_time;
+  };
+
+  /// Durable per-client-id state: survives reconnects of the same id.
+  struct ClientState {
+    SequenceTracker tracker;
+    core::ClientIngestStats stats;
+  };
+
+  struct Connection {
+    UniqueFd fd;
+    FrameDecoder decoder;
+    std::string client_id;        // Empty until the handshake completes.
+    ClientState* client = nullptr;  // Set with client_id.
+    /// Next admissible sequence: tracker.last_applied + 1 + |pending|.
+    /// Admission checks run against this, commits against the tracker, so
+    /// queued-but-unapplied frames are neither re-admitted nor acked early.
+    uint64_t next_expected = 0;
+    std::deque<PendingFrame> pending;
+    std::string outbuf;           // Unsent welcome/ack/error bytes.
+    bool reads_paused = false;    // EPOLLIN interest dropped (kBlock).
+    bool writes_armed = false;    // EPOLLOUT interest raised.
+    bool closing = false;         // Error sent; close once outbuf drains.
+    Clock::time_point last_byte;  // Last time any byte arrived.
+    Clock::time_point partial_since;  // Valid while a partial frame waits.
+
+    explicit Connection(UniqueFd socket, size_t max_frame_bytes,
+                        Clock::time_point now)
+        : fd(std::move(socket)),
+          decoder(max_frame_bytes),
+          last_byte(now),
+          partial_since(now) {}
+  };
+
+  IngestServer(IngestSink* sink, IngestServerOptions options);
+
+  Status Init();
+  void Loop();
+
+  void HandleAccept();
+  /// Reads and decodes; returns false when the connection died.
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  /// Decodes frames out of conn's buffer into pending until the queue limit
+  /// or the buffer runs dry.
+  void DrainDecoder(Connection& conn);
+  /// Routes one decoded payload. Returns false to close the connection.
+  bool HandlePayload(Connection& conn, const std::string& payload);
+  bool HandleHello(Connection& conn, const std::string& payload);
+  bool EnqueueBatch(Connection& conn, const std::string& payload);
+  bool EnqueueTick(Connection& conn, const std::string& payload);
+  /// Applies up to the budget from conn.pending into the sink.
+  void ApplyPending(Connection& conn);
+  void ApplyBatch(Connection& conn, PendingFrame& frame);
+  void ApplyTick(Connection& conn, PendingFrame& frame);
+
+  void SendFrame(Connection& conn, std::string frame);
+  void SendErrorAndClose(Connection& conn, const Status& status);
+  void FlushOutbuf(Connection& conn);
+  void PauseReads(Connection& conn);
+  void ResumeReads(Connection& conn);
+  void CloseConnection(int fd, bool count_close = true);
+  void ReapTimeouts(Clock::time_point now);
+  void UpdateEpoll(Connection& conn, bool want_read, bool want_write);
+
+  /// Publishes stats_ into the sink's engine counters (event-loop thread).
+  void PublishStats();
+
+  IngestSink* sink_;
+  IngestServerOptions options_;
+  uint16_t port_ = 0;
+
+  UniqueFd listen_fd_;
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;  // eventfd: Stop() wakes the loop.
+
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+
+  std::map<int, std::unique_ptr<Connection>> connections_;  // By fd.
+  std::map<std::string, ClientState> clients_;              // By client id.
+
+  /// Event-loop-thread working counters (no clients vector; that is built
+  /// from clients_ at publish time). Mutated lock-free on the loop thread.
+  core::IngestStats work_;
+
+  mutable std::mutex stats_mu_;
+  core::IngestStats stats_;  // Guarded by stats_mu_ for cross-thread reads.
+};
+
+}  // namespace esp::net
+
+#endif  // ESP_NET_INGEST_SERVER_H_

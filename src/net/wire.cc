@@ -1,0 +1,244 @@
+#include "net/wire.h"
+
+#include <utility>
+
+#include "stream/serialize.h"
+
+namespace esp::net {
+
+namespace {
+
+/// Wraps a finished payload in the frame header.
+std::string Frame(ByteWriter payload) {
+  ByteWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(payload.size()));
+  frame.WriteU32(Crc32(payload.data()));
+  frame.WriteBytes(payload.data());
+  return std::move(frame).Release();
+}
+
+Status CheckExhausted(const ByteReader& r, const char* what) {
+  if (!r.exhausted()) {
+    return Status::ParseError(std::string(what) +
+                              " payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+StatusOr<ByteReader> ReaderFor(std::string_view payload, MessageKind want) {
+  ByteReader r(payload);
+  ESP_ASSIGN_OR_RETURN(const uint8_t tag, r.ReadU8());
+  if (static_cast<MessageKind>(tag) != want) {
+    return Status::ParseError("unexpected message kind " +
+                              std::to_string(tag));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kHello));
+  w.WriteU32(msg.protocol_version);
+  w.WriteString(msg.client_id);
+  return Frame(std::move(w));
+}
+
+std::string EncodeWelcome(const WelcomeMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kWelcome));
+  w.WriteU64(msg.last_applied_seq);
+  return Frame(std::move(w));
+}
+
+std::string EncodeBatch(uint64_t seq, const std::string& device_type,
+                        const std::vector<stream::Tuple>& readings) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kBatch));
+  w.WriteU64(seq);
+  w.WriteString(device_type);
+  w.WriteU32(static_cast<uint32_t>(readings.size()));
+  for (const stream::Tuple& tuple : readings) stream::WriteTuple(w, tuple);
+  return Frame(std::move(w));
+}
+
+std::string EncodeTick(uint64_t seq, Timestamp now) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kTick));
+  w.WriteU64(seq);
+  w.WriteI64(now.micros());
+  return Frame(std::move(w));
+}
+
+std::string EncodeAck(uint64_t last_applied_seq) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kAck));
+  w.WriteU64(last_applied_seq);
+  return Frame(std::move(w));
+}
+
+std::string EncodeError(const Status& status) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kError));
+  w.WriteU8(static_cast<uint8_t>(status.code()));
+  w.WriteString(status.message());
+  return Frame(std::move(w));
+}
+
+StatusOr<MessageKind> PeekKind(std::string_view payload) {
+  ByteReader r(payload);
+  ESP_ASSIGN_OR_RETURN(const uint8_t tag, r.ReadU8());
+  switch (static_cast<MessageKind>(tag)) {
+    case MessageKind::kHello:
+    case MessageKind::kWelcome:
+    case MessageKind::kBatch:
+    case MessageKind::kTick:
+    case MessageKind::kAck:
+    case MessageKind::kError:
+      return static_cast<MessageKind>(tag);
+  }
+  return Status::ParseError("unknown message kind tag " + std::to_string(tag));
+}
+
+StatusOr<HelloMessage> DecodeHello(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r, ReaderFor(payload, MessageKind::kHello));
+  HelloMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.protocol_version, r.ReadU32());
+  ESP_ASSIGN_OR_RETURN(msg.client_id, r.ReadString());
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "hello"));
+  if (msg.protocol_version != kWireProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire protocol version " +
+        std::to_string(msg.protocol_version) + " (expected " +
+        std::to_string(kWireProtocolVersion) + ")");
+  }
+  if (msg.client_id.empty()) {
+    return Status::InvalidArgument("hello carries an empty client id");
+  }
+  return msg;
+}
+
+StatusOr<WelcomeMessage> DecodeWelcome(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r,
+                       ReaderFor(payload, MessageKind::kWelcome));
+  WelcomeMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.last_applied_seq, r.ReadU64());
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "welcome"));
+  return msg;
+}
+
+StatusOr<BatchHeader> DecodeBatchHeader(std::string_view payload,
+                                        std::string_view* tuple_bytes) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r, ReaderFor(payload, MessageKind::kBatch));
+  BatchHeader header;
+  ESP_ASSIGN_OR_RETURN(header.seq, r.ReadU64());
+  ESP_ASSIGN_OR_RETURN(header.device_type, r.ReadString());
+  ESP_ASSIGN_OR_RETURN(header.count, r.ReadU32());
+  if (header.count == 0) {
+    return Status::InvalidArgument("batch frame carries zero readings");
+  }
+  if (header.seq == 0) {
+    return Status::InvalidArgument("batch sequence numbers start at 1");
+  }
+  if (tuple_bytes != nullptr) {
+    *tuple_bytes = r.ReadBytes(r.remaining()).value();  // Cannot fail.
+  }
+  return header;
+}
+
+StatusOr<std::vector<stream::Tuple>> DecodeBatchTuples(
+    const BatchHeader& header, std::string_view tuple_bytes,
+    const stream::SchemaRef& schema) {
+  ByteReader r(tuple_bytes);
+  std::vector<stream::Tuple> readings;
+  readings.reserve(header.count);
+  for (uint32_t i = 0; i < header.count; ++i) {
+    ESP_ASSIGN_OR_RETURN(stream::Tuple tuple, stream::ReadTuple(r, schema));
+    readings.push_back(std::move(tuple));
+  }
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "batch"));
+  return readings;
+}
+
+StatusOr<DecodedBatch> DecodeBatch(std::string_view payload,
+                                   const stream::SchemaRef& schema) {
+  std::string_view tuple_bytes;
+  ESP_ASSIGN_OR_RETURN(BatchHeader header,
+                       DecodeBatchHeader(payload, &tuple_bytes));
+  DecodedBatch batch;
+  batch.seq = header.seq;
+  batch.device_type = std::move(header.device_type);
+  ESP_ASSIGN_OR_RETURN(batch.readings,
+                       DecodeBatchTuples(header, tuple_bytes, schema));
+  return batch;
+}
+
+StatusOr<TickMessage> DecodeTick(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r, ReaderFor(payload, MessageKind::kTick));
+  TickMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+  ESP_ASSIGN_OR_RETURN(const int64_t micros, r.ReadI64());
+  msg.time = Timestamp::Micros(micros);
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "tick"));
+  if (msg.seq == 0) {
+    return Status::InvalidArgument("tick sequence numbers start at 1");
+  }
+  return msg;
+}
+
+StatusOr<AckMessage> DecodeAck(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r, ReaderFor(payload, MessageKind::kAck));
+  AckMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.last_applied_seq, r.ReadU64());
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "ack"));
+  return msg;
+}
+
+StatusOr<ErrorMessage> DecodeError(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r, ReaderFor(payload, MessageKind::kError));
+  ErrorMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.code, r.ReadU8());
+  ESP_ASSIGN_OR_RETURN(msg.message, r.ReadString());
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "error"));
+  return msg;
+}
+
+StatusOr<std::optional<std::string>> FrameDecoder::Next() {
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 64 * 1024)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t available = buffer_.size() - pos_;
+  if (available < kFrameHeaderBytes) return std::optional<std::string>();
+  ByteReader header(std::string_view(buffer_).substr(pos_, kFrameHeaderBytes));
+  const uint32_t len = header.ReadU32().value();        // Cannot fail.
+  const uint32_t stored_crc = header.ReadU32().value();  // Cannot fail.
+  if (len > max_frame_bytes_) {
+    return Status::OutOfRange(
+        "frame length " + std::to_string(len) + " exceeds the " +
+        std::to_string(max_frame_bytes_) + "-byte limit");
+  }
+  if (available < kFrameHeaderBytes + len) return std::optional<std::string>();
+  const std::string_view payload =
+      std::string_view(buffer_).substr(pos_ + kFrameHeaderBytes, len);
+  if (Crc32(payload) != stored_crc) {
+    return Status::ParseError("frame CRC mismatch (torn or corrupted frame)");
+  }
+  std::string out(payload);
+  pos_ += kFrameHeaderBytes + len;
+  return std::optional<std::string>(std::move(out));
+}
+
+Status FrameDecoder::Finish() const {
+  if (has_partial_frame()) {
+    return Status::ConnectionReset(
+        "stream ended with " + std::to_string(buffered_bytes()) +
+        " bytes of a torn frame");
+  }
+  return Status::OK();
+}
+
+}  // namespace esp::net

@@ -351,5 +351,97 @@ smooth = SELECT tag_id, count(*) AS reads FROM smooth_input
   EXPECT_EQ((*processor)->granules().num_groups(), 1u);
 }
 
+
+TEST(LoadDeploymentTest, RecoveryFsyncBatchingIntervalParses) {
+  const std::string spec = std::string(kShelfDeployment) + R"(
+[recovery]
+directory = /tmp/esp_depl_test
+journal_fsync_every = 16
+)";
+  auto bundle = LoadDeploymentBundle(spec);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  ASSERT_TRUE(bundle->recovery.has_value());
+  EXPECT_EQ(bundle->recovery->journal_fsync_every, 16u);
+
+  // Defaults to 1 (fsync on every flush) when the key is absent.
+  auto defaulted = LoadDeploymentBundle(
+      std::string(kShelfDeployment) + "\n[recovery]\ndirectory = /tmp/x\n");
+  ASSERT_TRUE(defaulted.ok()) << defaulted.status();
+  EXPECT_EQ(defaulted->recovery->journal_fsync_every, 1u);
+
+  ExpectLineNumberedError(
+      std::string(kShelfDeployment) +
+          "\n[recovery]\ndirectory = /tmp/x\njournal_fsync_every = 0\n",
+      "journal_fsync_every = 0", "journal_fsync_every");
+  ExpectLineNumberedError(
+      std::string(kShelfDeployment) +
+          "\n[recovery]\ndirectory = /tmp/x\njournal_fsync_every = lots\n",
+      "journal_fsync_every = lots", "journal_fsync_every");
+}
+
+TEST(LoadDeploymentTest, IngestSectionSurfacesOptions) {
+  const std::string spec = std::string(kShelfDeployment) + R"(
+[ingest]
+bind_address = 0.0.0.0
+port = 9090
+max_connections = 8
+queue_limit_frames = 32
+backpressure = shed
+max_frame_bytes = 65536
+read_timeout = 2 sec
+idle_timeout = 30 sec
+)";
+  auto bundle = LoadDeploymentBundle(spec);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  ASSERT_TRUE(bundle->ingest.has_value());
+  EXPECT_EQ(bundle->ingest->bind_address, "0.0.0.0");
+  EXPECT_EQ(bundle->ingest->port, 9090);
+  EXPECT_EQ(bundle->ingest->max_connections, 8u);
+  EXPECT_EQ(bundle->ingest->queue_limit_frames, 32u);
+  EXPECT_EQ(bundle->ingest->backpressure, "shed");
+  EXPECT_EQ(bundle->ingest->max_frame_bytes, 65536u);
+  EXPECT_EQ(bundle->ingest->read_timeout, Duration::Seconds(2));
+  EXPECT_EQ(bundle->ingest->idle_timeout, Duration::Seconds(30));
+
+  // An empty [ingest] section is valid: all defaults.
+  auto defaulted =
+      LoadDeploymentBundle(std::string(kShelfDeployment) + "\n[ingest]\n");
+  ASSERT_TRUE(defaulted.ok()) << defaulted.status();
+  ASSERT_TRUE(defaulted->ingest.has_value());
+  EXPECT_EQ(defaulted->ingest->port, 0);
+  EXPECT_EQ(defaulted->ingest->backpressure, "block");
+
+  // And absent means absent.
+  auto none = LoadDeploymentBundle(kShelfDeployment);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->ingest.has_value());
+}
+
+TEST(LoadDeploymentTest, IngestErrorsAreLineNumbered) {
+  const std::string base = std::string(kShelfDeployment);
+
+  ExpectLineNumberedError(base + "\n[ingest]\nspeed = ludicrous\n", "speed",
+                          "unknown key 'speed'");
+  ExpectLineNumberedError(base + "\n[ingest]\nport = 70000\n",
+                          "port = 70000", "port");
+  ExpectLineNumberedError(base + "\n[ingest]\nport = -1\n", "port = -1",
+                          "port");
+  ExpectLineNumberedError(base + "\n[ingest]\nmax_connections = 0\n",
+                          "max_connections = 0", "max_connections");
+  ExpectLineNumberedError(base + "\n[ingest]\nbackpressure = panic\n",
+                          "backpressure = panic", "backpressure");
+  ExpectLineNumberedError(base + "\n[ingest]\nread_timeout = fast\n",
+                          "read_timeout = fast", "read_timeout");
+  ExpectLineNumberedError(base + "\n[ingest]\nmax_frame_bytes = 7\n",
+                          "max_frame_bytes = 7", "max_frame_bytes");
+  ExpectLineNumberedError(base + "\n[ingest]\nbind_address =\n",
+                          "bind_address", "bind_address");
+
+  // Two [ingest] sections are ambiguous, not last-one-wins.
+  auto twice = LoadDeploymentBundle(base + "\n[ingest]\n\n[ingest]\n");
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.status().code(), StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace esp::core

@@ -378,5 +378,86 @@ TEST(QuarantineIntegrationTest, SilentReceptorIsQuarantinedAndRevived) {
   EXPECT_TRUE(saw_z);
 }
 
+
+TEST(IngestStatsTest, ActiveGatesHealthReporting) {
+  IngestStats stats;
+  EXPECT_FALSE(stats.active());
+  stats.connections_rejected = 1;  // Even a rejected attempt is activity.
+  EXPECT_TRUE(stats.active());
+  stats = IngestStats{};
+  stats.connections_accepted = 3;
+  EXPECT_TRUE(stats.active());
+}
+
+TEST(IngestStatsTest, ToStringCarriesTheCounters) {
+  IngestStats stats;
+  stats.connections_accepted = 4;
+  stats.active_connections = 2;
+  stats.reconnects = 3;
+  stats.readings_applied = 1234;
+  stats.ticks_applied = 56;
+  stats.duplicate_frames_dropped = 7;
+  stats.shed_readings = 89;
+  stats.sequence_gap_closes = 1;
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("conns=4"), std::string::npos) << text;
+  EXPECT_NE(text.find("active=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("reconnects=3"), std::string::npos) << text;
+  EXPECT_NE(text.find("readings=1234"), std::string::npos) << text;
+  EXPECT_NE(text.find("ticks=56"), std::string::npos) << text;
+  EXPECT_NE(text.find("dup_frames=7"), std::string::npos) << text;
+  EXPECT_NE(text.find("shed=89"), std::string::npos) << text;
+  EXPECT_NE(text.find("gaps=1"), std::string::npos) << text;
+}
+
+TEST(IngestStatsTest, SurfacesThroughProcessorHealth) {
+  // The ingest server writes through mutable_ingest_stats(); Health() must
+  // return those counters (and per-client rows) verbatim.
+  EspProcessor processor;
+  ASSERT_TRUE(processor
+                  .AddProximityGroup({"pg0", "rfid",
+                                      SpatialGranule{"shelf_0"},
+                                      {"reader_0"}})
+                  .ok());
+  DeviceTypePipeline pipeline;
+  pipeline.device_type = "rfid";
+  pipeline.reading_schema = sim::RfidReadingSchema();
+  pipeline.receptor_id_column = "reader_id";
+  pipeline.smooth = SmoothPresenceCount(
+      TemporalGranule(Duration::Seconds(5)), "tag_id");
+  pipeline.arbitrate = ArbitrateMaxCount("tag_id", "reads");
+  ASSERT_TRUE(processor.AddPipeline(std::move(pipeline)).ok());
+  ASSERT_TRUE(processor.Start().ok());
+
+  PipelineHealth quiet = processor.Health();
+  EXPECT_FALSE(quiet.ingest.active());
+  EXPECT_EQ(quiet.ToString().find("ingest:"), std::string::npos);
+
+  IngestStats& live = processor.mutable_ingest_stats();
+  live.connections_accepted = 2;
+  live.active_connections = 1;
+  live.readings_applied = 99;
+  ClientIngestStats client;
+  client.client_id = "sensor-7";
+  client.connects = 2;
+  client.reconnects = 1;
+  client.readings_applied = 99;
+  client.last_applied_seq = 12;
+  live.clients.push_back(client);
+
+  const PipelineHealth health = processor.Health();
+  EXPECT_TRUE(health.ingest.active());
+  EXPECT_EQ(health.ingest.connections_accepted, 2);
+  EXPECT_EQ(health.ingest.readings_applied, 99);
+  ASSERT_EQ(health.ingest.clients.size(), 1u);
+  EXPECT_EQ(health.ingest.clients[0].client_id, "sensor-7");
+  EXPECT_EQ(health.ingest.clients[0].last_applied_seq, 12u);
+
+  // The rendered report now includes the ingest line and the client row.
+  const std::string report = health.ToString();
+  EXPECT_NE(report.find("ingest:"), std::string::npos) << report;
+  EXPECT_NE(report.find("sensor-7"), std::string::npos) << report;
+}
+
 }  // namespace
 }  // namespace esp::core

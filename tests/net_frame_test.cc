@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "net/wire.h"
+#include "sim/reading.h"
+
+namespace esp::net {
+namespace {
+
+using stream::Tuple;
+
+std::vector<Tuple> SomeReadings(int n) {
+  std::vector<Tuple> readings;
+  for (int i = 0; i < n; ++i) {
+    readings.push_back(sim::ToTuple(sim::RfidReading{
+        "reader_0", "tag_" + std::to_string(i), Timestamp::Seconds(i)}));
+  }
+  return readings;
+}
+
+/// Feeds a complete frame and returns its decoded payload.
+std::string DecodeOneFrame(const std::string& frame,
+                           size_t max_frame_bytes = kDefaultMaxFrameBytes) {
+  FrameDecoder decoder(max_frame_bytes);
+  decoder.Feed(frame);
+  auto next = decoder.Next();
+  EXPECT_TRUE(next.ok()) << next.status();
+  EXPECT_TRUE(next.value().has_value());
+  EXPECT_FALSE(decoder.has_partial_frame());
+  return next.value().value();
+}
+
+TEST(WireCodecTest, HelloRoundTrip) {
+  HelloMessage hello;
+  hello.client_id = "bench-7";
+  const std::string payload = DecodeOneFrame(EncodeHello(hello));
+  auto kind = PeekKind(payload);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MessageKind::kHello);
+  auto decoded = DecodeHello(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->protocol_version, kWireProtocolVersion);
+  EXPECT_EQ(decoded->client_id, "bench-7");
+}
+
+TEST(WireCodecTest, HelloRejectsWrongVersionAndEmptyId) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kHello));
+  w.WriteU32(kWireProtocolVersion + 1);
+  w.WriteString("client");
+  auto wrong_version = DecodeHello(w.data());
+  ASSERT_FALSE(wrong_version.ok());
+  EXPECT_EQ(wrong_version.status().code(), StatusCode::kInvalidArgument);
+
+  HelloMessage hello;  // Empty client_id.
+  const std::string payload = DecodeOneFrame(EncodeHello(hello));
+  auto empty_id = DecodeHello(payload);
+  ASSERT_FALSE(empty_id.ok());
+  EXPECT_EQ(empty_id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, BatchRoundTrip) {
+  const std::vector<Tuple> readings = SomeReadings(5);
+  const std::string payload =
+      DecodeOneFrame(EncodeBatch(42, "rfid", readings));
+  auto decoded = DecodeBatch(payload, sim::RfidReadingSchema());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->device_type, "rfid");
+  ASSERT_EQ(decoded->readings.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(decoded->readings[i].timestamp(), readings[i].timestamp());
+  }
+}
+
+TEST(WireCodecTest, EmptyBatchIsATypedError) {
+  // The encoder never produces one, so build the payload by hand.
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kBatch));
+  w.WriteU64(7);
+  w.WriteString("rfid");
+  w.WriteU32(0);  // Zero readings.
+  auto decoded = DecodeBatchHeader(w.data(), nullptr);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, TickAckErrorRoundTrip) {
+  const std::string tick_payload =
+      DecodeOneFrame(EncodeTick(3, Timestamp::Seconds(12.5)));
+  auto tick = DecodeTick(tick_payload);
+  ASSERT_TRUE(tick.ok()) << tick.status();
+  EXPECT_EQ(tick->seq, 3u);
+  EXPECT_EQ(tick->time, Timestamp::Seconds(12.5));
+
+  auto ack = DecodeAck(DecodeOneFrame(EncodeAck(99)));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->last_applied_seq, 99u);
+
+  auto error = DecodeError(
+      DecodeOneFrame(EncodeError(Status::OutOfRange("sequence gap"))));
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(static_cast<StatusCode>(error->code), StatusCode::kOutOfRange);
+  EXPECT_EQ(error->message, "sequence gap");
+}
+
+TEST(FrameDecoderTest, ReassemblesByteAtATime) {
+  const std::string frame = EncodeBatch(1, "rfid", SomeReadings(3));
+  FrameDecoder decoder;
+  for (size_t i = 0; i < frame.size(); ++i) {
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_FALSE(next.value().has_value()) << "complete at byte " << i;
+    decoder.Feed(std::string_view(frame).substr(i, 1));
+  }
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next.value().has_value());
+  auto decoded = DecodeBatch(*next.value(), sim::RfidReadingSchema());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->readings.size(), 3u);
+}
+
+TEST(FrameDecoderTest, MaxSizeFrameDecodesAndOneOverIsRejected) {
+  // A frame whose payload is exactly the cap decodes; one byte more is a
+  // typed kOutOfRange before any payload accumulation.
+  const size_t cap = 512;
+  ByteWriter payload;
+  payload.WriteBytes(std::string(cap, 'x'));
+  ByteWriter frame;
+  frame.WriteU32(static_cast<uint32_t>(cap));
+  frame.WriteU32(Crc32(payload.data()));
+  frame.WriteBytes(payload.data());
+  FrameDecoder at_cap(cap);
+  at_cap.Feed(frame.data());
+  auto ok = at_cap.Next();
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_TRUE(ok.value().has_value());
+  EXPECT_EQ(ok.value()->size(), cap);
+
+  ByteWriter over;
+  over.WriteU32(static_cast<uint32_t>(cap + 1));
+  over.WriteU32(0);
+  FrameDecoder decoder(cap);
+  decoder.Feed(over.data());
+  auto rejected = decoder.Next();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameDecoderTest, TruncatedHeaderIsAPartialFrameNotACrash) {
+  const std::string frame = EncodeAck(1);
+  FrameDecoder decoder;
+  decoder.Feed(std::string_view(frame).substr(0, kFrameHeaderBytes - 1));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next.value().has_value());
+  EXPECT_TRUE(decoder.has_partial_frame());
+  // A stream ending here is a torn frame: typed kConnectionReset.
+  const Status finish = decoder.Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_EQ(finish.code(), StatusCode::kConnectionReset);
+}
+
+TEST(FrameDecoderTest, CrcMismatchIsATypedError) {
+  std::string frame = EncodeBatch(1, "rfid", SomeReadings(2));
+  frame[frame.size() - 1] = static_cast<char>(frame.back() ^ 0x40);
+  FrameDecoder decoder;
+  decoder.Feed(frame);
+  auto next = decoder.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kParseError);
+}
+
+TEST(FrameDecoderTest, GarbageBytesNeverSilentlyAccepted) {
+  // Random-ish garbage: either an oversized length prefix or a CRC failure,
+  // never a decoded frame.
+  std::string garbage;
+  for (int i = 0; i < 256; ++i) {
+    garbage.push_back(static_cast<char>(i * 37 + 11));
+  }
+  FrameDecoder decoder(1024);
+  decoder.Feed(garbage);
+  auto next = decoder.Next();
+  if (next.ok()) {
+    // Length prefix happened to be small: CRC must still fail or the frame
+    // must still be incomplete.
+    EXPECT_FALSE(next.value().has_value());
+  } else {
+    EXPECT_TRUE(next.status().code() == StatusCode::kOutOfRange ||
+                next.status().code() == StatusCode::kParseError);
+  }
+}
+
+TEST(FrameDecoderTest, BackToBackFramesDecodeInOrder) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeAck(1));
+  decoder.Feed(EncodeAck(2));
+  decoder.Feed(EncodeAck(3));
+  for (uint64_t want = 1; want <= 3; ++want) {
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.value().has_value());
+    auto ack = DecodeAck(*next.value());
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->last_applied_seq, want);
+  }
+  EXPECT_FALSE(decoder.has_partial_frame());
+  EXPECT_TRUE(decoder.Finish().ok());
+}
+
+TEST(SequenceTrackerTest, RegressionDuplicateAndGapAreTyped) {
+  SequenceTracker tracker;
+  EXPECT_TRUE(tracker.Check(1).ok());
+  tracker.Commit(1);
+  EXPECT_TRUE(tracker.Check(2).ok());
+  tracker.Commit(2);
+
+  // Regression / duplicate: kAlreadyExists, never applied, never a crash.
+  EXPECT_EQ(tracker.Check(1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tracker.Check(2).code(), StatusCode::kAlreadyExists);
+  // Forward jump: kOutOfRange (lost frames; connection must close).
+  EXPECT_EQ(tracker.Check(4).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(tracker.last_applied(), 2u);
+
+  tracker.Reset(10);
+  EXPECT_TRUE(tracker.Check(11).ok());
+}
+
+TEST(WireCodecTest, TrailingBytesAreRejected) {
+  std::string payload = DecodeOneFrame(EncodeAck(5));
+  payload.push_back('\0');
+  auto decoded = DecodeAck(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace esp::net

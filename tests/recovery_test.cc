@@ -657,5 +657,71 @@ TEST(RecoveryCoordinatorTest, StartRejectsInvalidOptions) {
   EXPECT_FALSE(RecoveryCoordinator::Start(processor->get(), bad_retain).ok());
 }
 
+
+TEST(RecoveryCoordinatorTest, BatchedFsyncStillReplaysToGoldenEquivalence) {
+  // journal_fsync_every > 1 batches the expensive fsyncs but must not change
+  // what is written: a crashed session with batched fsync replays to the
+  // same state (the flush still happens every record; only the disk barrier
+  // is amortised, and Checkpoint() forces one).
+  const std::vector<Step> steps = ShelfScript(8);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_fsync_batch");
+
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = true;
+  options.journal_fsync_every = 4;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    for (int t = 0; t <= 5; ++t) {
+      for (const Tuple& tuple : steps[t].pushes) {
+        ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+      }
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+      if (t == 2) ASSERT_TRUE((*session)->Checkpoint().ok());
+    }
+  }
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  std::vector<std::string> replayed;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), options, &report,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE(report.from_snapshot);
+  ASSERT_EQ(replayed.size(), 3u);  // Ticks 3..5 recomputed from the journal.
+  for (size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], golden[3 + i]) << "replayed tick " << i;
+  }
+
+  // The recovered session finishes the script bit-for-bit.
+  for (size_t t = 6; t < steps.size(); ++t) {
+    for (const Tuple& tuple : steps[t].pushes) {
+      ASSERT_TRUE((*session)->Push("rfid", tuple).ok());
+    }
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+}
+
+TEST(RecoveryCoordinatorTest, StartRejectsZeroFsyncInterval) {
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RecoveryOptions bad;
+  bad.directory = FreshDir("recovery_bad_fsync_every");
+  bad.journal_fsync_every = 0;
+  EXPECT_FALSE(RecoveryCoordinator::Start(processor->get(), bad).ok());
+}
+
 }  // namespace
 }  // namespace esp::core

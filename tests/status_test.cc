@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+
 namespace esp {
 namespace {
 
@@ -88,6 +90,34 @@ Status UseReturnIfError(bool fail) {
 TEST(StatusMacrosTest, ReturnIfError) {
   EXPECT_TRUE(UseReturnIfError(false).ok());
   EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+
+TEST(StatusFromErrnoTest, MapsSyscallErrnosToTypedCodes) {
+  EXPECT_EQ(Status::FromErrno("recv", EAGAIN).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(Status::FromErrno("recv", EINTR).code(),
+            StatusCode::kInterrupted);
+  EXPECT_EQ(Status::FromErrno("send", ECONNRESET).code(),
+            StatusCode::kConnectionReset);
+  EXPECT_EQ(Status::FromErrno("send", EPIPE).code(),
+            StatusCode::kConnectionReset);
+  EXPECT_EQ(Status::FromErrno("connect", ETIMEDOUT).code(),
+            StatusCode::kTimedOut);
+  EXPECT_EQ(Status::FromErrno("open", ENOENT).code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FromErrno("mkdir", EEXIST).code(),
+            StatusCode::kAlreadyExists);
+  // Anything unmapped stays a generic I/O error.
+  EXPECT_EQ(Status::FromErrno("ioctl", ENOSPC).code(), StatusCode::kIoError);
+}
+
+TEST(StatusFromErrnoTest, MessageCarriesContextAndErrnoNumber) {
+  const Status status = Status::FromErrno("bind 0.0.0.0:7", EADDRINUSE);
+  EXPECT_NE(status.message().find("bind 0.0.0.0:7"), std::string::npos);
+  EXPECT_NE(status.message().find("errno " + std::to_string(EADDRINUSE)),
+            std::string::npos);
+  // strerror_r text made it in (never empty for a known errno).
+  EXPECT_NE(status.message().find(": "), std::string::npos);
 }
 
 }  // namespace
