@@ -35,6 +35,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ConnectionReset";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }

@@ -34,6 +34,10 @@ enum class StatusCode {
   /// A deadline elapsed before the operation completed (ETIMEDOUT, or a
   /// library-level read/write/connect timeout).
   kTimedOut,
+  /// The system is not in a state the operation requires and retrying the
+  /// same call cannot fix it (e.g. an ingest server that lost state the
+  /// client already pruned against).
+  kFailedPrecondition,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -92,6 +96,9 @@ class Status {
   }
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   /// Builds an error from the current `errno` (as captured in `err`):

@@ -1,6 +1,7 @@
 #ifndef ESP_CORE_ENGINE_H_
 #define ESP_CORE_ENGINE_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -65,12 +66,25 @@ class StreamEngine {
   /// through Health().
   virtual RecoveryStats& mutable_recovery_stats() = 0;
 
-  /// Networked-ingest counters, written by net::IngestServer (on the thread
-  /// that also calls Push/Tick) and reported through Health().
+  /// Networked-ingest counters reported through Health() when no
+  /// IngestStatsSource is installed (direct writes — tests, replay).
   virtual IngestStats& mutable_ingest_stats() = 0;
 
+  /// Installs (or replaces) the pull source Health() reads its ingest
+  /// counters from. net::IngestServer installs a thread-safe live snapshot
+  /// at Start() and freezes the final counters at Stop(), so Health() is
+  /// safe to call from any thread while the server runs. An empty source
+  /// falls back to mutable_ingest_stats(). Must be thread-safe against
+  /// concurrent Health() calls.
+  virtual void SetIngestStatsSource(IngestStatsSource source) = 0;
+
   /// Snapshot of per-receptor liveness and per-stage error-isolation
-  /// tallies.
+  /// tallies. Threading: the ingest counters are pulled through the
+  /// thread-safe IngestStatsSource and may be observed from any thread at
+  /// any time; the receptor/stage aggregation reads engine state and shares
+  /// Push/Tick's single-threaded contract — don't call concurrently with
+  /// them (observe after the driving thread quiesces, e.g. after
+  /// IngestServer::Stop()).
   virtual PipelineHealth Health() const = 0;
 };
 

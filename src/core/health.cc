@@ -91,12 +91,14 @@ std::string PipelineHealth::ToString() const {
 std::string IngestStats::ToString() const {
   return StrFormat(
       "conns=%lld (active=%lld rejected=%lld) reconnects=%lld "
-      "readings=%lld ticks=%lld dup_frames=%lld shed=%lld torn=%lld "
-      "gaps=%lld rejected=%lld timeouts=%lld idle=%lld bytes=%lld",
+      "superseded=%lld readings=%lld ticks=%lld dup_frames=%lld shed=%lld "
+      "torn=%lld gaps=%lld rejected=%lld timeouts=%lld idle=%lld "
+      "bytes=%lld",
       static_cast<long long>(connections_accepted),
       static_cast<long long>(active_connections),
       static_cast<long long>(connections_rejected),
       static_cast<long long>(reconnects),
+      static_cast<long long>(superseded_closes),
       static_cast<long long>(readings_applied),
       static_cast<long long>(ticks_applied),
       static_cast<long long>(duplicate_frames_dropped),

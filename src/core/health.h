@@ -2,6 +2,7 @@
 #define ESP_CORE_HEALTH_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -138,6 +139,10 @@ struct IngestStats {
   int64_t connections_accepted = 0;
   int64_t connections_closed = 0;
   int64_t connections_rejected = 0;  // Over the max_connections cap.
+  /// Older connection evicted because its client id reconnected; the
+  /// evicted connection's queued-but-unapplied frames are dropped without
+  /// committing (the new connection's resume covers them).
+  int64_t superseded_closes = 0;
   int64_t active_connections = 0;
   int64_t reconnects = 0;
   int64_t bytes_received = 0;
@@ -166,6 +171,12 @@ struct IngestStats {
   /// One-line summary for health reports.
   std::string ToString() const;
 };
+
+/// Pull source for the ingest counters surfaced by Health(): installed by
+/// net::IngestServer (backed by its mutex-guarded snapshot while running,
+/// a frozen copy after Stop()) so live Health() calls never race the
+/// server's event loop.
+using IngestStatsSource = std::function<IngestStats()>;
 
 /// \brief Queryable health snapshot of the whole pipeline, aggregated by
 /// EspProcessor::Health(): per-receptor liveness plus per-stage error

@@ -467,7 +467,10 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
 PipelineHealth EspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
-  health.ingest = ingest_stats_;
+  {
+    std::lock_guard<std::mutex> lock(ingest_source_mu_);
+    health.ingest = ingest_source_ ? ingest_source_() : ingest_stats_;
+  }
   for (const TypeRuntime& type : types_) {
     for (const ReceptorChain& chain : type.receptors) {
       if (chain.health == nullptr) continue;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -156,9 +157,14 @@ class EspProcessor : public StreamEngine {
   /// through Health().
   RecoveryStats& mutable_recovery_stats() override { return recovery_stats_; }
 
-  /// Networked-ingest counters, written by net::IngestServer and reported
-  /// through Health().
+  /// Networked-ingest counters reported through Health() when no source is
+  /// installed (direct writes — tests, replay).
   IngestStats& mutable_ingest_stats() override { return ingest_stats_; }
+
+  void SetIngestStatsSource(IngestStatsSource source) override {
+    std::lock_guard<std::mutex> lock(ingest_source_mu_);
+    ingest_source_ = std::move(source);
+  }
 
   const GranuleMap& granules() const { return granules_; }
 
@@ -224,6 +230,10 @@ class EspProcessor : public StreamEngine {
   std::set<std::string> quarantine_groups_;
   RecoveryStats recovery_stats_;
   IngestStats ingest_stats_;
+  /// Guards ingest_source_: Health() may run concurrently with the ingest
+  /// server installing / freezing its stats source.
+  mutable std::mutex ingest_source_mu_;
+  IngestStatsSource ingest_source_;
   bool started_ = false;
   bool has_ticked_ = false;
   Timestamp last_tick_;

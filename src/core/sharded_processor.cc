@@ -340,7 +340,10 @@ StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
 PipelineHealth ShardedEspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
-  health.ingest = ingest_stats_;
+  {
+    std::lock_guard<std::mutex> lock(ingest_source_mu_);
+    health.ingest = ingest_source_ ? ingest_source_() : ingest_stats_;
+  }
 
   std::vector<PipelineHealth> shard_health;
   shard_health.reserve(shards_.size());

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -82,6 +83,10 @@ class ShardedEspProcessor : public StreamEngine {
   Status Restore(const CheckpointReader& in) override;
   RecoveryStats& mutable_recovery_stats() override { return recovery_stats_; }
   IngestStats& mutable_ingest_stats() override { return ingest_stats_; }
+  void SetIngestStatsSource(IngestStatsSource source) override {
+    std::lock_guard<std::mutex> lock(ingest_source_mu_);
+    ingest_source_ = std::move(source);
+  }
   PipelineHealth Health() const override;
 
   /// Cleaned-output schema of one device type; valid after Start().
@@ -142,6 +147,10 @@ class ShardedEspProcessor : public StreamEngine {
   std::map<std::string, StageErrorStat> stage_errors_;
   RecoveryStats recovery_stats_;
   IngestStats ingest_stats_;
+  /// Guards ingest_source_ against Health() racing the ingest server's
+  /// install/freeze (see engine.h).
+  mutable std::mutex ingest_source_mu_;
+  IngestStatsSource ingest_source_;
   bool started_ = false;
   bool has_ticked_ = false;
   Timestamp last_tick_;

@@ -85,6 +85,18 @@ Status IngestClient::EstablishAndResume() {
       }
       ESP_ASSIGN_OR_RETURN(const WelcomeMessage welcome,
                            DecodeWelcome(*payload));
+      if (welcome.last_applied_seq < last_acked_) {
+        // The server acknowledges less than it already acked on a previous
+        // connection: it restarted with fresh trackers, and the frames the
+        // earlier acks let us prune are unrecoverable. Resending from here
+        // would only produce sequence-gap closes until the retry budget
+        // dies — fail fast with a non-retryable, data-loss-shaped status.
+        return Status::FailedPrecondition(
+            "server lost acknowledged state: welcome acks sequence " +
+            std::to_string(welcome.last_applied_seq) +
+            " but this client already pruned through " +
+            std::to_string(last_acked_));
+      }
       // Resume: drop what the server already applied, resend the rest.
       if (welcome.last_applied_seq > last_acked_) {
         last_acked_ = welcome.last_applied_seq;

@@ -16,6 +16,13 @@ namespace {
 constexpr int kEpollWaitMs = 20;
 constexpr size_t kRecvChunkBytes = 64 * 1024;
 
+/// Epoll event tag: the fd in the low 32 bits, the connection generation in
+/// the high 32 (0 for the listener and wakeup fds, which are never
+/// recycled while the loop runs).
+uint64_t EpollTag(int fd, uint64_t generation) {
+  return (generation << 32) | static_cast<uint32_t>(fd);
+}
+
 }  // namespace
 
 StatusOr<BackpressurePolicy> ParseBackpressurePolicy(const std::string& text) {
@@ -56,6 +63,11 @@ StatusOr<std::unique_ptr<IngestServer>> IngestServer::Start(
   std::unique_ptr<IngestServer> server(
       new IngestServer(sink, std::move(options)));
   ESP_RETURN_IF_ERROR(server->Init());
+  // Engine Health() pulls counters through the mutex-guarded snapshot, so
+  // it is safe from any thread while the loop runs. Stop() freezes a final
+  // copy before the server (and this lambda's target) can go away.
+  sink->SetStatsSource(
+      [raw = server.get()] { return raw->StatsSnapshot(); });
   server->running_.store(true);
   server->loop_ = std::thread([raw = server.get()] { raw->Loop(); });
   return server;
@@ -75,12 +87,12 @@ Status IngestServer::Init() {
 
   struct epoll_event ev;
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_.get();
+  ev.data.u64 = EpollTag(listen_fd_.get(), 0);
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(), &ev) <
       0) {
     return Status::FromErrno("epoll_ctl(listen)", errno);
   }
-  ev.data.fd = wake_fd_.get();
+  ev.data.u64 = EpollTag(wake_fd_.get(), 0);
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0) {
     return Status::FromErrno("epoll_ctl(wakeup)", errno);
   }
@@ -88,12 +100,20 @@ Status IngestServer::Init() {
 }
 
 void IngestServer::Stop() {
-  if (running_.exchange(false)) {
+  const bool was_running = running_.exchange(false);
+  if (was_running) {
     const uint64_t one = 1;
     [[maybe_unused]] ssize_t n =
         ::write(wake_fd_.get(), &one, sizeof(one));
   }
   if (loop_.joinable()) loop_.join();
+  if (was_running) {
+    // Replace the live source (which points at this server) with a frozen
+    // copy of the final counters, so Health() keeps working after the
+    // server is destroyed.
+    sink_->SetStatsSource(
+        [final = StatsSnapshot()] { return final; });
+  }
 }
 
 core::IngestStats IngestServer::StatsSnapshot() const {
@@ -108,7 +128,9 @@ void IngestServer::Loop() {
     if (n < 0 && errno != EINTR) break;
     const Clock::time_point now = Clock::now();
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
+      const uint64_t tag = events[i].data.u64;
+      const int fd = static_cast<int>(tag & 0xffffffffu);
+      const uint64_t generation = tag >> 32;
       if (fd == wake_fd_.get()) {
         uint64_t drained = 0;
         [[maybe_unused]] ssize_t r =
@@ -121,9 +143,13 @@ void IngestServer::Loop() {
       }
       auto it = connections_.find(fd);
       if (it == connections_.end()) continue;  // Closed earlier this pass.
+      // A connection closed earlier this pass may have had its fd number
+      // recycled by an accept in the same pass; events queued for the old
+      // connection must not hit the new one.
+      if (it->second->generation != generation) continue;
       Connection& conn = *it->second;
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        if (conn.decoder.has_partial_frame()) {
+        if (conn.decoder.has_incomplete_frame()) {
           work_.torn_frame_closes++;
           if (conn.client != nullptr) conn.client->stats.torn_frames++;
         }
@@ -172,9 +198,10 @@ void IngestServer::HandleAccept() {
     const int raw = fd.get();
     auto conn = std::make_unique<Connection>(
         std::move(fd), options_.max_frame_bytes, Clock::now());
+    conn->generation = ++next_generation_;
     struct epoll_event ev;
     ev.events = EPOLLIN;
-    ev.data.fd = raw;
+    ev.data.u64 = EpollTag(raw, conn->generation);
     if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev) < 0) {
       work_.connections_rejected++;
       continue;
@@ -206,17 +233,19 @@ void IngestServer::HandleReadable(Connection& conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     // ECONNRESET and friends: the peer vanished.
-    if (conn.decoder.has_partial_frame()) {
+    if (conn.decoder.has_incomplete_frame()) {
       work_.torn_frame_closes++;
       if (conn.client != nullptr) conn.client->stats.torn_frames++;
     }
     CloseConnection(fd);
     return;
   }
-  // Track how long a partial frame has been waiting (slow-loris signal).
-  if (!conn.decoder.has_partial_frame()) conn.partial_since = Clock::now();
+  // Track how long the stream has ended mid-frame (slow-loris signal).
+  // Complete-but-undecoded frames parked by kBlock backpressure do not
+  // count as partial — the tail sits on a frame boundary.
+  if (!conn.decoder.has_incomplete_frame()) conn.partial_since = Clock::now();
   if (eof) {
-    if (conn.decoder.has_partial_frame()) {
+    if (conn.decoder.has_incomplete_frame()) {
       work_.torn_frame_closes++;
       if (conn.client != nullptr) conn.client->stats.torn_frames++;
     }
@@ -293,6 +322,12 @@ bool IngestServer::HandleHello(Connection& conn, const std::string& payload) {
     SendErrorAndClose(conn, hello.status());
     return false;
   }
+  // A reconnect supersedes any still-open connection for this client id.
+  // Evict it BEFORE reading the tracker: its queued-but-unapplied frames
+  // are dropped without committing, so the Welcome below reflects exactly
+  // what the sink has applied and the client's resends of those sequences
+  // are re-admitted once — never applied twice.
+  EvictSupersededConnection(conn, hello.value().client_id);
   ClientState& client = clients_[hello.value().client_id];
   client.stats.client_id = hello.value().client_id;
   client.stats.connects++;
@@ -307,6 +342,20 @@ bool IngestServer::HandleHello(Connection& conn, const std::string& payload) {
   welcome.last_applied_seq = client.tracker.last_applied();
   SendFrame(conn, EncodeWelcome(welcome));
   return true;
+}
+
+void IngestServer::EvictSupersededConnection(const Connection& keep,
+                                             const std::string& client_id) {
+  std::vector<int> stale;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.get() != &keep && conn->client_id == client_id) {
+      stale.push_back(fd);
+    }
+  }
+  for (int fd : stale) {
+    work_.superseded_closes++;
+    CloseConnection(fd);  // Pending frames die with it, uncommitted.
+  }
 }
 
 bool IngestServer::EnqueueBatch(Connection& conn,
@@ -427,6 +476,14 @@ void IngestServer::ApplyPending(Connection& conn) {
 
 void IngestServer::ApplyBatch(Connection& conn, PendingFrame& frame) {
   ClientState& client = *conn.client;
+  if (frame.seq <= client.tracker.last_applied()) {
+    // Defence in depth behind the eviction in HandleHello: a frame that was
+    // admitted before this client's tracker advanced through another
+    // connection must not reach the sink a second time.
+    work_.duplicate_frames_dropped++;
+    client.stats.duplicate_frames_dropped++;
+    return;
+  }
   if (frame.shed) {
     client.tracker.Commit(frame.seq);
     client.stats.last_applied_seq = frame.seq;
@@ -475,6 +532,11 @@ void IngestServer::ApplyBatch(Connection& conn, PendingFrame& frame) {
 
 void IngestServer::ApplyTick(Connection& conn, PendingFrame& frame) {
   ClientState& client = *conn.client;
+  if (frame.seq <= client.tracker.last_applied()) {
+    work_.duplicate_frames_dropped++;
+    client.stats.duplicate_frames_dropped++;
+    return;
+  }
   StatusOr<core::TickResult> result = sink_->Tick(frame.tick_time);
   if (result.ok()) {
     work_.ticks_applied++;
@@ -537,6 +599,10 @@ void IngestServer::PauseReads(Connection& conn) {
 void IngestServer::ResumeReads(Connection& conn) {
   if (!conn.reads_paused) return;
   conn.reads_paused = false;
+  // The slow-loris clock was frozen while paused (the peer was not allowed
+  // to make progress); restart it so the resumed connection gets the full
+  // read timeout again.
+  conn.partial_since = Clock::now();
   UpdateEpoll(conn, true, conn.writes_armed);
 }
 
@@ -544,7 +610,7 @@ void IngestServer::UpdateEpoll(Connection& conn, bool want_read,
                                bool want_write) {
   struct epoll_event ev;
   ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
-  ev.data.fd = conn.fd.get();
+  ev.data.u64 = EpollTag(conn.fd.get(), conn.generation);
   ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
 }
 
@@ -560,8 +626,11 @@ void IngestServer::ReapTimeouts(Clock::time_point now) {
   std::vector<int> reap_read;
   std::vector<int> reap_idle;
   for (const auto& [fd, conn] : connections_) {
-    if (!options_.read_timeout.IsZero() &&
-        conn->decoder.has_partial_frame() &&
+    // reads_paused means WE stopped reading (kBlock backpressure): the
+    // client cannot make progress, so the stalled stream is the server's
+    // doing, not a slow loris.
+    if (!options_.read_timeout.IsZero() && !conn->reads_paused &&
+        conn->decoder.has_incomplete_frame() &&
         now - conn->partial_since >=
             std::chrono::microseconds(options_.read_timeout.micros())) {
       reap_read.push_back(fd);
@@ -594,14 +663,8 @@ void IngestServer::PublishStats() {
   for (const auto& [id, client] : clients_) {
     snapshot.clients.push_back(client.stats);
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_ = snapshot;
-  }
-  // Engine-side counters: written here on the loop thread, read via
-  // Health() by callers observing after Stop() (or from on_tick).
-  core::IngestStats* engine_stats = sink_->stats();
-  if (engine_stats != nullptr) *engine_stats = std::move(snapshot);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = std::move(snapshot);
 }
 
 }  // namespace esp::net

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -38,9 +39,11 @@ class IngestSink {
   virtual StatusOr<stream::SchemaRef> ReadingSchema(
       const std::string& device_type) const = 0;
 
-  /// The engine's health-reported ingest counters; null when the sink has
-  /// no engine to report through. Written only on the event-loop thread.
-  virtual core::IngestStats* stats() = 0;
+  /// Installs (or replaces) the pull source the engine's Health() reads its
+  /// ingest counters from; a no-op for sinks with no engine to report
+  /// through. The server installs its thread-safe live snapshot at Start()
+  /// and a frozen final copy at Stop().
+  virtual void SetStatsSource(core::IngestStatsSource source) = 0;
 };
 
 /// Delivers directly into a StreamEngine (no durability).
@@ -58,8 +61,8 @@ class EngineSink : public IngestSink {
       const std::string& device_type) const override {
     return engine_->TypeReadingSchema(device_type);
   }
-  core::IngestStats* stats() override {
-    return &engine_->mutable_ingest_stats();
+  void SetStatsSource(core::IngestStatsSource source) override {
+    engine_->SetIngestStatsSource(std::move(source));
   }
 
  private:
@@ -84,8 +87,8 @@ class RecoverySink : public IngestSink {
       const std::string& device_type) const override {
     return engine_->TypeReadingSchema(device_type);
   }
-  core::IngestStats* stats() override {
-    return &engine_->mutable_ingest_stats();
+  void SetStatsSource(core::IngestStatsSource source) override {
+    engine_->SetIngestStatsSource(std::move(source));
   }
 
  private:
@@ -200,6 +203,11 @@ class IngestServer {
 
   struct Connection {
     UniqueFd fd;
+    /// Monotonic accept counter, packed into epoll_event.data.u64 next to
+    /// the fd. Events carrying a stale generation (the kernel recycled the
+    /// fd number for a new connection within one event pass) are ignored
+    /// instead of being applied to the wrong connection.
+    uint64_t generation = 0;
     FrameDecoder decoder;
     std::string client_id;        // Empty until the handshake completes.
     ClientState* client = nullptr;  // Set with client_id.
@@ -229,6 +237,12 @@ class IngestServer {
   void Loop();
 
   void HandleAccept();
+  /// Closes any OTHER live connection claiming `client_id`, dropping its
+  /// queued-but-unapplied frames without committing them — a reconnect
+  /// supersedes the stale connection, and the fresh Welcome (computed from
+  /// the tracker afterwards) re-admits exactly the un-applied sequences.
+  void EvictSupersededConnection(const Connection& keep,
+                                 const std::string& client_id);
   /// Reads and decodes; returns false when the connection died.
   void HandleReadable(Connection& conn);
   void HandleWritable(Connection& conn);
@@ -254,7 +268,9 @@ class IngestServer {
   void ReapTimeouts(Clock::time_point now);
   void UpdateEpoll(Connection& conn, bool want_read, bool want_write);
 
-  /// Publishes stats_ into the sink's engine counters (event-loop thread).
+  /// Refreshes the mutex-guarded stats_ snapshot (event-loop thread). The
+  /// engine's Health() pulls it through the IngestStatsSource installed at
+  /// Start(), so no engine state is written while the loop runs.
   void PublishStats();
 
   IngestSink* sink_;
@@ -270,6 +286,7 @@ class IngestServer {
 
   std::map<int, std::unique_ptr<Connection>> connections_;  // By fd.
   std::map<std::string, ClientState> clients_;              // By client id.
+  uint64_t next_generation_ = 0;  // Tags epoll events (see Connection).
 
   /// Event-loop-thread working counters (no clients vector; that is built
   /// from clients_ at publish time). Mutated lock-free on the loop thread.

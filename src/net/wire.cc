@@ -232,8 +232,24 @@ StatusOr<std::optional<std::string>> FrameDecoder::Next() {
   return std::optional<std::string>(std::move(out));
 }
 
+bool FrameDecoder::has_incomplete_frame() const {
+  size_t p = pos_;
+  for (;;) {
+    const size_t available = buffer_.size() - p;
+    if (available == 0) return false;
+    if (available < kFrameHeaderBytes) return true;
+    ByteReader header(std::string_view(buffer_).substr(p, kFrameHeaderBytes));
+    const uint32_t len = header.ReadU32().value();  // Cannot fail.
+    // A garbage length prefix is a protocol error Next() reports
+    // immediately — not a frame the peer is still slowly completing.
+    if (len > max_frame_bytes_) return false;
+    if (available < kFrameHeaderBytes + len) return true;
+    p += kFrameHeaderBytes + len;
+  }
+}
+
 Status FrameDecoder::Finish() const {
-  if (has_partial_frame()) {
+  if (has_incomplete_frame()) {
     return Status::ConnectionReset(
         "stream ended with " + std::to_string(buffered_bytes()) +
         " bytes of a torn frame");

@@ -154,14 +154,18 @@ class FrameDecoder {
   /// One frame payload, nullopt for "need more bytes", or a typed error.
   StatusOr<std::optional<std::string>> Next();
 
-  /// Validates end-of-stream: kConnectionReset when the peer closed with a
-  /// partial frame buffered (a torn frame — the shape of a mid-frame
-  /// disconnect), OK on a clean frame boundary.
+  /// Validates end-of-stream: kConnectionReset when the peer closed
+  /// mid-frame (a torn frame — the shape of a mid-frame disconnect), OK on
+  /// a clean frame boundary.
   Status Finish() const;
 
-  /// True while an incomplete frame sits in the buffer — the slow-loris
-  /// signal the server's read-timeout reaping keys off.
-  bool has_partial_frame() const { return pos_ < buffer_.size(); }
+  /// True only when the buffered bytes end **mid-frame**: a header shorter
+  /// than kFrameHeaderBytes, or a payload shorter than its declared length.
+  /// Complete frames that merely have not been pulled through Next() yet do
+  /// NOT count — a backpressure-paused connection whose buffer stops at a
+  /// frame boundary is neither torn nor a slow loris. This is the signal
+  /// the server's read-timeout reaping and torn-frame accounting key off.
+  bool has_incomplete_frame() const;
 
   size_t buffered_bytes() const { return buffer_.size() - pos_; }
 
@@ -196,7 +200,13 @@ class SequenceTracker {
                               std::to_string(last_applied_ + 1));
   }
 
-  void Commit(uint64_t seq) { last_applied_ = seq; }
+  /// Monotonic: committing at or below last_applied is a no-op, so a stale
+  /// frame (e.g. one queued on a connection that was superseded by a
+  /// reconnect) can never move the high-water mark backward and re-admit
+  /// already-applied sequences.
+  void Commit(uint64_t seq) {
+    if (seq > last_applied_) last_applied_ = seq;
+  }
   void Reset(uint64_t last_applied) { last_applied_ = last_applied; }
   uint64_t last_applied() const { return last_applied_; }
 

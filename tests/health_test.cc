@@ -411,8 +411,9 @@ TEST(IngestStatsTest, ToStringCarriesTheCounters) {
 }
 
 TEST(IngestStatsTest, SurfacesThroughProcessorHealth) {
-  // The ingest server writes through mutable_ingest_stats(); Health() must
-  // return those counters (and per-client rows) verbatim.
+  // With no IngestStatsSource installed, Health() falls back to the
+  // directly written mutable_ingest_stats() counters (and per-client rows)
+  // verbatim.
   EspProcessor processor;
   ASSERT_TRUE(processor
                   .AddProximityGroup({"pg0", "rfid",
@@ -457,6 +458,19 @@ TEST(IngestStatsTest, SurfacesThroughProcessorHealth) {
   const std::string report = health.ToString();
   EXPECT_NE(report.find("ingest:"), std::string::npos) << report;
   EXPECT_NE(report.find("sensor-7"), std::string::npos) << report;
+
+  // An installed IngestStatsSource (the live ingest server's thread-safe
+  // snapshot) takes precedence over the direct counters; clearing it
+  // restores the fallback.
+  IngestStats pulled;
+  pulled.connections_accepted = 7;
+  pulled.readings_applied = 41;
+  processor.SetIngestStatsSource([pulled] { return pulled; });
+  const PipelineHealth via_source = processor.Health();
+  EXPECT_EQ(via_source.ingest.connections_accepted, 7);
+  EXPECT_EQ(via_source.ingest.readings_applied, 41);
+  processor.SetIngestStatsSource(nullptr);
+  EXPECT_EQ(processor.Health().ingest.connections_accepted, 2);
 }
 
 }  // namespace

@@ -159,6 +159,19 @@ TEST(IngestTest, LoopbackMatchesInProcessRunBitwise) {
   ShelfServer s = StartShelfServer(IngestServerOptions{});
   auto client = IngestClient::Connect(ClientOptions(s.server->port(), "c1"));
   ASSERT_TRUE(client.ok()) << client.status();
+  // Health()'s ingest counters are safe to read from this thread while the
+  // server's event loop runs (and publishes stats every pass): they come
+  // through the server's mutex-guarded snapshot, not from engine state the
+  // loop thread writes. The rest of Health() keeps the engine's
+  // single-threaded contract, so probe before any readings are in flight.
+  bool live_visible = false;
+  for (int i = 0; i < 400 && !live_visible; ++i) {
+    live_visible = s.engine->Health().ingest.connections_accepted >= 1;
+    if (!live_visible) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(live_visible);
   for (const Step& step : steps) {
     ASSERT_TRUE((*client)->PushBatch("rfid", step.pushes).ok());
     ASSERT_TRUE((*client)->PushTick(step.tick).ok());
@@ -168,7 +181,7 @@ TEST(IngestTest, LoopbackMatchesInProcessRunBitwise) {
 
   EXPECT_EQ(s.fingerprints, golden);
 
-  // The engine's Health() surfaces the ingest counters.
+  // The engine's Health() surfaces the final ingest counters after Stop().
   const core::PipelineHealth health = s.engine->Health();
   EXPECT_TRUE(health.ingest.active());
   EXPECT_EQ(health.ingest.readings_applied,
@@ -224,6 +237,147 @@ StatusOr<std::string> ReadFrame(int fd, FrameDecoder& decoder) {
     }
     decoder.Feed(bytes);
   }
+}
+
+/// Raw-socket handshake helper: connects, sends Hello for `client_id`, and
+/// returns the socket plus the Welcome's last_applied_seq.
+StatusOr<UniqueFd> RawHandshake(uint16_t port, const std::string& client_id,
+                                uint64_t* last_applied, FrameDecoder* decoder) {
+  ESP_ASSIGN_OR_RETURN(UniqueFd fd,
+                       TcpConnect("127.0.0.1", port, Duration::Seconds(2)));
+  HelloMessage hello;
+  hello.client_id = client_id;
+  ESP_RETURN_IF_ERROR(
+      SendAll(fd.get(), EncodeHello(hello), Duration::Seconds(2)));
+  ESP_ASSIGN_OR_RETURN(const std::string payload,
+                       ReadFrame(fd.get(), *decoder));
+  ESP_ASSIGN_OR_RETURN(const WelcomeMessage welcome, DecodeWelcome(payload));
+  if (last_applied != nullptr) *last_applied = welcome.last_applied_seq;
+  return fd;
+}
+
+TEST(IngestTest, ReconnectSupersedesTheStaleConnection) {
+  // Regression: a reconnect while the previous connection still holds
+  // queued-but-unapplied frames must evict that connection (dropping its
+  // queue uncommitted) before the Welcome is computed — otherwise the
+  // client's resends of those sequences get applied a second time.
+  constexpr uint64_t kBatches = 30;
+  IngestServerOptions options;
+  options.apply_budget_frames = 1;  // Keep frames queued across passes.
+  ShelfServer s = StartShelfServer(std::move(options));
+
+  // Connection A: handshake, then every batch in one burst. With a 1-frame
+  // apply budget most of them sit in A's pending queue for many passes.
+  FrameDecoder decoder_a;
+  uint64_t welcome_a = 0;
+  auto a = RawHandshake(s.server->port(), "dup", &welcome_a, &decoder_a);
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(welcome_a, 0u);
+  std::string burst;
+  for (uint64_t seq = 1; seq <= kBatches; ++seq) {
+    burst += EncodeBatch(seq, "rfid",
+                         {Rfid("reader_0", "x", static_cast<double>(seq))});
+  }
+  ASSERT_TRUE(SendAll(a->get(), burst, Duration::Seconds(2)).ok());
+
+  // Connection B: same client id, mid-queue. The Welcome must reflect only
+  // what the sink actually applied, and A must be evicted.
+  FrameDecoder decoder_b;
+  uint64_t welcome_b = 0;
+  auto b = RawHandshake(s.server->port(), "dup", &welcome_b, &decoder_b);
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_LE(welcome_b, kBatches);
+
+  // Resume exactly like IngestClient would: resend everything unacked.
+  std::string resend;
+  for (uint64_t seq = welcome_b + 1; seq <= kBatches; ++seq) {
+    resend += EncodeBatch(seq, "rfid",
+                          {Rfid("reader_0", "x", static_cast<double>(seq))});
+  }
+  if (!resend.empty()) {
+    ASSERT_TRUE(SendAll(b->get(), resend, Duration::Seconds(2)).ok());
+  }
+
+  ASSERT_TRUE(WaitForStats(*s.server, [&](const core::IngestStats& stats) {
+    return !stats.clients.empty() &&
+           stats.clients[0].last_applied_seq == kBatches;
+  }));
+  s.server->Stop();
+
+  // Exactly-once: every reading applied once, nothing twice.
+  const core::IngestStats stats = s.server->StatsSnapshot();
+  EXPECT_EQ(stats.superseded_closes, 1);
+  EXPECT_EQ(stats.readings_applied, static_cast<int64_t>(kBatches));
+  EXPECT_EQ(stats.batches_applied, static_cast<int64_t>(kBatches));
+  ASSERT_EQ(stats.clients.size(), 1u);
+  EXPECT_EQ(stats.clients[0].last_applied_seq, kBatches);
+  EXPECT_EQ(stats.clients[0].readings_applied,
+            static_cast<int64_t>(kBatches));
+}
+
+TEST(IngestTest, BackpressuredConnectionIsNotReapedAsSlowLoris) {
+  // Regression: under kBlock backpressure the server itself stops reading,
+  // leaving complete undecoded frames buffered. That is not a torn frame
+  // and not a slow loris — the read timeout must not kill the connection.
+  constexpr uint64_t kBatches = 20;
+  IngestServerOptions options;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.queue_limit_frames = 1;
+  options.apply_budget_frames = 1;
+  options.read_timeout = Duration::Millis(40);  // Far below the drain time.
+  ShelfServer s = StartShelfServer(std::move(options));
+
+  FrameDecoder decoder;
+  auto fd = RawHandshake(s.server->port(), "patient", nullptr, &decoder);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  std::string burst;
+  for (uint64_t seq = 1; seq <= kBatches; ++seq) {
+    burst += EncodeBatch(seq, "rfid",
+                         {Rfid("reader_0", "x", static_cast<double>(seq))});
+  }
+  ASSERT_TRUE(SendAll(fd->get(), burst, Duration::Seconds(2)).ok());
+
+  // Draining takes kBatches epoll passes (~20ms each) — many read timeouts
+  // long. The connection must survive and apply everything.
+  ASSERT_TRUE(WaitForStats(*s.server, [&](const core::IngestStats& stats) {
+    return !stats.clients.empty() &&
+           stats.clients[0].last_applied_seq == kBatches;
+  }));
+  s.server->Stop();
+  const core::IngestStats stats = s.server->StatsSnapshot();
+  EXPECT_EQ(stats.read_timeout_closes, 0);
+  EXPECT_EQ(stats.torn_frame_closes, 0);
+  EXPECT_EQ(stats.readings_applied, static_cast<int64_t>(kBatches));
+}
+
+TEST(IngestTest, ServerStateLossFailsFastWithATypedStatus) {
+  // A server restart with fresh trackers cannot recover frames the client
+  // already pruned against earlier acks; the client must surface a
+  // distinct non-retryable status instead of burning reconnect attempts on
+  // sequence-gap closes.
+  ShelfServer s1 = StartShelfServer(IngestServerOptions{});
+  const uint16_t port = s1.server->port();
+  auto client = IngestClient::Connect(ClientOptions(port, "resume"));
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)->PushBatch("rfid", {Rfid("reader_0", "x", 0)}).ok());
+  ASSERT_TRUE((*client)->Flush().ok());
+  ASSERT_GE((*client)->last_acked(), 1u);
+  s1.server->Stop();
+  s1.server.reset();  // Free the port for the "restarted" server.
+
+  IngestServerOptions fresh;
+  fresh.port = port;  // Same address, brand-new (empty) trackers.
+  ShelfServer s2 = StartShelfServer(std::move(fresh));
+  (*client)->SimulateConnectionLoss();
+
+  const Status status =
+      (*client)->PushBatch("rfid", {Rfid("reader_0", "x", 1)});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  EXPECT_NE(status.message().find("lost acknowledged state"),
+            std::string::npos)
+      << status;
+  s2.server->Stop();
 }
 
 TEST(IngestTest, ShedPolicyCountsDeliberateLoss) {

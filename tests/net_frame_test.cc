@@ -29,7 +29,7 @@ std::string DecodeOneFrame(const std::string& frame,
   auto next = decoder.Next();
   EXPECT_TRUE(next.ok()) << next.status();
   EXPECT_TRUE(next.value().has_value());
-  EXPECT_FALSE(decoder.has_partial_frame());
+  EXPECT_FALSE(decoder.has_incomplete_frame());
   return next.value().value();
 }
 
@@ -158,7 +158,7 @@ TEST(FrameDecoderTest, TruncatedHeaderIsAPartialFrameNotACrash) {
   auto next = decoder.Next();
   ASSERT_TRUE(next.ok());
   EXPECT_FALSE(next.value().has_value());
-  EXPECT_TRUE(decoder.has_partial_frame());
+  EXPECT_TRUE(decoder.has_incomplete_frame());
   // A stream ending here is a torn frame: typed kConnectionReset.
   const Status finish = decoder.Finish();
   ASSERT_FALSE(finish.ok());
@@ -208,8 +208,42 @@ TEST(FrameDecoderTest, BackToBackFramesDecodeInOrder) {
     ASSERT_TRUE(ack.ok());
     EXPECT_EQ(ack->last_applied_seq, want);
   }
-  EXPECT_FALSE(decoder.has_partial_frame());
+  EXPECT_FALSE(decoder.has_incomplete_frame());
   EXPECT_TRUE(decoder.Finish().ok());
+}
+
+TEST(FrameDecoderTest, UndecodedCompleteFramesAreNotAnIncompleteTail) {
+  // A backpressure-paused connection buffers whole frames it has not pulled
+  // through Next() yet; that must not read as a torn / slow-loris stream.
+  FrameDecoder decoder;
+  decoder.Feed(EncodeAck(1));
+  decoder.Feed(EncodeAck(2));
+  EXPECT_FALSE(decoder.has_incomplete_frame());
+  EXPECT_TRUE(decoder.Finish().ok());
+
+  // Whole frames followed by a mid-frame tail IS incomplete...
+  const std::string third = EncodeAck(3);
+  decoder.Feed(std::string_view(third).substr(0, third.size() - 2));
+  EXPECT_TRUE(decoder.has_incomplete_frame());
+  // ...until the missing bytes arrive.
+  decoder.Feed(std::string_view(third).substr(third.size() - 2));
+  EXPECT_FALSE(decoder.has_incomplete_frame());
+  for (int i = 0; i < 3; ++i) {
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    EXPECT_TRUE(next.value().has_value());
+  }
+}
+
+TEST(SequenceTrackerTest, CommitIsMonotonic) {
+  // A stale commit (e.g. from a connection superseded by a reconnect) must
+  // never move the high-water mark backward and re-admit applied frames.
+  SequenceTracker tracker;
+  tracker.Commit(5);
+  tracker.Commit(3);
+  EXPECT_EQ(tracker.last_applied(), 5u);
+  EXPECT_EQ(tracker.Check(3).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(tracker.Check(6).ok());
 }
 
 TEST(SequenceTrackerTest, RegressionDuplicateAndGapAreTyped) {

@@ -93,6 +93,13 @@ TEST(StatusMacrosTest, ReturnIfError) {
 }
 
 
+TEST(StatusTest, FailedPreconditionIsTypedAndRendered) {
+  const Status status = Status::FailedPrecondition("server lost state");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(status.ToString(), "FailedPrecondition: server lost state");
+}
+
 TEST(StatusFromErrnoTest, MapsSyscallErrnosToTypedCodes) {
   EXPECT_EQ(Status::FromErrno("recv", EAGAIN).code(),
             StatusCode::kUnavailable);
