@@ -6,7 +6,14 @@
 // scripts can collect artifacts from one place instead of scraping whatever
 // working directory the binary ran in.
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/column.h"
+#include "stream/simd_kernels.h"
 
 namespace esp::bench {
 
@@ -40,6 +47,105 @@ inline std::string OutputPath(const std::string& dir,
   if (dir.empty() || dir == ".") return filename;
   if (dir.back() == '/') return dir + filename;
   return dir + "/" + filename;
+}
+
+/// Per-tick latency sampler. Benchmarks Record() each tick's wall time and
+/// publish tail percentiles next to the mean google-benchmark already
+/// reports — regressions that only widen the tail (a slow rebuild path, a
+/// rehash) are invisible in means but jump out of p99/p999.
+class LatencyRecorder {
+ public:
+  void Record(double ns) { samples_.push_back(ns); }
+  size_t size() const { return samples_.size(); }
+
+  /// Nearest-rank percentile over the recorded samples; q in [0, 1].
+  double Percentile(double q) {
+    if (samples_.empty()) return 0.0;
+    const double rank = q * static_cast<double>(samples_.size() - 1);
+    size_t idx = static_cast<size_t>(rank);
+    if (idx >= samples_.size()) idx = samples_.size() - 1;
+    std::nth_element(samples_.begin(),
+                     samples_.begin() + static_cast<std::ptrdiff_t>(idx),
+                     samples_.end());
+    return samples_[idx];
+  }
+
+  /// Publishes lat_p50/lat_p99/lat_p999 (ns) as benchmark counters, which
+  /// google-benchmark serializes into the BENCH_*.json entry. Templated so
+  /// this header stays usable from harnesses that do not link
+  /// google-benchmark.
+  template <typename State>
+  void Report(State& state) {
+    if (samples_.empty()) return;
+    state.counters["lat_p50_ns"] = Percentile(0.50);
+    state.counters["lat_p99_ns"] = Percentile(0.99);
+    state.counters["lat_p999_ns"] = Percentile(0.999);
+  }
+
+  /// The same three percentiles as a JSON object fragment, for the
+  /// hand-rolled BENCH_*.json writers.
+  std::string ToJson() {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"p50_ns\": %.0f, \"p99_ns\": %.0f, \"p999_ns\": %.0f, "
+                  "\"samples\": %zu}",
+                  Percentile(0.50), Percentile(0.99), Percentile(0.999),
+                  samples_.size());
+    return buf;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Build/runtime flags that change what a benchmark number means. Sanitizer
+/// builds are 2-20x slower, and columnar/AVX2 toggles select entirely
+/// different execution paths — a BENCH_*.json without this metadata cannot
+/// be compared against a baseline safely.
+inline std::vector<std::pair<std::string, std::string>> BuildFlagsMetadata() {
+  const char* sanitizer = "none";
+#if defined(__SANITIZE_ADDRESS__)
+  sanitizer = "asan";
+#elif defined(__SANITIZE_THREAD__)
+  sanitizer = "tsan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  sanitizer = "asan";
+#elif __has_feature(thread_sanitizer)
+  sanitizer = "tsan";
+#endif
+#endif
+#if defined(NDEBUG)
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+#if defined(ESP_ENABLE_AVX2) && ESP_ENABLE_AVX2
+  const char* avx2_compiled = "1";
+#else
+  const char* avx2_compiled = "0";
+#endif
+  return {
+      {"build_type", build_type},
+      {"sanitizer", sanitizer},
+      {"avx2_compiled", avx2_compiled},
+      {"avx2_runtime", stream::simd::Avx2Available() ? "1" : "0"},
+      {"simd_force_scalar", stream::simd::ForceScalar() ? "1" : "0"},
+      {"columnar_enabled", stream::ColumnarEnabled() ? "1" : "0"},
+  };
+}
+
+/// BuildFlagsMetadata() as a JSON object string for hand-rolled writers.
+inline std::string BuildFlagsJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : BuildFlagsMetadata()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": \"" + value + "\"";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace esp::bench

@@ -345,16 +345,17 @@ int Run(const std::string& out_dir) {
   const bool chaos_ok =
       chaos.bitwise_identical && chaos.lost == 0 && chaos.duplicated == 0;
 
-  char json[1024];
+  char json[1280];
   std::snprintf(
       json, sizeof(json),
-      "{\"bench\": \"ingest\", \"readings_per_sec\": %.0f, "
+      "{\"bench\": \"ingest\", \"build\": %s, \"readings_per_sec\": %.0f, "
       "\"readings_per_sec_floor\": %.0f, \"throughput_readings\": %lld, "
       "\"chaos_readings\": %lld, \"chaos_faults_injected\": %lld, "
       "\"chaos_reconnects\": %lld, \"chaos_duplicate_frames_dropped\": %lld, "
       "\"chaos_torn_frame_closes\": %lld, \"lost_readings\": %lld, "
       "\"duplicated_readings\": %lld, \"bitwise_identical\": %s}\n",
-      throughput.readings_per_sec, kMinReadingsPerSec,
+      BuildFlagsJson().c_str(), throughput.readings_per_sec,
+      kMinReadingsPerSec,
       static_cast<long long>(throughput.readings_sent),
       static_cast<long long>(chaos.readings_sent),
       static_cast<long long>(chaos.faults_injected),

@@ -115,17 +115,17 @@ int Run(const std::string& out_dir) {
     return seconds > 0 ? static_cast<double>(r.ticks_completed) / seconds
                        : 0.0;
   };
-  char json[768];
+  char json[1024];
   std::snprintf(
       json, sizeof(json),
-      "{\"bench\": \"chaos_shelf\", "
+      "{\"bench\": \"chaos_shelf\", \"build\": %s, "
       "\"baseline_ticks_per_sec\": %.1f, \"hardened_ticks_per_sec\": %.1f, "
       "\"baseline_avg_relative_error\": %.6f, "
       "\"hardened_avg_relative_error\": %.6f, "
       "\"error_vs_fault_free\": %.6f, \"error_budget\": %.6f, "
       "\"within_budget\": %s, \"ticks_completed\": %lld, "
       "\"push_rejects\": %lld}\n",
-      ticks_per_sec(*baseline_run, baseline_s),
+      BuildFlagsJson().c_str(), ticks_per_sec(*baseline_run, baseline_s),
       ticks_per_sec(*degraded_run, degraded_s),
       baseline_run->series.average_relative_error,
       degraded_run->series.average_relative_error,

@@ -317,15 +317,16 @@ int Run(const std::string& out_dir) {
 
   const double recovery_ms_mean =
       kKillPoints > 0 ? recovery_ms_sum / kKillPoints : 0.0;
-  char json[1024];
+  char json[1280];
   std::snprintf(
       json, sizeof(json),
-      "{\"bench\": \"crash_experiment\", \"kill_points\": %d, "
+      "{\"bench\": \"crash_experiment\", \"build\": %s, \"kill_points\": %d, "
       "\"kill_points_passed\": %d, \"ticks\": %d, "
       "\"golden_ticks_per_sec\": %.1f, \"recovery_latency_ms_mean\": %.3f, "
       "\"recovery_latency_ms_max\": %.3f, \"replayed_records_total\": %llu, "
       "\"snapshots_skipped_total\": %llu, \"bitwise_identical\": %s}\n",
-      kKillPoints, passed, kTicks, ticks_per_sec, recovery_ms_mean,
+      BuildFlagsJson().c_str(), kKillPoints, passed, kTicks, ticks_per_sec,
+      recovery_ms_mean,
       recovery_ms_max, static_cast<unsigned long long>(replayed_records),
       static_cast<unsigned long long>(snapshots_skipped),
       passed == kKillPoints ? "true" : "false");

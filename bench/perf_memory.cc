@@ -215,8 +215,9 @@ int Run(const std::string& out_dir) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"memory\",\n  \"measured_ticks\": %d,\n",
-               kMeasuredTicks);
+  std::fprintf(f, "{\n  \"bench\": \"memory\",\n  \"build\": %s,\n"
+               "  \"measured_ticks\": %d,\n",
+               BuildFlagsJson().c_str(), kMeasuredTicks);
   std::fprintf(f, "  \"modes\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ModeResult& r = results[i];

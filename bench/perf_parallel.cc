@@ -172,7 +172,8 @@ int Main(int argc, char** argv) {
   const std::vector<size_t> shard_counts = {1, 2, 4, 8};
 
   std::ofstream out(out_path);
-  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"workloads\": [\n";
+  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"build\": "
+      << bench::BuildFlagsJson() << ",\n  \"workloads\": [\n";
   bool first_workload = true;
   bool all_identical = true;
 

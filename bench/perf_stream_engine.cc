@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -35,6 +37,17 @@ using stream::Value;
 SchemaRef BenchSchema() {
   return stream::MakeSchema(
       {{"tag_id", DataType::kString}, {"reads", DataType::kInt64}});
+}
+
+/// Wall time of one tick body, recorded into `recorder`.
+template <typename Fn>
+void TimedTick(bench::LatencyRecorder& recorder, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  recorder.Record(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count()));
 }
 
 void BM_TupleConstruct(benchmark::State& state) {
@@ -136,28 +149,34 @@ void BM_ContinuousQuery2PerTick(benchmark::State& state) {
   Rng rng(11);
   int64_t tick = 0;
   SchemaRef schema = sim::RfidReadingSchema();
+  bench::LatencyRecorder latency;
   for (auto _ : state) {
-    const Timestamp now = Timestamp::Micros(200000 * tick);
-    for (int i = 0; i < 10; ++i) {
-      if (rng.Bernoulli(0.6)) {
-        (void)(*query)->Push(
-            "smooth_input",
-            Tuple(schema,
-                  {Value::String("r0"),
-                   Value::String("tag_" + std::to_string(i))},
-                  now));
+    TimedTick(latency, [&] {
+      const Timestamp now = Timestamp::Micros(200000 * tick);
+      for (int i = 0; i < 10; ++i) {
+        if (rng.Bernoulli(0.6)) {
+          (void)(*query)->Push(
+              "smooth_input",
+              Tuple(schema,
+                    {Value::String("r0"),
+                     Value::String("tag_" + std::to_string(i))},
+                    now));
+        }
       }
-    }
-    auto result = (*query)->Evaluate(now);
-    benchmark::DoNotOptimize(result);
-    ++tick;
+      auto result = (*query)->Evaluate(now);
+      benchmark::DoNotOptimize(result);
+      ++tick;
+    });
   }
+  latency.Report(state);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ContinuousQuery2PerTick);
 
-void BM_ProcessorShelfTick(benchmark::State& state) {
+void RunProcessorShelfTick(benchmark::State& state, bool columnar) {
   // Full Smooth+Arbitrate cascade, one 5 Hz tick of the shelf workload.
+  const bool columnar_before = stream::ColumnarEnabled();
+  stream::SetColumnarEnabled(columnar);
   core::EspProcessor processor;
   (void)processor.AddProximityGroup({"pg0", "rfid",
                                      core::SpatialGranule{"shelf_0"},
@@ -181,27 +200,41 @@ void BM_ProcessorShelfTick(benchmark::State& state) {
   Rng rng(13);
   SchemaRef schema = sim::RfidReadingSchema();
   int64_t tick = 0;
+  bench::LatencyRecorder latency;
   for (auto _ : state) {
-    const Timestamp now = Timestamp::Micros(200000 * tick);
-    for (int reader = 0; reader < 2; ++reader) {
-      for (int tag = 0; tag < 10; ++tag) {
-        if (rng.Bernoulli(0.5)) {
-          (void)processor.Push(
-              "rfid",
-              Tuple(schema,
-                    {Value::String("reader_" + std::to_string(reader)),
-                     Value::String("tag_" + std::to_string(tag))},
-                    now));
+    TimedTick(latency, [&] {
+      const Timestamp now = Timestamp::Micros(200000 * tick);
+      for (int reader = 0; reader < 2; ++reader) {
+        for (int tag = 0; tag < 10; ++tag) {
+          if (rng.Bernoulli(0.5)) {
+            (void)processor.Push(
+                "rfid",
+                Tuple(schema,
+                      {Value::String("reader_" + std::to_string(reader)),
+                       Value::String("tag_" + std::to_string(tag))},
+                      now));
+          }
         }
       }
-    }
-    auto result = processor.Tick(now);
-    benchmark::DoNotOptimize(result);
-    ++tick;
+      auto result = processor.Tick(now);
+      benchmark::DoNotOptimize(result);
+      ++tick;
+    });
   }
+  latency.Report(state);
+  stream::SetColumnarEnabled(columnar_before);
   state.SetItemsProcessed(state.iterations());
 }
+
+void BM_ProcessorShelfTick(benchmark::State& state) {
+  RunProcessorShelfTick(state, /*columnar=*/true);
+}
 BENCHMARK(BM_ProcessorShelfTick);
+
+void BM_ProcessorShelfTickRowStore(benchmark::State& state) {
+  RunProcessorShelfTick(state, /*columnar=*/false);
+}
+BENCHMARK(BM_ProcessorShelfTickRowStore);
 
 // --- Incremental vs rescan window evaluation ------------------------------
 // The sliding-window grouped aggregate (the paper's Query 2 shape) takes
@@ -211,7 +244,8 @@ BENCHMARK(BM_ProcessorShelfTick);
 // each key, so rescan cost grows with both while incremental emit cost
 // grows only with live groups.
 
-void RunWindowAggBench(benchmark::State& state, bool incremental) {
+void RunWindowAggBench(benchmark::State& state, bool incremental,
+                       bool columnar) {
   const int64_t tags = state.range(0);
   cql::SchemaCatalog catalog;
   catalog.AddStream("smooth_input", sim::RfidReadingSchema());
@@ -225,37 +259,111 @@ void RunWindowAggBench(benchmark::State& state, bool incremental) {
     state.SkipWithError(query.status().ToString().c_str());
     return;
   }
+  const bool columnar_before = stream::ColumnarEnabled();
+  stream::SetColumnarEnabled(columnar);
   Rng rng(19);
   SchemaRef schema = sim::RfidReadingSchema();
   int64_t tick = 0;
+  bench::LatencyRecorder latency;
   for (auto _ : state) {
-    const Timestamp now = Timestamp::Micros(200000 * tick);
-    for (int64_t i = 0; i < tags; ++i) {
-      if (rng.Bernoulli(0.6)) {
-        (void)(*query)->Push(
-            "smooth_input",
-            Tuple(schema,
-                  {Value::Interned("r0"),
-                   Value::Interned("tag_" + std::to_string(i))},
-                  now));
+    TimedTick(latency, [&] {
+      const Timestamp now = Timestamp::Micros(200000 * tick);
+      for (int64_t i = 0; i < tags; ++i) {
+        if (rng.Bernoulli(0.6)) {
+          (void)(*query)->Push(
+              "smooth_input",
+              Tuple(schema,
+                    {Value::Interned("r0"),
+                     Value::Interned("tag_" + std::to_string(i))},
+                    now));
+        }
       }
-    }
-    auto result = (*query)->Evaluate(now);
-    benchmark::DoNotOptimize(result);
-    ++tick;
+      auto result = (*query)->Evaluate(now);
+      benchmark::DoNotOptimize(result);
+      ++tick;
+    });
   }
+  latency.Report(state);
+  stream::SetColumnarEnabled(columnar_before);
   state.SetItemsProcessed(state.iterations());
 }
 
 void BM_WindowAggIncremental(benchmark::State& state) {
-  RunWindowAggBench(state, /*incremental=*/true);
+  RunWindowAggBench(state, /*incremental=*/true, /*columnar=*/true);
 }
 BENCHMARK(BM_WindowAggIncremental)->Arg(10)->Arg(100);
 
+void BM_WindowAggIncrementalRowStore(benchmark::State& state) {
+  RunWindowAggBench(state, /*incremental=*/true, /*columnar=*/false);
+}
+BENCHMARK(BM_WindowAggIncrementalRowStore)->Arg(10)->Arg(100);
+
 void BM_WindowAggRescan(benchmark::State& state) {
-  RunWindowAggBench(state, /*incremental=*/false);
+  RunWindowAggBench(state, /*incremental=*/false, /*columnar=*/true);
 }
 BENCHMARK(BM_WindowAggRescan)->Arg(10)->Arg(100);
+
+void BM_WindowAggRescanRowStore(benchmark::State& state) {
+  RunWindowAggBench(state, /*incremental=*/false, /*columnar=*/false);
+}
+BENCHMARK(BM_WindowAggRescanRowStore)->Arg(10)->Arg(100);
+
+// --- Columnar window aggregation ------------------------------------------
+// Scalar aggregates with a numeric predicate over a sliding window — the
+// shape the columnar executor serves wholesale from typed columns (batch
+// WHERE, SIMD sum/min/max, zero row materialization). The RowStore variant
+// pins the legacy cost: materialize every window row, evaluate WHERE per
+// row, feed aggregators per row. Arg is the number of rows per tick; the
+// 5 s window at 5 Hz holds ~25x that.
+
+void RunColumnarAggBench(benchmark::State& state, bool columnar) {
+  const int64_t rows_per_tick = state.range(0);
+  SchemaRef schema = stream::MakeSchema(
+      {{"sensor", DataType::kInt64}, {"rssi", DataType::kDouble}});
+  cql::SchemaCatalog catalog;
+  catalog.AddStream("readings", schema);
+  auto query = cql::ContinuousQuery::Create(
+      "SELECT count(*) AS n, avg(rssi) AS level, min(rssi) AS lo, "
+      "max(rssi) AS hi FROM readings [Range By '5 sec'] WHERE rssi < 60.0",
+      catalog);
+  if (!query.ok()) {
+    state.SkipWithError(query.status().ToString().c_str());
+    return;
+  }
+  const bool columnar_before = stream::ColumnarEnabled();
+  stream::SetColumnarEnabled(columnar);
+  Rng rng(23);
+  int64_t tick = 0;
+  bench::LatencyRecorder latency;
+  for (auto _ : state) {
+    TimedTick(latency, [&] {
+      const Timestamp now = Timestamp::Micros(200000 * tick);
+      for (int64_t i = 0; i < rows_per_tick; ++i) {
+        (void)(*query)->Push(
+            "readings",
+            Tuple(schema,
+                  {Value::Int64(i % 16), Value::Double(rng.Uniform(0, 100))},
+                  now));
+      }
+      auto result = (*query)->Evaluate(now);
+      benchmark::DoNotOptimize(result);
+      ++tick;
+    });
+  }
+  latency.Report(state);
+  stream::SetColumnarEnabled(columnar_before);
+  state.SetItemsProcessed(state.iterations() * rows_per_tick);
+}
+
+void BM_ColumnarScalarAgg(benchmark::State& state) {
+  RunColumnarAggBench(state, /*columnar=*/true);
+}
+BENCHMARK(BM_ColumnarScalarAgg)->Arg(64)->Arg(512);
+
+void BM_ColumnarScalarAggRowStore(benchmark::State& state) {
+  RunColumnarAggBench(state, /*columnar=*/false);
+}
+BENCHMARK(BM_ColumnarScalarAggRowStore)->Arg(64)->Arg(512);
 
 // --- Compiled vs interpretive expression evaluation -----------------------
 // The evaluator binds column references to row slots and folds constants
@@ -334,6 +442,12 @@ BENCHMARK(BM_CqlGroupedInterpretive)->Arg(256)->Arg(4096);
 // A regression baseline lands next to the binary on every run: unless the
 // caller already chose an output, write BENCH_perf_stream_engine.json.
 int main(int argc, char** argv) {
+  // CI hook: ESP_FORCE_SCALAR=1 pins every kernel dispatch to the scalar
+  // fallback so it stays benchmarked (and exercised) on AVX2 hardware.
+  if (const char* force = std::getenv("ESP_FORCE_SCALAR");
+      force != nullptr && force[0] == '1') {
+    esp::stream::simd::SetForceScalar(true);
+  }
   const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag =
@@ -347,6 +461,9 @@ int main(int argc, char** argv) {
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());
+  }
+  for (const auto& [key, value] : esp::bench::BuildFlagsMetadata()) {
+    ::benchmark::AddCustomContext(key, value);
   }
   int adjusted_argc = static_cast<int>(args.size());
   ::benchmark::Initialize(&adjusted_argc, args.data());

@@ -69,6 +69,9 @@ std::string PipelineHealth::ToString() const {
       recovery.journal_records > 0) {
     out += "  recovery: " + recovery.ToString() + "\n";
   }
+  if (columnar.active() || columnar.enabled) {
+    out += "  columnar: " + columnar.ToString() + "\n";
+  }
   if (ingest.active()) {
     out += "  ingest: " + ingest.ToString() + "\n";
     for (const ClientIngestStats& c : ingest.clients) {
@@ -86,6 +89,16 @@ std::string PipelineHealth::ToString() const {
     }
   }
   return out;
+}
+
+std::string ColumnarStats::ToString() const {
+  return StrFormat(
+      "enabled=%d avx2=%d vector_batches=%llu scalar_batches=%llu "
+      "guard_fallbacks=%llu",
+      enabled ? 1 : 0, avx2 ? 1 : 0,
+      static_cast<unsigned long long>(vector_batches),
+      static_cast<unsigned long long>(scalar_batches),
+      static_cast<unsigned long long>(guard_fallbacks));
 }
 
 std::string IngestStats::ToString() const {

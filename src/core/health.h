@@ -178,12 +178,29 @@ struct IngestStats {
 /// server's event loop.
 using IngestStatsSource = std::function<IngestStats()>;
 
+/// Columnar data-plane counters (stream/column.h, stream/simd_kernels.h):
+/// whether the columnar toggle is on and how the aggregate/predicate kernels
+/// have been dispatching process-wide since the last stats reset.
+struct ColumnarStats {
+  bool enabled = false;
+  bool avx2 = false;  // Runtime CPU support (not whether it was used).
+  uint64_t vector_batches = 0;
+  uint64_t scalar_batches = 0;
+  uint64_t guard_fallbacks = 0;
+
+  bool active() const { return vector_batches + scalar_batches > 0; }
+  std::string ToString() const;
+};
+
 /// \brief Queryable health snapshot of the whole pipeline, aggregated by
 /// EspProcessor::Health(): per-receptor liveness plus per-stage error
 /// isolation tallies.
 struct PipelineHealth {
   std::vector<ReceptorHealth> receptors;
   std::vector<StageErrorStat> stage_errors;
+
+  /// Columnar execution counters (process-wide kernel dispatch tallies).
+  ColumnarStats columnar;
 
   /// Durability counters (zero unless a RecoveryCoordinator drives the
   /// processor).

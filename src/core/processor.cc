@@ -4,8 +4,10 @@
 
 #include "common/string_util.h"
 #include "stream/arena.h"
+#include "stream/column.h"
 #include "stream/ops.h"
 #include "stream/serialize.h"
+#include "stream/simd_kernels.h"
 
 namespace esp::core {
 
@@ -467,6 +469,14 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
 PipelineHealth EspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
+  health.columnar.enabled = stream::ColumnarEnabled();
+  health.columnar.avx2 = stream::simd::Avx2Available();
+  {
+    const stream::simd::KernelStats kernels = stream::simd::GetKernelStats();
+    health.columnar.vector_batches = kernels.vector_batches;
+    health.columnar.scalar_batches = kernels.scalar_batches;
+    health.columnar.guard_fallbacks = kernels.guard_fallbacks;
+  }
   {
     std::lock_guard<std::mutex> lock(ingest_source_mu_);
     health.ingest = ingest_source_ ? ingest_source_() : ingest_stats_;

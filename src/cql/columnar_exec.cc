@@ -1,0 +1,712 @@
+#include "cql/columnar_exec.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "common/string_util.h"
+#include "stream/arena.h"
+
+namespace esp::cql::internal {
+
+using stream::ColumnarWindow;
+using stream::DataType;
+using stream::Relation;
+using stream::Tuple;
+using stream::Value;
+namespace simd = stream::simd;
+
+namespace {
+
+using AggSpec = ColumnarPlan::AggSpec;
+using AggAccum = ColumnarPlan::AggAccum;
+using BatchOp = ColumnarPlan::BatchOp;
+
+/// Mirrors evaluator.cc: the persistent group index is dropped past this
+/// size so unbounded key domains cannot grow it forever.
+constexpr size_t kMaxPersistentGroups = 4096;
+
+constexpr size_t kNoRow = SIZE_MAX;
+
+/// Same purity rule as the incremental engine: kinds whose evaluation is a
+/// pure function of the row. Scalar functions are excluded (no purity
+/// contract — the legacy path evaluates aggregate arguments per aggregate,
+/// this path per row, and an impure function would observe the difference),
+/// as are fallbacks (subqueries, outer references) and nested aggregates.
+bool IsPureRowExpr(const BoundExpr& bound) {
+  switch (bound.kind) {
+    case BoundExpr::Kind::kConst:
+    case BoundExpr::Kind::kSlot:
+    case BoundExpr::Kind::kNot:
+    case BoundExpr::Kind::kNegate:
+    case BoundExpr::Kind::kArith:
+    case BoundExpr::Kind::kCompare:
+    case BoundExpr::Kind::kLogical:
+    case BoundExpr::Kind::kIsNull:
+    case BoundExpr::Kind::kBetween:
+    case BoundExpr::Kind::kCase:
+    case BoundExpr::Kind::kInList:
+      break;
+    default:
+      return false;
+  }
+  for (const BoundExpr& child : bound.children) {
+    if (!IsPureRowExpr(child)) return false;
+  }
+  return true;
+}
+
+/// No fallback and no surviving aggregate in an emit-time tree. Scalar
+/// functions are fine: both paths evaluate emit trees once per group per
+/// tick, in the same group order.
+bool IsEmitSafe(const BoundExpr& bound) {
+  if (bound.kind == BoundExpr::Kind::kFallback ||
+      bound.kind == BoundExpr::Kind::kAggregate) {
+    return false;
+  }
+  for (const BoundExpr& child : bound.children) {
+    if (!IsEmitSafe(child)) return false;
+  }
+  return true;
+}
+
+/// Maps a comparison BinaryOp onto the kernel op, mirroring the operands
+/// when the constant is on the left (`5 < x` is `x > 5`).
+bool MapCmpOp(BinaryOp op, bool flipped, simd::CmpOp* out) {
+  switch (op) {
+    case BinaryOp::kEquals:
+      *out = simd::CmpOp::kEq;
+      return true;
+    case BinaryOp::kNotEquals:
+      *out = simd::CmpOp::kNe;
+      return true;
+    case BinaryOp::kLess:
+      *out = flipped ? simd::CmpOp::kGt : simd::CmpOp::kLt;
+      return true;
+    case BinaryOp::kLessEquals:
+      *out = flipped ? simd::CmpOp::kGe : simd::CmpOp::kLe;
+      return true;
+    case BinaryOp::kGreater:
+      *out = flipped ? simd::CmpOp::kLt : simd::CmpOp::kGt;
+      return true;
+    case BinaryOp::kGreaterEquals:
+      *out = flipped ? simd::CmpOp::kLe : simd::CmpOp::kGe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One legacy Aggregator::Update, replicated on the mirrored accumulator.
+/// Returns false on an evaluation error the legacy path must report.
+bool Accumulate(AggSpec::Kind kind, const Value& input, AggAccum& a) {
+  switch (kind) {
+    case AggSpec::Kind::kCount:
+      if (!input.is_null()) ++a.nonnull;
+      return true;
+    case AggSpec::Kind::kSum: {
+      if (input.is_null()) return true;
+      const StatusOr<double> v = input.AsDouble();
+      if (!v.ok()) return false;
+      a.sum += *v;
+      a.saw_value = true;
+      a.all_integers = a.all_integers && input.type() == DataType::kInt64;
+      return true;
+    }
+    case AggSpec::Kind::kAvg: {
+      if (input.is_null()) return true;
+      const StatusOr<double> v = input.AsDouble();
+      if (!v.ok()) return false;
+      a.sum += *v;
+      ++a.nonnull;
+      return true;
+    }
+    case AggSpec::Kind::kMin:
+    case AggSpec::Kind::kMax: {
+      if (input.is_null()) return true;
+      if (!a.saw_value) {
+        a.best = input;
+        a.saw_value = true;
+        return true;
+      }
+      const StatusOr<int> cmp = input.Compare(a.best);
+      if (!cmp.ok()) return false;
+      const bool is_min = kind == AggSpec::Kind::kMin;
+      if ((is_min && *cmp < 0) || (!is_min && *cmp > 0)) a.best = input;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The legacy Aggregator::Final on the mirrored state.
+Value FinalValue(AggSpec::Kind kind, const AggAccum& a) {
+  switch (kind) {
+    case AggSpec::Kind::kCount:
+      return Value::Int64(a.nonnull);
+    case AggSpec::Kind::kSum:
+      if (!a.saw_value) return Value::Null();
+      if (a.all_integers) {
+        return Value::Int64(static_cast<int64_t>(a.sum));
+      }
+      return Value::Double(a.sum);
+    case AggSpec::Kind::kAvg:
+      if (a.nonnull == 0) return Value::Null();
+      return Value::Double(a.sum / static_cast<double>(a.nonnull));
+    case AggSpec::Kind::kMin:
+    case AggSpec::Kind::kMax:
+      return a.best;
+  }
+  return Value::Null();
+}
+
+/// Scalar accumulation of one column range (the fallback for storage the
+/// kernels cannot touch: bool and demoted/Value columns). ValueAt round-trips
+/// the original cell bitwise, so this is the legacy fold verbatim.
+bool AccumulateColumnScalar(const ColumnarWindow& cols, size_t lo, size_t n,
+                            const simd::Trit* mask, size_t c,
+                            AggSpec::Kind kind, AggAccum& a) {
+  for (size_t i = 0; i < n; ++i) {
+    if (mask != nullptr && mask[i] == 0) continue;
+    if (!Accumulate(kind, cols.ValueAt(lo + i, c), a)) return false;
+  }
+  return true;
+}
+
+void ResetGroup(ColumnarPlan::GroupState& g, size_t num_specs, uint64_t gen) {
+  g.gen = gen;
+  g.first_row = kNoRow;
+  g.accums.resize(num_specs);
+  for (AggAccum& a : g.accums) a.Reset();
+}
+
+}  // namespace
+
+bool CompileBatchWhere(const BoundExpr& where, std::vector<BatchOp>& out) {
+  using OpKind = BatchOp::Kind;
+  switch (where.kind) {
+    case BoundExpr::Kind::kLogical: {
+      // Kleene AND/OR. The legacy evaluator short-circuits, but every batch
+      // leaf is total (no errors, no side effects), so evaluating both sides
+      // is indistinguishable.
+      if (!CompileBatchWhere(where.children[0], out)) return false;
+      if (!CompileBatchWhere(where.children[1], out)) return false;
+      BatchOp op;
+      op.kind = where.bin_op == BinaryOp::kAnd ? OpKind::kAnd : OpKind::kOr;
+      out.push_back(op);
+      return true;
+    }
+    case BoundExpr::Kind::kNot: {
+      if (!CompileBatchWhere(where.children[0], out)) return false;
+      BatchOp op;
+      op.kind = OpKind::kNot;
+      out.push_back(op);
+      return true;
+    }
+    case BoundExpr::Kind::kIsNull: {
+      if (where.children[0].kind != BoundExpr::Kind::kSlot) return false;
+      BatchOp op;
+      op.kind = OpKind::kIsNull;
+      op.slot = where.children[0].slot;
+      op.negated = where.negated;
+      out.push_back(op);
+      return true;
+    }
+    case BoundExpr::Kind::kCompare: {
+      const BoundExpr& lhs = where.children[0];
+      const BoundExpr& rhs = where.children[1];
+      const BoundExpr* slot = nullptr;
+      const BoundExpr* constant = nullptr;
+      bool flipped = false;
+      if (lhs.kind == BoundExpr::Kind::kSlot &&
+          rhs.kind == BoundExpr::Kind::kConst) {
+        slot = &lhs;
+        constant = &rhs;
+      } else if (lhs.kind == BoundExpr::Kind::kConst &&
+                 rhs.kind == BoundExpr::Kind::kSlot) {
+        slot = &rhs;
+        constant = &lhs;
+        flipped = true;
+      } else {
+        return false;
+      }
+      const Value& c = constant->constant;
+      // A null constant makes every comparison NULL; non-numeric constants
+      // would need string/bool compare semantics. Both are rare enough to
+      // leave to the row path.
+      if (c.is_null() ||
+          (c.type() != DataType::kInt64 && c.type() != DataType::kDouble)) {
+        return false;
+      }
+      BatchOp op;
+      op.kind = OpKind::kCompare;
+      op.slot = slot->slot;
+      if (!MapCmpOp(where.bin_op, flipped, &op.op)) return false;
+      if (c.type() == DataType::kInt64) {
+        op.rhs_is_int = true;
+        op.rhs_i = c.int64_value();
+      } else {
+        op.rhs_d = c.double_value();
+      }
+      out.push_back(op);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool EvalBatchProgram(const std::vector<BatchOp>& program,
+                      const ColumnarWindow& cols, size_t lo, size_t hi,
+                      std::vector<std::vector<simd::Trit>>& stack,
+                      std::vector<simd::Trit>& result) {
+  using OpKind = BatchOp::Kind;
+  // Runtime eligibility: comparisons need numeric typed storage (a demoted
+  // column compares through Values); IS NULL only reads the bitmap.
+  for (const BatchOp& op : program) {
+    if (op.kind != OpKind::kCompare) continue;
+    const ColumnarWindow::ColKind kind = cols.col_kind(op.slot);
+    if (kind != ColumnarWindow::ColKind::kI64 &&
+        kind != ColumnarWindow::ColKind::kF64) {
+      return false;
+    }
+  }
+  const size_t n = hi - lo;
+  size_t depth = 0;
+  const auto push = [&]() -> std::vector<simd::Trit>& {
+    if (stack.size() <= depth) stack.resize(depth + 1);
+    std::vector<simd::Trit>& slot = stack[depth++];
+    slot.resize(n);
+    return slot;
+  };
+  for (const BatchOp& op : program) {
+    switch (op.kind) {
+      case OpKind::kCompare: {
+        std::vector<simd::Trit>& dst = push();
+        const uint64_t* nulls =
+            cols.has_nulls(op.slot) ? cols.null_words(op.slot) : nullptr;
+        const size_t bit0 = cols.bit_offset() + lo;
+        if (cols.col_kind(op.slot) == ColumnarWindow::ColKind::kI64) {
+          const int64_t* v = cols.i64_data(op.slot) + lo;
+          if (op.rhs_is_int) {
+            simd::CompareI64WithI64(v, n, nulls, bit0, op.op, op.rhs_i,
+                                    dst.data());
+          } else {
+            simd::CompareI64WithF64(v, n, nulls, bit0, op.op, op.rhs_d,
+                                    dst.data());
+          }
+        } else {
+          const double rhs = op.rhs_is_int ? static_cast<double>(op.rhs_i)
+                                           : op.rhs_d;
+          simd::CompareF64(cols.f64_data(op.slot) + lo, n, nulls, bit0, op.op,
+                           rhs, dst.data());
+        }
+        break;
+      }
+      case OpKind::kIsNull: {
+        std::vector<simd::Trit>& dst = push();
+        const uint64_t* nulls =
+            cols.has_nulls(op.slot) ? cols.null_words(op.slot) : nullptr;
+        simd::IsNullTrits(n, nulls, cols.bit_offset() + lo, op.negated,
+                          dst.data());
+        break;
+      }
+      case OpKind::kAnd:
+      case OpKind::kOr: {
+        std::vector<simd::Trit>& b = stack[depth - 1];
+        std::vector<simd::Trit>& a = stack[depth - 2];
+        if (op.kind == OpKind::kAnd) {
+          simd::TritAnd(a.data(), b.data(), n, a.data());
+        } else {
+          simd::TritOr(a.data(), b.data(), n, a.data());
+        }
+        --depth;
+        break;
+      }
+      case OpKind::kNot: {
+        std::vector<simd::Trit>& a = stack[depth - 1];
+        simd::TritNot(a.data(), n, a.data());
+        break;
+      }
+    }
+  }
+  if (depth != 1) return false;  // Malformed program; cannot happen.
+  std::swap(result, stack[0]);
+  return true;
+}
+
+const std::vector<simd::Trit>* TryBatchWhere(ColumnarPlan& plan,
+                                             const ColumnarWindow& cols,
+                                             size_t lo, size_t hi) {
+  if (EvalBatchProgram(plan.where_program, cols, lo, hi, plan.scratch.stack,
+                       plan.scratch.mask)) {
+    return &plan.scratch.mask;
+  }
+  return nullptr;
+}
+
+void EnsureColumnarPlan(PreparedQuery& prep, const SelectQuery& query) {
+  if (prep.columnar_checked) return;
+  prep.columnar_checked = true;
+
+  // Shape: exactly one stream input (the caller additionally checks the
+  // runtime side: ordered history with a row-synced columnar mirror).
+  if (query.from.size() != 1 ||
+      query.from[0].kind != TableRef::Kind::kStream) {
+    return;
+  }
+
+  auto plan = std::make_unique<ColumnarPlan>();
+  if (prep.where.has_value()) {
+    if (CompileBatchWhere(*prep.where, plan->where_program)) {
+      plan->where_mode = ColumnarPlan::WhereMode::kBatch;
+    } else {
+      plan->where_mode = ColumnarPlan::WhereMode::kPerRow;
+      plan->needs_row = true;
+    }
+  }
+
+  plan->aggregated = QueryUsesAggregation(query);
+  if (!plan->aggregated) {
+    // Plain projection: the columnar win is the batch WHERE premask (rows
+    // that fail the predicate are never materialized). Without a batch
+    // program there is nothing to gain over the row path.
+    if (plan->where_mode != ColumnarPlan::WhereMode::kBatch) return;
+    prep.columnar = std::move(plan);
+    return;
+  }
+
+  // Aggregation mode. Group keys must be plain columns (read straight off
+  // the columns per row); star items never appear in valid grouped queries
+  // but cost nothing to exclude.
+  for (const SelectItem& item : query.items) {
+    if (item.expr->kind() == ExprKind::kStar) return;
+  }
+  plan->key_slots.reserve(prep.group_keys.size());
+  for (const BoundExpr& key : prep.group_keys) {
+    if (key.kind != BoundExpr::Kind::kSlot) return;
+    plan->key_slots.push_back(key.slot);
+  }
+
+  // Lower every aggregate call to a kAggSlot read of the pre-finalized
+  // value, collecting one AggSpec per call (same admission rules as the
+  // incremental engine, except holistic aggregates also pass through the
+  // legacy aggregator objects there and are rejected here the same way).
+  const auto lower = [&plan](BoundExpr& node, const auto& self) -> bool {
+    if (node.kind == BoundExpr::Kind::kAggregate) {
+      const FunctionCallExpr& call = *node.agg_call;
+      if (call.distinct) return false;
+      AggSpec spec;
+      if (esp::StrEqualsIgnoreCase(call.name, "count")) {
+        spec.kind = AggSpec::Kind::kCount;
+      } else if (esp::StrEqualsIgnoreCase(call.name, "sum")) {
+        spec.kind = AggSpec::Kind::kSum;
+      } else if (esp::StrEqualsIgnoreCase(call.name, "avg")) {
+        spec.kind = AggSpec::Kind::kAvg;
+      } else if (esp::StrEqualsIgnoreCase(call.name, "min")) {
+        spec.kind = AggSpec::Kind::kMin;
+      } else if (esp::StrEqualsIgnoreCase(call.name, "max")) {
+        spec.kind = AggSpec::Kind::kMax;
+      } else {
+        return false;  // Holistic (median/percentile/stdev): row path.
+      }
+      if (call.IsStarArg()) {
+        spec.has_arg = false;  // A constant Int64(1) marker per row.
+      } else {
+        if (call.args.size() != 1 || node.children.size() != 1) return false;
+        if (!IsPureRowExpr(node.children[0])) return false;
+        spec.has_arg = true;
+        spec.arg = std::move(node.children[0]);
+        if (spec.arg.kind == BoundExpr::Kind::kSlot) {
+          spec.arg_is_slot = true;
+          spec.arg_slot = spec.arg.slot;
+        } else {
+          plan->needs_row = true;
+        }
+      }
+      BoundExpr slot;
+      slot.kind = BoundExpr::Kind::kAggSlot;
+      slot.slot = plan->specs.size();
+      plan->specs.push_back(std::move(spec));
+      node = std::move(slot);
+      return true;
+    }
+    for (BoundExpr& child : node.children) {
+      if (!self(child, self)) return false;
+    }
+    return node.kind != BoundExpr::Kind::kFallback;
+  };
+
+  plan->items = prep.items;  // Lower copies; prep's trees stay untouched.
+  for (BoundExpr& bound : plan->items) {
+    if (!lower(bound, lower)) return;
+    if (!IsEmitSafe(bound)) return;
+  }
+  if (prep.having.has_value()) {
+    BoundExpr bound = *prep.having;
+    if (!lower(bound, lower)) return;
+    if (!IsEmitSafe(bound)) return;
+    plan->having = std::move(bound);
+  }
+  // Emit-time column reads are served by the group's materialized
+  // representative row (the full first row, exactly as the legacy path), so
+  // no key-slot restriction applies to items/HAVING.
+  prep.columnar = std::move(plan);
+}
+
+std::optional<Relation> ExecuteColumnarAggregate(PreparedQuery& prep,
+                                                 const ColumnarWindow& cols,
+                                                 size_t lo, size_t hi,
+                                                 const EvalContext& base) {
+  ColumnarPlan& plan = *prep.columnar;
+  ColumnarPlan::Scratch& s = plan.scratch;
+  const size_t n = hi - lo;
+  const size_t num_specs = plan.specs.size();
+  const size_t num_columns = cols.num_columns();
+
+  // --- WHERE: one trit per row (1 selected, 0/2 rejected — NULL decides as
+  // false, exactly ToDecision). Batch program when possible, per-row
+  // evaluation otherwise (identical semantics, one reused scratch row).
+  const simd::Trit* mask = nullptr;
+  if (plan.where_mode == ColumnarPlan::WhereMode::kBatch) {
+    const std::vector<simd::Trit>* trits = TryBatchWhere(plan, cols, lo, hi);
+    if (trits != nullptr) {
+      // Collapse NULL to false so the mask doubles as a kernel selection.
+      for (simd::Trit& t : s.mask) t = (t == simd::kTrue) ? 1 : 0;
+      mask = s.mask.data();
+    }
+  }
+  if (mask == nullptr && plan.where_mode != ColumnarPlan::WhereMode::kNone) {
+    s.mask.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      cols.MaterializeRow(lo + i, s.scratch_row);
+      EvalContext ec = base;
+      ec.row = &s.scratch_row;
+      const StatusOr<Value> verdict = EvalBound(*prep.where, ec);
+      if (!verdict.ok()) return std::nullopt;
+      const StatusOr<bool> keep = ToDecision(*verdict, "WHERE");
+      if (!keep.ok()) return std::nullopt;
+      s.mask[i] = *keep ? 1 : 0;
+    }
+    mask = s.mask.data();
+  }
+
+  // --- Group state (persistent across ticks, exactly like ExecScratch).
+  if (s.group_index.size() > kMaxPersistentGroups) {
+    s.group_index.clear();
+    s.groups.clear();
+  }
+  const uint64_t gen = ++s.gen;
+  s.touched.clear();
+
+  if (plan.key_slots.empty()) {
+    // Single group over all selected rows (exists even when empty: scalar
+    // aggregate semantics). Per-spec columnar computation, vector kernels
+    // where the storage allows.
+    if (s.groups.empty()) s.groups.emplace_back();
+    ColumnarPlan::GroupState& g = s.groups[0];
+    ResetGroup(g, num_specs, gen);
+    s.touched.push_back(0);
+
+    size_t selected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask == nullptr || mask[i] != 0) {
+        if (g.first_row == kNoRow) g.first_row = lo + i;
+        ++selected;
+      }
+    }
+    if (mask == nullptr) selected = n;
+
+    for (size_t si = 0; si < num_specs; ++si) {
+      const AggSpec& spec = plan.specs[si];
+      AggAccum& a = g.accums[si];
+      if (!spec.has_arg) {
+        // '*': the legacy path feeds Int64(1) per selected row; every fold
+        // over ones is exact, so the closed forms below ARE the folds.
+        switch (spec.kind) {
+          case AggSpec::Kind::kCount:
+            a.nonnull = static_cast<int64_t>(selected);
+            break;
+          case AggSpec::Kind::kSum:
+            a.sum = static_cast<double>(selected);
+            a.saw_value = selected > 0;
+            break;
+          case AggSpec::Kind::kAvg:
+            a.sum = static_cast<double>(selected);
+            a.nonnull = static_cast<int64_t>(selected);
+            break;
+          case AggSpec::Kind::kMin:
+          case AggSpec::Kind::kMax:
+            if (selected > 0) {
+              a.best = Value::Int64(1);
+              a.saw_value = true;
+            }
+            break;
+        }
+        continue;
+      }
+      if (!spec.arg_is_slot) continue;  // Row loop below.
+      const size_t c = spec.arg_slot;
+      const ColumnarWindow::ColKind kind = cols.col_kind(c);
+      const uint64_t* nulls = cols.has_nulls(c) ? cols.null_words(c) : nullptr;
+      const size_t bit0 = cols.bit_offset() + lo;
+      switch (spec.kind) {
+        case AggSpec::Kind::kCount:
+          a.nonnull = simd::CountNonNull(n, nulls, bit0, mask);
+          break;
+        case AggSpec::Kind::kSum:
+        case AggSpec::Kind::kAvg:
+          if (kind == ColumnarWindow::ColKind::kI64) {
+            const simd::SumResult r =
+                simd::SumI64(cols.i64_data(c) + lo, n, nulls, bit0, mask);
+            a.sum = r.sum;
+            a.nonnull = r.nonnull;
+            a.saw_value = r.nonnull > 0;
+            // all_integers stays true: every non-null cell is an int64.
+          } else if (kind == ColumnarWindow::ColKind::kF64) {
+            const simd::SumResult r =
+                simd::SumF64(cols.f64_data(c) + lo, n, nulls, bit0, mask);
+            a.sum = r.sum;
+            a.nonnull = r.nonnull;
+            a.saw_value = r.nonnull > 0;
+            a.all_integers = r.nonnull == 0;  // Doubles break int typing.
+          } else if (!AccumulateColumnScalar(cols, lo, n, mask, c, spec.kind,
+                                             a)) {
+            return std::nullopt;
+          }
+          break;
+        case AggSpec::Kind::kMin:
+        case AggSpec::Kind::kMax: {
+          const bool is_min = spec.kind == AggSpec::Kind::kMin;
+          if (kind == ColumnarWindow::ColKind::kI64) {
+            const int64_t* v = cols.i64_data(c) + lo;
+            const ptrdiff_t idx =
+                simd::ExtremumI64(v, n, nulls, bit0, mask, is_min);
+            if (idx >= 0) {
+              a.best = Value::Int64(v[idx]);
+              a.saw_value = true;
+            }
+          } else if (kind == ColumnarWindow::ColKind::kF64) {
+            const double* v = cols.f64_data(c) + lo;
+            const ptrdiff_t idx =
+                simd::ExtremumF64(v, n, nulls, bit0, mask, is_min);
+            if (idx >= 0) {
+              a.best = Value::Double(v[idx]);
+              a.saw_value = true;
+            }
+          } else if (!AccumulateColumnScalar(cols, lo, n, mask, c, spec.kind,
+                                             a)) {
+            return std::nullopt;
+          }
+          break;
+        }
+      }
+    }
+
+    // Expression arguments need a materialized row per selected row.
+    if (plan.needs_row) {
+      for (size_t i = 0; i < n; ++i) {
+        if (mask != nullptr && mask[i] == 0) continue;
+        cols.MaterializeRow(lo + i, s.scratch_row);
+        EvalContext ec = base;
+        ec.row = &s.scratch_row;
+        for (size_t si = 0; si < num_specs; ++si) {
+          const AggSpec& spec = plan.specs[si];
+          if (!spec.has_arg || spec.arg_is_slot) continue;
+          const StatusOr<Value> input = EvalBound(spec.arg, ec);
+          if (!input.ok()) return std::nullopt;
+          if (!Accumulate(spec.kind, *input, g.accums[si])) {
+            return std::nullopt;
+          }
+        }
+      }
+    }
+  } else {
+    // Grouped: one pass in row order. Per-group accumulation order equals
+    // the legacy per-group row order, and `touched` (first-seen order over
+    // selected rows) is the legacy emit order.
+    Row& key = s.key_scratch;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask != nullptr && mask[i] == 0) continue;
+      const size_t row = lo + i;
+      key.clear();
+      for (const size_t slot : plan.key_slots) {
+        key.push_back(cols.ValueAt(row, slot));
+      }
+      size_t slot_index = 0;
+      const auto it = s.group_index.find(key);
+      if (it == s.group_index.end()) {
+        slot_index = s.groups.size();
+        s.groups.emplace_back();
+        s.group_index.emplace(key, slot_index);
+      } else {
+        slot_index = it->second;
+      }
+      ColumnarPlan::GroupState& g = s.groups[slot_index];
+      if (g.gen != gen) {
+        ResetGroup(g, num_specs, gen);
+        g.first_row = row;
+        s.touched.push_back(slot_index);
+      }
+      EvalContext ec = base;
+      if (plan.needs_row) {
+        cols.MaterializeRow(row, s.scratch_row);
+        ec.row = &s.scratch_row;
+      }
+      for (size_t si = 0; si < num_specs; ++si) {
+        const AggSpec& spec = plan.specs[si];
+        Value input = Value::Int64(1);  // '*' marker.
+        if (spec.has_arg) {
+          if (spec.arg_is_slot) {
+            input = cols.ValueAt(row, spec.arg_slot);
+          } else {
+            StatusOr<Value> evaluated = EvalBound(spec.arg, ec);
+            if (!evaluated.ok()) return std::nullopt;
+            input = std::move(*evaluated);
+          }
+        }
+        if (!Accumulate(spec.kind, input, g.accums[si])) return std::nullopt;
+      }
+    }
+  }
+
+  // --- Emit, in first-seen group order: finalized aggregate values through
+  // the lowered kAggSlot reads, HAVING then items, representative row
+  // materialized from the group's first selected row (the legacy
+  // `group.rows.front()`).
+  stream::TupleArena& arena = stream::TupleArena::Local();
+  Relation output(prep.output_schema);
+  output.mutable_tuples() = arena.AcquireTuples();
+  s.agg_values.resize(num_specs);
+  for (const size_t slot_index : s.touched) {
+    const ColumnarPlan::GroupState& g = s.groups[slot_index];
+    for (size_t si = 0; si < num_specs; ++si) {
+      s.agg_values[si] = FinalValue(plan.specs[si].kind, g.accums[si]);
+    }
+    if (g.first_row == kNoRow) {
+      s.repr.assign(num_columns, Value::Null());
+    } else {
+      cols.MaterializeRow(g.first_row, s.repr);
+    }
+    EvalContext ec = base;
+    ec.row = &s.repr;
+    ec.agg_values = &s.agg_values;
+    if (plan.having.has_value()) {
+      const StatusOr<Value> verdict = EvalBound(*plan.having, ec);
+      if (!verdict.ok()) return std::nullopt;
+      const StatusOr<bool> keep = ToDecision(*verdict, "HAVING");
+      if (!keep.ok()) return std::nullopt;
+      if (!*keep) continue;
+    }
+    std::vector<Value> values =
+        arena.Acquire(prep.output_schema->num_fields());
+    for (const BoundExpr& item : plan.items) {
+      StatusOr<Value> value = EvalBound(item, ec);
+      if (!value.ok()) return std::nullopt;
+      values.push_back(std::move(*value));
+    }
+    output.Add(Tuple(prep.output_schema, std::move(values), base.now));
+  }
+  return output;
+}
+
+}  // namespace esp::cql::internal

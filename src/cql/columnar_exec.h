@@ -1,0 +1,62 @@
+#ifndef ESP_CQL_COLUMNAR_EXEC_H_
+#define ESP_CQL_COLUMNAR_EXEC_H_
+
+// Internal columnar execution machinery: admission, batch WHERE programs,
+// and the one-pass grouped-aggregate executor over ColumnarWindow ranges.
+// Include only from cql implementation files and white-box tests.
+//
+// The contract mirrors the incremental engine's: a plan is admitted only
+// when columnar execution provably produces bitwise-identical output to the
+// legacy row path, and execution returns nullopt on anything it cannot
+// prove at runtime (demoted columns, evaluation errors) — the caller then
+// runs the untouched row path, which reproduces genuine errors identically.
+
+#include <optional>
+#include <vector>
+
+#include "cql/expr_eval.h"
+#include "stream/column.h"
+
+namespace esp::cql::internal {
+
+/// One-time columnar admission for `prep` (idempotent; gated by
+/// prep.columnar_checked). On success prep.columnar holds the plan:
+/// aggregation queries get the full one-pass executor, plain projections get
+/// a batch-WHERE premask when the predicate compiles to a batch program.
+void EnsureColumnarPlan(PreparedQuery& prep, const SelectQuery& query);
+
+/// Compiles a bound WHERE tree into a postfix batch program over trits.
+/// Admitted leaves are column-vs-numeric-constant comparisons and
+/// IS [NOT] NULL slot tests; interior nodes are Kleene AND/OR/NOT. Returns
+/// false (leaving `out` unspecified) for anything else.
+bool CompileBatchWhere(const BoundExpr& where,
+                       std::vector<ColumnarPlan::BatchOp>& out);
+
+/// Evaluates a batch program over cols[lo, hi), writing one trit per row
+/// into `result`. Returns false when a referenced column's runtime storage
+/// cannot be batch-compared (demoted / non-numeric) — the caller must fall
+/// back to per-row evaluation. `stack` is reusable scratch.
+bool EvalBatchProgram(const std::vector<ColumnarPlan::BatchOp>& program,
+                      const stream::ColumnarWindow& cols, size_t lo,
+                      size_t hi,
+                      std::vector<std::vector<stream::simd::Trit>>& stack,
+                      std::vector<stream::simd::Trit>& result);
+
+/// Runs plan->where_program over cols[lo, hi) into plan->scratch.mask and
+/// returns a pointer to it, or nullptr when runtime-ineligible.
+const std::vector<stream::simd::Trit>* TryBatchWhere(
+    ColumnarPlan& plan, const stream::ColumnarWindow& cols, size_t lo,
+    size_t hi);
+
+/// Executes an admitted aggregation plan (prep.columnar->aggregated) over
+/// cols[lo, hi). `base` is the execution's root EvalContext (catalog, now,
+/// from, cache, outer) — rows/groups are filled in per group. Returns the
+/// un-finalized output relation (the caller applies FinalizeOutput), or
+/// nullopt when the row path must run instead.
+std::optional<stream::Relation> ExecuteColumnarAggregate(
+    PreparedQuery& prep, const stream::ColumnarWindow& cols, size_t lo,
+    size_t hi, const EvalContext& base);
+
+}  // namespace esp::cql::internal
+
+#endif  // ESP_CQL_COLUMNAR_EXEC_H_

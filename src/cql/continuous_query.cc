@@ -247,6 +247,37 @@ void ContinuousQuery::Evict(Timestamp now) {
   }
 }
 
+void ContinuousQuery::SyncColumns(StreamState& state) {
+  if (!stream::ColumnarEnabled()) {
+    // Leave the mirror cold; a later re-enable rebuilds from scratch.
+    if (state.columns_synced) {
+      state.columns.Clear();
+      state.columns_synced = false;
+    }
+    return;
+  }
+  const std::vector<Tuple>& history = state.history.tuples();
+  const uint64_t history_end = state.base_seq + history.size();
+  const bool incremental =
+      state.columns_synced && state.columns.schema() == state.schema &&
+      state.columns_base <= state.base_seq &&
+      state.columns_base + state.columns.size() <= history_end;
+  if (!incremental) {
+    state.columns.Reset(state.schema);
+    for (const Tuple& tuple : history) state.columns.Append(tuple);
+  } else {
+    // Evictions pop the front of the mirror, pushes append to its back —
+    // the steady-state tick does O(delta) work, not O(window).
+    state.columns.PopFront(
+        static_cast<size_t>(state.base_seq - state.columns_base));
+    for (size_t i = state.columns.size(); i < history.size(); ++i) {
+      state.columns.Append(history[i]);
+    }
+  }
+  state.columns_base = state.base_seq;
+  state.columns_synced = true;
+}
+
 StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
   if (has_evaluated_ && now < last_eval_) {
     return Status::InvalidArgument("evaluation times must be non-decreasing");
@@ -256,8 +287,15 @@ StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
 
   if (engine_ != nullptr) {
     StreamState& state = streams_[engine_stream_];
-    std::optional<Relation> result =
-        engine_->Evaluate(state.history, state.base_seq, now);
+    // Mirror maintenance is demand-driven: a query whose WHERE cannot
+    // batch-compile consumes rows one at a time regardless, so keeping the
+    // mirror warm for it would be pure per-tick overhead.
+    const bool want_columns = engine_->WantsColumns();
+    if (want_columns) SyncColumns(state);
+    std::optional<Relation> result = engine_->Evaluate(
+        state.history,
+        want_columns && state.columns_synced ? &state.columns : nullptr,
+        state.base_seq, now);
     if (result.has_value()) {
       Evict(now);  // Retention horizon trails the engine's consumption.
       return std::move(*result);
@@ -268,13 +306,16 @@ StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
   }
 
   Evict(now);
+  for (StreamState& state : streams_) SyncColumns(state);
 
   // The catalog views the stream histories in place; `streams_` never
   // resizes after construction, so build it once and reuse it every tick.
+  // The columnar mirrors ride along: the evaluator checks row-for-row sync
+  // before trusting them, so a cold mirror (toggle off) is simply ignored.
   if (catalog_ == nullptr) {
     catalog_ = std::make_unique<Catalog>();
     for (const StreamState& state : streams_) {
-      catalog_->AddStreamView(state.name, &state.history);
+      catalog_->AddStreamView(state.name, &state.history, &state.columns);
     }
   }
   return ExecuteQuery(*query_, *catalog_, now, exec_cache_.get());
@@ -330,6 +371,7 @@ Status ContinuousQuery::LoadState(ByteReader& r) {
     ESP_ASSIGN_OR_RETURN(const uint64_t history_size, r.ReadU64());
     state->history.mutable_tuples().clear();
     state->base_seq = 0;
+    state->columns_synced = false;  // Mirror rebuilds on next evaluation.
     for (uint64_t t = 0; t < history_size; ++t) {
       ESP_ASSIGN_OR_RETURN(stream::Tuple tuple,
                            stream::ReadTuple(r, state->schema));

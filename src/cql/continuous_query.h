@@ -11,6 +11,7 @@
 #include "cql/analyzer.h"
 #include "cql/ast.h"
 #include "cql/evaluator.h"
+#include "stream/column.h"
 #include "stream/tuple.h"
 
 namespace esp::cql {
@@ -78,11 +79,19 @@ class ContinuousQuery {
     bool unbounded = false;     // Any unbounded reference disables eviction.
     bool has_inserted = false;
     Timestamp last_insert;
+    /// Columnar mirror of `history`, kept row-for-row in sync by
+    /// SyncColumns() at each evaluation (incremental append/evict; full
+    /// rebuild only after restore or a toggle flip). The evaluator and the
+    /// incremental engine read it for the columnar fast paths.
+    stream::ColumnarWindow columns;
+    uint64_t columns_base = 0;  // All-time index of columns[0].
+    bool columns_synced = false;
   };
 
   ContinuousQuery() = default;
 
   void Evict(Timestamp now);
+  void SyncColumns(StreamState& state);
 
   std::unique_ptr<SelectQuery> query_;
   stream::SchemaRef output_schema_;

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "cql/columnar_exec.h"
 #include "cql/expr_eval.h"
 #include "cql/scalar_function.h"
 #include "stream/aggregate.h"
@@ -45,17 +46,32 @@ void Catalog::AddStream(const std::string& name, Relation history) {
 
 void Catalog::AddStreamView(const std::string& name,
                             const Relation* history) {
+  AddStreamView(name, history, nullptr);
+}
+
+void Catalog::AddStreamView(const std::string& name, const Relation* history,
+                            const stream::ColumnarWindow* columns) {
   for (Entry& entry : streams_) {
     if (esp::StrEqualsIgnoreCase(entry.name, name)) {
       entry.owned = Relation();
       entry.view = history;
+      entry.columns = columns;
       return;
     }
   }
   Entry entry;
   entry.name = name;
   entry.view = history;
+  entry.columns = columns;
   streams_.push_back(std::move(entry));
+}
+
+const stream::ColumnarWindow* Catalog::FindColumns(
+    const std::string& name) const {
+  for (const Entry& entry : streams_) {
+    if (esp::StrEqualsIgnoreCase(entry.name, name)) return entry.columns;
+  }
+  return nullptr;
 }
 
 StatusOr<const Relation*> Catalog::Find(const std::string& name) const {
@@ -1086,6 +1102,7 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
       if (TimeOrdered(*history)) {
         input.rel = history;
         std::tie(input.lo, input.hi) = WindowBounds(*history, ref.window, now);
+        input.columns = catalog.FindColumns(ref.stream_name);
       } else {
         input.owned = ApplyWindow(*history, ref.window, now);
         input.rel = &input.owned;
@@ -1177,6 +1194,46 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
   const internal::PreparedQuery& plan = prep != nullptr ? *prep : local;
   output_schema = plan.output_schema;
 
+  EvalContext base;
+  base.catalog = &catalog;
+  base.now = now;
+  base.from = &from;
+  base.cache = cache;
+  base.outer = outer;
+
+  // Columnar fast path: a single stream input sliced in place, with a
+  // row-synced columnar mirror and a cached plan. Aggregation shapes the
+  // admission rules accept run entirely over the columns (no row
+  // materialization); plain projections get a batch-evaluated WHERE premask
+  // so rejected rows are never materialized. Any runtime ineligibility
+  // (demoted columns, evaluation errors) falls through to the row path,
+  // which reproduces genuine errors identically.
+  const std::vector<stream::simd::Trit>* premask = nullptr;
+  if (prep != nullptr && inputs.size() == 1 && !inputs[0].movable &&
+      inputs[0].columns != nullptr && stream::ColumnarEnabled()) {
+    const internal::FromInput& input = inputs[0];
+    const stream::ColumnarWindow& cols = *input.columns;
+    if (cols.size() == input.rel->size() &&
+        cols.schema() == input.rel->schema()) {
+      internal::EnsureColumnarPlan(*prep, query);
+      internal::ColumnarPlan* cplan = prep->columnar.get();
+      if (cplan != nullptr) {
+        if (cplan->aggregated) {
+          std::optional<Relation> columnar_result =
+              internal::ExecuteColumnarAggregate(*prep, cols, input.lo,
+                                                 input.hi, base);
+          if (columnar_result.has_value()) {
+            return internal::FinalizeOutput(query,
+                                            std::move(*columnar_result));
+          }
+        } else if (cplan->where_mode ==
+                   internal::ColumnarPlan::WhereMode::kBatch) {
+          premask = internal::TryBatchWhere(*cplan, cols, input.lo, input.hi);
+        }
+      }
+    }
+  }
+
   // Enumerate joined rows (cartesian product; FROM-less yields one empty
   // row). Row backing stores come from the thread's arena.
   std::vector<Row>& rows = scratch.rows;
@@ -1185,6 +1242,12 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
     internal::FromInput& input = inputs[0];
     rows.reserve(input.hi - input.lo);
     for (size_t r = input.lo; r < input.hi; ++r) {
+      // Premasked rows failed WHERE (NULL decides as false) — never
+      // materialized.
+      if (premask != nullptr &&
+          (*premask)[r - input.lo] != stream::simd::kTrue) {
+        continue;
+      }
       if (input.movable) {
         // The windowed relation is owned by this evaluation, so move each
         // tuple's values into its row instead of copying field by field.
@@ -1249,18 +1312,12 @@ StatusOr<Relation> ExecuteInternal(const SelectQuery& query,
     }
   }
 
-  EvalContext base;
-  base.catalog = &catalog;
-  base.now = now;
-  base.from = &from;
-  base.cache = cache;
-  base.outer = outer;
-
-  // WHERE. Without one, the filtered set IS the row set (aliased, so both
-  // scratch buffers keep their capacity for the next execution).
-  std::vector<Row>& filtered =
-      plan.where.has_value() ? scratch.filtered : rows;
-  if (plan.where.has_value()) {
+  // WHERE. Without one — or with a batch premask already applied during row
+  // enumeration — the filtered set IS the row set (aliased, so both scratch
+  // buffers keep their capacity for the next execution).
+  const bool row_where = plan.where.has_value() && premask == nullptr;
+  std::vector<Row>& filtered = row_where ? scratch.filtered : rows;
+  if (row_where) {
     filtered.clear();
     filtered.reserve(rows.size());
     for (Row& row : rows) {

@@ -35,7 +35,17 @@ class Catalog {
   /// outlive every evaluation against this catalog and be time-ordered.
   void AddStreamView(const std::string& name, const stream::Relation* history);
 
+  /// As above, additionally attaching a columnar mirror of the same history
+  /// (stream/column.h). `columns` must stay row-for-row in sync with
+  /// `history` and outlive every evaluation; the evaluator uses it for the
+  /// columnar fast path and falls back to rows whenever it is absent.
+  void AddStreamView(const std::string& name, const stream::Relation* history,
+                     const stream::ColumnarWindow* columns);
+
   StatusOr<const stream::Relation*> Find(const std::string& name) const;
+
+  /// The columnar mirror registered for `name`, or nullptr.
+  const stream::ColumnarWindow* FindColumns(const std::string& name) const;
 
   /// Derives the analysis-time view (names -> schemas).
   SchemaCatalog ToSchemaCatalog() const;
@@ -45,6 +55,7 @@ class Catalog {
     std::string name;
     stream::Relation owned;
     const stream::Relation* view = nullptr;  // Set for AddStreamView entries.
+    const stream::ColumnarWindow* columns = nullptr;  // Optional mirror.
 
     const stream::Relation* get() const {
       return view != nullptr ? view : &owned;

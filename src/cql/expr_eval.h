@@ -18,7 +18,9 @@
 #include "cql/evaluator.h"
 #include "cql/scalar_function.h"
 #include "stream/aggregate.h"
+#include "stream/column.h"
 #include "stream/ops.h"
+#include "stream/simd_kernels.h"
 #include "stream/tuple.h"
 
 namespace esp::cql::internal {
@@ -128,6 +130,97 @@ struct FromInput {
   const stream::Relation* rel = nullptr;
   size_t lo = 0, hi = 0;
   bool movable = false;  // True when `owned` backs [lo, hi).
+  /// Columnar mirror of `rel` (same row indexing), when the catalog has one
+  /// registered and the history is sliced in place. Null otherwise.
+  const stream::ColumnarWindow* columns = nullptr;
+};
+
+/// Columnar fast-path plan for the single-stream shapes the admission rules
+/// in columnar_exec.cc can prove bitwise-identical: batch WHERE evaluation
+/// over typed columns, and (for aggregation queries) a one-pass grouped
+/// accumulator that never materializes rows. Built once per PreparedQuery by
+/// EnsureColumnarPlan; execution falls back to the row path on anything the
+/// plan cannot handle at runtime (demoted columns, evaluation errors).
+struct ColumnarPlan {
+  /// Postfix program over a trit stack (see simd_kernels.h) computing the
+  /// WHERE verdict for a whole column range at once. Leaves are
+  /// column-vs-constant comparisons and IS [NOT] NULL tests; interior ops
+  /// are Kleene AND/OR/NOT — total functions, so batch evaluation cannot
+  /// change which error (none) the row path would have raised.
+  struct BatchOp {
+    enum class Kind : uint8_t { kCompare, kIsNull, kAnd, kOr, kNot };
+    Kind kind = Kind::kCompare;
+    size_t slot = 0;                           // kCompare / kIsNull.
+    stream::simd::CmpOp op = stream::simd::CmpOp::kEq;  // kCompare.
+    bool rhs_is_int = false;                   // kCompare: constant type.
+    int64_t rhs_i = 0;
+    double rhs_d = 0.0;
+    bool negated = false;                      // kIsNull.
+  };
+
+  enum class WhereMode : uint8_t { kNone, kBatch, kPerRow };
+
+  bool aggregated = false;
+  WhereMode where_mode = WhereMode::kNone;
+  std::vector<BatchOp> where_program;  // Valid when where_mode == kBatch.
+
+  // Aggregation mode (grouped or scalar-aggregate):
+  std::vector<size_t> key_slots;  // GROUP BY keys (plain columns only).
+  struct AggSpec {
+    enum class Kind : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+    Kind kind = Kind::kCount;
+    bool has_arg = false;  // false: '*' (a non-null marker per row).
+    BoundExpr arg;         // Pure row expression.
+    bool arg_is_slot = false;
+    size_t arg_slot = 0;
+  };
+  std::vector<AggSpec> specs;
+  std::vector<BoundExpr> items;       // Aggregates lowered to kAggSlot.
+  std::optional<BoundExpr> having;    // Likewise.
+  bool needs_row = false;  // Any stage requires a materialized scratch row.
+
+  /// Legacy aggregator state, replicated field for field (see
+  /// stream/aggregate.cc): the fold order and type bookkeeping decide the
+  /// output bits, so the accumulator mirrors them exactly.
+  struct AggAccum {
+    double sum = 0.0;
+    int64_t nonnull = 0;
+    bool saw_value = false;
+    bool all_integers = true;
+    stream::Value best;  // min/max winner so far.
+    void Reset() {
+      sum = 0.0;
+      nonnull = 0;
+      saw_value = false;
+      all_integers = true;
+      best = stream::Value::Null();
+    }
+  };
+
+  struct GroupState {
+    std::vector<stream::Value> key;
+    std::vector<AggAccum> accums;
+    size_t first_row = 0;  // Live column index of the representative row.
+    uint64_t gen = 0;
+  };
+
+  /// Reusable execution-time buffers (one columnar execution at a time per
+  /// plan, same single-thread contract as ExecScratch).
+  struct Scratch {
+    std::vector<stream::simd::Trit> mask;
+    std::vector<std::vector<stream::simd::Trit>> stack;
+    Row scratch_row;
+    Row key_scratch;
+    Row repr;
+    std::vector<stream::Value> agg_values;
+    std::vector<GroupState> groups;
+    std::unordered_map<std::vector<stream::Value>, size_t,
+                       stream::ValueVectorHash, stream::ValueVectorEq>
+        group_index;
+    std::vector<size_t> touched;
+    uint64_t gen = 0;
+  };
+  Scratch scratch;
 };
 
 /// One query's execution plan, compiled once and reused every tick: the
@@ -140,6 +233,13 @@ struct PreparedQuery {
   std::vector<BoundExpr> group_keys;
   std::optional<BoundExpr> having;
   std::vector<char> move_item;  // Non-aggregate projection move plan.
+
+  /// Columnar fast-path plan, built lazily on the first columnar-eligible
+  /// execution (columnar_exec.h). `columnar_checked` gates the one-time
+  /// admission pass; nullptr once checked means the shape is inadmissible
+  /// and the row path runs unconditionally.
+  std::unique_ptr<ColumnarPlan> columnar;
+  bool columnar_checked = false;
 
   /// Reusable execution-time containers. A standing query evaluates from one
   /// thread at a time and a query never appears as its own (transitive)

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "cql/columnar_exec.h"
 #include "stream/arena.h"
 
 namespace esp::cql {
@@ -127,11 +128,15 @@ std::unique_ptr<IncrementalGroupedQuery> IncrementalGroupedQuery::TryPlan(
   engine->from_.total_columns = input_schema->num_fields();
   engine->from_.frames.push_back(std::move(frame));
 
-  // WHERE runs once per row at insert time, so it must be pure.
+  // WHERE runs once per row at insert time, so it must be pure. When the
+  // predicate also compiles to a batch program, the columnar consume path
+  // evaluates it a window-delta at a time over the typed columns.
   if (query.where != nullptr) {
     BoundExpr bound = internal::CompileExpr(*query.where, engine->from_);
     if (!IsPureRowExpr(bound)) return nullptr;
     engine->where_ = std::move(bound);
+    engine->where_batch_ok_ =
+        internal::CompileBatchWhere(*engine->where_, engine->where_batch_);
   }
 
   // Keys must be plain columns (the emit path synthesizes the group's
@@ -231,8 +236,14 @@ void IncrementalGroupedQuery::Reset() {
 
 std::optional<Relation> IncrementalGroupedQuery::Evaluate(
     const Relation& history, uint64_t base_seq, Timestamp now) {
+  return Evaluate(history, nullptr, base_seq, now);
+}
+
+std::optional<Relation> IncrementalGroupedQuery::Evaluate(
+    const Relation& history, const stream::ColumnarWindow* columns,
+    uint64_t base_seq, Timestamp now) {
   if (broken_) return std::nullopt;
-  if (!Advance(history, base_seq, now)) {
+  if (!Advance(history, columns, base_seq, now)) {
     broken_ = true;
     return std::nullopt;
   }
@@ -245,16 +256,45 @@ std::optional<Relation> IncrementalGroupedQuery::Evaluate(
 }
 
 bool IncrementalGroupedQuery::Advance(const Relation& history,
+                                      const stream::ColumnarWindow* columns,
                                       uint64_t base_seq, Timestamp now) {
   const Timestamp effective = window_.kind == WindowKind::kRange
                                   ? window_.EffectiveTime(now)
                                   : now;
   if (base_seq > next_seq_) return false;  // Rows vanished unconsumed.
   const std::vector<Tuple>& tuples = history.tuples();
-  for (size_t i = static_cast<size_t>(next_seq_ - base_seq);
-       i < tuples.size() && tuples[i].timestamp() <= effective; ++i) {
-    if (!Insert(tuples[i])) return false;
-    ++next_seq_;
+  const size_t start = static_cast<size_t>(next_seq_ - base_seq);
+  if (columns != nullptr && columns->size() == tuples.size() &&
+      WantsColumns()) {
+    // Columnar consume: bound the delta by binary search, batch-evaluate
+    // WHERE over the typed columns when the program admits it, and
+    // materialize only the rows that survive. Batch leaves are total
+    // functions, so a mask can never hide an error the row path would have
+    // raised; runtime ineligibility (demoted columns) falls back to the
+    // per-row WHERE below with identical semantics.
+    const size_t hi = std::max(start, columns->UpperBound(effective));
+    bool have_mask = false;
+    if (where_.has_value() && where_batch_ok_ && hi > start) {
+      have_mask = internal::EvalBatchProgram(where_batch_, *columns, start,
+                                             hi, batch_stack_, batch_mask_);
+    }
+    for (size_t i = start; i < hi; ++i) {
+      if (have_mask && batch_mask_[i - start] != stream::simd::kTrue) {
+        ++next_seq_;  // Filtered out; consumed with no member.
+        continue;
+      }
+      columns->MaterializeRow(i, column_row_);
+      if (!InsertRow(column_row_, columns->timestamp(i), have_mask)) {
+        return false;
+      }
+      ++next_seq_;
+    }
+  } else {
+    for (size_t i = start;
+         i < tuples.size() && tuples[i].timestamp() <= effective; ++i) {
+      if (!Insert(tuples[i])) return false;
+      ++next_seq_;
+    }
   }
   if (window_.kind == WindowKind::kRange) {
     return EvictMembers(effective - window_.range);
@@ -263,15 +303,19 @@ bool IncrementalGroupedQuery::Advance(const Relation& history,
 }
 
 bool IncrementalGroupedQuery::Insert(const Tuple& tuple) {
-  const Row& row = tuple.values();
+  return InsertRow(tuple.values(), tuple.timestamp(), /*skip_where=*/false);
+}
+
+bool IncrementalGroupedQuery::InsertRow(const Row& row, Timestamp ts,
+                                        bool skip_where) {
   if (row.size() != from_.total_columns) return false;
 
   EvalContext ec;
-  ec.now = tuple.timestamp();
+  ec.now = ts;
   ec.from = &from_;
   ec.row = &row;
 
-  if (where_.has_value()) {
+  if (!skip_where && where_.has_value()) {
     StatusOr<Value> verdict = internal::EvalBound(*where_, ec);
     if (!verdict.ok()) return false;
     StatusOr<bool> keep = internal::ToDecision(*verdict, "WHERE");
@@ -299,7 +343,7 @@ bool IncrementalGroupedQuery::Insert(const Tuple& tuple) {
 
   Member member;
   member.seq = next_seq_;
-  member.ts = tuple.timestamp();
+  member.ts = ts;
   member.inputs = arena.Acquire(specs_.size());
   for (size_t s = 0; s < specs_.size(); ++s) {
     const AggSpec& spec = specs_[s];

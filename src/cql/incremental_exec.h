@@ -58,11 +58,25 @@ class IncrementalGroupedQuery {
   std::optional<stream::Relation> Evaluate(const stream::Relation& history,
                                            uint64_t base_seq, Timestamp now);
 
+  /// As above, additionally consuming new rows from `columns` (a row-synced
+  /// columnar mirror of `history`, see stream/column.h) when non-null: the
+  /// WHERE clause is batch-evaluated over the typed columns where possible,
+  /// and rows it rejects are skipped without ever being materialized.
+  std::optional<stream::Relation> Evaluate(
+      const stream::Relation& history, const stream::ColumnarWindow* columns,
+      uint64_t base_seq, Timestamp now);
+
   /// Drops all window state (after checkpoint restore). The next Evaluate
   /// call rebuilds it by consuming the restored history from base_seq 0.
   void Reset();
 
   bool broken() const { return broken_; }
+
+  /// True when passing a columnar mirror to Evaluate can actually pay for
+  /// itself: the WHERE clause batch-compiled, so rejected rows are skipped
+  /// without materialization. Callers use this to skip mirror maintenance
+  /// entirely for queries the engine consumes row-at-a-time anyway.
+  bool WantsColumns() const { return where_.has_value() && where_batch_ok_; }
 
  private:
   struct AggSpec {
@@ -96,9 +110,13 @@ class IncrementalGroupedQuery {
 
   IncrementalGroupedQuery() = default;
 
-  bool Advance(const stream::Relation& history, uint64_t base_seq,
+  bool Advance(const stream::Relation& history,
+               const stream::ColumnarWindow* columns, uint64_t base_seq,
                Timestamp now);
   bool Insert(const stream::Tuple& tuple);
+  /// The row-shaped core of Insert. `skip_where` marks rows a batch WHERE
+  /// pass already admitted.
+  bool InsertRow(const internal::Row& row, Timestamp ts, bool skip_where);
   bool EvictMembers(Timestamp horizon);  // Members with ts <= horizon die.
   bool Emit(Timestamp now, stream::Relation* out);
 
@@ -112,6 +130,9 @@ class IncrementalGroupedQuery {
   std::vector<internal::BoundExpr> items_;  // Aggregates lowered to kAggSlot.
   std::optional<internal::BoundExpr> having_;
   std::vector<AggSpec> specs_;
+  /// Batch-compiled WHERE (columnar_exec.h), when the predicate admits it.
+  std::vector<internal::ColumnarPlan::BatchOp> where_batch_;
+  bool where_batch_ok_ = false;
 
   // --- Window state (a pure function of the live rows).
   std::unordered_map<std::vector<stream::Value>, Group,
@@ -128,6 +149,9 @@ class IncrementalGroupedQuery {
   std::vector<const Group*> emit_order_;
   internal::Row emit_repr_;
   std::vector<stream::Value> emit_aggs_;
+  std::vector<std::vector<stream::simd::Trit>> batch_stack_;
+  std::vector<stream::simd::Trit> batch_mask_;
+  internal::Row column_row_;  // Reused per-row materialization buffer.
 };
 
 /// \brief Benchmark/test hook: toggles incremental window evaluation for

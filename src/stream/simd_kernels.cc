@@ -1,0 +1,504 @@
+#include "stream/simd_kernels.h"
+
+#include <atomic>
+
+#if defined(ESP_ENABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ESP_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define ESP_HAVE_AVX2_KERNELS 0
+#endif
+
+namespace esp::stream::simd {
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+std::atomic<uint64_t> g_vector_batches{0};
+std::atomic<uint64_t> g_scalar_batches{0};
+std::atomic<uint64_t> g_guard_fallbacks{0};
+
+/// Largest running sum of |value| for which every prefix of the legacy
+/// sequential double fold is exactly representable (see incremental_exec.cc,
+/// which proves the same bound for the delta engine).
+constexpr int64_t kMaxExactAbs = int64_t{1} << 52;
+
+inline bool IsNullBit(const uint64_t* nulls, size_t bit0, size_t i) {
+  const size_t bit = bit0 + i;
+  return (nulls[bit / 64] >> (bit % 64)) & 1;
+}
+
+inline void CountVector() {
+  g_vector_batches.fetch_add(1, std::memory_order_relaxed);
+}
+inline void CountScalar() {
+  g_scalar_batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool UseAvx2() {
+#if ESP_HAVE_AVX2_KERNELS
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported && !g_force_scalar.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 variants (null-free, maskless fast paths only; everything else takes
+// the scalar path below, which is the reference implementation).
+// ---------------------------------------------------------------------------
+#if ESP_HAVE_AVX2_KERNELS
+
+__attribute__((target("avx2"))) void CompareF64Avx2(const double* v, size_t n,
+                                                    CmpOp op, double rhs,
+                                                    Trit* out) {
+  const __m256d c = _mm256_set1_pd(rhs);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    __m256d m = _mm256_setzero_pd();
+    switch (op) {
+      case CmpOp::kEq:
+        m = _mm256_cmp_pd(x, c, _CMP_EQ_OQ);
+        break;
+      case CmpOp::kNe:
+        m = _mm256_cmp_pd(x, c, _CMP_NEQ_UQ);
+        break;
+      case CmpOp::kLt:
+        m = _mm256_cmp_pd(x, c, _CMP_LT_OQ);
+        break;
+      case CmpOp::kLe:
+        // Legacy <= is !(a > b): true under NaN (three-way compare says 0).
+        m = _mm256_cmp_pd(x, c, _CMP_NGT_UQ);
+        break;
+      case CmpOp::kGt:
+        m = _mm256_cmp_pd(x, c, _CMP_GT_OQ);
+        break;
+      case CmpOp::kGe:
+        m = _mm256_cmp_pd(x, c, _CMP_NLT_UQ);
+        break;
+    }
+    const int bits = _mm256_movemask_pd(m);
+    out[i + 0] = (bits >> 0) & 1;
+    out[i + 1] = (bits >> 1) & 1;
+    out[i + 2] = (bits >> 2) & 1;
+    out[i + 3] = (bits >> 3) & 1;
+  }
+  for (; i < n; ++i) {
+    const double x = v[i];
+    bool t = false;
+    switch (op) {
+      case CmpOp::kEq:
+        t = x == rhs;
+        break;
+      case CmpOp::kNe:
+        t = !(x == rhs);
+        break;
+      case CmpOp::kLt:
+        t = x < rhs;
+        break;
+      case CmpOp::kLe:
+        t = !(x > rhs);
+        break;
+      case CmpOp::kGt:
+        t = x > rhs;
+        break;
+      case CmpOp::kGe:
+        t = !(x < rhs);
+        break;
+    }
+    out[i] = t ? kTrue : kFalse;
+  }
+}
+
+__attribute__((target("avx2"))) void EqI64Avx2(const int64_t* v, size_t n,
+                                               bool negated, int64_t rhs,
+                                               Trit* out) {
+  const __m256i c = _mm256_set1_epi64x(rhs);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i eq = _mm256_cmpeq_epi64(x, c);
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (negated) bits = ~bits;
+    out[i + 0] = (bits >> 0) & 1;
+    out[i + 1] = (bits >> 1) & 1;
+    out[i + 2] = (bits >> 2) & 1;
+    out[i + 3] = (bits >> 3) & 1;
+  }
+  for (; i < n; ++i) {
+    out[i] = ((v[i] == rhs) != negated) ? kTrue : kFalse;
+  }
+}
+
+/// Lane-parallel int64 sum with the 2^52 exactness guard. Returns false when
+/// the guard trips (caller restarts with the sequential double fold).
+__attribute__((target("avx2"))) bool SumI64Avx2(const int64_t* v, size_t n,
+                                                double* out_sum) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i limit = _mm256_set1_epi64x(kMaxExactAbs);
+  __m256i lane_sum = zero;
+  int64_t total = 0;
+  int64_t total_mag = 0;
+  size_t i = 0;
+  constexpr size_t kChunk = 1024;
+  while (i + 4 <= n) {
+    const size_t remaining = ((n - i) / 4) * 4;
+    const size_t chunk_end = i + (remaining < kChunk ? remaining : kChunk);
+    __m256i mag_sum = zero;
+    for (; i + 4 <= chunk_end; i += 4) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      // |x| via sign-mask trick (AVX2 has no 64-bit abs or arithmetic
+      // shift): mag = (x ^ sign) - sign, sign = all-ones when negative.
+      const __m256i sign = _mm256_cmpgt_epi64(zero, x);
+      const __m256i mag = _mm256_sub_epi64(_mm256_xor_si256(x, sign), sign);
+      // Any lane already past the bound (INT64_MIN stays negative and also
+      // trips via the sign test) ends the fast path.
+      const __m256i too_big = _mm256_or_si256(_mm256_cmpgt_epi64(mag, limit),
+                                              _mm256_cmpgt_epi64(zero, mag));
+      if (_mm256_movemask_epi8(too_big) != 0) return false;
+      lane_sum = _mm256_add_epi64(lane_sum, x);
+      mag_sum = _mm256_add_epi64(mag_sum, mag);
+    }
+    // Per-lane magnitude sums stay < kChunk/4 * 2^52 < 2^61: no overflow.
+    alignas(32) int64_t mags[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(mags), mag_sum);
+    total_mag += mags[0] + mags[1] + mags[2] + mags[3];
+    if (total_mag > kMaxExactAbs) return false;
+  }
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), lane_sum);
+  total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    const int64_t x = v[i];
+    if (x == INT64_MIN) return false;
+    const int64_t mag = x < 0 ? -x : x;
+    if (mag > kMaxExactAbs - total_mag) return false;
+    total_mag += mag;
+    total += x;
+  }
+  // Every partial sum of the legacy fold is bounded by total_mag <= 2^52,
+  // hence exact; the fold therefore equals the integer total in any order.
+  *out_sum = static_cast<double>(total);
+  return true;
+}
+
+#endif  // ESP_HAVE_AVX2_KERNELS
+
+}  // namespace
+
+bool Avx2Available() {
+#if ESP_HAVE_AVX2_KERNELS
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+void SetForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool ForceScalar() { return g_force_scalar.load(std::memory_order_relaxed); }
+
+KernelStats GetKernelStats() {
+  KernelStats stats;
+  stats.vector_batches = g_vector_batches.load(std::memory_order_relaxed);
+  stats.scalar_batches = g_scalar_batches.load(std::memory_order_relaxed);
+  stats.guard_fallbacks = g_guard_fallbacks.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetKernelStats() {
+  g_vector_batches.store(0, std::memory_order_relaxed);
+  g_scalar_batches.store(0, std::memory_order_relaxed);
+  g_guard_fallbacks.store(0, std::memory_order_relaxed);
+}
+
+int64_t CountNonNull(size_t n, const uint64_t* nulls, size_t bit0,
+                     const uint8_t* mask) {
+  CountScalar();
+  if (mask == nullptr) {
+    if (nulls == nullptr) return static_cast<int64_t>(n);
+    int64_t nulls_seen = 0;
+    for (size_t i = 0; i < n; ++i) {
+      nulls_seen += IsNullBit(nulls, bit0, i);
+    }
+    return static_cast<int64_t>(n) - nulls_seen;
+  }
+  int64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask[i] && (nulls == nullptr || !IsNullBit(nulls, bit0, i))) ++count;
+  }
+  return count;
+}
+
+SumResult SumI64(const int64_t* v, size_t n, const uint64_t* nulls,
+                 size_t bit0, const uint8_t* mask) {
+  SumResult result;
+  if (nulls == nullptr && mask == nullptr) {
+    result.nonnull = static_cast<int64_t>(n);
+#if ESP_HAVE_AVX2_KERNELS
+    if (UseAvx2() && n >= 8) {
+      if (SumI64Avx2(v, n, &result.sum)) {
+        CountVector();
+        return result;
+      }
+      g_guard_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+#endif
+    CountScalar();
+    // Scalar fast path: integer partial sums under the same 2^52 guard.
+    int64_t total = 0;
+    int64_t total_mag = 0;
+    bool exact = true;
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t x = v[i];
+      if (x == INT64_MIN) {
+        exact = false;
+        break;
+      }
+      const int64_t mag = x < 0 ? -x : x;
+      if (mag > kMaxExactAbs - total_mag) {
+        exact = false;
+        break;
+      }
+      total_mag += mag;
+      total += x;
+    }
+    if (exact) {
+      result.sum = static_cast<double>(total);
+      return result;
+    }
+    g_guard_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    // Past the guard: replicate the legacy fold verbatim (sequential,
+    // order-dependent double accumulation).
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += static_cast<double>(v[i]);
+    result.sum = sum;
+    return result;
+  }
+  CountScalar();
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask != nullptr && !mask[i]) continue;
+    if (nulls != nullptr && IsNullBit(nulls, bit0, i)) continue;
+    sum += static_cast<double>(v[i]);
+    ++result.nonnull;
+  }
+  result.sum = sum;
+  return result;
+}
+
+SumResult SumF64(const double* v, size_t n, const uint64_t* nulls,
+                 size_t bit0, const uint8_t* mask) {
+  CountScalar();
+  SumResult result;
+  // Strictly sequential — FP addition is order-dependent and the legacy
+  // SumAggregator folds in window order. Never vectorized by design.
+  double sum = 0.0;
+  if (nulls == nullptr && mask == nullptr) {
+    for (size_t i = 0; i < n; ++i) sum += v[i];
+    result.nonnull = static_cast<int64_t>(n);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (mask != nullptr && !mask[i]) continue;
+      if (nulls != nullptr && IsNullBit(nulls, bit0, i)) continue;
+      sum += v[i];
+      ++result.nonnull;
+    }
+  }
+  result.sum = sum;
+  return result;
+}
+
+ptrdiff_t ExtremumI64(const int64_t* v, size_t n, const uint64_t* nulls,
+                      size_t bit0, const uint8_t* mask, bool is_min) {
+  CountScalar();
+  ptrdiff_t best = -1;
+  double dbest = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask != nullptr && !mask[i]) continue;
+    if (nulls != nullptr && IsNullBit(nulls, bit0, i)) continue;
+    // Value::Compare widens int64 to double, so the replacement test must
+    // too: above 2^53 distinct integers can compare equal, and the legacy
+    // aggregator keeps the FIRST of equals.
+    const double dv = static_cast<double>(v[i]);
+    if (best < 0 || (is_min ? dv < dbest : dv > dbest)) {
+      best = static_cast<ptrdiff_t>(i);
+      dbest = dv;
+    }
+  }
+  return best;
+}
+
+ptrdiff_t ExtremumF64(const double* v, size_t n, const uint64_t* nulls,
+                      size_t bit0, const uint8_t* mask, bool is_min) {
+  CountScalar();
+  ptrdiff_t best = -1;
+  double dbest = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask != nullptr && !mask[i]) continue;
+    if (nulls != nullptr && IsNullBit(nulls, bit0, i)) continue;
+    const double dv = v[i];
+    // Strict < / > replicates the three-way compare: ties (including NaN,
+    // which compares unordered, and -0.0 vs +0.0) keep the first winner.
+    if (best < 0 || (is_min ? dv < dbest : dv > dbest)) {
+      best = static_cast<ptrdiff_t>(i);
+      dbest = dv;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+template <typename T, typename Cmp>
+void CompareLoop(const T* v, size_t n, const uint64_t* nulls, size_t bit0,
+                 Cmp cmp, Trit* out) {
+  if (nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = cmp(v[i]) ? kTrue : kFalse;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = IsNullBit(nulls, bit0, i) ? kNull : (cmp(v[i]) ? kTrue : kFalse);
+  }
+}
+
+template <typename T>
+void DispatchOrdering(const T* v, size_t n, const uint64_t* nulls, size_t bit0,
+                      CmpOp op, double rhs, Trit* out) {
+  // Ordering per the legacy three-way compare over doubles: < and > are the
+  // IEEE predicates; <= and >= are their negations (NaN compares "equal",
+  // so NaN <= c is TRUE — the trichotomy value is 0).
+  switch (op) {
+    case CmpOp::kLt:
+      CompareLoop(v, n, nulls, bit0,
+                  [rhs](T x) { return static_cast<double>(x) < rhs; }, out);
+      break;
+    case CmpOp::kLe:
+      CompareLoop(v, n, nulls, bit0,
+                  [rhs](T x) { return !(static_cast<double>(x) > rhs); },
+                  out);
+      break;
+    case CmpOp::kGt:
+      CompareLoop(v, n, nulls, bit0,
+                  [rhs](T x) { return static_cast<double>(x) > rhs; }, out);
+      break;
+    case CmpOp::kGe:
+      CompareLoop(v, n, nulls, bit0,
+                  [rhs](T x) { return !(static_cast<double>(x) < rhs); },
+                  out);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void CompareI64WithI64(const int64_t* v, size_t n, const uint64_t* nulls,
+                       size_t bit0, CmpOp op, int64_t rhs, Trit* out) {
+  if (op == CmpOp::kEq || op == CmpOp::kNe) {
+    const bool negated = op == CmpOp::kNe;
+#if ESP_HAVE_AVX2_KERNELS
+    if (nulls == nullptr && UseAvx2() && n >= 8) {
+      CountVector();
+      EqI64Avx2(v, n, negated, rhs, out);
+      return;
+    }
+#endif
+    CountScalar();
+    // Same-type equality is exact integer equality (Value::Equals).
+    CompareLoop(v, n, nulls, bit0,
+                [rhs, negated](int64_t x) { return (x == rhs) != negated; },
+                out);
+    return;
+  }
+  CountScalar();
+  DispatchOrdering(v, n, nulls, bit0, op, static_cast<double>(rhs), out);
+}
+
+void CompareI64WithF64(const int64_t* v, size_t n, const uint64_t* nulls,
+                       size_t bit0, CmpOp op, double rhs, Trit* out) {
+  CountScalar();
+  if (op == CmpOp::kEq || op == CmpOp::kNe) {
+    const bool negated = op == CmpOp::kNe;
+    // Cross-type equality widens the int64 side (Value::Equals).
+    CompareLoop(
+        v, n, nulls, bit0,
+        [rhs, negated](int64_t x) {
+          return (static_cast<double>(x) == rhs) != negated;
+        },
+        out);
+    return;
+  }
+  DispatchOrdering(v, n, nulls, bit0, op, rhs, out);
+}
+
+void CompareF64(const double* v, size_t n, const uint64_t* nulls, size_t bit0,
+                CmpOp op, double rhs, Trit* out) {
+#if ESP_HAVE_AVX2_KERNELS
+  if (nulls == nullptr && UseAvx2() && n >= 8) {
+    CountVector();
+    CompareF64Avx2(v, n, op, rhs, out);
+    return;
+  }
+#endif
+  CountScalar();
+  if (op == CmpOp::kEq || op == CmpOp::kNe) {
+    const bool negated = op == CmpOp::kNe;
+    CompareLoop(v, n, nulls, bit0,
+                [rhs, negated](double x) { return (x == rhs) != negated; },
+                out);
+    return;
+  }
+  DispatchOrdering(v, n, nulls, bit0, op, rhs, out);
+}
+
+void IsNullTrits(size_t n, const uint64_t* nulls, size_t bit0, bool negated,
+                 Trit* out) {
+  CountScalar();
+  if (nulls == nullptr) {
+    const Trit fill = negated ? kTrue : kFalse;
+    for (size_t i = 0; i < n; ++i) out[i] = fill;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (IsNullBit(nulls, bit0, i) != negated) ? kTrue : kFalse;
+  }
+}
+
+void TritAnd(const Trit* a, const Trit* b, size_t n, Trit* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const Trit x = a[i];
+    const Trit y = b[i];
+    // Kleene AND: false dominates, then null, then true.
+    out[i] = (x == kFalse || y == kFalse)
+                 ? kFalse
+                 : ((x == kNull || y == kNull) ? kNull : kTrue);
+  }
+}
+
+void TritOr(const Trit* a, const Trit* b, size_t n, Trit* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const Trit x = a[i];
+    const Trit y = b[i];
+    out[i] = (x == kTrue || y == kTrue)
+                 ? kTrue
+                 : ((x == kNull || y == kNull) ? kNull : kFalse);
+  }
+}
+
+void TritNot(const Trit* a, size_t n, Trit* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const Trit x = a[i];
+    out[i] = x == kNull ? kNull : (x == kFalse ? kTrue : kFalse);
+  }
+}
+
+}  // namespace esp::stream::simd

@@ -1,0 +1,113 @@
+#ifndef ESP_STREAM_SIMD_KERNELS_H_
+#define ESP_STREAM_SIMD_KERNELS_H_
+
+// Vectorized kernels over columnar windows (see stream/column.h): the hot
+// aggregates (count/sum/min/max over int64/double cells) and batch
+// predicate evaluation for the compiled expression path.
+//
+// Every kernel is bitwise-identical to the row-oriented code it replaces:
+//  - Double summation stays strictly sequential (no lane-wise partial sums;
+//    FP addition is not associative and the legacy SumAggregator folds in
+//    window order).
+//  - Int64 summation uses lane-parallel integer partial sums ONLY while the
+//    running sum of |value| stays <= 2^52, which makes the legacy double
+//    fold exact and therefore order-independent; past the guard the kernel
+//    restarts in sequential-double order.
+//  - Min/max replicate Value::Compare exactly — the comparison widens both
+//    sides to double (so two distinct int64 above 2^53 can tie) and the
+//    FIRST of equals wins, which also pins NaN and signed-zero behaviour.
+//    Lane-parallel tie-breaking would need index bookkeeping that costs
+//    more than the scan, so these stay sequential scalar loops.
+//  - Comparisons mirror EvalComparison: =/<> are Value::Equals (exact
+//    int64 equality same-type, double-widened cross-type), the ordering ops
+//    use the double-widened three-way compare, and null cells yield NULL.
+//
+// The loops are written to auto-vectorize; an optional AVX2 variant (CMake
+// option ESP_ENABLE_AVX2, on by default for x86-64) is selected at runtime
+// via cpuid for the null-free maskless fast paths. The scalar fallback is
+// always compiled and can be forced for tests/CI with SetForceScalar.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace esp::stream::simd {
+
+/// True when the binary carries AVX2 kernels and the CPU supports them
+/// (ignores the force-scalar override; dispatch honours both).
+bool Avx2Available();
+
+/// Test/CI hook: forces every dispatch onto the scalar path so it stays
+/// exercised on AVX2 hardware.
+void SetForceScalar(bool force);
+bool ForceScalar();
+
+/// Monotonic counters for observability (surfaced via EspProcessor Health).
+struct KernelStats {
+  uint64_t vector_batches = 0;  // Batches taken by the AVX2 variants.
+  uint64_t scalar_batches = 0;  // Batches on the scalar/auto-vec path.
+  uint64_t guard_fallbacks = 0;  // Int64-sum exactness guard trips.
+};
+KernelStats GetKernelStats();
+void ResetKernelStats();
+
+// ---------------------------------------------------------------------------
+// Null bitmap convention: cell i of the batch is null iff bit (bit0 + i) of
+// `nulls` is set; nulls == nullptr means no cell is null. `mask` (when not
+// null) selects cells with mask[i] != 0 (a WHERE selection).
+// ---------------------------------------------------------------------------
+
+/// count(x): cells that are selected and non-null.
+int64_t CountNonNull(size_t n, const uint64_t* nulls, size_t bit0,
+                     const uint8_t* mask);
+
+/// sum(x)/avg(x) over numeric cells: the legacy fold state.
+struct SumResult {
+  double sum = 0.0;      // Bitwise-equal to the sequential double fold.
+  int64_t nonnull = 0;   // Cells folded in.
+};
+SumResult SumI64(const int64_t* v, size_t n, const uint64_t* nulls,
+                 size_t bit0, const uint8_t* mask);
+SumResult SumF64(const double* v, size_t n, const uint64_t* nulls,
+                 size_t bit0, const uint8_t* mask);
+
+/// min(x)/max(x): index of the winning cell (first of equals under the
+/// double-widened compare), or -1 when every selected cell is null.
+ptrdiff_t ExtremumI64(const int64_t* v, size_t n, const uint64_t* nulls,
+                      size_t bit0, const uint8_t* mask, bool is_min);
+ptrdiff_t ExtremumF64(const double* v, size_t n, const uint64_t* nulls,
+                      size_t bit0, const uint8_t* mask, bool is_min);
+
+// ---------------------------------------------------------------------------
+// Batch predicates. Results are trits implementing SQL three-valued logic:
+// 0 = false, 1 = true, 2 = null.
+// ---------------------------------------------------------------------------
+using Trit = uint8_t;
+inline constexpr Trit kFalse = 0, kTrue = 1, kNull = 2;
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// column <op> int64-constant over an int64 column. Equality is exact
+/// (same-type Value::Equals); ordering widens both sides to double.
+void CompareI64WithI64(const int64_t* v, size_t n, const uint64_t* nulls,
+                       size_t bit0, CmpOp op, int64_t rhs, Trit* out);
+/// column <op> double-constant over an int64 column (cross-type: every cell
+/// widens to double, equality included).
+void CompareI64WithF64(const int64_t* v, size_t n, const uint64_t* nulls,
+                       size_t bit0, CmpOp op, double rhs, Trit* out);
+/// column <op> numeric-constant over a double column (int64 constants widen
+/// once, exactly as Value::AsDouble would).
+void CompareF64(const double* v, size_t n, const uint64_t* nulls, size_t bit0,
+                CmpOp op, double rhs, Trit* out);
+
+/// IS [NOT] NULL over a column: always a definite boolean trit.
+void IsNullTrits(size_t n, const uint64_t* nulls, size_t bit0, bool negated,
+                 Trit* out);
+
+/// Kleene AND / OR / NOT over trit vectors (out may alias a or b).
+void TritAnd(const Trit* a, const Trit* b, size_t n, Trit* out);
+void TritOr(const Trit* a, const Trit* b, size_t n, Trit* out);
+void TritNot(const Trit* a, size_t n, Trit* out);
+
+}  // namespace esp::stream::simd
+
+#endif  // ESP_STREAM_SIMD_KERNELS_H_

@@ -41,6 +41,13 @@ Status WindowBuffer::Insert(Tuple tuple) {
   }
   last_insert_time_ = tuple.timestamp();
   has_inserted_ = true;
+  // Keep an already-built columnar mirror in sync incrementally; otherwise
+  // (or when the toggle is off) it goes stale and rebuilds on next access.
+  if (columns_synced_ && ColumnarEnabled()) {
+    columns_.Append(tuple);
+  } else {
+    columns_synced_ = false;
+  }
   buffer_.push_back(std::move(tuple));
   cache_valid_ = false;
   return Status::OK();
@@ -74,7 +81,42 @@ void WindowBuffer::EvictBefore(Timestamp t) {
     case WindowKind::kUnbounded:
       break;  // Nothing ever dies.
   }
-  if (buffer_.size() != before) cache_valid_ = false;
+  const size_t evicted = before - buffer_.size();
+  if (evicted > 0) {
+    cache_valid_ = false;
+    if (columns_synced_) columns_.PopFront(evicted);
+  }
+}
+
+const ColumnarWindow& WindowBuffer::Columns() const {
+  if (!columns_synced_ || columns_.schema() != schema_) {
+    columns_.Reset(schema_);
+    for (const Tuple& tuple : buffer_) columns_.Append(tuple);
+    columns_synced_ = true;
+    ++column_rebuilds_;
+  }
+  return columns_;
+}
+
+std::pair<size_t, size_t> WindowBuffer::ColumnsRange(Timestamp t) const {
+  const ColumnarWindow& cols = Columns();
+  switch (spec_.kind) {
+    case WindowKind::kRange: {
+      const Timestamp effective = spec_.EffectiveTime(t);
+      const Timestamp low = effective - spec_.range;  // Exclusive bound.
+      return {cols.UpperBound(low), cols.UpperBound(effective)};
+    }
+    case WindowKind::kNow:
+      return {cols.LowerBound(t), cols.UpperBound(t)};
+    case WindowKind::kRows: {
+      const size_t hi = cols.UpperBound(t);
+      const size_t n = static_cast<size_t>(spec_.rows);
+      return {hi > n ? hi - n : 0, hi};
+    }
+    case WindowKind::kUnbounded:
+      return {0, cols.UpperBound(t)};
+  }
+  return {0, 0};
 }
 
 void WindowBuffer::SaveState(ByteWriter& w) const {
@@ -95,6 +137,7 @@ Status WindowBuffer::LoadState(ByteReader& r) {
     buffer_.push_back(std::move(tuple));
   }
   cache_valid_ = false;
+  columns_synced_ = false;
   return Status::OK();
 }
 
@@ -118,6 +161,7 @@ bool WindowBuffer::CacheHit(Timestamp t) const {
 Relation WindowBuffer::Snapshot(Timestamp t) const {
   if (CacheHit(t)) return cache_;
   cache_ = Rebuild(t);
+  ++snapshot_rebuilds_;
   cache_valid_ = true;
   cache_key_ = spec_.kind == WindowKind::kRange ? spec_.EffectiveTime(t) : t;
   cache_covers_all_ =

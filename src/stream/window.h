@@ -3,10 +3,12 @@
 
 #include <deque>
 #include <string>
+#include <utility>
 
 #include "common/binio.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "stream/column.h"
 #include "stream/tuple.h"
 
 namespace esp::stream {
@@ -102,6 +104,22 @@ class WindowBuffer {
 
   size_t buffered() const { return buffer_.size(); }
 
+  /// The columnar mirror of the buffered tuples (see stream/column.h).
+  /// Built lazily on first access; once built, Insert/EvictBefore keep it
+  /// incrementally up to date (while ColumnarEnabled()), so steady-state
+  /// access is O(delta). Valid until the next mutation.
+  const ColumnarWindow& Columns() const;
+
+  /// Live-row index range [lo, hi) of Columns() covered by the window at
+  /// time t — the columnar equivalent of Snapshot(t). Implies Columns().
+  std::pair<size_t, size_t> ColumnsRange(Timestamp t) const;
+
+  /// Observability: full materializations per representation. A row
+  /// snapshot rebuild must not be forced by columnar access and vice versa
+  /// — the caches invalidate per-representation.
+  size_t snapshot_rebuilds() const { return snapshot_rebuilds_; }
+  size_t column_rebuilds() const { return column_rebuilds_; }
+
   /// Serializes the live contents (tuples + insertion clock) for the
   /// durability subsystem. The spec and schema are NOT serialized: they are
   /// configuration, reconstructed by whoever owns the buffer.
@@ -134,6 +152,14 @@ class WindowBuffer {
   mutable bool cache_covers_all_ = false;
   mutable Timestamp cache_key_;
   mutable Relation cache_;
+  mutable size_t snapshot_rebuilds_ = 0;
+
+  /// Columnar mirror, maintained independently of the row snapshot cache:
+  /// mutations update (or lazily stale-mark) the columns without touching
+  /// `cache_`, and a columnar rebuild never invalidates the row snapshot.
+  mutable ColumnarWindow columns_;
+  mutable bool columns_synced_ = false;
+  mutable size_t column_rebuilds_ = 0;
 };
 
 }  // namespace esp::stream

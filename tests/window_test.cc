@@ -155,5 +155,42 @@ TEST(WindowBufferTest, RowsEvictionKeepsExactlyN) {
   EXPECT_EQ(buffer.buffered(), 4u);
 }
 
+TEST(WindowBufferTest, SnapshotAndColumnCachesInvalidateIndependently) {
+  // Regression: the row snapshot cache and the columnar mirror are separate
+  // representations of the same buffer. Reading one must never force a
+  // rebuild of the other, and a tick's worth of interleaved access pays for
+  // at most one rebuild per representation.
+  SchemaRef schema = ReadingSchema();
+  WindowBuffer buffer(WindowSpec::Range(Duration::Seconds(5)), schema);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(buffer.Insert(MakeReading(schema, i, i)).ok());
+  }
+
+  const Timestamp t = Timestamp::Seconds(9);
+  (void)buffer.Snapshot(t);
+  const size_t snap_after_first = buffer.snapshot_rebuilds();
+  (void)buffer.Columns();
+  (void)buffer.ColumnsRange(t);
+  // Columnar access must not have invalidated the row snapshot...
+  (void)buffer.Snapshot(t);
+  EXPECT_EQ(buffer.snapshot_rebuilds(), snap_after_first);
+  // ...and re-reading the columns costs no further rebuilds either.
+  const size_t col_after_first = buffer.column_rebuilds();
+  (void)buffer.Columns();
+  (void)buffer.Snapshot(t);
+  (void)buffer.Columns();
+  EXPECT_EQ(buffer.column_rebuilds(), col_after_first);
+
+  // A mutation invalidates both, but each still rebuilds at most once.
+  ASSERT_TRUE(buffer.Insert(MakeReading(schema, 10, 10)).ok());
+  const Timestamp t2 = Timestamp::Seconds(10);
+  (void)buffer.Columns();
+  (void)buffer.Snapshot(t2);
+  (void)buffer.Columns();
+  (void)buffer.Snapshot(t2);
+  EXPECT_LE(buffer.snapshot_rebuilds(), snap_after_first + 1);
+  EXPECT_LE(buffer.column_rebuilds(), col_after_first + 1);
+}
+
 }  // namespace
 }  // namespace esp::stream
