@@ -240,13 +240,19 @@ Status RunChaosPhase(const std::vector<Step>& steps,
 
   net::FaultProxyOptions popts;
   popts.target_port = rig->server->port();
-  popts.seed = 0xFA1;
-  popts.p_truncate = 0.08;
-  popts.p_corrupt = 0.10;
-  popts.p_stall = 0.10;
-  popts.p_duplicate = 0.10;
-  popts.p_reset = 0.04;
-  popts.stall = Duration::Millis(2);
+  popts.client_to_server.seed = 0xFA1;
+  popts.client_to_server.p_truncate = 0.08;
+  popts.client_to_server.p_corrupt = 0.10;
+  popts.client_to_server.p_stall = 0.10;
+  popts.client_to_server.p_duplicate = 0.10;
+  popts.client_to_server.p_reset = 0.04;
+  popts.client_to_server.stall = Duration::Millis(2);
+  // Independently seeded return-path faults: corrupted or cut ack frames
+  // must only ever cost a reconnect, never exactly-once.
+  popts.server_to_client.seed = 0x5C1;
+  popts.server_to_client.p_corrupt = 0.05;
+  popts.server_to_client.p_truncate = 0.02;
+  popts.server_to_client.p_duplicate = 0.05;
   ESP_ASSIGN_OR_RETURN(std::unique_ptr<net::FaultProxy> proxy,
                        net::FaultProxy::Start(std::move(popts)));
 

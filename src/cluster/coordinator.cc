@@ -1,0 +1,737 @@
+#include "cluster/coordinator.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "cql/analyzer.h"
+#include "core/stage.h"
+
+namespace esp::cluster {
+
+namespace {
+
+using core::GroupPartial;
+using core::TickResult;
+using net::FrameDecoder;
+using net::MessageKind;
+using stream::Relation;
+using stream::SchemaRef;
+using stream::Tuple;
+
+/// Composite case-insensitive key for the routing maps.
+std::string Key(const std::string& device_type, const std::string& name) {
+  std::string key = StrToLower(device_type);
+  key.push_back('\0');
+  key += StrToLower(name);
+  return key;
+}
+
+/// FNV-1a over the lowered group key — a stable, platform-independent
+/// group -> slot assignment (hash order must not depend on std::hash).
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr Duration kRecvSlice = Duration::Millis(20);
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
+    : options_(std::move(options)),
+      membership_(options_.heartbeat_deadline) {
+  if (!options_.clock) options_.clock = [] { return SteadyNow(); };
+}
+
+ClusterCoordinator::~ClusterCoordinator() { (void)Stop(); }
+
+Status ClusterCoordinator::AddProximityGroup(core::ProximityGroup group) {
+  if (started_) return Status::Internal("cluster already started");
+  groups_.push_back(std::move(group));
+  return Status::OK();
+}
+
+Status ClusterCoordinator::AddPipeline(core::DeviceTypePipeline pipeline) {
+  if (started_) return Status::Internal("cluster already started");
+  if (pipeline.virtualize_input.empty()) {
+    pipeline.virtualize_input = pipeline.device_type + "_input";
+  }
+  TypeRuntime type;
+  type.config = std::move(pipeline);
+  types_.push_back(std::move(type));
+  return Status::OK();
+}
+
+Status ClusterCoordinator::SetHealthPolicy(core::HealthPolicy policy) {
+  if (started_) return Status::Internal("cluster already started");
+  policy_ = policy;
+  return Status::OK();
+}
+
+void ClusterCoordinator::SetVirtualize(std::unique_ptr<core::Stage> stage) {
+  virtualize_ = std::move(stage);
+}
+
+StatusOr<ClusterCoordinator::TypeRuntime*> ClusterCoordinator::FindType(
+    const std::string& device_type) {
+  for (TypeRuntime& type : types_) {
+    if (StrEqualsIgnoreCase(type.config.device_type, device_type)) {
+      return &type;
+    }
+  }
+  return Status::NotFound("no pipeline for device type '" + device_type +
+                          "'");
+}
+
+uint32_t ClusterCoordinator::AssignSlot(const std::string& device_type,
+                                        const std::string& group_id) const {
+  return static_cast<uint32_t>(Fnv1a(Key(device_type, group_id)) %
+                               options_.num_workers);
+}
+
+WorkerSpawnSpec ClusterCoordinator::MakeSpawnSpec(uint32_t slot,
+                                                  uint64_t epoch,
+                                                  bool resume) const {
+  // The worker gets exactly its slot's groups and, for each device type
+  // with at least one of them, the pipeline with Arbitrate stripped — the
+  // cross-group stages stay here.
+  std::vector<core::ProximityGroup> slot_groups;
+  for (const core::ProximityGroup& group : groups_) {
+    if (AssignSlot(group.device_type, group.id) == slot) {
+      slot_groups.push_back(group);
+    }
+  }
+  std::vector<core::DeviceTypePipeline> pipelines;
+  for (const TypeRuntime& type : types_) {
+    const bool hosted = std::any_of(
+        slot_groups.begin(), slot_groups.end(),
+        [&](const core::ProximityGroup& g) {
+          return StrEqualsIgnoreCase(g.device_type, type.config.device_type);
+        });
+    if (!hosted) continue;
+    core::DeviceTypePipeline pipeline = type.config;
+    pipeline.arbitrate = nullptr;
+    pipelines.push_back(std::move(pipeline));
+  }
+
+  WorkerSpawnSpec spec;
+  spec.options.slot = slot;
+  spec.options.epoch = epoch;
+  spec.options.resume = resume;
+  spec.options.recovery.directory =
+      options_.storage_root + "/slot_" + std::to_string(slot);
+  spec.options.recovery.fsync = options_.fsync;
+  spec.options.recovery.retain_snapshots = options_.retain_snapshots;
+  spec.options.heartbeat_interval = options_.heartbeat_interval;
+  spec.options.write_timeout = options_.write_timeout;
+  spec.options.max_frame_bytes = options_.max_frame_bytes;
+  spec.factory = [slot_groups = std::move(slot_groups),
+                  pipelines = std::move(pipelines), policy = policy_]()
+      -> StatusOr<std::unique_ptr<core::StreamEngine>> {
+    auto engine = std::make_unique<core::EspProcessor>();
+    ESP_RETURN_IF_ERROR(engine->SetHealthPolicy(policy));
+    for (const core::ProximityGroup& group : slot_groups) {
+      ESP_RETURN_IF_ERROR(engine->AddProximityGroup(group));
+    }
+    for (const core::DeviceTypePipeline& pipeline : pipelines) {
+      ESP_RETURN_IF_ERROR(engine->AddPipeline(pipeline));
+    }
+    ESP_RETURN_IF_ERROR(engine->Start());
+    return std::unique_ptr<core::StreamEngine>(std::move(engine));
+  };
+  return spec;
+}
+
+Status ClusterCoordinator::Start(WorkerSupervisor* supervisor) {
+  if (started_) return Status::Internal("cluster already started");
+  if (supervisor == nullptr) {
+    return Status::InvalidArgument("cluster needs a worker supervisor");
+  }
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be at least 1");
+  }
+  if (options_.storage_root.empty()) {
+    return Status::InvalidArgument("storage_root must be set");
+  }
+  supervisor_ = supervisor;
+
+  if (::mkdir(options_.storage_root.c_str(), 0775) != 0 &&
+      errno != EEXIST) {
+    return Status::FromErrno("mkdir " + options_.storage_root, errno);
+  }
+
+  // The schema oracle: an arbitrate-stripped, never-fed local twin whose
+  // TypeOutputSchema IS the workers' per-group partial schema and whose
+  // TypeReadingSchema validates pushes before they cross the wire.
+  oracle_ = std::make_unique<core::EspProcessor>();
+  ESP_RETURN_IF_ERROR(oracle_->SetHealthPolicy(policy_));
+  for (const core::ProximityGroup& group : groups_) {
+    ESP_RETURN_IF_ERROR(oracle_->AddProximityGroup(group));
+    for (const std::string& receptor_id : group.receptor_ids) {
+      receptor_group_[Key(group.device_type, receptor_id)] = group.id;
+    }
+    group_slot_[Key(group.device_type, group.id)] =
+        AssignSlot(group.device_type, group.id);
+  }
+  for (TypeRuntime& type : types_) {
+    core::DeviceTypePipeline stripped = type.config;
+    stripped.arbitrate = nullptr;
+    ESP_RETURN_IF_ERROR(oracle_->AddPipeline(std::move(stripped)));
+    for (const core::ProximityGroup& group : groups_) {
+      if (StrEqualsIgnoreCase(group.device_type, type.config.device_type)) {
+        type.group_order.push_back(group.id);
+      }
+    }
+    if (type.group_order.empty()) {
+      return Status::InvalidArgument("no proximity groups for device type '" +
+                                     type.config.device_type + "'");
+    }
+  }
+  ESP_RETURN_IF_ERROR(oracle_->Start());
+
+  // Wrapper Arbitrate / Virtualize, bound exactly as the sharded engine
+  // binds its own copies (bitwise-identical central stages).
+  cql::SchemaCatalog virtualize_inputs;
+  for (TypeRuntime& type : types_) {
+    ESP_ASSIGN_OR_RETURN(type.group_output_schema,
+                         oracle_->TypeOutputSchema(type.config.device_type));
+    SchemaRef type_out = type.group_output_schema;
+    if (type.config.arbitrate != nullptr) {
+      ESP_ASSIGN_OR_RETURN(type.arbitrate, type.config.arbitrate());
+      cql::SchemaCatalog catalog;
+      catalog.AddStream(core::StageInputName(core::StageKind::kArbitrate),
+                        type.group_output_schema);
+      ESP_RETURN_IF_ERROR(type.arbitrate->Bind(catalog));
+      type_out = type.arbitrate->output_schema();
+    }
+    type.output_schema = type_out;
+    virtualize_inputs.AddStream(type.config.virtualize_input, type_out);
+  }
+  if (virtualize_ != nullptr) {
+    ESP_RETURN_IF_ERROR(virtualize_->Bind(virtualize_inputs));
+  }
+
+  links_.resize(options_.num_workers);
+  for (uint32_t slot = 0; slot < options_.num_workers; ++slot) {
+    WorkerLink& link = links_[slot];
+    link.slot = slot;
+    link.epoch = 1;
+    ESP_RETURN_IF_ERROR(SpawnAndConnect(link, /*resume=*/false));
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Status ClusterCoordinator::SpawnAndConnect(WorkerLink& link, bool resume) {
+  const WorkerSpawnSpec spec = MakeSpawnSpec(link.slot, link.epoch, resume);
+  ESP_ASSIGN_OR_RETURN(const WorkerEndpoint endpoint,
+                       supervisor_->Spawn(spec));
+  ++stats_.workers_spawned;
+  link.pid = endpoint.pid;
+  link.port = endpoint.port;
+  link.decoder = FrameDecoder(options_.max_frame_bytes);
+
+  ESP_ASSIGN_OR_RETURN(
+      link.fd,
+      net::TcpConnect("127.0.0.1", link.port, options_.connect_timeout));
+
+  net::ClusterHelloMessage hello;
+  hello.slot = link.slot;
+  hello.epoch = link.epoch;
+  ESP_RETURN_IF_ERROR(net::SendAll(link.fd.get(),
+                                   net::EncodeClusterHello(hello),
+                                   options_.write_timeout));
+
+  // Read until the Welcome arrives; the worker's buffered result (if any)
+  // follows it and stays in the decoder for the next drain.
+  for (;;) {
+    ESP_ASSIGN_OR_RETURN(std::optional<std::string> payload,
+                         link.decoder.Next());
+    if (payload.has_value()) {
+      ESP_ASSIGN_OR_RETURN(const MessageKind kind, net::PeekKind(*payload));
+      if (kind == MessageKind::kError) {
+        ESP_ASSIGN_OR_RETURN(const net::ErrorMessage err,
+                             net::DecodeError(*payload));
+        return Status::FailedPrecondition("worker slot " +
+                                          std::to_string(link.slot) +
+                                          " refused handshake: " +
+                                          err.message);
+      }
+      ESP_ASSIGN_OR_RETURN(const net::WelcomeMessage welcome,
+                           net::DecodeWelcome(*payload));
+      if (welcome.last_applied_seq > link.last_acked) {
+        link.last_acked = welcome.last_applied_seq;
+      }
+      while (!link.unacked.empty() &&
+             link.unacked.front().seq <= link.last_acked) {
+        link.unacked.pop_front();
+      }
+      // Exactly-once resume: everything past the worker's journal cursor,
+      // in order. The worker's SequenceTracker drops any stragglers.
+      for (const UnackedFrame& frame : link.unacked) {
+        ESP_RETURN_IF_ERROR(
+            net::SendAll(link.fd.get(), frame.bytes, options_.write_timeout));
+      }
+      membership_.Seat(link.slot, link.epoch, options_.clock());
+      return Status::OK();
+    }
+    ESP_ASSIGN_OR_RETURN(
+        const std::string bytes,
+        net::RecvSome(link.fd.get(), 64 * 1024, options_.connect_timeout));
+    if (bytes.empty()) {
+      return Status::ConnectionReset("worker slot " +
+                                     std::to_string(link.slot) +
+                                     " closed during the handshake");
+    }
+    link.decoder.Feed(bytes);
+  }
+}
+
+Status ClusterCoordinator::Failover(WorkerLink& link) {
+  const Timestamp t0 = options_.clock();
+  ++stats_.worker_deaths;
+  link.epoch = membership_.Fence(link.slot);
+  link.fd.reset();
+  if (link.pid >= 0) {
+    // Make death certain before the replacement touches the slot's storage
+    // (the dead worker's flock releases with the process).
+    ESP_RETURN_IF_ERROR(supervisor_->Kill(link.pid));
+    link.pid = -1;
+  }
+  ESP_RETURN_IF_ERROR(SpawnAndConnect(link, /*resume=*/true));
+  stats_.recovery_ms.push_back((options_.clock() - t0).micros() / 1000.0);
+  return Status::OK();
+}
+
+Status ClusterCoordinator::Push(const std::string& device_type, Tuple raw) {
+  if (!started_) return Status::Internal("cluster not started");
+  ESP_ASSIGN_OR_RETURN(TypeRuntime * type, FindType(device_type));
+  ESP_ASSIGN_OR_RETURN(
+      const SchemaRef schema,
+      oracle_->TypeReadingSchema(type->config.device_type));
+  if (raw.schema() == nullptr || !raw.schema()->Equals(*schema)) {
+    return Status::InvalidArgument("reading schema does not match pipeline '" +
+                                   type->config.device_type + "'");
+  }
+  ESP_ASSIGN_OR_RETURN(const stream::Value receptor,
+                       raw.Get(type->config.receptor_id_column));
+  if (receptor.type() != stream::DataType::kString) {
+    return Status::TypeError("receptor id column '" +
+                             type->config.receptor_id_column +
+                             "' must be a string");
+  }
+  const auto group_it = receptor_group_.find(
+      Key(type->config.device_type, receptor.string_value()));
+  if (group_it == receptor_group_.end()) {
+    return Status::NotFound("receptor '" + receptor.string_value() +
+                            "' is not in any proximity group of type '" +
+                            type->config.device_type + "'");
+  }
+  const uint32_t slot =
+      group_slot_.at(Key(type->config.device_type, group_it->second));
+  links_[slot].pending.push_back(
+      PendingReading{type->config.device_type, std::move(raw)});
+  ++stats_.readings_routed;
+  return Status::OK();
+}
+
+void ClusterCoordinator::SendSequenced(
+    WorkerLink& link,
+    const std::function<std::string(uint64_t seq)>& encode) {
+  UnackedFrame frame;
+  frame.seq = link.next_seq++;
+  frame.bytes = encode(frame.seq);
+  link.unacked.push_back(std::move(frame));
+  if (link.fd.valid()) {
+    const Status sent = net::SendAll(link.fd.get(),
+                                     link.unacked.back().bytes,
+                                     options_.write_timeout);
+    // A failed transmit only drops the link; the frame is in the resume
+    // window and goes out again after failover.
+    if (!sent.ok()) link.fd.reset();
+  }
+}
+
+void ClusterCoordinator::FlushPushes(WorkerLink& link) {
+  size_t i = 0;
+  while (i < link.pending.size()) {
+    // One batch per run of consecutive same-type readings: preserves the
+    // caller's push order within the slot, which is what the monolith saw.
+    size_t j = i + 1;
+    while (j < link.pending.size() &&
+           link.pending[j].device_type == link.pending[i].device_type) {
+      ++j;
+    }
+    std::vector<Tuple> readings;
+    readings.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      readings.push_back(std::move(link.pending[k].reading));
+    }
+    const std::string& device_type = link.pending[i].device_type;
+    SendSequenced(link, [&](uint64_t seq) {
+      return net::EncodeBatch(seq, device_type, readings);
+    });
+    ++stats_.batches_sent;
+    i = j;
+  }
+  link.pending.clear();
+}
+
+Status ClusterCoordinator::HandleWorkerFrame(
+    WorkerLink& link, const std::string& payload,
+    const std::optional<Timestamp>& awaiting) {
+  ESP_ASSIGN_OR_RETURN(const MessageKind kind, net::PeekKind(payload));
+  const auto prune = [&](uint64_t applied) {
+    if (applied > link.last_acked) link.last_acked = applied;
+    while (!link.unacked.empty() &&
+           link.unacked.front().seq <= link.last_acked) {
+      link.unacked.pop_front();
+    }
+  };
+  switch (kind) {
+    case MessageKind::kAck: {
+      ESP_ASSIGN_OR_RETURN(const net::AckMessage ack,
+                           net::DecodeAck(payload));
+      prune(ack.last_applied_seq);
+      return Status::OK();
+    }
+    case MessageKind::kWelcome: {
+      // A duplicated handshake reply; its cursor is still a valid ack.
+      ESP_ASSIGN_OR_RETURN(const net::WelcomeMessage welcome,
+                           net::DecodeWelcome(payload));
+      prune(welcome.last_applied_seq);
+      return Status::OK();
+    }
+    case MessageKind::kHeartbeat: {
+      ESP_ASSIGN_OR_RETURN(const net::HeartbeatMessage beat,
+                           net::DecodeHeartbeat(payload));
+      if (beat.slot != link.slot || beat.epoch != link.epoch) {
+        ++stats_.fenced_frames;
+        return Status::OK();
+      }
+      ++stats_.heartbeats_received;
+      (void)membership_.RecordHeartbeat(beat.slot, beat.epoch,
+                                        options_.clock());
+      prune(beat.last_applied_seq);
+      return Status::OK();
+    }
+    case MessageKind::kTickResult: {
+      ESP_ASSIGN_OR_RETURN(
+          net::TickResultMessage result,
+          net::DecodeTickResult(payload, [this](const std::string& type) {
+            return oracle_->TypeOutputSchema(type);
+          }));
+      if (result.slot != link.slot || result.epoch != link.epoch) {
+        ++stats_.fenced_frames;
+        return Status::OK();
+      }
+      if (awaiting.has_value() && result.tick_time == *awaiting) {
+        // First result wins; a re-sent duplicate is bitwise-identical by
+        // the recovery equivalence guarantee.
+        if (!link.result.has_value()) {
+          link.result = std::move(result.partials);
+        } else {
+          ++stats_.duplicate_results;
+        }
+        return Status::OK();
+      }
+      if (has_ticked_ && result.tick_time <= last_tick_) {
+        ++stats_.duplicate_results;  // Re-offered after a reconnect.
+        return Status::OK();
+      }
+      return Status::Internal("worker slot " + std::to_string(link.slot) +
+                              " sent a result for an unknown tick");
+    }
+    case MessageKind::kError: {
+      ESP_ASSIGN_OR_RETURN(const net::ErrorMessage err,
+                           net::DecodeError(payload));
+      return Status::ConnectionReset("worker slot " +
+                                     std::to_string(link.slot) +
+                                     " error: " + err.message);
+    }
+    default:
+      return Status::ConnectionReset("unexpected worker message kind");
+  }
+}
+
+Status ClusterCoordinator::DrainLink(
+    WorkerLink& link, const std::optional<Timestamp>& awaiting) {
+  for (;;) {
+    StatusOr<std::optional<std::string>> next = link.decoder.Next();
+    if (!next.ok()) {
+      link.fd.reset();  // Framing lost; failover redials cleanly.
+      return Status::OK();
+    }
+    if (!next->has_value()) break;
+    const Status handled = HandleWorkerFrame(link, **next, awaiting);
+    if (handled.code() == StatusCode::kConnectionReset) {
+      link.fd.reset();
+      return Status::OK();
+    }
+    ESP_RETURN_IF_ERROR(handled);
+  }
+  if (!link.fd.valid()) return Status::OK();
+  for (;;) {
+    StatusOr<std::string> bytes =
+        net::RecvSome(link.fd.get(), 64 * 1024, Duration::Zero());
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kTimedOut) return Status::OK();
+      link.fd.reset();
+      return Status::OK();
+    }
+    if (bytes->empty()) {
+      link.fd.reset();
+      return Status::OK();
+    }
+    link.decoder.Feed(*bytes);
+    for (;;) {
+      StatusOr<std::optional<std::string>> next = link.decoder.Next();
+      if (!next.ok()) {
+        link.fd.reset();
+        return Status::OK();
+      }
+      if (!next->has_value()) break;
+      const Status handled = HandleWorkerFrame(link, **next, awaiting);
+      if (handled.code() == StatusCode::kConnectionReset) {
+        link.fd.reset();
+        return Status::OK();
+      }
+      ESP_RETURN_IF_ERROR(handled);
+    }
+  }
+}
+
+Status ClusterCoordinator::AwaitResult(WorkerLink& link, Timestamp now) {
+  size_t failovers = 0;
+  Timestamp deadline = options_.clock() + options_.reply_timeout;
+  for (;;) {
+    if (!link.fd.valid()) {
+      if (failovers++ >= options_.max_failovers_per_tick) {
+        return Status::Unavailable(
+            "worker slot " + std::to_string(link.slot) + " failed " +
+            std::to_string(failovers) + " times within one tick");
+      }
+      ESP_RETURN_IF_ERROR(Failover(link));
+      deadline = options_.clock() + options_.reply_timeout;
+    }
+    ESP_RETURN_IF_ERROR(DrainLink(link, now));
+    if (link.result.has_value()) return Status::OK();
+    if (!link.fd.valid()) continue;  // Died during the drain.
+
+    StatusOr<std::string> bytes =
+        net::RecvSome(link.fd.get(), 64 * 1024, kRecvSlice);
+    if (bytes.ok()) {
+      if (bytes->empty()) {
+        link.fd.reset();  // EOF — the worker is gone.
+        continue;
+      }
+      link.decoder.Feed(*bytes);
+      continue;
+    }
+    if (bytes.status().code() != StatusCode::kTimedOut) {
+      link.fd.reset();
+      continue;
+    }
+    if (options_.clock() > deadline) {
+      // Silent past the reply deadline: declared dead.
+      link.fd.reset();
+    }
+  }
+}
+
+StatusOr<Relation> ClusterCoordinator::RunStageGuarded(
+    core::Stage* stage, const std::string& input_name, Relation input,
+    Timestamp now) {
+  auto run = [&]() -> StatusOr<Relation> {
+    for (const Tuple& tuple : input.tuples()) {
+      ESP_RETURN_IF_ERROR(stage->Push(input_name, tuple));
+    }
+    return stage->Evaluate(now);
+  };
+  StatusOr<Relation> out = run();
+  if (out.ok()) return out;
+  if (policy_.stage_error_policy == core::StageErrorPolicy::kFailFast) {
+    return out.status();
+  }
+  ++stats_.stage_errors;
+  if (input.schema() != nullptr && stage->output_schema() != nullptr &&
+      input.schema()->Equals(*stage->output_schema())) {
+    return input;
+  }
+  return Relation(stage->output_schema());
+}
+
+StatusOr<TickResult> ClusterCoordinator::Tick(Timestamp now) {
+  if (!started_) return Status::Internal("cluster not started");
+  if (has_ticked_ && now <= last_tick_) {
+    // Strictly increasing: the tick time is the cluster-wide result key.
+    return Status::InvalidArgument(
+        "cluster tick times must be strictly increasing");
+  }
+
+  for (WorkerLink& link : links_) {
+    link.result.reset();
+    FlushPushes(link);
+    SendSequenced(link,
+                  [&](uint64_t seq) { return net::EncodeTick(seq, now); });
+  }
+  for (WorkerLink& link : links_) {
+    ESP_RETURN_IF_ERROR(AwaitResult(link, now));
+  }
+
+  TickResult result;
+  for (TypeRuntime& type : types_) {
+    // Gather this type's partials across slots (slot order), then replay
+    // them in global group-registration order — the monolith's Union
+    // order. Groups the static config does not know (a worker's lazily
+    // registered quarantine group) append after, in slot order.
+    std::vector<net::WirePartial*> gathered;
+    for (WorkerLink& link : links_) {
+      for (net::WirePartial& partial : *link.result) {
+        if (StrEqualsIgnoreCase(partial.device_type,
+                                type.config.device_type)) {
+          gathered.push_back(&partial);
+        }
+      }
+    }
+    Relation merged(type.group_output_schema);
+    std::vector<bool> used(gathered.size(), false);
+    const auto append = [&merged](net::WirePartial* partial) {
+      auto& tuples = partial->relation.mutable_tuples();
+      merged.mutable_tuples().insert(merged.mutable_tuples().end(),
+                                     std::make_move_iterator(tuples.begin()),
+                                     std::make_move_iterator(tuples.end()));
+    };
+    for (const std::string& group_id : type.group_order) {
+      for (size_t i = 0; i < gathered.size(); ++i) {
+        if (!used[i] &&
+            StrEqualsIgnoreCase(gathered[i]->group_id, group_id)) {
+          used[i] = true;
+          append(gathered[i]);
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < gathered.size(); ++i) {
+      if (!used[i]) append(gathered[i]);
+    }
+
+    Relation type_out;
+    if (type.arbitrate != nullptr) {
+      ESP_ASSIGN_OR_RETURN(
+          type_out,
+          RunStageGuarded(type.arbitrate.get(),
+                          core::StageInputName(core::StageKind::kArbitrate),
+                          std::move(merged), now));
+    } else {
+      type_out = std::move(merged);
+    }
+
+    if (virtualize_ != nullptr) {
+      for (const Tuple& tuple : type_out.tuples()) {
+        const Status pushed =
+            virtualize_->Push(type.config.virtualize_input, tuple);
+        if (!pushed.ok()) {
+          if (policy_.stage_error_policy ==
+              core::StageErrorPolicy::kFailFast) {
+            return pushed;
+          }
+          ++stats_.stage_errors;
+          break;
+        }
+      }
+    }
+    result.per_type.emplace_back(type.config.device_type,
+                                 std::move(type_out));
+  }
+
+  if (virtualize_ != nullptr) {
+    StatusOr<Relation> out = virtualize_->Evaluate(now);
+    if (out.ok()) {
+      result.virtualized = std::move(out).value();
+    } else if (policy_.stage_error_policy ==
+               core::StageErrorPolicy::kFailFast) {
+      return out.status();
+    } else {
+      ++stats_.stage_errors;
+      result.virtualized = Relation(virtualize_->output_schema());
+    }
+  }
+
+  last_tick_ = now;
+  has_ticked_ = true;
+  ++stats_.ticks;
+
+  if (options_.checkpoint_interval_ticks > 0 &&
+      ++ticks_since_checkpoint_ >= options_.checkpoint_interval_ticks) {
+    ticks_since_checkpoint_ = 0;
+    ESP_RETURN_IF_ERROR(Checkpoint());
+  }
+  return result;
+}
+
+Status ClusterCoordinator::Checkpoint() {
+  if (!started_) return Status::Internal("cluster not started");
+  // Unsequenced and fire-and-forget: a checkpoint is an optimization, and
+  // requesting it only after the covered tick merged keeps the recovery
+  // invariant (see worker.h). A dead link just skips a checkpoint.
+  const std::string request = net::EncodeCheckpointRequest();
+  for (WorkerLink& link : links_) {
+    if (!link.fd.valid()) continue;
+    const Status sent =
+        net::SendAll(link.fd.get(), request, options_.write_timeout);
+    if (!sent.ok()) link.fd.reset();
+  }
+  return Status::OK();
+}
+
+Status ClusterCoordinator::CheckLiveness() {
+  if (!started_) return Status::Internal("cluster not started");
+  for (WorkerLink& link : links_) {
+    ESP_RETURN_IF_ERROR(DrainLink(link, std::nullopt));
+  }
+  for (const uint32_t slot : membership_.ExpiredSlots(options_.clock())) {
+    ESP_RETURN_IF_ERROR(Failover(links_[slot]));
+  }
+  return Status::OK();
+}
+
+Status ClusterCoordinator::Stop() {
+  Status first = Status::OK();
+  for (WorkerLink& link : links_) {
+    link.fd.reset();
+    if (link.pid >= 0 && supervisor_ != nullptr) {
+      const Status killed = supervisor_->Kill(link.pid);
+      if (!killed.ok() && first.ok()) first = killed;
+      link.pid = -1;
+    }
+  }
+  return first;
+}
+
+StatusOr<uint32_t> ClusterCoordinator::SlotOfGroup(
+    const std::string& device_type, const std::string& group_id) const {
+  const auto it = group_slot_.find(Key(device_type, group_id));
+  if (it == group_slot_.end()) {
+    return Status::NotFound("no group '" + group_id + "' of type '" +
+                            device_type + "'");
+  }
+  return it->second;
+}
+
+int64_t ClusterCoordinator::worker_pid(uint32_t slot) const {
+  return slot < links_.size() ? links_[slot].pid : -1;
+}
+
+uint64_t ClusterCoordinator::worker_epoch(uint32_t slot) const {
+  return slot < links_.size() ? links_[slot].epoch : 0;
+}
+
+}  // namespace esp::cluster

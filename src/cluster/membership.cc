@@ -1,0 +1,66 @@
+#include "cluster/membership.h"
+
+#include <chrono>
+
+namespace esp::cluster {
+
+Timestamp SteadyNow() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return Timestamp::Micros(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+void MembershipTable::EnsureSlot(uint32_t slot) {
+  if (members_.size() <= slot) members_.resize(slot + 1);
+}
+
+void MembershipTable::Seat(uint32_t slot, uint64_t epoch, Timestamp now) {
+  EnsureSlot(slot);
+  members_[slot].epoch = epoch;
+  members_[slot].last_heard = now;
+  members_[slot].seated = true;
+}
+
+Status MembershipTable::RecordHeartbeat(uint32_t slot, uint64_t epoch,
+                                        Timestamp now) {
+  if (slot >= members_.size() || !members_[slot].seated) {
+    return Status::FailedPrecondition("heartbeat for unseated slot " +
+                                      std::to_string(slot));
+  }
+  Member& member = members_[slot];
+  if (epoch != member.epoch) {
+    return Status::FailedPrecondition(
+        "fenced heartbeat: slot " + std::to_string(slot) + " epoch " +
+        std::to_string(epoch) + " != current " +
+        std::to_string(member.epoch));
+  }
+  if (now > member.last_heard) member.last_heard = now;
+  return Status::OK();
+}
+
+std::vector<uint32_t> MembershipTable::ExpiredSlots(Timestamp now) const {
+  std::vector<uint32_t> expired;
+  for (uint32_t slot = 0; slot < members_.size(); ++slot) {
+    const Member& member = members_[slot];
+    if (member.seated && now - member.last_heard > deadline_) {
+      expired.push_back(slot);
+    }
+  }
+  return expired;
+}
+
+uint64_t MembershipTable::Fence(uint32_t slot) {
+  EnsureSlot(slot);
+  members_[slot].seated = false;
+  return ++members_[slot].epoch;
+}
+
+uint64_t MembershipTable::epoch(uint32_t slot) const {
+  return slot < members_.size() ? members_[slot].epoch : 0;
+}
+
+bool MembershipTable::seated(uint32_t slot) const {
+  return slot < members_.size() && members_[slot].seated;
+}
+
+}  // namespace esp::cluster

@@ -1,0 +1,70 @@
+#ifndef ESP_CLUSTER_MEMBERSHIP_H_
+#define ESP_CLUSTER_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace esp::cluster {
+
+/// Monotonic wall-clock reading mapped onto the Timestamp axis — the time
+/// source the coordinator feeds MembershipTable by default. Distinct from
+/// the experiment's virtual tick clock: liveness deadlines are real time.
+Timestamp SteadyNow();
+
+/// \brief Liveness and fencing bookkeeping for the coordinator's worker
+/// slots (docs/DISTRIBUTED.md).
+///
+/// Each slot carries an epoch, starting at 1 and bumped by Fence() every
+/// time the slot's worker is declared dead. A frame stamped with an old
+/// epoch belongs to a fenced (presumed-dead) worker and must be dropped by
+/// the receiver. Time is always injected by the caller — the table never
+/// reads a clock — so deadline logic is deterministic under test.
+class MembershipTable {
+ public:
+  explicit MembershipTable(Duration heartbeat_deadline)
+      : deadline_(heartbeat_deadline) {}
+
+  /// Seats a worker in `slot` at `epoch`, alive as of `now`. Grows the
+  /// table as needed; re-seating an existing slot replaces its tenant.
+  void Seat(uint32_t slot, uint64_t epoch, Timestamp now);
+
+  /// Refreshes a slot's liveness. kFailedPrecondition when the heartbeat
+  /// carries a fenced (non-current) epoch or the slot is unseated — the
+  /// caller drops such frames without effect.
+  Status RecordHeartbeat(uint32_t slot, uint64_t epoch, Timestamp now);
+
+  /// Seated slots whose last sign of life is more than the heartbeat
+  /// deadline before `now` — candidates for failover, ascending.
+  std::vector<uint32_t> ExpiredSlots(Timestamp now) const;
+
+  /// Declares the slot's worker dead: bumps and returns the slot's epoch
+  /// (the replacement's epoch) and unseats it until the next Seat(). Every
+  /// frame stamped with an older epoch is fenced from here on.
+  uint64_t Fence(uint32_t slot);
+
+  /// The slot's current epoch (0 when the slot has never been seated).
+  uint64_t epoch(uint32_t slot) const;
+
+  bool seated(uint32_t slot) const;
+
+  Duration heartbeat_deadline() const { return deadline_; }
+
+ private:
+  struct Member {
+    uint64_t epoch = 0;
+    Timestamp last_heard;
+    bool seated = false;
+  };
+
+  void EnsureSlot(uint32_t slot);
+
+  Duration deadline_;
+  std::vector<Member> members_;  // Indexed by slot.
+};
+
+}  // namespace esp::cluster
+
+#endif  // ESP_CLUSTER_MEMBERSHIP_H_

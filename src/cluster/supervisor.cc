@@ -1,0 +1,76 @@
+#include "cluster/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace esp::cluster {
+
+StatusOr<WorkerEndpoint> ForkWorkerSupervisor::Spawn(
+    const WorkerSpawnSpec& spec) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return Status::FromErrno("pipe", errno);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::FromErrno("fork", errno);
+  }
+
+  if (pid == 0) {
+    // Child: become the worker. _exit (not exit) on every path — the
+    // parent's atexit handlers and stdio buffers must not replay here.
+    ::close(pipe_fds[0]);
+    WorkerOptions options = spec.options;
+    options.port_report_fd = pipe_fds[1];
+    const Status status = RunWorker(options, spec.factory);
+    _exit(status.ok() ? 0 : 1);
+  }
+
+  // Parent: the port arriving on the pipe is the ready signal.
+  ::close(pipe_fds[1]);
+  unsigned char bytes[2];
+  size_t got = 0;
+  while (got < sizeof(bytes)) {
+    const ssize_t n =
+        ::read(pipe_fds[0], bytes + got, sizeof(bytes) - got);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Worker died before reporting ready.
+    got += static_cast<size_t>(n);
+  }
+  ::close(pipe_fds[0]);
+  if (got < sizeof(bytes)) {
+    // Reap the corpse and surface the failure.
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return Status::Unavailable("worker slot " +
+                               std::to_string(spec.options.slot) +
+                               " died before reporting ready");
+  }
+
+  WorkerEndpoint endpoint;
+  endpoint.pid = pid;
+  endpoint.port = static_cast<uint16_t>(bytes[0]) |
+                  (static_cast<uint16_t>(bytes[1]) << 8);
+  return endpoint;
+}
+
+Status ForkWorkerSupervisor::Kill(int64_t pid) {
+  if (pid <= 0) return Status::OK();
+  // ESRCH means it is already gone (possibly killed by the chaos harness
+  // and reaped) — that is the state Kill wants.
+  if (::kill(static_cast<pid_t>(pid), SIGKILL) != 0 && errno != ESRCH) {
+    return Status::FromErrno("kill", errno);
+  }
+  while (::waitpid(static_cast<pid_t>(pid), nullptr, 0) < 0) {
+    if (errno == EINTR) continue;
+    if (errno == ECHILD) break;  // Already reaped or not our child.
+    return Status::FromErrno("waitpid", errno);
+  }
+  return Status::OK();
+}
+
+}  // namespace esp::cluster

@@ -1,0 +1,58 @@
+#ifndef ESP_CLUSTER_SUPERVISOR_H_
+#define ESP_CLUSTER_SUPERVISOR_H_
+
+#include <cstdint>
+
+#include "cluster/worker.h"
+#include "common/status.h"
+
+namespace esp::cluster {
+
+/// Everything needed to bring one worker to life. `options.port_report_fd`
+/// is owned by the supervisor (it wires up the ready-signal channel);
+/// callers leave it at -1.
+struct WorkerSpawnSpec {
+  WorkerOptions options;
+  EngineFactory factory;
+};
+
+struct WorkerEndpoint {
+  /// Supervisor-scoped handle for Kill(); the process id for the fork
+  /// supervisor.
+  int64_t pid = -1;
+  /// Port the worker is listening on, reported only after its recovery
+  /// completed — a successful dial implies a ready worker.
+  uint16_t port = 0;
+};
+
+/// \brief How the coordinator creates and destroys worker processes —
+/// injected so tests can substitute their own lifecycle (and so the chaos
+/// harness can SIGKILL workers behind the coordinator's back).
+class WorkerSupervisor {
+ public:
+  virtual ~WorkerSupervisor() = default;
+
+  /// Spawns a worker and blocks until it reports ready (recovered and
+  /// listening). A worker that dies during recovery surfaces as an error.
+  virtual StatusOr<WorkerEndpoint> Spawn(const WorkerSpawnSpec& spec) = 0;
+
+  /// Forcibly terminates a worker (SIGKILL semantics: no cleanup runs; the
+  /// kernel releases its storage lock). Idempotent — killing an
+  /// already-dead worker reaps it and succeeds.
+  virtual Status Kill(int64_t pid) = 0;
+};
+
+/// \brief fork()-based supervision: each worker is a child process running
+/// RunWorker() and nothing else. The child never returns into the parent's
+/// code — it _exit()s directly (no atexit handlers, no stdio flush), so a
+/// forked worker cannot corrupt the parent's buffered state. The bound port
+/// travels back over a pipe, written by the worker only after recovery.
+class ForkWorkerSupervisor : public WorkerSupervisor {
+ public:
+  StatusOr<WorkerEndpoint> Spawn(const WorkerSpawnSpec& spec) override;
+  Status Kill(int64_t pid) override;
+};
+
+}  // namespace esp::cluster
+
+#endif  // ESP_CLUSTER_SUPERVISOR_H_

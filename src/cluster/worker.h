@@ -1,0 +1,90 @@
+#ifndef ESP_CLUSTER_WORKER_H_
+#define ESP_CLUSTER_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "core/engine.h"
+#include "core/recovery.h"
+#include "net/wire.h"
+
+namespace esp::cluster {
+
+/// Builds a freshly configured, Start()ed engine for one worker — the
+/// slot's proximity groups, its pipelines with Arbitrate stripped (the
+/// coordinator runs the cross-group stages centrally), and the deployment's
+/// health policy. Invoked once per worker lifetime, inside the worker
+/// process for fork-based supervision.
+using EngineFactory =
+    std::function<StatusOr<std::unique_ptr<core::StreamEngine>>()>;
+
+struct WorkerOptions {
+  /// Identity: which slot of the cluster this worker serves, and the epoch
+  /// it was spawned under. Both are fixed for the process's lifetime — a
+  /// replacement worker is a new process with a bumped epoch.
+  uint32_t slot = 0;
+  uint64_t epoch = 1;
+
+  /// True for a replacement adopting a dead predecessor's storage: repairs
+  /// and replays the journal before accepting traffic. False on the first
+  /// spawn of a fresh cluster.
+  bool resume = false;
+
+  /// Durability knobs; `directory` is the slot's storage directory. The
+  /// worker forces checkpoint_interval_ticks to 0 — cluster checkpoints are
+  /// coordinator-driven (only AFTER a tick's result has been merged), which
+  /// is what guarantees any tick the coordinator may still be awaiting lies
+  /// in the journal suffix a replacement replays.
+  core::RecoveryOptions recovery;
+
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks a free port; the bound port is reported via port_report_fd.
+  uint16_t port = 0;
+  /// When >= 0: the bound port is written (2 bytes, little-endian) to this
+  /// fd once the worker is recovered and listening, then the fd is closed.
+  /// Writing only after recovery makes "the port arrived" the supervisor's
+  /// ready signal.
+  int port_report_fd = -1;
+
+  Duration heartbeat_interval = Duration::Millis(50);
+  Duration write_timeout = Duration::Seconds(5);
+  size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+
+  /// Optional external stop flag for in-process (thread-hosted) workers;
+  /// process-hosted workers simply die by signal. Checked once per poll
+  /// pass. Must outlive RunWorker.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// \brief Runs one cluster worker to completion: recover (or start fresh),
+/// listen, and serve the coordinator's framed stream — kBatch/kTick with
+/// exactly-once sequence admission, journal-before-apply via
+/// RecoveryCoordinator, per-tick partial-aggregate replies, coordinator-
+/// driven checkpoints, and periodic heartbeats.
+///
+/// Connection model: at most one live session; a new accept supersedes the
+/// old connection (the coordinator redialing after a network error). Every
+/// session starts with a ClusterHello carrying the worker's own (slot,
+/// epoch) — anything else is refused, which fences a stale coordinator
+/// link. The reply Welcome carries last_applied == journal_records(): one
+/// applied wire frame is exactly one journal record (batches are journaled
+/// atomically, ticks as tick records), so the journal length IS the resume
+/// cursor.
+///
+/// After every Welcome the worker re-sends its most recent tick result
+/// (live or recovered via replay) — the coordinator dedups by tick time —
+/// so a result that died in flight with the previous connection (or the
+/// previous worker) is never lost.
+///
+/// Returns only on the stop flag (OK) or a fatal local error (journal I/O,
+/// storage lock held by a live predecessor).
+Status RunWorker(const WorkerOptions& options, const EngineFactory& factory);
+
+}  // namespace esp::cluster
+
+#endif  // ESP_CLUSTER_WORKER_H_

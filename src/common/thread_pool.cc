@@ -13,7 +13,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // An in-flight region's caller still needs mu_/region_done_ for its
+    // epilogue; shutting down before it runs would destroy them under it.
+    std::unique_lock<std::mutex> lock(mu_);
+    region_done_.wait(lock, [this] { return body_ == nullptr; });
     shutdown_ = true;
   }
   wake_.notify_all();
@@ -59,6 +62,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
   });
   body_ = nullptr;
   region_size_ = 0;
+  // A destructor may be parked on region_done_ waiting for this epilogue.
+  region_done_.notify_all();
 }
 
 void ThreadPool::DrainRegion(uint64_t generation,
@@ -80,7 +85,8 @@ void ThreadPool::DrainRegion(uint64_t generation,
       // Touch the mutex so the caller cannot be between its predicate check
       // and its sleep when this notify fires (lost-wakeup guard).
       { std::lock_guard<std::mutex> lock(mu_); }
-      region_done_.notify_one();
+      // notify_all: a destructor may share this condvar with the caller.
+      region_done_.notify_all();
     }
   }
 }

@@ -31,6 +31,11 @@ class ThreadPool {
   /// Spawns `num_threads` workers. Zero is valid: every ParallelFor runs
   /// inline on the caller and Submit executes eagerly on the caller.
   explicit ThreadPool(size_t num_threads);
+
+  /// Blocks until any in-flight ParallelFor region has fully completed
+  /// (including the calling thread's epilogue) before tearing the pool
+  /// down, so destroying the pool from another thread while a region is
+  /// running is safe — the region finishes, then the workers exit.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

@@ -314,7 +314,8 @@ StatusOr<IngestSpecOptions> ParseIngestSection(const Section& section) {
   IngestSpecOptions options;
   ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
       {"bind_address", "port", "max_connections", "queue_limit_frames",
-       "backpressure", "max_frame_bytes", "read_timeout", "idle_timeout"}));
+       "backpressure", "max_frame_bytes", "read_timeout", "idle_timeout",
+       "backoff_initial", "backoff_max", "backoff_jitter"}));
 
   auto address = section.SingleEntry("bind_address");
   if (address.ok()) {
@@ -371,6 +372,8 @@ StatusOr<IngestSpecOptions> ParseIngestSection(const Section& section) {
   const DurationKey duration_keys[] = {
       {"read_timeout", &options.read_timeout},
       {"idle_timeout", &options.idle_timeout},
+      {"backoff_initial", &options.backoff_initial},
+      {"backoff_max", &options.backoff_max},
   };
   for (const DurationKey& key : duration_keys) {
     auto entry = section.SingleEntry(key.key);
@@ -390,6 +393,31 @@ StatusOr<IngestSpecOptions> ParseIngestSection(const Section& section) {
       return BadValue(section, **entry, "timeouts must be non-negative");
     }
     *key.target = *parsed;
+  }
+
+  auto jitter = section.SingleEntry("backoff_jitter");
+  if (jitter.ok()) {
+    double value = 0.0;
+    if (!StrToDouble((*jitter)->value, &value) || value < 0.0 ||
+        value > 1.0) {
+      return BadValue(section, **jitter,
+                      "expected a jitter fraction in [0, 1]");
+    }
+    options.backoff_jitter = value;
+  } else if (jitter.status().code() != StatusCode::kNotFound) {
+    return jitter.status();
+  }
+
+  if (options.backoff_max < options.backoff_initial) {
+    // A cross-field violation; anchor the diagnostic on whichever of the
+    // two keys the spec actually wrote (backoff_max if both).
+    auto anchor = section.SingleEntry("backoff_max");
+    if (!anchor.ok()) anchor = section.SingleEntry("backoff_initial");
+    if (anchor.ok()) {
+      return BadValue(section, **anchor,
+                      "backoff_max must be >= backoff_initial");
+    }
+    return Status::ParseError("[ingest] backoff_max must be >= backoff_initial");
   }
 
   auto policy = section.SingleEntry("backpressure");

@@ -67,6 +67,9 @@ namespace esp::core {
 /// max_frame_bytes = 1048576
 /// read_timeout = 10 sec          # slow-loris reaping; 0 disables
 /// idle_timeout = 60 sec          # silent-connection reaping; 0 disables
+/// backoff_initial = 10 msec      # client reconnect backoff floor
+/// backoff_max = 2 sec            # client reconnect backoff cap
+/// backoff_jitter = 0.5           # +/- fraction applied to each delay
 /// ```
 ///
 /// Unknown keys and malformed values in [health], [recovery], and [ingest]
@@ -90,6 +93,15 @@ struct IngestSpecOptions {
   uint64_t max_frame_bytes = 1 << 20;
   Duration read_timeout = Duration::Seconds(10);
   Duration idle_timeout = Duration::Seconds(60);
+
+  /// Client-side reconnect knobs, so a deployment file configures both
+  /// halves of the link. Defaults mirror net::IngestClientOptions; see
+  /// net::MakeIngestClientOptions. backoff_jitter is the +/- fraction each
+  /// delay is scattered by, validated to [0, 1] at parse time; backoff_max
+  /// is validated to be >= backoff_initial.
+  Duration backoff_initial = Duration::Millis(10);
+  Duration backoff_max = Duration::Seconds(2);
+  double backoff_jitter = 0.5;
 };
 
 /// \brief A loaded deployment plus its optional durability configuration.

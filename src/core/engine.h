@@ -15,12 +15,25 @@
 
 namespace esp::core {
 
+/// \brief One proximity group's post-Merge, pre-Arbitrate relation — the
+/// partial aggregate a cluster worker ships to the coordinator, which
+/// reassembles partials in global group-registration order before running
+/// the cross-group Arbitrate (docs/DISTRIBUTED.md).
+struct GroupPartial {
+  std::string device_type;
+  std::string group_id;
+  stream::Relation relation;
+};
+
 /// \brief One tick's cleaned outputs: the final relation per device type
 /// (after Arbitrate), in pipeline registration order, plus the Virtualize
-/// output when that stage is installed.
+/// output when that stage is installed. `group_partials` is populated only
+/// when SetExportGroupPartials(true) — per-group Merge outputs in (type,
+/// group) registration order, captured before Union/Arbitrate.
 struct TickResult {
   std::vector<std::pair<std::string, stream::Relation>> per_type;
   std::optional<stream::Relation> virtualized;
+  std::vector<GroupPartial> group_partials;
 };
 
 /// \brief The surface a pipeline execution engine exposes to the layers
@@ -42,6 +55,14 @@ class StreamEngine {
   /// Runs the full cascade at time `now`. Tick times must be
   /// non-decreasing.
   virtual StatusOr<TickResult> Tick(Timestamp now) = 0;
+
+  /// When enabled, every Tick also returns each proximity group's
+  /// post-Merge relation in TickResult::group_partials (a copy — the
+  /// per-type cascade still runs unchanged). Cluster workers turn this on
+  /// so the coordinator can reassemble partials across workers and run the
+  /// cross-group Arbitrate centrally. Off by default; call before or
+  /// between ticks.
+  virtual void SetExportGroupPartials(bool enabled) = 0;
 
   /// True once a tick has run (including via Restore of a ticked snapshot).
   virtual bool has_ticked() const = 0;

@@ -50,6 +50,25 @@ StatusOr<stream::Tuple> DecodeJournalTuple(const JournalRecord& record,
   return tuple;
 }
 
+StatusOr<std::vector<stream::Tuple>> DecodeJournalBatch(
+    const JournalRecord& record, const stream::SchemaRef& schema) {
+  if (record.kind != JournalRecord::Kind::kBatch) {
+    return Status::InvalidArgument("journal record is not a batch record");
+  }
+  ByteReader r(record.tuple_payload);
+  ESP_ASSIGN_OR_RETURN(const uint32_t count, r.ReadU32());
+  std::vector<stream::Tuple> readings;
+  readings.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ESP_ASSIGN_OR_RETURN(stream::Tuple tuple, stream::ReadTuple(r, schema));
+    readings.push_back(std::move(tuple));
+  }
+  if (!r.exhausted()) {
+    return Status::ParseError("journal batch record has trailing bytes");
+  }
+  return readings;
+}
+
 StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Create(
     const std::string& path, Options options) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -111,6 +130,18 @@ Status JournalWriter::AppendPush(const std::string& device_type,
   payload.WriteU8(static_cast<uint8_t>(JournalRecord::Kind::kPush));
   payload.WriteString(device_type);
   stream::WriteTuple(payload, tuple);
+  return AppendRecord(payload.data());
+}
+
+Status JournalWriter::AppendBatch(const std::string& device_type,
+                                  const std::vector<stream::Tuple>& readings) {
+  ByteWriter payload;
+  payload.WriteU8(static_cast<uint8_t>(JournalRecord::Kind::kBatch));
+  payload.WriteString(device_type);
+  payload.WriteU32(static_cast<uint32_t>(readings.size()));
+  for (const stream::Tuple& tuple : readings) {
+    stream::WriteTuple(payload, tuple);
+  }
   return AppendRecord(payload.data());
 }
 
@@ -200,8 +231,9 @@ StatusOr<JournalScan> ScanJournal(const std::string& path,
       ESP_ASSIGN_OR_RETURN(const uint8_t kind_tag, body.ReadU8());
       JournalRecord record;
       switch (static_cast<JournalRecord::Kind>(kind_tag)) {
-        case JournalRecord::Kind::kPush: {
-          record.kind = JournalRecord::Kind::kPush;
+        case JournalRecord::Kind::kPush:
+        case JournalRecord::Kind::kBatch: {
+          record.kind = static_cast<JournalRecord::Kind>(kind_tag);
           ESP_ASSIGN_OR_RETURN(record.device_type, body.ReadString());
           record.tuple_payload.assign(body.ReadBytes(body.remaining())
                                           .value());  // Cannot fail.

@@ -34,12 +34,14 @@ inline constexpr uint32_t kJournalVersion = 1;
 
 /// \brief One decoded journal record.
 struct JournalRecord {
-  enum class Kind : uint8_t { kPush = 1, kTick = 2 };
+  enum class Kind : uint8_t { kPush = 1, kTick = 2, kBatch = 3 };
 
   Kind kind = Kind::kPush;
   // kPush fields: the device type and the serialized reading. The tuple
   // payload is decoded lazily against the reading schema (known only to the
-  // deployment) via DecodeJournalTuple.
+  // deployment) via DecodeJournalTuple. A kBatch record reuses the same two
+  // fields, with tuple_payload holding `u32 count | count tuples` decoded
+  // via DecodeJournalBatch.
   std::string device_type;
   std::string tuple_payload;
   // kTick field.
@@ -49,6 +51,10 @@ struct JournalRecord {
 /// Decodes a kPush record's reading against its device type's schema.
 StatusOr<stream::Tuple> DecodeJournalTuple(const JournalRecord& record,
                                            const stream::SchemaRef& schema);
+
+/// Decodes a kBatch record's readings against its device type's schema.
+StatusOr<std::vector<stream::Tuple>> DecodeJournalBatch(
+    const JournalRecord& record, const stream::SchemaRef& schema);
 
 /// \brief Appends framed records to a journal file.
 class JournalWriter {
@@ -90,6 +96,15 @@ class JournalWriter {
   /// Appends one raw reading (journalled before the processor sees it).
   Status AppendPush(const std::string& device_type,
                     const stream::Tuple& tuple);
+
+  /// Appends a whole batch of readings for one device type as ONE framed
+  /// record. Because the journal's CRC framing admits a record only when it
+  /// is complete, a crash mid-append can never leave a half-journaled batch
+  /// — the batch is either fully replayable or provably absent, which is
+  /// what lets a cluster worker equate one applied wire frame with exactly
+  /// one journal record (docs/DISTRIBUTED.md).
+  Status AppendBatch(const std::string& device_type,
+                     const std::vector<stream::Tuple>& readings);
 
   /// Appends one tick boundary.
   Status AppendTick(Timestamp now);

@@ -418,6 +418,17 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
       merged.push_back(std::move(out));
     }
 
+    // --- Partial-aggregate export (cluster workers). The copies are taken
+    // here — after Merge, before Union/Arbitrate — because this is the
+    // exact hand-off point where a coordinator stitches workers' groups
+    // back into the global registration order. ---
+    if (export_group_partials_) {
+      for (size_t g = 0; g < type.groups.size(); ++g) {
+        result.group_partials.push_back(GroupPartial{
+            type.config.device_type, type.groups[g].group_id, merged[g]});
+      }
+    }
+
     // --- Arbitrate across groups. ---
     Relation type_out;
     if (type.arbitrate != nullptr) {

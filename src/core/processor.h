@@ -117,6 +117,11 @@ class EspProcessor : public StreamEngine {
   /// non-decreasing.
   StatusOr<TickResult> Tick(Timestamp now) override;
 
+  /// See StreamEngine::SetExportGroupPartials.
+  void SetExportGroupPartials(bool enabled) override {
+    export_group_partials_ = enabled;
+  }
+
   /// True once a tick has run (including via Restore of a ticked snapshot).
   bool has_ticked() const override { return has_ticked_; }
 
@@ -236,6 +241,7 @@ class EspProcessor : public StreamEngine {
   IngestStatsSource ingest_source_;
   bool started_ = false;
   bool has_ticked_ = false;
+  bool export_group_partials_ = false;
   Timestamp last_tick_;
 };
 

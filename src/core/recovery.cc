@@ -1,6 +1,8 @@
 #include "core/recovery.h"
 
 #include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -17,8 +19,46 @@ namespace esp::core {
 namespace {
 
 constexpr const char* kJournalFile = "journal.wal";
+constexpr const char* kLockFile = "LOCK";
 constexpr const char* kSnapshotPrefix = "snap_";
 constexpr const char* kSnapshotSuffix = ".ckpt";
+
+/// Takes the directory's exclusive advisory lock. flock() is per open file
+/// description and released by the kernel when the holder's last descriptor
+/// closes — including via SIGKILL — so a dead session can never wedge the
+/// directory, while a live one makes a concurrent Start/Resume fail with a
+/// typed error instead of interleaving two journals.
+StatusOr<int> AcquireDirectoryLock(const std::string& dir) {
+  const std::string path = dir + "/" + kLockFile;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::FromErrno("open '" + path + "'", errno);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      return Status::FailedPrecondition(
+          "recovery directory '" + dir +
+          "' is locked by another live session (double Start/Resume, or a "
+          "fenced worker that has not been killed yet)");
+    }
+    return Status::FromErrno("flock '" + path + "'", err);
+  }
+  return fd;
+}
+
+/// Closes the lock fd on early-error paths; released into the coordinator on
+/// success.
+struct LockHolder {
+  int fd = -1;
+  ~LockHolder() {
+    if (fd >= 0) ::close(fd);
+  }
+  int Release() {
+    const int out = fd;
+    fd = -1;
+    return out;
+  }
+};
 
 /// Parses "snap_<digits>.ckpt" into its sequence number.
 bool ParseSnapshotName(const std::string& name, uint64_t* seq) {
@@ -104,6 +144,8 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Start(
     StreamEngine* processor, RecoveryOptions options) {
   ESP_RETURN_IF_ERROR(ValidateOptions(options));
   ESP_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  LockHolder lock;
+  ESP_ASSIGN_OR_RETURN(lock.fd, AcquireDirectoryLock(options.directory));
   // A fresh session owns the directory: snapshots from an earlier journal
   // would hold resume indexes into a history that no longer exists.
   ESP_ASSIGN_OR_RETURN(const auto stale, ListSnapshots(options.directory));
@@ -116,8 +158,10 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Start(
       std::unique_ptr<JournalWriter> journal,
       JournalWriter::Create(options.directory + "/" + kJournalFile,
                             JournalOptions(options)));
-  return std::unique_ptr<RecoveryCoordinator>(new RecoveryCoordinator(
-      processor, std::move(options), std::move(journal), /*next_seq=*/1));
+  return std::unique_ptr<RecoveryCoordinator>(
+      new RecoveryCoordinator(processor, std::move(options),
+                              std::move(journal), /*next_seq=*/1,
+                              lock.Release()));
 }
 
 StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
@@ -127,6 +171,8 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
   // A crash can precede even the directory's creation; resuming from
   // nothing is a fresh start.
   ESP_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  LockHolder lock;
+  ESP_ASSIGN_OR_RETURN(lock.fd, AcquireDirectoryLock(options.directory));
   const std::string journal_path = options.directory + "/" + kJournalFile;
 
   // 1. Repair the journal: drop the torn tail a crash mid-append leaves. A
@@ -220,6 +266,25 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
         ++out->replayed_pushes;
         break;
       }
+      case JournalRecord::Kind::kBatch: {
+        const StatusOr<stream::SchemaRef> schema =
+            processor->TypeReadingSchema(record.device_type);
+        if (!schema.ok()) {
+          ++out->replay_rejected;
+          break;
+        }
+        StatusOr<std::vector<stream::Tuple>> readings =
+            DecodeJournalBatch(record, schema.value());
+        if (!readings.ok()) {
+          ++out->replay_rejected;
+          break;
+        }
+        for (stream::Tuple& tuple : readings.value()) {
+          (void)processor->Push(record.device_type, std::move(tuple));
+          ++out->replayed_pushes;
+        }
+        break;
+      }
       case JournalRecord::Kind::kTick: {
         StatusOr<TickResult> result =
             processor->Tick(record.tick_time);
@@ -264,8 +329,18 @@ StatusOr<std::unique_ptr<RecoveryCoordinator>> RecoveryCoordinator::Resume(
   stats.journal_records = static_cast<int64_t>(journal->records_written());
   stats.journal_bytes = static_cast<int64_t>(journal->bytes_written());
 
-  return std::unique_ptr<RecoveryCoordinator>(new RecoveryCoordinator(
-      processor, std::move(options), std::move(journal), max_seq + 1));
+  return std::unique_ptr<RecoveryCoordinator>(
+      new RecoveryCoordinator(processor, std::move(options),
+                              std::move(journal), max_seq + 1,
+                              lock.Release()));
+}
+
+RecoveryCoordinator::~RecoveryCoordinator() {
+  // Flush the journal's buffered tail before the lock drops, so no other
+  // session can take the directory while this one still has bytes in
+  // flight.
+  journal_.reset();
+  if (lock_fd_ >= 0) ::close(lock_fd_);
 }
 
 void RecoveryCoordinator::SyncJournalStats() {
@@ -291,6 +366,34 @@ Status RecoveryCoordinator::Push(const std::string& device_type,
   ESP_RETURN_IF_ERROR(journal_->AppendPush(device_type, raw));
   SyncJournalStats();
   return processor_->Push(device_type, std::move(raw));
+}
+
+Status RecoveryCoordinator::PushBatch(const std::string& device_type,
+                                      std::vector<stream::Tuple> readings,
+                                      uint64_t* rejected) {
+  if (rejected != nullptr) *rejected = 0;
+  if (readings.empty()) return Status::OK();
+  // Same pre-journal validation as Push: replay must be able to decode
+  // every reading in the record.
+  ESP_ASSIGN_OR_RETURN(const stream::SchemaRef schema,
+                       processor_->TypeReadingSchema(device_type));
+  for (const stream::Tuple& raw : readings) {
+    if (raw.schema() == nullptr || !raw.schema()->Equals(*schema)) {
+      return Status::TypeError("raw reading schema mismatch for type '" +
+                               device_type + "'");
+    }
+  }
+  // One framed record for the whole batch: either every reading below is
+  // replayable after a crash, or (torn tail) none of them applied.
+  ESP_RETURN_IF_ERROR(journal_->AppendBatch(device_type, readings));
+  SyncJournalStats();
+  for (stream::Tuple& raw : readings) {
+    const Status pushed = processor_->Push(device_type, std::move(raw));
+    // Per-reading rejections (late arrival, unknown receptor) are dropped
+    // live exactly as replay will re-drop them; only count them.
+    if (!pushed.ok() && rejected != nullptr) ++*rejected;
+  }
+  return Status::OK();
 }
 
 StatusOr<TickResult> RecoveryCoordinator::Tick(Timestamp now) {

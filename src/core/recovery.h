@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/time.h"
@@ -77,6 +78,14 @@ struct RestoreReport {
 ///  - snapshots are written atomically and the journal is only ever
 ///    truncated at its torn tail, so falling back to snapshot N-1 still
 ///    finds every record its replay needs.
+///
+/// Each coordinator holds an exclusive advisory lock (flock on
+/// `<directory>/LOCK`) for its whole lifetime. A second Start()/Resume() on
+/// the same directory — a double-resume bug, or a fenced-off zombie worker
+/// racing its replacement — fails with a typed kFailedPrecondition instead
+/// of two sessions interleaving appends into one journal. The kernel drops
+/// the lock automatically when the holder dies (including SIGKILL), so a
+/// crashed session never needs manual cleanup.
 class RecoveryCoordinator {
  public:
   /// Called for each tick replayed during Resume, with the recomputed
@@ -109,6 +118,17 @@ class RecoveryCoordinator {
   /// device type, schema mismatch) are rejected before journaling.
   Status Push(const std::string& device_type, stream::Tuple raw);
 
+  /// Pushes a whole batch of readings for one device type atomically with
+  /// respect to the journal: all readings land in ONE framed record before
+  /// any of them reaches the processor, so a crash mid-batch replays either
+  /// the entire batch or none of it. Individual readings the processor
+  /// rejects (late arrival, unknown receptor) are dropped live and re-drop
+  /// identically on replay; `rejected` (optional) counts them. An empty
+  /// batch is a no-op.
+  Status PushBatch(const std::string& device_type,
+                   std::vector<stream::Tuple> readings,
+                   uint64_t* rejected = nullptr);
+
   /// Journals the tick boundary (rejecting non-monotonic tick times before
   /// they reach the journal), runs the cascade, and — every
   /// `checkpoint_interval_ticks` successful ticks — takes a checkpoint.
@@ -126,14 +146,21 @@ class RecoveryCoordinator {
 
   const RecoveryOptions& options() const { return options_; }
 
+  /// Releases the directory lock (after a best-effort journal flush), so a
+  /// later session can Start()/Resume() on the same directory.
+  ~RecoveryCoordinator();
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
+
  private:
   RecoveryCoordinator(StreamEngine* processor, RecoveryOptions options,
                       std::unique_ptr<JournalWriter> journal,
-                      uint64_t next_seq)
+                      uint64_t next_seq, int lock_fd)
       : processor_(processor),
         options_(std::move(options)),
         journal_(std::move(journal)),
-        next_seq_(next_seq) {}
+        next_seq_(next_seq),
+        lock_fd_(lock_fd) {}
 
   std::string JournalPath() const;
   std::string SnapshotPath(uint64_t seq) const;
@@ -145,6 +172,7 @@ class RecoveryCoordinator {
   std::unique_ptr<JournalWriter> journal_;
   uint64_t next_seq_ = 1;
   uint64_t ticks_since_checkpoint_ = 0;
+  int lock_fd_ = -1;
 };
 
 }  // namespace esp::core

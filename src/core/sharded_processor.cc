@@ -104,6 +104,7 @@ Status ShardedEspProcessor::Start() {
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<EspProcessor>());
     ESP_RETURN_IF_ERROR(shards_[s]->SetHealthPolicy(policy_));
+    shards_[s]->SetExportGroupPartials(export_group_partials_);
   }
 
   // Partition each type's proximity groups into contiguous blocks in
@@ -255,6 +256,13 @@ StatusOr<Relation> ShardedEspProcessor::RunStageGuarded(
   return Relation(stage->output_schema());
 }
 
+void ShardedEspProcessor::SetExportGroupPartials(bool enabled) {
+  export_group_partials_ = enabled;
+  for (std::unique_ptr<EspProcessor>& shard : shards_) {
+    shard->SetExportGroupPartials(enabled);
+  }
+}
+
 StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
   if (!started_) return Status::Internal("processor not started");
   if (has_ticked_ && now < last_tick_) {
@@ -275,6 +283,20 @@ StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
   }
 
   TickResult result;
+  if (export_group_partials_) {
+    for (TypeRuntime& type : types_) {
+      for (const size_t s : type.hosting_shards) {
+        for (GroupPartial& partial :
+             shard_results[s]->value().group_partials) {
+          if (!StrEqualsIgnoreCase(partial.device_type,
+                                   type.config.device_type)) {
+            continue;
+          }
+          result.group_partials.push_back(std::move(partial));
+        }
+      }
+    }
+  }
   for (TypeRuntime& type : types_) {
     // Concatenate the shards' per-type outputs in shard order — block
     // contiguity makes this the single processor's group-ordered Union.

@@ -75,6 +75,10 @@ class ShardedEspProcessor : public StreamEngine {
   // StreamEngine:
   Status Push(const std::string& device_type, stream::Tuple raw) override;
   StatusOr<TickResult> Tick(Timestamp now) override;
+  /// Forwards to every shard; shard partials are concatenated into
+  /// TickResult::group_partials in shard order (per type, that is global
+  /// group-registration order thanks to block contiguity).
+  void SetExportGroupPartials(bool enabled) override;
   bool has_ticked() const override { return has_ticked_; }
   Timestamp last_tick() const override { return last_tick_; }
   StatusOr<stream::SchemaRef> TypeReadingSchema(
@@ -153,6 +157,7 @@ class ShardedEspProcessor : public StreamEngine {
   IngestStatsSource ingest_source_;
   bool started_ = false;
   bool has_ticked_ = false;
+  bool export_group_partials_ = false;
   Timestamp last_tick_;
 };
 

@@ -32,7 +32,13 @@ bool SendAllBlocking(int fd, std::string_view data) {
 }  // namespace
 
 FaultProxy::FaultProxy(FaultProxyOptions options)
-    : options_(std::move(options)), rng_(options_.seed) {}
+    : options_(std::move(options)),
+      client_to_server_{&options_.client_to_server,
+                        Rng(options_.client_to_server.seed),
+                        &FaultProxyStats::client_to_server},
+      server_to_client_{&options_.server_to_client,
+                        Rng(options_.server_to_client.seed),
+                        &FaultProxyStats::server_to_client} {}
 
 FaultProxy::~FaultProxy() { Stop(); }
 
@@ -89,11 +95,11 @@ void FaultProxy::Loop() {
       bool alive = true;
       if (fds[ci].revents & (POLLIN | POLLHUP | POLLERR)) {
         alive = ForwardChunk(pairs_[i].client.get(),
-                             pairs_[i].upstream.get(), /*inject=*/true);
+                             pairs_[i].upstream.get(), client_to_server_);
       }
       if (alive && (fds[ui].revents & (POLLIN | POLLHUP | POLLERR))) {
         alive = ForwardChunk(pairs_[i].upstream.get(),
-                             pairs_[i].client.get(), /*inject=*/false);
+                             pairs_[i].client.get(), server_to_client_);
       }
       if (!alive) dead.push_back(i);
     }
@@ -122,7 +128,7 @@ void FaultProxy::HandleAccept() {
   }
 }
 
-bool FaultProxy::ForwardChunk(int from, int to, bool inject) {
+bool FaultProxy::ForwardChunk(int from, int to, Direction& dir) {
   char buf[kChunkBytes];
   const ssize_t n = ::recv(from, buf, sizeof(buf), MSG_DONTWAIT);
   if (n == 0) return false;  // EOF: tear down the pair.
@@ -130,60 +136,62 @@ bool FaultProxy::ForwardChunk(int from, int to, bool inject) {
     return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
   }
   std::string_view chunk(buf, static_cast<size_t>(n));
+  const FaultDirectionOptions& knobs = *dir.options;
+  FaultDirectionStats& tally = stats_.*(dir.stats);
 
-  if (inject) {
-    if (rng_.Bernoulli(options_.p_reset)) {
+  if (knobs.any()) {
+    if (dir.rng.Bernoulli(knobs.p_reset)) {
       std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.resets++;
+      tally.resets++;
       return false;  // Mid-stream reset: nothing forwarded.
     }
-    if (rng_.Bernoulli(options_.p_truncate)) {
+    if (dir.rng.Bernoulli(knobs.p_truncate)) {
       // Deliver a strict prefix (possibly cutting a frame in half), then
       // kill the pair — the mid-frame-cut shape.
       const size_t keep = static_cast<size_t>(
-          rng_.UniformInt(0, static_cast<int64_t>(chunk.size()) - 1));
+          dir.rng.UniformInt(0, static_cast<int64_t>(chunk.size()) - 1));
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.truncations++;
+        tally.truncations++;
       }
       if (keep > 0) SendAllBlocking(to, chunk.substr(0, keep));
       return false;
     }
     std::string mutated;
-    if (rng_.Bernoulli(options_.p_corrupt)) {
+    if (dir.rng.Bernoulli(knobs.p_corrupt)) {
       mutated.assign(chunk);
       const size_t at = static_cast<size_t>(
-          rng_.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+          dir.rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
       mutated[at] = static_cast<char>(mutated[at] ^ 0x5a);
       chunk = mutated;
       std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.corruptions++;
+      tally.corruptions++;
     }
-    if (rng_.Bernoulli(options_.p_stall)) {
+    if (dir.rng.Bernoulli(knobs.p_stall)) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.stalls++;
+        tally.stalls++;
       }
       std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.stall.micros()));
+          std::chrono::microseconds(knobs.stall.micros()));
     }
-    const bool duplicate = rng_.Bernoulli(options_.p_duplicate);
+    const bool duplicate = dir.rng.Bernoulli(knobs.p_duplicate);
     if (!SendAllBlocking(to, chunk)) return false;
     if (duplicate) {
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.duplicates++;
+        tally.duplicates++;
       }
       if (!SendAllBlocking(to, chunk)) return false;
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.chunks_forwarded++;
+    tally.chunks_forwarded++;
     return true;
   }
 
   if (!SendAllBlocking(to, chunk)) return false;
   std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.chunks_forwarded++;
+  tally.chunks_forwarded++;
   return true;
 }
 

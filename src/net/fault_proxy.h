@@ -16,16 +16,13 @@
 
 namespace esp::net {
 
-/// \brief Fault injection knobs. Each probability is evaluated per
-/// client-to-server chunk with a deterministic seeded Rng; the server-to-
-/// client direction (acks) is forwarded verbatim, so every injected fault
-/// exercises the ingest path's recovery rather than the client's.
-struct FaultProxyOptions {
-  std::string bind_address = "127.0.0.1";
-  uint16_t listen_port = 0;  // 0 picks a free port.
-  std::string target_host = "127.0.0.1";
-  uint16_t target_port = 0;
-
+/// \brief Fault-injection knobs for ONE direction of the proxied stream.
+/// Each probability is evaluated per forwarded chunk with that direction's
+/// own deterministic seeded Rng, so client->server faults (torn uploads,
+/// duplicated batches) and server->client faults (corrupted acks, cut
+/// welcome frames — or, in a cluster, mangled worker replies) can be chaos-
+/// tested independently and reproducibly.
+struct FaultDirectionOptions {
   uint64_t seed = 1;
 
   /// Deliver only a random prefix of the chunk, then reset both sides —
@@ -42,10 +39,28 @@ struct FaultProxyOptions {
   double p_reset = 0.0;
 
   Duration stall = Duration::Millis(20);
+
+  bool any() const {
+    return p_truncate > 0 || p_corrupt > 0 || p_stall > 0 ||
+           p_duplicate > 0 || p_reset > 0;
+  }
 };
 
-struct FaultProxyStats {
-  int64_t connections = 0;
+struct FaultProxyOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 picks a free port.
+  std::string target_host = "127.0.0.1";
+  uint16_t target_port = 0;
+
+  /// Faults injected into bytes flowing client -> server (uploads).
+  FaultDirectionOptions client_to_server;
+  /// Faults injected into bytes flowing server -> client (acks/replies).
+  /// Default-constructed = forwarded verbatim, the historical behaviour.
+  FaultDirectionOptions server_to_client;
+};
+
+/// Per-direction fault tallies.
+struct FaultDirectionStats {
   int64_t chunks_forwarded = 0;
   int64_t truncations = 0;
   int64_t corruptions = 0;
@@ -58,12 +73,26 @@ struct FaultProxyStats {
   }
 };
 
+struct FaultProxyStats {
+  int64_t connections = 0;
+  FaultDirectionStats client_to_server;
+  FaultDirectionStats server_to_client;
+
+  int64_t faults() const {
+    return client_to_server.faults() + server_to_client.faults();
+  }
+  int64_t chunks_forwarded() const {
+    return client_to_server.chunks_forwarded +
+           server_to_client.chunks_forwarded;
+  }
+};
+
 /// \brief A TCP proxy that forwards client connections to a target server
 /// while injecting byte-level faults, for chaos-testing the ingest stack
-/// (bench/chaos_ingest.cc). Single poll()-based thread; deterministic given
-/// the seed and the byte stream (chunk boundaries do depend on kernel
-/// timing, so determinism here means "reproducible fault mix", not a
-/// bit-exact schedule).
+/// (bench/chaos_ingest.cc) and cluster links (bench/chaos_cluster.cc).
+/// Single poll()-based thread; deterministic given the seeds and the byte
+/// stream (chunk boundaries do depend on kernel timing, so determinism here
+/// means "reproducible fault mix", not a bit-exact schedule).
 class FaultProxy {
  public:
   static StatusOr<std::unique_ptr<FaultProxy>> Start(
@@ -88,12 +117,20 @@ class FaultProxy {
     UniqueFd upstream;
   };
 
+  /// One direction's injection state: its knobs, its independent Rng, and
+  /// which stats bucket it charges.
+  struct Direction {
+    const FaultDirectionOptions* options;
+    Rng rng;
+    FaultDirectionStats FaultProxyStats::* stats;
+  };
+
   Status Init();
   void Loop();
   void HandleAccept();
-  /// Forwards one chunk from `from` to `to`, maybe injecting a fault.
+  /// Forwards one chunk from `from` to `to` through `dir`'s fault lens.
   /// Returns false when the pair must be torn down.
-  bool ForwardChunk(int from, int to, bool inject);
+  bool ForwardChunk(int from, int to, Direction& dir);
 
   FaultProxyOptions options_;
   uint16_t port_ = 0;
@@ -102,7 +139,8 @@ class FaultProxy {
   std::atomic<bool> running_{false};
 
   std::vector<Pair> pairs_;
-  Rng rng_;
+  Direction client_to_server_;
+  Direction server_to_client_;
 
   mutable std::mutex stats_mu_;
   FaultProxyStats stats_;

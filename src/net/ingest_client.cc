@@ -25,7 +25,33 @@ bool IsConnectionFailure(const Status& status) {
   }
 }
 
+/// Pulls the next inbound frame, downgrading decoder errors (CRC mismatch,
+/// oversized length prefix) to kConnectionReset: once framing is lost the
+/// only sound recovery is to drop the socket and resume from the last ack,
+/// exactly as for a torn connection. Without this, one corrupted ack byte
+/// on the return path would kill the client instead of costing a reconnect.
+StatusOr<std::optional<std::string>> NextFrameOrReset(FrameDecoder& decoder) {
+  StatusOr<std::optional<std::string>> next = decoder.Next();
+  if (!next.ok()) {
+    return Status::ConnectionReset("inbound stream corrupted: " +
+                                   next.status().message());
+  }
+  return next;
+}
+
 }  // namespace
+
+IngestClientOptions MakeIngestClientOptions(
+    const core::IngestSpecOptions& spec) {
+  IngestClientOptions options;
+  options.host = spec.bind_address;
+  options.port = spec.port;
+  options.max_frame_bytes = static_cast<size_t>(spec.max_frame_bytes);
+  options.backoff_initial = spec.backoff_initial;
+  options.backoff_max = spec.backoff_max;
+  options.backoff_jitter = spec.backoff_jitter;
+  return options;
+}
 
 IngestClient::IngestClient(IngestClientOptions options)
     : options_(std::move(options)),
@@ -74,7 +100,7 @@ Status IngestClient::EstablishAndResume() {
   // Read until the Welcome arrives.
   for (;;) {
     ESP_ASSIGN_OR_RETURN(std::optional<std::string> payload,
-                         decoder_.Next());
+                         NextFrameOrReset(decoder_));
     if (payload.has_value()) {
       ESP_ASSIGN_OR_RETURN(const MessageKind kind, PeekKind(*payload));
       if (kind == MessageKind::kError) {
@@ -153,10 +179,22 @@ Status IngestClient::WithRetries(Fn&& attempt) {
 Status IngestClient::HandleServerPayload(const std::string& payload) {
   ESP_ASSIGN_OR_RETURN(const MessageKind kind, PeekKind(payload));
   switch (kind) {
-    case MessageKind::kAck: {
-      ESP_ASSIGN_OR_RETURN(const AckMessage ack, DecodeAck(payload));
-      if (ack.last_applied_seq > last_acked_) {
-        last_acked_ = ack.last_applied_seq;
+    case MessageKind::kAck:
+    case MessageKind::kWelcome: {
+      // A stray Welcome (duplicate delivery of the handshake reply) carries
+      // the same cumulative high-water mark an ack does; treat it as one
+      // instead of dying on it.
+      uint64_t applied = 0;
+      if (kind == MessageKind::kAck) {
+        ESP_ASSIGN_OR_RETURN(const AckMessage ack, DecodeAck(payload));
+        applied = ack.last_applied_seq;
+      } else {
+        ESP_ASSIGN_OR_RETURN(const WelcomeMessage welcome,
+                             DecodeWelcome(payload));
+        applied = welcome.last_applied_seq;
+      }
+      if (applied > last_acked_) {
+        last_acked_ = applied;
         while (!unacked_.empty() && unacked_.front().seq <= last_acked_) {
           unacked_.pop_front();
         }
@@ -180,7 +218,7 @@ Status IngestClient::DrainAcks(uint64_t min_acked) {
     // Consume whatever frames are already buffered.
     for (;;) {
       ESP_ASSIGN_OR_RETURN(std::optional<std::string> payload,
-                           decoder_.Next());
+                           NextFrameOrReset(decoder_));
       if (!payload.has_value()) break;
       ESP_RETURN_IF_ERROR(HandleServerPayload(*payload));
     }

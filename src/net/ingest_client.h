@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "core/deployment.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "stream/tuple.h"
@@ -46,6 +47,12 @@ struct IngestClientOptions {
 
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 };
+
+/// Converts a deployment spec's [ingest] section (core/deployment.h) into
+/// client options: the server's address plus the reconnect-backoff knobs.
+/// The caller still supplies client_id (and may override timeouts).
+IngestClientOptions MakeIngestClientOptions(
+    const core::IngestSpecOptions& spec);
 
 /// \brief Synchronous TCP client for the ingest wire protocol, with
 /// exactly-once delivery across connection loss.

@@ -86,6 +86,48 @@ std::string EncodeError(const Status& status) {
   return Frame(std::move(w));
 }
 
+std::string EncodeClusterHello(const ClusterHelloMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kClusterHello));
+  w.WriteU32(msg.protocol_version);
+  w.WriteU32(msg.slot);
+  w.WriteU64(msg.epoch);
+  return Frame(std::move(w));
+}
+
+std::string EncodeTickResult(const TickResultMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kTickResult));
+  w.WriteU32(msg.slot);
+  w.WriteU64(msg.epoch);
+  w.WriteI64(msg.tick_time.micros());
+  w.WriteU32(static_cast<uint32_t>(msg.partials.size()));
+  for (const WirePartial& partial : msg.partials) {
+    w.WriteString(partial.device_type);
+    w.WriteString(partial.group_id);
+    w.WriteU32(static_cast<uint32_t>(partial.relation.tuples().size()));
+    for (const stream::Tuple& tuple : partial.relation.tuples()) {
+      stream::WriteTuple(w, tuple);
+    }
+  }
+  return Frame(std::move(w));
+}
+
+std::string EncodeHeartbeat(const HeartbeatMessage& msg) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kHeartbeat));
+  w.WriteU32(msg.slot);
+  w.WriteU64(msg.epoch);
+  w.WriteU64(msg.last_applied_seq);
+  return Frame(std::move(w));
+}
+
+std::string EncodeCheckpointRequest() {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kCheckpointRequest));
+  return Frame(std::move(w));
+}
+
 StatusOr<MessageKind> PeekKind(std::string_view payload) {
   ByteReader r(payload);
   ESP_ASSIGN_OR_RETURN(const uint8_t tag, r.ReadU8());
@@ -96,6 +138,10 @@ StatusOr<MessageKind> PeekKind(std::string_view payload) {
     case MessageKind::kTick:
     case MessageKind::kAck:
     case MessageKind::kError:
+    case MessageKind::kClusterHello:
+    case MessageKind::kTickResult:
+    case MessageKind::kHeartbeat:
+    case MessageKind::kCheckpointRequest:
       return static_cast<MessageKind>(tag);
   }
   return Status::ParseError("unknown message kind tag " + std::to_string(tag));
@@ -202,6 +248,72 @@ StatusOr<ErrorMessage> DecodeError(std::string_view payload) {
   ESP_ASSIGN_OR_RETURN(msg.message, r.ReadString());
   ESP_RETURN_IF_ERROR(CheckExhausted(r, "error"));
   return msg;
+}
+
+StatusOr<ClusterHelloMessage> DecodeClusterHello(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r,
+                       ReaderFor(payload, MessageKind::kClusterHello));
+  ClusterHelloMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.protocol_version, r.ReadU32());
+  ESP_ASSIGN_OR_RETURN(msg.slot, r.ReadU32());
+  ESP_ASSIGN_OR_RETURN(msg.epoch, r.ReadU64());
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "cluster hello"));
+  if (msg.protocol_version != kWireProtocolVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire protocol version " +
+        std::to_string(msg.protocol_version) + " (expected " +
+        std::to_string(kWireProtocolVersion) + ")");
+  }
+  if (msg.epoch == 0) {
+    return Status::InvalidArgument("cluster epochs start at 1");
+  }
+  return msg;
+}
+
+StatusOr<TickResultMessage> DecodeTickResult(
+    std::string_view payload, const PartialSchemaLookup& lookup) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r,
+                       ReaderFor(payload, MessageKind::kTickResult));
+  TickResultMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.slot, r.ReadU32());
+  ESP_ASSIGN_OR_RETURN(msg.epoch, r.ReadU64());
+  ESP_ASSIGN_OR_RETURN(const int64_t micros, r.ReadI64());
+  msg.tick_time = Timestamp::Micros(micros);
+  ESP_ASSIGN_OR_RETURN(const uint32_t partial_count, r.ReadU32());
+  msg.partials.reserve(partial_count);
+  for (uint32_t p = 0; p < partial_count; ++p) {
+    WirePartial partial;
+    ESP_ASSIGN_OR_RETURN(partial.device_type, r.ReadString());
+    ESP_ASSIGN_OR_RETURN(partial.group_id, r.ReadString());
+    ESP_ASSIGN_OR_RETURN(const stream::SchemaRef schema,
+                         lookup(partial.device_type));
+    ESP_ASSIGN_OR_RETURN(const uint32_t tuple_count, r.ReadU32());
+    partial.relation = stream::Relation(schema);
+    for (uint32_t t = 0; t < tuple_count; ++t) {
+      ESP_ASSIGN_OR_RETURN(stream::Tuple tuple, stream::ReadTuple(r, schema));
+      partial.relation.Add(std::move(tuple));
+    }
+    msg.partials.push_back(std::move(partial));
+  }
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "tick result"));
+  return msg;
+}
+
+StatusOr<HeartbeatMessage> DecodeHeartbeat(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r,
+                       ReaderFor(payload, MessageKind::kHeartbeat));
+  HeartbeatMessage msg;
+  ESP_ASSIGN_OR_RETURN(msg.slot, r.ReadU32());
+  ESP_ASSIGN_OR_RETURN(msg.epoch, r.ReadU64());
+  ESP_ASSIGN_OR_RETURN(msg.last_applied_seq, r.ReadU64());
+  ESP_RETURN_IF_ERROR(CheckExhausted(r, "heartbeat"));
+  return msg;
+}
+
+Status DecodeCheckpointRequest(std::string_view payload) {
+  ESP_ASSIGN_OR_RETURN(ByteReader r,
+                       ReaderFor(payload, MessageKind::kCheckpointRequest));
+  return CheckExhausted(r, "checkpoint request");
 }
 
 StatusOr<std::optional<std::string>> FrameDecoder::Next() {

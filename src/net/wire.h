@@ -2,6 +2,7 @@
 #define ESP_NET_WIRE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -50,6 +51,15 @@ enum class MessageKind : uint8_t {
   kTick = 4,     // client -> server: seq + tick timestamp
   kAck = 5,      // server -> client: cumulative last applied sequence
   kError = 6,    // server -> client: status code + message, then close
+  // Cluster control plane (docs/DISTRIBUTED.md). Every cluster frame
+  // carries the worker's (slot, epoch) pair; a frame whose epoch differs
+  // from the receiver's current epoch for that slot is FENCED — dropped
+  // without effect — which is what makes a SIGKILLed worker's stragglers
+  // harmless once its replacement has been seated.
+  kClusterHello = 7,       // coordinator -> worker: version + slot + epoch
+  kTickResult = 8,         // worker -> coordinator: partial aggregates
+  kHeartbeat = 9,          // worker -> coordinator: liveness + progress
+  kCheckpointRequest = 10,  // coordinator -> worker: unsequenced, idempotent
 };
 
 struct HelloMessage {
@@ -91,6 +101,41 @@ struct ErrorMessage {
   std::string message;
 };
 
+/// Coordinator-side handshake on a (re)connect to a worker. The worker
+/// accepts only its own slot and its own current epoch; a stale epoch means
+/// the dialer is a zombie coordinator link and the connection is refused.
+struct ClusterHelloMessage {
+  uint32_t protocol_version = kWireProtocolVersion;
+  uint32_t slot = 0;
+  uint64_t epoch = 0;
+};
+
+/// One proximity group's post-Merge partial relation inside a kTickResult.
+struct WirePartial {
+  std::string device_type;
+  std::string group_id;
+  stream::Relation relation;
+};
+
+/// Worker -> coordinator: the partial aggregates of one tick, identified by
+/// the tick's timestamp (the cluster requires strictly increasing tick
+/// times, so the timestamp is a unique tick key the coordinator dedups
+/// re-sent results by).
+struct TickResultMessage {
+  uint32_t slot = 0;
+  uint64_t epoch = 0;
+  Timestamp tick_time;
+  std::vector<WirePartial> partials;
+};
+
+/// Worker -> coordinator liveness beacon, carrying the worker's applied
+/// high-water mark (== its journal record count; see docs/DISTRIBUTED.md).
+struct HeartbeatMessage {
+  uint32_t slot = 0;
+  uint64_t epoch = 0;
+  uint64_t last_applied_seq = 0;
+};
+
 // --- Encoders: each returns one complete frame (header + payload). ---
 
 std::string EncodeHello(const HelloMessage& msg);
@@ -102,6 +147,14 @@ std::string EncodeBatch(uint64_t seq, const std::string& device_type,
 std::string EncodeTick(uint64_t seq, Timestamp now);
 std::string EncodeAck(uint64_t last_applied_seq);
 std::string EncodeError(const Status& status);
+std::string EncodeClusterHello(const ClusterHelloMessage& msg);
+std::string EncodeTickResult(const TickResultMessage& msg);
+std::string EncodeHeartbeat(const HeartbeatMessage& msg);
+/// Checkpoint requests carry no body and — deliberately — no sequence
+/// number: they are idempotent, applied in TCP order, and excluding them
+/// from the sequence stream preserves the worker's "one applied frame ==
+/// one journal record" identity.
+std::string EncodeCheckpointRequest();
 
 // --- Payload decoders (over the bytes FrameDecoder yields). ---
 
@@ -133,6 +186,20 @@ StatusOr<DecodedBatch> DecodeBatch(std::string_view payload,
 StatusOr<TickMessage> DecodeTick(std::string_view payload);
 StatusOr<AckMessage> DecodeAck(std::string_view payload);
 StatusOr<ErrorMessage> DecodeError(std::string_view payload);
+StatusOr<ClusterHelloMessage> DecodeClusterHello(std::string_view payload);
+
+/// Resolves a device type to the schema its partial relations decode
+/// against (the type's post-Merge group output schema).
+using PartialSchemaLookup =
+    std::function<StatusOr<stream::SchemaRef>(const std::string& device_type)>;
+
+/// Decodes a tick-result payload, re-attaching each partial's schema via
+/// `lookup` (the wire carries type-tagged values, so the schema supplies
+/// names the frame does not repeat).
+StatusOr<TickResultMessage> DecodeTickResult(std::string_view payload,
+                                             const PartialSchemaLookup& lookup);
+StatusOr<HeartbeatMessage> DecodeHeartbeat(std::string_view payload);
+Status DecodeCheckpointRequest(std::string_view payload);
 
 /// \brief Incremental frame reassembly over an arbitrary byte stream.
 ///

@@ -390,6 +390,9 @@ backpressure = shed
 max_frame_bytes = 65536
 read_timeout = 2 sec
 idle_timeout = 30 sec
+backoff_initial = 25 msec
+backoff_max = 4 sec
+backoff_jitter = 0.25
 )";
   auto bundle = LoadDeploymentBundle(spec);
   ASSERT_TRUE(bundle.ok()) << bundle.status();
@@ -402,6 +405,9 @@ idle_timeout = 30 sec
   EXPECT_EQ(bundle->ingest->max_frame_bytes, 65536u);
   EXPECT_EQ(bundle->ingest->read_timeout, Duration::Seconds(2));
   EXPECT_EQ(bundle->ingest->idle_timeout, Duration::Seconds(30));
+  EXPECT_EQ(bundle->ingest->backoff_initial, Duration::Millis(25));
+  EXPECT_EQ(bundle->ingest->backoff_max, Duration::Seconds(4));
+  EXPECT_EQ(bundle->ingest->backoff_jitter, 0.25);
 
   // An empty [ingest] section is valid: all defaults.
   auto defaulted =
@@ -410,6 +416,9 @@ idle_timeout = 30 sec
   ASSERT_TRUE(defaulted->ingest.has_value());
   EXPECT_EQ(defaulted->ingest->port, 0);
   EXPECT_EQ(defaulted->ingest->backpressure, "block");
+  EXPECT_EQ(defaulted->ingest->backoff_initial, Duration::Millis(10));
+  EXPECT_EQ(defaulted->ingest->backoff_max, Duration::Seconds(2));
+  EXPECT_EQ(defaulted->ingest->backoff_jitter, 0.5);
 
   // And absent means absent.
   auto none = LoadDeploymentBundle(kShelfDeployment);
@@ -436,6 +445,17 @@ TEST(LoadDeploymentTest, IngestErrorsAreLineNumbered) {
                           "max_frame_bytes = 7", "max_frame_bytes");
   ExpectLineNumberedError(base + "\n[ingest]\nbind_address =\n",
                           "bind_address", "bind_address");
+  ExpectLineNumberedError(base + "\n[ingest]\nbackoff_jitter = 1.5\n",
+                          "backoff_jitter = 1.5", "jitter fraction");
+  ExpectLineNumberedError(base + "\n[ingest]\nbackoff_jitter = -0.1\n",
+                          "backoff_jitter = -0.1", "jitter fraction");
+  ExpectLineNumberedError(base + "\n[ingest]\nbackoff_jitter = lots\n",
+                          "backoff_jitter = lots", "jitter fraction");
+  ExpectLineNumberedError(base + "\n[ingest]\nbackoff_initial = soon\n",
+                          "backoff_initial = soon", "backoff_initial");
+  ExpectLineNumberedError(
+      base + "\n[ingest]\nbackoff_initial = 5 sec\nbackoff_max = 1 sec\n",
+      "backoff_max = 1 sec", "backoff_max must be >= backoff_initial");
 
   // Two [ingest] sections are ambiguous, not last-one-wins.
   auto twice = LoadDeploymentBundle(base + "\n[ingest]\n\n[ingest]\n");

@@ -547,13 +547,13 @@ TEST(IngestTest, SurvivesAFaultyNetworkExactlyOnce) {
 
   FaultProxyOptions proxy_options;
   proxy_options.target_port = s.server->port();
-  proxy_options.seed = 7;
-  proxy_options.p_corrupt = 0.05;
-  proxy_options.p_truncate = 0.03;
-  proxy_options.p_duplicate = 0.05;
-  proxy_options.p_reset = 0.02;
-  proxy_options.p_stall = 0.05;
-  proxy_options.stall = Duration::Millis(5);
+  proxy_options.client_to_server.seed = 7;
+  proxy_options.client_to_server.p_corrupt = 0.05;
+  proxy_options.client_to_server.p_truncate = 0.03;
+  proxy_options.client_to_server.p_duplicate = 0.05;
+  proxy_options.client_to_server.p_reset = 0.02;
+  proxy_options.client_to_server.p_stall = 0.05;
+  proxy_options.client_to_server.stall = Duration::Millis(5);
   auto proxy = FaultProxy::Start(std::move(proxy_options));
   ASSERT_TRUE(proxy.ok()) << proxy.status();
 
@@ -578,6 +578,51 @@ TEST(IngestTest, SurvivesAFaultyNetworkExactlyOnce) {
   EXPECT_EQ(stats.ticks_applied, static_cast<int64_t>(steps.size()));
 }
 
+
+TEST(IngestTest, ReturnPathFaultsCostOnlyReconnectsNeverExactlyOnce) {
+  // Faults injected ONLY server->client: corrupted/cut/duplicated ack and
+  // welcome frames. The forward byte stream is clean, so every loss of
+  // exactly-once here would be a client-side resume bug — the client must
+  // treat a mangled return path as a dead connection, redial, and resume
+  // from the Welcome cursor.
+  const std::vector<Step> steps = ShelfScript(12);
+  const std::vector<std::string> golden = GoldenRun(steps);
+
+  ShelfServer s = StartShelfServer(IngestServerOptions{});
+
+  FaultProxyOptions proxy_options;
+  proxy_options.target_port = s.server->port();
+  proxy_options.server_to_client.seed = 0xACC;
+  proxy_options.server_to_client.p_corrupt = 0.10;
+  proxy_options.server_to_client.p_truncate = 0.05;
+  proxy_options.server_to_client.p_duplicate = 0.10;
+  proxy_options.server_to_client.p_reset = 0.02;
+  auto proxy = FaultProxy::Start(std::move(proxy_options));
+  ASSERT_TRUE(proxy.ok()) << proxy.status();
+
+  IngestClientOptions copts = ClientOptions((*proxy)->port(), "ack-chaos");
+  // A small window forces frequent ack round trips, so the return path
+  // carries enough frames to actually get hit.
+  copts.max_unacked_frames = 2;
+  copts.max_reconnect_attempts = 256;
+  auto client = IngestClient::Connect(std::move(copts));
+  ASSERT_TRUE(client.ok()) << client.status();
+  for (const Step& step : steps) {
+    ASSERT_TRUE((*client)->PushBatch("rfid", step.pushes).ok());
+    ASSERT_TRUE((*client)->PushTick(step.tick).ok());
+  }
+  ASSERT_TRUE((*client)->Close().ok());
+  const int64_t faults = (*proxy)->StatsSnapshot().faults();
+  (*proxy)->Stop();
+  s.server->Stop();
+
+  EXPECT_GT(faults, 0);  // The return path was actually exercised.
+  EXPECT_EQ(s.fingerprints, golden);
+  const core::IngestStats stats = s.server->StatsSnapshot();
+  EXPECT_EQ(stats.readings_applied,
+            static_cast<int64_t>(TotalReadings(steps)));
+  EXPECT_EQ(stats.ticks_applied, static_cast<int64_t>(steps.size()));
+}
 
 TEST(IngestTest, JournaledIngestReplaysToGoldenEquivalence) {
   // A RecoverySink journals every networked reading before it is applied,

@@ -272,5 +272,128 @@ TEST(WireCodecTest, TrailingBytesAreRejected) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
 }
 
+TEST(WireCodecTest, ClusterHelloRoundTrip) {
+  ClusterHelloMessage hello;
+  hello.slot = 3;
+  hello.epoch = 17;
+  const std::string payload = DecodeOneFrame(EncodeClusterHello(hello));
+  auto kind = PeekKind(payload);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MessageKind::kClusterHello);
+  auto decoded = DecodeClusterHello(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->protocol_version, kWireProtocolVersion);
+  EXPECT_EQ(decoded->slot, 3u);
+  EXPECT_EQ(decoded->epoch, 17u);
+}
+
+TEST(WireCodecTest, ClusterHelloRejectsEpochZeroAndWrongVersion) {
+  // Epoch 0 is the "never seated" sentinel; a hello carrying it is a bug
+  // in the dialer, not a valid fencing state.
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageKind::kClusterHello));
+  w.WriteU32(kWireProtocolVersion);
+  w.WriteU32(0);
+  w.WriteU64(0);
+  auto epoch_zero = DecodeClusterHello(w.data());
+  ASSERT_FALSE(epoch_zero.ok());
+  EXPECT_EQ(epoch_zero.status().code(), StatusCode::kInvalidArgument);
+
+  ByteWriter v;
+  v.WriteU8(static_cast<uint8_t>(MessageKind::kClusterHello));
+  v.WriteU32(kWireProtocolVersion + 1);
+  v.WriteU32(0);
+  v.WriteU64(1);
+  auto wrong_version = DecodeClusterHello(v.data());
+  ASSERT_FALSE(wrong_version.ok());
+  EXPECT_EQ(wrong_version.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, TickResultRoundTrip) {
+  TickResultMessage msg;
+  msg.slot = 2;
+  msg.epoch = 5;
+  msg.tick_time = Timestamp::Seconds(42);
+  WirePartial partial;
+  partial.device_type = "rfid";
+  partial.group_id = "pg_shelf0";
+  partial.relation = stream::Relation(sim::RfidReadingSchema());
+  for (const Tuple& tuple : SomeReadings(3)) partial.relation.Add(tuple);
+  msg.partials.push_back(partial);
+  WirePartial empty;
+  empty.device_type = "rfid";
+  empty.group_id = "pg_shelf1";
+  empty.relation = stream::Relation(sim::RfidReadingSchema());
+  msg.partials.push_back(empty);
+
+  const std::string payload = DecodeOneFrame(EncodeTickResult(msg));
+  auto kind = PeekKind(payload);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MessageKind::kTickResult);
+  auto decoded = DecodeTickResult(
+      payload, [](const std::string&) { return sim::RfidReadingSchema(); });
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->slot, 2u);
+  EXPECT_EQ(decoded->epoch, 5u);
+  EXPECT_EQ(decoded->tick_time, Timestamp::Seconds(42));
+  ASSERT_EQ(decoded->partials.size(), 2u);
+  EXPECT_EQ(decoded->partials[0].group_id, "pg_shelf0");
+  EXPECT_EQ(decoded->partials[0].relation.size(), 3u);
+  EXPECT_EQ(decoded->partials[1].group_id, "pg_shelf1");
+  EXPECT_EQ(decoded->partials[1].relation.size(), 0u);
+}
+
+TEST(WireCodecTest, TickResultSchemaLookupErrorPropagates) {
+  TickResultMessage msg;
+  msg.slot = 0;
+  msg.epoch = 1;
+  WirePartial partial;
+  partial.device_type = "unknown";
+  partial.group_id = "pg";
+  partial.relation = stream::Relation(sim::RfidReadingSchema());
+  msg.partials.push_back(std::move(partial));
+  const std::string payload = DecodeOneFrame(EncodeTickResult(msg));
+  auto decoded = DecodeTickResult(payload, [](const std::string& type) {
+    return StatusOr<stream::SchemaRef>(
+        Status::NotFound("no pipeline for '" + type + "'"));
+  });
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WireCodecTest, HeartbeatRoundTripAndTrailingBytesRejected) {
+  HeartbeatMessage beat;
+  beat.slot = 1;
+  beat.epoch = 9;
+  beat.last_applied_seq = 1234;
+  std::string payload = DecodeOneFrame(EncodeHeartbeat(beat));
+  auto kind = PeekKind(payload);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MessageKind::kHeartbeat);
+  auto decoded = DecodeHeartbeat(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->slot, 1u);
+  EXPECT_EQ(decoded->epoch, 9u);
+  EXPECT_EQ(decoded->last_applied_seq, 1234u);
+
+  payload.push_back('\0');
+  auto trailing = DecodeHeartbeat(payload);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireCodecTest, CheckpointRequestRoundTripAndNonEmptyBodyRejected) {
+  std::string payload = DecodeOneFrame(EncodeCheckpointRequest());
+  auto kind = PeekKind(payload);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MessageKind::kCheckpointRequest);
+  EXPECT_TRUE(DecodeCheckpointRequest(payload).ok());
+
+  payload.push_back('\0');
+  const Status trailing = DecodeCheckpointRequest(payload);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.code(), StatusCode::kParseError);
+}
+
 }  // namespace
 }  // namespace esp::net

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -712,6 +714,149 @@ TEST(RecoveryCoordinatorTest, BatchedFsyncStillReplaysToGoldenEquivalence) {
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
   }
+}
+
+TEST(RecoveryCoordinatorTest, SecondLiveSessionOnOneDirectoryIsTyped) {
+  // Two coordinators over one directory would interleave two journals; the
+  // directory's advisory lock must make the second Start OR Resume a typed
+  // FailedPrecondition while the first session is alive — and release the
+  // moment the first session is destroyed (or its process dies).
+  const std::string dir = FreshDir("recovery_double_session");
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  auto first_processor = BuildShelfProcessor();
+  ASSERT_TRUE(first_processor.ok());
+  auto first = RecoveryCoordinator::Start(first_processor->get(), options);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  auto second_processor = BuildShelfProcessor();
+  ASSERT_TRUE(second_processor.ok());
+  auto second_start =
+      RecoveryCoordinator::Start(second_processor->get(), options);
+  ASSERT_FALSE(second_start.ok());
+  EXPECT_EQ(second_start.status().code(), StatusCode::kFailedPrecondition);
+
+  auto second_resume =
+      RecoveryCoordinator::Resume(second_processor->get(), options);
+  ASSERT_FALSE(second_resume.ok());
+  EXPECT_EQ(second_resume.status().code(), StatusCode::kFailedPrecondition);
+
+  // The refused attempts must not have disturbed the live session.
+  ASSERT_TRUE((*first)->Push("rfid", Rfid("reader_0", "x", 0)).ok());
+  ASSERT_TRUE((*first)->Tick(Timestamp::Seconds(0)).ok());
+  first->reset();
+
+  // Lock released with the session: a fresh Resume now succeeds and sees
+  // the first session's records.
+  auto third_processor = BuildShelfProcessor();
+  ASSERT_TRUE(third_processor.ok());
+  auto third = RecoveryCoordinator::Resume(third_processor->get(), options);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ((*third)->journal_records(), 2u);  // One push + one tick.
+}
+
+TEST(RecoveryCoordinatorTest, BatchReplaysToGoldenEquivalence) {
+  // PushBatch journals a whole batch as ONE record; a crashed session must
+  // replay batched input to the same bits as the live run.
+  const std::vector<Step> steps = ShelfScript(6);
+  const std::vector<std::string> golden = GoldenRun(steps);
+  const std::string dir = FreshDir("recovery_batch_replay");
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    for (int t = 0; t < 4; ++t) {
+      uint64_t rejected = 99;
+      ASSERT_TRUE(
+          (*session)->PushBatch("rfid", steps[t].pushes, &rejected).ok());
+      EXPECT_EQ(rejected, 0u);
+      ASSERT_TRUE((*session)->Tick(steps[t].tick).ok());
+    }
+  }
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  std::vector<std::string> replayed;
+  auto session = RecoveryCoordinator::Resume(
+      processor->get(), options, nullptr,
+      [&](Timestamp, const EspProcessor::TickResult& result) {
+        replayed.push_back(Fingerprint(result));
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_EQ(replayed.size(), 4u);
+  for (size_t t = 0; t < replayed.size(); ++t) {
+    EXPECT_EQ(replayed[t], golden[t]) << "replayed tick " << t;
+  }
+  for (size_t t = 4; t < steps.size(); ++t) {
+    ASSERT_TRUE((*session)->PushBatch("rfid", steps[t].pushes).ok());
+    auto result = (*session)->Tick(steps[t].tick);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(Fingerprint(*result), golden[t]) << "t=" << t;
+  }
+}
+
+TEST(RecoveryCoordinatorTest, TornBatchRecordReplaysNothingOfTheBatch) {
+  // A crash mid-append can tear the tail of a batch record. Because the
+  // whole batch is one framed record, the repair drops ALL of it — a torn
+  // batch never replays a reading subset.
+  const std::string dir = FreshDir("recovery_torn_batch");
+  RecoveryOptions options;
+  options.directory = dir;
+  options.fsync = false;
+
+  size_t intact_size = 0;
+  {
+    auto processor = BuildShelfProcessor();
+    ASSERT_TRUE(processor.ok());
+    auto session = RecoveryCoordinator::Start(processor->get(), options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    ASSERT_TRUE((*session)->Push("rfid", Rfid("reader_0", "x", 0)).ok());
+    ASSERT_TRUE((*session)->Tick(Timestamp::Seconds(0)).ok());
+    {
+      FILE* f = fopen((dir + "/journal.wal").c_str(), "rb");
+      ASSERT_NE(f, nullptr);
+      fseek(f, 0, SEEK_END);
+      intact_size = static_cast<size_t>(ftell(f));
+      fclose(f);
+    }
+    std::vector<Tuple> batch = {Rfid("reader_0", "y", 1),
+                                Rfid("reader_1", "y", 1),
+                                Rfid("reader_1", "z", 1)};
+    ASSERT_TRUE((*session)->PushBatch("rfid", std::move(batch)).ok());
+    // Abandon without a clean close; then tear the batch record's tail.
+  }
+  {
+    FILE* f = fopen((dir + "/journal.wal").c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    const size_t full = static_cast<size_t>(ftell(f));
+    ASSERT_GT(full, intact_size);
+    // Cut into the middle of the batch record.
+    ASSERT_EQ(truncate((dir + "/journal.wal").c_str(),
+                       static_cast<off_t>(intact_size + (full - intact_size) / 2)),
+              0);
+    fclose(f);
+  }
+
+  auto processor = BuildShelfProcessor();
+  ASSERT_TRUE(processor.ok());
+  RestoreReport report;
+  auto session = RecoveryCoordinator::Resume(processor->get(), options, &report);
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_GT(report.journal_torn_bytes, 0u);
+  // Only the pre-batch records survive: one push, one tick, zero batch
+  // readings — all-or-nothing held.
+  EXPECT_EQ(report.replayed_pushes, 1u);
+  EXPECT_EQ(report.replayed_ticks, 1u);
+  EXPECT_EQ((*session)->journal_records(), 2u);
 }
 
 TEST(RecoveryCoordinatorTest, StartRejectsZeroFsyncInterval) {

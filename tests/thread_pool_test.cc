@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -85,6 +87,30 @@ TEST(ThreadPoolTest, ParallelForAggregatesWork) {
   // Closed form of sum of squares below kN.
   const uint64_t n = kN - 1;
   EXPECT_EQ(sum, n * (n + 1) * (2 * n + 1) / 6);
+}
+
+TEST(ThreadPoolTest, DestructionWaitsForAnInFlightParallelFor) {
+  // A pool destroyed from another thread while workers are mid-ParallelFor
+  // must let the region (and the caller's epilogue) finish before tearing
+  // down — every index runs exactly once, nothing is abandoned.
+  constexpr size_t kN = 2048;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::atomic<int>> hits(kN);
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::atomic<bool> started{false};
+    std::thread runner([&] {
+      pool->ParallelFor(kN, [&](size_t i) {
+        started.store(true, std::memory_order_release);
+        hits[i].fetch_add(1);
+      });
+    });
+    while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+    pool.reset();  // Mid-region: blocks until the region is complete.
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+    runner.join();
+  }
 }
 
 TEST(ThreadPoolTest, SubmitInterleavesWithParallelFor) {
