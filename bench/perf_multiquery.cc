@@ -1,0 +1,452 @@
+// Multi-tenant shared-plan serving benchmark: N concurrent CQL
+// subscriptions over one sensor stream, swept across subscription counts
+// and duplicate ratios under three registry configurations:
+//
+//   naive          one private plan + private windows per subscription
+//                  (share_plans=false, share_windows=false) — the
+//                  one-plan-per-query baseline,
+//   window_shared  private plans over coarsest-common shared buffers
+//                  (isolates the window-sharing axis),
+//   shared         fingerprint-deduped plans + shared buffers (the full
+//                  serving layer).
+//
+// The workload draws shelf-presence / outlier query shapes from a
+// parameter space, with a controlled probability that each subscription
+// re-draws an earlier subscription's parameters rendered through a
+// different surface form (keyword case, total-conjunct order) — duplicates
+// the fingerprint canonicalizer must catch, not string equality. Headline
+// numbers (results/sec speedup and buffered-tuple memory ratio, shared vs
+// naive at the largest point) plus per-tick tail latencies are written to
+// BENCH_multiquery.json. A small-scale bitwise equivalence check (shared
+// vs naive rendered results per tick) guards the numbers' meaning: a fast
+// wrong answer is not a speedup.
+//
+// --scale=S shrinks the sweep for CI smoke; the default L scale produces
+// the figure data (10k subscriptions at the top point).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/query_registry.h"
+#include "sim/reading.h"
+#include "stream/tuple.h"
+
+namespace esp::bench {
+namespace {
+
+using cql::QueryRegistry;
+using cql::SubscriptionResult;
+
+constexpr int kTuplesPerTick = 32;
+constexpr int kShelves = 16;
+constexpr int kTenants = 8;
+constexpr uint64_t kQuerySeed = 17;
+constexpr uint64_t kDataSeed = 71;
+
+stream::SchemaRef ReadingSchema() {
+  return stream::MakeSchema({{"tag_id", stream::DataType::kString},
+                             {"shelf", stream::DataType::kInt64},
+                             {"temp", stream::DataType::kDouble}});
+}
+
+// --- Query generation ------------------------------------------------------
+
+/// One point in the query parameter space. The space is large enough
+/// (template x range x threshold x shelf x rows) that fresh draws rarely
+/// collide, so the duplicate ratio is controlled by the re-draw
+/// probability, not by accidental collisions.
+struct QueryParams {
+  int tmpl = 0;       // Which of the four query shapes.
+  int range_sec = 4;  // [Range By] width.
+  int rows = 16;      // [Rows] width.
+  int shelf = 0;      // Shelf predicate constant.
+  int temp_cents = 150;  // Outlier threshold, hundredths of a degree.
+};
+
+QueryParams DrawParams(Rng& rng) {
+  QueryParams p;
+  p.tmpl = static_cast<int>(rng.UniformInt(0, 3));
+  p.range_sec = static_cast<int>(rng.UniformInt(1, 8));
+  p.rows = static_cast<int>(rng.UniformInt(4, 64));
+  p.shelf = static_cast<int>(rng.UniformInt(0, kShelves - 1));
+  p.temp_cents = static_cast<int>(rng.UniformInt(0, 399));
+  return p;
+}
+
+std::string TempLiteral(int cents) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d.%02d", cents / 100, cents % 100);
+  return buf;
+}
+
+/// Renders params to CQL text. `variant` selects a surface form that the
+/// fingerprint canonicalizer — not string comparison — must unify with
+/// variant 0: lowercased keywords/identifiers and, where the conjuncts are
+/// total, a commuted WHERE clause.
+std::string RenderQuery(const QueryParams& p, int variant) {
+  const std::string range = std::to_string(p.range_sec);
+  const std::string shelf = std::to_string(p.shelf);
+  const std::string temp = TempLiteral(p.temp_cents);
+  const bool alt = (variant % 2) == 1;
+  switch (p.tmpl) {
+    case 0:  // Per-shelf presence count (incremental grouped range).
+      if (alt) {
+        return "select SHELF as s, count(*) as n from READINGS [Range By '" +
+               range + " sec'] group by SHELF";
+      }
+      return "SELECT shelf AS s, count(*) AS n FROM readings [Range By '" +
+             range + " sec'] GROUP BY shelf";
+    case 1:  // Per-shelf outlier mean above a threshold.
+      if (alt) {
+        return "select SHELF as s, avg(TEMP) as mean from READINGS "
+               "[Range By '" +
+               range + " sec'] where TEMP > " + temp + " group by SHELF";
+      }
+      return "SELECT shelf AS s, avg(temp) AS mean FROM readings "
+             "[Range By '" +
+             range + " sec'] WHERE temp > " + temp + " GROUP BY shelf";
+    case 2:  // Outlier listing over a rows window; total conjuncts commute.
+      if (alt) {
+        return "select TAG_ID as t, temp as v from READINGS [Rows " +
+               std::to_string(p.rows) + "] where TEMP > " + temp +
+               " and SHELF = " + shelf;
+      }
+      return "SELECT tag_id AS t, temp AS v FROM readings [Rows " +
+             std::to_string(p.rows) + "] WHERE shelf = " + shelf +
+             " AND temp > " + temp;
+    default:  // Per-shelf reading count over a range window.
+      if (alt) {
+        return "select count(*) as n from READINGS [Range By '" + range +
+               " sec'] where SHELF = " + shelf;
+      }
+      return "SELECT count(*) AS n FROM readings [Range By '" + range +
+             " sec'] WHERE shelf = " + shelf;
+  }
+}
+
+/// Draws the workload: `count` query texts where each subscription is,
+/// with probability `dup_ratio`, a surface-variant re-draw of an earlier
+/// subscription's parameters. Deterministic in the seed so every mode
+/// serves the identical workload.
+std::vector<std::string> DrawWorkload(size_t count, double dup_ratio,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryParams> params;
+  std::vector<std::string> texts;
+  params.reserve(count);
+  texts.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    QueryParams p;
+    if (!params.empty() && rng.NextDouble() < dup_ratio) {
+      p = params[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(params.size()) - 1))];
+    } else {
+      p = DrawParams(rng);
+    }
+    params.push_back(p);
+    texts.push_back(RenderQuery(p, static_cast<int>(rng.UniformInt(0, 1))));
+  }
+  return texts;
+}
+
+// --- Workload driver -------------------------------------------------------
+
+struct ModeResult {
+  std::string name;
+  size_t subscriptions = 0;
+  size_t physical_plans = 0;
+  size_t shared_buffers = 0;
+  size_t buffered_tuples = 0;
+  double achieved_dup_ratio = 0;
+  double register_ms = 0;
+  int measured_ticks = 0;
+  double results_per_sec = 0;  // Subscription-results delivered per second.
+  LatencyRecorder latency;     // Per-tick wall time, ns.
+  /// Per-tick rendered results, filled only when `capture` — the
+  /// equivalence check compares these across modes.
+  std::vector<std::string> rendered;
+};
+
+stream::Tuple Reading(const stream::SchemaRef& schema, Rng& rng, int tick,
+                      int i) {
+  const int shelf = static_cast<int>(rng.UniformInt(0, kShelves - 1));
+  const int tag = static_cast<int>(rng.UniformInt(0, 63));
+  return stream::Tuple(
+      schema,
+      {stream::Value::String("tag_" + std::to_string(tag)),
+       stream::Value::Int64(shelf), stream::Value::Double(rng.NextDouble() * 4)},
+      Timestamp::Micros(tick * 1'000'000LL + i * 1'000LL));
+}
+
+StatusOr<ModeResult> RunMode(const std::string& name, bool share_plans,
+                             bool share_windows,
+                             const std::vector<std::string>& workload,
+                             int warmup_ticks, int measured_ticks,
+                             bool capture) {
+  QueryRegistry::Options options;
+  options.share_plans = share_plans;
+  options.share_windows = share_windows;
+  QueryRegistry registry(options);
+  stream::SchemaRef schema = ReadingSchema();
+  ESP_RETURN_IF_ERROR(registry.AddStream("readings", schema));
+
+  ModeResult result;
+  result.name = name;
+  const auto reg_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ESP_RETURN_IF_ERROR(registry.Register(
+        "tenant_" + std::to_string(i % kTenants), "q" + std::to_string(i),
+        workload[i]));
+  }
+  result.register_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - reg_start)
+          .count();
+
+  Rng data_rng(kDataSeed);
+  uint64_t delivered = 0;
+  double measured_ns = 0;
+  int tick = 0;
+  const auto run_tick = [&](bool measured) -> Status {
+    for (int i = 0; i < kTuplesPerTick; ++i) {
+      ESP_RETURN_IF_ERROR(
+          registry.Push("readings", Reading(schema, data_rng, tick, i)));
+    }
+    const Timestamp now = Timestamp::Micros(tick * 1'000'000LL);
+    const auto start = std::chrono::steady_clock::now();
+    ESP_ASSIGN_OR_RETURN(std::vector<SubscriptionResult> results,
+                         registry.Tick(now));
+    const double ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (measured) {
+      result.latency.Record(ns);
+      measured_ns += ns;
+      delivered += results.size();
+    }
+    if (capture) {
+      std::string tick_out;
+      for (const SubscriptionResult& r : results) {
+        tick_out += r.tenant + "/" + r.name + ": ";
+        tick_out += r.status.ok() ? r.result->ToString() : r.status.ToString();
+        tick_out += "\n";
+      }
+      result.rendered.push_back(std::move(tick_out));
+    }
+    ++tick;
+    return Status::OK();
+  };
+
+  for (int i = 0; i < warmup_ticks; ++i) ESP_RETURN_IF_ERROR(run_tick(false));
+  for (int i = 0; i < measured_ticks; ++i) ESP_RETURN_IF_ERROR(run_tick(true));
+
+  const cql::QueryServingStats stats = registry.Stats();
+  result.subscriptions = stats.subscriptions;
+  result.physical_plans = stats.physical_plans;
+  result.shared_buffers = stats.shared_buffers;
+  result.buffered_tuples = registry.BufferedTuples();
+  result.achieved_dup_ratio =
+      stats.subscriptions > 0
+          ? 1.0 - static_cast<double>(stats.physical_plans) /
+                      static_cast<double>(stats.subscriptions)
+          : 0.0;
+  result.measured_ticks = measured_ticks;
+  result.results_per_sec =
+      measured_ns > 0 ? static_cast<double>(delivered) / (measured_ns * 1e-9)
+                      : 0.0;
+  return result;
+}
+
+// --- Sweep -----------------------------------------------------------------
+
+struct PointResult {
+  size_t queries = 0;
+  double dup_ratio = 0;
+  std::vector<ModeResult> modes;
+  double speedup_shared_vs_naive = 0;
+  double memory_ratio_naive_vs_shared = 0;
+};
+
+const ModeResult* FindMode(const PointResult& point, const char* name) {
+  for (const ModeResult& m : point.modes) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+int Run(const std::string& out_dir, bool small_scale) {
+  const std::vector<size_t> counts =
+      small_scale ? std::vector<size_t>{50, 400}
+                  : std::vector<size_t>{100, 1000, 10000};
+  const std::vector<double> dup_ratios = {0.5, 0.9};
+  const int warmup_ticks = small_scale ? 4 : 5;
+
+  // Small-scale equivalence check first: shared and naive must render
+  // bitwise-identical per-tick results for the same workload before any
+  // throughput number means anything.
+  bool equivalence_ok = true;
+  {
+    const std::vector<std::string> workload = DrawWorkload(64, 0.5, kQuerySeed);
+    StatusOr<ModeResult> naive =
+        RunMode("naive", false, false, workload, 2, 12, /*capture=*/true);
+    StatusOr<ModeResult> shared =
+        RunMode("shared", true, true, workload, 2, 12, /*capture=*/true);
+    if (!naive.ok() || !shared.ok()) {
+      std::fprintf(stderr, "equivalence run failed: %s / %s\n",
+                   naive.status().ToString().c_str(),
+                   shared.status().ToString().c_str());
+      return 1;
+    }
+    equivalence_ok = naive->rendered == shared->rendered;
+    if (!equivalence_ok) {
+      std::fprintf(stderr,
+                   "EQUIVALENCE FAILURE: shared results diverge from naive\n");
+    }
+  }
+
+  const struct {
+    const char* name;
+    bool share_plans;
+    bool share_windows;
+  } kModes[] = {
+      {"naive", false, false},
+      {"window_shared", false, true},
+      {"shared", true, true},
+  };
+
+  std::vector<PointResult> points;
+  for (size_t count : counts) {
+    for (double dup : dup_ratios) {
+      const int measured_ticks =
+          small_scale ? 12 : (count >= 10000 ? 20 : 50);
+      const std::vector<std::string> workload =
+          DrawWorkload(count, dup, kQuerySeed);
+      PointResult point;
+      point.queries = count;
+      point.dup_ratio = dup;
+      for (const auto& mode : kModes) {
+        StatusOr<ModeResult> run =
+            RunMode(mode.name, mode.share_plans, mode.share_windows, workload,
+                    warmup_ticks, measured_ticks, /*capture=*/false);
+        if (!run.ok()) {
+          std::fprintf(stderr, "mode %s (N=%zu dup=%.2f) failed: %s\n",
+                       mode.name, count, dup,
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        std::printf(
+            "N=%-6zu dup=%.2f %-14s plans=%-6zu buffered=%-8zu "
+            "results/sec=%12.0f p99=%.2fms\n",
+            count, dup, mode.name, run->physical_plans, run->buffered_tuples,
+            run->results_per_sec, run->latency.Percentile(0.99) / 1e6);
+        point.modes.push_back(std::move(*run));
+      }
+      const ModeResult* naive = FindMode(point, "naive");
+      const ModeResult* shared = FindMode(point, "shared");
+      if (naive != nullptr && shared != nullptr &&
+          naive->results_per_sec > 0 && shared->buffered_tuples > 0) {
+        point.speedup_shared_vs_naive =
+            shared->results_per_sec / naive->results_per_sec;
+        point.memory_ratio_naive_vs_shared =
+            static_cast<double>(naive->buffered_tuples) /
+            static_cast<double>(shared->buffered_tuples);
+      }
+      points.push_back(std::move(point));
+    }
+  }
+
+  // Headline: the largest subscription count at the highest duplicate
+  // ratio — the 10k-dashboards-few-distinct-queries serving scenario.
+  const PointResult* headline = nullptr;
+  for (const PointResult& p : points) {
+    if (headline == nullptr || p.queries > headline->queries ||
+        (p.queries == headline->queries &&
+         p.dup_ratio > headline->dup_ratio)) {
+      headline = &p;
+    }
+  }
+
+  std::printf("\n=== Multi-tenant serving: shared vs naive ===\n");
+  for (const PointResult& p : points) {
+    std::printf("N=%-6zu dup=%.2f speedup=%6.2fx memory=%6.2fx\n", p.queries,
+                p.dup_ratio, p.speedup_shared_vs_naive,
+                p.memory_ratio_naive_vs_shared);
+  }
+  std::printf("equivalence check: %s\n", equivalence_ok ? "OK" : "FAILED");
+
+  const std::string out_path = OutputPath(out_dir, "BENCH_multiquery.json");
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"multiquery\",\n  \"build\": %s,\n"
+               "  \"scale\": \"%s\",\n  \"tuples_per_tick\": %d,\n"
+               "  \"equivalence_ok\": %s,\n",
+               BuildFlagsJson().c_str(), small_scale ? "S" : "L",
+               kTuplesPerTick, equivalence_ok ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    PointResult& p = points[i];
+    std::fprintf(f,
+                 "    {\"queries\": %zu, \"dup_ratio\": %.2f, "
+                 "\"speedup_shared_vs_naive\": %.2f, "
+                 "\"memory_ratio_naive_vs_shared\": %.2f,\n"
+                 "     \"modes\": [\n",
+                 p.queries, p.dup_ratio, p.speedup_shared_vs_naive,
+                 p.memory_ratio_naive_vs_shared);
+    for (size_t m = 0; m < p.modes.size(); ++m) {
+      ModeResult& r = p.modes[m];
+      std::fprintf(
+          f,
+          "      {\"name\": \"%s\", \"physical_plans\": %zu, "
+          "\"shared_buffers\": %zu, \"buffered_tuples\": %zu, "
+          "\"achieved_dup_ratio\": %.3f, \"register_ms\": %.1f, "
+          "\"measured_ticks\": %d, \"results_per_sec\": %.0f, "
+          "\"tick_latency\": %s}%s\n",
+          r.name.c_str(), r.physical_plans, r.shared_buffers,
+          r.buffered_tuples, r.achieved_dup_ratio, r.register_ms,
+          r.measured_ticks, r.results_per_sec, r.latency.ToJson().c_str(),
+          m + 1 < p.modes.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  if (headline != nullptr) {
+    const ModeResult* shared = FindMode(*headline, "shared");
+    std::fprintf(f,
+                 "  \"headline\": {\"queries\": %zu, \"dup_ratio\": %.2f, "
+                 "\"speedup\": %.2f, \"memory_ratio\": %.2f, "
+                 "\"shared_results_per_sec\": %.0f}\n",
+                 headline->queries, headline->dup_ratio,
+                 headline->speedup_shared_vs_naive,
+                 headline->memory_ratio_naive_vs_shared,
+                 shared != nullptr ? shared->results_per_sec : 0.0);
+  } else {
+    std::fprintf(f, "  \"headline\": null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("Written to %s\n", out_path.c_str());
+  return equivalence_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace esp::bench
+
+int main(int argc, char** argv) {
+  const std::string out_dir = esp::bench::ParseOutputDir(&argc, argv);
+  bool small_scale = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale=S") == 0) small_scale = true;
+  }
+  return esp::bench::Run(out_dir, small_scale);
+}

@@ -37,6 +37,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "TimedOut";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

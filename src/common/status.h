@@ -38,6 +38,10 @@ enum class StatusCode {
   /// same call cannot fix it (e.g. an ingest server that lost state the
   /// client already pruned against).
   kFailedPrecondition,
+  /// A per-tenant or per-resource budget is exhausted (query count, window
+  /// memory, eval-time). Retrying without freeing or raising the budget
+  /// cannot succeed (admission control, cql/query_registry.h).
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -99,6 +103,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// Builds an error from the current `errno` (as captured in `err`):

@@ -1,5 +1,6 @@
 #include "core/deployment.h"
 
+#include <set>
 #include <vector>
 
 #include "common/string_util.h"
@@ -159,7 +160,8 @@ StatusOr<std::vector<Section>> ParseSections(const std::string& text) {
       section.line = line_number;
       if (section.kind != "group" && section.kind != "pipeline" &&
           section.kind != "virtualize" && section.kind != "health" &&
-          section.kind != "recovery" && section.kind != "ingest") {
+          section.kind != "recovery" && section.kind != "ingest" &&
+          section.kind != "tenants" && section.kind != "tenant") {
         return Status::ParseError("unknown section kind '" + section.kind +
                                   "' at line " + std::to_string(line_number));
       }
@@ -433,6 +435,126 @@ StatusOr<IngestSpecOptions> ParseIngestSection(const Section& section) {
   return options;
 }
 
+/// The single boolean entry for `key`; nullopt when absent, a
+/// line-numbered error on anything but true/false spellings.
+StatusOr<std::optional<bool>> BoolEntry(const Section& section,
+                                        const char* key) {
+  auto entry = section.SingleEntry(key);
+  if (!entry.ok()) {
+    if (entry.status().code() == StatusCode::kNotFound) {
+      return std::optional<bool>();
+    }
+    return entry.status();
+  }
+  const std::string lowered = StrToLower(StrTrim((*entry)->value));
+  if (lowered == "true" || lowered == "on" || lowered == "1") {
+    return std::optional<bool>(true);
+  }
+  if (lowered == "false" || lowered == "off" || lowered == "0") {
+    return std::optional<bool>(false);
+  }
+  return BadValue(section, **entry, "expected true or false");
+}
+
+/// Parses the budget keys shared by [tenants] (defaults) and [tenant <id>]
+/// (overrides) into `budgets`, with the same strictness as [health]. Zero
+/// means unlimited (cql/query_registry.h).
+Status ParseBudgetKeys(const Section& section, cql::TenantBudgets* budgets) {
+  struct CountKey {
+    const char* key;
+    uint64_t* target;
+  };
+  uint64_t max_rows = static_cast<uint64_t>(budgets->max_window_rows);
+  const CountKey count_keys[] = {
+      {"max_queries", &budgets->max_queries},
+      {"max_window_rows", &max_rows},
+  };
+  for (const CountKey& key : count_keys) {
+    auto entry = section.SingleEntry(key.key);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) continue;
+      return entry.status();
+    }
+    int64_t value = 0;
+    if (!StrToInt64((*entry)->value, &value) || value < 0) {
+      return BadValue(section, **entry, "expected a non-negative integer");
+    }
+    *key.target = static_cast<uint64_t>(value);
+  }
+  budgets->max_window_rows = static_cast<int64_t>(max_rows);
+
+  struct DurationKey {
+    const char* key;
+    Duration* target;
+  };
+  const DurationKey duration_keys[] = {
+      {"max_window_range", &budgets->max_window_range},
+      {"max_eval_time", &budgets->max_eval_time},
+  };
+  for (const DurationKey& key : duration_keys) {
+    auto entry = section.SingleEntry(key.key);
+    if (!entry.ok()) {
+      if (entry.status().code() == StatusCode::kNotFound) continue;
+      return entry.status();
+    }
+    if (StrTrim((*entry)->value) == "0") {
+      *key.target = Duration::Zero();
+      continue;
+    }
+    auto parsed = ParseDuration((*entry)->value);
+    if (!parsed.ok()) {
+      return BadValue(section, **entry, parsed.status().message());
+    }
+    if (*parsed < Duration::Zero()) {
+      return BadValue(section, **entry, "budgets must be non-negative");
+    }
+    *key.target = *parsed;
+  }
+
+  ESP_ASSIGN_OR_RETURN(const std::optional<bool> allow_unbounded,
+                       BoolEntry(section, "allow_unbounded"));
+  if (allow_unbounded.has_value()) {
+    budgets->allow_unbounded = *allow_unbounded;
+  }
+  return Status::OK();
+}
+
+/// Parses a [tenants] section — the multi-tenant serving layer's sharing
+/// toggles and default budgets — with the same strictness as [health].
+StatusOr<cql::QueryRegistry::Options> ParseTenantsSection(
+    const Section& section) {
+  cql::QueryRegistry::Options options;
+  ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
+      {"share_plans", "share_windows", "max_queries", "max_window_range",
+       "max_window_rows", "allow_unbounded", "max_eval_time"}));
+  ESP_ASSIGN_OR_RETURN(const std::optional<bool> share_plans,
+                       BoolEntry(section, "share_plans"));
+  if (share_plans.has_value()) options.share_plans = *share_plans;
+  ESP_ASSIGN_OR_RETURN(const std::optional<bool> share_windows,
+                       BoolEntry(section, "share_windows"));
+  if (share_windows.has_value()) options.share_windows = *share_windows;
+  ESP_RETURN_IF_ERROR(ParseBudgetKeys(section, &options.default_budgets));
+  return options;
+}
+
+/// Parses one [tenant <id>] override. Omitted keys keep the [tenants]
+/// defaults (`seed`), so an override can tighten one budget without
+/// re-declaring the rest.
+StatusOr<cql::TenantBudgets> ParseTenantSection(
+    const Section& section, const cql::TenantBudgets& seed) {
+  if (section.name.empty()) {
+    return Status::ParseError("[tenant] at line " +
+                              std::to_string(section.line) +
+                              " requires a tenant id");
+  }
+  ESP_RETURN_IF_ERROR(section.RejectUnknownKeys(
+      {"max_queries", "max_window_range", "max_window_rows",
+       "allow_unbounded", "max_eval_time"}));
+  cql::TenantBudgets budgets = seed;
+  ESP_RETURN_IF_ERROR(ParseBudgetKeys(section, &budgets));
+  return budgets;
+}
+
 /// Builds a CQL stage factory from query text, validated lazily at Bind.
 StageFactory DeclarativeStage(StageKind kind, std::string name,
                               std::string query) {
@@ -457,8 +579,21 @@ StatusOr<DeploymentBundle> LoadDeploymentBundle(const std::string& spec_text) {
   bool saw_pipeline = false;
   bool saw_virtualize = false;
   bool saw_health = false;
+  std::optional<cql::QueryRegistry::Options> tenants_options;
+  std::vector<const Section*> tenant_sections;
   for (const Section& section : sections) {
-    if (section.kind == "health") {
+    if (section.kind == "tenants") {
+      if (tenants_options.has_value()) {
+        return Status::ParseError(
+            "multiple [tenants] sections (second at line " +
+            std::to_string(section.line) + ")");
+      }
+      ESP_ASSIGN_OR_RETURN(tenants_options, ParseTenantsSection(section));
+    } else if (section.kind == "tenant") {
+      // Deferred: overrides seed from the [tenants] defaults, which may
+      // appear later in the file.
+      tenant_sections.push_back(&section);
+    } else if (section.kind == "health") {
       if (saw_health) {
         return Status::ParseError("multiple [health] sections (second at line " +
                                   std::to_string(section.line) + ")");
@@ -558,6 +693,26 @@ StatusOr<DeploymentBundle> LoadDeploymentBundle(const std::string& spec_text) {
   if (!saw_pipeline) {
     return Status::ParseError("deployment declares no [pipeline] sections");
   }
+
+  if (tenants_options.has_value()) {
+    ESP_RETURN_IF_ERROR(
+        processor->SetQueryServingOptions(*tenants_options));
+  }
+  const cql::TenantBudgets default_budgets =
+      tenants_options.has_value() ? tenants_options->default_budgets
+                                  : cql::TenantBudgets{};
+  std::set<std::string> seen_tenants;
+  for (const Section* section : tenant_sections) {
+    ESP_ASSIGN_OR_RETURN(const cql::TenantBudgets budgets,
+                         ParseTenantSection(*section, default_budgets));
+    if (!seen_tenants.insert(section->name).second) {
+      return Status::ParseError("multiple [tenant " + section->name +
+                                "] sections (second at line " +
+                                std::to_string(section->line) + ")");
+    }
+    ESP_RETURN_IF_ERROR(processor->SetTenantBudgets(section->name, budgets));
+  }
+
   ESP_RETURN_IF_ERROR(processor_ptr->Start());
   return bundle;
 }

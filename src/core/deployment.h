@@ -57,6 +57,21 @@ namespace esp::core {
 /// journal_flush_every = 1        # records per journal flush
 /// journal_fsync_every = 1        # fsync every Nth flush (durability batch)
 ///
+/// # Optional multi-tenant query serving (see cql/query_registry.h).
+/// # Sharing toggles plus default admission budgets; 0 = unlimited.
+/// [tenants]
+/// share_plans = true             # fingerprint-dedupe identical queries
+/// share_windows = true           # coarsest-common shared window buffers
+/// max_queries = 1000             # live subscriptions per tenant
+/// max_window_range = 60 sec      # largest RANGE retention per stream
+/// max_window_rows = 100000       # largest ROWS retention per stream
+/// allow_unbounded = false        # admit unbounded windows?
+/// max_eval_time = 50 msec        # per-tick eval budget; over -> throttled
+///
+/// # Optional per-tenant overrides; omitted keys keep [tenants] defaults.
+/// [tenant acme]
+/// max_queries = 10
+///
 /// # Optional networked ingest front door (see net/ingest_server.h).
 /// [ingest]
 /// bind_address = 127.0.0.1
@@ -72,8 +87,9 @@ namespace esp::core {
 /// backoff_jitter = 0.5           # +/- fraction applied to each delay
 /// ```
 ///
-/// Unknown keys and malformed values in [health], [recovery], and [ingest]
-/// are line-numbered parse errors, never silently-applied defaults.
+/// Unknown keys and malformed values in [health], [recovery], [ingest],
+/// [tenants], and [tenant] are line-numbered parse errors, never
+/// silently-applied defaults.
 ///
 /// The returned processor is already Start()ed: push readings and Tick().
 StatusOr<std::unique_ptr<EspProcessor>> LoadDeployment(

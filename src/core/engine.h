@@ -11,6 +11,7 @@
 #include "common/time.h"
 #include "core/checkpoint.h"
 #include "core/health.h"
+#include "cql/query_registry.h"
 #include "stream/tuple.h"
 
 namespace esp::core {
@@ -34,6 +35,10 @@ struct TickResult {
   std::vector<std::pair<std::string, stream::Relation>> per_type;
   std::optional<stream::Relation> virtualized;
   std::vector<GroupPartial> group_partials;
+  /// Standing-query results, one per live subscription in registration
+  /// order (multi-tenant serving layer, cql/query_registry.h). Empty
+  /// unless subscriptions are registered.
+  std::vector<cql::SubscriptionResult> query_results;
 };
 
 /// \brief The surface a pipeline execution engine exposes to the layers
@@ -107,6 +112,36 @@ class StreamEngine {
   /// them (observe after the driving thread quiesces, e.g. after
   /// IngestServer::Stop()).
   virtual PipelineHealth Health() const = 0;
+
+  /// Registers a standing CQL subscription for `tenant` over the engine's
+  /// cleaned per-type output streams (the pipelines' virtualize_input
+  /// names). Subsequent Ticks carry its result in
+  /// TickResult::query_results. Typed errors per
+  /// cql::QueryRegistry::Register; engines that do not serve queries
+  /// return kUnimplemented. Valid after the engine is started; shares the
+  /// Push/Tick single-threaded contract.
+  virtual Status RegisterQuery(const std::string& tenant,
+                               const std::string& name,
+                               const std::string& query_text) {
+    (void)tenant;
+    (void)name;
+    (void)query_text;
+    return Status::Unimplemented("this engine does not serve queries");
+  }
+
+  /// Removes a live subscription (kNotFound when absent).
+  virtual Status UnregisterQuery(const std::string& name) {
+    (void)name;
+    return Status::Unimplemented("this engine does not serve queries");
+  }
+
+  /// Installs a per-tenant admission budget (cql/query_registry.h).
+  virtual Status SetTenantBudgets(const std::string& tenant,
+                                  const cql::TenantBudgets& budgets) {
+    (void)tenant;
+    (void)budgets;
+    return Status::Unimplemented("this engine does not serve queries");
+  }
 };
 
 }  // namespace esp::core

@@ -72,6 +72,9 @@ std::string PipelineHealth::ToString() const {
   if (columnar.active() || columnar.enabled) {
     out += "  columnar: " + columnar.ToString() + "\n";
   }
+  if (queries.active()) {
+    out += "  " + queries.ToString() + "\n";
+  }
   if (ingest.active()) {
     out += "  ingest: " + ingest.ToString() + "\n";
     for (const ClientIngestStats& c : ingest.clients) {

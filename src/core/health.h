@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "core/metrics.h"
+#include "cql/query_registry.h"
 
 namespace esp::core {
 
@@ -209,6 +210,10 @@ struct PipelineHealth {
   /// Networked-ingest counters (zero unless an IngestServer fronts the
   /// engine).
   IngestStats ingest;
+
+  /// Multi-tenant query-serving counters (zero unless standing queries are
+  /// registered; cql/query_registry.h).
+  cql::QueryServingStats queries;
 
   int64_t total_stage_errors = 0;
   int64_t total_late_admitted = 0;

@@ -462,6 +462,17 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
                                  std::move(type_out));
   }
 
+  if (queries_.active()) {
+    std::vector<std::pair<std::string, const Relation*>> inputs;
+    inputs.reserve(types_.size());
+    for (size_t i = 0; i < types_.size(); ++i) {
+      inputs.emplace_back(types_[i].config.virtualize_input,
+                          &result.per_type[i].second);
+    }
+    ESP_ASSIGN_OR_RETURN(result.query_results,
+                         queries_.FeedAndTick(inputs, now));
+  }
+
   if (virtualize_ != nullptr) {
     StatusOr<Relation> out = virtualize_->Evaluate(now);
     if (out.ok()) {
@@ -480,6 +491,7 @@ StatusOr<EspProcessor::TickResult> EspProcessor::Tick(Timestamp now) {
 PipelineHealth EspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
+  health.queries = queries_.Stats();
   health.columnar.enabled = stream::ColumnarEnabled();
   health.columnar.avx2 = stream::simd::Avx2Available();
   {
@@ -538,6 +550,7 @@ size_t EspProcessor::BufferedTuples() const {
     if (type.arbitrate != nullptr) total += type.arbitrate->buffered();
   }
   if (virtualize_ != nullptr) total += virtualize_->buffered();
+  total += queries_.BufferedTuples();
   return total;
 }
 
@@ -635,6 +648,11 @@ Status EspProcessor::Checkpoint(CheckpointWriter& out) const {
     errors.WriteString(stat.last_message);
   }
   out.AddSection("errors", std::move(errors));
+
+  // --- queries: the multi-tenant serving layer (section absent while
+  // inactive; never part of the config fingerprint — subscriptions are
+  // runtime state).
+  queries_.Checkpoint(out);
   return Status::OK();
 }
 
@@ -762,7 +780,39 @@ Status EspProcessor::Restore(const CheckpointReader& in) {
       return Status::ParseError("errors section has trailing bytes");
     }
   }
+
+  // --- queries (absent in snapshots without subscriptions).
+  ESP_RETURN_IF_ERROR(queries_.Restore(in, QueryStreams()));
   return Status::OK();
+}
+
+QueryServingLayer::StreamLister EspProcessor::QueryStreams() const {
+  return [this]() -> StatusOr<
+                      std::vector<std::pair<std::string, SchemaRef>>> {
+    if (!started_) return Status::Internal("processor not started");
+    std::vector<std::pair<std::string, SchemaRef>> streams;
+    streams.reserve(types_.size());
+    for (const TypeRuntime& type : types_) {
+      streams.emplace_back(type.config.virtualize_input, type.output_schema);
+    }
+    return streams;
+  };
+}
+
+Status EspProcessor::RegisterQuery(const std::string& tenant,
+                                   const std::string& name,
+                                   const std::string& query_text) {
+  if (!started_) return Status::Internal("processor not started");
+  return queries_.Register(QueryStreams(), tenant, name, query_text);
+}
+
+Status EspProcessor::UnregisterQuery(const std::string& name) {
+  return queries_.Unregister(name);
+}
+
+Status EspProcessor::SetTenantBudgets(const std::string& tenant,
+                                      const cql::TenantBudgets& budgets) {
+  return queries_.SetTenantBudgets(tenant, budgets);
 }
 
 StatusOr<SchemaRef> EspProcessor::TypeOutputSchema(

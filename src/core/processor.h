@@ -15,6 +15,7 @@
 #include "core/engine.h"
 #include "core/granule.h"
 #include "core/health.h"
+#include "core/query_serving.h"
 #include "core/stage.h"
 #include "stream/tuple.h"
 
@@ -173,6 +174,25 @@ class EspProcessor : public StreamEngine {
 
   const GranuleMap& granules() const { return granules_; }
 
+  /// Configures the multi-tenant serving layer (sharing toggles, default
+  /// budgets) before the first subscription is registered. The deployment
+  /// loader calls this for the [tenants] section.
+  Status SetQueryServingOptions(cql::QueryRegistry::Options options) {
+    return queries_.Configure(std::move(options));
+  }
+
+  /// Standing-query serving over the per-type cleaned output streams (the
+  /// pipelines' virtualize_input names). Valid after Start(). See
+  /// StreamEngine and cql/query_registry.h.
+  Status RegisterQuery(const std::string& tenant, const std::string& name,
+                       const std::string& query_text) override;
+  Status UnregisterQuery(const std::string& name) override;
+  Status SetTenantBudgets(const std::string& tenant,
+                          const cql::TenantBudgets& budgets) override;
+
+  /// The serving layer itself, for tests and benches (may be inactive).
+  QueryServingLayer& query_serving() { return queries_; }
+
  private:
   struct ReceptorChain {
     std::string receptor_id;
@@ -199,6 +219,10 @@ class EspProcessor : public StreamEngine {
   };
 
   StatusOr<TypeRuntime*> FindType(const std::string& device_type);
+
+  /// The streams the serving layer exposes to queries: each type's
+  /// virtualize_input name with its cleaned-output schema.
+  QueryServingLayer::StreamLister QueryStreams() const;
 
   /// Appends the spatial_granule attribute (unless already present).
   static StatusOr<stream::SchemaRef> AugmentSchema(
@@ -235,6 +259,8 @@ class EspProcessor : public StreamEngine {
   std::set<std::string> quarantine_groups_;
   RecoveryStats recovery_stats_;
   IngestStats ingest_stats_;
+  /// Multi-tenant standing-query serving over the cleaned outputs.
+  QueryServingLayer queries_;
   /// Guards ingest_source_: Health() may run concurrently with the ingest
   /// server installing / freezing its stats source.
   mutable std::mutex ingest_source_mu_;

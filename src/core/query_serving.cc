@@ -1,0 +1,114 @@
+#include "core/query_serving.h"
+
+#include <algorithm>
+
+namespace esp::core {
+
+using stream::Relation;
+using stream::Tuple;
+
+Status QueryServingLayer::Configure(cql::QueryRegistry::Options options) {
+  if (registry_ != nullptr) {
+    return Status::FailedPrecondition(
+        "query-serving options are fixed once the first subscription is "
+        "registered");
+  }
+  options_ = std::move(options);
+  return Status::OK();
+}
+
+Status QueryServingLayer::SetTenantBudgets(const std::string& tenant,
+                                           cql::TenantBudgets budgets) {
+  if (registry_ != nullptr) {
+    registry_->SetTenantBudgets(tenant, budgets);
+  } else {
+    pending_budgets_[tenant] = budgets;
+  }
+  return Status::OK();
+}
+
+Status QueryServingLayer::EnsureRegistry(const StreamLister& streams) {
+  if (registry_ != nullptr) return Status::OK();
+  ESP_ASSIGN_OR_RETURN(const auto listed, streams());
+  auto registry = std::make_unique<cql::QueryRegistry>(options_);
+  for (const auto& [name, schema] : listed) {
+    ESP_RETURN_IF_ERROR(registry->AddStream(name, schema));
+  }
+  for (const auto& [tenant, budgets] : pending_budgets_) {
+    registry->SetTenantBudgets(tenant, budgets);
+  }
+  registry_ = std::move(registry);
+  return Status::OK();
+}
+
+Status QueryServingLayer::Register(const StreamLister& streams,
+                                   const std::string& tenant,
+                                   const std::string& name,
+                                   const std::string& query_text) {
+  ESP_RETURN_IF_ERROR(EnsureRegistry(streams));
+  return registry_->Register(tenant, name, query_text);
+}
+
+Status QueryServingLayer::Unregister(const std::string& name) {
+  if (registry_ == nullptr) {
+    return Status::NotFound("no subscription named '" + name + "'");
+  }
+  return registry_->Unregister(name);
+}
+
+StatusOr<std::vector<cql::SubscriptionResult>> QueryServingLayer::FeedAndTick(
+    const std::vector<std::pair<std::string, const Relation*>>& inputs,
+    Timestamp now) {
+  std::vector<cql::SubscriptionResult> results;
+  if (registry_ == nullptr) return results;
+  for (const auto& [stream, relation] : inputs) {
+    // The engine's per-type output is time-stamped but not guaranteed
+    // sorted (pass-through types union raw receptor streams); the
+    // registry's window buffers require non-decreasing timestamps. Feed in
+    // stable timestamp order — deterministic, and a no-op for stage
+    // outputs (all stamped `now`).
+    std::vector<const Tuple*> ordered;
+    ordered.reserve(relation->size());
+    for (const Tuple& tuple : relation->tuples()) ordered.push_back(&tuple);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Tuple* a, const Tuple* b) {
+                       return a->timestamp() < b->timestamp();
+                     });
+    for (const Tuple* tuple : ordered) {
+      ESP_RETURN_IF_ERROR(registry_->Push(stream, *tuple));
+    }
+  }
+  return registry_->Tick(now);
+}
+
+cql::QueryServingStats QueryServingLayer::Stats() const {
+  if (registry_ == nullptr) return cql::QueryServingStats{};
+  return registry_->Stats();
+}
+
+size_t QueryServingLayer::BufferedTuples() const {
+  return registry_ == nullptr ? 0 : registry_->BufferedTuples();
+}
+
+void QueryServingLayer::Checkpoint(CheckpointWriter& out) const {
+  if (registry_ == nullptr) return;
+  ByteWriter w;
+  registry_->SaveState(w);
+  out.AddSection("queries", std::move(w));
+}
+
+Status QueryServingLayer::Restore(const CheckpointReader& in,
+                                  const StreamLister& streams) {
+  if (!in.HasSection("queries")) {
+    // The snapshot predates the serving layer or had no subscriptions;
+    // match it exactly.
+    registry_.reset();
+    return Status::OK();
+  }
+  ESP_RETURN_IF_ERROR(EnsureRegistry(streams));
+  ESP_ASSIGN_OR_RETURN(const std::string_view payload, in.Section("queries"));
+  ByteReader r(payload);
+  return registry_->LoadState(r);
+}
+
+}  // namespace esp::core

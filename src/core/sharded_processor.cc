@@ -344,6 +344,17 @@ StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
                                  std::move(type_out));
   }
 
+  if (queries_.active()) {
+    std::vector<std::pair<std::string, const Relation*>> inputs;
+    inputs.reserve(types_.size());
+    for (size_t i = 0; i < types_.size(); ++i) {
+      inputs.emplace_back(types_[i].config.virtualize_input,
+                          &result.per_type[i].second);
+    }
+    ESP_ASSIGN_OR_RETURN(result.query_results,
+                         queries_.FeedAndTick(inputs, now));
+  }
+
   if (virtualize_ != nullptr) {
     StatusOr<Relation> out = virtualize_->Evaluate(now);
     if (out.ok()) {
@@ -362,6 +373,7 @@ StatusOr<TickResult> ShardedEspProcessor::Tick(Timestamp now) {
 PipelineHealth ShardedEspProcessor::Health() const {
   PipelineHealth health;
   health.recovery = recovery_stats_;
+  health.queries = queries_.Stats();
   {
     std::lock_guard<std::mutex> lock(ingest_source_mu_);
     health.ingest = ingest_source_ ? ingest_source_() : ingest_stats_;
@@ -431,7 +443,37 @@ size_t ShardedEspProcessor::BufferedTuples() const {
     if (type.arbitrate != nullptr) total += type.arbitrate->buffered();
   }
   if (virtualize_ != nullptr) total += virtualize_->buffered();
+  total += queries_.BufferedTuples();
   return total;
+}
+
+QueryServingLayer::StreamLister ShardedEspProcessor::QueryStreams() const {
+  return [this]() -> StatusOr<
+                      std::vector<std::pair<std::string, SchemaRef>>> {
+    if (!started_) return Status::Internal("processor not started");
+    std::vector<std::pair<std::string, SchemaRef>> streams;
+    streams.reserve(types_.size());
+    for (const TypeRuntime& type : types_) {
+      streams.emplace_back(type.config.virtualize_input, type.output_schema);
+    }
+    return streams;
+  };
+}
+
+Status ShardedEspProcessor::RegisterQuery(const std::string& tenant,
+                                          const std::string& name,
+                                          const std::string& query_text) {
+  if (!started_) return Status::Internal("processor not started");
+  return queries_.Register(QueryStreams(), tenant, name, query_text);
+}
+
+Status ShardedEspProcessor::UnregisterQuery(const std::string& name) {
+  return queries_.Unregister(name);
+}
+
+Status ShardedEspProcessor::SetTenantBudgets(
+    const std::string& tenant, const cql::TenantBudgets& budgets) {
+  return queries_.SetTenantBudgets(tenant, budgets);
 }
 
 ByteWriter ShardedEspProcessor::ConfigFingerprint() const {
@@ -506,6 +548,10 @@ Status ShardedEspProcessor::Checkpoint(CheckpointWriter& out) const {
     errors.WriteString(stat.last_message);
   }
   out.AddSection("errors", std::move(errors));
+
+  // The serving layer (absent while no subscriptions exist; not part of
+  // the config fingerprint).
+  queries_.Checkpoint(out);
   return Status::OK();
 }
 
@@ -581,6 +627,8 @@ Status ShardedEspProcessor::Restore(const CheckpointReader& in) {
       return Status::ParseError("errors section has trailing bytes");
     }
   }
+
+  ESP_RETURN_IF_ERROR(queries_.Restore(in, QueryStreams()));
   return Status::OK();
 }
 

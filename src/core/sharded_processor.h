@@ -14,6 +14,7 @@
 #include "common/time.h"
 #include "core/engine.h"
 #include "core/processor.h"
+#include "core/query_serving.h"
 
 namespace esp::core {
 
@@ -100,6 +101,19 @@ class ShardedEspProcessor : public StreamEngine {
   /// Total tuples buffered across every shard and the wrapper's stages.
   size_t BufferedTuples() const;
 
+  /// Standing-query serving over the final (post-Arbitrate) per-type
+  /// outputs — the serving layer lives in the wrapper, where those streams
+  /// are reassembled, never in the shards. See EspProcessor.
+  Status SetQueryServingOptions(cql::QueryRegistry::Options options) {
+    return queries_.Configure(std::move(options));
+  }
+  Status RegisterQuery(const std::string& tenant, const std::string& name,
+                       const std::string& query_text) override;
+  Status UnregisterQuery(const std::string& name) override;
+  Status SetTenantBudgets(const std::string& tenant,
+                          const cql::TenantBudgets& budgets) override;
+  QueryServingLayer& query_serving() { return queries_; }
+
  private:
   /// Wrapper-side view of one device type: its original config (with the
   /// Arbitrate factory), which shards host at least one of its groups, and
@@ -114,6 +128,10 @@ class ShardedEspProcessor : public StreamEngine {
 
   StatusOr<TypeRuntime*> FindType(const std::string& device_type);
   StatusOr<const TypeRuntime*> FindType(const std::string& device_type) const;
+
+  /// Streams the serving layer exposes: each type's virtualize_input name
+  /// with its final (post-Arbitrate) output schema.
+  QueryServingLayer::StreamLister QueryStreams() const;
 
   /// Mirror of EspProcessor::RunStageGuarded for the wrapper-owned stages
   /// (Arbitrate / Virtualize are never receptor-owned, so no chain).
@@ -151,6 +169,8 @@ class ShardedEspProcessor : public StreamEngine {
   std::map<std::string, StageErrorStat> stage_errors_;
   RecoveryStats recovery_stats_;
   IngestStats ingest_stats_;
+  /// Multi-tenant standing-query serving over the reassembled outputs.
+  QueryServingLayer queries_;
   /// Guards ingest_source_ against Health() racing the ingest server's
   /// install/freeze (see engine.h).
   mutable std::mutex ingest_source_mu_;

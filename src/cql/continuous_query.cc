@@ -1,5 +1,6 @@
 #include "cql/continuous_query.h"
 
+#include <algorithm>
 #include <functional>
 #include <unordered_map>
 
@@ -18,33 +19,6 @@ using stream::WindowKind;
 using stream::WindowSpec;
 
 namespace {
-
-/// Aggregated window requirements for one stream.
-struct WindowUnion {
-  Duration max_range;
-  int64_t max_rows = 0;
-  bool unbounded = false;
-
-  void Absorb(const WindowSpec& spec) {
-    switch (spec.kind) {
-      case WindowKind::kRange: {
-        // A sliding window's effective time lags `now` by up to one slide
-        // width, so retention must cover range + slide.
-        const Duration needed = spec.range + spec.slide;
-        if (needed > max_range) max_range = needed;
-        break;
-      }
-      case WindowKind::kNow:
-        break;  // Zero range.
-      case WindowKind::kRows:
-        if (spec.rows > max_rows) max_rows = spec.rows;
-        break;
-      case WindowKind::kUnbounded:
-        unbounded = true;
-        break;
-    }
-  }
-};
 
 void CollectFromExpr(const Expr& expr,
                      const std::function<void(const SelectQuery&)>& visit);
@@ -135,6 +109,162 @@ void CollectFromExpr(const Expr& expr,
 
 }  // namespace
 
+std::vector<std::pair<std::string, WindowDemand>> CollectStreamDemands(
+    const SelectQuery& query) {
+  std::unordered_map<std::string, WindowDemand> requirements;
+  CollectFromQuery(query, [&](const SelectQuery& q) {
+    for (const TableRef& ref : q.from) {
+      if (ref.kind == TableRef::Kind::kStream) {
+        requirements[esp::StrToLower(ref.stream_name)].Absorb(ref.window);
+      }
+    }
+  });
+  std::vector<std::pair<std::string, WindowDemand>> demands(
+      requirements.begin(), requirements.end());
+  std::sort(demands.begin(), demands.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return demands;
+}
+
+void WindowDemand::Absorb(const WindowSpec& spec) {
+  switch (spec.kind) {
+    case WindowKind::kRange: {
+      // A sliding window's effective time lags `now` by up to one slide
+      // width, so retention must cover range + slide.
+      const Duration needed = spec.range + spec.slide;
+      if (needed > max_range) max_range = needed;
+      break;
+    }
+    case WindowKind::kNow:
+      break;  // Zero range.
+    case WindowKind::kRows:
+      if (spec.rows > max_rows) max_rows = spec.rows;
+      break;
+    case WindowKind::kUnbounded:
+      unbounded = true;
+      break;
+  }
+}
+
+void WindowDemand::Absorb(const WindowDemand& other) {
+  if (other.max_range > max_range) max_range = other.max_range;
+  if (other.max_rows > max_rows) max_rows = other.max_rows;
+  unbounded = unbounded || other.unbounded;
+}
+
+bool WindowDemand::Covers(const WindowDemand& other) const {
+  if (other.unbounded && !unbounded) return false;
+  return unbounded ||
+         (max_range >= other.max_range && max_rows >= other.max_rows);
+}
+
+Status StreamWindowState::Push(Tuple tuple) {
+  if (has_inserted && tuple.timestamp() < last_insert) {
+    return Status::InvalidArgument(
+        "out-of-order tuple on stream '" + name + "': " +
+        tuple.timestamp().ToString() + " after " + last_insert.ToString());
+  }
+  if (tuple.schema() == nullptr || !tuple.schema()->Equals(*schema)) {
+    return Status::TypeError("tuple schema mismatch on stream '" + name +
+                             "'");
+  }
+  last_insert = tuple.timestamp();
+  has_inserted = true;
+  history.Add(std::move(tuple));
+  return Status::OK();
+}
+
+void StreamWindowState::Evict(Timestamp now) {
+  if (demand.unbounded) return;
+  // A tuple is dead once it can appear in no window at any t' >= now: for
+  // RANGE windows that is ts <= now - max_range; NOW windows (range zero)
+  // keep ts == now alive, hence the strict ts < now condition; ROWS
+  // windows additionally protect the max_rows most recent tuples *eligible
+  // at now* (ts <= now). Anchoring the protected suffix at the last
+  // eligible tuple — not the buffer end — matters when the buffer already
+  // holds tuples stamped after `now`: those are not in any window at `now`,
+  // so they must not push still-visible older tuples past the cut.
+  const Timestamp horizon = now - demand.max_range;
+  std::vector<Tuple>& tuples = history.mutable_tuples();
+  size_t first_alive = 0;
+  const size_t eligible_hi = static_cast<size_t>(
+      std::upper_bound(tuples.begin(), tuples.end(), now,
+                       [](Timestamp lhs, const Tuple& rhs) {
+                         return lhs < rhs.timestamp();
+                       }) -
+      tuples.begin());
+  const size_t rows_protected_from =
+      eligible_hi > static_cast<size_t>(demand.max_rows)
+          ? eligible_hi - static_cast<size_t>(demand.max_rows)
+          : 0;
+  while (first_alive < tuples.size() &&
+         tuples[first_alive].timestamp() <= horizon &&
+         tuples[first_alive].timestamp() < now &&
+         first_alive < rows_protected_from) {
+    ++first_alive;
+  }
+  if (first_alive > 0) {
+    stream::TupleArena& arena = stream::TupleArena::Local();
+    for (size_t i = 0; i < first_alive; ++i) {
+      arena.Release(std::move(tuples[i].mutable_values()));
+    }
+    tuples.erase(tuples.begin(),
+                 tuples.begin() + static_cast<std::ptrdiff_t>(first_alive));
+    base_seq += first_alive;
+  }
+}
+
+void StreamWindowState::SyncColumns() {
+  if (!stream::ColumnarEnabled()) {
+    // Leave the mirror cold; a later re-enable rebuilds from scratch.
+    if (columns_synced) {
+      columns.Clear();
+      columns_synced = false;
+    }
+    return;
+  }
+  const std::vector<Tuple>& tuples = history.tuples();
+  const uint64_t history_end = base_seq + tuples.size();
+  const bool incremental =
+      columns_synced && columns.schema() == schema &&
+      columns_base <= base_seq && columns_base + columns.size() <= history_end;
+  if (!incremental) {
+    columns.Reset(schema);
+    for (const Tuple& tuple : tuples) columns.Append(tuple);
+  } else {
+    // Evictions pop the front of the mirror, pushes append to its back —
+    // the steady-state tick does O(delta) work, not O(window).
+    columns.PopFront(static_cast<size_t>(base_seq - columns_base));
+    for (size_t i = columns.size(); i < tuples.size(); ++i) {
+      columns.Append(tuples[i]);
+    }
+  }
+  columns_base = base_seq;
+  columns_synced = true;
+}
+
+void StreamWindowState::SaveState(ByteWriter& w) const {
+  w.WriteBool(has_inserted);
+  w.WriteI64(last_insert.micros());
+  w.WriteU64(history.size());
+  for (const Tuple& tuple : history.tuples()) stream::WriteTuple(w, tuple);
+}
+
+Status StreamWindowState::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(has_inserted, r.ReadBool());
+  ESP_ASSIGN_OR_RETURN(const int64_t insert_micros, r.ReadI64());
+  last_insert = Timestamp::Micros(insert_micros);
+  ESP_ASSIGN_OR_RETURN(const uint64_t history_size, r.ReadU64());
+  history.mutable_tuples().clear();
+  base_seq = 0;
+  columns_synced = false;  // Mirror rebuilds on next sync.
+  for (uint64_t t = 0; t < history_size; ++t) {
+    ESP_ASSIGN_OR_RETURN(Tuple tuple, stream::ReadTuple(r, schema));
+    history.Add(std::move(tuple));
+  }
+  return Status::OK();
+}
+
 ContinuousQuery::~ContinuousQuery() = default;
 
 StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Create(
@@ -146,26 +276,46 @@ StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Create(
 
 StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
     std::unique_ptr<SelectQuery> query, const SchemaCatalog& input_schemas) {
+  return Build(std::move(query), input_schemas, nullptr);
+}
+
+StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
+    std::unique_ptr<SelectQuery> query, const SchemaCatalog& input_schemas,
+    const StreamResolver& resolver) {
+  return Build(std::move(query), input_schemas, &resolver);
+}
+
+StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::Build(
+    std::unique_ptr<SelectQuery> query, const SchemaCatalog& input_schemas,
+    const StreamResolver* resolver) {
   auto cq = std::unique_ptr<ContinuousQuery>(new ContinuousQuery());
+  cq->shared_ = resolver != nullptr;
 
   // Gather every stream reference and union its window requirements.
-  std::unordered_map<std::string, WindowUnion> requirements;
-  CollectFromQuery(*query, [&](const SelectQuery& q) {
-    for (const TableRef& ref : q.from) {
-      if (ref.kind == TableRef::Kind::kStream) {
-        requirements[esp::StrToLower(ref.stream_name)].Absorb(ref.window);
+  for (const auto& [name, demand] : CollectStreamDemands(*query)) {
+    ESP_ASSIGN_OR_RETURN(const stream::SchemaRef schema,
+                         input_schemas.Find(name));
+    Slot slot;
+    if (resolver != nullptr) {
+      ESP_ASSIGN_OR_RETURN(slot.state, (*resolver)(name, demand));
+      if (slot.state == nullptr) {
+        return Status::Internal("stream resolver returned no storage for '" +
+                                name + "'");
       }
+      if (slot.state->schema == nullptr ||
+          !slot.state->schema->Equals(*schema)) {
+        return Status::Internal("shared window storage for '" + name +
+                                "' disagrees with the analysis schema");
+      }
+    } else {
+      slot.owned = std::make_unique<StreamWindowState>();
+      slot.owned->name = name;
+      slot.owned->schema = schema;
+      slot.owned->history = Relation(schema);
+      slot.owned->demand = demand;
+      slot.state = slot.owned.get();
     }
-  });
-  for (const auto& [name, window_union] : requirements) {
-    StreamState state;
-    state.name = name;
-    ESP_ASSIGN_OR_RETURN(state.schema, input_schemas.Find(name));
-    state.history = Relation(state.schema);
-    state.max_range = window_union.max_range;
-    state.max_rows = window_union.max_rows;
-    state.unbounded = window_union.unbounded;
-    cq->streams_.push_back(std::move(state));
+    cq->streams_.push_back(std::move(slot));
   }
 
   // Analyze (validates the query and computes the output schema).
@@ -180,9 +330,9 @@ StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
       cq->query_->from[0].kind == TableRef::Kind::kStream) {
     const std::string target = esp::StrToLower(cq->query_->from[0].stream_name);
     for (size_t i = 0; i < cq->streams_.size(); ++i) {
-      if (cq->streams_[i].name != target) continue;
+      if (cq->streams_[i].state->name != target) continue;
       cq->engine_ = IncrementalGroupedQuery::TryPlan(
-          *cq->query_, cq->streams_[i].name, cq->streams_[i].schema,
+          *cq->query_, target, cq->streams_[i].state->schema,
           cq->output_schema_);
       cq->engine_stream_ = i;
       break;
@@ -193,89 +343,17 @@ StatusOr<std::unique_ptr<ContinuousQuery>> ContinuousQuery::CreateFromAst(
 
 Status ContinuousQuery::Push(const std::string& stream_name,
                              stream::Tuple tuple) {
-  for (StreamState& state : streams_) {
-    if (esp::StrEqualsIgnoreCase(state.name, stream_name)) {
-      if (state.has_inserted && tuple.timestamp() < state.last_insert) {
-        return Status::InvalidArgument(
-            "out-of-order tuple on stream '" + stream_name + "': " +
-            tuple.timestamp().ToString() + " after " +
-            state.last_insert.ToString());
-      }
-      if (tuple.schema() == nullptr ||
-          !tuple.schema()->Equals(*state.schema)) {
-        return Status::TypeError("tuple schema mismatch on stream '" +
-                                 stream_name + "'");
-      }
-      state.last_insert = tuple.timestamp();
-      state.has_inserted = true;
-      state.history.Add(std::move(tuple));
-      return Status::OK();
+  if (shared_) {
+    return Status::FailedPrecondition(
+        "query evaluates over shared window storage; push tuples to its "
+        "registry instead");
+  }
+  for (Slot& slot : streams_) {
+    if (esp::StrEqualsIgnoreCase(slot.state->name, stream_name)) {
+      return slot.state->Push(std::move(tuple));
     }
   }
   return Status::NotFound("query does not read stream '" + stream_name + "'");
-}
-
-void ContinuousQuery::Evict(Timestamp now) {
-  for (StreamState& state : streams_) {
-    if (state.unbounded) continue;
-    // A tuple is dead once it can appear in no window at any t' >= now: for
-    // RANGE windows that is ts <= now - max_range; NOW windows (range zero)
-    // keep ts == now alive, hence the strict ts < now condition; ROWS
-    // windows additionally protect the most recent max_rows tuples.
-    const Timestamp horizon = now - state.max_range;
-    std::vector<Tuple>& history = state.history.mutable_tuples();
-    size_t first_alive = 0;
-    const size_t rows_protected_from =
-        history.size() > static_cast<size_t>(state.max_rows)
-            ? history.size() - static_cast<size_t>(state.max_rows)
-            : 0;
-    while (first_alive < history.size() &&
-           history[first_alive].timestamp() <= horizon &&
-           history[first_alive].timestamp() < now &&
-           first_alive < rows_protected_from) {
-      ++first_alive;
-    }
-    if (first_alive > 0) {
-      stream::TupleArena& arena = stream::TupleArena::Local();
-      for (size_t i = 0; i < first_alive; ++i) {
-        arena.Release(std::move(history[i].mutable_values()));
-      }
-      history.erase(history.begin(),
-                    history.begin() + static_cast<std::ptrdiff_t>(first_alive));
-      state.base_seq += first_alive;
-    }
-  }
-}
-
-void ContinuousQuery::SyncColumns(StreamState& state) {
-  if (!stream::ColumnarEnabled()) {
-    // Leave the mirror cold; a later re-enable rebuilds from scratch.
-    if (state.columns_synced) {
-      state.columns.Clear();
-      state.columns_synced = false;
-    }
-    return;
-  }
-  const std::vector<Tuple>& history = state.history.tuples();
-  const uint64_t history_end = state.base_seq + history.size();
-  const bool incremental =
-      state.columns_synced && state.columns.schema() == state.schema &&
-      state.columns_base <= state.base_seq &&
-      state.columns_base + state.columns.size() <= history_end;
-  if (!incremental) {
-    state.columns.Reset(state.schema);
-    for (const Tuple& tuple : history) state.columns.Append(tuple);
-  } else {
-    // Evictions pop the front of the mirror, pushes append to its back —
-    // the steady-state tick does O(delta) work, not O(window).
-    state.columns.PopFront(
-        static_cast<size_t>(state.base_seq - state.columns_base));
-    for (size_t i = state.columns.size(); i < history.size(); ++i) {
-      state.columns.Append(history[i]);
-    }
-  }
-  state.columns_base = state.base_seq;
-  state.columns_synced = true;
 }
 
 StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
@@ -286,18 +364,22 @@ StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
   has_evaluated_ = true;
 
   if (engine_ != nullptr) {
-    StreamState& state = streams_[engine_stream_];
+    StreamWindowState& state = *streams_[engine_stream_].state;
     // Mirror maintenance is demand-driven: a query whose WHERE cannot
     // batch-compile consumes rows one at a time regardless, so keeping the
     // mirror warm for it would be pure per-tick overhead.
     const bool want_columns = engine_->WantsColumns();
-    if (want_columns) SyncColumns(state);
+    if (want_columns) state.SyncColumns();
     std::optional<Relation> result = engine_->Evaluate(
         state.history,
         want_columns && state.columns_synced ? &state.columns : nullptr,
         state.base_seq, now);
     if (result.has_value()) {
-      Evict(now);  // Retention horizon trails the engine's consumption.
+      // Retention horizon trails the engine's consumption. Shared buffers
+      // are evicted by their owner once every reader has evaluated.
+      if (!shared_) {
+        for (Slot& slot : streams_) slot.state->Evict(now);
+      }
       return std::move(*result);
     }
     // Permanent fallback: the rescan path reproduces any genuine error and
@@ -305,17 +387,21 @@ StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
     engine_.reset();
   }
 
-  Evict(now);
-  for (StreamState& state : streams_) SyncColumns(state);
+  if (!shared_) {
+    for (Slot& slot : streams_) slot.state->Evict(now);
+  }
+  for (Slot& slot : streams_) slot.state->SyncColumns();
 
   // The catalog views the stream histories in place; `streams_` never
-  // resizes after construction, so build it once and reuse it every tick.
-  // The columnar mirrors ride along: the evaluator checks row-for-row sync
-  // before trusting them, so a cold mirror (toggle off) is simply ignored.
+  // resizes after construction (and shared storage outlives the query), so
+  // build it once and reuse it every tick. The columnar mirrors ride along:
+  // the evaluator checks row-for-row sync before trusting them, so a cold
+  // mirror (toggle off) is simply ignored.
   if (catalog_ == nullptr) {
     catalog_ = std::make_unique<Catalog>();
-    for (const StreamState& state : streams_) {
-      catalog_->AddStreamView(state.name, &state.history, &state.columns);
+    for (const Slot& slot : streams_) {
+      catalog_->AddStreamView(slot.state->name, &slot.state->history,
+                              &slot.state->columns);
     }
   }
   return ExecuteQuery(*query_, *catalog_, now, exec_cache_.get());
@@ -323,22 +409,23 @@ StatusOr<stream::Relation> ContinuousQuery::Evaluate(Timestamp now) {
 
 size_t ContinuousQuery::buffered() const {
   size_t total = 0;
-  for (const StreamState& state : streams_) total += state.history.size();
+  for (const Slot& slot : streams_) total += slot.state->history.size();
   return total;
 }
 
 void ContinuousQuery::SaveState(ByteWriter& w) const {
   w.WriteBool(has_evaluated_);
   w.WriteI64(last_eval_.micros());
+  if (shared_) {
+    // Histories belong to the registry, which checkpoints each shared
+    // buffer exactly once; only this query's clocks are ours to save.
+    w.WriteU32(0);
+    return;
+  }
   w.WriteU32(static_cast<uint32_t>(streams_.size()));
-  for (const StreamState& state : streams_) {
-    w.WriteString(state.name);
-    w.WriteBool(state.has_inserted);
-    w.WriteI64(state.last_insert.micros());
-    w.WriteU64(state.history.size());
-    for (const stream::Tuple& tuple : state.history.tuples()) {
-      stream::WriteTuple(w, tuple);
-    }
+  for (const Slot& slot : streams_) {
+    w.WriteString(slot.state->name);
+    slot.state->SaveState(w);
   }
 }
 
@@ -347,17 +434,18 @@ Status ContinuousQuery::LoadState(ByteReader& r) {
   ESP_ASSIGN_OR_RETURN(const int64_t eval_micros, r.ReadI64());
   last_eval_ = Timestamp::Micros(eval_micros);
   ESP_ASSIGN_OR_RETURN(const uint32_t stream_count, r.ReadU32());
-  if (stream_count != streams_.size()) {
+  const size_t expected = shared_ ? 0 : streams_.size();
+  if (stream_count != expected) {
     return Status::ParseError(
         "serialized query state has " + std::to_string(stream_count) +
-        " streams, query reads " + std::to_string(streams_.size()));
+        " streams, query reads " + std::to_string(expected));
   }
   for (uint32_t i = 0; i < stream_count; ++i) {
     ESP_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
-    StreamState* state = nullptr;
-    for (StreamState& candidate : streams_) {
-      if (esp::StrEqualsIgnoreCase(candidate.name, name)) {
-        state = &candidate;
+    StreamWindowState* state = nullptr;
+    for (Slot& slot : streams_) {
+      if (esp::StrEqualsIgnoreCase(slot.state->name, name)) {
+        state = slot.state;
         break;
       }
     }
@@ -365,18 +453,7 @@ Status ContinuousQuery::LoadState(ByteReader& r) {
       return Status::ParseError("serialized query state names stream '" +
                                 name + "' this query does not read");
     }
-    ESP_ASSIGN_OR_RETURN(state->has_inserted, r.ReadBool());
-    ESP_ASSIGN_OR_RETURN(const int64_t insert_micros, r.ReadI64());
-    state->last_insert = Timestamp::Micros(insert_micros);
-    ESP_ASSIGN_OR_RETURN(const uint64_t history_size, r.ReadU64());
-    state->history.mutable_tuples().clear();
-    state->base_seq = 0;
-    state->columns_synced = false;  // Mirror rebuilds on next evaluation.
-    for (uint64_t t = 0; t < history_size; ++t) {
-      ESP_ASSIGN_OR_RETURN(stream::Tuple tuple,
-                           stream::ReadTuple(r, state->schema));
-      state->history.Add(std::move(tuple));
-    }
+    ESP_RETURN_IF_ERROR(state->LoadState(r));
   }
   // The engine's window state is a pure function of the live rows; rebuild
   // it from the restored history on the next evaluation.

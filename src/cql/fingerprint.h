@@ -1,0 +1,51 @@
+#ifndef ESP_CQL_FINGERPRINT_H_
+#define ESP_CQL_FINGERPRINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "cql/analyzer.h"
+#include "cql/ast.h"
+
+namespace esp::cql {
+
+/// \brief Renders `query` into a canonical byte string such that two queries
+/// with equal fingerprints are guaranteed to produce bitwise-identical
+/// results on every input — the collision test the shared-plan registry
+/// (cql/query_registry.h) uses to map structurally-identical subscriptions
+/// from different tenants onto one physical plan.
+///
+/// Canonicalizations applied (each is proof-preserving, never heuristic):
+///
+///   - identifier case: stream names, aliases, column references, and
+///     function names are case-insensitive in this dialect and are rendered
+///     lowercased. Output field names are the exception — the analyzer
+///     derives them from aliases / column spellings *as written*
+///     (cql/analyzer.h OutputFieldName), so they are rendered verbatim;
+///     queries differing only in a SELECT item's spelling do NOT collide.
+///   - alias normalization: a column qualifier is rendered as the scope and
+///     frame *index* it resolves to, not its spelling, so `FROM s AS x ...
+///     WHERE x.a > 0` collides with `FROM s AS y ... WHERE y.a > 0`.
+///   - constant folding: pure literal subtrees (arithmetic, comparisons,
+///     logic, BETWEEN, CASE, IN-lists over literals) are evaluated with the
+///     runtime's own expression machinery and rendered as their exact typed
+///     value (doubles by bit pattern), so `WHERE a > 1+1` collides with
+///     `WHERE a > 2`. Subtrees whose folding errors are left structural.
+///   - conjunct commutation: the top-level WHERE of a single-stream query
+///     has its AND-chain flattened and sorted — but only when every
+///     conjunct is provably *total* (cannot raise a runtime error) and
+///     boolean-typed, because three-valued AND is commutative in its value
+///     but short-circuit evaluation is not commutative in which errors it
+///     surfaces. Provably total today: =/<> over literals and resolvable
+///     columns, ordered comparisons over type-compatible operands, IS
+///     NULL, BETWEEN, IN-lists, and NOT/AND/OR over such predicates.
+///
+/// The fingerprint is NOT stable across releases; it lives only in memory
+/// (never in checkpoints — the registry re-fingerprints from query text on
+/// restore).
+StatusOr<std::string> FingerprintQuery(const SelectQuery& query,
+                                       const SchemaCatalog& schemas);
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_FINGERPRINT_H_

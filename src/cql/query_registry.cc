@@ -1,0 +1,536 @@
+#include "cql/query_registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/string_util.h"
+#include "cql/fingerprint.h"
+#include "cql/parser.h"
+
+namespace esp::cql {
+
+using stream::Relation;
+using stream::Tuple;
+
+namespace {
+constexpr uint8_t kStateVersion = 1;
+}  // namespace
+
+std::string QueryServingStats::ToString() const {
+  std::string out =
+      "queries: " + std::to_string(subscriptions) + " subscriptions, " +
+      std::to_string(physical_plans) + " plans, " +
+      std::to_string(shared_buffers) + " buffers (" +
+      std::to_string(buffered_tuples) + " tuples), " +
+      std::to_string(dedup_saved_evals) + " evals saved, " +
+      std::to_string(rejected_total) + " rejected";
+  for (const TenantStats& tenant : tenants) {
+    out += "\n  tenant " + tenant.tenant + ": " +
+           std::to_string(tenant.queries) + " queries, " +
+           std::to_string(tenant.evals) + " evals (" +
+           tenant.eval_time.ToString() + "), " +
+           std::to_string(tenant.eval_errors) + " errors, " +
+           std::to_string(tenant.rejected) + " rejected" +
+           (tenant.throttled ? ", THROTTLED" : "");
+  }
+  return out;
+}
+
+QueryRegistry::QueryRegistry(Options options)
+    : options_(std::move(options)) {}
+
+QueryRegistry::~QueryRegistry() = default;
+
+Status QueryRegistry::AddStream(const std::string& name,
+                                stream::SchemaRef schema) {
+  if (!subs_.empty()) {
+    return Status::FailedPrecondition(
+        "streams must be added before subscriptions");
+  }
+  const std::string lower = esp::StrToLower(name);
+  if (catalog_.Contains(lower)) {
+    return Status::AlreadyExists("stream '" + name + "' already added");
+  }
+  if (schema == nullptr) {
+    return Status::InvalidArgument("stream '" + name + "' has no schema");
+  }
+  catalog_.AddStream(lower, std::move(schema));
+  stream_names_.push_back(lower);
+  return Status::OK();
+}
+
+void QueryRegistry::SetTenantBudgets(const std::string& tenant,
+                                     TenantBudgets budgets) {
+  TenantRuntime& runtime = tenants_[tenant];
+  runtime.has_override = true;
+  runtime.override_budgets = budgets;
+  runtime.stats.tenant = tenant;
+}
+
+const TenantBudgets& QueryRegistry::BudgetsFor(
+    const TenantRuntime& tenant) const {
+  return tenant.has_override ? tenant.override_budgets
+                             : options_.default_budgets;
+}
+
+Status QueryRegistry::Admit(
+    TenantRuntime& tenant,
+    const std::vector<std::pair<std::string, WindowDemand>>& demands) const {
+  const TenantBudgets& budgets = BudgetsFor(tenant);
+  if (budgets.max_queries > 0 &&
+      tenant.stats.queries >= budgets.max_queries) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant.stats.tenant + "' is at its query budget (" +
+        std::to_string(budgets.max_queries) + ")");
+  }
+  if (tenant.stats.throttled) {
+    return Status::ResourceExhausted(
+        "tenant '" + tenant.stats.tenant +
+        "' exceeded its eval-time budget last tick (" +
+        tenant.stats.last_tick_eval_time.ToString() + " > " +
+        BudgetsFor(tenant).max_eval_time.ToString() +
+        "); not admitting new queries");
+  }
+  for (const auto& [stream, demand] : demands) {
+    if (demand.unbounded && !budgets.allow_unbounded) {
+      return Status::ResourceExhausted(
+          "tenant '" + tenant.stats.tenant +
+          "' may not register unbounded windows (stream '" + stream + "')");
+    }
+    if (!budgets.max_window_range.IsZero() &&
+        demand.max_range > budgets.max_window_range) {
+      return Status::ResourceExhausted(
+          "tenant '" + tenant.stats.tenant + "' window of " +
+          demand.max_range.ToString() + " on stream '" + stream +
+          "' exceeds its range budget (" +
+          budgets.max_window_range.ToString() + ")");
+    }
+    if (budgets.max_window_rows > 0 &&
+        demand.max_rows > budgets.max_window_rows) {
+      return Status::ResourceExhausted(
+          "tenant '" + tenant.stats.tenant + "' window of " +
+          std::to_string(demand.max_rows) + " rows on stream '" + stream +
+          "' exceeds its rows budget (" +
+          std::to_string(budgets.max_window_rows) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::string QueryRegistry::BufferKey(const std::string& stream,
+                                     bool unbounded) {
+  // Bounded windows of every size share one coarsest-common buffer; any
+  // unbounded reference lives in a second family so it cannot disable
+  // eviction for the bounded readers.
+  return stream + std::string(1, '\0') + (unbounded ? 'u' : 'b');
+}
+
+StatusOr<StreamWindowState*> QueryRegistry::ResolveBuffer(
+    const std::string& stream, const WindowDemand& demand) {
+  ESP_ASSIGN_OR_RETURN(stream::SchemaRef schema, catalog_.Find(stream));
+  const std::string key = BufferKey(stream, demand.unbounded);
+  auto it = buffers_.find(key);
+  if (it == buffers_.end()) {
+    Buffer buffer;
+    buffer.key = key;
+    buffer.state = std::make_unique<StreamWindowState>();
+    buffer.state->name = stream;
+    buffer.state->schema = schema;
+    buffer.state->history = Relation(schema);
+    buffer.state->demand = demand;
+    it = buffers_.emplace(key, std::move(buffer)).first;
+  } else {
+    it->second.state->demand.Absorb(demand);
+  }
+  return it->second.state.get();
+}
+
+void QueryRegistry::RecomputeBufferDemands() {
+  for (auto& [key, buffer] : buffers_) {
+    WindowDemand demand;
+    buffer.readers = 0;
+    for (const auto& plan : plans_) {
+      for (const auto& [stream, plan_demand] : plan->demands) {
+        if (BufferKey(stream, plan_demand.unbounded) != key) continue;
+        demand.Absorb(plan_demand);
+        ++buffer.readers;
+      }
+    }
+    // Shrinking retention is safe: the next eviction simply reclaims the
+    // rows nobody's window can reach any more.
+    if (buffer.readers > 0) buffer.state->demand = demand;
+  }
+}
+
+void QueryRegistry::DropReaderlessBuffers() {
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (it->second.readers == 0) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status QueryRegistry::Register(const std::string& tenant,
+                               const std::string& name,
+                               const std::string& query_text) {
+  return RegisterInternal(tenant, name, query_text, /*enforce_budgets=*/true);
+}
+
+Status QueryRegistry::RegisterInternal(const std::string& tenant_id,
+                                       const std::string& name,
+                                       const std::string& query_text,
+                                       bool enforce_budgets) {
+  if (sub_by_name_.count(name) > 0) {
+    return Status::AlreadyExists("a subscription named '" + name +
+                                 "' is already registered");
+  }
+  TenantRuntime& tenant = tenants_[tenant_id];
+  tenant.stats.tenant = tenant_id;
+
+  ESP_ASSIGN_OR_RETURN(std::unique_ptr<SelectQuery> query,
+                       ParseQuery(query_text));
+  const std::vector<std::pair<std::string, WindowDemand>> demands =
+      CollectStreamDemands(*query);
+  if (enforce_budgets) {
+    Status admitted = Admit(tenant, demands);
+    if (!admitted.ok()) {
+      ++tenant.stats.rejected;
+      ++rejected_total_;
+      return admitted;
+    }
+  }
+
+  // Plan dedupe: equal fingerprints are proven result-identical, so the
+  // subscription attaches to the existing physical plan.
+  std::string fingerprint;
+  PhysicalPlan* plan = nullptr;
+  if (options_.share_plans) {
+    ESP_ASSIGN_OR_RETURN(fingerprint, FingerprintQuery(*query, catalog_));
+    auto it = plan_by_fingerprint_.find(fingerprint);
+    if (it != plan_by_fingerprint_.end()) plan = it->second;
+  }
+
+  if (plan == nullptr) {
+    auto physical = std::make_unique<PhysicalPlan>();
+    physical->fingerprint = fingerprint;
+    physical->demands = demands;
+    StatusOr<std::unique_ptr<ContinuousQuery>> built =
+        options_.share_windows
+            ? ContinuousQuery::CreateFromAst(
+                  std::move(query), catalog_,
+                  [this](const std::string& stream,
+                         const WindowDemand& demand) {
+                    return ResolveBuffer(stream, demand);
+                  })
+            : ContinuousQuery::CreateFromAst(std::move(query), catalog_);
+    if (!built.ok()) {
+      // A failed build may have widened or created buffers; rebuild the
+      // reader counts and demands from the surviving plans.
+      RecomputeBufferDemands();
+      DropReaderlessBuffers();
+      return built.status();
+    }
+    physical->query = std::move(*built);
+    plan = physical.get();
+    plans_.push_back(std::move(physical));
+    if (options_.share_plans) plan_by_fingerprint_[fingerprint] = plan;
+    RecomputeBufferDemands();
+  }
+
+  auto sub = std::make_unique<Subscription>();
+  sub->tenant = tenant_id;
+  sub->name = name;
+  sub->text = query_text;
+  sub->plan = plan;
+  ++plan->subscribers;
+  ++tenant.stats.queries;
+  sub_by_name_[name] = subs_.size();
+  subs_.push_back(std::move(sub));
+  return Status::OK();
+}
+
+Status QueryRegistry::Unregister(const std::string& name) {
+  auto it = sub_by_name_.find(name);
+  if (it == sub_by_name_.end()) {
+    return Status::NotFound("no subscription named '" + name + "'");
+  }
+  const size_t index = it->second;
+  Subscription& sub = *subs_[index];
+  PhysicalPlan* plan = sub.plan;
+
+  auto tenant_it = tenants_.find(sub.tenant);
+  if (tenant_it != tenants_.end() && tenant_it->second.stats.queries > 0) {
+    --tenant_it->second.stats.queries;
+  }
+
+  sub_by_name_.erase(it);
+  subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(index));
+  for (auto& [sub_name, sub_index] : sub_by_name_) {
+    if (sub_index > index) --sub_index;
+  }
+
+  if (--plan->subscribers == 0) {
+    if (!plan->fingerprint.empty()) {
+      plan_by_fingerprint_.erase(plan->fingerprint);
+    }
+    for (auto plan_it = plans_.begin(); plan_it != plans_.end(); ++plan_it) {
+      if (plan_it->get() == plan) {
+        plans_.erase(plan_it);
+        break;
+      }
+    }
+    RecomputeBufferDemands();
+    DropReaderlessBuffers();
+  }
+  return Status::OK();
+}
+
+bool QueryRegistry::Contains(const std::string& name) const {
+  return sub_by_name_.count(name) > 0;
+}
+
+StatusOr<stream::SchemaRef> QueryRegistry::OutputSchema(
+    const std::string& name) const {
+  auto it = sub_by_name_.find(name);
+  if (it == sub_by_name_.end()) {
+    return Status::NotFound("no subscription named '" + name + "'");
+  }
+  return subs_[it->second]->plan->query->output_schema();
+}
+
+Status QueryRegistry::Push(const std::string& stream, Tuple tuple) {
+  const std::string lower = esp::StrToLower(stream);
+  if (!catalog_.Contains(lower)) {
+    return Status::NotFound("unknown stream '" + stream + "'");
+  }
+  if (options_.share_windows) {
+    // At most two buffers per stream (bounded + unbounded family): the
+    // amplification a naive engine pays per subscribed query collapses to
+    // a constant.
+    Buffer* bounded = nullptr;
+    Buffer* unbounded = nullptr;
+    auto it = buffers_.find(BufferKey(lower, false));
+    if (it != buffers_.end()) bounded = &it->second;
+    it = buffers_.find(BufferKey(lower, true));
+    if (it != buffers_.end()) unbounded = &it->second;
+    if (bounded != nullptr && unbounded != nullptr) {
+      ESP_RETURN_IF_ERROR(bounded->state->Push(tuple));
+      return unbounded->state->Push(std::move(tuple));
+    }
+    if (bounded != nullptr) return bounded->state->Push(std::move(tuple));
+    if (unbounded != nullptr) return unbounded->state->Push(std::move(tuple));
+    return Status::OK();  // Nobody reads this stream right now.
+  }
+  // Naive mode: every plan buffers privately, so every plan reading the
+  // stream pays its own copy.
+  Status status = Status::OK();
+  for (const auto& plan : plans_) {
+    bool reads = false;
+    for (const auto& [name, demand] : plan->demands) {
+      if (name == lower) {
+        reads = true;
+        break;
+      }
+    }
+    if (!reads) continue;
+    Status pushed = plan->query->Push(lower, tuple);
+    if (!pushed.ok() && status.ok()) status = pushed;
+  }
+  return status;
+}
+
+int64_t QueryRegistry::NowNanos() const {
+  if (now_nanos_) return now_nanos_();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void QueryRegistry::SetEvalTimerForTesting(
+    std::function<int64_t()> now_nanos) {
+  now_nanos_ = std::move(now_nanos);
+}
+
+StatusOr<std::vector<SubscriptionResult>> QueryRegistry::Tick(Timestamp now) {
+  // Pass 1: evaluate each physical plan exactly once, in registration
+  // order.
+  struct PlanOutcome {
+    Status status;
+    std::shared_ptr<const Relation> result;
+    Duration elapsed;
+  };
+  std::unordered_map<const PhysicalPlan*, PlanOutcome> outcomes;
+  outcomes.reserve(plans_.size());
+  for (const auto& plan : plans_) {
+    PlanOutcome outcome;
+    const int64_t start = NowNanos();
+    StatusOr<Relation> result = plan->query->Evaluate(now);
+    outcome.elapsed = Duration::Micros((NowNanos() - start) / 1000);
+    if (result.ok()) {
+      outcome.result = std::make_shared<const Relation>(std::move(*result));
+    } else {
+      outcome.status = result.status();
+    }
+    outcomes.emplace(plan.get(), std::move(outcome));
+    ++plan_evals_;
+  }
+
+  // Pass 2: fan results out in subscription registration order; the plan's
+  // relation is shared, never copied.
+  std::vector<SubscriptionResult> results;
+  results.reserve(subs_.size());
+  std::map<std::string, Duration> tick_eval_time;
+  for (const auto& sub : subs_) {
+    const PlanOutcome& outcome = outcomes[sub->plan];
+    SubscriptionResult result;
+    result.tenant = sub->tenant;
+    result.name = sub->name;
+    result.status = outcome.status;
+    result.result = outcome.result;
+    results.push_back(std::move(result));
+    ++fanout_results_;
+
+    TenantRuntime& tenant = tenants_[sub->tenant];
+    tenant.stats.tenant = sub->tenant;
+    ++tenant.stats.evals;
+    if (!outcome.status.ok()) ++tenant.stats.eval_errors;
+    // Naive-cost attribution: every subscriber is charged the full plan
+    // evaluation, so sharing never hides a tenant's standalone footprint.
+    tenant.stats.eval_time = tenant.stats.eval_time + outcome.elapsed;
+    tick_eval_time[sub->tenant] =
+        tick_eval_time[sub->tenant] + outcome.elapsed;
+  }
+
+  // Pass 3: evict shared buffers only after every reader has evaluated —
+  // the shared-mode equivalent of the per-query "retention horizon trails
+  // consumption" contract.
+  if (options_.share_windows) {
+    for (auto& [key, buffer] : buffers_) buffer.state->Evict(now);
+  }
+
+  // Pass 4: refresh eval-time throttling.
+  for (auto& [tenant_id, tenant] : tenants_) {
+    const auto it = tick_eval_time.find(tenant_id);
+    tenant.stats.last_tick_eval_time =
+        it != tick_eval_time.end() ? it->second : Duration::Zero();
+    const TenantBudgets& budgets = BudgetsFor(tenant);
+    tenant.stats.throttled =
+        !budgets.max_eval_time.IsZero() &&
+        tenant.stats.last_tick_eval_time > budgets.max_eval_time;
+  }
+
+  ++ticks_;
+  return results;
+}
+
+QueryServingStats QueryRegistry::Stats() const {
+  QueryServingStats stats;
+  stats.subscriptions = subs_.size();
+  stats.physical_plans = plans_.size();
+  stats.shared_buffers = buffers_.size();
+  stats.buffered_tuples = BufferedTuples();
+  stats.rejected_total = rejected_total_;
+  stats.ticks = ticks_;
+  stats.plan_evals = plan_evals_;
+  stats.fanout_results = fanout_results_;
+  stats.dedup_saved_evals = fanout_results_ - plan_evals_;
+  for (const auto& [tenant_id, tenant] : tenants_) {
+    stats.tenants.push_back(tenant.stats);
+  }
+  return stats;
+}
+
+size_t QueryRegistry::BufferedTuples() const {
+  size_t total = 0;
+  if (options_.share_windows) {
+    for (const auto& [key, buffer] : buffers_) {
+      total += buffer.state->history.size();
+    }
+  } else {
+    for (const auto& plan : plans_) total += plan->query->buffered();
+  }
+  return total;
+}
+
+void QueryRegistry::SaveState(ByteWriter& w) const {
+  w.WriteU8(kStateVersion);
+  // Subscriptions first: LoadState replays them to rebuild the identical
+  // plan/buffer structure before any contents are read back.
+  w.WriteU32(static_cast<uint32_t>(subs_.size()));
+  for (const auto& sub : subs_) {
+    w.WriteString(sub->tenant);
+    w.WriteString(sub->name);
+    w.WriteString(sub->text);
+  }
+  w.WriteU32(static_cast<uint32_t>(buffers_.size()));
+  for (const auto& [key, buffer] : buffers_) {
+    w.WriteString(key);
+    buffer.state->SaveState(w);
+  }
+  // Plan clocks, in plan registration order (a pure function of the
+  // subscription sequence, so replay reconstructs the same order). Shared
+  // plans write clocks only; owned-mode plans write their histories here.
+  w.WriteU32(static_cast<uint32_t>(plans_.size()));
+  for (const auto& plan : plans_) plan->query->SaveState(w);
+}
+
+Status QueryRegistry::LoadState(ByteReader& r) {
+  ESP_ASSIGN_OR_RETURN(const uint8_t version, r.ReadU8());
+  if (version != kStateVersion) {
+    return Status::ParseError("unsupported query-registry state version " +
+                              std::to_string(version));
+  }
+  // Tear down live subscriptions; the snapshot replaces them wholesale.
+  subs_.clear();
+  plans_.clear();
+  sub_by_name_.clear();
+  plan_by_fingerprint_.clear();
+  buffers_.clear();
+  for (auto& [tenant_id, tenant] : tenants_) {
+    tenant.stats.queries = 0;
+    tenant.stats.throttled = false;
+  }
+
+  ESP_ASSIGN_OR_RETURN(const uint32_t sub_count, r.ReadU32());
+  for (uint32_t i = 0; i < sub_count; ++i) {
+    ESP_ASSIGN_OR_RETURN(const std::string tenant, r.ReadString());
+    ESP_ASSIGN_OR_RETURN(const std::string name, r.ReadString());
+    ESP_ASSIGN_OR_RETURN(const std::string text, r.ReadString());
+    // Budgets were enforced when the snapshot was taken; replay must not
+    // re-reject (e.g. a tenant throttled at checkpoint time).
+    ESP_RETURN_IF_ERROR(
+        RegisterInternal(tenant, name, text, /*enforce_budgets=*/false));
+  }
+
+  ESP_ASSIGN_OR_RETURN(const uint32_t buffer_count, r.ReadU32());
+  if (options_.share_windows &&
+      buffer_count != static_cast<uint32_t>(buffers_.size())) {
+    return Status::ParseError(
+        "serialized registry has " + std::to_string(buffer_count) +
+        " buffers, replay built " + std::to_string(buffers_.size()));
+  }
+  for (uint32_t i = 0; i < buffer_count; ++i) {
+    ESP_ASSIGN_OR_RETURN(const std::string key, r.ReadString());
+    auto it = buffers_.find(key);
+    if (it == buffers_.end()) {
+      return Status::ParseError("serialized registry buffer '" + key +
+                                "' has no reader after replay");
+    }
+    ESP_RETURN_IF_ERROR(it->second.state->LoadState(r));
+  }
+
+  ESP_ASSIGN_OR_RETURN(const uint32_t plan_count, r.ReadU32());
+  if (plan_count != static_cast<uint32_t>(plans_.size())) {
+    return Status::ParseError(
+        "serialized registry has " + std::to_string(plan_count) +
+        " plans, replay built " + std::to_string(plans_.size()));
+  }
+  for (uint32_t i = 0; i < plan_count; ++i) {
+    ESP_RETURN_IF_ERROR(plans_[i]->query->LoadState(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace esp::cql

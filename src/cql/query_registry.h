@@ -1,0 +1,251 @@
+#ifndef ESP_CQL_QUERY_REGISTRY_H_
+#define ESP_CQL_QUERY_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "cql/continuous_query.h"
+#include "stream/tuple.h"
+
+namespace esp::cql {
+
+/// \brief Admission budgets of one tenant. Zero / default values mean
+/// unlimited; a deployment opts in per budget ([tenants] section,
+/// core/deployment.h).
+struct TenantBudgets {
+  /// Maximum live subscriptions.
+  uint64_t max_queries = 0;
+  /// Largest RANGE retention (range + slide) a query may demand of any
+  /// stream. Rejections are window-memory admission control: retention is
+  /// what a subscription costs in buffered tuples.
+  Duration max_window_range;
+  /// Largest ROWS retention a query may demand of any stream.
+  int64_t max_window_rows = 0;
+  /// Whether unbounded windows are admitted (they disable eviction on
+  /// their buffer family).
+  bool allow_unbounded = true;
+  /// Attributed evaluation time per tick. A tenant whose last tick
+  /// exceeded this is throttled: running subscriptions keep evaluating
+  /// (results stay deterministic), but new registrations are rejected
+  /// until a tick comes in under budget.
+  Duration max_eval_time;
+};
+
+/// \brief Per-tenant counters surfaced through EspProcessor::Health().
+/// Attribution is naive-cost: a shared plan's full evaluation time is
+/// charged to every subscribed tenant, so sharing never hides a tenant's
+/// standalone footprint.
+struct TenantStats {
+  std::string tenant;
+  uint64_t queries = 0;      // Live subscriptions.
+  uint64_t rejected = 0;     // Admission rejections to date.
+  uint64_t evals = 0;        // Subscription-evaluations attributed.
+  uint64_t eval_errors = 0;  // Evaluations that returned non-OK.
+  Duration eval_time;        // Attributed evaluation time to date.
+  Duration last_tick_eval_time;
+  bool throttled = false;    // Last tick exceeded max_eval_time.
+};
+
+/// \brief Aggregate multi-tenant query-serving counters.
+struct QueryServingStats {
+  uint64_t subscriptions = 0;
+  uint64_t physical_plans = 0;   // After fingerprint dedupe.
+  uint64_t shared_buffers = 0;   // Registry-owned window buffers.
+  uint64_t buffered_tuples = 0;  // Tuples retained across those buffers.
+  uint64_t rejected_total = 0;
+  uint64_t ticks = 0;
+  uint64_t plan_evals = 0;    // Physical evaluations to date.
+  uint64_t fanout_results = 0;  // Subscription results delivered to date.
+  /// Evaluations avoided by plan dedupe: fanout_results - plan_evals.
+  uint64_t dedup_saved_evals = 0;
+  std::vector<TenantStats> tenants;  // Sorted by tenant id.
+
+  bool active() const { return subscriptions > 0 || rejected_total > 0; }
+  /// One-line summary for health reports.
+  std::string ToString() const;
+};
+
+/// \brief One subscription's result for one tick.
+struct SubscriptionResult {
+  std::string tenant;
+  std::string name;
+  /// Evaluation outcome. A failing plan fails only its own subscriptions;
+  /// the tick keeps serving every other tenant (error isolation).
+  Status status;
+  /// The plan's result relation, shared (not copied) across every
+  /// subscription of the plan. Null when status is non-OK.
+  std::shared_ptr<const stream::Relation> result;
+};
+
+/// \brief Multi-tenant registry of standing CQL subscriptions over shared
+/// execution state — the shared-plan serving layer.
+///
+/// Two orthogonal sharing axes, both on by default (off = the naive
+/// one-plan-per-query baseline the benches compare against):
+///
+///   - **Plan dedupe** (`share_plans`): subscriptions whose queries are
+///     equal under cql/fingerprint.h canonicalization map to one physical
+///     ContinuousQuery; each tick evaluates it once and the result fans
+///     out by shared_ptr to every subscribed tenant.
+///   - **Window sharing** (`share_windows`): one coarsest-common
+///     StreamWindowState per (stream, window family) — bounded windows
+///     share one buffer whose retention is the union demand, unbounded
+///     references share a second — instead of per-query buffers. Exact by
+///     CQL snapshot semantics: the evaluator applies each query's own
+///     window at eval time, so extra retained history never changes
+///     results (continuous_query.h WindowDemand).
+///
+/// A subscription registered at runtime attaches to the live buffers
+/// (Bleach-style add/remove without restart): its windows start from the
+/// retained history — equivalent to a fresh naive query replaying that
+/// same history, which is exactly how the equivalence tests pin it.
+///
+/// Per tick the owner pushes each stream tuple once (Push), then calls
+/// Tick(now): every physical plan evaluates once, results fan out in
+/// subscription registration order, and buffers evict only after all
+/// readers have evaluated.
+///
+/// Not thread-safe; shares the engine's single-threaded Push/Tick
+/// contract.
+class QueryRegistry {
+ public:
+  struct Options {
+    bool share_plans = true;
+    bool share_windows = true;
+    TenantBudgets default_budgets;  // Applied to tenants with no override.
+  };
+
+  explicit QueryRegistry(Options options);
+  QueryRegistry() : QueryRegistry(Options{}) {}
+  ~QueryRegistry();
+  QueryRegistry(const QueryRegistry&) = delete;
+  QueryRegistry& operator=(const QueryRegistry&) = delete;
+
+  /// Registers one input stream's schema. All streams must be added before
+  /// subscriptions referencing them.
+  Status AddStream(const std::string& name, stream::SchemaRef schema);
+
+  /// Installs a per-tenant budget override (replaces any previous one).
+  void SetTenantBudgets(const std::string& tenant, TenantBudgets budgets);
+
+  /// Registers a subscription under a registry-unique name. Typed errors:
+  /// kAlreadyExists for a duplicate name, kResourceExhausted for a budget
+  /// rejection (also counted in TenantStats::rejected), parse/analysis
+  /// errors pass through from the CQL frontend.
+  Status Register(const std::string& tenant, const std::string& name,
+                  const std::string& query_text);
+
+  /// Removes a live subscription (Bleach-style runtime rule removal).
+  /// kNotFound when no subscription has this name. Shared state the last
+  /// reader leaves behind is torn down: plans are destroyed, buffer
+  /// demands recomputed, reader-less buffers freed.
+  Status Unregister(const std::string& name);
+
+  bool Contains(const std::string& name) const;
+  size_t subscriptions() const { return subs_.size(); }
+
+  /// Output schema of a live subscription's query.
+  StatusOr<stream::SchemaRef> OutputSchema(const std::string& name) const;
+
+  /// Appends one tuple to every buffer (shared mode) or every subscribed
+  /// plan (naive mode) reading `stream`. A stream nobody reads is a cheap
+  /// no-op; an unregistered stream name is kNotFound.
+  Status Push(const std::string& stream, stream::Tuple tuple);
+
+  /// Evaluates every physical plan once at `now` and fans results out in
+  /// subscription registration order. Per-plan failures are carried in the
+  /// affected SubscriptionResults, never failing the tick.
+  StatusOr<std::vector<SubscriptionResult>> Tick(Timestamp now);
+
+  QueryServingStats Stats() const;
+  size_t BufferedTuples() const;
+
+  /// Serializes buffers (each exactly once), subscriptions (tenant, name,
+  /// query text), and plan clocks. Budgets and sharing options are
+  /// configuration. LoadState re-registers every subscription from its
+  /// text — fingerprints recompute identically, so the dedupe structure is
+  /// reconstructed, not deserialized — then loads buffer contents.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
+  /// Test hook: replaces the monotonic clock (nanoseconds) used to measure
+  /// per-plan evaluation time.
+  void SetEvalTimerForTesting(std::function<int64_t()> now_nanos);
+
+ private:
+  struct Buffer {
+    std::string key;  // stream '\0' family; see BufferKey().
+    std::unique_ptr<StreamWindowState> state;
+    size_t readers = 0;  // Physical plans resolved onto this buffer.
+  };
+  struct PhysicalPlan {
+    std::string fingerprint;  // Empty when plan sharing is off.
+    std::unique_ptr<ContinuousQuery> query;
+    /// Per-stream demands of this plan's AST (admission + buffer-demand
+    /// recomputation on unregister).
+    std::vector<std::pair<std::string, WindowDemand>> demands;
+    size_t subscribers = 0;
+  };
+  struct Subscription {
+    std::string tenant;
+    std::string name;
+    std::string text;
+    PhysicalPlan* plan = nullptr;
+  };
+  struct TenantRuntime {
+    bool has_override = false;
+    TenantBudgets override_budgets;
+    TenantStats stats;
+  };
+
+  static std::string BufferKey(const std::string& stream, bool unbounded);
+
+  const TenantBudgets& BudgetsFor(const TenantRuntime& tenant) const;
+  Status Admit(TenantRuntime& tenant,
+               const std::vector<std::pair<std::string, WindowDemand>>&
+                   demands) const;
+  /// Register() minus admission control — the restore path replays
+  /// subscriptions that were already admitted when checkpointed.
+  Status RegisterInternal(const std::string& tenant_id,
+                          const std::string& name,
+                          const std::string& query_text, bool enforce_budgets);
+  StatusOr<StreamWindowState*> ResolveBuffer(const std::string& stream,
+                                             const WindowDemand& demand);
+  void RecomputeBufferDemands();
+  void DropReaderlessBuffers();
+  int64_t NowNanos() const;
+
+  Options options_;
+  SchemaCatalog catalog_;
+  /// Streams in AddStream order (SaveState determinism + existence checks).
+  std::vector<std::string> stream_names_;
+
+  /// Registration-ordered; pointers into these are stable (unique_ptr
+  /// elements) and order defines evaluation / fan-out determinism.
+  std::vector<std::unique_ptr<Subscription>> subs_;
+  std::vector<std::unique_ptr<PhysicalPlan>> plans_;
+  std::unordered_map<std::string, size_t> sub_by_name_;  // name -> subs_ index.
+  std::unordered_map<std::string, PhysicalPlan*> plan_by_fingerprint_;
+  /// Key-ordered so eviction, stats, and SaveState iterate
+  /// deterministically.
+  std::map<std::string, Buffer> buffers_;
+  std::map<std::string, TenantRuntime> tenants_;
+
+  uint64_t ticks_ = 0;
+  uint64_t plan_evals_ = 0;
+  uint64_t fanout_results_ = 0;
+  uint64_t rejected_total_ = 0;
+  std::function<int64_t()> now_nanos_;  // Null: steady_clock.
+};
+
+}  // namespace esp::cql
+
+#endif  // ESP_CQL_QUERY_REGISTRY_H_

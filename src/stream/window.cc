@@ -1,5 +1,7 @@
 #include "stream/window.h"
 
+#include <cassert>
+
 #include "stream/arena.h"
 #include "stream/serialize.h"
 
@@ -41,10 +43,12 @@ Status WindowBuffer::Insert(Tuple tuple) {
   }
   last_insert_time_ = tuple.timestamp();
   has_inserted_ = true;
+  ++generation_;
   // Keep an already-built columnar mirror in sync incrementally; otherwise
   // (or when the toggle is off) it goes stale and rebuilds on next access.
   if (columns_synced_ && ColumnarEnabled()) {
     columns_.Append(tuple);
+    columns_generation_ = generation_;
   } else {
     columns_synced_ = false;
   }
@@ -83,16 +87,25 @@ void WindowBuffer::EvictBefore(Timestamp t) {
   }
   const size_t evicted = before - buffer_.size();
   if (evicted > 0) {
+    ++generation_;
     cache_valid_ = false;
-    if (columns_synced_) columns_.PopFront(evicted);
+    if (columns_synced_) {
+      columns_.PopFront(evicted);
+      columns_generation_ = generation_;
+    }
   }
 }
 
 const ColumnarWindow& WindowBuffer::Columns() const {
-  if (!columns_synced_ || columns_.schema() != schema_) {
+  // A mirror that claims to be in sync must have been synced at the current
+  // generation — the incremental paths stamp it on every mutation.
+  assert(!columns_synced_ || columns_generation_ == generation_);
+  if (!columns_synced_ || columns_generation_ != generation_ ||
+      columns_.schema() != schema_) {
     columns_.Reset(schema_);
     for (const Tuple& tuple : buffer_) columns_.Append(tuple);
     columns_synced_ = true;
+    columns_generation_ = generation_;
     ++column_rebuilds_;
   }
   return columns_;
@@ -136,13 +149,17 @@ Status WindowBuffer::LoadState(ByteReader& r) {
     ESP_ASSIGN_OR_RETURN(Tuple tuple, ReadTuple(r, schema_));
     buffer_.push_back(std::move(tuple));
   }
+  ++generation_;
   cache_valid_ = false;
   columns_synced_ = false;
   return Status::OK();
 }
 
 bool WindowBuffer::CacheHit(Timestamp t) const {
-  if (!cache_valid_) return false;
+  // A valid cache must carry the current generation: every mutator bumps
+  // generation_ and clears cache_valid_ together.
+  assert(!cache_valid_ || cache_generation_ == generation_);
+  if (!cache_valid_ || cache_generation_ != generation_) return false;
   switch (spec_.kind) {
     case WindowKind::kRange:
       return spec_.EffectiveTime(t) == cache_key_;
@@ -163,6 +180,7 @@ Relation WindowBuffer::Snapshot(Timestamp t) const {
   cache_ = Rebuild(t);
   ++snapshot_rebuilds_;
   cache_valid_ = true;
+  cache_generation_ = generation_;
   cache_key_ = spec_.kind == WindowKind::kRange ? spec_.EffectiveTime(t) : t;
   cache_covers_all_ =
       buffer_.empty() || buffer_.back().timestamp() <= cache_key_;

@@ -120,6 +120,15 @@ class WindowBuffer {
   size_t snapshot_rebuilds() const { return snapshot_rebuilds_; }
   size_t column_rebuilds() const { return column_rebuilds_; }
 
+  /// Monotonic mutation counter: bumped by every Insert, every EvictBefore
+  /// that removes a tuple, and LoadState. Both the row-snapshot cache and
+  /// the columnar mirror record the generation they were built (or last
+  /// synced) at and are trusted only while it still matches, so multiple
+  /// plans reading one shared buffer can never observe a snapshot from
+  /// before an interleaved mutation — the invalidation contract is the
+  /// counter, not the mutators remembering to clear every flag.
+  uint64_t generation() const { return generation_; }
+
   /// Serializes the live contents (tuples + insertion clock) for the
   /// durability subsystem. The spec and schema are NOT serialized: they are
   /// configuration, reconstructed by whoever owns the buffer.
@@ -140,6 +149,7 @@ class WindowBuffer {
   std::deque<Tuple> buffer_;
   Timestamp last_insert_time_;
   bool has_inserted_ = false;
+  uint64_t generation_ = 0;  // See generation().
 
   /// Snapshot cache: Snapshot() re-materialized a full Relation on every
   /// call even when nothing entered or expired since the last one. The
@@ -153,6 +163,7 @@ class WindowBuffer {
   mutable Timestamp cache_key_;
   mutable Relation cache_;
   mutable size_t snapshot_rebuilds_ = 0;
+  mutable uint64_t cache_generation_ = 0;  // generation_ when cache_ built.
 
   /// Columnar mirror, maintained independently of the row snapshot cache:
   /// mutations update (or lazily stale-mark) the columns without touching
@@ -160,6 +171,7 @@ class WindowBuffer {
   mutable ColumnarWindow columns_;
   mutable bool columns_synced_ = false;
   mutable size_t column_rebuilds_ = 0;
+  mutable uint64_t columns_generation_ = 0;  // generation_ at last sync.
 };
 
 }  // namespace esp::stream

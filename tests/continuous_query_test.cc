@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cql/parser.h"
+#include "cql/query_registry.h"
+
 namespace esp::cql {
 namespace {
 
@@ -186,6 +189,70 @@ TEST(ContinuousQueryTest, NowWindowReevaluationAtSameInstant) {
   auto second = (*cq)->Evaluate(Timestamp::Seconds(2));
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->tuple(0).Get("n")->int64_value(), 1);
+}
+
+TEST(ContinuousQueryTest, SharedStorageDisablesPush) {
+  // A query over registry-owned windows must refuse direct pushes — the
+  // storage owner pushes once for every subscribed plan.
+  StreamWindowState state;
+  state.name = "smooth_input";
+  state.schema = ReadingSchema();
+  state.history = stream::Relation(state.schema);
+
+  auto parsed = ParseQuery(
+      "SELECT count(*) AS n FROM smooth_input [Range By '5 sec']");
+  ASSERT_TRUE(parsed.ok());
+  auto cq = ContinuousQuery::CreateFromAst(
+      std::move(*parsed), MakeCatalog(),
+      [&state](const std::string& name,
+               const WindowDemand& demand) -> StatusOr<StreamWindowState*> {
+        EXPECT_EQ(name, "smooth_input");
+        state.demand.Absorb(demand);
+        return &state;
+      });
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  EXPECT_TRUE((*cq)->shares_windows());
+
+  SchemaRef schema = ReadingSchema();
+  const Status pushed =
+      (*cq)->Push("smooth_input", Reading(schema, "a", 0, 1));
+  EXPECT_EQ(pushed.code(), StatusCode::kFailedPrecondition) << pushed;
+
+  // The owner pushes instead; the query reads the shared history.
+  ASSERT_TRUE(state.Push(Reading(schema, "a", 0, 1)).ok());
+  auto result = (*cq)->Evaluate(Timestamp::Seconds(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tuple(0).Get("n")->int64_value(), 1);
+}
+
+TEST(QueryRegistryNamingTest, DuplicateAndUnknownNamesAreTypedErrors) {
+  QueryRegistry registry;
+  ASSERT_TRUE(registry.AddStream("smooth_input", ReadingSchema()).ok());
+  const std::string text =
+      "SELECT count(*) AS n FROM smooth_input [Range By '5 sec']";
+
+  ASSERT_TRUE(registry.Register("acme", "watch", text).ok());
+  EXPECT_TRUE(registry.Contains("watch"));
+
+  // Names are registry-unique: the same tenant, a different tenant, and
+  // even an identical query text all collide on the name.
+  EXPECT_EQ(registry.Register("acme", "watch", text).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(registry.Register("rival", "watch", text).code(),
+            StatusCode::kAlreadyExists);
+  // A failed registration must not have clobbered the live subscription.
+  EXPECT_TRUE(registry.Contains("watch"));
+  EXPECT_EQ(registry.subscriptions(), 1u);
+
+  // Unregistering a live subscription works exactly once.
+  ASSERT_TRUE(registry.Unregister("watch").ok());
+  EXPECT_FALSE(registry.Contains("watch"));
+  EXPECT_EQ(registry.Unregister("watch").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Unregister("never_existed").code(),
+            StatusCode::kNotFound);
+
+  // The name is free again after unregistration.
+  EXPECT_TRUE(registry.Register("acme", "watch", text).ok());
 }
 
 }  // namespace

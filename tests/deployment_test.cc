@@ -463,5 +463,88 @@ TEST(LoadDeploymentTest, IngestErrorsAreLineNumbered) {
   EXPECT_EQ(twice.status().code(), StatusCode::kParseError);
 }
 
+TEST(LoadDeploymentTest, TenantsSectionConfiguresServing) {
+  // [tenant acme] appears BEFORE [tenants] — overrides must still seed
+  // from the defaults declared later in the file.
+  const std::string spec = std::string(kShelfDeployment) + R"(
+[tenant acme]
+max_queries = 1
+
+[tenants]
+share_plans = true
+share_windows = true
+max_queries = 5
+max_window_range = 30 sec
+allow_unbounded = false
+)";
+  auto processor = LoadDeployment(spec);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  const std::string in_budget =
+      "SELECT count(*) AS n FROM rfid_input [Range By '10 sec']";
+
+  // Default-budget tenant: bounded queries admitted, unbounded rejected,
+  // oversized windows rejected.
+  ASSERT_TRUE((*processor)->RegisterQuery("dflt", "q1", in_budget).ok());
+  Status s = (*processor)
+                 ->RegisterQuery("dflt", "q2",
+                                 "SELECT count(*) AS n FROM rfid_input");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+  s = (*processor)
+          ->RegisterQuery(
+              "dflt", "q3",
+              "SELECT count(*) AS n FROM rfid_input [Range By '60 sec']");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+
+  // The acme override tightens max_queries to 1 but keeps the seeded
+  // defaults for everything else (so its rejection is query count, and the
+  // 30-sec range ceiling still applies).
+  ASSERT_TRUE((*processor)->RegisterQuery("acme", "a1", in_budget).ok());
+  s = (*processor)->RegisterQuery("acme", "a2", in_budget);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+
+  // The serving layer shows up in health with the dedupe accounting.
+  const PipelineHealth health = (*processor)->Health();
+  EXPECT_TRUE(health.queries.active());
+  EXPECT_EQ(health.queries.subscriptions, 2u);
+  // q1 and a1 are the same text: one physical plan under share_plans.
+  EXPECT_EQ(health.queries.physical_plans, 1u);
+}
+
+TEST(LoadDeploymentTest, TenantsErrorsAreLineNumbered) {
+  const std::string base = std::string(kShelfDeployment);
+
+  ExpectLineNumberedError(base + "\n[tenants]\nturbo = on\n", "turbo",
+                          "unknown key 'turbo'");
+  ExpectLineNumberedError(base + "\n[tenants]\nshare_plans = maybe\n",
+                          "share_plans = maybe", "share_plans");
+  ExpectLineNumberedError(base + "\n[tenants]\nmax_queries = -3\n",
+                          "max_queries = -3", "max_queries");
+  ExpectLineNumberedError(base + "\n[tenants]\nmax_window_range = wide\n",
+                          "max_window_range = wide", "max_window_range");
+  ExpectLineNumberedError(base + "\n[tenant acme]\nshare_plans = true\n",
+                          "share_plans = true", "unknown key 'share_plans'");
+  ExpectLineNumberedError(base + "\n[tenant acme]\nmax_eval_time = fast\n",
+                          "max_eval_time = fast", "max_eval_time");
+
+  // [tenant] with no id names the section's line.
+  ExpectLineNumberedError(base + "\n[tenant]\nmax_queries = 1\n", "[tenant]",
+                          "requires a tenant id");
+
+  // Duplicate [tenants] / duplicate [tenant X] are ambiguous.
+  auto twice = LoadDeploymentBundle(base + "\n[tenants]\n\n[tenants]\n");
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.status().code(), StatusCode::kParseError);
+  EXPECT_NE(std::string(twice.status().message()).find("multiple [tenants]"),
+            std::string::npos);
+  auto dup = LoadDeploymentBundle(
+      base + "\n[tenant acme]\nmax_queries = 1\n\n[tenant acme]\n"
+             "max_queries = 2\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kParseError);
+  EXPECT_NE(std::string(dup.status().message()).find("multiple [tenant acme]"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace esp::core

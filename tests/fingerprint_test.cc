@@ -1,0 +1,272 @@
+// Plan-fingerprint canonicalization tests. Two kinds of guarantee:
+//
+//   1. Queries that are semantically identical modulo the documented
+//      normalizations (identifier case, alias spelling, constant folding,
+//      total-conjunct commutation) MUST collide — that is the dedupe win.
+//   2. Queries that can differ observably (different constants, windows,
+//      output names, or error behaviour) MUST NOT collide — a false
+//      collision silently serves one tenant another tenant's results.
+//
+// The property test closes the loop on soundness: for randomly generated
+// query pairs, equal fingerprints imply identical evaluation output over
+// random data.
+
+#include "cql/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cql/continuous_query.h"
+#include "cql/parser.h"
+
+namespace esp::cql {
+namespace {
+
+using stream::DataType;
+using stream::SchemaRef;
+using stream::Tuple;
+using stream::Value;
+
+SchemaRef ReadingSchema() {
+  return stream::MakeSchema({{"tag_id", DataType::kString},
+                             {"shelf", DataType::kInt64},
+                             {"temp", DataType::kDouble},
+                             {"ok", DataType::kBool}});
+}
+
+SchemaCatalog MakeCatalog() {
+  SchemaCatalog catalog;
+  catalog.AddStream("readings", ReadingSchema());
+  return catalog;
+}
+
+std::string Fp(const std::string& text) {
+  auto query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << text << "\n" << query.status();
+  if (!query.ok()) return "<parse error>";
+  auto fp = FingerprintQuery(**query, MakeCatalog());
+  EXPECT_TRUE(fp.ok()) << text << "\n" << fp.status();
+  return fp.ok() ? *fp : "<fingerprint error>";
+}
+
+TEST(FingerprintTest, IdentifierCaseAndAliasSpellingCollide) {
+  const std::string base =
+      "SELECT tag_id AS t FROM readings [Range By '5 sec'] "
+      "WHERE shelf = 3";
+  EXPECT_EQ(Fp(base), Fp("select TAG_ID as t from READINGS "
+                         "[Range By '5 sec'] where SHELF = 3"));
+  // Alias spelling normalizes to frame indices.
+  EXPECT_EQ(Fp("SELECT a.tag_id AS t FROM readings a [Range By '5 sec'] "
+               "WHERE a.shelf = 3"),
+            Fp("SELECT b.tag_id AS t FROM readings b [Range By '5 sec'] "
+               "WHERE b.shelf = 3"));
+  EXPECT_EQ(Fp("SELECT readings.tag_id AS t FROM readings "
+               "[Range By '5 sec'] WHERE shelf = 3"),
+            Fp("SELECT x.tag_id AS t FROM readings x [Range By '5 sec'] "
+               "WHERE shelf = 3"));
+}
+
+TEST(FingerprintTest, OutputNamesAreVerbatim) {
+  // Output field names are observable (they name the result columns), so
+  // spelling differences that change them must NOT collide.
+  EXPECT_NE(Fp("SELECT tag_id FROM readings"),
+            Fp("SELECT TAG_ID FROM readings"));
+  EXPECT_NE(Fp("SELECT tag_id AS a FROM readings"),
+            Fp("SELECT tag_id AS b FROM readings"));
+}
+
+TEST(FingerprintTest, ConstantFoldingCollides) {
+  EXPECT_EQ(Fp("SELECT tag_id AS t FROM readings WHERE shelf = 1 + 2"),
+            Fp("SELECT tag_id AS t FROM readings WHERE shelf = 3"));
+  EXPECT_EQ(Fp("SELECT 1 + 2 AS x FROM readings"),
+            Fp("SELECT 3 AS x FROM readings"));
+  // Types survive folding: 3 and 3.0 are different plans (different output
+  // column types).
+  EXPECT_NE(Fp("SELECT 3 AS x FROM readings"),
+            Fp("SELECT 3.0 AS x FROM readings"));
+  // An erroring subtree stays structural — 1/0 is not "any other error".
+  EXPECT_NE(Fp("SELECT 1 / 0 AS x FROM readings"),
+            Fp("SELECT 2 / 0 AS x FROM readings"));
+}
+
+TEST(FingerprintTest, TotalConjunctsCommute) {
+  EXPECT_EQ(Fp("SELECT tag_id AS t FROM readings [Range By '5 sec'] "
+               "WHERE shelf = 3 AND tag_id = 'a'"),
+            Fp("SELECT tag_id AS t FROM readings [Range By '5 sec'] "
+               "WHERE tag_id = 'a' AND shelf = 3"));
+  EXPECT_EQ(Fp("SELECT tag_id AS t FROM readings "
+               "WHERE ok AND shelf < 5 AND temp > 1.5"),
+            Fp("SELECT tag_id AS t FROM readings "
+               "WHERE temp > 1.5 AND ok AND shelf < 5"));
+}
+
+TEST(FingerprintTest, ErroringConjunctsPinOrder) {
+  // temp / shelf can divide by zero; AND short-circuiting makes the error
+  // order-dependent, so these two queries are behaviourally different and
+  // must not collide.
+  EXPECT_NE(Fp("SELECT tag_id AS t FROM readings "
+               "WHERE shelf = 3 AND temp / shelf > 1"),
+            Fp("SELECT tag_id AS t FROM readings "
+               "WHERE temp / shelf > 1 AND shelf = 3"));
+  // Ordered comparison across incomparable types errors too.
+  EXPECT_NE(Fp("SELECT tag_id AS t FROM readings "
+               "WHERE shelf = 3 AND tag_id < shelf"),
+            Fp("SELECT tag_id AS t FROM readings "
+               "WHERE tag_id < shelf AND shelf = 3"));
+}
+
+TEST(FingerprintTest, ObservableDifferencesNeverCollide) {
+  const std::string base =
+      "SELECT tag_id AS t FROM readings [Range By '5 sec'] WHERE shelf = 3";
+  EXPECT_NE(Fp(base), Fp("SELECT tag_id AS t FROM readings "
+                         "[Range By '10 sec'] WHERE shelf = 3"));
+  EXPECT_NE(Fp(base), Fp("SELECT tag_id AS t FROM readings "
+                         "[Range By '5 sec'] WHERE shelf = 4"));
+  EXPECT_NE(Fp(base), Fp("SELECT DISTINCT tag_id AS t FROM readings "
+                         "[Range By '5 sec'] WHERE shelf = 3"));
+  EXPECT_NE(Fp("SELECT tag_id AS t FROM readings [Rows 5]"),
+            Fp("SELECT tag_id AS t FROM readings [Rows 6]"));
+  EXPECT_NE(Fp("SELECT count(*) AS n FROM readings"),
+            Fp("SELECT count(*) AS n FROM readings GROUP BY shelf"));
+}
+
+TEST(FingerprintTest, UnknownStreamIsNotFound) {
+  auto query = ParseQuery("SELECT x FROM nowhere");
+  ASSERT_TRUE(query.ok());
+  auto fp = FingerprintQuery(**query, MakeCatalog());
+  EXPECT_EQ(fp.status().code(), StatusCode::kNotFound);
+}
+
+// --- Property tests -------------------------------------------------------
+
+/// Generates random WHERE conjuncts that are provably total (no runtime
+/// errors, boolean-typed) so the fingerprint is expected to commute them.
+class ConjunctGenerator {
+ public:
+  explicit ConjunctGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Conjunct() {
+    switch (rng_.UniformInt(0, 6)) {
+      case 0:
+        return "shelf = " + std::to_string(rng_.UniformInt(0, 4));
+      case 1:
+        return "shelf < " + std::to_string(rng_.UniformInt(1, 5));
+      case 2:
+        return "temp > " + std::to_string(rng_.UniformInt(0, 3)) + ".5";
+      case 3:
+        return std::string("tag_id = 's") +
+               std::to_string(rng_.UniformInt(0, 3)) + "'";
+      case 4:
+        return rng_.Bernoulli(0.5) ? "ok" : "NOT ok";
+      case 5:
+        return "shelf BETWEEN 1 AND " + std::to_string(rng_.UniformInt(2, 5));
+      default:
+        return "shelf IN (0, 2, " + std::to_string(rng_.UniformInt(3, 6)) +
+               ")";
+    }
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+std::string QueryWith(const std::vector<std::string>& conjuncts) {
+  std::string where;
+  for (const std::string& conjunct : conjuncts) {
+    if (!where.empty()) where += " AND ";
+    where += conjunct;
+  }
+  return "SELECT tag_id AS t, shelf AS s FROM readings [Range By '50 sec'] "
+         "WHERE " +
+         where;
+}
+
+/// Evaluates `text` over `data` at a fixed instant and renders the result.
+std::string EvalAll(const std::string& text, const std::vector<Tuple>& data) {
+  auto cq = ContinuousQuery::Create(text, MakeCatalog());
+  if (!cq.ok()) return "create-error: " + cq.status().ToString();
+  for (const Tuple& tuple : data) {
+    const Status pushed = (*cq)->Push("readings", tuple);
+    if (!pushed.ok()) return "push-error: " + pushed.ToString();
+  }
+  auto result = (*cq)->Evaluate(Timestamp::Seconds(100));
+  if (!result.ok()) return "eval-error: " + result.status().ToString();
+  return result->ToString();
+}
+
+std::vector<Tuple> RandomData(Rng& rng, const SchemaRef& schema) {
+  std::vector<Tuple> data;
+  for (int i = 0; i < 40; ++i) {
+    data.push_back(
+        Tuple(schema,
+              {Value::String("s" + std::to_string(rng.UniformInt(0, 3))),
+               Value::Int64(rng.UniformInt(0, 6)),
+               Value::Double(rng.UniformInt(0, 30) / 7.0),
+               Value::Bool(rng.Bernoulli(0.5))},
+              Timestamp::Seconds(60 + i)));
+  }
+  return data;
+}
+
+class FingerprintPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FingerprintPropertyTest, PermutedTotalConjunctsCollideAndAgree) {
+  ConjunctGenerator generator(GetParam());
+  const SchemaRef schema = ReadingSchema();
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> conjuncts;
+    const int n = 2 + static_cast<int>(generator.rng().UniformInt(0, 2));
+    for (int i = 0; i < n; ++i) conjuncts.push_back(generator.Conjunct());
+    std::vector<std::string> shuffled = conjuncts;
+    // A deterministic permutation (rotation + one swap).
+    std::rotate(shuffled.begin(), shuffled.begin() + 1, shuffled.end());
+    if (shuffled.size() >= 2 && generator.rng().Bernoulli(0.5)) {
+      std::swap(shuffled[0], shuffled[1]);
+    }
+    const std::string q1 = QueryWith(conjuncts);
+    const std::string q2 = QueryWith(shuffled);
+    ASSERT_EQ(Fp(q1), Fp(q2)) << q1 << "\nvs\n" << q2;
+
+    std::vector<Tuple> data = RandomData(generator.rng(), schema);
+    ASSERT_EQ(EvalAll(q1, data), EvalAll(q2, data)) << q1 << "\nvs\n" << q2;
+  }
+}
+
+TEST_P(FingerprintPropertyTest, EqualFingerprintImpliesEqualOutput) {
+  ConjunctGenerator generator(GetParam() * 131 + 17);
+  const SchemaRef schema = ReadingSchema();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<std::string> conjuncts;
+    const int n = 1 + static_cast<int>(generator.rng().UniformInt(0, 2));
+    for (int k = 0; k < n; ++k) conjuncts.push_back(generator.Conjunct());
+    queries.push_back(QueryWith(conjuncts));
+  }
+  const std::vector<Tuple> data = RandomData(generator.rng(), schema);
+  std::vector<std::string> fps, outs;
+  for (const std::string& query : queries) {
+    fps.push_back(Fp(query));
+    outs.push_back(EvalAll(query, data));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      if (fps[i] == fps[j]) {
+        EXPECT_EQ(outs[i], outs[j])
+            << "fingerprint collision with different output:\n"
+            << queries[i] << "\nvs\n" << queries[j];
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace esp::cql

@@ -192,5 +192,50 @@ TEST(WindowBufferTest, SnapshotAndColumnCachesInvalidateIndependently) {
   EXPECT_LE(buffer.column_rebuilds(), col_after_first + 1);
 }
 
+TEST(WindowBufferTest, GenerationCounterGuardsInterleavedReaders) {
+  // Regression for shared-window serving: two plans read one buffer within
+  // a tick, and a mutation can land between their reads (another stream's
+  // push, a mid-tick registration). Each mutation must bump the generation
+  // counter so the second reader's snapshot and columnar view are rebuilt
+  // rather than served from a cache built before the mutation.
+  SchemaRef schema = ReadingSchema();
+  WindowBuffer buffer(WindowSpec::Range(Duration::Seconds(100)), schema);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(buffer.Insert(MakeReading(schema, i, i)).ok());
+  }
+
+  const Timestamp t = Timestamp::Seconds(50);
+  // Reader one: builds the row snapshot and the columnar mirror.
+  EXPECT_EQ(buffer.Snapshot(t).size(), 4u);
+  EXPECT_EQ(buffer.Columns().size(), 4u);
+  const uint64_t before = buffer.generation();
+
+  // Interleaved mutation between the two readers.
+  ASSERT_TRUE(buffer.Insert(MakeReading(schema, 4, 10)).ok());
+  EXPECT_GT(buffer.generation(), before);
+
+  // Reader two, same tick instant: must see the mutation in both
+  // representations, not the reader-one caches.
+  Relation snapshot = buffer.Snapshot(t);
+  ASSERT_EQ(snapshot.size(), 5u);
+  EXPECT_EQ(snapshot.tuple(4).value(0).int64_value(), 4);
+  ASSERT_EQ(buffer.Columns().size(), 5u);
+  const auto [lo, hi] = buffer.ColumnsRange(t);
+  EXPECT_EQ(hi - lo, 5u);
+
+  // Eviction that removes tuples is a mutation too; a no-op pass is not.
+  const uint64_t after_insert = buffer.generation();
+  buffer.EvictBefore(Timestamp::Seconds(1));  // Range covers everything.
+  EXPECT_EQ(buffer.generation(), after_insert);
+  WindowBuffer rows(WindowSpec::Rows(2), schema);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rows.Insert(MakeReading(schema, i, i)).ok());
+  }
+  const uint64_t rows_before = rows.generation();
+  rows.EvictBefore(Timestamp::Seconds(3));
+  EXPECT_GT(rows.generation(), rows_before);
+  EXPECT_EQ(rows.Snapshot(Timestamp::Seconds(3)).size(), 2u);
+}
+
 }  // namespace
 }  // namespace esp::stream
